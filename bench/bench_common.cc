@@ -1,0 +1,173 @@
+#include "bench/bench_common.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "btree/btree.h"
+#include "join/bplus_join.h"
+#include "join/stack_tree_desc.h"
+#include "join/xr_stack.h"
+#include "storage/element_file.h"
+#include "xrtree/xrtree.h"
+
+namespace xrtree {
+namespace bench {
+
+namespace {
+
+uint64_t EnvU64(const char* name, uint64_t dflt) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return dflt;
+  return std::strtoull(v, nullptr, 10);
+}
+
+}  // namespace
+
+BenchEnv GetBenchEnv() {
+  BenchEnv env;
+  env.scale = EnvU64("XR_SCALE", env.scale);
+  env.buffer_pages = EnvU64("XR_BUFFER_PAGES", env.buffer_pages);
+  env.miss_latency_us = EnvU64("XR_MISS_LATENCY_US", env.miss_latency_us);
+  return env;
+}
+
+BenchDb::BenchDb(size_t pool_pages) {
+  char tmpl[] = "/tmp/xrtree_bench_XXXXXX";
+  int fd = ::mkstemp(tmpl);
+  if (fd >= 0) ::close(fd);
+  path_ = tmpl;
+  XR_CHECK_OK(disk_.Open(path_));
+  pool_ = std::make_unique<BufferPool>(&disk_, pool_pages);
+}
+
+BenchDb::~BenchDb() {
+  pool_.reset();
+  disk_.Close().ok();
+  std::remove(path_.c_str());
+}
+
+void BenchDb::SwapPool(size_t pool_pages) {
+  XR_CHECK_OK(pool_->FlushAll());
+  pool_.reset();
+  pool_ = std::make_unique<BufferPool>(&disk_, pool_pages);
+}
+
+const char* AlgoName(Algo algo) {
+  switch (algo) {
+    case Algo::kNoIndex:
+      return "no-index";
+    case Algo::kBPlus:
+      return "B+";
+    case Algo::kXrStack:
+      return "XR-stack";
+  }
+  return "?";
+}
+
+std::vector<RunResult> RunJoins(const ElementList& ancestors,
+                                const ElementList& descendants,
+                                size_t pool_pages, uint64_t miss_latency_us,
+                                bool parent_child) {
+  // Build with a generous pool, flush, then run every algorithm against a
+  // fresh cold pool of `pool_pages` frames — the paper's joins ran with a
+  // fixed 100-page buffer pool (§6.1).
+  BenchDb db(8192);
+  PageId a_file_head, d_file_head, a_bt_root, d_bt_root, a_xr_root, d_xr_root;
+  uint64_t a_size, d_size;
+  {
+    StoredElementSet a_set(db.pool(), "A");
+    StoredElementSet d_set(db.pool(), "D");
+    XR_CHECK_OK(a_set.Build(ancestors));
+    XR_CHECK_OK(d_set.Build(descendants));
+    a_file_head = a_set.file().head();
+    d_file_head = d_set.file().head();
+    a_size = a_set.file().size();
+    d_size = d_set.file().size();
+    a_bt_root = a_set.btree().root();
+    d_bt_root = d_set.btree().root();
+    a_xr_root = a_set.xrtree().root();
+    d_xr_root = d_set.xrtree().root();
+  }
+
+  JoinOptions options;
+  options.materialize = false;
+  options.parent_child = parent_child;
+
+  std::vector<RunResult> results;
+  for (Algo algo : {Algo::kNoIndex, Algo::kBPlus, Algo::kXrStack}) {
+    db.SwapPool(pool_pages);
+    db.pool()->ResetStats();
+    auto t0 = std::chrono::steady_clock::now();
+    JoinOutput out;
+    switch (algo) {
+      case Algo::kNoIndex: {
+        ElementFile a_file(db.pool());
+        ElementFile d_file(db.pool());
+        a_file.OpenExisting(a_file_head, a_size);
+        d_file.OpenExisting(d_file_head, d_size);
+        out = StackTreeDescJoin(a_file, d_file, options).value();
+        break;
+      }
+      case Algo::kBPlus: {
+        BTree a_bt(db.pool(), a_bt_root);
+        BTree d_bt(db.pool(), d_bt_root);
+        out = BPlusJoin(a_bt, d_bt, options).value();
+        break;
+      }
+      case Algo::kXrStack: {
+        XrTree a_xr(db.pool(), a_xr_root);
+        XrTree d_xr(db.pool(), d_xr_root);
+        out = XrStackJoin(a_xr, d_xr, options).value();
+        break;
+      }
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    IoStats io = db.pool()->stats();
+
+    RunResult r;
+    r.algo = algo;
+    r.scanned = out.stats.elements_scanned;
+    r.pairs = out.stats.output_pairs;
+    r.page_misses = io.buffer_misses;
+    r.disk_reads = io.disk_reads;
+    r.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+    r.modeled_seconds =
+        static_cast<double>(io.buffer_misses) * miss_latency_us * 1e-6;
+    results.push_back(r);
+  }
+  return results;
+}
+
+const Dataset& DepartmentDataset() {
+  static Dataset* ds = [] {
+    BenchEnv env = GetBenchEnv();
+    auto result = MakeDepartmentDataset(env.scale);
+    XR_CHECK_OK(result.status());
+    return new Dataset(std::move(result).value());
+  }();
+  return *ds;
+}
+
+const Dataset& ConferenceDataset() {
+  static Dataset* ds = [] {
+    BenchEnv env = GetBenchEnv();
+    auto result = MakeConferenceDataset(env.scale);
+    XR_CHECK_OK(result.status());
+    return new Dataset(std::move(result).value());
+  }();
+  return *ds;
+}
+
+void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+std::string Thousands(uint64_t n) {
+  return std::to_string((n + 500) / 1000);
+}
+
+}  // namespace bench
+}  // namespace xrtree

@@ -1,0 +1,91 @@
+#ifndef XRTREE_BENCH_BENCH_COMMON_H_
+#define XRTREE_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "join/element_source.h"
+#include "join/join_types.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "workload/datasets.h"
+#include "workload/selectivity.h"
+
+namespace xrtree {
+namespace bench {
+
+/// Environment-tunable benchmark parameters.
+///
+///   XR_SCALE           target generated elements per dataset (default 300000;
+///                      the paper's 90 MB documents held ~1.5M — set
+///                      XR_SCALE=1500000 to match)
+///   XR_BUFFER_PAGES    buffer pool size in pages (default 100, §6.1)
+///   XR_MISS_LATENCY_US modelled per-page-miss latency for the derived
+///                      elapsed time (default 5000 us ≈ one 2002-era disk
+///                      access; measured wall time is reported separately)
+struct BenchEnv {
+  uint64_t scale = 300000;
+  uint64_t buffer_pages = 100;
+  uint64_t miss_latency_us = 5000;
+};
+
+BenchEnv GetBenchEnv();
+
+/// A scratch on-disk database deleted on destruction.
+class BenchDb {
+ public:
+  explicit BenchDb(size_t pool_pages);
+  ~BenchDb();
+  BufferPool* pool() { return pool_.get(); }
+  DiskManager* disk() { return &disk_; }
+
+  /// Drops the current pool (flushing) and attaches a fresh, cold one of
+  /// `pool_pages` frames over the same file.
+  void SwapPool(size_t pool_pages);
+
+ private:
+  std::string path_;
+  DiskManager disk_;
+  std::unique_ptr<BufferPool> pool_;
+};
+
+enum class Algo { kNoIndex, kBPlus, kXrStack };
+
+const char* AlgoName(Algo algo);
+
+/// One algorithm execution over one workload.
+struct RunResult {
+  Algo algo;
+  uint64_t scanned = 0;
+  uint64_t pairs = 0;
+  uint64_t page_misses = 0;
+  uint64_t disk_reads = 0;
+  double wall_seconds = 0;
+  double modeled_seconds = 0;  ///< page_misses * XR_MISS_LATENCY_US
+};
+
+/// Builds the three storage representations of both element sets in a fresh
+/// database with `pool_pages` frames, runs the requested algorithms
+/// (count-only), and reports per-run I/O deltas. The pool is flushed and the
+/// counters reset before each run so algorithms see identical cold-ish
+/// state.
+std::vector<RunResult> RunJoins(const ElementList& ancestors,
+                                const ElementList& descendants,
+                                size_t pool_pages, uint64_t miss_latency_us,
+                                bool parent_child = false);
+
+/// Loads (and memoizes on disk of the process lifetime) the two evaluation
+/// datasets at the environment scale.
+const Dataset& DepartmentDataset();
+const Dataset& ConferenceDataset();
+
+/// Pretty printing helpers.
+void PrintHeader(const std::string& title);
+std::string Thousands(uint64_t n);  ///< "1609" style thousands-of-elements
+
+}  // namespace bench
+}  // namespace xrtree
+
+#endif  // XRTREE_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,46 @@
+// Reproduces Fig. 8(c)(d): elapsed time for varying join selectivity on
+// descendants, 99% of ancestors joining (§6.3).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace xrtree {
+namespace bench {
+namespace {
+
+void RunFigure(const Dataset& ds, const char* label) {
+  BenchEnv env = GetBenchEnv();
+  PrintHeader(std::string("Fig 8(") + label + ") " + ds.name +
+              ": elapsed time vs descendant selectivity (join-A = 99%)");
+  std::printf("%8s | %21s | %21s | %21s\n", "", "no-index", "B+", "XR-stack");
+  std::printf("%8s | %8s %12s | %8s %12s | %8s %12s\n", "Join-D", "misses",
+              "modeled(s)", "misses", "modeled(s)", "misses", "modeled(s)");
+  for (double sel : {0.90, 0.70, 0.55, 0.40, 0.25, 0.15, 0.05, 0.01}) {
+    DerivedWorkload w =
+        MakeDescendantSelectivity(ds.ancestors, ds.descendants, sel, 0.99);
+    auto r = RunJoins(w.ancestors, w.descendants, env.buffer_pages,
+                      env.miss_latency_us);
+    std::printf("%7.0f%% | %8llu %12.2f | %8llu %12.2f | %8llu %12.2f\n",
+                sel * 100, (unsigned long long)r[0].page_misses,
+                r[0].modeled_seconds, (unsigned long long)r[1].page_misses,
+                r[1].modeled_seconds, (unsigned long long)r[2].page_misses,
+                r[2].modeled_seconds);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace xrtree
+
+int main() {
+  using namespace xrtree::bench;
+  BenchEnv env = GetBenchEnv();
+  std::printf("scale=%llu, buffer=%llu pages, modeled miss latency=%llu us\n",
+              (unsigned long long)env.scale,
+              (unsigned long long)env.buffer_pages,
+              (unsigned long long)env.miss_latency_us);
+  RunFigure(DepartmentDataset(), "c");
+  RunFigure(ConferenceDataset(), "d");
+  return 0;
+}

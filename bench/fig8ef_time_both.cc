@@ -1,0 +1,51 @@
+// Reproduces Fig. 8(e)(f): elapsed time when the join selectivity of BOTH
+// element sets varies together with sizes held constant (§6.4). This is the
+// experiment that best separates the three algorithms: no-index can skip
+// nothing, B+ skips descendants only, XR-stack skips both sides.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace xrtree {
+namespace bench {
+namespace {
+
+void RunFigure(const Dataset& ds, const char* label) {
+  BenchEnv env = GetBenchEnv();
+  PrintHeader(std::string("Fig 8(") + label + ") " + ds.name +
+              ": elapsed time vs joint selectivity (sizes constant)");
+  std::printf("%8s | %21s | %21s | %21s | %10s\n", "", "no-index", "B+",
+              "XR-stack", "");
+  std::printf("%8s | %8s %12s | %8s %12s | %8s %12s | %10s\n", "Joined",
+              "misses", "modeled(s)", "misses", "modeled(s)", "misses",
+              "modeled(s)", "(achieved)");
+  for (double sel : {0.90, 0.70, 0.55, 0.40, 0.25, 0.15, 0.05, 0.01}) {
+    DerivedWorkload w = MakeBothSelectivity(ds.ancestors, ds.descendants, sel);
+    auto r = RunJoins(w.ancestors, w.descendants, env.buffer_pages,
+                      env.miss_latency_us);
+    std::printf(
+        "%7.0f%% | %8llu %12.2f | %8llu %12.2f | %8llu %12.2f | a=%.2f "
+        "d=%.2f\n",
+        sel * 100, (unsigned long long)r[0].page_misses, r[0].modeled_seconds,
+        (unsigned long long)r[1].page_misses, r[1].modeled_seconds,
+        (unsigned long long)r[2].page_misses, r[2].modeled_seconds,
+        w.achieved.join_a, w.achieved.join_d);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace xrtree
+
+int main() {
+  using namespace xrtree::bench;
+  BenchEnv env = GetBenchEnv();
+  std::printf("scale=%llu, buffer=%llu pages, modeled miss latency=%llu us\n",
+              (unsigned long long)env.scale,
+              (unsigned long long)env.buffer_pages,
+              (unsigned long long)env.miss_latency_us);
+  RunFigure(DepartmentDataset(), "e");
+  RunFigure(ConferenceDataset(), "f");
+  return 0;
+}

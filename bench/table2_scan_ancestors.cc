@@ -1,0 +1,48 @@
+// Reproduces Table 2: number of elements scanned (in thousands) when 99% of
+// descendants join with a varying proportion of ancestors (§6.2).
+//
+// Columns per the paper: NIDX (Stack-Tree-Desc), B+ (Anc_Des_B+) and XR
+// (XR-stack), over (a) employee//name — highly nested — and (b)
+// paper//author — less nested.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace xrtree {
+namespace bench {
+namespace {
+
+void RunTable(const Dataset& ds, const char* label) {
+  BenchEnv env = GetBenchEnv();
+  PrintHeader(std::string("Table 2(") + label + ") " + ds.name +
+              ": elements scanned (thousands), join-D held at 99%");
+  std::printf("%8s %12s %8s %8s %8s %10s\n", "Join-A", "|D'|", "NIDX", "B+",
+              "XR", "(achieved)");
+  for (double sel : {0.90, 0.70, 0.55, 0.40, 0.25, 0.15, 0.05, 0.01}) {
+    DerivedWorkload w =
+        MakeAncestorSelectivity(ds.ancestors, ds.descendants, sel, 0.99);
+    auto results = RunJoins(w.ancestors, w.descendants, env.buffer_pages,
+                            env.miss_latency_us);
+    std::printf("%7.0f%% %12zu %8s %8s %8s   a=%.2f d=%.2f\n", sel * 100,
+                w.descendants.size(), Thousands(results[0].scanned).c_str(),
+                Thousands(results[1].scanned).c_str(),
+                Thousands(results[2].scanned).c_str(), w.achieved.join_a,
+                w.achieved.join_d);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace xrtree
+
+int main() {
+  using namespace xrtree::bench;
+  BenchEnv env = GetBenchEnv();
+  std::printf("scale=%llu elements/dataset, buffer=%llu pages\n",
+              (unsigned long long)env.scale,
+              (unsigned long long)env.buffer_pages);
+  RunTable(DepartmentDataset(), "a");
+  RunTable(ConferenceDataset(), "b");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Validates the §4 update-cost analysis (Theorems 1-2): amortized XR-tree
+// insertion and deletion cost O(log_F N + C_DP) — i.e., B+-tree cost plus a
+// small constant for stab-list displacement. We measure physical page I/O
+// (reads + writes) per operation for both index types as N grows.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/random.h"
+#include "btree/btree.h"
+#include "xrtree/xrtree.h"
+
+namespace xrtree {
+namespace bench {
+namespace {
+
+struct Cost {
+  double insert_io;
+  double delete_io;
+};
+
+template <typename Tree>
+Cost MeasureTree(const ElementList& elems, size_t pool_pages) {
+  BenchDb db(pool_pages);
+  Tree tree(db.pool());
+  db.pool()->ResetStats();
+  for (const Element& e : elems) XR_CHECK_OK(tree.Insert(e));
+  IoStats after_insert = db.pool()->stats();
+  Cost c;
+  c.insert_io =
+      static_cast<double>(after_insert.disk_reads + after_insert.disk_writes) /
+      elems.size();
+  db.pool()->ResetStats();
+  // Delete a random-ish half (every other element).
+  uint64_t deleted = 0;
+  for (size_t i = 0; i < elems.size(); i += 2) {
+    XR_CHECK_OK(tree.Delete(elems[i].start));
+    ++deleted;
+  }
+  IoStats after_delete = db.pool()->stats();
+  c.delete_io =
+      static_cast<double>(after_delete.disk_reads + after_delete.disk_writes) /
+      deleted;
+  return c;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace xrtree
+
+int main() {
+  using namespace xrtree;
+  using namespace xrtree::bench;
+  BenchEnv env = GetBenchEnv();
+  PrintHeader("Update cost (Theorems 1-2): physical I/Os per operation");
+  std::printf("%10s | %12s %12s | %12s %12s | %9s\n", "N", "B+ insert",
+              "B+ delete", "XR insert", "XR delete", "XR/B+ ins");
+
+  const Dataset& ds = DepartmentDataset();
+  for (uint64_t n : std::vector<uint64_t>{
+           5000, 20000, 80000,
+           std::min<uint64_t>(ds.ancestors.size(), 320000)}) {
+    if (n > ds.ancestors.size()) break;
+    ElementList elems(ds.ancestors.begin(), ds.ancestors.begin() + n);
+    // Shuffle so inserts are not append-only (worst case for splits).
+    Random rng(n);
+    for (size_t i = elems.size(); i > 1; --i) {
+      std::swap(elems[i - 1], elems[rng.Uniform(i)]);
+    }
+    Cost bt = MeasureTree<BTree>(elems, env.buffer_pages);
+    Cost xr = MeasureTree<XrTree>(elems, env.buffer_pages);
+    std::printf("%10llu | %12.2f %12.2f | %12.2f %12.2f | %8.2fx\n",
+                (unsigned long long)n, bt.insert_io, bt.delete_io,
+                xr.insert_io, xr.delete_io,
+                xr.insert_io / (bt.insert_io > 0 ? bt.insert_io : 1));
+  }
+  std::printf(
+      "\npaper's claim: XR update cost = B+ cost + amortized C_DP (a few "
+      "I/Os)\n");
+  return 0;
+}

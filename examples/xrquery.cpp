@@ -1,0 +1,188 @@
+// xrquery — a small command-line tool over the whole stack: load an XML
+// file (or generate a dataset), persist indexed element sets in a database
+// file via the catalog, and evaluate path expressions with cascaded
+// XR-stack joins.
+//
+//   xrquery load  <db> <file.xml>             parse + index every tag
+//   xrquery gen   <db> <department|conference|xmark> <elements>
+//   xrquery tags  <db>                        list indexed element sets
+//   xrquery query <db> <path-expression>      e.g. "//employee//name"
+//   xrquery anc   <db> <tag> <position>       FindAncestors demo
+//
+// The database persists across invocations: `load`/`gen` once, `query`
+// many times.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "join/element_source.h"
+#include "join/xr_stack.h"
+#include "query/path_query.h"
+#include "storage/buffer_pool.h"
+#include "storage/catalog.h"
+#include "storage/disk_manager.h"
+#include "xml/corpus.h"
+#include "xml/dtd.h"
+#include "xml/generator.h"
+#include "xml/parser.h"
+#include "xrtree/xrtree.h"
+
+namespace {
+
+using namespace xrtree;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  xrquery load  <db> <file.xml>\n"
+               "  xrquery gen   <db> <department|conference|xmark> <n>\n"
+               "  xrquery tags  <db>\n"
+               "  xrquery query <db> <path-expression>\n"
+               "  xrquery anc   <db> <tag> <position>\n");
+  return 1;
+}
+
+/// Indexes every tag of `doc` into the database and registers it.
+Status IndexDocument(BufferPool* pool, Document doc) {
+  Corpus corpus;
+  corpus.AddDocument(std::move(doc));
+  Catalog catalog(pool);
+  XR_RETURN_IF_ERROR(catalog.Load());
+  const Document& d = corpus.document(0);
+  for (TagId t = 0; t < d.num_tags(); ++t) {
+    ElementList elements = corpus.ElementsWithTag(d.TagName(t));
+    StoredElementSet set(pool, d.TagName(t));
+    XR_RETURN_IF_ERROR(set.Build(elements));
+    XR_RETURN_IF_ERROR(set.Register(&catalog));
+    std::printf("  indexed %-20s %10zu elements\n", d.TagName(t).c_str(),
+                elements.size());
+  }
+  XR_RETURN_IF_ERROR(catalog.Save());
+  return pool->FlushAll();
+}
+
+/// Evaluates a path expression against the persisted element sets.
+Status RunQuery(BufferPool* pool, const std::string& text) {
+  Catalog catalog(pool);
+  XR_RETURN_IF_ERROR(catalog.Load());
+  XR_ASSIGN_OR_RETURN(PathQuery query, PathQuery::Parse(text));
+
+  // First step: the whole element set of the leading tag.
+  auto open_set = [&](const std::string& tag) {
+    return StoredElementSet::Open(pool, catalog, tag);
+  };
+  XR_ASSIGN_OR_RETURN(StoredElementSet first,
+                      open_set(query.steps()[0].tag));
+  XR_ASSIGN_OR_RETURN(ElementList context, first.file().ReadAll());
+  if (query.steps()[0].axis == Axis::kChild) {
+    ElementList roots;
+    for (const Element& e : context) {
+      if (e.level == 0) roots.push_back(e);
+    }
+    context = std::move(roots);
+  }
+
+  uint64_t scanned = 0;
+  for (size_t i = 1; i < query.steps().size(); ++i) {
+    if (context.empty()) break;
+    XrTree context_index(pool);
+    XR_RETURN_IF_ERROR(context_index.BulkLoad(context));
+    XR_ASSIGN_OR_RETURN(StoredElementSet step_set,
+                        open_set(query.steps()[i].tag));
+    JoinOptions options;
+    options.parent_child = (query.steps()[i].axis == Axis::kChild);
+    XR_ASSIGN_OR_RETURN(
+        JoinOutput join,
+        XrStackJoin(context_index, step_set.xrtree(), options));
+    scanned += join.stats.elements_scanned;
+    ElementList next;
+    Position last = kNilPosition;
+    std::sort(join.pairs.begin(), join.pairs.end(),
+              [](const JoinPair& a, const JoinPair& b) {
+                return a.descendant.start < b.descendant.start;
+              });
+    for (const JoinPair& p : join.pairs) {
+      if (p.descendant.start != last) {
+        next.push_back(p.descendant);
+        last = p.descendant.start;
+      }
+    }
+    context = std::move(next);
+  }
+  std::printf("%s -> %zu matches (%llu elements scanned)\n", text.c_str(),
+              context.size(), (unsigned long long)scanned);
+  for (size_t i = 0; i < context.size() && i < 10; ++i) {
+    std::printf("  %s\n", context[i].ToString().c_str());
+  }
+  if (context.size() > 10) {
+    std::printf("  ... %zu more\n", context.size() - 10);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  std::string cmd = argv[1];
+  std::string db_path = argv[2];
+
+  DiskManager disk;
+  XR_CHECK_OK(disk.Open(db_path));
+  BufferPool pool(&disk, 4096);
+
+  if (cmd == "load" && argc == 4) {
+    auto doc = XmlParser::ParseFile(argv[3]);
+    XR_CHECK_OK(doc.status());
+    std::printf("parsed %zu elements from %s\n", doc->size(), argv[3]);
+    XR_CHECK_OK(IndexDocument(&pool, std::move(doc).value()));
+    return 0;
+  }
+  if (cmd == "gen" && argc == 5) {
+    std::string which = argv[3];
+    Dtd dtd = which == "conference"  ? Dtd::Conference()
+              : which == "xmark"     ? Dtd::XMark()
+                                     : Dtd::Department();
+    GeneratorOptions options;
+    options.target_elements = std::strtoull(argv[4], nullptr, 10);
+    auto doc = Generator::Generate(dtd, options);
+    XR_CHECK_OK(doc.status());
+    std::printf("generated %zu elements (%s DTD)\n", doc->size(),
+                which.c_str());
+    XR_CHECK_OK(IndexDocument(&pool, std::move(doc).value()));
+    return 0;
+  }
+  if (cmd == "tags" && argc == 3) {
+    Catalog catalog(&pool);
+    XR_CHECK_OK(catalog.Load());
+    std::printf("%-20s %12s\n", "tag", "elements");
+    for (const CatalogEntry& e : catalog.entries()) {
+      std::printf("%-20s %12llu\n", e.name.c_str(),
+                  (unsigned long long)e.element_count);
+    }
+    return 0;
+  }
+  if (cmd == "query" && argc == 4) {
+    XR_CHECK_OK(RunQuery(&pool, argv[3]));
+    return 0;
+  }
+  if (cmd == "anc" && argc == 5) {
+    Catalog catalog(&pool);
+    XR_CHECK_OK(catalog.Load());
+    auto set = StoredElementSet::Open(&pool, catalog, argv[3]);
+    XR_CHECK_OK(set.status());
+    Position sd = static_cast<Position>(std::strtoul(argv[4], nullptr, 10));
+    uint64_t scanned = 0;
+    auto anc = set->xrtree().FindAncestors(sd, &scanned);
+    XR_CHECK_OK(anc.status());
+    std::printf("%zu ancestors of position %u in '%s' (%llu elements "
+                "scanned):\n",
+                anc->size(), sd, argv[3], (unsigned long long)scanned);
+    for (const Element& e : *anc) std::printf("  %s\n", e.ToString().c_str());
+    return 0;
+  }
+  return Usage();
+}

@@ -1,0 +1,798 @@
+#include "btree/btree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "btree/btree_iterator.h"
+
+namespace xrtree {
+
+namespace {
+
+/// First slot in a sorted leaf whose start >= key.
+uint32_t LeafLowerBound(const Page* page, Position key) {
+  const Element* slots = LeafSlots(page);
+  uint32_t n = BTreeHeader(page)->count;
+  uint32_t lo = 0, hi = n;
+  while (lo < hi) {
+    uint32_t mid = (lo + hi) / 2;
+    if (slots[mid].start < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+/// Child slot to descend into for `key`: 0 for the leftmost child, i+1 for
+/// the child right of keys[i] (largest keys[i] <= key).
+uint32_t InternalChildSlot(const Page* page, Position key) {
+  const BTreeInternalEntry* slots = InternalSlots(page);
+  uint32_t n = BTreeHeader(page)->count;
+  uint32_t lo = 0, hi = n;
+  while (lo < hi) {  // first slot with keys[slot] > key
+    uint32_t mid = (lo + hi) / 2;
+    if (slots[mid].key <= key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;  // descend into child index lo
+}
+
+PageId ChildAt(const Page* page, uint32_t child_slot) {
+  return child_slot == 0 ? BTreeHeader(page)->leftmost
+                         : InternalSlots(page)[child_slot - 1].child;
+}
+
+}  // namespace
+
+BTree::BTree(BufferPool* pool, PageId root, const BTreeOptions& options)
+    : pool_(pool), root_(root) {
+  leaf_cap_ = options.leaf_capacity == 0
+                  ? static_cast<uint32_t>(kBTreeLeafMaxEntries)
+                  : std::min<uint32_t>(options.leaf_capacity,
+                                       kBTreeLeafMaxEntries);
+  internal_cap_ = options.internal_capacity == 0
+                      ? static_cast<uint32_t>(kBTreeInternalMaxEntries)
+                      : std::min<uint32_t>(options.internal_capacity,
+                                           kBTreeInternalMaxEntries);
+  assert(leaf_cap_ >= 2 && internal_cap_ >= 2);
+}
+
+Status BTree::InitRootLeaf() {
+  XR_ASSIGN_OR_RETURN(Page * raw, pool_->NewPage());
+  PageGuard page(pool_, raw);
+  page.MarkDirty();
+  auto* hdr = BTreeHeader(raw);
+  hdr->magic = kBTreeLeafMagic;
+  hdr->is_leaf = 1;
+  hdr->count = 0;
+  hdr->next = kInvalidPageId;
+  hdr->prev = kInvalidPageId;
+  hdr->leftmost = kInvalidPageId;
+  root_ = raw->page_id();
+  return Status::Ok();
+}
+
+Result<PageId> BTree::FindLeaf(Position key,
+                               std::vector<PathEntry>* path) const {
+  if (root_ == kInvalidPageId) return Status::NotFound("empty tree");
+  PageId cur = root_;
+  while (true) {
+    XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(cur));
+    PageGuard page(pool_, raw);
+    const auto* hdr = BTreeHeader(raw);
+    if (hdr->is_leaf) {
+      if (path) path->push_back({cur, 0});
+      return cur;
+    }
+    uint32_t slot = InternalChildSlot(raw, key);
+    if (path) path->push_back({cur, slot});
+    cur = ChildAt(raw, slot);
+  }
+}
+
+Status BTree::Insert(const Element& element) {
+  if (root_ == kInvalidPageId) XR_RETURN_IF_ERROR(InitRootLeaf());
+
+  std::vector<PathEntry> path;
+  XR_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(element.start, &path));
+  XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(leaf_id));
+  PageGuard leaf(pool_, raw);
+  auto* hdr = BTreeHeader(raw);
+  Element* slots = LeafSlots(raw);
+  uint32_t at = LeafLowerBound(raw, element.start);
+  if (at < hdr->count && slots[at].start == element.start) {
+    return Status::InvalidArgument("duplicate key " +
+                                   std::to_string(element.start));
+  }
+
+  if (hdr->count < leaf_cap_) {
+    std::memmove(slots + at + 1, slots + at,
+                 (hdr->count - at) * sizeof(Element));
+    slots[at] = element;
+    ++hdr->count;
+    leaf.MarkDirty();
+    ++size_;
+    return Status::Ok();
+  }
+
+  // Leaf is full: split. Assemble the overflowing sequence, then divide.
+  std::vector<Element> all(slots, slots + hdr->count);
+  all.insert(all.begin() + at, element);
+  uint32_t left_n = static_cast<uint32_t>(all.size() / 2);
+
+  XR_ASSIGN_OR_RETURN(Page * rraw, pool_->NewPage());
+  PageGuard right(pool_, rraw);
+  right.MarkDirty();
+  auto* rhdr = BTreeHeader(rraw);
+  rhdr->magic = kBTreeLeafMagic;
+  rhdr->is_leaf = 1;
+  rhdr->count = static_cast<uint32_t>(all.size()) - left_n;
+  rhdr->next = hdr->next;
+  rhdr->prev = leaf_id;
+  rhdr->leftmost = kInvalidPageId;
+  std::memcpy(LeafSlots(rraw), all.data() + left_n,
+              rhdr->count * sizeof(Element));
+
+  hdr->count = left_n;
+  std::memcpy(slots, all.data(), left_n * sizeof(Element));
+  PageId old_next = rhdr->next;
+  hdr->next = rraw->page_id();
+  leaf.MarkDirty();
+
+  if (old_next != kInvalidPageId) {
+    XR_ASSIGN_OR_RETURN(Page * nraw, pool_->FetchPage(old_next));
+    PageGuard next(pool_, nraw);
+    BTreeHeader(nraw)->prev = rraw->page_id();
+    next.MarkDirty();
+  }
+
+  Position sep = LeafSlots(rraw)[0].start;
+  PageId right_id = rraw->page_id();
+  leaf.Release();
+  right.Release();
+  path.pop_back();  // drop the leaf from the path
+  XR_RETURN_IF_ERROR(InsertIntoParent(path, sep, right_id));
+  ++size_;
+  return Status::Ok();
+}
+
+Status BTree::InsertIntoParent(std::vector<PathEntry>& path, Position sep_key,
+                               PageId right_child) {
+  if (path.empty()) {
+    // Split reached the root: grow the tree.
+    PageId old_root = root_;
+    XR_ASSIGN_OR_RETURN(Page * raw, pool_->NewPage());
+    PageGuard page(pool_, raw);
+    page.MarkDirty();
+    auto* hdr = BTreeHeader(raw);
+    hdr->magic = kBTreeInternalMagic;
+    hdr->is_leaf = 0;
+    hdr->count = 1;
+    hdr->next = kInvalidPageId;
+    hdr->prev = kInvalidPageId;
+    hdr->leftmost = old_root;
+    InternalSlots(raw)[0] = {sep_key, right_child};
+    root_ = raw->page_id();
+    return Status::Ok();
+  }
+
+  PathEntry entry = path.back();
+  path.pop_back();
+  XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(entry.page));
+  PageGuard node(pool_, raw);
+  auto* hdr = BTreeHeader(raw);
+  BTreeInternalEntry* slots = InternalSlots(raw);
+  // The new key slots in right after the child slot we descended through.
+  uint32_t at = entry.slot;
+
+  if (hdr->count < internal_cap_) {
+    std::memmove(slots + at + 1, slots + at,
+                 (hdr->count - at) * sizeof(BTreeInternalEntry));
+    slots[at] = {sep_key, right_child};
+    ++hdr->count;
+    node.MarkDirty();
+    return Status::Ok();
+  }
+
+  // Split the internal node: middle key moves up.
+  std::vector<BTreeInternalEntry> all(slots, slots + hdr->count);
+  all.insert(all.begin() + at, {sep_key, right_child});
+  uint32_t mid = static_cast<uint32_t>(all.size() / 2);
+  Position promote = all[mid].key;
+
+  XR_ASSIGN_OR_RETURN(Page * rraw, pool_->NewPage());
+  PageGuard right(pool_, rraw);
+  right.MarkDirty();
+  auto* rhdr = BTreeHeader(rraw);
+  rhdr->magic = kBTreeInternalMagic;
+  rhdr->is_leaf = 0;
+  rhdr->count = static_cast<uint32_t>(all.size()) - mid - 1;
+  rhdr->next = kInvalidPageId;
+  rhdr->prev = kInvalidPageId;
+  rhdr->leftmost = all[mid].child;
+  std::memcpy(InternalSlots(rraw), all.data() + mid + 1,
+              rhdr->count * sizeof(BTreeInternalEntry));
+
+  hdr->count = mid;
+  std::memcpy(slots, all.data(), mid * sizeof(BTreeInternalEntry));
+  node.MarkDirty();
+
+  PageId right_id = rraw->page_id();
+  node.Release();
+  right.Release();
+  return InsertIntoParent(path, promote, right_id);
+}
+
+Status BTree::Delete(Position key) {
+  if (root_ == kInvalidPageId) return Status::NotFound("empty tree");
+  std::vector<PathEntry> path;
+  XR_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(key, &path));
+  XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(leaf_id));
+  PageGuard leaf(pool_, raw);
+  auto* hdr = BTreeHeader(raw);
+  Element* slots = LeafSlots(raw);
+  uint32_t at = LeafLowerBound(raw, key);
+  if (at >= hdr->count || slots[at].start != key) {
+    return Status::NotFound("key " + std::to_string(key));
+  }
+  std::memmove(slots + at, slots + at + 1,
+               (hdr->count - at - 1) * sizeof(Element));
+  --hdr->count;
+  leaf.MarkDirty();
+  --size_;
+
+  uint32_t min_fill = leaf_cap_ / 2;
+  bool is_root_leaf = (leaf_id == root_);
+  bool underflow = !is_root_leaf && hdr->count < min_fill;
+  leaf.Release();
+  if (!underflow) return Status::Ok();
+  return HandleLeafUnderflow(path);
+}
+
+Status BTree::HandleLeafUnderflow(std::vector<PathEntry>& path) {
+  // path.back() is the leaf, path[size-2] its parent.
+  assert(path.size() >= 2);
+  PathEntry leaf_entry = path.back();
+  PathEntry parent_entry = path[path.size() - 2];
+  // Path convention: an entry's slot is the child slot taken FROM that
+  // node, so the leaf's position within its parent lives on the parent's
+  // entry.
+  uint32_t child_slot = parent_entry.slot;
+
+  XR_ASSIGN_OR_RETURN(Page * praw, pool_->FetchPage(parent_entry.page));
+  PageGuard parent(pool_, praw);
+  auto* phdr = BTreeHeader(praw);
+  BTreeInternalEntry* pslots = InternalSlots(praw);
+
+  XR_ASSIGN_OR_RETURN(Page * lraw, pool_->FetchPage(leaf_entry.page));
+  PageGuard leaf(pool_, lraw);
+  auto* lhdr = BTreeHeader(lraw);
+  uint32_t min_fill = leaf_cap_ / 2;
+
+  // Try to redistribute from the left sibling, then the right sibling.
+  if (child_slot > 0) {
+    PageId sib_id = ChildAt(praw, child_slot - 1);
+    XR_ASSIGN_OR_RETURN(Page * sraw, pool_->FetchPage(sib_id));
+    PageGuard sib(pool_, sraw);
+    auto* shdr = BTreeHeader(sraw);
+    if (shdr->count > min_fill) {
+      // Move the tail entry of the left sibling to the front of the leaf.
+      Element* lslots = LeafSlots(lraw);
+      Element* sslots = LeafSlots(sraw);
+      std::memmove(lslots + 1, lslots, lhdr->count * sizeof(Element));
+      lslots[0] = sslots[shdr->count - 1];
+      ++lhdr->count;
+      --shdr->count;
+      pslots[child_slot - 1].key = lslots[0].start;
+      leaf.MarkDirty();
+      sib.MarkDirty();
+      parent.MarkDirty();
+      return Status::Ok();
+    }
+  }
+  if (child_slot < phdr->count) {
+    PageId sib_id = ChildAt(praw, child_slot + 1);
+    XR_ASSIGN_OR_RETURN(Page * sraw, pool_->FetchPage(sib_id));
+    PageGuard sib(pool_, sraw);
+    auto* shdr = BTreeHeader(sraw);
+    if (shdr->count > min_fill) {
+      // Move the head entry of the right sibling to the tail of the leaf.
+      Element* lslots = LeafSlots(lraw);
+      Element* sslots = LeafSlots(sraw);
+      lslots[lhdr->count] = sslots[0];
+      ++lhdr->count;
+      std::memmove(sslots, sslots + 1, (shdr->count - 1) * sizeof(Element));
+      --shdr->count;
+      pslots[child_slot].key = sslots[0].start;
+      leaf.MarkDirty();
+      sib.MarkDirty();
+      parent.MarkDirty();
+      return Status::Ok();
+    }
+  }
+
+  // Merge. Prefer merging into the left sibling; otherwise pull the right
+  // sibling into this leaf. Either way one parent entry disappears.
+  uint32_t removed_slot;  // key slot removed from the parent
+  if (child_slot > 0) {
+    PageId sib_id = ChildAt(praw, child_slot - 1);
+    XR_ASSIGN_OR_RETURN(Page * sraw, pool_->FetchPage(sib_id));
+    PageGuard sib(pool_, sraw);
+    auto* shdr = BTreeHeader(sraw);
+    std::memcpy(LeafSlots(sraw) + shdr->count, LeafSlots(lraw),
+                lhdr->count * sizeof(Element));
+    shdr->count += lhdr->count;
+    shdr->next = lhdr->next;
+    if (lhdr->next != kInvalidPageId) {
+      XR_ASSIGN_OR_RETURN(Page * nraw, pool_->FetchPage(lhdr->next));
+      PageGuard next(pool_, nraw);
+      BTreeHeader(nraw)->prev = sib_id;
+      next.MarkDirty();
+    }
+    sib.MarkDirty();
+    removed_slot = child_slot - 1;  // separator between sib and leaf
+    PageId dead = leaf_entry.page;
+    leaf.Release();
+    pool_->DiscardPage(dead).ok();
+  } else {
+    PageId sib_id = ChildAt(praw, child_slot + 1);
+    XR_ASSIGN_OR_RETURN(Page * sraw, pool_->FetchPage(sib_id));
+    PageGuard sib(pool_, sraw);
+    auto* shdr = BTreeHeader(sraw);
+    std::memcpy(LeafSlots(lraw) + lhdr->count, LeafSlots(sraw),
+                shdr->count * sizeof(Element));
+    lhdr->count += shdr->count;
+    lhdr->next = shdr->next;
+    if (shdr->next != kInvalidPageId) {
+      XR_ASSIGN_OR_RETURN(Page * nraw, pool_->FetchPage(shdr->next));
+      PageGuard next(pool_, nraw);
+      BTreeHeader(nraw)->prev = leaf_entry.page;
+      next.MarkDirty();
+    }
+    leaf.MarkDirty();
+    removed_slot = child_slot;  // separator between leaf and sib
+    PageId dead = sib_id;
+    sib.Release();
+    pool_->DiscardPage(dead).ok();
+  }
+
+  // Remove the separator key (and the right-hand child pointer) from the
+  // parent.
+  std::memmove(pslots + removed_slot, pslots + removed_slot + 1,
+               (phdr->count - removed_slot - 1) * sizeof(BTreeInternalEntry));
+  --phdr->count;
+  parent.MarkDirty();
+
+  bool parent_is_root = (parent_entry.page == root_);
+  if (parent_is_root && phdr->count == 0) {
+    // Root became empty: its single child is the new root.
+    root_ = phdr->leftmost;
+    PageId dead = parent_entry.page;
+    parent.Release();
+    pool_->DiscardPage(dead).ok();
+    return Status::Ok();
+  }
+  uint32_t imin = internal_cap_ / 2;
+  bool underflow = !parent_is_root && phdr->count < imin;
+  parent.Release();
+  if (!underflow) return Status::Ok();
+  path.pop_back();  // leaf
+  return HandleInternalUnderflow(path, path.size() - 1);
+}
+
+Status BTree::HandleInternalUnderflow(std::vector<PathEntry>& path,
+                                      size_t depth) {
+  // path[depth] is the underflowing internal node; path[depth-1] its parent.
+  assert(depth >= 1);
+  PathEntry node_entry = path[depth];
+  PathEntry parent_entry = path[depth - 1];
+  uint32_t child_slot = parent_entry.slot;
+
+  XR_ASSIGN_OR_RETURN(Page * praw, pool_->FetchPage(parent_entry.page));
+  PageGuard parent(pool_, praw);
+  auto* phdr = BTreeHeader(praw);
+  BTreeInternalEntry* pslots = InternalSlots(praw);
+
+  XR_ASSIGN_OR_RETURN(Page * nraw, pool_->FetchPage(node_entry.page));
+  PageGuard node(pool_, nraw);
+  auto* nhdr = BTreeHeader(nraw);
+  BTreeInternalEntry* nslots = InternalSlots(nraw);
+  uint32_t imin = internal_cap_ / 2;
+
+  if (child_slot > 0) {
+    PageId sib_id = ChildAt(praw, child_slot - 1);
+    XR_ASSIGN_OR_RETURN(Page * sraw, pool_->FetchPage(sib_id));
+    PageGuard sib(pool_, sraw);
+    auto* shdr = BTreeHeader(sraw);
+    BTreeInternalEntry* sslots = InternalSlots(sraw);
+    if (shdr->count > imin) {
+      // Rotate right through the parent: parent separator comes down in
+      // front of node; sibling's last key goes up.
+      Position sep = pslots[child_slot - 1].key;
+      std::memmove(nslots + 1, nslots,
+                   nhdr->count * sizeof(BTreeInternalEntry));
+      nslots[0] = {sep, nhdr->leftmost};
+      nhdr->leftmost = sslots[shdr->count - 1].child;
+      ++nhdr->count;
+      pslots[child_slot - 1].key = sslots[shdr->count - 1].key;
+      --shdr->count;
+      node.MarkDirty();
+      sib.MarkDirty();
+      parent.MarkDirty();
+      return Status::Ok();
+    }
+  }
+  if (child_slot < phdr->count) {
+    PageId sib_id = ChildAt(praw, child_slot + 1);
+    XR_ASSIGN_OR_RETURN(Page * sraw, pool_->FetchPage(sib_id));
+    PageGuard sib(pool_, sraw);
+    auto* shdr = BTreeHeader(sraw);
+    BTreeInternalEntry* sslots = InternalSlots(sraw);
+    if (shdr->count > imin) {
+      // Rotate left through the parent.
+      Position sep = pslots[child_slot].key;
+      nslots[nhdr->count] = {sep, shdr->leftmost};
+      ++nhdr->count;
+      pslots[child_slot].key = sslots[0].key;
+      shdr->leftmost = sslots[0].child;
+      std::memmove(sslots, sslots + 1,
+                   (shdr->count - 1) * sizeof(BTreeInternalEntry));
+      --shdr->count;
+      node.MarkDirty();
+      sib.MarkDirty();
+      parent.MarkDirty();
+      return Status::Ok();
+    }
+  }
+
+  // Merge: the parent separator comes down between the two nodes.
+  uint32_t removed_slot;
+  if (child_slot > 0) {
+    PageId sib_id = ChildAt(praw, child_slot - 1);
+    XR_ASSIGN_OR_RETURN(Page * sraw, pool_->FetchPage(sib_id));
+    PageGuard sib(pool_, sraw);
+    auto* shdr = BTreeHeader(sraw);
+    BTreeInternalEntry* sslots = InternalSlots(sraw);
+    Position sep = pslots[child_slot - 1].key;
+    sslots[shdr->count] = {sep, nhdr->leftmost};
+    ++shdr->count;
+    std::memcpy(sslots + shdr->count, nslots,
+                nhdr->count * sizeof(BTreeInternalEntry));
+    shdr->count += nhdr->count;
+    sib.MarkDirty();
+    removed_slot = child_slot - 1;
+    PageId dead = node_entry.page;
+    node.Release();
+    pool_->DiscardPage(dead).ok();
+  } else {
+    PageId sib_id = ChildAt(praw, child_slot + 1);
+    XR_ASSIGN_OR_RETURN(Page * sraw, pool_->FetchPage(sib_id));
+    PageGuard sib(pool_, sraw);
+    auto* shdr = BTreeHeader(sraw);
+    BTreeInternalEntry* sslots = InternalSlots(sraw);
+    Position sep = pslots[child_slot].key;
+    nslots[nhdr->count] = {sep, shdr->leftmost};
+    ++nhdr->count;
+    std::memcpy(nslots + nhdr->count, sslots,
+                shdr->count * sizeof(BTreeInternalEntry));
+    nhdr->count += shdr->count;
+    node.MarkDirty();
+    removed_slot = child_slot;
+    PageId dead = sib_id;
+    sib.Release();
+    pool_->DiscardPage(dead).ok();
+  }
+
+  std::memmove(pslots + removed_slot, pslots + removed_slot + 1,
+               (phdr->count - removed_slot - 1) * sizeof(BTreeInternalEntry));
+  --phdr->count;
+  parent.MarkDirty();
+
+  bool parent_is_root = (parent_entry.page == root_);
+  if (parent_is_root && phdr->count == 0) {
+    root_ = phdr->leftmost;
+    PageId dead = parent_entry.page;
+    parent.Release();
+    pool_->DiscardPage(dead).ok();
+    return Status::Ok();
+  }
+  uint32_t imin2 = internal_cap_ / 2;
+  bool underflow = !parent_is_root && phdr->count < imin2;
+  parent.Release();
+  if (!underflow) return Status::Ok();
+  return HandleInternalUnderflow(path, depth - 1);
+}
+
+Result<Element> BTree::Search(Position key) const {
+  if (root_ == kInvalidPageId) return Status::NotFound("empty tree");
+  XR_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(key, nullptr));
+  XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(leaf_id));
+  PageGuard leaf(pool_, raw);
+  uint32_t at = LeafLowerBound(raw, key);
+  const auto* hdr = BTreeHeader(raw);
+  const Element* slots = LeafSlots(raw);
+  if (at < hdr->count && slots[at].start == key) return slots[at];
+  return Status::NotFound("key " + std::to_string(key));
+}
+
+Status BTree::BulkLoad(const ElementList& elements, double fill_fraction) {
+  if (root_ != kInvalidPageId || size_ != 0) {
+    return Status::InvalidArgument("BulkLoad requires an empty tree");
+  }
+  if (fill_fraction <= 0.0 || fill_fraction > 1.0) {
+    return Status::InvalidArgument("fill_fraction out of (0, 1]");
+  }
+  if (!std::is_sorted(elements.begin(), elements.end())) {
+    return Status::InvalidArgument("BulkLoad input must be sorted by start");
+  }
+  if (elements.empty()) return InitRootLeaf();
+
+  // Fill targets are clamped above the half-full invariant so bulk-loaded
+  // trees always pass CheckConsistency.
+  uint32_t leaf_fill =
+      std::max<uint32_t>(std::max<uint32_t>(1, leaf_cap_ / 2),
+                         static_cast<uint32_t>(leaf_cap_ * fill_fraction));
+  uint32_t internal_fill = std::max<uint32_t>(
+      std::max<uint32_t>(2, internal_cap_ / 2),
+      static_cast<uint32_t>(internal_cap_ * fill_fraction));
+
+  // Level 0: pack leaves left to right.
+  struct ChildRef {
+    Position first_key;
+    PageId page;
+  };
+  std::vector<ChildRef> level;
+  PageGuard prev;
+  for (size_t i = 0; i < elements.size();) {
+    // Pack `leaf_fill` entries per page, but never leave the final page
+    // below the half-full invariant: either absorb the tail into this page
+    // (it fits below capacity) or leave exactly the minimum behind.
+    size_t total = elements.size() - i;
+    size_t n = std::min<size_t>(leaf_fill, total);
+    size_t min_fill = std::max<size_t>(1, leaf_cap_ / 2);
+    if (total > n && total - n < min_fill) {
+      n = (total <= leaf_cap_) ? total : total - min_fill;
+    }
+    XR_ASSIGN_OR_RETURN(Page * raw, pool_->NewPage());
+    PageGuard page(pool_, raw);
+    page.MarkDirty();
+    auto* hdr = BTreeHeader(raw);
+    hdr->magic = kBTreeLeafMagic;
+    hdr->is_leaf = 1;
+    hdr->count = static_cast<uint32_t>(n);
+    hdr->next = kInvalidPageId;
+    hdr->prev = prev ? prev.page_id() : kInvalidPageId;
+    hdr->leftmost = kInvalidPageId;
+    std::memcpy(LeafSlots(raw), &elements[i], n * sizeof(Element));
+    if (prev) {
+      BTreeHeader(prev.get())->next = raw->page_id();
+      prev.MarkDirty();
+    }
+    level.push_back({elements[i].start, raw->page_id()});
+    i += n;
+    prev = std::move(page);
+  }
+  prev.Release();
+
+  // Build internal levels bottom-up until a single node remains.
+  while (level.size() > 1) {
+    std::vector<ChildRef> next_level;
+    size_t i = 0;
+    while (i < level.size()) {
+      // This node takes children i .. i+k (k+1 children, k keys).
+      size_t total = level.size() - i;
+      size_t nchildren = std::min<size_t>(internal_fill + 1ull, total);
+      size_t min_children = internal_cap_ / 2 + 1;
+      if (total > nchildren && total - nchildren < min_children) {
+        nchildren = (total <= internal_cap_ + 1ull) ? total
+                                                    : total - min_children;
+      }
+      XR_ASSIGN_OR_RETURN(Page * raw, pool_->NewPage());
+      PageGuard page(pool_, raw);
+      page.MarkDirty();
+      auto* hdr = BTreeHeader(raw);
+      hdr->magic = kBTreeInternalMagic;
+      hdr->is_leaf = 0;
+      hdr->count = static_cast<uint32_t>(nchildren - 1);
+      hdr->next = kInvalidPageId;
+      hdr->prev = kInvalidPageId;
+      hdr->leftmost = level[i].page;
+      BTreeInternalEntry* slots = InternalSlots(raw);
+      for (size_t j = 1; j < nchildren; ++j) {
+        slots[j - 1] = {level[i + j].first_key, level[i + j].page};
+      }
+      next_level.push_back({level[i].first_key, raw->page_id()});
+      i += nchildren;
+    }
+    level = std::move(next_level);
+  }
+  root_ = level[0].page;
+  size_ = elements.size();
+  return Status::Ok();
+}
+
+Result<BTreeIterator> BTree::LowerBound(Position key) const {
+  if (root_ == kInvalidPageId) return BTreeIterator();
+  XR_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(key, nullptr));
+  XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(leaf_id));
+  uint32_t at = LeafLowerBound(raw, key);
+  const auto* hdr = BTreeHeader(raw);
+  if (at >= hdr->count) {
+    // Key is past the last entry of this leaf; the successor is the first
+    // entry of the next leaf.
+    PageId next = hdr->next;
+    XR_RETURN_IF_ERROR(pool_->UnpinPage(leaf_id, false));
+    if (next == kInvalidPageId) return BTreeIterator();
+    XR_ASSIGN_OR_RETURN(Page * nraw, pool_->FetchPage(next));
+    if (BTreeHeader(nraw)->count == 0) {
+      // Only possible for a degenerate (empty-root) tree.
+      XR_RETURN_IF_ERROR(pool_->UnpinPage(next, false));
+      return BTreeIterator();
+    }
+    return BTreeIterator(this, PageGuard(pool_, nraw), 0);
+  }
+  return BTreeIterator(this, PageGuard(pool_, raw), at);
+}
+
+Result<BTreeIterator> BTree::UpperBound(Position key) const {
+  if (key == kNilPosition) return BTreeIterator();
+  return LowerBound(key + 1);
+}
+
+Result<BTreeIterator> BTree::Begin() const { return LowerBound(0); }
+
+Result<ElementList> BTree::RangeScan(Position low_exclusive,
+                                     Position high_exclusive) const {
+  ElementList out;
+  XR_ASSIGN_OR_RETURN(BTreeIterator it, UpperBound(low_exclusive));
+  while (it.Valid() && it.Get().start < high_exclusive) {
+    out.push_back(it.Get());
+    XR_RETURN_IF_ERROR(it.Next());
+  }
+  return out;
+}
+
+Status BTree::CheckNode(PageId id, bool is_root, Position lo, Position hi,
+                        int* height) const {
+  XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(id));
+  PageGuard page(pool_, raw);
+  const auto* hdr = BTreeHeader(raw);
+
+  if (hdr->is_leaf) {
+    if (hdr->magic != kBTreeLeafMagic) {
+      return Status::Corruption("bad leaf magic");
+    }
+    if (!is_root && hdr->count < leaf_cap_ / 2) {
+      return Status::Corruption("leaf underfilled");
+    }
+    if (hdr->count > leaf_cap_) return Status::Corruption("leaf overfull");
+    const Element* slots = LeafSlots(raw);
+    for (uint32_t i = 0; i < hdr->count; ++i) {
+      if (i > 0 && !(slots[i - 1].start < slots[i].start)) {
+        return Status::Corruption("leaf keys out of order");
+      }
+      if (slots[i].start < lo || slots[i].start >= hi) {
+        return Status::Corruption("leaf key outside subtree bounds");
+      }
+    }
+    *height = 1;
+    return Status::Ok();
+  }
+
+  if (hdr->magic != kBTreeInternalMagic) {
+    return Status::Corruption("bad internal magic");
+  }
+  if (!is_root && hdr->count < internal_cap_ / 2) {
+    return Status::Corruption("internal underfilled");
+  }
+  if (is_root && hdr->count < 1) {
+    return Status::Corruption("internal root without keys");
+  }
+  if (hdr->count > internal_cap_) {
+    return Status::Corruption("internal overfull");
+  }
+  const BTreeInternalEntry* slots = InternalSlots(raw);
+  for (uint32_t i = 0; i < hdr->count; ++i) {
+    if (i > 0 && !(slots[i - 1].key < slots[i].key)) {
+      return Status::Corruption("internal keys out of order");
+    }
+    if (slots[i].key < lo || slots[i].key >= hi) {
+      return Status::Corruption("internal key outside subtree bounds");
+    }
+  }
+  int child_height = -1;
+  for (uint32_t i = 0; i <= hdr->count; ++i) {
+    Position clo = (i == 0) ? lo : slots[i - 1].key;
+    Position chi = (i == hdr->count) ? hi : slots[i].key;
+    int h = 0;
+    XR_RETURN_IF_ERROR(CheckNode(ChildAt(raw, i), false, clo, chi, &h));
+    if (child_height == -1) child_height = h;
+    if (h != child_height) {
+      return Status::Corruption("children at different heights");
+    }
+  }
+  *height = child_height + 1;
+  return Status::Ok();
+}
+
+Status BTree::CheckConsistency() const {
+  if (root_ == kInvalidPageId) return Status::Ok();
+  int height = 0;
+  XR_RETURN_IF_ERROR(CheckNode(root_, true, 0, kNilPosition, &height));
+
+  // Validate the leaf chain: strictly ascending keys across page links and
+  // consistent prev pointers.
+  XR_ASSIGN_OR_RETURN(BTreeIterator it, Begin());
+  Position last = 0;
+  bool first = true;
+  uint64_t count = 0;
+  while (it.Valid()) {
+    if (!first && !(last < it.Get().start)) {
+      return Status::Corruption("leaf chain out of order");
+    }
+    last = it.Get().start;
+    first = false;
+    ++count;
+    XR_RETURN_IF_ERROR(it.Next());
+  }
+  if (count != size_) {
+    return Status::Corruption("size mismatch: counted " +
+                              std::to_string(count) + " tracked " +
+                              std::to_string(size_));
+  }
+  return Status::Ok();
+}
+
+Result<uint32_t> BTree::Height() const {
+  if (root_ == kInvalidPageId) return static_cast<uint32_t>(0);
+  uint32_t h = 1;
+  PageId cur = root_;
+  while (true) {
+    XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(cur));
+    PageGuard page(pool_, raw);
+    if (BTreeHeader(raw)->is_leaf) return h;
+    cur = BTreeHeader(raw)->leftmost;
+    ++h;
+  }
+}
+
+Result<uint64_t> BTree::CountPages() const {
+  if (root_ == kInvalidPageId) return static_cast<uint64_t>(0);
+  uint64_t n = 0;
+  std::vector<PageId> stack{root_};
+  while (!stack.empty()) {
+    PageId id = stack.back();
+    stack.pop_back();
+    ++n;
+    XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(id));
+    PageGuard page(pool_, raw);
+    const auto* hdr = BTreeHeader(raw);
+    if (!hdr->is_leaf) {
+      stack.push_back(hdr->leftmost);
+      const BTreeInternalEntry* slots = InternalSlots(raw);
+      for (uint32_t i = 0; i < hdr->count; ++i) {
+        stack.push_back(slots[i].child);
+      }
+    }
+  }
+  return n;
+}
+
+Result<uint64_t> BTree::CountEntries() {
+  uint64_t n = 0;
+  XR_ASSIGN_OR_RETURN(BTreeIterator it, Begin());
+  while (it.Valid()) {
+    ++n;
+    XR_RETURN_IF_ERROR(it.Next());
+  }
+  size_ = n;
+  return n;
+}
+
+}  // namespace xrtree

@@ -1,0 +1,118 @@
+#ifndef XRTREE_BTREE_BTREE_H_
+#define XRTREE_BTREE_BTREE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "btree/btree_page.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "xml/element.h"
+
+namespace xrtree {
+
+class BTreeIterator;
+
+/// Tuning knobs, mainly for tests: shrinking the fanout forces deep trees
+/// and frequent splits/merges on small inputs.
+struct BTreeOptions {
+  /// Maximum entries per leaf / internal node; 0 = fill the page.
+  uint32_t leaf_capacity = 0;
+  uint32_t internal_capacity = 0;
+};
+
+/// Disk-based B+-tree over region-encoded elements, keyed on start position
+/// (start positions are unique within a corpus). This is the index behind
+/// the Anc_Des_B+ baseline (Chien et al., VLDB'02) and the backbone that
+/// the XR-tree extends.
+///
+/// Classic design: leaves hold Element entries and are doubly linked;
+/// internal nodes hold separator keys; deletion redistributes or merges on
+/// underflow. No parent pointers — mutations carry the descent path.
+class BTree {
+ public:
+  /// Creates an accessor. If `root` is kInvalidPageId the tree starts
+  /// empty and allocates its root lazily on first insert.
+  BTree(BufferPool* pool, PageId root = kInvalidPageId,
+        const BTreeOptions& options = {});
+
+  /// Current root page (persist this to reopen the tree later).
+  PageId root() const { return root_; }
+  uint64_t size() const { return size_; }
+  /// Recomputes size by walking leaves — for reopened trees.
+  Result<uint64_t> CountEntries();
+
+  /// Inserts `element` keyed on element.start. Duplicate keys are an error
+  /// (region encoding guarantees unique starts).
+  Status Insert(const Element& element);
+
+  /// Removes the element with start == `key`; NotFound if absent.
+  Status Delete(Position key);
+
+  /// Exact lookup by start position.
+  Result<Element> Search(Position key) const;
+
+  /// Bulk-loads a start-sorted element list into a fresh tree. The tree
+  /// must be empty. Leaves are packed to `fill_fraction` of capacity.
+  Status BulkLoad(const ElementList& elements, double fill_fraction = 1.0);
+
+  /// Iterator positioned at the first element with start >= key
+  /// (invalid iterator if none). The primitive behind descendant skipping.
+  Result<BTreeIterator> LowerBound(Position key) const;
+  /// First element with start > key.
+  Result<BTreeIterator> UpperBound(Position key) const;
+  /// First element of the tree.
+  Result<BTreeIterator> Begin() const;
+
+  /// All elements with start in (low, high) — FindDescendants semantics
+  /// when (low, high) is an ancestor's region.
+  Result<ElementList> RangeScan(Position low_exclusive,
+                                Position high_exclusive) const;
+
+  /// Validates structural invariants over the whole tree; used heavily by
+  /// property tests.
+  Status CheckConsistency() const;
+
+  /// Height of the tree (0 = empty, 1 = root leaf).
+  Result<uint32_t> Height() const;
+
+  /// Number of pages (leaf + internal) in the tree.
+  Result<uint64_t> CountPages() const;
+
+  BufferPool* pool() const { return pool_; }
+
+  uint32_t leaf_capacity() const { return leaf_cap_; }
+  uint32_t internal_capacity() const { return internal_cap_; }
+
+ private:
+  friend class BTreeIterator;
+
+  struct PathEntry {
+    PageId page;
+    uint32_t slot;  ///< child slot taken (0 = leftmost)
+  };
+
+  Status InitRootLeaf();
+  /// Descends to the leaf that owns `key`, recording the path when asked.
+  Result<PageId> FindLeaf(Position key, std::vector<PathEntry>* path) const;
+
+  Status InsertIntoParent(std::vector<PathEntry>& path, Position sep_key,
+                          PageId right_child);
+  Status HandleLeafUnderflow(std::vector<PathEntry>& path);
+  Status HandleInternalUnderflow(std::vector<PathEntry>& path, size_t depth);
+
+  Status CheckNode(PageId id, bool is_root, Position lo, Position hi,
+                   int* height) const;
+
+  BufferPool* pool_;
+  PageId root_;
+  uint64_t size_ = 0;
+  uint32_t leaf_cap_;
+  uint32_t internal_cap_;
+};
+
+}  // namespace xrtree
+
+#endif  // XRTREE_BTREE_BTREE_H_

@@ -1,0 +1,66 @@
+#include "btree/btree_iterator.h"
+
+#include <cassert>
+
+#include "btree/btree.h"
+
+namespace xrtree {
+
+BTreeIterator::BTreeIterator(const BTree* tree, PageGuard leaf, uint32_t slot)
+    : tree_(tree), leaf_(std::move(leaf)), slot_(slot) {
+  if (leaf_) {
+    assert(slot_ < BTreeHeader(leaf_.get())->count);
+    scanned_ = 1;  // landing on an element examines it
+  }
+}
+
+const Element& BTreeIterator::Get() const {
+  assert(Valid());
+  return LeafSlots(leaf_.get())[slot_];
+}
+
+Status BTreeIterator::Next() {
+  if (!Valid()) return Status::InvalidArgument("Next on invalid iterator");
+  const auto* hdr = BTreeHeader(leaf_.get());
+  if (slot_ + 1 < hdr->count) {
+    ++slot_;
+    ++scanned_;
+    return Status::Ok();
+  }
+  PageId next = hdr->next;
+  BufferPool* pool = tree_->pool();
+  leaf_.Release();
+  while (next != kInvalidPageId) {
+    XR_ASSIGN_OR_RETURN(Page * raw, pool->FetchPage(next));
+    leaf_ = PageGuard(pool, raw);
+    slot_ = 0;
+    if (BTreeHeader(raw)->count > 0) {
+      ++scanned_;
+      return Status::Ok();
+    }
+    next = BTreeHeader(raw)->next;
+    leaf_.Release();
+  }
+  leaf_ = PageGuard();
+  return Status::Ok();
+}
+
+Status BTreeIterator::SeekPastKey(Position key) {
+  if (tree_ == nullptr) {
+    return Status::InvalidArgument("SeekPastKey on default iterator");
+  }
+  const BTree* tree = tree_;
+  uint64_t scanned = scanned_;
+  leaf_.Release();
+  XR_ASSIGN_OR_RETURN(BTreeIterator fresh, tree->UpperBound(key));
+  *this = std::move(fresh);
+  // Preserve the accumulated count across the reseek; the landing element
+  // is examined (and charged) like any other scan. An off-the-end result
+  // comes back with a null tree pointer; restore it so the iterator stays
+  // reseekable.
+  scanned_ += scanned;
+  tree_ = tree;
+  return Status::Ok();
+}
+
+}  // namespace xrtree

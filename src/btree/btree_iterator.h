@@ -1,0 +1,51 @@
+#ifndef XRTREE_BTREE_BTREE_ITERATOR_H_
+#define XRTREE_BTREE_BTREE_ITERATOR_H_
+
+#include <cstdint>
+
+#include "btree/btree_page.h"
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "xml/element.h"
+
+namespace xrtree {
+
+class BTree;
+
+/// Forward cursor over the leaf level of a BTree. Holds a pin on the
+/// current leaf only. Tracks how many elements it has returned — the
+/// paper's "number of elements scanned" metric (§6.1) is the sum of these
+/// counters across all cursors a join uses.
+class BTreeIterator {
+ public:
+  /// Invalid (end) iterator.
+  BTreeIterator() = default;
+  BTreeIterator(const BTree* tree, PageGuard leaf, uint32_t slot);
+
+  BTreeIterator(BTreeIterator&&) = default;
+  BTreeIterator& operator=(BTreeIterator&&) = default;
+
+  bool Valid() const { return static_cast<bool>(leaf_); }
+  const Element& Get() const;
+
+  /// Advances to the next element in key order. The iterator becomes
+  /// invalid at the end of the tree.
+  Status Next();
+
+  /// Re-seeks this iterator to the first element with start > `key`
+  /// (a fresh root-to-leaf probe): the index-skip primitive used by the
+  /// B+ and XR-stack joins. Counts one scanned element when it lands.
+  Status SeekPastKey(Position key);
+
+  uint64_t scanned() const { return scanned_; }
+
+ private:
+  const BTree* tree_ = nullptr;
+  PageGuard leaf_;
+  uint32_t slot_ = 0;
+  uint64_t scanned_ = 0;
+};
+
+}  // namespace xrtree
+
+#endif  // XRTREE_BTREE_BTREE_ITERATOR_H_

@@ -1,0 +1,70 @@
+#ifndef XRTREE_BTREE_BTREE_PAGE_H_
+#define XRTREE_BTREE_BTREE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "storage/page.h"
+#include "xml/element.h"
+
+namespace xrtree {
+
+/// On-page layouts for the disk B+-tree keyed on element start position.
+/// Both node kinds share a 24-byte header; the payload is a fixed-size
+/// entry array, so slots are addressed by plain indexing and shifted with
+/// memmove.
+
+struct BTreePageHeader {
+  uint32_t magic;
+  uint16_t is_leaf;
+  uint16_t reserved;
+  uint32_t count;    ///< number of keys (internal) / elements (leaf)
+  PageId next;       ///< leaf: right sibling; internal: unused
+  PageId prev;       ///< leaf: left sibling; internal: unused
+  PageId leftmost;   ///< internal: child for keys < keys[0]; leaf: unused
+};
+static_assert(sizeof(BTreePageHeader) == 24);
+
+inline constexpr uint32_t kBTreeLeafMagic = 0x42544C46;      // "BTLF"
+inline constexpr uint32_t kBTreeInternalMagic = 0x4254494E;  // "BTIN"
+
+/// Internal entry: separator key and the child holding keys >= key.
+struct BTreeInternalEntry {
+  Position key;
+  PageId child;
+};
+static_assert(sizeof(BTreeInternalEntry) == 8);
+
+/// Leaf entries are raw Elements; the key is Element::start.
+inline constexpr size_t kBTreeLeafMaxEntries =
+    (kPageSize - sizeof(BTreePageHeader)) / sizeof(Element);
+inline constexpr size_t kBTreeInternalMaxEntries =
+    (kPageSize - sizeof(BTreePageHeader)) / sizeof(BTreeInternalEntry);
+
+inline BTreePageHeader* BTreeHeader(Page* p) {
+  return p->As<BTreePageHeader>();
+}
+inline const BTreePageHeader* BTreeHeader(const Page* p) {
+  return p->As<BTreePageHeader>();
+}
+
+inline Element* LeafSlots(Page* p) {
+  return reinterpret_cast<Element*>(p->data() + sizeof(BTreePageHeader));
+}
+inline const Element* LeafSlots(const Page* p) {
+  return reinterpret_cast<const Element*>(p->data() +
+                                          sizeof(BTreePageHeader));
+}
+
+inline BTreeInternalEntry* InternalSlots(Page* p) {
+  return reinterpret_cast<BTreeInternalEntry*>(p->data() +
+                                               sizeof(BTreePageHeader));
+}
+inline const BTreeInternalEntry* InternalSlots(const Page* p) {
+  return reinterpret_cast<const BTreeInternalEntry*>(
+      p->data() + sizeof(BTreePageHeader));
+}
+
+}  // namespace xrtree
+
+#endif  // XRTREE_BTREE_BTREE_PAGE_H_

@@ -1,0 +1,106 @@
+#ifndef XRTREE_BTREE_SPTREE_H_
+#define XRTREE_BTREE_SPTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "btree/btree_page.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "xml/element.h"
+
+namespace xrtree {
+
+class SpIterator;
+
+/// B+sp (Chien et al., VLDB'02): a B+-tree over start positions whose leaf
+/// entries additionally carry a *sibling pointer* — the exact leaf slot of
+/// the first element that is NOT a descendant of this one (first start >
+/// this.end). The Anc_Des_B+ ancestor-side skip then follows one pointer
+/// instead of re-probing the tree from the root.
+///
+/// The XR-tree paper tested B+sp/B+psp and dropped them from the tables
+/// because "they have similar behavior as that of B+" (§6.1);
+/// bench/related_work_joins re-checks that. Sibling pointers are computed
+/// at bulk-load time; dynamic maintenance (which Chien et al. handle with
+/// containment-clustered splits) is out of scope here, so the index is
+/// build-once.
+class SpTree {
+ public:
+  /// One leaf entry: the element plus its sibling pointer (nil when no
+  /// following non-descendant exists).
+  struct SpEntry {
+    Element element;
+    PageId sib_page;
+    uint32_t sib_slot;
+  };
+  static_assert(sizeof(SpEntry) == 24);
+
+  static constexpr size_t kLeafMaxEntries =
+      (kPageSize - sizeof(BTreePageHeader)) / sizeof(SpEntry);
+
+  explicit SpTree(BufferPool* pool, PageId root = kInvalidPageId)
+      : pool_(pool), root_(root) {}
+
+  PageId root() const { return root_; }
+  uint64_t size() const { return size_; }
+
+  /// Builds the tree from a start-sorted, strictly nested element list and
+  /// wires every sibling pointer. The tree must be empty.
+  Status BulkLoad(const ElementList& elements);
+
+  /// First element with start >= / > key.
+  Result<SpIterator> LowerBound(Position key) const;
+  Result<SpIterator> UpperBound(Position key) const;
+  Result<SpIterator> Begin() const;
+
+  /// Validates B+ shape plus every sibling pointer's target.
+  Status CheckConsistency() const;
+
+  BufferPool* pool() const { return pool_; }
+
+ private:
+  friend class SpIterator;
+
+  Result<PageId> FindLeaf(Position key) const;
+
+  BufferPool* pool_;
+  PageId root_;
+  uint64_t size_ = 0;
+};
+
+/// Cursor over SpTree leaves with the two skip moves the B+sp join uses:
+/// SeekPastKey (root-to-leaf probe, as in plain B+) and FollowSibling
+/// (one pointer dereference).
+class SpIterator {
+ public:
+  SpIterator() = default;
+  SpIterator(const SpTree* tree, PageGuard leaf, uint32_t slot);
+
+  SpIterator(SpIterator&&) = default;
+  SpIterator& operator=(SpIterator&&) = default;
+
+  bool Valid() const { return static_cast<bool>(leaf_); }
+  const Element& Get() const;
+
+  Status Next();
+  Status SeekPastKey(Position key);
+
+  /// Jumps to the current element's sibling pointer — the first element
+  /// that is not its descendant. Invalidates the iterator when there is
+  /// none. Charges one scan for the landing element.
+  Status FollowSibling();
+
+  uint64_t scanned() const { return scanned_; }
+
+ private:
+  const SpTree* tree_ = nullptr;
+  PageGuard leaf_;
+  uint32_t slot_ = 0;
+  uint64_t scanned_ = 0;
+};
+
+}  // namespace xrtree
+
+#endif  // XRTREE_BTREE_SPTREE_H_

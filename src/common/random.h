@@ -1,0 +1,69 @@
+#ifndef XRTREE_COMMON_RANDOM_H_
+#define XRTREE_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <limits>
+
+namespace xrtree {
+
+/// Deterministic xorshift128+ PRNG. Used everywhere randomness is needed so
+/// that data generation, workloads and property tests are reproducible from
+/// a seed alone, independent of the standard library implementation.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    // SplitMix64 seeding to spread low-entropy seeds.
+    uint64_t z = seed;
+    for (uint64_t* s : {&s0_, &s1_}) {
+      z += 0x9E3779B97F4A7C15ull;
+      uint64_t x = z;
+      x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+      x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+      *s = x ^ (x >> 31);
+    }
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;
+  }
+
+  uint64_t Next64() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  uint32_t Next32() { return static_cast<uint32_t>(Next64() >> 32); }
+
+  /// Uniform integer in [0, n). Precondition: n > 0.
+  uint64_t Uniform(uint64_t n) { return Next64() % n; }
+
+  /// Uniform integer in [lo, hi]. Precondition: lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next64() >> 11) * (1.0 / (1ull << 53));
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool OneIn(uint32_t n) { return n != 0 && Uniform(n) == 0; }
+  bool WithProbability(double p) { return NextDouble() < p; }
+
+  /// Geometric-ish "skewed" value in [0, max]: picks a uniform bit width
+  /// first, favouring small values. Useful for fanout variation.
+  uint64_t Skewed(int max_log) {
+    return Uniform(1ull << Uniform(static_cast<uint64_t>(max_log + 1)));
+  }
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace xrtree
+
+#endif  // XRTREE_COMMON_RANDOM_H_

@@ -1,0 +1,71 @@
+#ifndef XRTREE_COMMON_RESULT_H_
+#define XRTREE_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace xrtree {
+
+/// A value-or-Status holder in the style of arrow::Result / absl::StatusOr.
+/// Constructing from a value yields an OK result; constructing from a non-OK
+/// Status yields an error result.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value — mirrors absl::StatusOr so `return value;` works.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error Status so `return Status::NotFound(...);` works.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok() &&
+           "Result<T> must not be constructed from an OK Status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(repr_);
+  }
+
+  /// Precondition: ok().
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+/// Assigns `lhs` from a Result expression, early-returning its Status
+/// on error. `lhs` may be a declaration: XR_ASSIGN_OR_RETURN(auto x, F());
+#define XR_ASSIGN_OR_RETURN(lhs, rexpr)                   \
+  XR_ASSIGN_OR_RETURN_IMPL_(                              \
+      XR_RESULT_CONCAT_(_xr_result, __LINE__), lhs, rexpr)
+
+#define XR_RESULT_CONCAT_INNER_(a, b) a##b
+#define XR_RESULT_CONCAT_(a, b) XR_RESULT_CONCAT_INNER_(a, b)
+#define XR_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                              \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+}  // namespace xrtree
+
+#endif  // XRTREE_COMMON_RESULT_H_

@@ -1,0 +1,53 @@
+#include "common/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace xrtree {
+
+namespace {
+
+const char* CodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk:
+      return "OK";
+    case Status::Code::kNotFound:
+      return "NotFound";
+    case Status::Code::kCorruption:
+      return "Corruption";
+    case Status::Code::kInvalidArgument:
+      return "InvalidArgument";
+    case Status::Code::kIoError:
+      return "IoError";
+    case Status::Code::kNotSupported:
+      return "NotSupported";
+    case Status::Code::kAborted:
+      return "Aborted";
+  }
+  return "Unknown";
+}
+
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+void CheckOk(const Status& s, const char* expr, const char* file, int line) {
+  if (s.ok()) return;
+  std::fprintf(stderr, "%s:%d: XR_CHECK_OK(%s) failed: %s\n", file, line, expr,
+               s.ToString().c_str());
+  std::abort();
+}
+
+}  // namespace xrtree

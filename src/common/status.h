@@ -1,0 +1,90 @@
+#ifndef XRTREE_COMMON_STATUS_H_
+#define XRTREE_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace xrtree {
+
+/// Error-handling vocabulary for the library, in the style of
+/// rocksdb::Status / absl::Status. Core index and storage paths never throw;
+/// every fallible operation returns a Status (or a Result<T>, see result.h).
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kNotFound,
+    kCorruption,
+    kInvalidArgument,
+    kIoError,
+    kNotSupported,
+    kAborted,
+  };
+
+  /// Default-constructed Status is OK.
+  Status() = default;
+
+  static Status Ok() { return Status(); }
+  static Status NotFound(std::string_view msg = "") {
+    return Status(Code::kNotFound, msg);
+  }
+  static Status Corruption(std::string_view msg = "") {
+    return Status(Code::kCorruption, msg);
+  }
+  static Status InvalidArgument(std::string_view msg = "") {
+    return Status(Code::kInvalidArgument, msg);
+  }
+  static Status IoError(std::string_view msg = "") {
+    return Status(Code::kIoError, msg);
+  }
+  static Status NotSupported(std::string_view msg = "") {
+    return Status(Code::kNotSupported, msg);
+  }
+  static Status Aborted(std::string_view msg = "") {
+    return Status(Code::kAborted, msg);
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsIoError() const { return code_ == Code::kIoError; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "<code>: <message>" string.
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  Status(Code code, std::string_view msg) : code_(code), message_(msg) {}
+
+  Code code_ = Code::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+/// Aborts the process with a message when `s` is not OK. For use in tests,
+/// examples and benches where an error is a bug, never in library code.
+void CheckOk(const Status& s, const char* expr, const char* file, int line);
+
+#define XR_CHECK_OK(expr) \
+  ::xrtree::CheckOk((expr), #expr, __FILE__, __LINE__)
+
+/// Early-returns the enclosing function with the error when `expr` fails.
+#define XR_RETURN_IF_ERROR(expr)                \
+  do {                                          \
+    ::xrtree::Status _xr_st = (expr);           \
+    if (!_xr_st.ok()) return _xr_st;            \
+  } while (0)
+
+}  // namespace xrtree
+
+#endif  // XRTREE_COMMON_STATUS_H_

@@ -1,0 +1,25 @@
+#ifndef XRTREE_JOIN_BPLUS_JOIN_H_
+#define XRTREE_JOIN_BPLUS_JOIN_H_
+
+#include "btree/btree.h"
+#include "common/result.h"
+#include "join/join_types.h"
+
+namespace xrtree {
+
+/// Anc_Des_B+ (Chien, Vagena, Zhang, Tsotras, Zaniolo — VLDB'02): the
+/// stack-based structural join over B+-tree indexed element sets.
+///
+/// Skipping behaviour (§2.2 / Fig. 7 of the XR-tree paper):
+///  * descendants without matches are skipped with a B+ range probe to the
+///    first descendant start > CurA.start (effective);
+///  * ancestors are only skipped past the *descendants of the current
+///    ancestor* (probe to start > CurA.end) — effective on highly nested
+///    ancestor sets, no better than a scan on flat ones. This asymmetry is
+///    exactly what the XR-tree removes.
+Result<JoinOutput> BPlusJoin(const BTree& ancestors, const BTree& descendants,
+                             const JoinOptions& options = {});
+
+}  // namespace xrtree
+
+#endif  // XRTREE_JOIN_BPLUS_JOIN_H_

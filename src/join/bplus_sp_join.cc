@@ -1,0 +1,51 @@
+#include "join/bplus_sp_join.h"
+
+#include <vector>
+
+namespace xrtree {
+
+Result<JoinOutput> BPlusSpJoin(const SpTree& ancestors,
+                               const SpTree& descendants,
+                               const JoinOptions& options) {
+  JoinOutput out;
+  std::vector<Element> stack;
+
+  auto emit = [&](const Element& anc, const Element& desc) {
+    if (options.parent_child && anc.level + 1 != desc.level) return;
+    ++out.stats.output_pairs;
+    if (options.materialize) out.pairs.push_back({anc, desc});
+  };
+
+  XR_ASSIGN_OR_RETURN(SpIterator ita, ancestors.Begin());
+  XR_ASSIGN_OR_RETURN(SpIterator itd, descendants.Begin());
+
+  while (itd.Valid() && (ita.Valid() || !stack.empty())) {
+    const Element& d = itd.Get();
+    while (!stack.empty() && stack.back().end < d.start) stack.pop_back();
+
+    if (ita.Valid() && ita.Get().start < d.start) {
+      Element a = ita.Get();
+      if (d.start < a.end) {
+        stack.push_back(a);
+        XR_RETURN_IF_ERROR(ita.Next());
+      } else {
+        // Skip a's descendants: the sibling pointer lands exactly on the
+        // first non-descendant — no root-to-leaf probe needed.
+        XR_RETURN_IF_ERROR(ita.FollowSibling());
+      }
+    } else {
+      if (!stack.empty()) {
+        for (const Element& anc : stack) emit(anc, d);
+        XR_RETURN_IF_ERROR(itd.Next());
+      } else if (ita.Valid()) {
+        XR_RETURN_IF_ERROR(itd.SeekPastKey(ita.Get().start));
+      } else {
+        break;
+      }
+    }
+  }
+  out.stats.elements_scanned = ita.scanned() + itd.scanned();
+  return out;
+}
+
+}  // namespace xrtree

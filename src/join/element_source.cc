@@ -1,0 +1,43 @@
+#include "join/element_source.h"
+
+namespace xrtree {
+
+Status StoredElementSet::Build(const ElementList& elements) {
+  size_ = elements.size();
+  XR_RETURN_IF_ERROR(file_.Build(elements));
+  XR_RETURN_IF_ERROR(btree_.BulkLoad(elements));
+  XR_RETURN_IF_ERROR(xrtree_.BulkLoad(elements));
+  return Status::Ok();
+}
+
+Status StoredElementSet::Register(Catalog* catalog) const {
+  CatalogEntry entry;
+  entry.name = name_;
+  entry.element_count = size_;
+  entry.file_head = file_.head();
+  entry.btree_root = btree_.root();
+  entry.xrtree_root = xrtree_.root();
+  return catalog->Put(entry);
+}
+
+Result<StoredElementSet> StoredElementSet::Open(BufferPool* pool,
+                                                const Catalog& catalog,
+                                                const std::string& name) {
+  XR_ASSIGN_OR_RETURN(CatalogEntry entry, catalog.Get(name));
+  StoredElementSet set(pool, name);
+  set.size_ = entry.element_count;
+  set.file_.OpenExisting(entry.file_head, entry.element_count);
+  set.btree_ = BTree(pool, entry.btree_root);
+  set.xrtree_ = XrTree(pool, entry.xrtree_root);
+  // Restore the in-memory entry counts (one leaf-level scan each) and
+  // cross-check them against the catalog.
+  XR_ASSIGN_OR_RETURN(uint64_t bt_count, set.btree_.CountEntries());
+  XR_ASSIGN_OR_RETURN(uint64_t xr_count, set.xrtree_.CountEntries());
+  if (bt_count != entry.element_count || xr_count != entry.element_count) {
+    return Status::Corruption("catalog count disagrees with indexes for '" +
+                              name + "'");
+  }
+  return set;
+}
+
+}  // namespace xrtree

@@ -1,0 +1,63 @@
+#ifndef XRTREE_JOIN_JOIN_TYPES_H_
+#define XRTREE_JOIN_JOIN_TYPES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/io_stats.h"
+#include "xml/element.h"
+
+namespace xrtree {
+
+/// One output tuple of a structural join: (ancestor, descendant) with
+/// ancestor.start < descendant.start < ancestor.end (§2.2).
+struct JoinPair {
+  Element ancestor;
+  Element descendant;
+
+  friend bool operator==(const JoinPair& a, const JoinPair& b) {
+    return a.ancestor == b.ancestor && a.descendant == b.descendant;
+  }
+  friend bool operator<(const JoinPair& a, const JoinPair& b) {
+    if (a.ancestor.start != b.ancestor.start) {
+      return a.ancestor.start < b.ancestor.start;
+    }
+    return a.descendant.start < b.descendant.start;
+  }
+};
+
+/// Execution knobs shared by all join algorithms.
+struct JoinOptions {
+  /// Keep the output pairs. Benchmark sweeps disable this and use
+  /// JoinStats::output_pairs to avoid materializing multi-million-row
+  /// results.
+  bool materialize = true;
+
+  /// Evaluate the parent-child relationship (§5.3): additionally require
+  /// ancestor.level + 1 == descendant.level.
+  bool parent_child = false;
+
+  /// Ablation (XR-stack only): disable the §5.2 stack variation that
+  /// floors FindAncestors probes at max(stack top, previous probe); every
+  /// probe then re-scans its landing leaf prefix from the first element.
+  bool disable_probe_floor = false;
+};
+
+/// Measurements for one join execution — the quantities behind the paper's
+/// evaluation: "number of elements scanned" (Tables 2-3) and the I/O
+/// activity that dominates elapsed time (Fig. 8).
+struct JoinStats {
+  uint64_t elements_scanned = 0;
+  uint64_t output_pairs = 0;
+  IoStats io;               ///< filled in by the caller (pool stats delta)
+  double elapsed_seconds = 0;  ///< filled in by the caller
+};
+
+struct JoinOutput {
+  std::vector<JoinPair> pairs;
+  JoinStats stats;
+};
+
+}  // namespace xrtree
+
+#endif  // XRTREE_JOIN_JOIN_TYPES_H_

@@ -1,0 +1,67 @@
+#include "join/mpmgjn.h"
+
+namespace xrtree {
+
+Result<JoinOutput> MpmgjnJoin(const ElementFile& ancestors,
+                              const ElementFile& descendants,
+                              const JoinOptions& options) {
+  JoinOutput out;
+  auto emit = [&](const Element& a, const Element& d) {
+    if (options.parent_child && a.level + 1 != d.level) return;
+    ++out.stats.output_pairs;
+    if (options.materialize) out.pairs.push_back({a, d});
+  };
+
+  ElementFile::Scanner a_scan = ancestors.NewScanner();
+  ElementFile::Scanner d_scan = descendants.NewScanner();
+
+  // `mark` trails the descendant cursor: the first descendant whose start
+  // exceeds the current ancestor's start. Every ancestor rewinds the
+  // descendant scan to its mark — the re-scans are the point.
+  ElementFile::ScanState mark = d_scan.Save();
+  while (a_scan.Valid()) {
+    const Element a = a_scan.Get();
+    // Rewind to the mark, advance it past descendants preceding this
+    // ancestor, then run the inner scan over (a.start, a.end). A nested
+    // ancestor shares its mark with its parent, so the overlapping
+    // descendant range is re-scanned — MPMGJN's defining inefficiency.
+    d_scan.Restore(mark);
+    while (d_scan.Valid() && d_scan.Get().start <= a.start) d_scan.Next();
+    mark = d_scan.Save();
+    while (d_scan.Valid() && d_scan.Get().start < a.end) {
+      emit(a, d_scan.Get());
+      d_scan.Next();
+    }
+    if (!a_scan.Next()) break;
+  }
+  out.stats.elements_scanned = a_scan.scanned() + d_scan.scanned();
+  return out;
+}
+
+JoinOutput MpmgjnJoinVectors(const ElementList& ancestors,
+                             const ElementList& descendants,
+                             const JoinOptions& options) {
+  JoinOutput out;
+  uint64_t scanned = ancestors.size();  // one pass over the ancestor list
+  size_t mark = 0;
+  for (const Element& a : ancestors) {
+    while (mark < descendants.size() &&
+           descendants[mark].start <= a.start) {
+      ++mark;
+      ++scanned;
+    }
+    for (size_t di = mark;
+         di < descendants.size() && descendants[di].start < a.end; ++di) {
+      ++scanned;
+      if (options.parent_child && a.level + 1 != descendants[di].level) {
+        continue;
+      }
+      ++out.stats.output_pairs;
+      if (options.materialize) out.pairs.push_back({a, descendants[di]});
+    }
+  }
+  out.stats.elements_scanned = scanned;
+  return out;
+}
+
+}  // namespace xrtree

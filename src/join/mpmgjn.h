@@ -1,0 +1,29 @@
+#ifndef XRTREE_JOIN_MPMGJN_H_
+#define XRTREE_JOIN_MPMGJN_H_
+
+#include "common/result.h"
+#include "join/join_types.h"
+#include "storage/element_file.h"
+#include "xml/element.h"
+
+namespace xrtree {
+
+/// Multi-Predicate Merge Join (MPMGJN, Zhang et al. SIGMOD'01) — the
+/// pre-stack merge-based structural join the paper cites as performing
+/// "a lot of unnecessary computation and I/O" (§2.2): for every ancestor
+/// the descendant cursor rewinds to the first descendant inside the
+/// ancestor's region, so nested ancestors re-scan overlapping descendant
+/// ranges repeatedly. Included as a historical baseline; the Stack-Tree
+/// family exists precisely to remove these re-scans.
+Result<JoinOutput> MpmgjnJoin(const ElementFile& ancestors,
+                              const ElementFile& descendants,
+                              const JoinOptions& options = {});
+
+/// In-memory variant for tests.
+JoinOutput MpmgjnJoinVectors(const ElementList& ancestors,
+                             const ElementList& descendants,
+                             const JoinOptions& options = {});
+
+}  // namespace xrtree
+
+#endif  // XRTREE_JOIN_MPMGJN_H_

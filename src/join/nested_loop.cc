@@ -1,0 +1,22 @@
+#include "join/nested_loop.h"
+
+namespace xrtree {
+
+JoinOutput NestedLoopJoin(const ElementList& ancestors,
+                          const ElementList& descendants,
+                          const JoinOptions& options) {
+  JoinOutput out;
+  for (const Element& a : ancestors) {
+    for (const Element& d : descendants) {
+      if (!a.Contains(d)) continue;
+      if (options.parent_child && a.level + 1 != d.level) continue;
+      ++out.stats.output_pairs;
+      if (options.materialize) out.pairs.push_back({a, d});
+    }
+  }
+  out.stats.elements_scanned =
+      static_cast<uint64_t>(ancestors.size()) * descendants.size();
+  return out;
+}
+
+}  // namespace xrtree

@@ -1,0 +1,17 @@
+#ifndef XRTREE_JOIN_NESTED_LOOP_H_
+#define XRTREE_JOIN_NESTED_LOOP_H_
+
+#include "join/join_types.h"
+#include "xml/element.h"
+
+namespace xrtree {
+
+/// The obviously-correct O(|A| * |D|) reference join used as the oracle in
+/// differential tests. Not part of the evaluated algorithm set.
+JoinOutput NestedLoopJoin(const ElementList& ancestors,
+                          const ElementList& descendants,
+                          const JoinOptions& options = {});
+
+}  // namespace xrtree
+
+#endif  // XRTREE_JOIN_NESTED_LOOP_H_

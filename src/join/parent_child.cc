@@ -1,0 +1,30 @@
+#include "join/parent_child.h"
+
+#include "join/bplus_join.h"
+#include "join/stack_tree_desc.h"
+#include "join/xr_stack.h"
+
+namespace xrtree {
+
+Result<JoinOutput> StackTreeDescParentChildJoin(const ElementFile& parents,
+                                                const ElementFile& children) {
+  JoinOptions options;
+  options.parent_child = true;
+  return StackTreeDescJoin(parents, children, options);
+}
+
+Result<JoinOutput> BPlusParentChildJoin(const BTree& parents,
+                                        const BTree& children) {
+  JoinOptions options;
+  options.parent_child = true;
+  return BPlusJoin(parents, children, options);
+}
+
+Result<JoinOutput> XrStackParentChildJoin(const XrTree& parents,
+                                          const XrTree& children) {
+  JoinOptions options;
+  options.parent_child = true;
+  return XrStackJoin(parents, children, options);
+}
+
+}  // namespace xrtree

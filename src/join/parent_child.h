@@ -1,0 +1,29 @@
+#ifndef XRTREE_JOIN_PARENT_CHILD_H_
+#define XRTREE_JOIN_PARENT_CHILD_H_
+
+#include "btree/btree.h"
+#include "common/result.h"
+#include "join/join_types.h"
+#include "storage/element_file.h"
+#include "xrtree/xrtree.h"
+
+namespace xrtree {
+
+/// §5.3: parent-child structural joins — the same stack-based algorithms
+/// with the additional predicate parent.level + 1 == child.level. The
+/// level attribute is stored with each element in the leaf pages, so no
+/// extra I/O is required.
+Result<JoinOutput> StackTreeDescParentChildJoin(const ElementFile& parents,
+                                                const ElementFile& children);
+Result<JoinOutput> BPlusParentChildJoin(const BTree& parents,
+                                        const BTree& children);
+
+/// XR-stack specialized to parent-child via the FindParent primitive: for
+/// each child the (unique) parent is located with one FindAncestors probe
+/// filtered by level.
+Result<JoinOutput> XrStackParentChildJoin(const XrTree& parents,
+                                          const XrTree& children);
+
+}  // namespace xrtree
+
+#endif  // XRTREE_JOIN_PARENT_CHILD_H_

@@ -1,0 +1,112 @@
+#include "join/rtree_join.h"
+
+#include <vector>
+
+namespace xrtree {
+
+namespace {
+
+/// Can some a in `a_box` contain some d in `d_box`? Needs an ancestor
+/// start before a descendant start (a.start < d.start) and an ancestor
+/// end after it (a.end > d.start).
+bool MayJoin(const Mbr& a_box, const Mbr& d_box) {
+  return a_box.x_min < d_box.x_max && a_box.y_max > d_box.x_min;
+}
+
+}  // namespace
+
+Result<JoinOutput> RTreeJoin(const RTree& ancestors, const RTree& descendants,
+                             const JoinOptions& options) {
+  JoinOutput out;
+  if (ancestors.root() == kInvalidPageId ||
+      descendants.root() == kInvalidPageId) {
+    return out;
+  }
+  auto emit = [&](const Element& a, const Element& d) {
+    if (options.parent_child && a.level + 1 != d.level) return;
+    ++out.stats.output_pairs;
+    if (options.materialize) out.pairs.push_back({a, d});
+  };
+
+  BufferPool* a_pool = ancestors.pool();
+  BufferPool* d_pool = descendants.pool();
+
+  struct Pair {
+    PageId a;
+    PageId d;
+  };
+  std::vector<Pair> stack{{ancestors.root(), descendants.root()}};
+  uint64_t scanned = 0;
+
+  while (!stack.empty()) {
+    Pair pr = stack.back();
+    stack.pop_back();
+    XR_ASSIGN_OR_RETURN(Page * araw, a_pool->FetchPage(pr.a));
+    PageGuard a_page(a_pool, araw);
+    XR_ASSIGN_OR_RETURN(Page * draw, d_pool->FetchPage(pr.d));
+    PageGuard d_page(d_pool, draw);
+    const auto* ahdr = RTreeHeader(araw);
+    const auto* dhdr = RTreeHeader(draw);
+
+    if (ahdr->is_leaf && dhdr->is_leaf) {
+      const Element* a_slots = RTreeLeafSlots(araw);
+      const Element* d_slots = RTreeLeafSlots(draw);
+      scanned += ahdr->count;
+      scanned += dhdr->count;
+      for (uint32_t i = 0; i < ahdr->count; ++i) {
+        for (uint32_t j = 0; j < dhdr->count; ++j) {
+          if (a_slots[i].Contains(d_slots[j])) {
+            emit(a_slots[i], d_slots[j]);
+          }
+        }
+      }
+      continue;
+    }
+    if (!ahdr->is_leaf && (dhdr->is_leaf || ahdr->count >= dhdr->count)) {
+      // Descend the ancestor side against the whole descendant node.
+      XR_ASSIGN_OR_RETURN(Mbr d_box, [&]() -> Result<Mbr> {
+        Mbr box;
+        if (dhdr->is_leaf) {
+          const Element* slots = RTreeLeafSlots(draw);
+          for (uint32_t j = 0; j < dhdr->count; ++j) {
+            box.Expand(Mbr::Of(slots[j]));
+          }
+        } else {
+          const RTreeInternalEntry* slots = RTreeInternalSlots(draw);
+          for (uint32_t j = 0; j < dhdr->count; ++j) {
+            box.Expand(slots[j].mbr);
+          }
+        }
+        return box;
+      }());
+      const RTreeInternalEntry* a_slots = RTreeInternalSlots(araw);
+      for (uint32_t i = 0; i < ahdr->count; ++i) {
+        if (MayJoin(a_slots[i].mbr, d_box)) {
+          stack.push_back({a_slots[i].child, pr.d});
+        }
+      }
+      continue;
+    }
+    // Descend the descendant side.
+    Mbr a_box;
+    if (ahdr->is_leaf) {
+      const Element* slots = RTreeLeafSlots(araw);
+      for (uint32_t i = 0; i < ahdr->count; ++i) {
+        a_box.Expand(Mbr::Of(slots[i]));
+      }
+    } else {
+      const RTreeInternalEntry* slots = RTreeInternalSlots(araw);
+      for (uint32_t i = 0; i < ahdr->count; ++i) a_box.Expand(slots[i].mbr);
+    }
+    const RTreeInternalEntry* d_slots = RTreeInternalSlots(draw);
+    for (uint32_t j = 0; j < dhdr->count; ++j) {
+      if (MayJoin(a_box, d_slots[j].mbr)) {
+        stack.push_back({pr.a, d_slots[j].child});
+      }
+    }
+  }
+  out.stats.elements_scanned = scanned;
+  return out;
+}
+
+}  // namespace xrtree

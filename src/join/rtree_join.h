@@ -1,0 +1,24 @@
+#ifndef XRTREE_JOIN_RTREE_JOIN_H_
+#define XRTREE_JOIN_RTREE_JOIN_H_
+
+#include "common/result.h"
+#include "join/join_types.h"
+#include "rtree/rtree.h"
+
+namespace xrtree {
+
+/// R-tree structural join via synchronized tree traversal (Brinkhoff et
+/// al., SIGMOD'93, adapted to the containment predicate as in Chien et
+/// al., VLDB'02): both trees are descended in lockstep, pruning child
+/// pairs whose MBRs cannot contain a matching (ancestor, descendant)
+/// combination — a.start < d.start < a.end.
+///
+/// The XR-tree paper excluded this family from its evaluation, citing [8]:
+/// "less robust than the B+ algorithm". bench/related_work_joins puts that
+/// claim to the test.
+Result<JoinOutput> RTreeJoin(const RTree& ancestors, const RTree& descendants,
+                             const JoinOptions& options = {});
+
+}  // namespace xrtree
+
+#endif  // XRTREE_JOIN_RTREE_JOIN_H_

@@ -1,0 +1,105 @@
+#include "join/xr_stack.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "xrtree/xrtree_iterator.h"
+
+namespace xrtree {
+
+Result<JoinOutput> XrStackJoin(const XrTree& ancestors,
+                               const XrTree& descendants,
+                               const JoinOptions& options) {
+  JoinOutput out;
+  uint64_t search_scanned = 0;
+  std::vector<Element> stack;
+
+  auto emit = [&](const Element& anc, const Element& desc) {
+    if (options.parent_child && anc.level + 1 != desc.level) return;
+    ++out.stats.output_pairs;
+    if (options.materialize) out.pairs.push_back({anc, desc});
+  };
+
+  // CurA is tracked as a position, not a cursor: each FindAncestors probe
+  // returns the start of the first ancestor-set element past the probe
+  // point (Algorithm 6 line 12) as a byproduct of its S2 leaf scan, so the
+  // ancestor side is never walked element by element.
+  Position cur_a = kNilPosition;
+  {
+    XR_ASSIGN_OR_RETURN(XrIterator it0, ancestors.Begin());
+    if (it0.Valid()) cur_a = it0.Get().start;
+    search_scanned += it0.scanned();
+  }
+  XR_ASSIGN_OR_RETURN(XrIterator itd, descendants.Begin());
+
+  // Floor for FindAncestors probes (§5.2 variation): every ancestor of the
+  // current descendant with start below max(stack top, previous probe
+  // position) is provably already on the stack — it was an ancestor of the
+  // previously probed descendant too, and pops only remove closed regions.
+  // The floor backs off by one so that, on a self-join, the element
+  // starting exactly at the previous probe position (not an ancestor of
+  // its own start, but possibly of later ones) is still examined.
+  Position last_probe = 0;
+
+  // Main loop (Algorithm 6 lines 4-22).
+  while (cur_a != kNilPosition && itd.Valid()) {
+    const Element d = itd.Get();
+    // Lines 5-7: pop stack elements that are not ancestors of CurD; the
+    // stack is a nested chain, so closed regions form a suffix.
+    while (!stack.empty() && stack.back().end < d.start) stack.pop_back();
+
+    // `<=` rather than the paper's `<`: with disjoint element sets the
+    // starts never collide, but on a self-join CurA can sit exactly on
+    // CurD; routing equality through the FindAncestors branch keeps the
+    // stack complete (an element is never its own ancestor).
+    if (cur_a <= d.start) {
+      // Lines 9-13: fetch CurD's ancestors beyond the stack top straight
+      // from the XR-tree, skipping everything between, and pick up the
+      // next CurA from the same probe.
+      Position stack_floor = stack.empty() ? 0 : stack.back().start;
+      Position probe_floor = last_probe > 0 ? last_probe - 1 : 0;
+      // The ablation probes with no floor (paper's plain Algorithm 4) and
+      // deduplicates against the stack afterwards (line 10's
+      // "if aj not in stack"); the production path pushes the floor into
+      // the probe so already-seen leaf ranges are never re-scanned.
+      Position min_start = options.disable_probe_floor
+                               ? 0
+                               : std::max(stack_floor, probe_floor);
+      Position next_a = kNilPosition;
+      XR_ASSIGN_OR_RETURN(ElementList ad,
+                          ancestors.FindAncestorsAbove(
+                              d.start, min_start, &search_scanned, &next_a));
+      last_probe = d.start;
+      cur_a = next_a;
+      for (const Element& a : ad) {
+        if (a.start > stack_floor) stack.push_back(a);
+      }
+      for (const Element& anc : stack) emit(anc, d);
+      XR_RETURN_IF_ERROR(itd.Next());
+    } else {
+      if (!stack.empty()) {
+        // Lines 15-17: in-stack ancestors may join descendants before
+        // CurA; advance the descendant cursor one step.
+        for (const Element& anc : stack) emit(anc, d);
+        XR_RETURN_IF_ERROR(itd.Next());
+      } else {
+        // Line 19: no open ancestor — skip descendants up to CurA.
+        XR_RETURN_IF_ERROR(itd.SeekPastKey(cur_a));
+      }
+    }
+  }
+
+  // Epilogue: the ancestor list may be exhausted while the stack still
+  // holds regions covering later descendants.
+  while (itd.Valid() && !stack.empty()) {
+    const Element d = itd.Get();
+    while (!stack.empty() && stack.back().end < d.start) stack.pop_back();
+    for (const Element& anc : stack) emit(anc, d);
+    XR_RETURN_IF_ERROR(itd.Next());
+  }
+
+  out.stats.elements_scanned = itd.scanned() + search_scanned;
+  return out;
+}
+
+}  // namespace xrtree

@@ -1,0 +1,24 @@
+#ifndef XRTREE_JOIN_XR_STACK_H_
+#define XRTREE_JOIN_XR_STACK_H_
+
+#include "common/result.h"
+#include "join/join_types.h"
+#include "xrtree/xrtree.h"
+
+namespace xrtree {
+
+/// XR-stack (Algorithm 6): the paper's structural join over two XR-tree
+/// indexed element sets. A merge over the two leaf levels that skips in
+/// BOTH directions:
+///  * when CurA lags CurD, the ancestors of CurD are fetched directly with
+///    FindAncestors (skipping every interleaved non-ancestor) and CurA
+///    jumps past CurD.start;
+///  * when CurA leads CurD with an empty stack, CurD jumps past
+///    CurA.start (same descendant skip as Anc_Des_B+).
+Result<JoinOutput> XrStackJoin(const XrTree& ancestors,
+                               const XrTree& descendants,
+                               const JoinOptions& options = {});
+
+}  // namespace xrtree
+
+#endif  // XRTREE_JOIN_XR_STACK_H_

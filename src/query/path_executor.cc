@@ -1,0 +1,72 @@
+#include "query/path_executor.h"
+
+#include <algorithm>
+#include <set>
+
+#include "join/xr_stack.h"
+
+namespace xrtree {
+
+Result<const XrTree*> PathExecutor::TagIndex(const std::string& tag) {
+  auto it = tag_indexes_.find(tag);
+  if (it != tag_indexes_.end()) return const_cast<const XrTree*>(it->second.get());
+  ElementList elements = corpus_->ElementsWithTag(tag);
+  auto tree = std::make_unique<XrTree>(pool_);
+  XR_RETURN_IF_ERROR(tree->BulkLoad(elements));
+  const XrTree* raw = tree.get();
+  tag_indexes_.emplace(tag, std::move(tree));
+  return raw;
+}
+
+Result<ElementList> PathExecutor::Execute(const PathQuery& query,
+                                          PathStats* stats) {
+  const auto& steps = query.steps();
+  // First step: every element with the tag; a leading single '/' restricts
+  // to document roots (level 0).
+  ElementList context = corpus_->ElementsWithTag(steps[0].tag);
+  if (steps[0].axis == Axis::kChild) {
+    ElementList roots;
+    for (const Element& e : context) {
+      if (e.level == 0) roots.push_back(e);
+    }
+    context = std::move(roots);
+  }
+  if (stats) stats->intermediate_results += context.size();
+
+  for (size_t i = 1; i < steps.size(); ++i) {
+    if (context.empty()) return ElementList{};
+    // Index the current context (ancestors of this step)...
+    XrTree context_index(pool_);
+    XR_RETURN_IF_ERROR(context_index.BulkLoad(context));
+    // ... and join it with the step tag's cached index.
+    XR_ASSIGN_OR_RETURN(const XrTree* tag_index, TagIndex(steps[i].tag));
+    JoinOptions options;
+    options.parent_child = (steps[i].axis == Axis::kChild);
+    XR_ASSIGN_OR_RETURN(JoinOutput join,
+                        XrStackJoin(context_index, *tag_index, options));
+    if (stats) {
+      ++stats->joins;
+      stats->elements_scanned += join.stats.elements_scanned;
+    }
+    // Distinct descendants, document order.
+    std::set<Position> seen;
+    ElementList next;
+    for (const JoinPair& p : join.pairs) {
+      if (seen.insert(p.descendant.start).second) {
+        next.push_back(p.descendant);
+      }
+    }
+    std::sort(next.begin(), next.end());
+    context = std::move(next);
+    if (stats) stats->intermediate_results += context.size();
+  }
+  return context;
+}
+
+Result<ElementList> PathExecutor::Execute(std::string_view text,
+                                          PathStats* stats) {
+  XR_ASSIGN_OR_RETURN(PathQuery query, PathQuery::Parse(text));
+  return Execute(query, stats);
+}
+
+}  // namespace xrtree

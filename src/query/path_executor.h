@@ -1,0 +1,59 @@
+#ifndef XRTREE_QUERY_PATH_EXECUTOR_H_
+#define XRTREE_QUERY_PATH_EXECUTOR_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "query/path_query.h"
+#include "storage/buffer_pool.h"
+#include "xml/corpus.h"
+#include "xrtree/xrtree.h"
+
+namespace xrtree {
+
+/// Per-query execution statistics, aggregated over all join steps.
+struct PathStats {
+  uint64_t joins = 0;
+  uint64_t elements_scanned = 0;
+  uint64_t intermediate_results = 0;  ///< sum of step output sizes
+};
+
+/// Evaluates linear path expressions over a Corpus by cascading XR-stack
+/// structural joins — the paper's §7 direction ("query evaluation
+/// strategies for complex XML queries, i.e. a combination of multiple
+/// structural joins, over XML data on which proper XR-tree indexes have
+/// been built").
+///
+/// Tag element sets are indexed with XR-trees lazily and cached across
+/// queries; intermediate results are indexed into throwaway XR-trees for
+/// the next step. '//' steps run the ancestor-descendant join, '/' steps
+/// the parent-child variant (§5.3).
+class PathExecutor {
+ public:
+  PathExecutor(BufferPool* pool, const Corpus* corpus)
+      : pool_(pool), corpus_(corpus) {}
+
+  /// Runs `query`; returns the matching elements of the final step in
+  /// document order (distinct).
+  Result<ElementList> Execute(const PathQuery& query,
+                              PathStats* stats = nullptr);
+
+  /// Convenience: parse + execute.
+  Result<ElementList> Execute(std::string_view text,
+                              PathStats* stats = nullptr);
+
+ private:
+  /// The cached XR-tree over all elements with `tag` (built on first use).
+  Result<const XrTree*> TagIndex(const std::string& tag);
+
+  BufferPool* pool_;
+  const Corpus* corpus_;
+  std::unordered_map<std::string, std::unique_ptr<XrTree>> tag_indexes_;
+};
+
+}  // namespace xrtree
+
+#endif  // XRTREE_QUERY_PATH_EXECUTOR_H_

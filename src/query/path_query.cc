@@ -1,0 +1,73 @@
+#include "query/path_query.h"
+
+#include <cctype>
+
+namespace xrtree {
+
+namespace {
+
+bool IsTagChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == '-' || c == '.' || c == ':';
+}
+
+}  // namespace
+
+Result<PathQuery> PathQuery::Parse(std::string_view text) {
+  PathQuery query;
+  query.text_ = std::string(text);
+  size_t pos = 0;
+  bool first = true;
+  while (pos < text.size()) {
+    Axis axis = Axis::kDescendant;
+    if (text[pos] == '/') {
+      if (pos + 1 < text.size() && text[pos + 1] == '/') {
+        axis = Axis::kDescendant;
+        pos += 2;
+      } else {
+        axis = Axis::kChild;
+        pos += 1;
+      }
+    } else if (!first) {
+      return Status::InvalidArgument("path: expected '/' or '//' at offset " +
+                                     std::to_string(pos));
+    }
+    size_t begin = pos;
+    while (pos < text.size() && IsTagChar(text[pos])) ++pos;
+    if (pos == begin) {
+      return Status::InvalidArgument("path: expected tag name at offset " +
+                                     std::to_string(begin));
+    }
+    PathStep step;
+    step.axis = first ? Axis::kDescendant : axis;
+    step.tag = std::string(text.substr(begin, pos - begin));
+    if (first && text[0] == '/' && text.size() > 1 && text[1] != '/') {
+      // A single leading '/' means child-of-root; we surface it as a
+      // child-axis first step so the executor can root-filter.
+      step.axis = Axis::kChild;
+    }
+    query.steps_.push_back(std::move(step));
+    first = false;
+  }
+  if (query.steps_.empty()) {
+    return Status::InvalidArgument("path: empty expression");
+  }
+  return query;
+}
+
+std::string PathQuery::ToString() const {
+  std::string out;
+  bool first = true;
+  for (const PathStep& s : steps_) {
+    if (first) {
+      if (s.axis == Axis::kChild) out += "/";
+      first = false;
+    } else {
+      out += s.axis == Axis::kDescendant ? "//" : "/";
+    }
+    out += s.tag;
+  }
+  return out;
+}
+
+}  // namespace xrtree

@@ -1,0 +1,47 @@
+#ifndef XRTREE_QUERY_PATH_QUERY_H_
+#define XRTREE_QUERY_PATH_QUERY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace xrtree {
+
+/// Axis between two location steps: '//' (ancestor-descendant) or '/'
+/// (parent-child) — the two structural relationships of §1.
+enum class Axis {
+  kDescendant,  ///< '//'
+  kChild,       ///< '/'
+};
+
+struct PathStep {
+  Axis axis = Axis::kDescendant;
+  std::string tag;
+};
+
+/// A parsed linear XPath-style path expression, e.g.
+/// "departments//department//employee/name" or "//employee//name".
+///
+/// Semantics: the first step selects every element with its tag (a
+/// leading '//' is implied and accepted explicitly); each later step is a
+/// structural join against the previous step's result, with the axis
+/// deciding ancestor-descendant vs parent-child.
+class PathQuery {
+ public:
+  static Result<PathQuery> Parse(std::string_view text);
+
+  const std::vector<PathStep>& steps() const { return steps_; }
+  const std::string& text() const { return text_; }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<PathStep> steps_;
+  std::string text_;
+};
+
+}  // namespace xrtree
+
+#endif  // XRTREE_QUERY_PATH_QUERY_H_

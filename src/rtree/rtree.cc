@@ -1,0 +1,716 @@
+#include "rtree/rtree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+namespace xrtree {
+
+namespace {
+
+/// One item during a node split: either a leaf element or an internal
+/// entry, reduced to its MBR for the quadratic-split bookkeeping.
+struct SplitItem {
+  Mbr mbr;
+  Element element;             // valid when splitting a leaf
+  RTreeInternalEntry internal; // valid when splitting an internal node
+};
+
+/// Guttman's quadratic split: returns the partition of `items` into two
+/// groups, each at least `min_fill` strong.
+void QuadraticSplit(const std::vector<SplitItem>& items, size_t min_fill,
+                    std::vector<size_t>* left, std::vector<size_t>* right) {
+  // PickSeeds: the pair wasting the most area.
+  size_t seed_a = 0, seed_b = 1;
+  uint64_t worst = 0;
+  for (size_t i = 0; i < items.size(); ++i) {
+    for (size_t j = i + 1; j < items.size(); ++j) {
+      Mbr merged = items[i].mbr;
+      merged.Expand(items[j].mbr);
+      uint64_t waste =
+          merged.Area() - items[i].mbr.Area() - items[j].mbr.Area();
+      // Area() floors at 1 per dimension so waste can underflow for
+      // overlapping points; clamp via signed compare.
+      if (i == 0 && j == 1) worst = waste;
+      if (waste >= worst) {
+        worst = waste;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+  left->push_back(seed_a);
+  right->push_back(seed_b);
+  Mbr left_mbr = items[seed_a].mbr;
+  Mbr right_mbr = items[seed_b].mbr;
+
+  std::vector<bool> assigned(items.size(), false);
+  assigned[seed_a] = assigned[seed_b] = true;
+  size_t remaining = items.size() - 2;
+
+  while (remaining > 0) {
+    // Min-fill guard: if one group must absorb everything left, do so.
+    if (left->size() + remaining == min_fill) {
+      for (size_t i = 0; i < items.size(); ++i) {
+        if (!assigned[i]) {
+          left->push_back(i);
+          assigned[i] = true;
+        }
+      }
+      break;
+    }
+    if (right->size() + remaining == min_fill) {
+      for (size_t i = 0; i < items.size(); ++i) {
+        if (!assigned[i]) {
+          right->push_back(i);
+          assigned[i] = true;
+        }
+      }
+      break;
+    }
+    // PickNext: the item with the strongest preference.
+    size_t best = items.size();
+    uint64_t best_diff = 0;
+    bool best_to_left = true;
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (assigned[i]) continue;
+      uint64_t dl = left_mbr.EnlargementFor(items[i].mbr);
+      uint64_t dr = right_mbr.EnlargementFor(items[i].mbr);
+      uint64_t diff = dl > dr ? dl - dr : dr - dl;
+      if (best == items.size() || diff >= best_diff) {
+        best = i;
+        best_diff = diff;
+        best_to_left = dl < dr ||
+                       (dl == dr && left_mbr.Area() <= right_mbr.Area());
+      }
+    }
+    assigned[best] = true;
+    --remaining;
+    if (best_to_left) {
+      left->push_back(best);
+      left_mbr.Expand(items[best].mbr);
+    } else {
+      right->push_back(best);
+      right_mbr.Expand(items[best].mbr);
+    }
+  }
+}
+
+}  // namespace
+
+RTree::RTree(BufferPool* pool, PageId root, const RTreeOptions& options)
+    : pool_(pool), root_(root) {
+  leaf_cap_ = options.leaf_capacity == 0
+                  ? static_cast<uint32_t>(kRTreeLeafMaxEntries)
+                  : std::min<uint32_t>(options.leaf_capacity,
+                                       kRTreeLeafMaxEntries);
+  internal_cap_ = options.internal_capacity == 0
+                      ? static_cast<uint32_t>(kRTreeInternalMaxEntries)
+                      : std::min<uint32_t>(options.internal_capacity,
+                                           kRTreeInternalMaxEntries);
+  assert(leaf_cap_ >= 4 && internal_cap_ >= 4);
+}
+
+Status RTree::InitRootLeaf() {
+  XR_ASSIGN_OR_RETURN(Page * raw, pool_->NewPage());
+  PageGuard page(pool_, raw);
+  page.MarkDirty();
+  auto* hdr = RTreeHeader(raw);
+  hdr->magic = kRTreeLeafMagic;
+  hdr->is_leaf = 1;
+  hdr->count = 0;
+  root_ = raw->page_id();
+  return Status::Ok();
+}
+
+Result<Mbr> RTree::NodeMbr(PageId page_id) const {
+  XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(page_id));
+  PageGuard page(pool_, raw);
+  const auto* hdr = RTreeHeader(raw);
+  Mbr mbr;
+  if (hdr->is_leaf) {
+    const Element* slots = RTreeLeafSlots(raw);
+    for (uint32_t i = 0; i < hdr->count; ++i) mbr.Expand(Mbr::Of(slots[i]));
+  } else {
+    const RTreeInternalEntry* slots = RTreeInternalSlots(raw);
+    for (uint32_t i = 0; i < hdr->count; ++i) mbr.Expand(slots[i].mbr);
+  }
+  return mbr;
+}
+
+Result<PageId> RTree::ChooseLeaf(const Mbr& mbr,
+                                 std::vector<PathEntry>* path) {
+  PageId cur = root_;
+  while (true) {
+    XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(cur));
+    PageGuard page(pool_, raw);
+    const auto* hdr = RTreeHeader(raw);
+    if (hdr->is_leaf) return cur;
+    const RTreeInternalEntry* slots = RTreeInternalSlots(raw);
+    uint32_t best = 0;
+    uint64_t best_enl = slots[0].mbr.EnlargementFor(mbr);
+    uint64_t best_area = slots[0].mbr.Area();
+    for (uint32_t i = 1; i < hdr->count; ++i) {
+      uint64_t enl = slots[i].mbr.EnlargementFor(mbr);
+      uint64_t area = slots[i].mbr.Area();
+      if (enl < best_enl || (enl == best_enl && area < best_area)) {
+        best = i;
+        best_enl = enl;
+        best_area = area;
+      }
+    }
+    if (path) path->push_back({cur, best});
+    cur = slots[best].child;
+  }
+}
+
+Status RTree::SplitNode(PageId page_id, const Element* extra_leaf,
+                        const RTreeInternalEntry* extra_internal,
+                        PageId* new_id, Mbr* left_mbr, Mbr* right_mbr) {
+  XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(page_id));
+  PageGuard node(pool_, raw);
+  auto* hdr = RTreeHeader(raw);
+  const bool is_leaf = hdr->is_leaf != 0;
+  const uint32_t cap = is_leaf ? leaf_cap_ : internal_cap_;
+  const size_t min_fill = cap / 2;
+
+  std::vector<SplitItem> items;
+  items.reserve(hdr->count + 1);
+  if (is_leaf) {
+    const Element* slots = RTreeLeafSlots(raw);
+    for (uint32_t i = 0; i < hdr->count; ++i) {
+      items.push_back({Mbr::Of(slots[i]), slots[i], {}});
+    }
+    if (extra_leaf) items.push_back({Mbr::Of(*extra_leaf), *extra_leaf, {}});
+  } else {
+    const RTreeInternalEntry* slots = RTreeInternalSlots(raw);
+    for (uint32_t i = 0; i < hdr->count; ++i) {
+      items.push_back({slots[i].mbr, {}, slots[i]});
+    }
+    if (extra_internal) items.push_back({extra_internal->mbr, {},
+                                         *extra_internal});
+  }
+
+  std::vector<size_t> left, right;
+  QuadraticSplit(items, min_fill, &left, &right);
+
+  XR_ASSIGN_OR_RETURN(Page * rraw, pool_->NewPage());
+  PageGuard rnode(pool_, rraw);
+  rnode.MarkDirty();
+  auto* rhdr = RTreeHeader(rraw);
+  rhdr->magic = hdr->magic;
+  rhdr->is_leaf = hdr->is_leaf;
+  rhdr->count = static_cast<uint32_t>(right.size());
+
+  hdr->count = static_cast<uint32_t>(left.size());
+  node.MarkDirty();
+
+  *left_mbr = Mbr{};
+  *right_mbr = Mbr{};
+  if (is_leaf) {
+    Element* lslots = RTreeLeafSlots(raw);
+    Element* rslots = RTreeLeafSlots(rraw);
+    std::vector<Element> lbuf, rbuf;
+    for (size_t i : left) {
+      lbuf.push_back(items[i].element);
+      left_mbr->Expand(items[i].mbr);
+    }
+    for (size_t i : right) {
+      rbuf.push_back(items[i].element);
+      right_mbr->Expand(items[i].mbr);
+    }
+    std::copy(lbuf.begin(), lbuf.end(), lslots);
+    std::copy(rbuf.begin(), rbuf.end(), rslots);
+  } else {
+    RTreeInternalEntry* lslots = RTreeInternalSlots(raw);
+    RTreeInternalEntry* rslots = RTreeInternalSlots(rraw);
+    std::vector<RTreeInternalEntry> lbuf, rbuf;
+    for (size_t i : left) {
+      lbuf.push_back(items[i].internal);
+      left_mbr->Expand(items[i].mbr);
+    }
+    for (size_t i : right) {
+      rbuf.push_back(items[i].internal);
+      right_mbr->Expand(items[i].mbr);
+    }
+    std::copy(lbuf.begin(), lbuf.end(), lslots);
+    std::copy(rbuf.begin(), rbuf.end(), rslots);
+  }
+  *new_id = rraw->page_id();
+  return Status::Ok();
+}
+
+Status RTree::AdjustTree(std::vector<PathEntry>& path, PageId split_new,
+                         Mbr left_mbr, Mbr right_mbr) {
+  // Walk back up: update the child MBR at each level; insert the split
+  // sibling, splitting the parent when full; grow the root at the top.
+  PageId pending_new = split_new;
+  while (!path.empty()) {
+    PathEntry entry = path.back();
+    path.pop_back();
+    XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(entry.page));
+    PageGuard node(pool_, raw);
+    auto* hdr = RTreeHeader(raw);
+    RTreeInternalEntry* slots = RTreeInternalSlots(raw);
+    slots[entry.slot].mbr = left_mbr;
+    node.MarkDirty();
+
+    if (pending_new == kInvalidPageId) {
+      // Pure MBR propagation: the node's own MBR may have grown.
+      Mbr mine;
+      for (uint32_t i = 0; i < hdr->count; ++i) mine.Expand(slots[i].mbr);
+      left_mbr = mine;
+      continue;
+    }
+
+    RTreeInternalEntry new_entry{right_mbr, pending_new, 0};
+    if (hdr->count < internal_cap_) {
+      slots[hdr->count] = new_entry;
+      ++hdr->count;
+      pending_new = kInvalidPageId;
+      Mbr mine;
+      for (uint32_t i = 0; i < hdr->count; ++i) mine.Expand(slots[i].mbr);
+      left_mbr = mine;
+      continue;
+    }
+    PageId new_id;
+    Mbr lm, rm;
+    node.Release();
+    XR_RETURN_IF_ERROR(
+        SplitNode(entry.page, nullptr, &new_entry, &new_id, &lm, &rm));
+    pending_new = new_id;
+    left_mbr = lm;
+    right_mbr = rm;
+  }
+
+  if (pending_new != kInvalidPageId) {
+    // Root split: new internal root over the two halves.
+    PageId old_root = root_;
+    XR_ASSIGN_OR_RETURN(Page * raw, pool_->NewPage());
+    PageGuard page(pool_, raw);
+    page.MarkDirty();
+    auto* hdr = RTreeHeader(raw);
+    hdr->magic = kRTreeInternalMagic;
+    hdr->is_leaf = 0;
+    hdr->count = 2;
+    RTreeInternalEntry* slots = RTreeInternalSlots(raw);
+    slots[0] = {left_mbr, old_root, 0};
+    slots[1] = {right_mbr, pending_new, 0};
+    root_ = raw->page_id();
+  }
+  return Status::Ok();
+}
+
+Status RTree::Insert(const Element& element) {
+  if (root_ == kInvalidPageId) XR_RETURN_IF_ERROR(InitRootLeaf());
+  if (!(element.start < element.end)) {
+    return Status::InvalidArgument("element start must precede end");
+  }
+  std::vector<PathEntry> path;
+  XR_ASSIGN_OR_RETURN(PageId leaf_id, ChooseLeaf(Mbr::Of(element), &path));
+  XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(leaf_id));
+  PageGuard leaf(pool_, raw);
+  auto* hdr = RTreeHeader(raw);
+  if (hdr->count < leaf_cap_) {
+    RTreeLeafSlots(raw)[hdr->count] = element;
+    ++hdr->count;
+    leaf.MarkDirty();
+    ++size_;
+    // Propagate the (possibly) grown MBR.
+    Mbr mine;
+    const Element* slots = RTreeLeafSlots(raw);
+    for (uint32_t i = 0; i < hdr->count; ++i) mine.Expand(Mbr::Of(slots[i]));
+    leaf.Release();
+    XR_RETURN_IF_ERROR(AdjustTree(path, kInvalidPageId, mine, Mbr{}));
+    return Status::Ok();
+  }
+  leaf.Release();
+  PageId new_id;
+  Mbr lm, rm;
+  XR_RETURN_IF_ERROR(SplitNode(leaf_id, &element, nullptr, &new_id, &lm,
+                               &rm));
+  XR_RETURN_IF_ERROR(AdjustTree(path, new_id, lm, rm));
+  ++size_;
+  return Status::Ok();
+}
+
+Status RTree::BulkLoad(const ElementList& elements) {
+  if (root_ != kInvalidPageId || size_ != 0) {
+    return Status::InvalidArgument("BulkLoad requires an empty tree");
+  }
+  if (elements.empty()) return InitRootLeaf();
+
+  // STR: elements arrive sorted by x (= start); tile into sqrt(P) slices,
+  // each sorted by y (= end), then pack leaves.
+  const size_t per_leaf = leaf_cap_;
+  const size_t num_leaves = (elements.size() + per_leaf - 1) / per_leaf;
+  const size_t slices =
+      std::max<size_t>(1, static_cast<size_t>(std::ceil(
+                              std::sqrt(static_cast<double>(num_leaves)))));
+  const size_t slice_elems = (elements.size() + slices - 1) / slices;
+
+  struct ChildRef {
+    Mbr mbr;
+    PageId page;
+  };
+  std::vector<ChildRef> level;
+  ElementList sorted = elements;  // sorted by start already (document order)
+  for (size_t s = 0; s < sorted.size(); s += slice_elems) {
+    size_t end = std::min(sorted.size(), s + slice_elems);
+    std::sort(sorted.begin() + s, sorted.begin() + end,
+              [](const Element& a, const Element& b) {
+                if (a.end != b.end) return a.end < b.end;
+                return a.start < b.start;
+              });
+    for (size_t i = s; i < end; i += per_leaf) {
+      size_t n = std::min(per_leaf, end - i);
+      XR_ASSIGN_OR_RETURN(Page * raw, pool_->NewPage());
+      PageGuard page(pool_, raw);
+      page.MarkDirty();
+      auto* hdr = RTreeHeader(raw);
+      hdr->magic = kRTreeLeafMagic;
+      hdr->is_leaf = 1;
+      hdr->count = static_cast<uint32_t>(n);
+      Mbr mbr;
+      Element* slots = RTreeLeafSlots(raw);
+      for (size_t j = 0; j < n; ++j) {
+        slots[j] = sorted[i + j];
+        mbr.Expand(Mbr::Of(slots[j]));
+      }
+      level.push_back({mbr, raw->page_id()});
+    }
+  }
+
+  // Pack internal levels the same way on MBR centers.
+  while (level.size() > 1) {
+    std::sort(level.begin(), level.end(),
+              [](const ChildRef& a, const ChildRef& b) {
+                return a.mbr.x_min + a.mbr.x_max <
+                       b.mbr.x_min + b.mbr.x_max;
+              });
+    const size_t per_node = internal_cap_;
+    const size_t num_nodes = (level.size() + per_node - 1) / per_node;
+    const size_t nslices =
+        std::max<size_t>(1, static_cast<size_t>(std::ceil(std::sqrt(
+                                static_cast<double>(num_nodes)))));
+    const size_t per_slice = (level.size() + nslices - 1) / nslices;
+    std::vector<ChildRef> next;
+    for (size_t s = 0; s < level.size(); s += per_slice) {
+      size_t end = std::min(level.size(), s + per_slice);
+      std::sort(level.begin() + s, level.begin() + end,
+                [](const ChildRef& a, const ChildRef& b) {
+                  return a.mbr.y_min + a.mbr.y_max <
+                         b.mbr.y_min + b.mbr.y_max;
+                });
+      for (size_t i = s; i < end; i += per_node) {
+        size_t n = std::min(per_node, end - i);
+        XR_ASSIGN_OR_RETURN(Page * raw, pool_->NewPage());
+        PageGuard page(pool_, raw);
+        page.MarkDirty();
+        auto* hdr = RTreeHeader(raw);
+        hdr->magic = kRTreeInternalMagic;
+        hdr->is_leaf = 0;
+        hdr->count = static_cast<uint32_t>(n);
+        Mbr mbr;
+        RTreeInternalEntry* slots = RTreeInternalSlots(raw);
+        for (size_t j = 0; j < n; ++j) {
+          slots[j] = {level[i + j].mbr, level[i + j].page, 0};
+          mbr.Expand(level[i + j].mbr);
+        }
+        next.push_back({mbr, raw->page_id()});
+      }
+    }
+    level = std::move(next);
+  }
+  root_ = level[0].page;
+  size_ = elements.size();
+  return Status::Ok();
+}
+
+Result<ElementList> RTree::WindowQuery(const Mbr& window,
+                                       uint64_t* scanned) const {
+  ElementList out;
+  if (root_ == kInvalidPageId) return out;
+  uint64_t local = 0;
+  std::vector<PageId> stack{root_};
+  while (!stack.empty()) {
+    PageId id = stack.back();
+    stack.pop_back();
+    XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(id));
+    PageGuard page(pool_, raw);
+    const auto* hdr = RTreeHeader(raw);
+    if (hdr->is_leaf) {
+      const Element* slots = RTreeLeafSlots(raw);
+      for (uint32_t i = 0; i < hdr->count; ++i) {
+        ++local;
+        if (window.Intersects(Mbr::Of(slots[i]))) {
+          Element e = slots[i];
+          e.flags = 0;
+          out.push_back(e);
+        }
+      }
+      continue;
+    }
+    const RTreeInternalEntry* slots = RTreeInternalSlots(raw);
+    for (uint32_t i = 0; i < hdr->count; ++i) {
+      if (window.Intersects(slots[i].mbr)) stack.push_back(slots[i].child);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  if (scanned) *scanned += local;
+  return out;
+}
+
+Result<ElementList> RTree::FindAncestors(Position sd,
+                                         uint64_t* scanned) const {
+  if (sd == 0) return ElementList{};
+  Mbr window;
+  window.x_min = 0;
+  window.x_max = sd - 1;           // start < sd
+  window.y_min = sd + 1;           // end > sd
+  window.y_max = kNilPosition - 1;
+  return WindowQuery(window, scanned);
+}
+
+Result<ElementList> RTree::FindDescendants(const Element& ancestor,
+                                           uint64_t* scanned) const {
+  if (ancestor.end <= ancestor.start + 1) return ElementList{};
+  Mbr window;
+  window.x_min = ancestor.start + 1;  // start > a.start
+  window.x_max = ancestor.end - 1;    // start < a.end
+  window.y_min = 0;
+  window.y_max = kNilPosition - 1;
+  return WindowQuery(window, scanned);
+}
+
+Status RTree::Delete(Position start) {
+  if (root_ == kInvalidPageId) return Status::NotFound("empty tree");
+
+  // FindLeaf: DFS through every subtree whose MBR covers x == start.
+  struct Frame {
+    PageId page;
+    uint32_t slot;  // child slot in the PARENT that led here (root: ~0)
+  };
+  std::vector<PathEntry> path;  // internal path down to the found leaf
+  PageId found_leaf = kInvalidPageId;
+  uint32_t found_slot = 0;
+
+  {
+    // Iterative DFS carrying the path explicitly.
+    struct DfsState {
+      PageId page;
+      uint32_t next_child;
+    };
+    std::vector<DfsState> dfs{{root_, 0}};
+    while (!dfs.empty() && found_leaf == kInvalidPageId) {
+      DfsState& top = dfs.back();
+      XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(top.page));
+      PageGuard page(pool_, raw);
+      const auto* hdr = RTreeHeader(raw);
+      if (hdr->is_leaf) {
+        const Element* slots = RTreeLeafSlots(raw);
+        for (uint32_t i = 0; i < hdr->count; ++i) {
+          if (slots[i].start == start) {
+            found_leaf = top.page;
+            found_slot = i;
+            break;
+          }
+        }
+        if (found_leaf == kInvalidPageId) {
+          dfs.pop_back();
+          if (!path.empty()) path.pop_back();
+        }
+        continue;
+      }
+      const RTreeInternalEntry* slots = RTreeInternalSlots(raw);
+      bool descended = false;
+      while (top.next_child < hdr->count) {
+        uint32_t c = top.next_child++;
+        if (slots[c].mbr.x_min <= start && start <= slots[c].mbr.x_max) {
+          path.push_back({top.page, c});
+          dfs.push_back({slots[c].child, 0});
+          descended = true;
+          break;
+        }
+      }
+      if (!descended) {
+        dfs.pop_back();
+        if (!path.empty()) path.pop_back();
+      }
+    }
+  }
+  if (found_leaf == kInvalidPageId) {
+    return Status::NotFound("start " + std::to_string(start));
+  }
+
+  // Remove from the leaf.
+  {
+    XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(found_leaf));
+    PageGuard leaf(pool_, raw);
+    auto* hdr = RTreeHeader(raw);
+    Element* slots = RTreeLeafSlots(raw);
+    slots[found_slot] = slots[hdr->count - 1];
+    --hdr->count;
+    leaf.MarkDirty();
+  }
+  --size_;
+
+  // CondenseTree: dissolve underfull nodes bottom-up, collecting their
+  // remaining elements for reinsertion; refresh MBRs along the path.
+  ElementList reinsert;
+  PageId child = found_leaf;
+  for (size_t depth = path.size(); depth-- > 0;) {
+    XR_ASSIGN_OR_RETURN(Page * craw, pool_->FetchPage(child));
+    uint32_t child_count = RTreeHeader(craw)->count;
+    bool child_is_leaf = RTreeHeader(craw)->is_leaf != 0;
+    XR_RETURN_IF_ERROR(pool_->UnpinPage(child, false));
+    uint32_t min_fill = (child_is_leaf ? leaf_cap_ : internal_cap_) / 2;
+
+    XR_ASSIGN_OR_RETURN(Page * praw, pool_->FetchPage(path[depth].page));
+    PageGuard parent(pool_, praw);
+    auto* phdr = RTreeHeader(praw);
+    RTreeInternalEntry* pslots = RTreeInternalSlots(praw);
+
+    if (child_count < min_fill) {
+      // Dissolve: gather every element beneath `child`, drop it from the
+      // parent.
+      std::vector<PageId> stack{child};
+      while (!stack.empty()) {
+        PageId id = stack.back();
+        stack.pop_back();
+        XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(id));
+        {
+          PageGuard page(pool_, raw);
+          const auto* hdr = RTreeHeader(raw);
+          if (hdr->is_leaf) {
+            const Element* slots = RTreeLeafSlots(raw);
+            reinsert.insert(reinsert.end(), slots, slots + hdr->count);
+          } else {
+            const RTreeInternalEntry* slots = RTreeInternalSlots(raw);
+            for (uint32_t i = 0; i < hdr->count; ++i) {
+              stack.push_back(slots[i].child);
+            }
+          }
+        }
+        XR_RETURN_IF_ERROR(pool_->DiscardPage(id));
+      }
+      pslots[path[depth].slot] = pslots[phdr->count - 1];
+      --phdr->count;
+      parent.MarkDirty();
+    } else {
+      // Keep, but tighten its MBR in the parent.
+      XR_ASSIGN_OR_RETURN(Mbr tight, NodeMbr(child));
+      pslots[path[depth].slot].mbr = tight;
+      parent.MarkDirty();
+    }
+    child = path[depth].page;
+  }
+
+  // Shrink the root: an internal root with one child is replaced by it;
+  // an empty internal root degrades to an empty leaf.
+  while (true) {
+    XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(root_));
+    PageGuard page(pool_, raw);
+    auto* hdr = RTreeHeader(raw);
+    if (hdr->is_leaf || hdr->count > 1) break;
+    if (hdr->count == 0) {
+      hdr->magic = kRTreeLeafMagic;
+      hdr->is_leaf = 1;
+      page.MarkDirty();
+      break;
+    }
+    PageId new_root = RTreeInternalSlots(raw)[0].child;
+    PageId dead = root_;
+    page.Release();
+    XR_RETURN_IF_ERROR(pool_->DiscardPage(dead));
+    root_ = new_root;
+  }
+
+  // Reinsert orphans (they keep their contribution to size_).
+  size_ -= reinsert.size();
+  for (const Element& e : reinsert) XR_RETURN_IF_ERROR(Insert(e));
+  return Status::Ok();
+}
+
+Status RTree::CheckNode(PageId id, bool is_root, const Mbr* bound,
+                        int* height, uint64_t* count) const {
+  XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(id));
+  PageGuard page(pool_, raw);
+  const auto* hdr = RTreeHeader(raw);
+  if (hdr->is_leaf) {
+    if (hdr->magic != kRTreeLeafMagic) {
+      return Status::Corruption("rtree leaf magic");
+    }
+    if (!is_root && hdr->count < leaf_cap_ / 2) {
+      return Status::Corruption("rtree leaf underfilled");
+    }
+    Mbr mine;
+    const Element* slots = RTreeLeafSlots(raw);
+    for (uint32_t i = 0; i < hdr->count; ++i) {
+      mine.Expand(Mbr::Of(slots[i]));
+    }
+    if (bound && hdr->count > 0 &&
+        !(bound->Contains(mine) && mine.Contains(*bound))) {
+      return Status::Corruption("rtree leaf MBR not tight");
+    }
+    *count += hdr->count;
+    *height = 1;
+    return Status::Ok();
+  }
+  if (hdr->magic != kRTreeInternalMagic) {
+    return Status::Corruption("rtree internal magic");
+  }
+  if (!is_root && hdr->count < internal_cap_ / 2) {
+    return Status::Corruption("rtree internal underfilled");
+  }
+  if (is_root && hdr->count < 2) {
+    return Status::Corruption("rtree internal root with < 2 children");
+  }
+  const RTreeInternalEntry* slots = RTreeInternalSlots(raw);
+  Mbr mine;
+  int child_height = -1;
+  for (uint32_t i = 0; i < hdr->count; ++i) {
+    mine.Expand(slots[i].mbr);
+    int h = 0;
+    XR_RETURN_IF_ERROR(CheckNode(slots[i].child, false, &slots[i].mbr, &h,
+                                 count));
+    if (child_height == -1) child_height = h;
+    if (h != child_height) {
+      return Status::Corruption("rtree children at different heights");
+    }
+  }
+  if (bound && !(bound->Contains(mine) && mine.Contains(*bound))) {
+    return Status::Corruption("rtree internal MBR not tight");
+  }
+  *height = child_height + 1;
+  return Status::Ok();
+}
+
+Status RTree::CheckConsistency() const {
+  if (root_ == kInvalidPageId) return Status::Ok();
+  int height = 0;
+  uint64_t count = 0;
+  XR_RETURN_IF_ERROR(CheckNode(root_, true, nullptr, &height, &count));
+  if (count != size_) {
+    return Status::Corruption("rtree size mismatch: counted " +
+                              std::to_string(count) + " tracked " +
+                              std::to_string(size_));
+  }
+  return Status::Ok();
+}
+
+Result<uint32_t> RTree::Height() const {
+  if (root_ == kInvalidPageId) return static_cast<uint32_t>(0);
+  uint32_t h = 1;
+  PageId cur = root_;
+  while (true) {
+    XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(cur));
+    PageGuard page(pool_, raw);
+    if (RTreeHeader(raw)->is_leaf) return h;
+    cur = RTreeInternalSlots(raw)[0].child;
+    ++h;
+  }
+}
+
+}  // namespace xrtree

@@ -1,0 +1,99 @@
+#ifndef XRTREE_RTREE_RTREE_H_
+#define XRTREE_RTREE_RTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "rtree/rtree_page.h"
+#include "storage/buffer_pool.h"
+#include "xml/element.h"
+
+namespace xrtree {
+
+struct RTreeOptions {
+  uint32_t leaf_capacity = 0;      ///< 0 = fill the page
+  uint32_t internal_capacity = 0;  ///< 0 = fill the page
+};
+
+/// Disk R-tree (Guttman, SIGMOD'84) over region-encoded elements as 2D
+/// points (start, end): the substrate of the R-tree structural-join
+/// baseline (Chien et al., VLDB'02; Brinkhoff et al., SIGMOD'93 for the
+/// synchronized-traversal join). Quadratic split on insert, STR packing
+/// for bulk load, condense-and-reinsert on delete.
+///
+/// Built to test the XR-tree paper's §6.1 decision to exclude R-trees
+/// ("shown to be less robust than the B+ algorithm"): see
+/// join/rtree_join.h and bench/related_work_joins.
+class RTree {
+ public:
+  RTree(BufferPool* pool, PageId root = kInvalidPageId,
+        const RTreeOptions& options = {});
+
+  PageId root() const { return root_; }
+  uint64_t size() const { return size_; }
+
+  Status Insert(const Element& element);
+
+  /// Removes the element with the given start (unique); NotFound if
+  /// absent. Underflowing nodes are dissolved and their entries
+  /// reinserted (Guttman's CondenseTree).
+  Status Delete(Position start);
+
+  /// STR (sort-tile-recursive) bulk load into an empty tree.
+  Status BulkLoad(const ElementList& elements);
+
+  /// All elements whose (start, end) point lies in the window
+  /// [x_min, x_max] × [y_min, y_max]. `scanned` counts leaf entries
+  /// examined.
+  Result<ElementList> WindowQuery(const Mbr& window,
+                                  uint64_t* scanned = nullptr) const;
+
+  /// Ancestors of position sd: start < sd AND end > sd.
+  Result<ElementList> FindAncestors(Position sd,
+                                    uint64_t* scanned = nullptr) const;
+  /// Descendants of `ancestor`: start in (a.start, a.end).
+  Result<ElementList> FindDescendants(const Element& ancestor,
+                                      uint64_t* scanned = nullptr) const;
+
+  /// Validates MBR containment, fill factors and entry counts.
+  Status CheckConsistency() const;
+
+  Result<uint32_t> Height() const;
+
+  BufferPool* pool() const { return pool_; }
+  uint32_t leaf_capacity() const { return leaf_cap_; }
+  uint32_t internal_capacity() const { return internal_cap_; }
+
+ private:
+  struct PathEntry {
+    PageId page;
+    uint32_t slot;  ///< child slot taken from this node
+  };
+
+  Status InitRootLeaf();
+  /// Guttman ChooseLeaf: descend minimizing area enlargement.
+  Result<PageId> ChooseLeaf(const Mbr& mbr, std::vector<PathEntry>* path);
+  /// Splits the full node `page_id` (quadratic seeds) producing a new
+  /// right node; returns its id and both MBRs.
+  Status SplitNode(PageId page_id, const Element* extra_leaf,
+                   const RTreeInternalEntry* extra_internal, PageId* new_id,
+                   Mbr* left_mbr, Mbr* right_mbr);
+  Status AdjustTree(std::vector<PathEntry>& path, PageId split_new,
+                    Mbr left_mbr, Mbr right_mbr);
+  Result<Mbr> NodeMbr(PageId page_id) const;
+
+  Status CheckNode(PageId id, bool is_root, const Mbr* bound, int* height,
+                   uint64_t* count) const;
+
+  BufferPool* pool_;
+  PageId root_;
+  uint64_t size_ = 0;
+  uint32_t leaf_cap_;
+  uint32_t internal_cap_;
+};
+
+}  // namespace xrtree
+
+#endif  // XRTREE_RTREE_RTREE_H_

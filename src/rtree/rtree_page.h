@@ -1,0 +1,106 @@
+#ifndef XRTREE_RTREE_RTREE_PAGE_H_
+#define XRTREE_RTREE_RTREE_PAGE_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "storage/page.h"
+#include "xml/element.h"
+
+namespace xrtree {
+
+/// On-page layouts for the disk R-tree over region-encoded elements viewed
+/// as 2D points (x = start, y = end) — the representation Chien et al.
+/// (VLDB'02) used for their R*-tree structural-join baseline, which the
+/// XR-tree paper cites as "less robust than the B+ algorithm" (§6.1).
+
+/// A 2D bounding rectangle over (start, end) points.
+struct Mbr {
+  Position x_min = kNilPosition;
+  Position x_max = 0;
+  Position y_min = kNilPosition;
+  Position y_max = 0;
+
+  static Mbr Of(const Element& e) {
+    return Mbr{e.start, e.start, e.end, e.end};
+  }
+
+  void Expand(const Mbr& other) {
+    x_min = std::min(x_min, other.x_min);
+    x_max = std::max(x_max, other.x_max);
+    y_min = std::min(y_min, other.y_min);
+    y_max = std::max(y_max, other.y_max);
+  }
+
+  bool Contains(const Mbr& other) const {
+    return x_min <= other.x_min && other.x_max <= x_max &&
+           y_min <= other.y_min && other.y_max <= y_max;
+  }
+
+  bool Intersects(const Mbr& other) const {
+    return x_min <= other.x_max && other.x_min <= x_max &&
+           y_min <= other.y_max && other.y_min <= y_max;
+  }
+
+  /// Area with +1 extents so degenerate (point) rectangles still compare.
+  uint64_t Area() const {
+    return static_cast<uint64_t>(x_max - x_min + 1) *
+           static_cast<uint64_t>(y_max - y_min + 1);
+  }
+
+  uint64_t EnlargementFor(const Mbr& other) const {
+    Mbr merged = *this;
+    merged.Expand(other);
+    return merged.Area() - Area();
+  }
+};
+
+struct RTreePageHeader {
+  uint32_t magic;
+  uint16_t is_leaf;
+  uint16_t reserved;
+  uint32_t count;
+  uint32_t pad;
+};
+static_assert(sizeof(RTreePageHeader) == 16);
+
+inline constexpr uint32_t kRTreeLeafMagic = 0x52544C46;      // "RTLF"
+inline constexpr uint32_t kRTreeInternalMagic = 0x5254494E;  // "RTIN"
+
+struct RTreeInternalEntry {
+  Mbr mbr;
+  PageId child;
+  uint32_t pad;
+};
+static_assert(sizeof(RTreeInternalEntry) == 24);
+
+inline constexpr size_t kRTreeLeafMaxEntries =
+    (kPageSize - sizeof(RTreePageHeader)) / sizeof(Element);
+inline constexpr size_t kRTreeInternalMaxEntries =
+    (kPageSize - sizeof(RTreePageHeader)) / sizeof(RTreeInternalEntry);
+
+inline RTreePageHeader* RTreeHeader(Page* p) {
+  return p->As<RTreePageHeader>();
+}
+inline const RTreePageHeader* RTreeHeader(const Page* p) {
+  return p->As<RTreePageHeader>();
+}
+inline Element* RTreeLeafSlots(Page* p) {
+  return reinterpret_cast<Element*>(p->data() + sizeof(RTreePageHeader));
+}
+inline const Element* RTreeLeafSlots(const Page* p) {
+  return reinterpret_cast<const Element*>(p->data() +
+                                          sizeof(RTreePageHeader));
+}
+inline RTreeInternalEntry* RTreeInternalSlots(Page* p) {
+  return reinterpret_cast<RTreeInternalEntry*>(p->data() +
+                                               sizeof(RTreePageHeader));
+}
+inline const RTreeInternalEntry* RTreeInternalSlots(const Page* p) {
+  return reinterpret_cast<const RTreeInternalEntry*>(
+      p->data() + sizeof(RTreePageHeader));
+}
+
+}  // namespace xrtree
+
+#endif  // XRTREE_RTREE_RTREE_PAGE_H_

@@ -1,0 +1,194 @@
+#include "storage/buffer_pool.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace xrtree {
+
+BufferPool::BufferPool(DiskManager* disk, size_t pool_size) : disk_(disk) {
+  assert(pool_size > 0);
+  frames_.reserve(pool_size);
+  free_frames_.reserve(pool_size);
+  for (size_t i = 0; i < pool_size; ++i) {
+    frames_.push_back(std::make_unique<Page>());
+    free_frames_.push_back(pool_size - 1 - i);  // pop_back yields frame 0 first
+  }
+}
+
+BufferPool::~BufferPool() { FlushAll().ok(); }
+
+void BufferPool::TouchLru(FrameId frame) {
+  auto it = lru_pos_.find(frame);
+  if (it != lru_pos_.end()) lru_.erase(it->second);
+  lru_.push_back(frame);
+  lru_pos_[frame] = std::prev(lru_.end());
+}
+
+bool BufferPool::FindVictim(FrameId* out) {
+  for (FrameId frame : lru_) {
+    if (frames_[frame]->pin_count_ == 0) {
+      *out = frame;
+      return true;
+    }
+  }
+  return false;
+}
+
+Status BufferPool::EvictFrame(FrameId frame) {
+  Page* page = frames_[frame].get();
+  if (page->is_dirty_) {
+    XR_RETURN_IF_ERROR(disk_->WritePage(page->page_id_, page->data_));
+  }
+  page_table_.erase(page->page_id_);
+  auto it = lru_pos_.find(frame);
+  if (it != lru_pos_.end()) {
+    lru_.erase(it->second);
+    lru_pos_.erase(it);
+  }
+  page->Reset();
+  return Status::Ok();
+}
+
+Result<Page*> BufferPool::FetchPage(PageId page_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (page_id == kInvalidPageId) {
+    return Status::InvalidArgument("FetchPage(kInvalidPageId)");
+  }
+  auto it = page_table_.find(page_id);
+  if (it != page_table_.end()) {
+    ++stats_.buffer_hits;
+    Page* page = frames_[it->second].get();
+    ++page->pin_count_;
+    TouchLru(it->second);
+    return page;
+  }
+  ++stats_.buffer_misses;
+
+  FrameId frame;
+  if (!free_frames_.empty()) {
+    frame = free_frames_.back();
+    free_frames_.pop_back();
+  } else if (FindVictim(&frame)) {
+    XR_RETURN_IF_ERROR(EvictFrame(frame));
+  } else {
+    return Status::Aborted("buffer pool exhausted: all frames pinned");
+  }
+
+  Page* page = frames_[frame].get();
+  XR_RETURN_IF_ERROR(disk_->ReadPage(page_id, page->data_));
+  page->page_id_ = page_id;
+  page->pin_count_ = 1;
+  page->is_dirty_ = false;
+  page_table_[page_id] = frame;
+  TouchLru(frame);
+  return page;
+}
+
+Result<Page*> BufferPool::NewPage() {
+  PageId page_id = disk_->AllocatePage();
+  std::lock_guard<std::mutex> lock(mu_);
+
+  FrameId frame;
+  if (!free_frames_.empty()) {
+    frame = free_frames_.back();
+    free_frames_.pop_back();
+  } else if (FindVictim(&frame)) {
+    XR_RETURN_IF_ERROR(EvictFrame(frame));
+  } else {
+    return Status::Aborted("buffer pool exhausted: all frames pinned");
+  }
+
+  Page* page = frames_[frame].get();
+  page->Reset();
+  page->page_id_ = page_id;
+  page->pin_count_ = 1;
+  page->is_dirty_ = true;  // ensure the zeroed page reaches disk
+  page_table_[page_id] = frame;
+  TouchLru(frame);
+  return page;
+}
+
+Status BufferPool::UnpinPage(PageId page_id, bool dirty) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = page_table_.find(page_id);
+  if (it == page_table_.end()) {
+    return Status::InvalidArgument("UnpinPage: page not resident");
+  }
+  Page* page = frames_[it->second].get();
+  if (page->pin_count_ <= 0) {
+    return Status::InvalidArgument("UnpinPage: pin count already zero");
+  }
+  --page->pin_count_;
+  if (dirty) page->is_dirty_ = true;
+  return Status::Ok();
+}
+
+Status BufferPool::FlushPage(PageId page_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = page_table_.find(page_id);
+  if (it == page_table_.end()) return Status::Ok();  // not resident: no-op
+  Page* page = frames_[it->second].get();
+  if (page->is_dirty_) {
+    XR_RETURN_IF_ERROR(disk_->WritePage(page->page_id_, page->data_));
+    page->is_dirty_ = false;
+  }
+  return Status::Ok();
+}
+
+Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [page_id, frame] : page_table_) {
+    Page* page = frames_[frame].get();
+    if (page->is_dirty_) {
+      XR_RETURN_IF_ERROR(disk_->WritePage(page->page_id_, page->data_));
+      page->is_dirty_ = false;
+    }
+  }
+  return Status::Ok();
+}
+
+Status BufferPool::DiscardPage(PageId page_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = page_table_.find(page_id);
+  if (it == page_table_.end()) return Status::Ok();
+  FrameId frame = it->second;
+  Page* page = frames_[frame].get();
+  if (page->pin_count_ > 0) {
+    return Status::InvalidArgument("DiscardPage: page is pinned");
+  }
+  page_table_.erase(it);
+  auto pos = lru_pos_.find(frame);
+  if (pos != lru_pos_.end()) {
+    lru_.erase(pos->second);
+    lru_pos_.erase(pos);
+  }
+  page->Reset();
+  free_frames_.push_back(frame);
+  return Status::Ok();
+}
+
+IoStats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  IoStats merged = stats_;
+  merged.disk_reads = disk_->stats().disk_reads;
+  merged.disk_writes = disk_->stats().disk_writes;
+  merged.pages_allocated = disk_->stats().pages_allocated;
+  return merged;
+}
+
+void BufferPool::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = IoStats{};
+  disk_->ResetStats();
+}
+
+size_t BufferPool::pinned_frames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& f : frames_) {
+    if (f->pin_count_ > 0) ++n;
+  }
+  return n;
+}
+
+}  // namespace xrtree

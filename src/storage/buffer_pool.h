@@ -1,0 +1,135 @@
+#ifndef XRTREE_STORAGE_BUFFER_POOL_H_
+#define XRTREE_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/disk_manager.h"
+#include "storage/io_stats.h"
+#include "storage/page.h"
+
+namespace xrtree {
+
+/// Fixed-capacity page cache with LRU replacement and pin counting, in the
+/// shape of a classic textbook/System-R buffer manager. The paper fixes the
+/// pool at 100 pages (§6.1); `bench/buffer_sensitivity` sweeps it.
+///
+/// All pages are accessed through FetchPage/NewPage which pin the frame;
+/// callers must UnpinPage (or hold a PageGuard) when done. Pinned pages are
+/// never evicted; fetching when every frame is pinned is an error (the index
+/// code never pins more than a handful of pages at once).
+class BufferPool {
+ public:
+  BufferPool(DiskManager* disk, size_t pool_size);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Returns the pinned page `page_id`, reading it from disk on a miss.
+  Result<Page*> FetchPage(PageId page_id);
+
+  /// Allocates a fresh page and returns it pinned and zeroed.
+  Result<Page*> NewPage();
+
+  /// Drops a pin. `dirty` marks the page as needing write-back.
+  Status UnpinPage(PageId page_id, bool dirty);
+
+  /// Writes the page back if dirty. Page may be pinned or not.
+  Status FlushPage(PageId page_id);
+
+  /// Flushes every dirty page in the pool.
+  Status FlushAll();
+
+  /// Drops a page from the pool without writing it back and returns its id
+  /// to the caller (the structures above maintain their own free lists).
+  /// Precondition: the page is unpinned.
+  Status DiscardPage(PageId page_id);
+
+  size_t pool_size() const { return frames_.size(); }
+  DiskManager* disk() const { return disk_; }
+
+  /// Pool-level hit/miss counters; disk read/write counters live on the
+  /// DiskManager. `stats()` merges both views.
+  IoStats stats() const;
+  void ResetStats();
+
+  /// Number of currently pinned frames (for tests/assertions).
+  size_t pinned_frames() const;
+
+ private:
+  using FrameId = size_t;
+
+  // Victim selection: least-recently-used unpinned frame. Caller holds mu_.
+  bool FindVictim(FrameId* out);
+  // Evicts the current occupant of `frame` (flushing if dirty). mu_ held.
+  Status EvictFrame(FrameId frame);
+  void TouchLru(FrameId frame);
+
+  DiskManager* const disk_;
+  std::vector<std::unique_ptr<Page>> frames_;
+  std::unordered_map<PageId, FrameId> page_table_;
+  std::list<FrameId> lru_;  // front = least recently used
+  std::unordered_map<FrameId, std::list<FrameId>::iterator> lru_pos_;
+  std::vector<FrameId> free_frames_;
+  mutable std::mutex mu_;
+  IoStats stats_;
+};
+
+/// RAII pin holder. Unpins (with the recorded dirty flag) on destruction.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(BufferPool* pool, Page* page) : pool_(pool), page_(page) {}
+
+  PageGuard(PageGuard&& other) noexcept { *this = std::move(other); }
+  PageGuard& operator=(PageGuard&& other) noexcept {
+    if (this != &other) {
+      Release();
+      pool_ = other.pool_;
+      page_ = other.page_;
+      dirty_ = other.dirty_;
+      other.pool_ = nullptr;
+      other.page_ = nullptr;
+      other.dirty_ = false;
+    }
+    return *this;
+  }
+
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+
+  ~PageGuard() { Release(); }
+
+  Page* get() const { return page_; }
+  Page* operator->() const { return page_; }
+  explicit operator bool() const { return page_ != nullptr; }
+  PageId page_id() const { return page_ ? page_->page_id() : kInvalidPageId; }
+
+  void MarkDirty() { dirty_ = true; }
+
+  /// Unpins now instead of at scope end.
+  void Release() {
+    if (pool_ != nullptr && page_ != nullptr) {
+      pool_->UnpinPage(page_->page_id(), dirty_).ok();
+    }
+    pool_ = nullptr;
+    page_ = nullptr;
+    dirty_ = false;
+  }
+
+ private:
+  BufferPool* pool_ = nullptr;
+  Page* page_ = nullptr;
+  bool dirty_ = false;
+};
+
+}  // namespace xrtree
+
+#endif  // XRTREE_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,130 @@
+#include "storage/catalog.h"
+
+#include <cstring>
+
+namespace xrtree {
+
+namespace {
+
+constexpr uint32_t kCatalogMagic = 0x58524354;  // "XRCT"
+constexpr uint32_t kCatalogVersion = 1;
+
+struct CatalogHeader {
+  uint32_t magic;
+  uint32_t version;
+  uint32_t count;
+  uint32_t reserved;
+};
+
+struct CatalogRecord {
+  char name[Catalog::kMaxNameLen + 1];
+  uint64_t element_count;
+  PageId file_head;
+  PageId btree_root;
+  PageId xrtree_root;
+  uint32_t reserved;
+};
+static_assert(sizeof(CatalogRecord) == 48 + 8 + 16);
+static_assert(sizeof(CatalogHeader) +
+                  Catalog::kMaxEntries * sizeof(CatalogRecord) <=
+              kPageSize);
+
+}  // namespace
+
+Status Catalog::Load() {
+  XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(0));
+  PageGuard page(pool_, raw);
+  const auto* hdr = raw->As<CatalogHeader>();
+  entries_.clear();
+  if (hdr->magic == 0 && hdr->count == 0) {
+    return Status::Ok();  // freshly created database
+  }
+  if (hdr->magic != kCatalogMagic) {
+    return Status::Corruption("catalog: bad magic on page 0");
+  }
+  if (hdr->version != kCatalogVersion) {
+    return Status::NotSupported("catalog: unknown version " +
+                                std::to_string(hdr->version));
+  }
+  if (hdr->count > kMaxEntries) {
+    return Status::Corruption("catalog: entry count out of range");
+  }
+  const auto* records = reinterpret_cast<const CatalogRecord*>(
+      raw->data() + sizeof(CatalogHeader));
+  for (uint32_t i = 0; i < hdr->count; ++i) {
+    const CatalogRecord& r = records[i];
+    if (std::memchr(r.name, '\0', sizeof(r.name)) == nullptr) {
+      return Status::Corruption("catalog: unterminated name");
+    }
+    CatalogEntry e;
+    e.name = r.name;
+    e.element_count = r.element_count;
+    e.file_head = r.file_head;
+    e.btree_root = r.btree_root;
+    e.xrtree_root = r.xrtree_root;
+    entries_.push_back(std::move(e));
+  }
+  return Status::Ok();
+}
+
+Status Catalog::Save() const {
+  XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(0));
+  PageGuard page(pool_, raw);
+  page.MarkDirty();
+  std::memset(raw->data(), 0, kPageSize);
+  auto* hdr = raw->As<CatalogHeader>();
+  hdr->magic = kCatalogMagic;
+  hdr->version = kCatalogVersion;
+  hdr->count = static_cast<uint32_t>(entries_.size());
+  auto* records = reinterpret_cast<CatalogRecord*>(raw->data() +
+                                                   sizeof(CatalogHeader));
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const CatalogEntry& e = entries_[i];
+    CatalogRecord& r = records[i];
+    std::memset(&r, 0, sizeof(r));
+    std::strncpy(r.name, e.name.c_str(), kMaxNameLen);
+    r.element_count = e.element_count;
+    r.file_head = e.file_head;
+    r.btree_root = e.btree_root;
+    r.xrtree_root = e.xrtree_root;
+  }
+  XR_RETURN_IF_ERROR(pool_->FlushPage(0));
+  return Status::Ok();
+}
+
+Status Catalog::Put(const CatalogEntry& entry) {
+  if (entry.name.empty() || entry.name.size() > kMaxNameLen) {
+    return Status::InvalidArgument("catalog: bad entry name '" + entry.name +
+                                   "'");
+  }
+  for (CatalogEntry& e : entries_) {
+    if (e.name == entry.name) {
+      e = entry;
+      return Status::Ok();
+    }
+  }
+  if (entries_.size() >= kMaxEntries) {
+    return Status::InvalidArgument("catalog: full");
+  }
+  entries_.push_back(entry);
+  return Status::Ok();
+}
+
+Result<CatalogEntry> Catalog::Get(std::string_view name) const {
+  for (const CatalogEntry& e : entries_) {
+    if (e.name == name) return e;
+  }
+  return Status::NotFound("catalog: no entry '" + std::string(name) + "'");
+}
+
+Status Catalog::Remove(std::string_view name) {
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->name == name) {
+      entries_.erase(it);
+      return Status::Ok();
+    }
+  }
+  return Status::NotFound("catalog: no entry '" + std::string(name) + "'");
+}
+
+}  // namespace xrtree

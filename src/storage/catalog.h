@@ -1,0 +1,68 @@
+#ifndef XRTREE_STORAGE_CATALOG_H_
+#define XRTREE_STORAGE_CATALOG_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+
+namespace xrtree {
+
+/// Metadata for one named element set: where its three storage
+/// representations live. kInvalidPageId marks a representation that was
+/// never built.
+struct CatalogEntry {
+  std::string name;                     ///< e.g. the tag ("employee")
+  uint64_t element_count = 0;
+  PageId file_head = kInvalidPageId;    ///< sequential ElementFile
+  PageId btree_root = kInvalidPageId;
+  PageId xrtree_root = kInvalidPageId;
+};
+
+/// The database catalog, persisted in the reserved header page (page 0).
+/// Maps element-set names to their storage roots so a database file can be
+/// reopened without rebuilding anything. Mirrors the role of a system
+/// table in the paper's "experimental database system" (§6.1).
+///
+/// Layout of page 0: a header with a magic/version/count, followed by
+/// fixed-size records (name is capped at 48 bytes). One page bounds the
+/// catalog at 56 sets, plenty for tag-indexed element sets.
+class Catalog {
+ public:
+  explicit Catalog(BufferPool* pool) : pool_(pool) {}
+
+  /// Loads the catalog from page 0. A fresh (all-zero) header page yields
+  /// an empty catalog; a corrupt one is an error.
+  Status Load();
+
+  /// Writes the catalog back to page 0.
+  Status Save() const;
+
+  /// Registers or replaces an entry. Name must fit kMaxNameLen bytes.
+  Status Put(const CatalogEntry& entry);
+
+  /// Looks up an entry by name.
+  Result<CatalogEntry> Get(std::string_view name) const;
+
+  /// Removes an entry; NotFound if absent.
+  Status Remove(std::string_view name);
+
+  const std::vector<CatalogEntry>& entries() const { return entries_; }
+  size_t size() const { return entries_.size(); }
+
+  static constexpr size_t kMaxNameLen = 47;  // + NUL in the record
+  static constexpr size_t kMaxEntries = 56;
+
+ private:
+  BufferPool* pool_;
+  std::vector<CatalogEntry> entries_;
+};
+
+}  // namespace xrtree
+
+#endif  // XRTREE_STORAGE_CATALOG_H_

@@ -1,0 +1,137 @@
+#include "storage/element_file.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace xrtree {
+
+namespace {
+
+Element* Slots(Page* page) {
+  return reinterpret_cast<Element*>(page->data() +
+                                    sizeof(ElementFile::PageHeader));
+}
+}  // namespace
+
+Status ElementFile::Build(const ElementList& elements) {
+  if (head_ != kInvalidPageId) {
+    return Status::InvalidArgument("ElementFile already built");
+  }
+  size_ = elements.size();
+  num_pages_ = 0;
+
+  PageGuard prev;
+  size_t i = 0;
+  while (i < elements.size() || num_pages_ == 0) {
+    XR_ASSIGN_OR_RETURN(Page * raw, pool_->NewPage());
+    PageGuard page(pool_, raw);
+    page.MarkDirty();
+    auto* hdr = raw->As<PageHeader>();
+    hdr->magic = kMagic;
+    hdr->next = kInvalidPageId;
+    size_t n = std::min(kCapacity, elements.size() - i);
+    hdr->count = static_cast<uint32_t>(n);
+    if (n > 0) std::memcpy(Slots(raw), &elements[i], n * sizeof(Element));
+    i += n;
+    ++num_pages_;
+    if (prev) {
+      prev.get()->As<PageHeader>()->next = raw->page_id();
+    } else {
+      head_ = raw->page_id();
+    }
+    prev = std::move(page);
+  }
+  return Status::Ok();
+}
+
+Result<ElementList> ElementFile::ReadAll() const {
+  ElementList out;
+  out.reserve(size_);
+  PageId id = head_;
+  while (id != kInvalidPageId) {
+    XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(id));
+    PageGuard page(pool_, raw);
+    const auto* hdr = raw->As<PageHeader>();
+    if (hdr->magic != kMagic) {
+      return Status::Corruption("ElementFile: bad page magic");
+    }
+    const Element* slots = Slots(raw);
+    out.insert(out.end(), slots, slots + hdr->count);
+    id = hdr->next;
+  }
+  return out;
+}
+
+ElementFile::Scanner::Scanner(const ElementFile* file) : file_(file) {
+  LoadPage(file_->head());
+  // Skip over an empty head page (only possible for an empty file).
+  while (page_ && page_.get()->As<PageHeader>()->count == 0) {
+    PageId next = page_.get()->As<PageHeader>()->next;
+    page_.Release();
+    LoadPage(next);
+  }
+  if (page_) ++scanned_;
+}
+
+ElementFile::Scanner::~Scanner() = default;
+
+void ElementFile::Scanner::LoadPage(PageId id) {
+  slot_ = 0;
+  if (id == kInvalidPageId) {
+    page_ = PageGuard();
+    return;
+  }
+  auto result = file_->pool_->FetchPage(id);
+  assert(result.ok());
+  page_ = PageGuard(file_->pool_, result.value());
+}
+
+const Element& ElementFile::Scanner::Get() const {
+  assert(Valid());
+  return Slots(page_.get())[slot_];
+}
+
+ElementFile::ScanState ElementFile::Scanner::Save() const {
+  ScanState state;
+  if (Valid()) {
+    state.page = page_.page_id();
+    state.slot = slot_;
+  }
+  return state;
+}
+
+void ElementFile::Scanner::Restore(const ScanState& state) {
+  page_.Release();
+  if (state.page == kInvalidPageId) {
+    page_ = PageGuard();
+    return;
+  }
+  LoadPage(state.page);
+  slot_ = state.slot;
+  if (Valid()) ++scanned_;
+}
+
+bool ElementFile::Scanner::Next() {
+  if (!Valid()) return false;
+  const auto* hdr = page_.get()->As<PageHeader>();
+  if (slot_ + 1 < hdr->count) {
+    ++slot_;
+    ++scanned_;
+    return true;
+  }
+  PageId next = hdr->next;
+  page_.Release();
+  while (next != kInvalidPageId) {
+    LoadPage(next);
+    if (page_.get()->As<PageHeader>()->count > 0) {
+      ++scanned_;
+      return true;
+    }
+    next = page_.get()->As<PageHeader>()->next;
+    page_.Release();
+  }
+  page_ = PageGuard();
+  return false;
+}
+
+}  // namespace xrtree

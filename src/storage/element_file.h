@@ -1,0 +1,97 @@
+#ifndef XRTREE_STORAGE_ELEMENT_FILE_H_
+#define XRTREE_STORAGE_ELEMENT_FILE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+#include "xml/element.h"
+
+namespace xrtree {
+
+/// A sequential, page-resident element list sorted by start position: the
+/// storage format consumed by the "no-index" Stack-Tree-Desc baseline, and
+/// the bulk-load source for the index builders. Pages are chained left to
+/// right; each page holds a fixed-size array of Element entries.
+class ElementFile {
+ public:
+  /// On-page layout.
+  struct PageHeader {
+    uint32_t magic;
+    uint32_t count;
+    PageId next;
+    uint32_t pad;
+  };
+  static constexpr uint32_t kMagic = 0x454C4546;  // "ELEF"
+  static constexpr size_t kCapacity =
+      (kPageSize - sizeof(PageHeader)) / sizeof(Element);
+
+  ElementFile(BufferPool* pool) : pool_(pool) {}
+
+  /// Bulk-writes `elements` (must be sorted by start) into fresh pages.
+  Status Build(const ElementList& elements);
+
+  /// Opens an existing file given its first page (from a catalog).
+  void OpenExisting(PageId head, uint64_t size) {
+    head_ = head;
+    size_ = size;
+  }
+
+  PageId head() const { return head_; }
+  uint64_t size() const { return size_; }
+  uint64_t num_pages() const { return num_pages_; }
+
+  /// Reads the whole file back (for tests / small inputs).
+  Result<ElementList> ReadAll() const;
+
+  /// A saved scanner position (for algorithms that rewind, e.g. MPMGJN).
+  struct ScanState {
+    PageId page = kInvalidPageId;
+    uint32_t slot = 0;
+  };
+
+  /// Forward scanner over the file. Each Next() counts one element scanned.
+  class Scanner {
+   public:
+    Scanner(const ElementFile* file);
+    ~Scanner();
+    Scanner(Scanner&&) = default;
+
+    bool Valid() const { return page_.get() != nullptr; }
+    const Element& Get() const;
+    /// Advances to the next element. Returns false at end of file.
+    bool Next();
+    /// Total elements returned so far (the paper's "elements scanned").
+    uint64_t scanned() const { return scanned_; }
+
+    /// Captures the current position; invalid scanner saves an end state.
+    ScanState Save() const;
+    /// Rewinds (or forwards) to a saved position. Landing on an element
+    /// counts one scan — rewinding re-examines it, which is exactly the
+    /// redundant work MPMGJN is charged for.
+    void Restore(const ScanState& state);
+
+   private:
+    void LoadPage(PageId id);
+
+    const ElementFile* file_;
+    PageGuard page_;
+    uint32_t slot_ = 0;
+    uint64_t scanned_ = 0;
+  };
+
+  Scanner NewScanner() const { return Scanner(this); }
+
+ private:
+  BufferPool* pool_;
+  PageId head_ = kInvalidPageId;
+  uint64_t size_ = 0;
+  uint64_t num_pages_ = 0;
+};
+
+}  // namespace xrtree
+
+#endif  // XRTREE_STORAGE_ELEMENT_FILE_H_

@@ -1,0 +1,52 @@
+#ifndef XRTREE_STORAGE_IO_STATS_H_
+#define XRTREE_STORAGE_IO_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace xrtree {
+
+/// Counters describing the I/O work done by a storage stack. The paper's
+/// evaluation reports elapsed time dominated by buffer-pool page misses
+/// (§6.2); these counters are the primitive measurements behind every table
+/// and figure we reproduce.
+struct IoStats {
+  uint64_t disk_reads = 0;     ///< physical page reads issued to the file
+  uint64_t disk_writes = 0;    ///< physical page writes issued to the file
+  uint64_t buffer_hits = 0;    ///< FetchPage satisfied from the pool
+  uint64_t buffer_misses = 0;  ///< FetchPage requiring a disk read
+  uint64_t pages_allocated = 0;
+
+  IoStats operator-(const IoStats& rhs) const {
+    IoStats d;
+    d.disk_reads = disk_reads - rhs.disk_reads;
+    d.disk_writes = disk_writes - rhs.disk_writes;
+    d.buffer_hits = buffer_hits - rhs.buffer_hits;
+    d.buffer_misses = buffer_misses - rhs.buffer_misses;
+    d.pages_allocated = pages_allocated - rhs.pages_allocated;
+    return d;
+  }
+
+  IoStats& operator+=(const IoStats& rhs) {
+    disk_reads += rhs.disk_reads;
+    disk_writes += rhs.disk_writes;
+    buffer_hits += rhs.buffer_hits;
+    buffer_misses += rhs.buffer_misses;
+    pages_allocated += rhs.pages_allocated;
+    return *this;
+  }
+
+  uint64_t total_page_accesses() const { return buffer_hits + buffer_misses; }
+
+  std::string ToString() const {
+    return "reads=" + std::to_string(disk_reads) +
+           " writes=" + std::to_string(disk_writes) +
+           " hits=" + std::to_string(buffer_hits) +
+           " misses=" + std::to_string(buffer_misses) +
+           " alloc=" + std::to_string(pages_allocated);
+  }
+};
+
+}  // namespace xrtree
+
+#endif  // XRTREE_STORAGE_IO_STATS_H_

@@ -1,0 +1,68 @@
+#ifndef XRTREE_STORAGE_PAGE_H_
+#define XRTREE_STORAGE_PAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace xrtree {
+
+/// Logical page number within a database file. Page 0 is the file header.
+using PageId = uint32_t;
+
+/// Sentinel for "no page".
+inline constexpr PageId kInvalidPageId = 0xFFFFFFFFu;
+
+/// Fixed page size. The paper targets 2002-era disk pages; 4 KiB keeps the
+/// fanout (~250 element entries per leaf) in the same regime.
+inline constexpr size_t kPageSize = 4096;
+
+/// An in-memory frame holding one disk page plus buffer-pool bookkeeping.
+/// Frames are owned by the BufferPool; client code receives pinned Page
+/// pointers (or PageGuard RAII handles) and must not retain them past unpin.
+class Page {
+ public:
+  Page() { Reset(); }
+
+  Page(const Page&) = delete;
+  Page& operator=(const Page&) = delete;
+
+  char* data() { return data_; }
+  const char* data() const { return data_; }
+
+  /// Typed view of the page contents. T must be trivially copyable and fit
+  /// within kPageSize.
+  template <typename T>
+  T* As() {
+    static_assert(sizeof(T) <= kPageSize);
+    return reinterpret_cast<T*>(data_);
+  }
+  template <typename T>
+  const T* As() const {
+    static_assert(sizeof(T) <= kPageSize);
+    return reinterpret_cast<const T*>(data_);
+  }
+
+  PageId page_id() const { return page_id_; }
+  bool is_dirty() const { return is_dirty_; }
+  int pin_count() const { return pin_count_; }
+
+ private:
+  friend class BufferPool;
+
+  void Reset() {
+    std::memset(data_, 0, kPageSize);
+    page_id_ = kInvalidPageId;
+    pin_count_ = 0;
+    is_dirty_ = false;
+  }
+
+  char data_[kPageSize];
+  PageId page_id_ = kInvalidPageId;
+  int pin_count_ = 0;
+  bool is_dirty_ = false;
+};
+
+}  // namespace xrtree
+
+#endif  // XRTREE_STORAGE_PAGE_H_

@@ -1,0 +1,64 @@
+#include "workload/datasets.h"
+
+#include "xml/dtd.h"
+#include "xml/generator.h"
+
+namespace xrtree {
+
+namespace {
+
+Result<Dataset> MakeDataset(std::string name, const Dtd& dtd,
+                            std::string ancestor_tag,
+                            std::string descendant_tag,
+                            uint64_t target_elements, uint64_t seed,
+                            double recursion_decay) {
+  GeneratorOptions options;
+  options.seed = seed;
+  options.target_elements = target_elements;
+  options.recursion_decay = recursion_decay;
+  XR_ASSIGN_OR_RETURN(Document doc, Generator::Generate(dtd, options));
+
+  Dataset ds;
+  ds.name = std::move(name);
+  ds.ancestor_tag = std::move(ancestor_tag);
+  ds.descendant_tag = std::move(descendant_tag);
+  ds.corpus.AddDocument(std::move(doc));
+  ds.ancestors = ds.corpus.ElementsWithTag(ds.ancestor_tag);
+  ds.descendants = ds.corpus.ElementsWithTag(ds.descendant_tag);
+  TagId anc = ds.corpus.document(0).FindTag(ds.ancestor_tag);
+  ds.max_nesting =
+      anc == kInvalidTagId ? 0 : ds.corpus.document(0).MaxSelfNesting(anc);
+  return ds;
+}
+
+}  // namespace
+
+Result<Dataset> MakeDepartmentDataset(uint64_t target_elements,
+                                      uint64_t seed) {
+  // A gentle decay keeps employee chains deep (h_d well above 5), matching
+  // the paper's "highly nested" characterization.
+  return MakeDataset("department(employee//name)", Dtd::Department(),
+                     "employee", "name", target_elements, seed,
+                     /*recursion_decay=*/0.92);
+}
+
+Result<Dataset> MakeConferenceDataset(uint64_t target_elements,
+                                      uint64_t seed) {
+  return MakeDataset("conference(paper//author)", Dtd::Conference(), "paper",
+                     "author", target_elements, seed,
+                     /*recursion_decay=*/0.8);
+}
+
+Result<Dataset> MakeXMarkDataset(uint64_t target_elements, uint64_t seed) {
+  return MakeDataset("xmark(listitem//text)", Dtd::XMark(), "listitem",
+                     "text", target_elements, seed,
+                     /*recursion_decay=*/0.95);
+}
+
+Result<Dataset> MakeXMachDataset(uint64_t target_elements, uint64_t seed) {
+  return MakeDataset("xmach(section//paragraph)", Dtd::XMach(), "section",
+                     "paragraph", target_elements, seed,
+                     /*recursion_decay=*/0.9);
+}
+
+}  // namespace xrtree

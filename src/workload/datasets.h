@@ -1,0 +1,47 @@
+#ifndef XRTREE_WORKLOAD_DATASETS_H_
+#define XRTREE_WORKLOAD_DATASETS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "xml/corpus.h"
+#include "xml/element.h"
+
+namespace xrtree {
+
+/// One evaluation dataset: the generated corpus plus the two base element
+/// sets of the paper's join queries.
+struct Dataset {
+  std::string name;
+  std::string ancestor_tag;
+  std::string descendant_tag;
+  Corpus corpus;
+  ElementList ancestors;
+  ElementList descendants;
+  uint32_t max_nesting = 0;  ///< h_d of the ancestor tag
+};
+
+/// The "highly nested" dataset (Fig. 6a): Department DTD, join
+/// employee // name. Matches the DTD used by Chien et al.
+Result<Dataset> MakeDepartmentDataset(uint64_t target_elements,
+                                      uint64_t seed = 20030305);
+
+/// The "less nested" dataset (Fig. 6b): Conference DTD, join
+/// paper // author.
+Result<Dataset> MakeConferenceDataset(uint64_t target_elements,
+                                      uint64_t seed = 20030305);
+
+/// XMark-flavoured dataset for the §3.3 stab-list study: deep
+/// parlist/listitem recursion; join listitem // text.
+Result<Dataset> MakeXMarkDataset(uint64_t target_elements,
+                                 uint64_t seed = 20030305);
+
+/// XMach-flavoured dataset (the study's other benchmark): recursive
+/// sections; join section // paragraph.
+Result<Dataset> MakeXMachDataset(uint64_t target_elements,
+                                 uint64_t seed = 20030305);
+
+}  // namespace xrtree
+
+#endif  // XRTREE_WORKLOAD_DATASETS_H_

@@ -1,0 +1,469 @@
+#include "workload/selectivity.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/random.h"
+
+namespace xrtree {
+
+namespace {
+
+/// Merge sweep calling `visit(di, chain)` for every descendant, where
+/// `chain` is the stack of indices of ancestors containing D[di].start
+/// (bottom = outermost).
+template <typename Visitor>
+void SweepChains(const ElementList& a_list, const ElementList& d_list,
+                 Visitor&& visit) {
+  std::vector<size_t> stack;
+  size_t ai = 0;
+  for (size_t di = 0; di < d_list.size(); ++di) {
+    const Element& d = d_list[di];
+    while (ai < a_list.size() && a_list[ai].start < d.start) {
+      while (!stack.empty() && a_list[stack.back()].end < a_list[ai].start) {
+        stack.pop_back();
+      }
+      stack.push_back(ai);
+      ++ai;
+    }
+    while (!stack.empty() && a_list[stack.back()].end < d.start) {
+      stack.pop_back();
+    }
+    visit(di, stack);
+  }
+}
+
+/// Sorted list of every start/end value used by either element list.
+std::vector<Position> TakenPositions(const ElementList& a,
+                                     const ElementList& b) {
+  std::vector<Position> taken;
+  taken.reserve(2 * (a.size() + b.size()));
+  for (const Element& e : a) {
+    taken.push_back(e.start);
+    taken.push_back(e.end);
+  }
+  for (const Element& e : b) {
+    taken.push_back(e.start);
+    taken.push_back(e.end);
+  }
+  std::sort(taken.begin(), taken.end());
+  return taken;
+}
+
+Position MaxPosition(const ElementList& a, const ElementList& b) {
+  Position m = 0;
+  for (const Element& e : a) m = std::max(m, e.end);
+  for (const Element& e : b) m = std::max(m, e.end);
+  return m;
+}
+
+/// Appends `n` elements that join nothing: tiny regions in fresh position
+/// space past everything in either list.
+void AppendDummies(ElementList* list, size_t n, Position base,
+                   uint16_t level) {
+  Position p = base;
+  for (size_t i = 0; i < n; ++i) {
+    list->push_back(Element(p, p + 1, level, 0xFFFFFFF0u));
+    p += 3;
+  }
+}
+
+/// Adds `n` width-1 dummy elements that join nothing, interspersed across
+/// the document rather than appended after it (the paper "fills in dummy
+/// elements"; were they all at the end, the no-index merge would stop
+/// early once the other list is exhausted and look artificially fast).
+/// Dummies are placed in the position gaps not covered by any `blockers`
+/// region (so no blocker can contain them) and away from every position
+/// value already used as a start or end (uniqueness of region endpoints).
+/// Any shortfall is appended past the end of the position space.
+void IntersperseDummies(ElementList* list, size_t n,
+                        const ElementList& blockers,
+                        const std::vector<Position>& taken, Position max_pos,
+                        uint16_t level) {
+  // Top-level (outermost) blocker regions — blockers are start-sorted and
+  // strictly nested, so a region starting past the running max end opens a
+  // new top-level interval.
+  std::vector<std::pair<Position, Position>> tops;
+  Position max_end = 0;
+  for (const Element& e : blockers) {
+    if (e.start > max_end) tops.push_back({e.start, e.end});
+    max_end = std::max(max_end, e.end);
+  }
+  auto start_taken = [&](Position p) {
+    return std::binary_search(taken.begin(), taken.end(), p);
+  };
+  size_t placed = 0;
+  Position cursor = 1;
+  size_t ti = 0;
+  while (placed < n && cursor + 1 < max_pos) {
+    if (ti < tops.size() && cursor >= tops[ti].first) {
+      cursor = tops[ti].second + 1;  // jump over the blocked interval
+      ++ti;
+      continue;
+    }
+    Position limit =
+        ti < tops.size() ? std::min<Position>(tops[ti].first, max_pos)
+                         : max_pos;
+    for (; placed < n && cursor + 1 < limit; cursor += 3) {
+      if (start_taken(cursor) || start_taken(cursor + 1)) continue;
+      list->push_back(Element(cursor, cursor + 1, level, 0xFFFFFFF0u));
+      ++placed;
+    }
+    cursor = std::max(cursor, limit);
+  }
+  if (placed < n) {
+    AppendDummies(list, n - placed, max_pos + 100, level);
+  }
+}
+
+template <typename T>
+void Shuffle(std::vector<T>* v, Random* rng) {
+  for (size_t i = v->size(); i > 1; --i) {
+    std::swap((*v)[i - 1], (*v)[rng->Uniform(i)]);
+  }
+}
+
+/// Fenwick tree over covered-descendant flags (MakeDescendantSelectivity).
+class Fenwick {
+ public:
+  explicit Fenwick(size_t n) : tree_(n + 1, 0) {}
+  void Add(size_t i) {
+    for (++i; i < tree_.size(); i += i & (~i + 1)) ++tree_[i];
+  }
+  // Sum of flags in [0, i).
+  uint64_t Prefix(size_t i) const {
+    uint64_t s = 0;
+    for (; i > 0; i -= i & (~i + 1)) s += tree_[i];
+    return s;
+  }
+  uint64_t Range(size_t lo, size_t hi) const {  // [lo, hi)
+    return Prefix(hi) - Prefix(lo);
+  }
+
+ private:
+  std::vector<uint64_t> tree_;
+};
+
+/// Shared with MakeAncestorSelectivity / MakeBothSelectivity: greedily keeps
+/// descendants, in random order, until ~`target` ancestors are matched.
+/// Returns the kept descendant indices (sorted) and their ancestor chains.
+struct KeepPlan {
+  std::vector<uint32_t> kept;                 // descendant indices, sorted
+  std::vector<uint32_t> naturally_unmatched;  // chainless descendants
+  std::vector<char> a_matched;
+  uint64_t matched_a = 0;
+};
+
+KeepPlan PlanAncestorTarget(const ElementList& ancestors,
+                            const ElementList& descendants, uint64_t target,
+                            uint64_t seed,
+                            std::vector<std::vector<uint32_t>>* chains_out) {
+  KeepPlan plan;
+  plan.a_matched.assign(ancestors.size(), 0);
+
+  // Gather every descendant's ancestor chain once.
+  std::vector<std::vector<uint32_t>> chains(descendants.size());
+  for (size_t di = 0; di < descendants.size(); ++di) chains[di] = {};
+  SweepChains(ancestors, descendants,
+              [&](size_t di, const std::vector<size_t>& chain) {
+                if (chain.empty()) {
+                  plan.naturally_unmatched.push_back(
+                      static_cast<uint32_t>(di));
+                } else {
+                  chains[di].assign(chain.begin(), chain.end());
+                }
+              });
+
+  // Candidates are grouped by the top-level ancestor subtree they fall
+  // under, and the groups are visited in random order: removing a
+  // descendant un-matches whole ancestor subtrees at once, so surviving
+  // matches cluster into randomly placed subtrees — matching the paper's
+  // methodology of removing descendants until whole regions of the
+  // ancestor set have no matches (this clustering is what gives XR-stack
+  // leaf-level skipping room at low selectivity).
+  Random rng(seed * 2654435761u + 1);
+  std::vector<uint64_t> group_rank(ancestors.size() + 1);
+  for (uint64_t& g : group_rank) g = rng.Next64();
+  std::vector<uint32_t> order;
+  order.reserve(descendants.size());
+  for (uint32_t di = 0; di < descendants.size(); ++di) {
+    if (!chains[di].empty()) order.push_back(di);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](uint32_t x, uint32_t y) {
+                     return group_rank[chains[x][0]] <
+                            group_rank[chains[y][0]];
+                   });
+
+  for (uint32_t di : order) {
+    uint64_t added = 0;
+    for (uint32_t ai : chains[di]) {
+      if (!plan.a_matched[ai]) ++added;
+    }
+    if (plan.matched_a + added > target) continue;
+    for (uint32_t ai : chains[di]) plan.a_matched[ai] = 1;
+    plan.matched_a += added;
+    plan.kept.push_back(di);
+  }
+  std::sort(plan.kept.begin(), plan.kept.end());
+  Shuffle(&plan.naturally_unmatched, &rng);
+  if (chains_out) *chains_out = std::move(chains);
+  return plan;
+}
+
+}  // namespace
+
+JoinSelectivity ComputeSelectivity(const ElementList& ancestors,
+                                   const ElementList& descendants) {
+  JoinSelectivity out;
+  std::vector<char> a_matched(ancestors.size(), 0);
+  SweepChains(ancestors, descendants,
+              [&](size_t di, const std::vector<size_t>& chain) {
+                (void)di;
+                if (chain.empty()) return;
+                ++out.matched_descendants;
+                // Marked entries form a bottom prefix of the stack, so
+                // marking stops at the first already-marked ancestor.
+                for (auto it = chain.rbegin();
+                     it != chain.rend() && !a_matched[*it]; ++it) {
+                  a_matched[*it] = 1;
+                  ++out.matched_ancestors;
+                }
+              });
+  out.join_a = ancestors.empty()
+                   ? 0.0
+                   : static_cast<double>(out.matched_ancestors) /
+                         static_cast<double>(ancestors.size());
+  out.join_d = descendants.empty()
+                   ? 0.0
+                   : static_cast<double>(out.matched_descendants) /
+                         static_cast<double>(descendants.size());
+  return out;
+}
+
+DerivedWorkload MakeAncestorSelectivity(const ElementList& ancestors,
+                                        const ElementList& descendants,
+                                        double join_a, double join_d,
+                                        uint64_t seed) {
+  const uint64_t target =
+      static_cast<uint64_t>(std::llround(join_a * ancestors.size()));
+  KeepPlan plan =
+      PlanAncestorTarget(ancestors, descendants, target, seed, nullptr);
+
+  DerivedWorkload out;
+  out.ancestors = ancestors;
+  out.descendants.reserve(plan.kept.size());
+  for (uint32_t di : plan.kept) out.descendants.push_back(descendants[di]);
+
+  // Blend in unmatched descendants so that join_d of the result matches:
+  // matched / (matched + unmatched) == join_d. Natural non-joining
+  // descendants (already spread over the document) are preferred over
+  // synthesized dummies.
+  uint64_t unmatched_quota =
+      join_d <= 0.0
+          ? plan.naturally_unmatched.size()
+          : static_cast<uint64_t>(std::llround(
+                plan.kept.size() * (1.0 - join_d) / join_d));
+  size_t take =
+      std::min<size_t>(unmatched_quota, plan.naturally_unmatched.size());
+  for (size_t i = 0; i < take; ++i) {
+    out.descendants.push_back(descendants[plan.naturally_unmatched[i]]);
+  }
+  if (take < unmatched_quota) {
+    IntersperseDummies(&out.descendants, unmatched_quota - take, ancestors,
+                       TakenPositions(ancestors, descendants),
+                       MaxPosition(ancestors, descendants) + 1,
+                       descendants.empty() ? 1 : descendants[0].level);
+  }
+  std::sort(out.descendants.begin(), out.descendants.end());
+  out.achieved = ComputeSelectivity(out.ancestors, out.descendants);
+  return out;
+}
+
+DerivedWorkload MakeDescendantSelectivity(const ElementList& ancestors,
+                                          const ElementList& descendants,
+                                          double join_d, double join_a,
+                                          uint64_t seed) {
+  const uint64_t target =
+      static_cast<uint64_t>(std::llround(join_d * descendants.size()));
+
+  // Each ancestor covers a contiguous start-range of descendants. Greedy
+  // from the innermost (smallest cover) outwards — randomized within each
+  // size class — claiming still-uncovered descendants against the budget.
+  struct Cover {
+    size_t ai;
+    size_t lo, hi;  // descendant index range [lo, hi)
+  };
+  std::vector<Cover> covers(ancestors.size());
+  for (size_t ai = 0; ai < ancestors.size(); ++ai) {
+    const Element& a = ancestors[ai];
+    auto less_start = [](const Element& x, const Element& y) {
+      return x.start < y.start;
+    };
+    auto lo = std::upper_bound(descendants.begin(), descendants.end(),
+                               Element(a.start, a.start + 1), less_start);
+    auto hi = std::lower_bound(descendants.begin(), descendants.end(),
+                               Element(a.end, a.end + 1), less_start);
+    covers[ai] = {ai, static_cast<size_t>(lo - descendants.begin()),
+                  static_cast<size_t>(hi - descendants.begin())};
+  }
+  // Visit ancestors grouped by top-level subtree, groups in random order,
+  // innermost first inside a group: kept ancestors cluster into randomly
+  // placed subtrees (see PlanAncestorTarget for why this matches the
+  // paper's removal methodology).
+  Random rng(seed * 2654435761u + 7);
+  std::vector<uint32_t> top(ancestors.size());
+  {
+    std::vector<size_t> stack;
+    for (size_t ai = 0; ai < ancestors.size(); ++ai) {
+      while (!stack.empty() &&
+             ancestors[stack.back()].end < ancestors[ai].start) {
+        stack.pop_back();
+      }
+      top[ai] = static_cast<uint32_t>(stack.empty() ? ai : stack.front());
+      stack.push_back(ai);
+    }
+  }
+  std::vector<uint64_t> group_rank(ancestors.size());
+  for (uint64_t& g : group_rank) g = rng.Next64();
+  std::vector<size_t> order(ancestors.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+    if (group_rank[top[x]] != group_rank[top[y]]) {
+      return group_rank[top[x]] < group_rank[top[y]];
+    }
+    return covers[x].hi - covers[x].lo < covers[y].hi - covers[y].lo;
+  });
+
+  Fenwick covered_tree(descendants.size());
+  std::vector<char> covered(descendants.size(), 0);
+  uint64_t covered_count = 0;
+  std::vector<char> keep(ancestors.size(), 0);
+  std::vector<size_t> natural_unmatched;
+  for (size_t ai : order) {
+    const Cover& c = covers[ai];
+    uint64_t total = c.hi - c.lo;
+    if (total == 0) {
+      natural_unmatched.push_back(ai);
+      continue;
+    }
+    uint64_t fresh = total - covered_tree.Range(c.lo, c.hi);
+    if (covered_count + fresh > target) continue;  // drop this ancestor
+    keep[ai] = 1;
+    if (fresh > 0) {
+      for (size_t di = c.lo; di < c.hi; ++di) {
+        if (!covered[di]) {
+          covered[di] = 1;
+          covered_tree.Add(di);
+        }
+      }
+      covered_count += fresh;
+    }
+  }
+
+  DerivedWorkload out;
+  out.descendants = descendants;
+  uint64_t kept_matched = 0;
+  for (size_t ai = 0; ai < ancestors.size(); ++ai) {
+    if (keep[ai]) {
+      out.ancestors.push_back(ancestors[ai]);
+      ++kept_matched;
+    }
+  }
+  uint64_t unmatched_quota =
+      join_a <= 0.0
+          ? natural_unmatched.size()
+          : static_cast<uint64_t>(
+                std::llround(kept_matched * (1.0 - join_a) / join_a));
+  Shuffle(&natural_unmatched, &rng);
+  size_t take = std::min<size_t>(unmatched_quota, natural_unmatched.size());
+  for (size_t i = 0; i < take; ++i) {
+    out.ancestors.push_back(ancestors[natural_unmatched[i]]);
+  }
+  if (take < unmatched_quota) {
+    // A width-1 ancestor dummy can contain nothing, so only start
+    // collisions constrain its placement.
+    IntersperseDummies(&out.ancestors, unmatched_quota - take,
+                       /*blockers=*/{}, TakenPositions(ancestors, descendants),
+                       MaxPosition(ancestors, descendants) + 1,
+                       ancestors.empty() ? 1 : ancestors[0].level);
+  }
+  std::sort(out.ancestors.begin(), out.ancestors.end());
+  out.achieved = ComputeSelectivity(out.ancestors, out.descendants);
+  return out;
+}
+
+DerivedWorkload MakeBothSelectivity(const ElementList& ancestors,
+                                    const ElementList& descendants,
+                                    double fraction, uint64_t seed) {
+  const uint64_t target_a =
+      static_cast<uint64_t>(std::llround(fraction * ancestors.size()));
+  const uint64_t target_d =
+      static_cast<uint64_t>(std::llround(fraction * descendants.size()));
+
+  // Phase 1 (§6.4): remove joined descendants until only ~fraction of the
+  // ancestors still match.
+  std::vector<std::vector<uint32_t>> chains;
+  KeepPlan plan =
+      PlanAncestorTarget(ancestors, descendants, target_a, seed, &chains);
+
+  // Phase 2: trim matched descendants down to ~fraction of |D| without
+  // un-matching any ancestor: a kept descendant is removable when every
+  // ancestor in its chain is covered by at least one other kept one.
+  std::vector<uint32_t> cover_count(ancestors.size(), 0);
+  for (uint32_t di : plan.kept) {
+    for (uint32_t ai : chains[di]) ++cover_count[ai];
+  }
+  Random rng(seed * 11400714819323198485ull + 13);
+  std::vector<uint32_t> removal_order = plan.kept;
+  Shuffle(&removal_order, &rng);
+  std::vector<char> removed(descendants.size(), 0);
+  uint64_t matched_d = plan.kept.size();
+  for (uint32_t di : removal_order) {
+    if (matched_d <= target_d) break;
+    bool removable = true;
+    for (uint32_t ai : chains[di]) {
+      if (cover_count[ai] <= 1) {
+        removable = false;
+        break;
+      }
+    }
+    if (!removable) continue;
+    removed[di] = 1;
+    for (uint32_t ai : chains[di]) --cover_count[ai];
+    --matched_d;
+  }
+
+  // Phase 3: both lists keep only their joined elements; removed elements
+  // are replaced 1:1 by dummies so the sizes stay unchanged. The two dummy
+  // blocks occupy DISJOINT fresh position ranges (A-dummies first, then
+  // D-dummies): this matches the paper's setup where dummy elements "do
+  // not join with any other elements", and it is what lets B+ skip the
+  // descendant dummies and XR-stack skip both blocks at page granularity
+  // (the behaviour Fig. 8(e)(f) separates the algorithms by).
+  DerivedWorkload out;
+  for (size_t ai = 0; ai < ancestors.size(); ++ai) {
+    if (plan.a_matched[ai]) out.ancestors.push_back(ancestors[ai]);
+  }
+  for (uint32_t di : plan.kept) {
+    if (!removed[di]) out.descendants.push_back(descendants[di]);
+  }
+  Position base = MaxPosition(ancestors, descendants) + 100;
+  size_t a_deficit = ancestors.size() - out.ancestors.size();
+  AppendDummies(&out.ancestors, a_deficit, base,
+                ancestors.empty() ? 1 : ancestors[0].level);
+  base += static_cast<Position>(3 * a_deficit) + 100;
+  size_t d_deficit = descendants.size() - out.descendants.size();
+  AppendDummies(&out.descendants, d_deficit, base,
+                descendants.empty() ? 1 : descendants[0].level);
+
+  std::sort(out.ancestors.begin(), out.ancestors.end());
+  std::sort(out.descendants.begin(), out.descendants.end());
+  out.achieved = ComputeSelectivity(out.ancestors, out.descendants);
+  return out;
+}
+
+}  // namespace xrtree

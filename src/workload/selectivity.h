@@ -1,0 +1,60 @@
+#ifndef XRTREE_WORKLOAD_SELECTIVITY_H_
+#define XRTREE_WORKLOAD_SELECTIVITY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "xml/element.h"
+
+namespace xrtree {
+
+/// Join selectivities of an (ancestors, descendants) pair: the fraction of
+/// each side participating in at least one join result — the x-axes of
+/// Tables 2-3 and Fig. 8.
+struct JoinSelectivity {
+  double join_a = 0;  ///< fraction of ancestors with >= 1 descendant
+  double join_d = 0;  ///< fraction of descendants with >= 1 ancestor
+  uint64_t matched_ancestors = 0;
+  uint64_t matched_descendants = 0;
+};
+
+/// Computes both selectivities with one merge sweep (O(n) amortized).
+JoinSelectivity ComputeSelectivity(const ElementList& ancestors,
+                                   const ElementList& descendants);
+
+/// A derived workload with its achieved selectivities (the greedy
+/// derivation hits the targets up to ancestor-chain granularity; benches
+/// report the achieved numbers).
+struct DerivedWorkload {
+  ElementList ancestors;
+  ElementList descendants;
+  JoinSelectivity achieved;
+};
+
+/// §6.2 methodology: vary the join selectivity on ancestors while keeping
+/// join_d high. Descendants are removed from `descendants` until only
+/// ~`join_a` of the ancestors have matches; unmatched descendants (or
+/// synthesized non-joining dummies) are retained so that ~`join_d` of the
+/// surviving descendants match. The ancestor list is unchanged.
+DerivedWorkload MakeAncestorSelectivity(const ElementList& ancestors,
+                                        const ElementList& descendants,
+                                        double join_a, double join_d = 0.99,
+                                        uint64_t seed = 1);
+
+/// §6.3 methodology (symmetric): vary the join selectivity on descendants
+/// while keeping join_a high; ancestors are removed/padded instead.
+DerivedWorkload MakeDescendantSelectivity(const ElementList& ancestors,
+                                          const ElementList& descendants,
+                                          double join_d, double join_a = 0.99,
+                                          uint64_t seed = 1);
+
+/// §6.4 methodology: vary both selectivities together, keeping BOTH list
+/// sizes unchanged by replacing removed joined elements with dummy
+/// elements that join nothing.
+DerivedWorkload MakeBothSelectivity(const ElementList& ancestors,
+                                    const ElementList& descendants,
+                                    double fraction, uint64_t seed = 1);
+
+}  // namespace xrtree
+
+#endif  // XRTREE_WORKLOAD_SELECTIVITY_H_

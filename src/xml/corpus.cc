@@ -1,0 +1,41 @@
+#include "xml/corpus.h"
+
+#include <algorithm>
+
+namespace xrtree {
+
+DocId Corpus::AddDocument(Document doc) {
+  DocId id = static_cast<DocId>(docs_.size());
+  bases_.push_back(next_base_);
+  next_base_ = doc.EncodeRegions(next_base_);
+  docs_.push_back(std::move(doc));
+  return id;
+}
+
+DocId Corpus::DocOf(Position p) const {
+  // bases_ is ascending; find the last base <= p.
+  auto it = std::upper_bound(bases_.begin(), bases_.end(), p);
+  if (it == bases_.begin()) return static_cast<DocId>(docs_.size());
+  return static_cast<DocId>((it - bases_.begin()) - 1);
+}
+
+ElementList Corpus::ElementsWithTag(std::string_view tag) const {
+  ElementList out;
+  for (const Document& doc : docs_) {
+    ElementList part = doc.ElementsWithTag(tag);
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  // Documents occupy ascending disjoint ranges, so per-document sorted
+  // lists concatenate into a sorted list; keep the sort as a safety net
+  // for documents added in unusual orders.
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+uint64_t Corpus::TotalElements() const {
+  uint64_t n = 0;
+  for (const Document& doc : docs_) n += doc.size();
+  return n;
+}
+
+}  // namespace xrtree

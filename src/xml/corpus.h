@@ -1,0 +1,58 @@
+#ifndef XRTREE_XML_CORPUS_H_
+#define XRTREE_XML_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "xml/document.h"
+
+namespace xrtree {
+
+/// Document identifier within a corpus.
+using DocId = uint32_t;
+
+/// A collection of region-encoded documents sharing one global position
+/// space: document d occupies [base(d), base(d+1)), so regions from
+/// different documents can never contain each other and the join predicate
+/// needs no explicit DocId equality test (§2.2's condition (1) holds by
+/// construction). This is the "set of elements defined by certain
+/// predicates" that indexes are built over (§3.2).
+class Corpus {
+ public:
+  Corpus() = default;
+
+  Corpus(Corpus&&) = default;
+  Corpus& operator=(Corpus&&) = default;
+
+  /// Adds `doc` (need not be encoded yet — it is (re)encoded at this
+  /// corpus's next free base position). Returns the new DocId.
+  DocId AddDocument(Document doc);
+
+  const Document& document(DocId id) const { return docs_[id]; }
+  size_t num_documents() const { return docs_.size(); }
+
+  /// First position of document `id`.
+  Position base(DocId id) const { return bases_[id]; }
+
+  /// DocId owning position `p` (for reporting), or num_documents() if past
+  /// the end.
+  DocId DocOf(Position p) const;
+
+  /// Merged, start-sorted element list for `tag` across all documents.
+  ElementList ElementsWithTag(std::string_view tag) const;
+
+  /// Total elements across all documents.
+  uint64_t TotalElements() const;
+
+ private:
+  std::vector<Document> docs_;
+  std::vector<Position> bases_;
+  Position next_base_ = 1;
+};
+
+}  // namespace xrtree
+
+#endif  // XRTREE_XML_CORPUS_H_

@@ -1,0 +1,176 @@
+#include "xml/document.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace xrtree {
+
+TagId Document::InternTag(std::string_view name) {
+  auto it = tag_ids_.find(std::string(name));
+  if (it != tag_ids_.end()) return it->second;
+  TagId id = static_cast<TagId>(tag_names_.size());
+  tag_names_.emplace_back(name);
+  tag_ids_.emplace(tag_names_.back(), id);
+  return id;
+}
+
+TagId Document::FindTag(std::string_view name) const {
+  auto it = tag_ids_.find(std::string(name));
+  return it == tag_ids_.end() ? kInvalidTagId : it->second;
+}
+
+NodeId Document::CreateRoot(TagId tag) {
+  assert(nodes_.empty());
+  nodes_.push_back(Node{});
+  nodes_[0].tag = tag;
+  encoded_ = false;
+  return 0;
+}
+
+NodeId Document::AddChild(NodeId parent, TagId tag) {
+  assert(parent < nodes_.size());
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(Node{});
+  Node& child = nodes_.back();
+  child.tag = tag;
+  child.parent = parent;
+  Node& p = nodes_[parent];
+  if (p.first_child == kInvalidNodeId) {
+    p.first_child = id;
+  } else {
+    nodes_[p.last_child].next_sibling = id;
+  }
+  p.last_child = id;
+  encoded_ = false;
+  return id;
+}
+
+Position Document::EncodeRegions(Position base, Position position_stride) {
+  assert(position_stride >= 1);
+  if (nodes_.empty()) {
+    encoded_ = true;
+    return base;
+  }
+  Position counter = base;
+  // Iterative DFS: each stack entry is visited twice — once to assign start
+  // (descend) and once to assign end (ascend).
+  struct Frame {
+    NodeId id;
+    bool expanded;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({0, false});
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    Node& n = nodes_[top.id];
+    if (!top.expanded) {
+      top.expanded = true;
+      n.start = counter;
+      counter += position_stride;
+      n.level = (n.parent == kInvalidNodeId)
+                    ? 0
+                    : static_cast<uint16_t>(nodes_[n.parent].level + 1);
+      // Push children in reverse so the first child is processed first.
+      std::vector<NodeId> kids;
+      for (NodeId c = n.first_child; c != kInvalidNodeId;
+           c = nodes_[c].next_sibling) {
+        kids.push_back(c);
+      }
+      for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+        stack.push_back({*it, false});
+      }
+    } else {
+      n.end = counter;
+      counter += position_stride;
+      stack.pop_back();
+    }
+  }
+  encoded_ = true;
+  return counter;
+}
+
+Element Document::ElementAt(NodeId id) const {
+  assert(encoded_);
+  const Node& n = nodes_[id];
+  return Element(n.start, n.end, n.level, id);
+}
+
+ElementList Document::ElementsWithTag(TagId tag) const {
+  assert(encoded_);
+  ElementList out;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (nodes_[id].tag == tag) out.push_back(ElementAt(id));
+  }
+  // Arena order is creation order, not necessarily document order; sort.
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+ElementList Document::ElementsWithTag(std::string_view tag) const {
+  TagId id = FindTag(tag);
+  if (id == kInvalidTagId) return {};
+  return ElementsWithTag(id);
+}
+
+uint32_t Document::MaxSelfNesting(TagId tag) const {
+  // Depth of same-tag chains along ancestor paths.
+  uint32_t best = 0;
+  std::vector<uint32_t> chain(nodes_.size(), 0);
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    const Node& n = nodes_[id];
+    uint32_t up = (n.parent == kInvalidNodeId) ? 0 : chain[n.parent];
+    chain[id] = (n.tag == tag) ? up + 1 : up;
+    // Arena ids are assigned parents-before-children (AddChild requires the
+    // parent to exist), so chain[parent] is final by the time we read it.
+    best = std::max(best, chain[id]);
+  }
+  return best;
+}
+
+uint32_t Document::MaxDepth() const {
+  uint32_t best = 0;
+  std::vector<uint32_t> depth(nodes_.size(), 0);
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    const Node& n = nodes_[id];
+    depth[id] = (n.parent == kInvalidNodeId) ? 1 : depth[n.parent] + 1;
+    best = std::max(best, depth[id]);
+  }
+  return best;
+}
+
+Status Document::Validate() const {
+  if (nodes_.empty()) return Status::Ok();
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    const Node& n = nodes_[id];
+    if (n.tag >= tag_names_.size()) {
+      return Status::Corruption("node with uninterned tag");
+    }
+    if (id == 0 && n.parent != kInvalidNodeId) {
+      return Status::Corruption("root has a parent");
+    }
+    if (id != 0 && n.parent == kInvalidNodeId) {
+      return Status::Corruption("non-root node without parent");
+    }
+    if (id != 0 && n.parent >= id) {
+      return Status::Corruption("parent id not smaller than child id");
+    }
+  }
+  if (encoded_) {
+    for (NodeId id = 0; id < nodes_.size(); ++id) {
+      const Node& n = nodes_[id];
+      if (!(n.start < n.end)) return Status::Corruption("start >= end");
+      if (n.parent != kInvalidNodeId) {
+        const Node& p = nodes_[n.parent];
+        if (!(p.start < n.start && n.end < p.end)) {
+          return Status::Corruption("child region not nested in parent");
+        }
+        if (n.level != p.level + 1) {
+          return Status::Corruption("level != parent level + 1");
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace xrtree

@@ -1,0 +1,111 @@
+#ifndef XRTREE_XML_DOCUMENT_H_
+#define XRTREE_XML_DOCUMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/element.h"
+
+namespace xrtree {
+
+/// Index of a node within a Document. Node 0, when present, is the root.
+using NodeId = uint32_t;
+inline constexpr NodeId kInvalidNodeId = 0xFFFFFFFFu;
+
+/// Interned tag name id, document-local.
+using TagId = uint32_t;
+inline constexpr TagId kInvalidTagId = 0xFFFFFFFFu;
+
+/// An ordered labelled tree modelling one XML document (§1: the data type
+/// underlying the XML paradigm). Stored as a flat arena with first-child /
+/// next-sibling links so multi-million-node documents stay compact.
+///
+/// After construction call EncodeRegions() to run the depth-first numbering
+/// of §2.1: each node receives (start, end, level) where start is assigned
+/// on entry, end on exit, from one shared counter — exactly the Fig. 1
+/// scheme (minus the gaps that text nodes would consume; an optional
+/// `position_stride` widens gaps to mimic them).
+class Document {
+ public:
+  struct Node {
+    TagId tag = kInvalidTagId;
+    NodeId parent = kInvalidNodeId;
+    NodeId first_child = kInvalidNodeId;
+    NodeId last_child = kInvalidNodeId;
+    NodeId next_sibling = kInvalidNodeId;
+    Position start = 0;
+    Position end = 0;
+    uint16_t level = 0;
+  };
+
+  Document() = default;
+
+  Document(Document&&) = default;
+  Document& operator=(Document&&) = default;
+
+  /// Interns `name` and returns its TagId.
+  TagId InternTag(std::string_view name);
+
+  /// Returns the TagId for `name`, or kInvalidTagId if never interned.
+  TagId FindTag(std::string_view name) const;
+  const std::string& TagName(TagId tag) const { return tag_names_[tag]; }
+  size_t num_tags() const { return tag_names_.size(); }
+
+  /// Creates the root node. Precondition: document is empty.
+  NodeId CreateRoot(TagId tag);
+  NodeId CreateRoot(std::string_view tag) {
+    return CreateRoot(InternTag(tag));
+  }
+
+  /// Appends a child with tag `tag` under `parent`; returns its id.
+  NodeId AddChild(NodeId parent, TagId tag);
+  NodeId AddChild(NodeId parent, std::string_view tag) {
+    return AddChild(parent, InternTag(tag));
+  }
+
+  const Node& node(NodeId id) const { return nodes_[id]; }
+  size_t size() const { return nodes_.size(); }
+  bool empty() const { return nodes_.empty(); }
+  NodeId root() const { return nodes_.empty() ? kInvalidNodeId : 0; }
+
+  /// Runs the depth-first region numbering starting at position `base`.
+  /// `position_stride` >= 1 scales every increment (stride 1 = dense).
+  /// Returns the first position after the document, i.e. the next document's
+  /// base in a corpus.
+  Position EncodeRegions(Position base = 1, Position position_stride = 1);
+
+  bool encoded() const { return encoded_; }
+
+  /// The region-encoded element for node `id`. Precondition: encoded().
+  Element ElementAt(NodeId id) const;
+
+  /// All elements with tag `tag`, in document order (== sorted by start).
+  /// This is the "tag index" retrieval that feeds structural joins (§1).
+  ElementList ElementsWithTag(TagId tag) const;
+  ElementList ElementsWithTag(std::string_view tag) const;
+
+  /// Maximum nesting depth of same-tag elements for `tag` — the paper's
+  /// h_d, the bound on stab-list sizes (§3.3).
+  uint32_t MaxSelfNesting(TagId tag) const;
+
+  /// Maximum tree depth (root = 1).
+  uint32_t MaxDepth() const;
+
+  /// Validates structural invariants (tree shape, encoding present and
+  /// strictly nested). Used by tests.
+  Status Validate() const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<std::string> tag_names_;
+  std::unordered_map<std::string, TagId> tag_ids_;
+  bool encoded_ = false;
+};
+
+}  // namespace xrtree
+
+#endif  // XRTREE_XML_DOCUMENT_H_

@@ -1,0 +1,232 @@
+#include "xml/dtd.h"
+
+#include <cctype>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace xrtree {
+
+void Dtd::Declare(std::string_view name, std::vector<Particle> children) {
+  ElementDecl decl;
+  decl.name = std::string(name);
+  decl.children = std::move(children);
+  if (decls_.empty() && root_.empty()) root_ = decl.name;
+  decls_.push_back(std::move(decl));
+}
+
+const Dtd::ElementDecl* Dtd::Find(std::string_view name) const {
+  for (const auto& d : decls_) {
+    if (d.name == name) return &d;
+  }
+  return nullptr;
+}
+
+Status Dtd::Validate() const {
+  if (root_.empty()) return Status::InvalidArgument("DTD has no root");
+  if (Find(root_) == nullptr) {
+    return Status::InvalidArgument("DTD root '" + root_ + "' not declared");
+  }
+  std::unordered_set<std::string> seen;
+  for (const auto& d : decls_) {
+    if (!seen.insert(d.name).second) {
+      return Status::InvalidArgument("duplicate declaration of " + d.name);
+    }
+  }
+  for (const auto& d : decls_) {
+    for (const auto& p : d.children) {
+      if (Find(p.child) == nullptr) {
+        return Status::InvalidArgument("element '" + d.name +
+                                       "' references undeclared child '" +
+                                       p.child + "'");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+bool Dtd::IsRecursive(std::string_view name) const {
+  // DFS over the contains-relation looking for a cycle back to `name`.
+  std::unordered_set<std::string> visited;
+  std::vector<std::string> stack;
+  const ElementDecl* start = Find(name);
+  if (start == nullptr) return false;
+  for (const auto& p : start->children) stack.push_back(p.child);
+  while (!stack.empty()) {
+    std::string cur = stack.back();
+    stack.pop_back();
+    if (cur == name) return true;
+    if (!visited.insert(cur).second) continue;
+    const ElementDecl* d = Find(cur);
+    if (d == nullptr) continue;
+    for (const auto& p : d->children) stack.push_back(p.child);
+  }
+  return false;
+}
+
+Result<Dtd> Dtd::Parse(std::string_view text) {
+  Dtd dtd;
+  size_t pos = 0;
+  auto skip_ws = [&] {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  };
+  auto read_name = [&]() -> std::string {
+    size_t begin = pos;
+    while (pos < text.size() &&
+           (std::isalnum(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '_' || text[pos] == '-' || text[pos] == '#')) {
+      ++pos;
+    }
+    return std::string(text.substr(begin, pos - begin));
+  };
+
+  while (true) {
+    skip_ws();
+    if (pos >= text.size()) break;
+    if (text.substr(pos, 9) != "<!ELEMENT") {
+      return Status::Corruption("expected <!ELEMENT at offset " +
+                                std::to_string(pos));
+    }
+    pos += 9;
+    skip_ws();
+    std::string name = read_name();
+    if (name.empty()) return Status::Corruption("expected element name");
+    skip_ws();
+    std::vector<Particle> children;
+    if (pos < text.size() && text[pos] == '(') {
+      ++pos;
+      while (true) {
+        skip_ws();
+        std::string child = read_name();
+        if (child.empty()) return Status::Corruption("expected child name");
+        Occurrence occ = Occurrence::kOne;
+        if (pos < text.size()) {
+          if (text[pos] == '?') {
+            occ = Occurrence::kOptional;
+            ++pos;
+          } else if (text[pos] == '+') {
+            occ = Occurrence::kPlus;
+            ++pos;
+          } else if (text[pos] == '*') {
+            occ = Occurrence::kStar;
+            ++pos;
+          }
+        }
+        if (child != "#PCDATA") {
+          children.push_back({std::move(child), occ});
+        }
+        skip_ws();
+        if (pos < text.size() && text[pos] == ',') {
+          ++pos;
+          continue;
+        }
+        break;
+      }
+      skip_ws();
+      if (pos >= text.size() || text[pos] != ')') {
+        return Status::Corruption("expected ')' in content model");
+      }
+      ++pos;
+      skip_ws();
+      // Trailing occurrence on the whole group is not modelled; reject.
+      if (pos < text.size() &&
+          (text[pos] == '?' || text[pos] == '+' || text[pos] == '*')) {
+        return Status::NotSupported("occurrence on a content group");
+      }
+    } else {
+      // EMPTY / ANY keyword
+      std::string kw = read_name();
+      if (kw != "EMPTY" && kw != "ANY") {
+        return Status::Corruption("expected content model, EMPTY or ANY");
+      }
+    }
+    skip_ws();
+    if (pos >= text.size() || text[pos] != '>') {
+      return Status::Corruption("expected '>' ending declaration");
+    }
+    ++pos;
+    dtd.Declare(name, std::move(children));
+  }
+  XR_RETURN_IF_ERROR(dtd.Validate());
+  return dtd;
+}
+
+Dtd Dtd::Department() {
+  Dtd dtd;
+  dtd.Declare("departments", {{"department", Occurrence::kPlus}});
+  dtd.Declare("department", {{"name", Occurrence::kOne},
+                             {"email", Occurrence::kOptional},
+                             {"employee", Occurrence::kPlus}});
+  // The recursive employee* particle is what makes this DTD "highly
+  // nested": employees manage employees, so both the employee and name
+  // element sets self-nest deeply.
+  dtd.Declare("employee", {{"name", Occurrence::kOne},
+                           {"email", Occurrence::kOptional},
+                           {"employee", Occurrence::kStar}});
+  dtd.Declare("name", {});
+  dtd.Declare("email", {});
+  return dtd;
+}
+
+Dtd Dtd::Conference() {
+  Dtd dtd;
+  dtd.Declare("conferences", {{"conference", Occurrence::kPlus}});
+  dtd.Declare("conference", {{"paper", Occurrence::kPlus}});
+  dtd.Declare("paper", {{"title", Occurrence::kOne},
+                        {"author", Occurrence::kPlus},
+                        {"email", Occurrence::kOptional}});
+  dtd.Declare("title", {});
+  dtd.Declare("author", {});
+  dtd.Declare("email", {});
+  return dtd;
+}
+
+Dtd Dtd::XMark() {
+  Dtd dtd;
+  dtd.Declare("site", {{"regions", Occurrence::kOne},
+                       {"people", Occurrence::kOne},
+                       {"open_auctions", Occurrence::kOne}});
+  dtd.Declare("regions", {{"item", Occurrence::kPlus}});
+  dtd.Declare("item", {{"name", Occurrence::kOne},
+                       {"description", Occurrence::kOne}});
+  dtd.Declare("people", {{"person", Occurrence::kPlus}});
+  dtd.Declare("person", {{"name", Occurrence::kOne},
+                         {"profile", Occurrence::kOptional}});
+  dtd.Declare("profile", {{"interest", Occurrence::kStar}});
+  dtd.Declare("interest", {});
+  dtd.Declare("open_auctions", {{"open_auction", Occurrence::kPlus}});
+  dtd.Declare("open_auction", {{"description", Occurrence::kOne},
+                               {"annotation", Occurrence::kOptional}});
+  dtd.Declare("annotation", {{"description", Occurrence::kOne}});
+  // parlist/listitem mutual recursion: the deep-nesting core of XMark.
+  dtd.Declare("description", {{"parlist", Occurrence::kOptional},
+                              {"text", Occurrence::kOptional}});
+  dtd.Declare("parlist", {{"listitem", Occurrence::kPlus}});
+  dtd.Declare("listitem", {{"parlist", Occurrence::kOptional},
+                           {"text", Occurrence::kOptional}});
+  dtd.Declare("text", {});
+  dtd.Declare("name", {});
+  return dtd;
+}
+
+Dtd Dtd::XMach() {
+  Dtd dtd;
+  dtd.Declare("document", {{"title", Occurrence::kOne},
+                           {"chapter", Occurrence::kPlus}});
+  dtd.Declare("chapter", {{"head", Occurrence::kOne},
+                          {"section", Occurrence::kPlus}});
+  // Recursive sections: XMach-1 documents nest sections arbitrarily deep,
+  // which is what made it interesting for the stab-list study.
+  dtd.Declare("section", {{"head", Occurrence::kOne},
+                          {"paragraph", Occurrence::kStar},
+                          {"section", Occurrence::kStar}});
+  dtd.Declare("paragraph", {{"link", Occurrence::kOptional}});
+  dtd.Declare("head", {});
+  dtd.Declare("title", {});
+  dtd.Declare("link", {});
+  return dtd;
+}
+
+}  // namespace xrtree

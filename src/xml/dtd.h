@@ -1,0 +1,82 @@
+#ifndef XRTREE_XML_DTD_H_
+#define XRTREE_XML_DTD_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace xrtree {
+
+/// Occurrence indicator of a child particle in a content model.
+enum class Occurrence {
+  kOne,       ///< exactly one
+  kOptional,  ///< '?'
+  kPlus,      ///< '+'
+  kStar,      ///< '*'
+};
+
+/// A simplified DTD: every element type has a sequence content model
+/// (`<!ELEMENT a (b, c?, d+)>`), which covers both evaluation DTDs of the
+/// paper (Fig. 6) and the XMark-flavoured schema used for the stab-list
+/// study. Choice groups are out of scope for the workloads reproduced here.
+class Dtd {
+ public:
+  struct Particle {
+    std::string child;
+    Occurrence occurrence = Occurrence::kOne;
+  };
+  struct ElementDecl {
+    std::string name;
+    std::vector<Particle> children;  // empty = #PCDATA / EMPTY leaf
+  };
+
+  Dtd() = default;
+
+  /// Declares an element type; returns its index. Redeclaration is an
+  /// error surfaced by Validate().
+  void Declare(std::string_view name, std::vector<Particle> children);
+
+  const ElementDecl* Find(std::string_view name) const;
+  const std::vector<ElementDecl>& declarations() const { return decls_; }
+
+  void set_root(std::string_view root) { root_ = root; }
+  const std::string& root() const { return root_; }
+
+  /// Checks that the root and all referenced children are declared and
+  /// declarations are unique.
+  Status Validate() const;
+
+  /// True iff element type `name` can (transitively) contain itself —
+  /// the recursion that produces the paper's "highly nested" data.
+  bool IsRecursive(std::string_view name) const;
+
+  /// Parses a DTD subset from `<!ELEMENT name (child?, child+, ...)>`
+  /// declarations. The first declaration names the root.
+  static Result<Dtd> Parse(std::string_view text);
+
+  /// Fig. 6(a): departments / department / employee (recursive) / name /
+  /// email — the "highly nested" evaluation DTD (same as in Chien et al.).
+  static Dtd Department();
+
+  /// Fig. 6(b): conferences / conference / paper / title / author — the
+  /// "less nested" evaluation DTD.
+  static Dtd Conference();
+
+  /// A cut-down XMark auction schema whose parlist/listitem recursion gives
+  /// the deep nesting the §3.3 stab-list study relies on.
+  static Dtd XMark();
+
+  /// A cut-down XMach-1 web-document schema (Böhme & Rahm, BTW'01) — the
+  /// other benchmark of the §3.3 study; sections nest recursively.
+  static Dtd XMach();
+
+ private:
+  std::vector<ElementDecl> decls_;
+  std::string root_;
+};
+
+}  // namespace xrtree
+
+#endif  // XRTREE_XML_DTD_H_

@@ -1,0 +1,90 @@
+#ifndef XRTREE_XML_ELEMENT_H_
+#define XRTREE_XML_ELEMENT_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace xrtree {
+
+/// A document position produced by the region encoding (§2.1). Positions are
+/// corpus-global: each document in a Corpus occupies a disjoint range of
+/// positions, so containment across documents is impossible by construction
+/// and the simplified predicate `a.start < d.start < a.end` is exact.
+using Position = uint32_t;
+
+inline constexpr Position kNilPosition = 0xFFFFFFFFu;
+
+/// A region-encoded XML element: the unit indexed by B+-trees and XR-trees
+/// and joined by the structural-join algorithms. Matches the paper's
+/// (DocId, start, end, level) tuples; DocId is recoverable from the corpus
+/// position map, so the hot structures carry only (start, end, level).
+struct Element {
+  Position start = 0;
+  Position end = 0;
+  uint16_t level = 0;  ///< depth in the document tree; root = 0
+  uint16_t flags = 0;  ///< reserved (used by storage layers)
+  uint32_t id = 0;     ///< stable element id ("pointer to the data entry")
+
+  Element() = default;
+  Element(Position s, Position e, uint16_t lvl = 0, uint32_t eid = 0)
+      : start(s), end(e), level(lvl), id(eid) {}
+
+  /// True iff `this` is a (proper) ancestor of `d` under region encoding:
+  /// start < d.start and d.end < end — simplified per §2.1 to
+  /// start < d.start < end thanks to strict nesting.
+  bool Contains(const Element& d) const {
+    return start < d.start && d.start < end;
+  }
+
+  /// True iff `this` is the parent of `d` (ancestor one level up).
+  bool IsParentOf(const Element& d) const {
+    return Contains(d) && level + 1 == d.level;
+  }
+
+  /// True iff position `p` stabs this region: start <= p <= end (Def. 1).
+  bool StabbedBy(Position p) const { return start <= p && p <= end; }
+
+  friend bool operator==(const Element& a, const Element& b) {
+    return a.start == b.start && a.end == b.end && a.level == b.level;
+  }
+
+  /// Element sets are kept sorted by start position (document order).
+  friend bool operator<(const Element& a, const Element& b) {
+    return a.start < b.start;
+  }
+
+  std::string ToString() const {
+    return "(" + std::to_string(start) + ", " + std::to_string(end) +
+           ", l" + std::to_string(level) + ")";
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Element& e) {
+  return os << e.ToString();
+}
+
+/// An element set: the input unit of a structural join ("AList"/"DList").
+/// Invariant maintained by producers: sorted by start, strictly nested
+/// (regions never partially overlap).
+using ElementList = std::vector<Element>;
+
+/// Returns true iff `list` is sorted by start with strictly nested regions.
+inline bool IsStrictlyNested(const ElementList& list) {
+  for (size_t i = 1; i < list.size(); ++i) {
+    if (!(list[i - 1].start < list[i].start)) return false;
+  }
+  // Check no partial overlap via a stack of open regions.
+  std::vector<Element> open;
+  for (const Element& e : list) {
+    while (!open.empty() && open.back().end < e.start) open.pop_back();
+    if (!open.empty() && !(e.end < open.back().end)) return false;
+    open.push_back(e);
+  }
+  return true;
+}
+
+}  // namespace xrtree
+
+#endif  // XRTREE_XML_ELEMENT_H_

@@ -1,0 +1,57 @@
+#ifndef XRTREE_XML_GENERATOR_H_
+#define XRTREE_XML_GENERATOR_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "xml/document.h"
+#include "xml/dtd.h"
+
+namespace xrtree {
+
+/// Knobs for the DTD-driven generator — our stand-in for the IBM AlphaWorks
+/// XML generator the paper used (§6.1). Defaults approximate that tool's
+/// default behaviour: modest fanouts with geometric repetition and decaying
+/// recursion, which yields employee nesting of ~10+ levels on the
+/// Department DTD and flat paper/author structure on the Conference DTD.
+struct GeneratorOptions {
+  uint64_t seed = 20030305;  ///< ICDE 2003 started March 5 — arbitrary fixed seed
+
+  /// Soft target for the total node count; top-level repetition continues
+  /// until it is reached, and recursion is curtailed once it is exceeded.
+  uint64_t target_elements = 100000;
+
+  /// Mean repetition of `+` and `*` particles (geometric distribution).
+  double mean_plus = 3.0;
+  double mean_star = 2.0;
+
+  /// Probability that an `?` particle is present.
+  double optional_probability = 0.5;
+
+  /// Multiplier applied to mean_star per recursion level for recursive
+  /// particles, so recursive subtrees thin out with depth.
+  double recursion_decay = 0.8;
+
+  /// Hard cap on tree depth (guards against runaway recursion).
+  uint32_t max_depth = 64;
+};
+
+/// Generates synthetic XML documents from a DTD.
+class Generator {
+ public:
+  /// Builds one document conforming to `dtd`. Regions are NOT yet encoded;
+  /// callers encode directly or via Corpus.
+  static Result<Document> Generate(const Dtd& dtd,
+                                   const GeneratorOptions& options);
+
+  /// Builds a document where elements tagged `tag` form chains nested
+  /// exactly `nesting` deep, with `chains` independent chains and `fanout`
+  /// non-nesting `leaf` children per level. Gives precise control over the
+  /// paper's h_d parameter for the §3.3 stab-list study.
+  static Document GenerateNested(uint32_t nesting, uint32_t chains,
+                                 uint32_t fanout);
+};
+
+}  // namespace xrtree
+
+#endif  // XRTREE_XML_GENERATOR_H_

@@ -1,0 +1,191 @@
+#include "xml/parser.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace xrtree {
+
+namespace {
+
+bool IsNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+bool IsNameChar(char c) {
+  return IsNameStart(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+         c == '-' || c == '.';
+}
+
+/// Cursor over the input with line tracking for error messages.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view text) : text_(text) {}
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+  char PeekAt(size_t off) const {
+    return pos_ + off < text_.size() ? text_[pos_ + off] : '\0';
+  }
+  void Advance() {
+    if (text_[pos_] == '\n') ++line_;
+    ++pos_;
+  }
+  bool Consume(char c) {
+    if (AtEnd() || Peek() != c) return false;
+    Advance();
+    return true;
+  }
+  bool ConsumePrefix(std::string_view p) {
+    if (text_.substr(pos_).substr(0, p.size()) != p) return false;
+    for (size_t i = 0; i < p.size(); ++i) Advance();
+    return true;
+  }
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      Advance();
+    }
+  }
+  /// Advances past the first occurrence of `token`; false if absent.
+  bool SkipPast(std::string_view token) {
+    size_t at = text_.find(token, pos_);
+    if (at == std::string_view::npos) return false;
+    while (pos_ < at + token.size()) Advance();
+    return true;
+  }
+  std::string_view ReadName() {
+    size_t begin = pos_;
+    if (!AtEnd() && IsNameStart(Peek())) {
+      Advance();
+      while (!AtEnd() && IsNameChar(Peek())) Advance();
+    }
+    return text_.substr(begin, pos_ - begin);
+  }
+  int line() const { return line_; }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+Status Err(const Cursor& c, std::string_view what) {
+  return Status::Corruption("XML parse error at line " +
+                            std::to_string(c.line()) + ": " +
+                            std::string(what));
+}
+
+// Parses attributes up to (but not including) '>' or '/>'.
+Status ParseAttributes(Cursor& c) {
+  while (true) {
+    c.SkipWhitespace();
+    if (c.AtEnd()) return Err(c, "unexpected end inside tag");
+    if (c.Peek() == '>' || c.Peek() == '/' || c.Peek() == '?') {
+      return Status::Ok();
+    }
+    std::string_view name = c.ReadName();
+    if (name.empty()) return Err(c, "expected attribute name");
+    c.SkipWhitespace();
+    if (!c.Consume('=')) return Err(c, "expected '=' after attribute name");
+    c.SkipWhitespace();
+    char quote = c.AtEnd() ? '\0' : c.Peek();
+    if (quote != '"' && quote != '\'') {
+      return Err(c, "expected quoted attribute value");
+    }
+    c.Advance();
+    while (!c.AtEnd() && c.Peek() != quote) c.Advance();
+    if (!c.Consume(quote)) return Err(c, "unterminated attribute value");
+  }
+}
+
+}  // namespace
+
+Result<Document> XmlParser::Parse(std::string_view text) {
+  Cursor c(text);
+  Document doc;
+  std::vector<NodeId> open;  // stack of open elements
+
+  while (true) {
+    // Character data between tags is structure-irrelevant; skip to '<'.
+    while (!c.AtEnd() && c.Peek() != '<') {
+      if (open.empty() &&
+          !std::isspace(static_cast<unsigned char>(c.Peek()))) {
+        return Err(c, "character data outside the root element");
+      }
+      c.Advance();
+    }
+    if (c.AtEnd()) break;
+
+    if (c.ConsumePrefix("<!--")) {
+      if (!c.SkipPast("-->")) return Err(c, "unterminated comment");
+      continue;
+    }
+    if (c.ConsumePrefix("<![CDATA[")) {
+      if (open.empty()) return Err(c, "CDATA outside the root element");
+      if (!c.SkipPast("]]>")) return Err(c, "unterminated CDATA section");
+      continue;
+    }
+    if (c.ConsumePrefix("<!")) {  // DOCTYPE and friends
+      int depth = 1;
+      while (!c.AtEnd() && depth > 0) {
+        if (c.Peek() == '<') ++depth;
+        if (c.Peek() == '>') --depth;
+        c.Advance();
+      }
+      if (depth != 0) return Err(c, "unterminated <! declaration");
+      continue;
+    }
+    if (c.ConsumePrefix("<?")) {  // XML declaration / processing instruction
+      if (!c.SkipPast("?>")) return Err(c, "unterminated processing instr");
+      continue;
+    }
+    if (c.ConsumePrefix("</")) {  // end tag
+      std::string_view name = c.ReadName();
+      if (name.empty()) return Err(c, "expected tag name in end tag");
+      c.SkipWhitespace();
+      if (!c.Consume('>')) return Err(c, "expected '>' in end tag");
+      if (open.empty()) return Err(c, "end tag with no open element");
+      TagId expect = doc.node(open.back()).tag;
+      if (doc.TagName(expect) != name) {
+        return Err(c, "mismatched end tag </" + std::string(name) + ">");
+      }
+      open.pop_back();
+      continue;
+    }
+    // Start tag.
+    c.Consume('<');
+    std::string_view name = c.ReadName();
+    if (name.empty()) return Err(c, "expected tag name");
+    XR_RETURN_IF_ERROR(ParseAttributes(c));
+    bool self_closing = c.Consume('/');
+    if (!c.Consume('>')) return Err(c, "expected '>'");
+
+    NodeId id;
+    if (open.empty()) {
+      if (!doc.empty()) return Err(c, "multiple root elements");
+      id = doc.CreateRoot(name);
+    } else {
+      id = doc.AddChild(open.back(), name);
+    }
+    if (!self_closing) open.push_back(id);
+  }
+
+  if (!open.empty()) {
+    return Err(c, "unclosed element <" +
+                      std::string(doc.TagName(doc.node(open.back()).tag)) +
+                      ">");
+  }
+  if (doc.empty()) return Err(c, "no root element");
+  return doc;
+}
+
+Result<Document> XmlParser::ParseFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  std::string text = ss.str();
+  return Parse(text);
+}
+
+}  // namespace xrtree

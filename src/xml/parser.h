@@ -1,0 +1,28 @@
+#ifndef XRTREE_XML_PARSER_H_
+#define XRTREE_XML_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "xml/document.h"
+
+namespace xrtree {
+
+/// A small non-validating XML parser sufficient for benchmark documents:
+/// handles the prolog, comments, DOCTYPE, CDATA, processing instructions,
+/// attributes and character data. Only the element structure is retained
+/// (attributes and text are validated syntactically and discarded) because
+/// structural joins operate on the element tree alone.
+class XmlParser {
+ public:
+  /// Parses `text` into a Document (regions not yet encoded).
+  static Result<Document> Parse(std::string_view text);
+
+  /// Parses the file at `path`.
+  static Result<Document> ParseFile(const std::string& path);
+};
+
+}  // namespace xrtree
+
+#endif  // XRTREE_XML_PARSER_H_

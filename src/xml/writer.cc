@@ -1,0 +1,77 @@
+#include "xml/writer.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace xrtree {
+
+Status XmlWriter::Write(const Document& doc, std::ostream& os,
+                        const WriterOptions& options) {
+  if (options.declaration) {
+    os << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>";
+    if (options.pretty) os << '\n';
+  }
+  if (doc.empty()) return Status::Ok();
+
+  // Iterative DFS with open/close events.
+  struct Frame {
+    NodeId id;
+    bool closing;
+  };
+  std::vector<Frame> stack{{doc.root(), false}};
+  int depth = 0;
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    const auto& n = doc.node(f.id);
+    if (f.closing) {
+      --depth;
+      if (options.pretty) {
+        for (int i = 0; i < depth; ++i) os << "  ";
+      }
+      os << "</" << doc.TagName(n.tag) << '>';
+      if (options.pretty) os << '\n';
+      continue;
+    }
+    if (options.pretty) {
+      for (int i = 0; i < depth; ++i) os << "  ";
+    }
+    if (n.first_child == kInvalidNodeId) {
+      os << '<' << doc.TagName(n.tag) << "/>";
+      if (options.pretty) os << '\n';
+      continue;
+    }
+    os << '<' << doc.TagName(n.tag) << '>';
+    if (options.pretty) os << '\n';
+    ++depth;
+    stack.push_back({f.id, true});
+    // Children in reverse so the first child pops first.
+    std::vector<NodeId> kids;
+    for (NodeId c = n.first_child; c != kInvalidNodeId;
+         c = doc.node(c).next_sibling) {
+      kids.push_back(c);
+    }
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      stack.push_back({*it, false});
+    }
+  }
+  if (!os) return Status::IoError("stream write failed");
+  return Status::Ok();
+}
+
+std::string XmlWriter::ToString(const Document& doc,
+                                const WriterOptions& options) {
+  std::ostringstream ss;
+  Write(doc, ss, options).ok();
+  return ss.str();
+}
+
+Status XmlWriter::WriteFile(const Document& doc, const std::string& path,
+                            const WriterOptions& options) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  return Write(doc, out, options);
+}
+
+}  // namespace xrtree

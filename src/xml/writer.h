@@ -1,0 +1,33 @@
+#ifndef XRTREE_XML_WRITER_H_
+#define XRTREE_XML_WRITER_H_
+
+#include <ostream>
+#include <string>
+
+#include "common/status.h"
+#include "xml/document.h"
+
+namespace xrtree {
+
+/// Serialization options for XmlWriter.
+struct WriterOptions {
+  bool pretty = true;      ///< newline + two-space indentation per level
+  bool declaration = true; ///< emit `<?xml version="1.0"?>`
+};
+
+/// Serializes a Document back to XML text — the inverse of XmlParser
+/// (modulo attributes/text, which the model does not retain). Used by the
+/// dataset tool and round-trip tests.
+class XmlWriter {
+ public:
+  static Status Write(const Document& doc, std::ostream& os,
+                      const WriterOptions& options = {});
+  static std::string ToString(const Document& doc,
+                              const WriterOptions& options = {});
+  static Status WriteFile(const Document& doc, const std::string& path,
+                          const WriterOptions& options = {});
+};
+
+}  // namespace xrtree
+
+#endif  // XRTREE_XML_WRITER_H_

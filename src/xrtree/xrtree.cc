@@ -1,0 +1,1512 @@
+#include "xrtree/xrtree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "xrtree/xrtree_iterator.h"
+
+namespace xrtree {
+
+namespace {
+
+/// First leaf slot whose start >= key.
+uint32_t XrLeafLowerBound(const Page* page, Position key) {
+  const Element* slots = XrLeafSlots(page);
+  uint32_t lo = 0, hi = XrHeader(page)->count;
+  while (lo < hi) {
+    uint32_t mid = (lo + hi) / 2;
+    if (slots[mid].start < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+/// Child slot for descending toward `key`: first slot with keys[slot] > key
+/// (keys >= k live under k's right child, matching the stab convention that
+/// separator k satisfies left starts < k <= right starts).
+uint32_t XrChildSlot(const Page* page, Position key) {
+  const XrInternalEntry* slots = XrInternalSlots(page);
+  uint32_t lo = 0, hi = XrHeader(page)->count;
+  while (lo < hi) {
+    uint32_t mid = (lo + hi) / 2;
+    if (slots[mid].key <= key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+PageId XrChildAt(const Page* page, uint32_t child_slot) {
+  return child_slot == 0 ? XrHeader(page)->leftmost
+                         : XrInternalSlots(page)[child_slot - 1].child;
+}
+
+/// Smallest key of `page` that stabs [s, e] (i.e. the smallest key >= s,
+/// when it is <= e). Returns true and the key slot on success. This is the
+/// primary-stab test of Definition 2 applied to one node.
+bool SmallestStabbingKey(const Page* page, Position s, Position e,
+                         uint32_t* slot_out) {
+  const XrInternalEntry* slots = XrInternalSlots(page);
+  uint32_t n = XrHeader(page)->count;
+  uint32_t lo = 0, hi = n;
+  while (lo < hi) {  // first key >= s
+    uint32_t mid = (lo + hi) / 2;
+    if (slots[mid].key < s) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo < n && slots[lo].key <= e) {
+    *slot_out = lo;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+XrTree::XrTree(BufferPool* pool, PageId root, const XrTreeOptions& options)
+    : pool_(pool), root_(root) {
+  leaf_cap_ = options.leaf_capacity == 0
+                  ? static_cast<uint32_t>(kXrLeafMaxEntries)
+                  : std::min<uint32_t>(options.leaf_capacity,
+                                       kXrLeafMaxEntries);
+  internal_cap_ = options.internal_capacity == 0
+                      ? static_cast<uint32_t>(kXrInternalMaxEntries)
+                      : std::min<uint32_t>(options.internal_capacity,
+                                           kXrInternalMaxEntries);
+  naive_split_key_ = options.naive_split_key;
+  use_ps_dir_ = !options.disable_ps_directory;
+  assert(leaf_cap_ >= 2 && internal_cap_ >= 2);
+}
+
+Status XrTree::InitRootLeaf() {
+  XR_ASSIGN_OR_RETURN(Page * raw, pool_->NewPage());
+  PageGuard page(pool_, raw);
+  page.MarkDirty();
+  auto* hdr = XrHeader(raw);
+  hdr->magic = kXrLeafMagic;
+  hdr->is_leaf = 1;
+  hdr->count = 0;
+  hdr->next = kInvalidPageId;
+  hdr->prev = kInvalidPageId;
+  hdr->leftmost = kInvalidPageId;
+  hdr->stab_head = kInvalidPageId;
+  hdr->ps_dir = kInvalidPageId;
+  root_ = raw->page_id();
+  return Status::Ok();
+}
+
+Result<PageId> XrTree::FindLeaf(Position key,
+                                std::vector<PathEntry>* path) const {
+  if (root_ == kInvalidPageId) return Status::NotFound("empty tree");
+  PageId cur = root_;
+  while (true) {
+    XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(cur));
+    PageGuard page(pool_, raw);
+    if (XrHeader(raw)->is_leaf) {
+      if (path) path->push_back({cur, 0});
+      return cur;
+    }
+    uint32_t slot = XrChildSlot(raw, key);
+    if (path) path->push_back({cur, slot});
+    cur = XrChildAt(raw, slot);
+  }
+}
+
+Result<std::vector<StabEntry>> XrTree::ReadNodeStab(const Page* node) const {
+  const auto* hdr = XrHeader(node);
+  StabList list(pool_, hdr->stab_head, hdr->ps_dir, use_ps_dir_);
+  return list.ReadAll();
+}
+
+Status XrTree::WriteNodeStab(PageGuard& node, std::vector<StabEntry> entries) {
+  std::sort(entries.begin(), entries.end(), StabEntryLess);
+  auto* hdr = XrHeader(node.get());
+  StabList list(pool_, hdr->stab_head, hdr->ps_dir, use_ps_dir_);
+  XR_RETURN_IF_ERROR(list.WriteAll(entries));
+  hdr->stab_head = list.head();
+  hdr->ps_dir = list.ps_dir();
+
+  // Refresh every key's (ps, pe) summary: the region of the first element
+  // of its PSL (Definition 3), or nil when the PSL is empty.
+  XrInternalEntry* slots = XrInternalSlots(node.get());
+  size_t ei = 0;
+  for (uint32_t i = 0; i < hdr->count; ++i) {
+    while (ei < entries.size() && entries[ei].key < slots[i].key) ++ei;
+    if (ei < entries.size() && entries[ei].key == slots[i].key) {
+      slots[i].ps = entries[ei].s;
+      slots[i].pe = entries[ei].e;
+    } else {
+      slots[i].ps = kNilPosition;
+      slots[i].pe = kNilPosition;
+    }
+  }
+  node.MarkDirty();
+  return Status::Ok();
+}
+
+Status XrTree::InsertStabIntoNode(PageGuard& node, const StabEntry& entry) {
+  XR_ASSIGN_OR_RETURN(std::vector<StabEntry> entries,
+                      ReadNodeStab(node.get()));
+  entries.push_back(entry);
+  return WriteNodeStab(node, std::move(entries));
+}
+
+// ---------------------------------------------------------------------------
+// Insertion (Algorithm 1)
+// ---------------------------------------------------------------------------
+
+Status XrTree::Insert(const Element& element) {
+  if (root_ == kInvalidPageId) XR_RETURN_IF_ERROR(InitRootLeaf());
+  if (!(element.start < element.end)) {
+    return Status::InvalidArgument("element start must precede end");
+  }
+
+  // I1: navigate down; on the way, insert the element into the stab list of
+  // the highest (topmost) internal node with a stabbing key.
+  std::vector<PathEntry> path;
+  bool placed = false;
+  PageId placed_page = kInvalidPageId;
+  Position placed_key = 0;
+  {
+    PageId cur = root_;
+    while (true) {
+      XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(cur));
+      PageGuard page(pool_, raw);
+      if (XrHeader(raw)->is_leaf) {
+        path.push_back({cur, 0});
+        break;
+      }
+      if (!placed) {
+        uint32_t stab_slot;
+        if (SmallestStabbingKey(raw, element.start, element.end,
+                                &stab_slot)) {
+          Position key = XrInternalSlots(raw)[stab_slot].key;
+          XR_RETURN_IF_ERROR(
+              InsertStabIntoNode(page, MakeStabEntry(element, key)));
+          placed = true;
+          placed_page = cur;
+          placed_key = key;
+        }
+      }
+      uint32_t slot = XrChildSlot(raw, element.start);
+      path.push_back({cur, slot});
+      cur = XrChildAt(raw, slot);
+    }
+  }
+
+  // I2: insert into the leaf.
+  PageId leaf_id = path.back().page;
+  XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(leaf_id));
+  PageGuard leaf(pool_, raw);
+  auto* hdr = XrHeader(raw);
+  Element* slots = XrLeafSlots(raw);
+  uint32_t at = XrLeafLowerBound(raw, element.start);
+  if (at < hdr->count && slots[at].start == element.start) {
+    // Roll back the speculative stab placement before reporting the
+    // duplicate (the resident element keeps its own entry, if any).
+    if (placed) {
+      XR_ASSIGN_OR_RETURN(Page * nraw, pool_->FetchPage(placed_page));
+      PageGuard node(pool_, nraw);
+      XR_ASSIGN_OR_RETURN(std::vector<StabEntry> entries, ReadNodeStab(nraw));
+      auto it = std::find_if(entries.begin(), entries.end(),
+                             [&](const StabEntry& se) {
+                               return se.key == placed_key &&
+                                      se.s == element.start &&
+                                      se.e == element.end;
+                             });
+      if (it != entries.end()) {
+        entries.erase(it);
+        XR_RETURN_IF_ERROR(WriteNodeStab(node, std::move(entries)));
+      }
+    }
+    return Status::InvalidArgument("duplicate key " +
+                                   std::to_string(element.start));
+  }
+  Element stored = element;
+  SetInStabList(&stored, placed);
+
+  if (hdr->count < leaf_cap_) {
+    std::memmove(slots + at + 1, slots + at,
+                 (hdr->count - at) * sizeof(Element));
+    slots[at] = stored;
+    ++hdr->count;
+    leaf.MarkDirty();
+    ++size_;
+    return Status::Ok();
+  }
+
+  // I22: split the leaf.
+  std::vector<Element> all(slots, slots + hdr->count);
+  all.insert(all.begin() + at, stored);
+  uint32_t left_n = static_cast<uint32_t>(all.size() / 2);
+
+  // Split-key choice (§3.2): any value in (last_left.start, first_right.start]
+  // separates the leaves; prefer first_right.start - 1, which avoids stabbing
+  // the right leaf's first element (the paper's key-79-vs-80 example).
+  Position last_left = all[left_n - 1].start;
+  Position first_right = all[left_n].start;
+  Position sep = (!naive_split_key_ && first_right - 1 > last_left)
+                     ? first_right - 1
+                     : first_right;
+
+  // Newly stabbed elements (InStabList == no with s <= sep <= e) become the
+  // StabSet' proposed to the parent; their flags turn to yes.
+  std::vector<StabEntry> stab_set;
+  for (Element& e : all) {
+    if (!InStabList(e) && e.start <= sep && sep <= e.end) {
+      SetInStabList(&e, true);
+      stab_set.push_back(MakeStabEntry(e, sep));
+    }
+  }
+
+  XR_ASSIGN_OR_RETURN(Page * rraw, pool_->NewPage());
+  PageGuard right(pool_, rraw);
+  right.MarkDirty();
+  auto* rhdr = XrHeader(rraw);
+  rhdr->magic = kXrLeafMagic;
+  rhdr->is_leaf = 1;
+  rhdr->count = static_cast<uint32_t>(all.size()) - left_n;
+  rhdr->next = hdr->next;
+  rhdr->prev = leaf_id;
+  rhdr->leftmost = kInvalidPageId;
+  rhdr->stab_head = kInvalidPageId;
+  rhdr->ps_dir = kInvalidPageId;
+  std::memcpy(XrLeafSlots(rraw), all.data() + left_n,
+              rhdr->count * sizeof(Element));
+
+  hdr->count = left_n;
+  std::memcpy(slots, all.data(), left_n * sizeof(Element));
+  PageId old_next = rhdr->next;
+  hdr->next = rraw->page_id();
+  leaf.MarkDirty();
+
+  if (old_next != kInvalidPageId) {
+    XR_ASSIGN_OR_RETURN(Page * nraw, pool_->FetchPage(old_next));
+    PageGuard next(pool_, nraw);
+    XrHeader(nraw)->prev = rraw->page_id();
+    next.MarkDirty();
+  }
+
+  PageId right_id = rraw->page_id();
+  leaf.Release();
+  right.Release();
+  path.pop_back();
+  XR_RETURN_IF_ERROR(
+      InsertIntoParent(path, sep, right_id, std::move(stab_set)));
+  ++size_;
+  return Status::Ok();
+}
+
+Status XrTree::InsertIntoParent(std::vector<PathEntry>& path,
+                                Position sep_key, PageId right_child,
+                                std::vector<StabEntry> stab_set) {
+  for (StabEntry& se : stab_set) se.key = sep_key;
+
+  if (path.empty()) {
+    // I4: grow the tree with a new root holding the promoted key and its
+    // StabSet'.
+    PageId old_root = root_;
+    XR_ASSIGN_OR_RETURN(Page * raw, pool_->NewPage());
+    PageGuard page(pool_, raw);
+    page.MarkDirty();
+    auto* hdr = XrHeader(raw);
+    hdr->magic = kXrInternalMagic;
+    hdr->is_leaf = 0;
+    hdr->count = 1;
+    hdr->next = kInvalidPageId;
+    hdr->prev = kInvalidPageId;
+    hdr->leftmost = old_root;
+    hdr->stab_head = kInvalidPageId;
+    hdr->ps_dir = kInvalidPageId;
+    XrInternalSlots(raw)[0] = {sep_key, kNilPosition, kNilPosition,
+                               right_child};
+    root_ = raw->page_id();
+    return WriteNodeStab(page, std::move(stab_set));
+  }
+
+  PathEntry entry = path.back();
+  path.pop_back();
+  XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(entry.page));
+  PageGuard node(pool_, raw);
+  auto* hdr = XrHeader(raw);
+  XrInternalEntry* slots = XrInternalSlots(raw);
+  uint32_t at = entry.slot;
+
+  // Gather the node's stab entries and apply the new-key effects:
+  //  * elements of the successor key's PSL with s <= sep_key are now
+  //    primarily stabbed by sep_key (it is smaller) — retag them;
+  //  * StabSet' arrives tagged with sep_key.
+  XR_ASSIGN_OR_RETURN(std::vector<StabEntry> entries, ReadNodeStab(raw));
+  if (at < hdr->count) {
+    Position successor = slots[at].key;
+    for (StabEntry& se : entries) {
+      if (se.key == successor && se.s <= sep_key) se.key = sep_key;
+    }
+  }
+  entries.insert(entries.end(), stab_set.begin(), stab_set.end());
+
+  if (hdr->count < internal_cap_) {
+    // I31: room available — insert the key entry and commit the stab list.
+    std::memmove(slots + at + 1, slots + at,
+                 (hdr->count - at) * sizeof(XrInternalEntry));
+    slots[at] = {sep_key, kNilPosition, kNilPosition, right_child};
+    ++hdr->count;
+    node.MarkDirty();
+    return WriteNodeStab(node, std::move(entries));
+  }
+
+  // I32: split the internal node. The middle key km moves up, together
+  // with StabSet'' — every element of SL(I) ∪ SL(Inew) stabbed by km
+  // (Fig. 5).
+  std::vector<XrInternalEntry> all(slots, slots + hdr->count);
+  all.insert(all.begin() + at,
+             {sep_key, kNilPosition, kNilPosition, right_child});
+  uint32_t mid = static_cast<uint32_t>(all.size() / 2);
+  Position km = all[mid].key;
+
+  std::vector<StabEntry> left_entries, right_entries, stab_up;
+  for (const StabEntry& se : entries) {
+    if (se.s <= km && km <= se.e) {
+      stab_up.push_back(se);
+    } else if (se.key < km) {
+      left_entries.push_back(se);
+    } else {
+      right_entries.push_back(se);
+    }
+  }
+
+  XR_ASSIGN_OR_RETURN(Page * rraw, pool_->NewPage());
+  PageGuard right(pool_, rraw);
+  right.MarkDirty();
+  auto* rhdr = XrHeader(rraw);
+  rhdr->magic = kXrInternalMagic;
+  rhdr->is_leaf = 0;
+  rhdr->count = static_cast<uint32_t>(all.size()) - mid - 1;
+  rhdr->next = kInvalidPageId;
+  rhdr->prev = kInvalidPageId;
+  rhdr->leftmost = all[mid].child;
+  rhdr->stab_head = kInvalidPageId;
+  rhdr->ps_dir = kInvalidPageId;
+  std::memcpy(XrInternalSlots(rraw), all.data() + mid + 1,
+              rhdr->count * sizeof(XrInternalEntry));
+
+  hdr->count = mid;
+  std::memcpy(slots, all.data(), mid * sizeof(XrInternalEntry));
+  node.MarkDirty();
+
+  XR_RETURN_IF_ERROR(WriteNodeStab(node, std::move(left_entries)));
+  XR_RETURN_IF_ERROR(WriteNodeStab(right, std::move(right_entries)));
+
+  PageId right_id = rraw->page_id();
+  node.Release();
+  right.Release();
+  return InsertIntoParent(path, km, right_id, std::move(stab_up));
+}
+
+// ---------------------------------------------------------------------------
+// Stab-list relocation primitives (shared by Algorithms 1 and 2)
+// ---------------------------------------------------------------------------
+
+Status XrTree::PlaceEntry(PageId from, const StabEntry& entry) {
+  PageId cur = from;
+  while (true) {
+    XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(cur));
+    PageGuard page(pool_, raw);
+    if (XrHeader(raw)->is_leaf) {
+      // No internal node below stabs the element: flag it InStabList=no.
+      uint32_t at = XrLeafLowerBound(raw, entry.s);
+      if (at >= XrHeader(raw)->count ||
+          XrLeafSlots(raw)[at].start != entry.s) {
+        return Status::Corruption("PlaceEntry: element missing from leaf");
+      }
+      SetInStabList(&XrLeafSlots(raw)[at], false);
+      page.MarkDirty();
+      return Status::Ok();
+    }
+    uint32_t stab_slot;
+    if (SmallestStabbingKey(raw, entry.s, entry.e, &stab_slot)) {
+      StabEntry tagged = entry;
+      tagged.key = XrInternalSlots(raw)[stab_slot].key;
+      return InsertStabIntoNode(page, tagged);
+    }
+    cur = XrChildAt(raw, XrChildSlot(raw, entry.s));
+  }
+}
+
+Status XrTree::CollectStabbedDescent(PageId subtree, Position k,
+                                     std::vector<StabEntry>* out) {
+  PageId cur = subtree;
+  while (true) {
+    XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(cur));
+    PageGuard page(pool_, raw);
+    if (XrHeader(raw)->is_leaf) {
+      Element* slots = XrLeafSlots(raw);
+      uint32_t n = XrHeader(raw)->count;
+      bool dirty = false;
+      for (uint32_t i = 0; i < n && slots[i].start <= k; ++i) {
+        if (!InStabList(slots[i]) && k <= slots[i].end) {
+          SetInStabList(&slots[i], true);
+          out->push_back(MakeStabEntry(slots[i], k));
+          dirty = true;
+        }
+      }
+      if (dirty) page.MarkDirty();
+      return Status::Ok();
+    }
+    // Remove (and collect) every stab entry of this node stabbed by k.
+    XR_ASSIGN_OR_RETURN(std::vector<StabEntry> entries, ReadNodeStab(raw));
+    std::vector<StabEntry> kept;
+    kept.reserve(entries.size());
+    bool changed = false;
+    for (const StabEntry& se : entries) {
+      if (se.s <= k && k <= se.e) {
+        out->push_back(se);
+        changed = true;
+      } else {
+        kept.push_back(se);
+      }
+    }
+    if (changed) XR_RETURN_IF_ERROR(WriteNodeStab(page, std::move(kept)));
+    cur = XrChildAt(raw, XrChildSlot(raw, k));
+  }
+}
+
+Status XrTree::ReplaceSeparatorKey(PageGuard& parent, uint32_t key_slot,
+                                   Position knew) {
+  auto* hdr = XrHeader(parent.get());
+  XrInternalEntry* slots = XrInternalSlots(parent.get());
+  assert(key_slot < hdr->count);
+  slots[key_slot].key = knew;
+  slots[key_slot].ps = kNilPosition;
+  slots[key_slot].pe = kNilPosition;
+  parent.MarkDirty();
+
+  // Recompute every entry's primary key over the new key set; entries no
+  // longer stabbed by any key of this node are demoted below.
+  XR_ASSIGN_OR_RETURN(std::vector<StabEntry> entries,
+                      ReadNodeStab(parent.get()));
+  std::vector<StabEntry> kept, demote;
+  for (StabEntry se : entries) {
+    uint32_t slot;
+    if (SmallestStabbingKey(parent.get(), se.s, se.e, &slot)) {
+      se.key = slots[slot].key;
+      kept.push_back(se);
+    } else {
+      demote.push_back(se);
+    }
+  }
+
+  // Pull up elements below that the new key stabs: they live on the path
+  // of knew inside the two adjacent subtrees (elements with s < knew sit
+  // left of the separator, an element with s == knew sits right of it).
+  std::vector<StabEntry> pulled;
+  XR_RETURN_IF_ERROR(
+      CollectStabbedDescent(XrChildAt(parent.get(), key_slot), knew,
+                            &pulled));
+  XR_RETURN_IF_ERROR(
+      CollectStabbedDescent(XrChildAt(parent.get(), key_slot + 1), knew,
+                            &pulled));
+  for (StabEntry se : pulled) {
+    uint32_t slot;
+    bool ok = SmallestStabbingKey(parent.get(), se.s, se.e, &slot);
+    if (!ok) return Status::Corruption("pulled entry not stabbed by parent");
+    se.key = slots[slot].key;
+    kept.push_back(se);
+  }
+
+  XR_RETURN_IF_ERROR(WriteNodeStab(parent, std::move(kept)));
+  for (const StabEntry& se : demote) {
+    XR_RETURN_IF_ERROR(PlaceEntry(parent.page_id(), se));
+  }
+  return Status::Ok();
+}
+
+Status XrTree::RemoveSeparatorKey(PageGuard& parent, uint32_t key_slot) {
+  auto* hdr = XrHeader(parent.get());
+  XrInternalEntry* slots = XrInternalSlots(parent.get());
+  assert(key_slot < hdr->count);
+  Position removed = slots[key_slot].key;
+  std::memmove(slots + key_slot, slots + key_slot + 1,
+               (hdr->count - key_slot - 1) * sizeof(XrInternalEntry));
+  --hdr->count;
+  parent.MarkDirty();
+
+  // D31: entries of PSL(removed) are retagged to another stabbing key of
+  // this node, or reinserted into the highest stabbing node below.
+  XR_ASSIGN_OR_RETURN(std::vector<StabEntry> entries,
+                      ReadNodeStab(parent.get()));
+  std::vector<StabEntry> kept, demote;
+  for (StabEntry se : entries) {
+    if (se.key != removed) {
+      kept.push_back(se);
+      continue;
+    }
+    uint32_t slot;
+    if (SmallestStabbingKey(parent.get(), se.s, se.e, &slot)) {
+      se.key = slots[slot].key;
+      kept.push_back(se);
+    } else {
+      demote.push_back(se);
+    }
+  }
+  XR_RETURN_IF_ERROR(WriteNodeStab(parent, std::move(kept)));
+  for (const StabEntry& se : demote) {
+    XR_RETURN_IF_ERROR(PlaceEntry(parent.page_id(), se));
+  }
+  return Status::Ok();
+}
+
+Status XrTree::MergeStabLists(PageGuard& dest, PageGuard& victim) {
+  XR_ASSIGN_OR_RETURN(std::vector<StabEntry> a, ReadNodeStab(dest.get()));
+  XR_ASSIGN_OR_RETURN(std::vector<StabEntry> b, ReadNodeStab(victim.get()));
+  a.insert(a.end(), b.begin(), b.end());
+  XR_RETURN_IF_ERROR(WriteNodeStab(victim, {}));
+  // Note: dest's keys must already include the victim's for the (ps, pe)
+  // refresh to see them; callers merge key arrays before stab lists.
+  return WriteNodeStab(dest, std::move(a));
+}
+
+// ---------------------------------------------------------------------------
+// Deletion (Algorithm 2)
+// ---------------------------------------------------------------------------
+
+Status XrTree::Delete(Position key) {
+  if (root_ == kInvalidPageId) return Status::NotFound("empty tree");
+  std::vector<PathEntry> path;
+  XR_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(key, &path));
+
+  Element victim;
+  {
+    XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(leaf_id));
+    PageGuard leaf(pool_, raw);
+    auto* hdr = XrHeader(raw);
+    Element* slots = XrLeafSlots(raw);
+    uint32_t at = XrLeafLowerBound(raw, key);
+    if (at >= hdr->count || slots[at].start != key) {
+      return Status::NotFound("key " + std::to_string(key));
+    }
+    victim = slots[at];
+    std::memmove(slots + at, slots + at + 1,
+                 (hdr->count - at - 1) * sizeof(Element));
+    --hdr->count;
+    leaf.MarkDirty();
+  }
+  --size_;
+
+  // D1: remove the element from the stab list holding it — the topmost
+  // node on the path with a stabbing key.
+  if (InStabList(victim)) {
+    bool erased = false;
+    for (const PathEntry& pe : path) {
+      XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(pe.page));
+      PageGuard node(pool_, raw);
+      if (XrHeader(raw)->is_leaf) break;
+      uint32_t slot;
+      if (SmallestStabbingKey(raw, victim.start, victim.end, &slot)) {
+        Position primary = XrInternalSlots(raw)[slot].key;
+        XR_ASSIGN_OR_RETURN(std::vector<StabEntry> entries,
+                            ReadNodeStab(raw));
+        auto it = std::find_if(entries.begin(), entries.end(),
+                               [&](const StabEntry& se) {
+                                 return se.key == primary &&
+                                        se.s == victim.start;
+                               });
+        if (it == entries.end()) {
+          return Status::Corruption("InStabList element missing from the "
+                                    "topmost stabbing node");
+        }
+        entries.erase(it);
+        XR_RETURN_IF_ERROR(WriteNodeStab(node, std::move(entries)));
+        erased = true;
+        break;
+      }
+    }
+    if (!erased) {
+      return Status::Corruption("InStabList set but no stabbing key found");
+    }
+  }
+
+  // D2: resolve leaf underflow.
+  XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(leaf_id));
+  uint32_t count = XrHeader(raw)->count;
+  XR_RETURN_IF_ERROR(pool_->UnpinPage(leaf_id, false));
+  bool is_root_leaf = (leaf_id == root_);
+  if (is_root_leaf || count >= leaf_cap_ / 2) return Status::Ok();
+  return HandleLeafUnderflow(path);
+}
+
+Status XrTree::HandleLeafUnderflow(std::vector<PathEntry>& path) {
+  assert(path.size() >= 2);
+  PathEntry leaf_entry = path.back();
+  PathEntry parent_entry = path[path.size() - 2];
+  // Path convention: an entry's slot is the child slot taken FROM that
+  // node, so the leaf's position within its parent lives on the parent's
+  // entry.
+  uint32_t child_slot = parent_entry.slot;
+
+  XR_ASSIGN_OR_RETURN(Page * praw, pool_->FetchPage(parent_entry.page));
+  PageGuard parent(pool_, praw);
+  auto* phdr = XrHeader(praw);
+
+  XR_ASSIGN_OR_RETURN(Page * lraw, pool_->FetchPage(leaf_entry.page));
+  PageGuard leaf(pool_, lraw);
+  auto* lhdr = XrHeader(lraw);
+  uint32_t min_fill = leaf_cap_ / 2;
+
+  // D22: redistribution with a sibling. Moving an element changes the
+  // separator key, with full stab-list effects via ReplaceSeparatorKey.
+  if (child_slot > 0) {
+    PageId sib_id = XrChildAt(praw, child_slot - 1);
+    XR_ASSIGN_OR_RETURN(Page * sraw, pool_->FetchPage(sib_id));
+    PageGuard sib(pool_, sraw);
+    auto* shdr = XrHeader(sraw);
+    if (shdr->count > min_fill) {
+      Element* lslots = XrLeafSlots(lraw);
+      Element* sslots = XrLeafSlots(sraw);
+      std::memmove(lslots + 1, lslots, lhdr->count * sizeof(Element));
+      lslots[0] = sslots[shdr->count - 1];
+      ++lhdr->count;
+      --shdr->count;
+      Position knew = lslots[0].start;
+      leaf.MarkDirty();
+      sib.MarkDirty();
+      sib.Release();
+      leaf.Release();
+      return ReplaceSeparatorKey(parent, child_slot - 1, knew);
+    }
+  }
+  if (child_slot < phdr->count) {
+    PageId sib_id = XrChildAt(praw, child_slot + 1);
+    XR_ASSIGN_OR_RETURN(Page * sraw, pool_->FetchPage(sib_id));
+    PageGuard sib(pool_, sraw);
+    auto* shdr = XrHeader(sraw);
+    if (shdr->count > min_fill) {
+      Element* lslots = XrLeafSlots(lraw);
+      Element* sslots = XrLeafSlots(sraw);
+      lslots[lhdr->count] = sslots[0];
+      ++lhdr->count;
+      std::memmove(sslots, sslots + 1, (shdr->count - 1) * sizeof(Element));
+      --shdr->count;
+      Position knew = sslots[0].start;
+      leaf.MarkDirty();
+      sib.MarkDirty();
+      sib.Release();
+      leaf.Release();
+      return ReplaceSeparatorKey(parent, child_slot, knew);
+    }
+  }
+
+  // D23: merge with a sibling; the separator key disappears from the
+  // parent (with its stab effects).
+  uint32_t removed_slot;
+  if (child_slot > 0) {
+    PageId sib_id = XrChildAt(praw, child_slot - 1);
+    XR_ASSIGN_OR_RETURN(Page * sraw, pool_->FetchPage(sib_id));
+    PageGuard sib(pool_, sraw);
+    auto* shdr = XrHeader(sraw);
+    std::memcpy(XrLeafSlots(sraw) + shdr->count, XrLeafSlots(lraw),
+                lhdr->count * sizeof(Element));
+    shdr->count += lhdr->count;
+    shdr->next = lhdr->next;
+    if (lhdr->next != kInvalidPageId) {
+      XR_ASSIGN_OR_RETURN(Page * nraw, pool_->FetchPage(lhdr->next));
+      PageGuard next(pool_, nraw);
+      XrHeader(nraw)->prev = sib_id;
+      next.MarkDirty();
+    }
+    sib.MarkDirty();
+    removed_slot = child_slot - 1;
+    PageId dead = leaf_entry.page;
+    leaf.Release();
+    XR_RETURN_IF_ERROR(pool_->DiscardPage(dead));
+  } else {
+    PageId sib_id = XrChildAt(praw, child_slot + 1);
+    XR_ASSIGN_OR_RETURN(Page * sraw, pool_->FetchPage(sib_id));
+    PageGuard sib(pool_, sraw);
+    auto* shdr = XrHeader(sraw);
+    std::memcpy(XrLeafSlots(lraw) + lhdr->count, XrLeafSlots(sraw),
+                shdr->count * sizeof(Element));
+    lhdr->count += shdr->count;
+    lhdr->next = shdr->next;
+    if (shdr->next != kInvalidPageId) {
+      XR_ASSIGN_OR_RETURN(Page * nraw, pool_->FetchPage(shdr->next));
+      PageGuard next(pool_, nraw);
+      XrHeader(nraw)->prev = leaf_entry.page;
+      next.MarkDirty();
+    }
+    leaf.MarkDirty();
+    removed_slot = child_slot;
+    PageId dead = sib_id;
+    sib.Release();
+    XR_RETURN_IF_ERROR(pool_->DiscardPage(dead));
+  }
+  leaf.Release();
+
+  XR_RETURN_IF_ERROR(RemoveSeparatorKey(parent, removed_slot));
+
+  bool parent_is_root = (parent_entry.page == root_);
+  if (parent_is_root && phdr->count == 0) {
+    // D4: shorten the tree. RemoveSeparatorKey demoted every remaining
+    // stab entry below, so the dying root's chain is empty.
+    if (phdr->stab_head != kInvalidPageId) {
+      return Status::Corruption("shrinking root still owns stab entries");
+    }
+    root_ = phdr->leftmost;
+    PageId dead = parent_entry.page;
+    parent.Release();
+    return pool_->DiscardPage(dead);
+  }
+  uint32_t imin = internal_cap_ / 2;
+  bool underflow = !parent_is_root && phdr->count < imin;
+  parent.Release();
+  if (!underflow) return Status::Ok();
+  path.pop_back();
+  return HandleInternalUnderflow(path, path.size() - 1);
+}
+
+Status XrTree::HandleInternalUnderflow(std::vector<PathEntry>& path,
+                                       size_t depth) {
+  assert(depth >= 1);
+  PathEntry node_entry = path[depth];
+  PathEntry parent_entry = path[depth - 1];
+  uint32_t child_slot = parent_entry.slot;
+
+  XR_ASSIGN_OR_RETURN(Page * praw, pool_->FetchPage(parent_entry.page));
+  PageGuard parent(pool_, praw);
+  auto* phdr = XrHeader(praw);
+  XrInternalEntry* pslots = XrInternalSlots(praw);
+
+  XR_ASSIGN_OR_RETURN(Page * nraw, pool_->FetchPage(node_entry.page));
+  PageGuard node(pool_, nraw);
+  auto* nhdr = XrHeader(nraw);
+  XrInternalEntry* nslots = XrInternalSlots(nraw);
+  uint32_t imin = internal_cap_ / 2;
+
+  // D32: redistribution through the parent. The separator comes down, the
+  // sibling's boundary key goes up; ReplaceSeparatorKey then fixes every
+  // stab consequence (the moved-up key's stabbed elements are pulled out
+  // of the sibling by the descent sweep; the moved-down key's elements are
+  // demoted out of the parent).
+  if (child_slot > 0) {
+    PageId sib_id = XrChildAt(praw, child_slot - 1);
+    XR_ASSIGN_OR_RETURN(Page * sraw, pool_->FetchPage(sib_id));
+    PageGuard sib(pool_, sraw);
+    auto* shdr = XrHeader(sraw);
+    XrInternalEntry* sslots = XrInternalSlots(sraw);
+    if (shdr->count > imin) {
+      Position km = pslots[child_slot - 1].key;
+      Position kl = sslots[shdr->count - 1].key;
+      std::memmove(nslots + 1, nslots,
+                   nhdr->count * sizeof(XrInternalEntry));
+      nslots[0] = {km, kNilPosition, kNilPosition, nhdr->leftmost};
+      nhdr->leftmost = sslots[shdr->count - 1].child;
+      ++nhdr->count;
+      --shdr->count;
+      node.MarkDirty();
+      sib.MarkDirty();
+      sib.Release();
+      node.Release();
+      return ReplaceSeparatorKey(parent, child_slot - 1, kl);
+    }
+  }
+  if (child_slot < phdr->count) {
+    PageId sib_id = XrChildAt(praw, child_slot + 1);
+    XR_ASSIGN_OR_RETURN(Page * sraw, pool_->FetchPage(sib_id));
+    PageGuard sib(pool_, sraw);
+    auto* shdr = XrHeader(sraw);
+    XrInternalEntry* sslots = XrInternalSlots(sraw);
+    if (shdr->count > imin) {
+      Position km = pslots[child_slot].key;
+      Position kf = sslots[0].key;
+      nslots[nhdr->count] = {km, kNilPosition, kNilPosition,
+                             shdr->leftmost};
+      ++nhdr->count;
+      shdr->leftmost = sslots[0].child;
+      std::memmove(sslots, sslots + 1,
+                   (shdr->count - 1) * sizeof(XrInternalEntry));
+      --shdr->count;
+      node.MarkDirty();
+      sib.MarkDirty();
+      sib.Release();
+      node.Release();
+      return ReplaceSeparatorKey(parent, child_slot, kf);
+    }
+  }
+
+  // D33: merge, pulling the separator key down into the surviving node and
+  // concatenating the stab lists.
+  uint32_t removed_slot;
+  if (child_slot > 0) {
+    PageId sib_id = XrChildAt(praw, child_slot - 1);
+    XR_ASSIGN_OR_RETURN(Page * sraw, pool_->FetchPage(sib_id));
+    PageGuard sib(pool_, sraw);
+    auto* shdr = XrHeader(sraw);
+    XrInternalEntry* sslots = XrInternalSlots(sraw);
+    Position km = pslots[child_slot - 1].key;
+    sslots[shdr->count] = {km, kNilPosition, kNilPosition, nhdr->leftmost};
+    ++shdr->count;
+    std::memcpy(sslots + shdr->count, nslots,
+                nhdr->count * sizeof(XrInternalEntry));
+    shdr->count += nhdr->count;
+    sib.MarkDirty();
+    XR_RETURN_IF_ERROR(MergeStabLists(sib, node));
+    removed_slot = child_slot - 1;
+    PageId dead = node_entry.page;
+    node.Release();
+    sib.Release();
+    XR_RETURN_IF_ERROR(pool_->DiscardPage(dead));
+  } else {
+    PageId sib_id = XrChildAt(praw, child_slot + 1);
+    XR_ASSIGN_OR_RETURN(Page * sraw, pool_->FetchPage(sib_id));
+    PageGuard sib(pool_, sraw);
+    auto* shdr = XrHeader(sraw);
+    XrInternalEntry* sslots = XrInternalSlots(sraw);
+    Position km = pslots[child_slot].key;
+    nslots[nhdr->count] = {km, kNilPosition, kNilPosition, shdr->leftmost};
+    ++nhdr->count;
+    std::memcpy(nslots + nhdr->count, sslots,
+                shdr->count * sizeof(XrInternalEntry));
+    nhdr->count += shdr->count;
+    node.MarkDirty();
+    XR_RETURN_IF_ERROR(MergeStabLists(node, sib));
+    removed_slot = child_slot;
+    PageId dead = sib_id;
+    sib.Release();
+    node.Release();
+    XR_RETURN_IF_ERROR(pool_->DiscardPage(dead));
+  }
+
+  XR_RETURN_IF_ERROR(RemoveSeparatorKey(parent, removed_slot));
+
+  bool parent_is_root = (parent_entry.page == root_);
+  if (parent_is_root && phdr->count == 0) {
+    if (phdr->stab_head != kInvalidPageId) {
+      return Status::Corruption("shrinking root still owns stab entries");
+    }
+    root_ = phdr->leftmost;
+    PageId dead = parent_entry.page;
+    parent.Release();
+    return pool_->DiscardPage(dead);
+  }
+  uint32_t imin2 = internal_cap_ / 2;
+  bool underflow = !parent_is_root && phdr->count < imin2;
+  parent.Release();
+  if (!underflow) return Status::Ok();
+  return HandleInternalUnderflow(path, depth - 1);
+}
+
+// ---------------------------------------------------------------------------
+// Queries (Algorithms 3-5, §5.3)
+// ---------------------------------------------------------------------------
+
+Result<Element> XrTree::Search(Position key) const {
+  if (root_ == kInvalidPageId) return Status::NotFound("empty tree");
+  XR_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(key, nullptr));
+  XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(leaf_id));
+  PageGuard leaf(pool_, raw);
+  uint32_t at = XrLeafLowerBound(raw, key);
+  if (at < XrHeader(raw)->count && XrLeafSlots(raw)[at].start == key) {
+    Element e = XrLeafSlots(raw)[at];
+    e.flags = 0;  // InStabList is an index detail, not element data
+    return e;
+  }
+  return Status::NotFound("key " + std::to_string(key));
+}
+
+Result<ElementList> XrTree::FindDescendants(const Element& ancestor,
+                                            uint64_t* scanned) const {
+  // Algorithm 3: a range scan over (sa, ea) on the B+-tree backbone; stab
+  // lists are never touched.
+  ElementList out;
+  XR_ASSIGN_OR_RETURN(XrIterator it, UpperBound(ancestor.start));
+  while (it.Valid() && it.Get().start < ancestor.end) {
+    Element e = it.Get();
+    e.flags = 0;
+    out.push_back(e);
+    XR_RETURN_IF_ERROR(it.Next());
+  }
+  if (scanned) *scanned += it.scanned();
+  return out;
+}
+
+Result<ElementList> XrTree::FindAncestorsAbove(Position sd,
+                                               Position min_start,
+                                               uint64_t* scanned,
+                                               Position* next_start) const {
+  ElementList out;
+  if (next_start) *next_start = kNilPosition;
+  if (root_ == kInvalidPageId) return out;
+  uint64_t local_scanned = 0;
+  PageId cur = root_;
+  while (true) {
+    XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(cur));
+    PageGuard page(pool_, raw);
+    const auto* hdr = XrHeader(raw);
+    if (hdr->is_leaf) {
+      // S2: scan the leaf for un-stabbed ancestors until start > sd.
+      // The §5.2 stack variation starts past min_start: elements at or
+      // below it are already cached on the caller's stack.
+      const Element* slots = XrLeafSlots(raw);
+      uint32_t i =
+          (min_start == 0) ? 0 : XrLeafLowerBound(raw, min_start + 1);
+      for (; i < hdr->count && slots[i].start < sd; ++i) {
+        ++local_scanned;
+        if (!InStabList(slots[i]) && sd < slots[i].end) {
+          Element e = slots[i];
+          e.flags = 0;
+          out.push_back(e);
+        }
+      }
+      // The terminating element (first start > sd) is handed back as the
+      // join's next CurA; it is not charged here — the caller's next
+      // sweep or cursor move examines it.
+      if (next_start) {
+        if (i < hdr->count) {
+          *next_start = slots[i].start;
+        } else {
+          PageId nxt = hdr->next;
+          page.Release();
+          while (nxt != kInvalidPageId) {
+            XR_ASSIGN_OR_RETURN(Page * nraw, pool_->FetchPage(nxt));
+            PageGuard npage(pool_, nraw);
+            if (XrHeader(nraw)->count > 0) {
+              *next_start = XrLeafSlots(nraw)[0].start;
+              break;
+            }
+            nxt = XrHeader(nraw)->next;
+          }
+        }
+      }
+      break;
+    }
+    // S11 / Algorithm 5: check PSL_c for c = i+1 down to 0, touching the
+    // stab list only when the (ps, pe) summary proves a match exists.
+    const XrInternalEntry* slots = XrInternalSlots(raw);
+    uint32_t upper = XrChildSlot(raw, sd);  // == i + 1
+    if (upper >= hdr->count) upper = hdr->count == 0 ? 0 : hdr->count - 1;
+    StabList list(pool_, hdr->stab_head, hdr->ps_dir, use_ps_dir_);
+    std::vector<StabEntry> collected;
+    for (uint32_t c = upper + 1; c-- > 0;) {
+      if (slots[c].ps != kNilPosition && slots[c].ps < sd &&
+          sd < slots[c].pe) {
+        XR_RETURN_IF_ERROR(
+            list.CollectStabbed(slots[c].key, sd, min_start, &collected,
+                                &local_scanned));
+      }
+    }
+    for (const StabEntry& se : collected) out.push_back(ToElement(se));
+    cur = XrChildAt(raw, XrChildSlot(raw, sd));
+  }
+  if (min_start != 0) {
+    out.erase(std::remove_if(out.begin(), out.end(),
+                             [&](const Element& e) {
+                               return e.start <= min_start;
+                             }),
+              out.end());
+  }
+  std::sort(out.begin(), out.end());
+  if (scanned) *scanned += local_scanned;
+  return out;
+}
+
+Result<ElementList> XrTree::FindAncestors(Position sd,
+                                          uint64_t* scanned) const {
+  return FindAncestorsAbove(sd, 0, scanned, nullptr);
+}
+
+Result<ElementList> XrTree::FindChildren(const Element& ancestor,
+                                         uint64_t* scanned) const {
+  XR_ASSIGN_OR_RETURN(ElementList all, FindDescendants(ancestor, scanned));
+  ElementList out;
+  for (const Element& e : all) {
+    if (e.level == ancestor.level + 1) out.push_back(e);
+  }
+  return out;
+}
+
+Result<ElementList> XrTree::FindParent(Position sd, uint16_t level,
+                                       uint64_t* scanned) const {
+  if (level == 0) return ElementList{};  // roots have no parent
+  XR_ASSIGN_OR_RETURN(ElementList all, FindAncestors(sd, scanned));
+  ElementList out;
+  for (const Element& e : all) {
+    if (e.level + 1 == level) out.push_back(e);
+  }
+  return out;
+}
+
+Result<XrIterator> XrTree::LowerBound(Position key) const {
+  if (root_ == kInvalidPageId) return XrIterator();
+  XR_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(key, nullptr));
+  XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(leaf_id));
+  uint32_t at = XrLeafLowerBound(raw, key);
+  const auto* hdr = XrHeader(raw);
+  if (at >= hdr->count) {
+    PageId next = hdr->next;
+    XR_RETURN_IF_ERROR(pool_->UnpinPage(leaf_id, false));
+    if (next == kInvalidPageId) return XrIterator();
+    XR_ASSIGN_OR_RETURN(Page * nraw, pool_->FetchPage(next));
+    if (XrHeader(nraw)->count == 0) {
+      XR_RETURN_IF_ERROR(pool_->UnpinPage(next, false));
+      return XrIterator();
+    }
+    return XrIterator(this, PageGuard(pool_, nraw), 0);
+  }
+  return XrIterator(this, PageGuard(pool_, raw), at);
+}
+
+Result<XrIterator> XrTree::UpperBound(Position key) const {
+  if (key == kNilPosition) return XrIterator();
+  return LowerBound(key + 1);
+}
+
+Result<XrIterator> XrTree::Begin() const { return LowerBound(0); }
+
+// ---------------------------------------------------------------------------
+// Bulk loading
+// ---------------------------------------------------------------------------
+
+Status XrTree::BulkLoad(const ElementList& elements, double fill_fraction) {
+  if (root_ != kInvalidPageId || size_ != 0) {
+    return Status::InvalidArgument("BulkLoad requires an empty tree");
+  }
+  if (fill_fraction <= 0.0 || fill_fraction > 1.0) {
+    return Status::InvalidArgument("fill_fraction out of (0, 1]");
+  }
+  if (!std::is_sorted(elements.begin(), elements.end())) {
+    return Status::InvalidArgument("BulkLoad input must be sorted by start");
+  }
+  if (elements.empty()) return InitRootLeaf();
+
+  // Fill targets are clamped above the half-full invariant so bulk-loaded
+  // trees always pass CheckConsistency.
+  uint32_t leaf_fill =
+      std::max<uint32_t>(std::max<uint32_t>(1, leaf_cap_ / 2),
+                         static_cast<uint32_t>(leaf_cap_ * fill_fraction));
+  uint32_t internal_fill = std::max<uint32_t>(
+      std::max<uint32_t>(2, internal_cap_ / 2),
+      static_cast<uint32_t>(internal_cap_ * fill_fraction));
+
+  struct ChildRef {
+    Position first_key;
+    PageId page;
+  };
+  std::vector<ChildRef> level;
+  std::vector<PageId> leaf_pages;
+  PageGuard prev;
+  for (size_t i = 0; i < elements.size();) {
+    // Pack `leaf_fill` entries per page, but never leave the final page
+    // below the half-full invariant: either absorb the tail into this page
+    // (it fits below capacity) or leave exactly the minimum behind.
+    size_t total = elements.size() - i;
+    size_t n = std::min<size_t>(leaf_fill, total);
+    size_t min_fill = std::max<size_t>(1, leaf_cap_ / 2);
+    if (total > n && total - n < min_fill) {
+      n = (total <= leaf_cap_) ? total : total - min_fill;
+    }
+    XR_ASSIGN_OR_RETURN(Page * raw, pool_->NewPage());
+    PageGuard page(pool_, raw);
+    page.MarkDirty();
+    auto* hdr = XrHeader(raw);
+    hdr->magic = kXrLeafMagic;
+    hdr->is_leaf = 1;
+    hdr->count = static_cast<uint32_t>(n);
+    hdr->next = kInvalidPageId;
+    hdr->prev = prev ? prev.page_id() : kInvalidPageId;
+    hdr->leftmost = kInvalidPageId;
+    hdr->stab_head = kInvalidPageId;
+    hdr->ps_dir = kInvalidPageId;
+    Element* slots = XrLeafSlots(raw);
+    for (size_t j = 0; j < n; ++j) {
+      slots[j] = elements[i + j];
+      SetInStabList(&slots[j], false);
+    }
+    if (prev) {
+      XrHeader(prev.get())->next = raw->page_id();
+      prev.MarkDirty();
+    }
+    level.push_back({elements[i].start, raw->page_id()});
+    leaf_pages.push_back(raw->page_id());
+    i += n;
+    prev = std::move(page);
+  }
+  prev.Release();
+
+  while (level.size() > 1) {
+    std::vector<ChildRef> next_level;
+    size_t i = 0;
+    while (i < level.size()) {
+      size_t total = level.size() - i;
+      size_t nchildren = std::min<size_t>(internal_fill + 1ull, total);
+      size_t min_children = internal_cap_ / 2 + 1;
+      if (total > nchildren && total - nchildren < min_children) {
+        nchildren = (total <= internal_cap_ + 1ull) ? total
+                                                    : total - min_children;
+      }
+      XR_ASSIGN_OR_RETURN(Page * raw, pool_->NewPage());
+      PageGuard page(pool_, raw);
+      page.MarkDirty();
+      auto* hdr = XrHeader(raw);
+      hdr->magic = kXrInternalMagic;
+      hdr->is_leaf = 0;
+      hdr->count = static_cast<uint32_t>(nchildren - 1);
+      hdr->next = kInvalidPageId;
+      hdr->prev = kInvalidPageId;
+      hdr->leftmost = level[i].page;
+      hdr->stab_head = kInvalidPageId;
+      hdr->ps_dir = kInvalidPageId;
+      XrInternalEntry* slots = XrInternalSlots(raw);
+      for (size_t j = 1; j < nchildren; ++j) {
+        slots[j - 1] = {level[i + j].first_key, kNilPosition, kNilPosition,
+                        level[i + j].page};
+      }
+      next_level.push_back({level[i].first_key, raw->page_id()});
+      i += nchildren;
+    }
+    level = std::move(next_level);
+  }
+  root_ = level[0].page;
+  size_ = elements.size();
+
+  // Stab pass: for every element, find the topmost node with a stabbing key
+  // by descending the freshly built backbone, then write each node's chain
+  // once. Descents are cache-friendly (elements arrive in leaf order).
+  std::unordered_map<PageId, std::vector<StabEntry>> stabs;
+  for (PageId leaf_id : leaf_pages) {
+    XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(leaf_id));
+    PageGuard leaf(pool_, raw);
+    auto* hdr = XrHeader(raw);
+    Element* slots = XrLeafSlots(raw);
+    bool dirty = false;
+    for (uint32_t i = 0; i < hdr->count; ++i) {
+      PageId cur = root_;
+      while (cur != leaf_id) {
+        XR_ASSIGN_OR_RETURN(Page * nraw, pool_->FetchPage(cur));
+        PageGuard node(pool_, nraw);
+        if (XrHeader(nraw)->is_leaf) break;
+        uint32_t stab_slot;
+        if (SmallestStabbingKey(nraw, slots[i].start, slots[i].end,
+                                &stab_slot)) {
+          Position key = XrInternalSlots(nraw)[stab_slot].key;
+          stabs[cur].push_back(MakeStabEntry(slots[i], key));
+          SetInStabList(&slots[i], true);
+          dirty = true;
+          break;
+        }
+        cur = XrChildAt(nraw, XrChildSlot(nraw, slots[i].start));
+      }
+    }
+    if (dirty) leaf.MarkDirty();
+  }
+  for (auto& [page_id, entries] : stabs) {
+    XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(page_id));
+    PageGuard node(pool_, raw);
+    XR_RETURN_IF_ERROR(WriteNodeStab(node, std::move(entries)));
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Introspection and validation
+// ---------------------------------------------------------------------------
+
+Result<uint32_t> XrTree::Height() const {
+  if (root_ == kInvalidPageId) return static_cast<uint32_t>(0);
+  uint32_t h = 1;
+  PageId cur = root_;
+  while (true) {
+    XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(cur));
+    PageGuard page(pool_, raw);
+    if (XrHeader(raw)->is_leaf) return h;
+    cur = XrHeader(raw)->leftmost;
+    ++h;
+  }
+}
+
+Result<uint64_t> XrTree::CountEntries() {
+  uint64_t n = 0;
+  XR_ASSIGN_OR_RETURN(XrIterator it, Begin());
+  while (it.Valid()) {
+    ++n;
+    XR_RETURN_IF_ERROR(it.Next());
+  }
+  size_ = n;
+  return n;
+}
+
+Result<StabStats> XrTree::ComputeStabStats() const {
+  StabStats stats;
+  if (root_ == kInvalidPageId) return stats;
+  std::vector<PageId> stack{root_};
+  while (!stack.empty()) {
+    PageId id = stack.back();
+    stack.pop_back();
+    XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(id));
+    PageGuard page(pool_, raw);
+    const auto* hdr = XrHeader(raw);
+    if (hdr->is_leaf) {
+      ++stats.leaf_pages;
+      continue;
+    }
+    ++stats.internal_nodes;
+    StabList list(pool_, hdr->stab_head, hdr->ps_dir, use_ps_dir_);
+    XR_ASSIGN_OR_RETURN(uint32_t pages, list.CountPages());
+    XR_ASSIGN_OR_RETURN(std::vector<StabEntry> entries, list.ReadAll());
+    stats.stab_pages += pages;
+    stats.stab_entries += entries.size();
+    stats.max_stab_pages_per_node =
+        std::max(stats.max_stab_pages_per_node, pages);
+    if (hdr->ps_dir != kInvalidPageId) ++stats.ps_dir_pages;
+    stack.push_back(hdr->leftmost);
+    const XrInternalEntry* slots = XrInternalSlots(raw);
+    for (uint32_t i = 0; i < hdr->count; ++i) stack.push_back(slots[i].child);
+  }
+  if (stats.internal_nodes > 0) {
+    stats.avg_stab_pages_per_node =
+        static_cast<double>(stats.stab_pages) /
+        static_cast<double>(stats.internal_nodes);
+  }
+  return stats;
+}
+
+Status XrTree::CheckNode(PageId id, bool is_root, Position lo, Position hi,
+                         int* height) const {
+  XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(id));
+  PageGuard page(pool_, raw);
+  const auto* hdr = XrHeader(raw);
+
+  if (hdr->is_leaf) {
+    if (hdr->magic != kXrLeafMagic) return Status::Corruption("leaf magic");
+    if (!is_root && hdr->count < leaf_cap_ / 2) {
+      return Status::Corruption("leaf underfilled");
+    }
+    if (hdr->count > leaf_cap_) return Status::Corruption("leaf overfull");
+    const Element* slots = XrLeafSlots(raw);
+    for (uint32_t i = 0; i < hdr->count; ++i) {
+      if (i > 0 && !(slots[i - 1].start < slots[i].start)) {
+        return Status::Corruption("leaf keys out of order");
+      }
+      if (slots[i].start < lo || slots[i].start >= hi) {
+        return Status::Corruption("leaf key outside bounds");
+      }
+    }
+    *height = 1;
+    return Status::Ok();
+  }
+
+  if (hdr->magic != kXrInternalMagic) {
+    return Status::Corruption("internal magic");
+  }
+  if (!is_root && hdr->count < internal_cap_ / 2) {
+    return Status::Corruption("internal underfilled");
+  }
+  if (is_root && hdr->count < 1) {
+    return Status::Corruption("internal root without keys");
+  }
+  if (hdr->count > internal_cap_) {
+    return Status::Corruption("internal overfull");
+  }
+  const XrInternalEntry* slots = XrInternalSlots(raw);
+  for (uint32_t i = 0; i < hdr->count; ++i) {
+    if (i > 0 && !(slots[i - 1].key < slots[i].key)) {
+      return Status::Corruption("internal keys out of order");
+    }
+    if (slots[i].key < lo || slots[i].key >= hi) {
+      return Status::Corruption("internal key outside bounds");
+    }
+  }
+
+  // Stab-chain structural checks: global (key, s) order, keys present in
+  // the node, PSLs strictly nested with matching (ps, pe) summaries.
+  StabList list(pool_, hdr->stab_head, hdr->ps_dir, use_ps_dir_);
+  XR_ASSIGN_OR_RETURN(std::vector<StabEntry> entries, list.ReadAll());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const StabEntry& se = entries[i];
+    if (i > 0 && !StabEntryLess(entries[i - 1], se)) {
+      return Status::Corruption("stab chain out of order");
+    }
+    if (!(se.s <= se.key && se.key <= se.e)) {
+      return Status::Corruption("stab entry not stabbed by its key");
+    }
+    bool key_found = false;
+    uint32_t key_slot = 0;
+    for (uint32_t k = 0; k < hdr->count; ++k) {
+      if (slots[k].key == se.key) {
+        key_found = true;
+        key_slot = k;
+        break;
+      }
+      if (slots[k].key > se.key) break;
+    }
+    if (!key_found) {
+      return Status::Corruption("stab entry tagged with a foreign key");
+    }
+    // Smallest-stabbing-key rule.
+    if (key_slot > 0 && se.s <= slots[key_slot - 1].key &&
+        slots[key_slot - 1].key <= se.e) {
+      return Status::Corruption("stab entry not tagged with smallest key");
+    }
+    // Nesting within the PSL.
+    if (i > 0 && entries[i - 1].key == se.key) {
+      if (!(entries[i - 1].s < se.s && se.e < entries[i - 1].e)) {
+        return Status::Corruption("PSL not strictly nested");
+      }
+    }
+  }
+  // (ps, pe) summaries.
+  {
+    size_t ei = 0;
+    for (uint32_t k = 0; k < hdr->count; ++k) {
+      while (ei < entries.size() && entries[ei].key < slots[k].key) ++ei;
+      if (ei < entries.size() && entries[ei].key == slots[k].key) {
+        if (slots[k].ps != entries[ei].s || slots[k].pe != entries[ei].e) {
+          return Status::Corruption("(ps, pe) summary stale");
+        }
+      } else if (slots[k].ps != kNilPosition ||
+                 slots[k].pe != kNilPosition) {
+        return Status::Corruption("(ps, pe) should be nil");
+      }
+    }
+  }
+  // ps-directory agreement: every key's run must start on the page the
+  // directory names.
+  if (hdr->ps_dir != kInvalidPageId) {
+    for (const StabEntry& se : entries) {
+      XR_ASSIGN_OR_RETURN(std::vector<StabEntry> psl, list.ReadPsl(se.key));
+      if (psl.empty() || psl[0].key != se.key) {
+        return Status::Corruption("ps directory misses a PSL");
+      }
+    }
+  }
+
+  int child_height = -1;
+  for (uint32_t i = 0; i <= hdr->count; ++i) {
+    Position clo = (i == 0) ? lo : slots[i - 1].key;
+    Position chi = (i == hdr->count) ? hi : slots[i].key;
+    int h = 0;
+    XR_RETURN_IF_ERROR(CheckNode(XrChildAt(raw, i), false, clo, chi, &h));
+    if (child_height == -1) child_height = h;
+    if (h != child_height) {
+      return Status::Corruption("children at different heights");
+    }
+  }
+  *height = child_height + 1;
+  return Status::Ok();
+}
+
+Status XrTree::CheckConsistency() const {
+  if (root_ == kInvalidPageId) return Status::Ok();
+  int height = 0;
+  XR_RETURN_IF_ERROR(CheckNode(root_, true, 0, kNilPosition, &height));
+
+  // Semantic pass: snapshot every internal node (keys + stab entries, with
+  // ancestry) and every leaf element, then re-derive where each element
+  // must live and compare.
+  struct NodeSnap {
+    PageId id;
+    std::vector<Position> keys;
+    std::vector<StabEntry> entries;
+  };
+  std::vector<NodeSnap> nodes;
+  std::vector<Element> elems;  // with flags
+  uint64_t leaf_count = 0;
+
+  struct Walk {
+    PageId id;
+  };
+  std::vector<Walk> stack{{root_}};
+  while (!stack.empty()) {
+    PageId id = stack.back().id;
+    stack.pop_back();
+    XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(id));
+    PageGuard page(pool_, raw);
+    const auto* hdr = XrHeader(raw);
+    if (hdr->is_leaf) {
+      const Element* slots = XrLeafSlots(raw);
+      elems.insert(elems.end(), slots, slots + hdr->count);
+      leaf_count += hdr->count;
+      continue;
+    }
+    NodeSnap snap;
+    snap.id = id;
+    const XrInternalEntry* slots = XrInternalSlots(raw);
+    for (uint32_t i = 0; i < hdr->count; ++i) snap.keys.push_back(slots[i].key);
+    XR_ASSIGN_OR_RETURN(snap.entries, ReadNodeStab(raw));
+    nodes.push_back(std::move(snap));
+    stack.push_back({hdr->leftmost});
+    for (uint32_t i = 0; i < hdr->count; ++i) stack.push_back({slots[i].child});
+  }
+  if (leaf_count != size_) {
+    return Status::Corruption("tracked size != leaf element count");
+  }
+
+  // Expected placement per element: descend an in-memory mirror.
+  std::unordered_map<PageId, const NodeSnap*> by_id;
+  for (const NodeSnap& n : nodes) by_id[n.id] = &n;
+
+  uint64_t expected_stabbed = 0;
+  for (const Element& e : elems) {
+    // Find the topmost node with a key in [start, end] along the descent.
+    PageId cur = root_;
+    const NodeSnap* found = nullptr;
+    Position primary = 0;
+    while (by_id.count(cur)) {
+      const NodeSnap* n = by_id.at(cur);
+      auto it = std::lower_bound(n->keys.begin(), n->keys.end(), e.start);
+      if (it != n->keys.end() && *it <= e.end) {
+        found = n;
+        primary = *it;
+        break;
+      }
+      // Descend: first key > e.start decides the child; re-fetch the page
+      // to map child slots to page ids.
+      XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(cur));
+      PageGuard page(pool_, raw);
+      cur = XrChildAt(raw, XrChildSlot(raw, e.start));
+    }
+    if (found == nullptr) {
+      if (InStabList(e)) {
+        return Status::Corruption("element flagged InStabList but no key "
+                                  "stabs it: " + e.ToString());
+      }
+      continue;
+    }
+    ++expected_stabbed;
+    if (!InStabList(e)) {
+      return Status::Corruption("element stabbed but flag is no: " +
+                                e.ToString());
+    }
+    bool present = false;
+    for (const StabEntry& se : found->entries) {
+      if (se.s == e.start && se.e == e.end && se.key == primary) {
+        present = true;
+        break;
+      }
+    }
+    if (!present) {
+      return Status::Corruption("element missing from its topmost node's "
+                                "stab list: " + e.ToString());
+    }
+  }
+  uint64_t total_entries = 0;
+  for (const NodeSnap& n : nodes) total_entries += n.entries.size();
+  if (total_entries != expected_stabbed) {
+    return Status::Corruption(
+        "stab entry count mismatch: " + std::to_string(total_entries) +
+        " entries vs " + std::to_string(expected_stabbed) + " stabbed");
+  }
+  return Status::Ok();
+}
+
+}  // namespace xrtree

@@ -1,0 +1,190 @@
+#ifndef XRTREE_XRTREE_XRTREE_H_
+#define XRTREE_XRTREE_XRTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "xml/element.h"
+#include "xrtree/stab_list.h"
+#include "xrtree/xrtree_page.h"
+
+namespace xrtree {
+
+class XrIterator;
+
+/// Tuning knobs, mainly for tests (small fanouts force deep trees and
+/// multi-page stab chains on small inputs).
+struct XrTreeOptions {
+  uint32_t leaf_capacity = 0;      ///< 0 = fill the page
+  uint32_t internal_capacity = 0;  ///< 0 = fill the page
+
+  /// Ablation: pick the naive split key (first key of the right leaf)
+  /// instead of the paper's stab-minimizing choice of §3.2 (the key-79
+  /// vs key-80 example). Expect more stab entries.
+  bool naive_split_key = false;
+
+  /// Ablation: never build ps-directory pages (Fig. 4); multi-page stab
+  /// chains are then located by scanning from the head page.
+  bool disable_ps_directory = false;
+};
+
+/// Aggregate statistics about the stab lists of a tree — the measurements
+/// behind the §3.3 space study.
+struct StabStats {
+  uint64_t internal_nodes = 0;
+  uint64_t leaf_pages = 0;
+  uint64_t stab_entries = 0;
+  uint64_t stab_pages = 0;
+  uint64_t ps_dir_pages = 0;
+  uint32_t max_stab_pages_per_node = 0;
+  double avg_stab_pages_per_node = 0.0;
+};
+
+/// XML Region Tree (Definition 4): a disk-based B+-tree over element start
+/// positions whose internal nodes carry stab lists, supporting
+///
+///   * FindDescendants (Algorithm 3) in O(log_F N + R/B) I/Os, and
+///   * FindAncestors  (Algorithm 4/5) in O(log_F N + R) I/Os,
+///
+/// both worst-case optimal (Theorems 3-4). Insertion and deletion follow
+/// Algorithms 1-2, maintaining the invariant that every indexed element is
+/// held by the *topmost* internal node with a stabbing key, tagged with
+/// that node's *smallest* stabbing key, or is flagged InStabList=no in its
+/// leaf when no internal key stabs it.
+class XrTree {
+ public:
+  XrTree(BufferPool* pool, PageId root = kInvalidPageId,
+         const XrTreeOptions& options = {});
+
+  PageId root() const { return root_; }
+  uint64_t size() const { return size_; }
+
+  /// Algorithm 1. Inserts `element` (keyed on start; starts are unique).
+  Status Insert(const Element& element);
+
+  /// Algorithm 2. Removes the element with start == `key`.
+  Status Delete(Position key);
+
+  /// Exact lookup by start position.
+  Result<Element> Search(Position key) const;
+
+  /// Bulk-loads a start-sorted, strictly-nested element list into an empty
+  /// tree: builds the backbone bottom-up, then computes stab lists in one
+  /// pass. Much faster than repeated Insert for benchmark-scale sets.
+  Status BulkLoad(const ElementList& elements, double fill_fraction = 1.0);
+
+  /// Algorithm 3: all elements strictly inside `ancestor`'s region,
+  /// in document order. `scanned` (optional) accumulates the number of
+  /// element entries examined.
+  Result<ElementList> FindDescendants(const Element& ancestor,
+                                      uint64_t* scanned = nullptr) const;
+
+  /// Algorithms 4+5: all indexed elements whose region strictly contains
+  /// position `sd`, in document order (outermost first).
+  Result<ElementList> FindAncestors(Position sd,
+                                    uint64_t* scanned = nullptr) const;
+
+  /// XR-stack variation (§5.2): ancestors of `sd` with start > `min_start`
+  /// — i.e. those above the caller's current stack top. When `next_start`
+  /// is non-null it receives the start of the first indexed element with
+  /// start >= sd (the S2 scan's terminator, which becomes the join's next
+  /// CurA at no extra cost; equality only occurs on self-joins where the
+  /// probe position is itself an indexed start), or kNilPosition past the
+  /// end of the index.
+  Result<ElementList> FindAncestorsAbove(Position sd, Position min_start,
+                                         uint64_t* scanned = nullptr,
+                                         Position* next_start = nullptr) const;
+
+  /// §5.3: parent-child primitives. FindChildren filters descendants to
+  /// level == ancestor.level + 1; FindParent returns the unique parent of
+  /// the element whose start is `sd` at level `level`, if indexed here.
+  Result<ElementList> FindChildren(const Element& ancestor,
+                                   uint64_t* scanned = nullptr) const;
+  Result<ElementList> FindParent(Position sd, uint16_t level,
+                                 uint64_t* scanned = nullptr) const;
+
+  /// Leaf-level cursors (the merge-scan backbone of XR-stack).
+  Result<XrIterator> Begin() const;
+  Result<XrIterator> LowerBound(Position key) const;
+  Result<XrIterator> UpperBound(Position key) const;
+
+  /// Deep validation of every structural and stab invariant (B+ shape,
+  /// topmost-node rule, smallest-key tagging, PSL nesting, (ps,pe)
+  /// summaries, InStabList flags, ps-directory correctness). O(N log N);
+  /// for tests.
+  Status CheckConsistency() const;
+
+  Result<uint32_t> Height() const;
+  Result<uint64_t> CountEntries();
+  Result<StabStats> ComputeStabStats() const;
+
+  BufferPool* pool() const { return pool_; }
+  uint32_t leaf_capacity() const { return leaf_cap_; }
+  uint32_t internal_capacity() const { return internal_cap_; }
+
+ private:
+  friend class XrIterator;
+
+  struct PathEntry {
+    PageId page;
+    uint32_t slot;  ///< child slot taken during descent
+  };
+
+  Status InitRootLeaf();
+  Result<PageId> FindLeaf(Position key, std::vector<PathEntry>* path) const;
+
+  /// Rewrites `node`'s stab chain to `entries` (sorted), updating the
+  /// header references and every key's (ps, pe) summary.
+  Status WriteNodeStab(PageGuard& node, std::vector<StabEntry> entries);
+  Result<std::vector<StabEntry>> ReadNodeStab(const Page* node) const;
+
+  /// Inserts one stab entry into `node`'s chain (Algorithm 1, step I1).
+  Status InsertStabIntoNode(PageGuard& node, const StabEntry& entry);
+
+  /// Demotes `entry` starting at `from`: descends toward entry.s until a
+  /// node with a stabbing key is found (insert there) or the leaf is
+  /// reached (clear the InStabList flag). Algorithm 2, step D31's
+  /// "reinsert into the highest internal node that stabs it".
+  Status PlaceEntry(PageId from, const StabEntry& entry);
+
+  /// Pull-up sweep for a key newly present in a node: descends from
+  /// `subtree` along the path of `k`, removing stab entries stabbed by `k`
+  /// (s <= k <= e) and collecting newly stabbed InStabList=no leaf
+  /// elements (flag set to yes). Collected entries are returned for
+  /// insertion into the node that now holds `k`.
+  Status CollectStabbedDescent(PageId subtree, Position k,
+                               std::vector<StabEntry>* out);
+
+  /// Key-change primitives on internal nodes, with all stab-list effects.
+  Status ReplaceSeparatorKey(PageGuard& parent, uint32_t key_slot,
+                             Position knew);
+  Status RemoveSeparatorKey(PageGuard& parent, uint32_t key_slot);
+
+  Status InsertIntoParent(std::vector<PathEntry>& path, Position sep_key,
+                          PageId right_child,
+                          std::vector<StabEntry> stab_set);
+  Status HandleLeafUnderflow(std::vector<PathEntry>& path);
+  Status HandleInternalUnderflow(std::vector<PathEntry>& path, size_t depth);
+
+  /// Moves every entry of SL(victim) into SL(dest); victim's chain is
+  /// cleared. All victim keys exceed all dest keys (left-merge order).
+  Status MergeStabLists(PageGuard& dest, PageGuard& victim);
+
+  Status CheckNode(PageId id, bool is_root, Position lo, Position hi,
+                   int* height) const;
+
+  BufferPool* pool_;
+  PageId root_;
+  uint64_t size_ = 0;
+  uint32_t leaf_cap_;
+  uint32_t internal_cap_;
+  bool naive_split_key_ = false;
+  bool use_ps_dir_ = true;
+};
+
+}  // namespace xrtree
+
+#endif  // XRTREE_XRTREE_XRTREE_H_

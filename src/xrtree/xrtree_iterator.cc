@@ -1,0 +1,64 @@
+#include "xrtree/xrtree_iterator.h"
+
+#include <cassert>
+
+#include "xrtree/xrtree.h"
+
+namespace xrtree {
+
+XrIterator::XrIterator(const XrTree* tree, PageGuard leaf, uint32_t slot)
+    : tree_(tree), leaf_(std::move(leaf)), slot_(slot) {
+  if (leaf_) {
+    assert(slot_ < XrHeader(leaf_.get())->count);
+    scanned_ = 1;
+  }
+}
+
+const Element& XrIterator::Get() const {
+  assert(Valid());
+  return XrLeafSlots(leaf_.get())[slot_];
+}
+
+Status XrIterator::Next() {
+  if (!Valid()) return Status::InvalidArgument("Next on invalid iterator");
+  const auto* hdr = XrHeader(leaf_.get());
+  if (slot_ + 1 < hdr->count) {
+    ++slot_;
+    ++scanned_;
+    return Status::Ok();
+  }
+  PageId next = hdr->next;
+  BufferPool* pool = tree_->pool();
+  leaf_.Release();
+  while (next != kInvalidPageId) {
+    XR_ASSIGN_OR_RETURN(Page * raw, pool->FetchPage(next));
+    leaf_ = PageGuard(pool, raw);
+    slot_ = 0;
+    if (XrHeader(raw)->count > 0) {
+      ++scanned_;
+      return Status::Ok();
+    }
+    next = XrHeader(raw)->next;
+    leaf_.Release();
+  }
+  leaf_ = PageGuard();
+  return Status::Ok();
+}
+
+Status XrIterator::SeekPastKey(Position key) {
+  if (tree_ == nullptr) {
+    return Status::InvalidArgument("SeekPastKey on default iterator");
+  }
+  const XrTree* tree = tree_;
+  uint64_t scanned = scanned_;
+  leaf_.Release();
+  XR_ASSIGN_OR_RETURN(XrIterator fresh, tree->UpperBound(key));
+  *this = std::move(fresh);
+  // The landing element is examined and charged like any other scan (see
+  // BTreeIterator::SeekPastKey).
+  scanned_ += scanned;
+  tree_ = tree;
+  return Status::Ok();
+}
+
+}  // namespace xrtree

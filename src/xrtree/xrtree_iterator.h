@@ -1,0 +1,46 @@
+#ifndef XRTREE_XRTREE_XRTREE_ITERATOR_H_
+#define XRTREE_XRTREE_XRTREE_ITERATOR_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "xml/element.h"
+#include "xrtree/xrtree_page.h"
+
+namespace xrtree {
+
+class XrTree;
+
+/// Forward cursor over the leaf level of an XrTree (the merge-scan
+/// backbone of the XR-stack join). Pins only the current leaf. The scanned
+/// counter implements the paper's "number of elements scanned" metric.
+class XrIterator {
+ public:
+  XrIterator() = default;
+  XrIterator(const XrTree* tree, PageGuard leaf, uint32_t slot);
+
+  XrIterator(XrIterator&&) = default;
+  XrIterator& operator=(XrIterator&&) = default;
+
+  bool Valid() const { return static_cast<bool>(leaf_); }
+  const Element& Get() const;
+
+  Status Next();
+
+  /// Re-seeks to the first element with start > `key` via a fresh
+  /// root-to-leaf probe — the skip primitive of Algorithm 6 (lines 12/19).
+  Status SeekPastKey(Position key);
+
+  uint64_t scanned() const { return scanned_; }
+
+ private:
+  const XrTree* tree_ = nullptr;
+  PageGuard leaf_;
+  uint32_t slot_ = 0;
+  uint64_t scanned_ = 0;
+};
+
+}  // namespace xrtree
+
+#endif  // XRTREE_XRTREE_XRTREE_ITERATOR_H_

@@ -1,0 +1,305 @@
+#include "btree/btree.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "btree/btree_iterator.h"
+#include "tests/test_util.h"
+
+namespace xrtree {
+namespace {
+
+ElementList MakeElements(const std::vector<Position>& starts) {
+  ElementList out;
+  for (Position s : starts) out.push_back(Element(s, s + 1, 1, s));
+  return out;
+}
+
+TEST(BTreeTest, EmptyTreeBehaviour) {
+  TempDb db;
+  BTree tree(db.pool());
+  EXPECT_TRUE(tree.Search(5).status().IsNotFound());
+  EXPECT_TRUE(tree.Delete(5).IsNotFound());
+  ASSERT_OK_AND_ASSIGN(BTreeIterator it, tree.Begin());
+  EXPECT_FALSE(it.Valid());
+  EXPECT_OK(tree.CheckConsistency());
+}
+
+TEST(BTreeTest, InsertAndSearch) {
+  TempDb db;
+  BTree tree(db.pool());
+  for (Position s : {10u, 5u, 20u, 15u, 1u}) {
+    ASSERT_OK(tree.Insert(Element(s, s + 1, 2, s)));
+  }
+  EXPECT_EQ(tree.size(), 5u);
+  ASSERT_OK_AND_ASSIGN(Element e, tree.Search(15));
+  EXPECT_EQ(e.start, 15u);
+  EXPECT_EQ(e.level, 2);
+  EXPECT_TRUE(tree.Search(7).status().IsNotFound());
+  ASSERT_OK(tree.CheckConsistency());
+}
+
+TEST(BTreeTest, DuplicateKeyRejected) {
+  TempDb db;
+  BTree tree(db.pool());
+  ASSERT_OK(tree.Insert(Element(10, 11)));
+  EXPECT_TRUE(tree.Insert(Element(10, 30)).IsInvalidArgument());
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(BTreeTest, SplitsGrowTheTree) {
+  TempDb db;
+  BTreeOptions options;
+  options.leaf_capacity = 4;
+  options.internal_capacity = 4;
+  BTree tree(db.pool(), kInvalidPageId, options);
+  for (Position s = 1; s <= 200; ++s) {
+    ASSERT_OK(tree.Insert(Element(s * 2, s * 2 + 1)));
+  }
+  ASSERT_OK_AND_ASSIGN(uint32_t h, tree.Height());
+  EXPECT_GE(h, 3u);
+  ASSERT_OK(tree.CheckConsistency());
+}
+
+TEST(BTreeTest, IteratorScansInOrder) {
+  TempDb db;
+  BTreeOptions options;
+  options.leaf_capacity = 4;
+  options.internal_capacity = 4;
+  BTree tree(db.pool(), kInvalidPageId, options);
+  std::set<Position> keys;
+  Random rng(42);
+  while (keys.size() < 300) {
+    Position s = static_cast<Position>(rng.UniformRange(1, 1000000));
+    if (keys.insert(s).second) ASSERT_OK(tree.Insert(Element(s, s + 1)));
+  }
+  ASSERT_OK_AND_ASSIGN(BTreeIterator it, tree.Begin());
+  auto expect = keys.begin();
+  while (it.Valid()) {
+    ASSERT_NE(expect, keys.end());
+    EXPECT_EQ(it.Get().start, *expect);
+    ++expect;
+    ASSERT_OK(it.Next());
+  }
+  EXPECT_EQ(expect, keys.end());
+}
+
+TEST(BTreeTest, LowerAndUpperBound) {
+  TempDb db;
+  BTree tree(db.pool());
+  for (Position s : {10u, 20u, 30u, 40u}) {
+    ASSERT_OK(tree.Insert(Element(s, s + 1)));
+  }
+  ASSERT_OK_AND_ASSIGN(BTreeIterator it, tree.LowerBound(20));
+  EXPECT_EQ(it.Get().start, 20u);
+  ASSERT_OK_AND_ASSIGN(BTreeIterator it2, tree.LowerBound(21));
+  EXPECT_EQ(it2.Get().start, 30u);
+  ASSERT_OK_AND_ASSIGN(BTreeIterator it3, tree.UpperBound(20));
+  EXPECT_EQ(it3.Get().start, 30u);
+  ASSERT_OK_AND_ASSIGN(BTreeIterator it4, tree.UpperBound(40));
+  EXPECT_FALSE(it4.Valid());
+  ASSERT_OK_AND_ASSIGN(BTreeIterator it5, tree.LowerBound(0));
+  EXPECT_EQ(it5.Get().start, 10u);
+}
+
+TEST(BTreeTest, SeekPastKeySkips) {
+  TempDb db;
+  BTreeOptions options;
+  options.leaf_capacity = 4;
+  options.internal_capacity = 4;
+  BTree tree(db.pool(), kInvalidPageId, options);
+  for (Position s = 1; s <= 100; ++s) ASSERT_OK(tree.Insert(Element(s, s)));
+  ASSERT_OK_AND_ASSIGN(BTreeIterator it, tree.Begin());
+  EXPECT_EQ(it.Get().start, 1u);
+  ASSERT_OK(it.SeekPastKey(50));
+  EXPECT_EQ(it.Get().start, 51u);
+  ASSERT_OK(it.SeekPastKey(100));
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST(BTreeTest, RangeScanMatchesStdMap) {
+  TempDb db;
+  BTree tree(db.pool());
+  std::map<Position, Element> mirror;
+  Random rng(7);
+  for (int i = 0; i < 500; ++i) {
+    Position s = static_cast<Position>(rng.UniformRange(1, 100000));
+    if (mirror.count(s)) continue;
+    Element e(s, s + 1, 3, static_cast<uint32_t>(i));
+    mirror[s] = e;
+    ASSERT_OK(tree.Insert(e));
+  }
+  for (int q = 0; q < 50; ++q) {
+    Position lo = static_cast<Position>(rng.UniformRange(0, 100000));
+    Position hi = lo + static_cast<Position>(rng.UniformRange(0, 20000));
+    ASSERT_OK_AND_ASSIGN(ElementList got, tree.RangeScan(lo, hi));
+    ElementList want;
+    for (auto it = mirror.upper_bound(lo);
+         it != mirror.end() && it->first < hi; ++it) {
+      want.push_back(it->second);
+    }
+    EXPECT_EQ(got, want) << "range (" << lo << ", " << hi << ")";
+  }
+}
+
+TEST(BTreeTest, DeleteDownToEmpty) {
+  TempDb db;
+  BTreeOptions options;
+  options.leaf_capacity = 4;
+  options.internal_capacity = 4;
+  BTree tree(db.pool(), kInvalidPageId, options);
+  std::vector<Position> keys;
+  for (Position s = 1; s <= 150; ++s) {
+    keys.push_back(s * 3);
+    ASSERT_OK(tree.Insert(Element(s * 3, s * 3 + 1)));
+  }
+  Random rng(99);
+  // Random deletion order.
+  for (size_t i = keys.size(); i > 1; --i) {
+    std::swap(keys[i - 1], keys[rng.Uniform(i)]);
+  }
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_OK(tree.Delete(keys[i]));
+    if (i % 10 == 0) ASSERT_OK(tree.CheckConsistency());
+  }
+  EXPECT_EQ(tree.size(), 0u);
+  ASSERT_OK(tree.CheckConsistency());
+  ASSERT_OK_AND_ASSIGN(BTreeIterator it, tree.Begin());
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST(BTreeTest, BulkLoadMatchesInserts) {
+  TempDb db;
+  ElementList elems = RandomNestedElements(5, 2000);
+  BTree bulk(db.pool());
+  ASSERT_OK(bulk.BulkLoad(elems));
+  EXPECT_EQ(bulk.size(), elems.size());
+  ASSERT_OK(bulk.CheckConsistency());
+  for (size_t i = 0; i < elems.size(); i += 37) {
+    ASSERT_OK_AND_ASSIGN(Element e, bulk.Search(elems[i].start));
+    EXPECT_EQ(e, elems[i]);
+  }
+}
+
+TEST(BTreeTest, BulkLoadRejectsBadInput) {
+  TempDb db;
+  BTree tree(db.pool());
+  EXPECT_TRUE(tree.BulkLoad(MakeElements({3, 1, 2})).IsInvalidArgument());
+  ASSERT_OK(tree.BulkLoad(MakeElements({1, 2, 3})));
+  EXPECT_TRUE(tree.BulkLoad(MakeElements({9})).IsInvalidArgument());
+}
+
+TEST(BTreeTest, BulkLoadEmptyList) {
+  TempDb db;
+  BTree tree(db.pool());
+  ASSERT_OK(tree.BulkLoad({}));
+  EXPECT_EQ(tree.size(), 0u);
+  ASSERT_OK(tree.CheckConsistency());
+  ASSERT_OK(tree.Insert(Element(5, 6)));
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(BTreeTest, BulkLoadPartialFill) {
+  TempDb db;
+  BTreeOptions options;
+  options.leaf_capacity = 10;
+  options.internal_capacity = 10;
+  BTree full(db.pool(), kInvalidPageId, options);
+  ASSERT_OK(full.BulkLoad(RandomNestedElements(9, 1000), 1.0));
+  BTree partial(db.pool(), kInvalidPageId, options);
+  ASSERT_OK(partial.BulkLoad(RandomNestedElements(9, 1000), 0.7));
+  ASSERT_OK(full.CheckConsistency());
+  ASSERT_OK(partial.CheckConsistency());
+  ASSERT_OK_AND_ASSIGN(uint64_t full_pages, full.CountPages());
+  ASSERT_OK_AND_ASSIGN(uint64_t partial_pages, partial.CountPages());
+  EXPECT_GT(partial_pages, full_pages);
+}
+
+TEST(BTreeTest, PersistsAcrossReopen) {
+  TempDb db;
+  ElementList elems = RandomNestedElements(11, 500);
+  PageId root;
+  {
+    BTree tree(db.pool());
+    ASSERT_OK(tree.BulkLoad(elems));
+    root = tree.root();
+    ASSERT_OK(db.pool()->FlushAll());
+  }
+  db.Reopen();
+  BTree tree(db.pool(), root);
+  ASSERT_OK_AND_ASSIGN(uint64_t n, tree.CountEntries());
+  EXPECT_EQ(n, elems.size());
+  ASSERT_OK(tree.CheckConsistency());
+  ASSERT_OK_AND_ASSIGN(Element e, tree.Search(elems[100].start));
+  EXPECT_EQ(e, elems[100]);
+}
+
+// Property test: a random interleaving of inserts and deletes tracks
+// std::map exactly, across several fanouts and seeds.
+struct BTreeFuzzParam {
+  uint32_t fanout;
+  uint64_t seed;
+  int ops;
+};
+
+class BTreeFuzzTest : public ::testing::TestWithParam<BTreeFuzzParam> {};
+
+TEST_P(BTreeFuzzTest, MatchesStdMapUnderRandomOps) {
+  const BTreeFuzzParam p = GetParam();
+  TempDb db;
+  BTreeOptions options;
+  options.leaf_capacity = p.fanout;
+  options.internal_capacity = p.fanout;
+  BTree tree(db.pool(), kInvalidPageId, options);
+  std::map<Position, Element> mirror;
+  Random rng(p.seed);
+
+  for (int i = 0; i < p.ops; ++i) {
+    bool do_insert = mirror.empty() || rng.Uniform(100) < 60;
+    if (do_insert) {
+      Position s = static_cast<Position>(rng.UniformRange(1, 5000));
+      Element e(s, s + 1, static_cast<uint16_t>(rng.Uniform(8)),
+                static_cast<uint32_t>(i));
+      Status st = tree.Insert(e);
+      if (mirror.count(s)) {
+        EXPECT_TRUE(st.IsInvalidArgument());
+      } else {
+        ASSERT_OK(st);
+        mirror[s] = e;
+      }
+    } else {
+      auto it = mirror.begin();
+      std::advance(it, rng.Uniform(mirror.size()));
+      ASSERT_OK(tree.Delete(it->first));
+      mirror.erase(it);
+    }
+    if (i % 50 == 49) ASSERT_OK(tree.CheckConsistency());
+  }
+  ASSERT_OK(tree.CheckConsistency());
+  EXPECT_EQ(tree.size(), mirror.size());
+  ASSERT_OK_AND_ASSIGN(BTreeIterator it, tree.Begin());
+  auto expect = mirror.begin();
+  while (it.Valid()) {
+    ASSERT_NE(expect, mirror.end());
+    EXPECT_EQ(it.Get(), expect->second);
+    ++expect;
+    ASSERT_OK(it.Next());
+  }
+  EXPECT_EQ(expect, mirror.end());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fanouts, BTreeFuzzTest,
+    ::testing::Values(BTreeFuzzParam{4, 1, 600}, BTreeFuzzParam{4, 2, 600},
+                      BTreeFuzzParam{5, 3, 600}, BTreeFuzzParam{8, 4, 800},
+                      BTreeFuzzParam{16, 5, 1000},
+                      BTreeFuzzParam{64, 6, 1500}),
+    [](const ::testing::TestParamInfo<BTreeFuzzParam>& info) {
+      return "fanout" + std::to_string(info.param.fanout) + "_seed" +
+             std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace xrtree

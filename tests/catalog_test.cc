@@ -1,0 +1,149 @@
+#include "storage/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "join/element_source.h"
+#include "join/xr_stack.h"
+#include "tests/test_util.h"
+
+namespace xrtree {
+namespace {
+
+TEST(CatalogTest, FreshDatabaseLoadsEmpty) {
+  TempDb db;
+  Catalog catalog(db.pool());
+  ASSERT_OK(catalog.Load());
+  EXPECT_EQ(catalog.size(), 0u);
+}
+
+TEST(CatalogTest, PutGetRemove) {
+  TempDb db;
+  Catalog catalog(db.pool());
+  ASSERT_OK(catalog.Load());
+  CatalogEntry e;
+  e.name = "employee";
+  e.element_count = 42;
+  e.file_head = 7;
+  e.btree_root = 9;
+  e.xrtree_root = 11;
+  ASSERT_OK(catalog.Put(e));
+  ASSERT_OK_AND_ASSIGN(CatalogEntry got, catalog.Get("employee"));
+  EXPECT_EQ(got.element_count, 42u);
+  EXPECT_EQ(got.btree_root, 9u);
+  EXPECT_TRUE(catalog.Get("name").status().IsNotFound());
+  // Replacement.
+  e.element_count = 43;
+  ASSERT_OK(catalog.Put(e));
+  EXPECT_EQ(catalog.size(), 1u);
+  ASSERT_OK_AND_ASSIGN(got, catalog.Get("employee"));
+  EXPECT_EQ(got.element_count, 43u);
+  ASSERT_OK(catalog.Remove("employee"));
+  EXPECT_TRUE(catalog.Remove("employee").IsNotFound());
+}
+
+TEST(CatalogTest, RejectsBadNames) {
+  TempDb db;
+  Catalog catalog(db.pool());
+  ASSERT_OK(catalog.Load());
+  CatalogEntry e;
+  e.name = "";
+  EXPECT_TRUE(catalog.Put(e).IsInvalidArgument());
+  e.name = std::string(Catalog::kMaxNameLen + 1, 'x');
+  EXPECT_TRUE(catalog.Put(e).IsInvalidArgument());
+  e.name = std::string(Catalog::kMaxNameLen, 'x');
+  EXPECT_OK(catalog.Put(e));
+}
+
+TEST(CatalogTest, FillsToCapacity) {
+  TempDb db;
+  Catalog catalog(db.pool());
+  ASSERT_OK(catalog.Load());
+  for (size_t i = 0; i < Catalog::kMaxEntries; ++i) {
+    CatalogEntry e;
+    e.name = "set" + std::to_string(i);
+    ASSERT_OK(catalog.Put(e));
+  }
+  CatalogEntry overflow;
+  overflow.name = "one-too-many";
+  EXPECT_TRUE(catalog.Put(overflow).IsInvalidArgument());
+  ASSERT_OK(catalog.Save());
+  Catalog reloaded(db.pool());
+  ASSERT_OK(reloaded.Load());
+  EXPECT_EQ(reloaded.size(), Catalog::kMaxEntries);
+}
+
+TEST(CatalogTest, PersistsAcrossReopen) {
+  TempDb db;
+  {
+    Catalog catalog(db.pool());
+    ASSERT_OK(catalog.Load());
+    CatalogEntry e;
+    e.name = "paper";
+    e.element_count = 1000;
+    e.xrtree_root = 33;
+    ASSERT_OK(catalog.Put(e));
+    ASSERT_OK(catalog.Save());
+    ASSERT_OK(db.pool()->FlushAll());
+  }
+  db.Reopen();
+  Catalog catalog(db.pool());
+  ASSERT_OK(catalog.Load());
+  ASSERT_OK_AND_ASSIGN(CatalogEntry got, catalog.Get("paper"));
+  EXPECT_EQ(got.element_count, 1000u);
+  EXPECT_EQ(got.xrtree_root, 33u);
+}
+
+TEST(CatalogTest, RejectsCorruptHeader) {
+  TempDb db;
+  {
+    ASSERT_OK_AND_ASSIGN(Page * raw, db.pool()->FetchPage(0));
+    PageGuard page(db.pool(), raw);
+    page.MarkDirty();
+    raw->data()[0] = 'Z';  // garbage magic, nonzero
+    raw->data()[8] = 1;    // nonzero count
+  }
+  Catalog catalog(db.pool());
+  EXPECT_TRUE(catalog.Load().IsCorruption());
+}
+
+TEST(CatalogTest, EndToEndStoredSetRoundTrip) {
+  // Build + register two element sets, "restart", reopen via the catalog
+  // and re-run the join with identical results.
+  TempDb db(512);
+  ElementList universe = RandomNestedElements(3, 800);
+  ElementList a_list, d_list;
+  for (const Element& e : universe) {
+    (e.level % 2 == 0 ? a_list : d_list).push_back(e);
+  }
+  uint64_t expected_pairs;
+  {
+    Catalog catalog(db.pool());
+    ASSERT_OK(catalog.Load());
+    StoredElementSet a_set(db.pool(), "A");
+    StoredElementSet d_set(db.pool(), "D");
+    ASSERT_OK(a_set.Build(a_list));
+    ASSERT_OK(d_set.Build(d_list));
+    ASSERT_OK(a_set.Register(&catalog));
+    ASSERT_OK(d_set.Register(&catalog));
+    ASSERT_OK(catalog.Save());
+    ASSERT_OK_AND_ASSIGN(JoinOutput out,
+                         XrStackJoin(a_set.xrtree(), d_set.xrtree()));
+    expected_pairs = out.stats.output_pairs;
+    ASSERT_OK(db.pool()->FlushAll());
+  }
+  db.Reopen();
+  Catalog catalog(db.pool());
+  ASSERT_OK(catalog.Load());
+  ASSERT_OK_AND_ASSIGN(StoredElementSet a_set,
+                       StoredElementSet::Open(db.pool(), catalog, "A"));
+  ASSERT_OK_AND_ASSIGN(StoredElementSet d_set,
+                       StoredElementSet::Open(db.pool(), catalog, "D"));
+  EXPECT_EQ(a_set.size(), a_list.size());
+  ASSERT_OK(a_set.xrtree().CheckConsistency());
+  ASSERT_OK_AND_ASSIGN(JoinOutput out,
+                       XrStackJoin(a_set.xrtree(), d_set.xrtree()));
+  EXPECT_EQ(out.stats.output_pairs, expected_pairs);
+}
+
+}  // namespace
+}  // namespace xrtree

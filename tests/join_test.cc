@@ -1,0 +1,316 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "join/bplus_join.h"
+#include "join/element_source.h"
+#include "join/mpmgjn.h"
+#include "join/nested_loop.h"
+#include "join/parent_child.h"
+#include "join/stack_tree_desc.h"
+#include "join/xr_stack.h"
+#include "tests/test_util.h"
+#include "workload/datasets.h"
+#include "xml/generator.h"
+
+namespace xrtree {
+namespace {
+
+std::vector<JoinPair> Canonical(std::vector<JoinPair> pairs) {
+  for (JoinPair& p : pairs) {
+    p.ancestor.flags = 0;
+    p.descendant.flags = 0;
+  }
+  std::sort(pairs.begin(), pairs.end());
+  return pairs;
+}
+
+/// Derives two joinable element sets (odd/even split by position of tag
+/// chains) from a random nested universe: A = elements at even depth,
+/// D = elements at odd depth. Produces rich overlap.
+void SplitByLevel(const ElementList& universe, ElementList* a,
+                  ElementList* d) {
+  for (const Element& e : universe) {
+    if (e.level % 2 == 0) {
+      a->push_back(e);
+    } else {
+      d->push_back(e);
+    }
+  }
+}
+
+struct JoinParam {
+  uint64_t seed;
+  uint32_t n;
+  uint32_t max_children;
+};
+
+class JoinEquivalenceTest : public ::testing::TestWithParam<JoinParam> {};
+
+TEST_P(JoinEquivalenceTest, AllAlgorithmsAgreeWithOracle) {
+  const JoinParam p = GetParam();
+  ElementList universe = RandomNestedElements(p.seed, p.n, p.max_children);
+  ElementList a_list, d_list;
+  SplitByLevel(universe, &a_list, &d_list);
+  ASSERT_FALSE(a_list.empty());
+  ASSERT_FALSE(d_list.empty());
+
+  TempDb db(512);
+  StoredElementSet a_set(db.pool(), "A");
+  StoredElementSet d_set(db.pool(), "D");
+  ASSERT_OK(a_set.Build(a_list));
+  ASSERT_OK(d_set.Build(d_list));
+
+  JoinOutput oracle = NestedLoopJoin(a_list, d_list);
+  auto want = Canonical(oracle.pairs);
+
+  ASSERT_OK_AND_ASSIGN(JoinOutput stack_out,
+                       StackTreeDescJoin(a_set.file(), d_set.file()));
+  EXPECT_EQ(Canonical(stack_out.pairs), want);
+  EXPECT_EQ(stack_out.stats.output_pairs, want.size());
+
+  JoinOutput vec_out = StackTreeDescJoinVectors(a_list, d_list);
+  EXPECT_EQ(Canonical(vec_out.pairs), want);
+
+  ASSERT_OK_AND_ASSIGN(JoinOutput bplus_out,
+                       BPlusJoin(a_set.btree(), d_set.btree()));
+  EXPECT_EQ(Canonical(bplus_out.pairs), want);
+
+  ASSERT_OK_AND_ASSIGN(JoinOutput xr_out,
+                       XrStackJoin(a_set.xrtree(), d_set.xrtree()));
+  EXPECT_EQ(Canonical(xr_out.pairs), want);
+
+  ASSERT_OK_AND_ASSIGN(JoinOutput mp_out,
+                       MpmgjnJoin(a_set.file(), d_set.file()));
+  EXPECT_EQ(Canonical(mp_out.pairs), want);
+  JoinOutput mpv_out = MpmgjnJoinVectors(a_list, d_list);
+  EXPECT_EQ(Canonical(mpv_out.pairs), want);
+  // MPMGJN re-scans descendant ranges under nested ancestors: never
+  // cheaper than the stack-based merge on the same data.
+  EXPECT_GE(mp_out.stats.elements_scanned + 2,
+            std::min(stack_out.stats.elements_scanned,
+                     a_list.size() + d_list.size()));
+
+  // The scan counters must reflect the skipping hierarchy: B+ never scans
+  // more than the full merge, and XR-stack stays within a small overhead
+  // of it (stab-list probe terminators) even when nothing is skippable.
+  EXPECT_LE(bplus_out.stats.elements_scanned,
+            stack_out.stats.elements_scanned + 2);
+  // Randomly interleaved sets with ~100 % match rate are the worst case
+  // for XR-stack (a FindAncestors probe per descendant, each charging a
+  // terminating stab-entry miss); paper-shaped workloads probe far less.
+  EXPECT_LE(xr_out.stats.elements_scanned,
+            2 * stack_out.stats.elements_scanned + 32);
+}
+
+TEST_P(JoinEquivalenceTest, ParentChildVariantsAgree) {
+  const JoinParam p = GetParam();
+  ElementList universe = RandomNestedElements(p.seed ^ 0xF00D, p.n,
+                                              p.max_children);
+  ElementList a_list, d_list;
+  SplitByLevel(universe, &a_list, &d_list);
+
+  TempDb db(512);
+  StoredElementSet a_set(db.pool(), "A");
+  StoredElementSet d_set(db.pool(), "D");
+  ASSERT_OK(a_set.Build(a_list));
+  ASSERT_OK(d_set.Build(d_list));
+
+  JoinOptions pc;
+  pc.parent_child = true;
+  auto want = Canonical(NestedLoopJoin(a_list, d_list, pc).pairs);
+
+  ASSERT_OK_AND_ASSIGN(JoinOutput stack_out,
+                       StackTreeDescParentChildJoin(a_set.file(),
+                                                    d_set.file()));
+  EXPECT_EQ(Canonical(stack_out.pairs), want);
+  ASSERT_OK_AND_ASSIGN(JoinOutput bplus_out,
+                       BPlusParentChildJoin(a_set.btree(), d_set.btree()));
+  EXPECT_EQ(Canonical(bplus_out.pairs), want);
+  ASSERT_OK_AND_ASSIGN(JoinOutput xr_out,
+                       XrStackParentChildJoin(a_set.xrtree(),
+                                              d_set.xrtree()));
+  EXPECT_EQ(Canonical(xr_out.pairs), want);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, JoinEquivalenceTest,
+    ::testing::Values(JoinParam{1, 200, 4}, JoinParam{2, 200, 2},
+                      JoinParam{3, 500, 8}, JoinParam{4, 500, 3},
+                      JoinParam{5, 1000, 2}, JoinParam{6, 1500, 6},
+                      JoinParam{7, 80, 1}, JoinParam{8, 2500, 4}),
+    [](const ::testing::TestParamInfo<JoinParam>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_n" +
+             std::to_string(info.param.n) + "_kids" +
+             std::to_string(info.param.max_children);
+    });
+
+TEST(JoinTest, EmptyInputs) {
+  TempDb db;
+  StoredElementSet a_set(db.pool(), "A");
+  StoredElementSet d_set(db.pool(), "D");
+  ASSERT_OK(a_set.Build({}));
+  ASSERT_OK(d_set.Build({{1, 10, 0}}));
+  ASSERT_OK_AND_ASSIGN(JoinOutput out1,
+                       StackTreeDescJoin(a_set.file(), d_set.file()));
+  EXPECT_TRUE(out1.pairs.empty());
+  ASSERT_OK_AND_ASSIGN(JoinOutput out2,
+                       BPlusJoin(a_set.btree(), d_set.btree()));
+  EXPECT_TRUE(out2.pairs.empty());
+  ASSERT_OK_AND_ASSIGN(JoinOutput out3,
+                       XrStackJoin(a_set.xrtree(), d_set.xrtree()));
+  EXPECT_TRUE(out3.pairs.empty());
+}
+
+TEST(JoinTest, DisjointSetsProduceNothing) {
+  ElementList a_list = {{1, 10, 0}, {2, 5, 1}};
+  ElementList d_list = {{100, 110, 0}, {101, 105, 1}};
+  TempDb db;
+  StoredElementSet a_set(db.pool(), "A");
+  StoredElementSet d_set(db.pool(), "D");
+  ASSERT_OK(a_set.Build(a_list));
+  ASSERT_OK(d_set.Build(d_list));
+  ASSERT_OK_AND_ASSIGN(JoinOutput out,
+                       XrStackJoin(a_set.xrtree(), d_set.xrtree()));
+  EXPECT_TRUE(out.pairs.empty());
+  ASSERT_OK_AND_ASSIGN(JoinOutput out2,
+                       BPlusJoin(a_set.btree(), d_set.btree()));
+  EXPECT_TRUE(out2.pairs.empty());
+}
+
+TEST(JoinTest, CountOnlyModeSkipsMaterialization) {
+  ElementList universe = RandomNestedElements(77, 600);
+  ElementList a_list, d_list;
+  SplitByLevel(universe, &a_list, &d_list);
+  TempDb db;
+  StoredElementSet a_set(db.pool(), "A");
+  StoredElementSet d_set(db.pool(), "D");
+  ASSERT_OK(a_set.Build(a_list));
+  ASSERT_OK(d_set.Build(d_list));
+  JoinOptions options;
+  options.materialize = false;
+  ASSERT_OK_AND_ASSIGN(JoinOutput counted,
+                       XrStackJoin(a_set.xrtree(), d_set.xrtree(), options));
+  EXPECT_TRUE(counted.pairs.empty());
+  ASSERT_OK_AND_ASSIGN(JoinOutput full,
+                       XrStackJoin(a_set.xrtree(), d_set.xrtree()));
+  EXPECT_EQ(counted.stats.output_pairs, full.pairs.size());
+}
+
+TEST(JoinTest, PaperExampleEmployeeName) {
+  // The motivating query of §1 on the Fig. 1 document: emp // name.
+  ASSERT_OK_AND_ASSIGN(Dataset ds, MakeDepartmentDataset(4000));
+  ASSERT_TRUE(IsStrictlyNested(ds.ancestors));
+  ASSERT_TRUE(IsStrictlyNested(ds.descendants));
+  TempDb db(512);
+  StoredElementSet a_set(db.pool(), "employee");
+  StoredElementSet d_set(db.pool(), "name");
+  ASSERT_OK(a_set.Build(ds.ancestors));
+  ASSERT_OK(d_set.Build(ds.descendants));
+  auto want = Canonical(NestedLoopJoin(ds.ancestors, ds.descendants).pairs);
+  ASSERT_OK_AND_ASSIGN(JoinOutput xr,
+                       XrStackJoin(a_set.xrtree(), d_set.xrtree()));
+  EXPECT_EQ(Canonical(xr.pairs), want);
+  EXPECT_FALSE(want.empty());
+}
+
+TEST(JoinTest, XrStackSkipsUnmatchedAncestors) {
+  // One matching region among many cold ancestors: XR-stack should scan
+  // far fewer elements than the no-index merge.
+  ElementList a_list, d_list;
+  Position p = 1;
+  for (int i = 0; i < 5000; ++i) {
+    a_list.push_back(Element(p, p + 1, 1));
+    p += 3;
+  }
+  a_list.push_back(Element(p, p + 100, 1));
+  for (Position q = p + 1; q < p + 50; q += 2) {
+    d_list.push_back(Element(q, q + 1, 2));
+  }
+  TempDb db(512);
+  StoredElementSet a_set(db.pool(), "A");
+  StoredElementSet d_set(db.pool(), "D");
+  ASSERT_OK(a_set.Build(a_list));
+  ASSERT_OK(d_set.Build(d_list));
+  ASSERT_OK_AND_ASSIGN(JoinOutput stack_out,
+                       StackTreeDescJoin(a_set.file(), d_set.file()));
+  ASSERT_OK_AND_ASSIGN(JoinOutput xr_out,
+                       XrStackJoin(a_set.xrtree(), d_set.xrtree()));
+  EXPECT_EQ(Canonical(xr_out.pairs), Canonical(stack_out.pairs));
+  EXPECT_EQ(xr_out.stats.output_pairs, 25u);
+  EXPECT_LT(xr_out.stats.elements_scanned,
+            stack_out.stats.elements_scanned / 5);
+}
+
+TEST(JoinTest, BPlusSkipsUnmatchedDescendants) {
+  // One ancestor covering few descendants among many cold descendants.
+  ElementList a_list = {{500000, 500100, 1}};
+  ElementList d_list;
+  Position p = 1;
+  for (int i = 0; i < 5000; ++i) {
+    d_list.push_back(Element(p, p + 1, 2));
+    p += 3;
+  }
+  for (Position q = 500001; q < 500050; q += 2) {
+    d_list.push_back(Element(q, q + 1, 2));
+  }
+  TempDb db(512);
+  StoredElementSet a_set(db.pool(), "A");
+  StoredElementSet d_set(db.pool(), "D");
+  ASSERT_OK(a_set.Build(a_list));
+  ASSERT_OK(d_set.Build(d_list));
+  ASSERT_OK_AND_ASSIGN(JoinOutput stack_out,
+                       StackTreeDescJoin(a_set.file(), d_set.file()));
+  ASSERT_OK_AND_ASSIGN(JoinOutput bplus_out,
+                       BPlusJoin(a_set.btree(), d_set.btree()));
+  EXPECT_EQ(Canonical(bplus_out.pairs), Canonical(stack_out.pairs));
+  EXPECT_LT(bplus_out.stats.elements_scanned,
+            stack_out.stats.elements_scanned / 5);
+}
+
+TEST(JoinTest, MultiDocumentCorpusNeverJoinsAcrossDocuments) {
+  // Two copies of the same document in one corpus: every pair must stay
+  // within one document's position range (condition (1) of §2.2, enforced
+  // structurally by the corpus's disjoint base offsets).
+  Corpus corpus;
+  for (int i = 0; i < 2; ++i) {
+    GeneratorOptions options;
+    options.target_elements = 800;
+    corpus.AddDocument(
+        Generator::Generate(Dtd::Department(), options).value());
+  }
+  ElementList emps = corpus.ElementsWithTag("employee");
+  ElementList names = corpus.ElementsWithTag("name");
+  TempDb db(512);
+  StoredElementSet a_set(db.pool(), "A");
+  StoredElementSet d_set(db.pool(), "D");
+  ASSERT_OK(a_set.Build(emps));
+  ASSERT_OK(d_set.Build(names));
+  ASSERT_OK_AND_ASSIGN(JoinOutput out,
+                       XrStackJoin(a_set.xrtree(), d_set.xrtree()));
+  EXPECT_FALSE(out.pairs.empty());
+  for (const JoinPair& p : out.pairs) {
+    EXPECT_EQ(corpus.DocOf(p.ancestor.start),
+              corpus.DocOf(p.descendant.start));
+  }
+  auto want = Canonical(NestedLoopJoin(emps, names).pairs);
+  EXPECT_EQ(Canonical(out.pairs), want);
+}
+
+TEST(JoinTest, SelfJoinProducesProperPairsOnly) {
+  ElementList list = RandomNestedElements(55, 300, 2);
+  TempDb db;
+  StoredElementSet set(db.pool(), "S");
+  ASSERT_OK(set.Build(list));
+  auto want = Canonical(NestedLoopJoin(list, list).pairs);
+  ASSERT_OK_AND_ASSIGN(JoinOutput xr, XrStackJoin(set.xrtree(), set.xrtree()));
+  EXPECT_EQ(Canonical(xr.pairs), want);
+  ASSERT_OK_AND_ASSIGN(JoinOutput bp, BPlusJoin(set.btree(), set.btree()));
+  EXPECT_EQ(Canonical(bp.pairs), want);
+  for (const JoinPair& pr : want) {
+    EXPECT_TRUE(pr.ancestor.Contains(pr.descendant));
+  }
+}
+
+}  // namespace
+}  // namespace xrtree

@@ -1,0 +1,224 @@
+// Robustness and contract tests that cut across modules: parser fuzzing,
+// ablation-mode invariants, scanner save/restore, and the
+// FindAncestorsAbove next_start contract.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "join/xr_stack.h"
+#include "join/element_source.h"
+#include "storage/element_file.h"
+#include "tests/test_util.h"
+#include "xml/generator.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+#include "xrtree/xrtree.h"
+#include "xrtree/xrtree_iterator.h"
+
+namespace xrtree {
+namespace {
+
+// ---------------------------------------------------------------------------
+// XML parser fuzzing: random mutations of valid documents must never crash
+// or mis-parse — every outcome is either a clean error or a valid tree.
+// ---------------------------------------------------------------------------
+
+class ParserFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParserFuzzTest, MutatedDocumentsNeverCrash) {
+  Random rng(GetParam());
+  GeneratorOptions options;
+  options.seed = GetParam();
+  options.target_elements = 60;
+  auto doc = Generator::Generate(Dtd::Department(), options);
+  ASSERT_TRUE(doc.ok());
+  std::string text = XmlWriter::ToString(doc.value());
+
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string mutated = text;
+    int edits = 1 + static_cast<int>(rng.Uniform(4));
+    for (int e = 0; e < edits; ++e) {
+      if (mutated.empty()) break;
+      size_t at = rng.Uniform(mutated.size());
+      switch (rng.Uniform(3)) {
+        case 0:  // flip a character
+          mutated[at] = static_cast<char>('!' + rng.Uniform(90));
+          break;
+        case 1:  // delete a span
+          mutated.erase(at, 1 + rng.Uniform(5));
+          break;
+        case 2:  // duplicate a span
+          mutated.insert(at, mutated.substr(at, 1 + rng.Uniform(5)));
+          break;
+      }
+    }
+    auto result = XmlParser::Parse(mutated);
+    if (result.ok()) {
+      // Whatever parsed must be a structurally valid tree.
+      Document d = std::move(result).value();
+      d.EncodeRegions(1);
+      EXPECT_OK(d.Validate());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest,
+                         ::testing::Values(1, 2, 3, 4),
+                         [](const ::testing::TestParamInfo<uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+TEST(ParserFuzzTest, PureGarbageNeverCrashes) {
+  Random rng(99);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string garbage;
+    size_t len = rng.Uniform(200);
+    for (size_t i = 0; i < len; ++i) {
+      garbage.push_back(static_cast<char>(rng.Uniform(256)));
+    }
+    XmlParser::Parse(garbage).ok();  // must simply not crash
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Ablation modes must preserve every correctness property.
+// ---------------------------------------------------------------------------
+
+TEST(AblationModeTest, NaiveSplitKeyTreeStaysConsistent) {
+  TempDb db(512);
+  XrTreeOptions options;
+  options.leaf_capacity = 4;
+  options.internal_capacity = 4;
+  options.naive_split_key = true;
+  XrTree tree(db.pool(), kInvalidPageId, options);
+  ElementList elems = RandomNestedElements(31, 600, 2);
+  for (const Element& e : elems) ASSERT_OK(tree.Insert(e));
+  ASSERT_OK(tree.CheckConsistency());
+  Random rng(32);
+  for (int q = 0; q < 40; ++q) {
+    Position sd = elems[rng.Uniform(elems.size())].start + 1;
+    ASSERT_OK_AND_ASSIGN(ElementList got, tree.FindAncestors(sd));
+    ElementList want;
+    for (const Element& e : elems) {
+      if (e.start < sd && sd < e.end) want.push_back(e);
+    }
+    for (Element& e : got) e.flags = 0;
+    ASSERT_EQ(got, want);
+  }
+  // Deletions must hold up too.
+  for (size_t i = 0; i < elems.size(); i += 2) {
+    ASSERT_OK(tree.Delete(elems[i].start));
+  }
+  ASSERT_OK(tree.CheckConsistency());
+}
+
+TEST(AblationModeTest, DisabledPsDirectoryStaysCorrect) {
+  TempDb db(512);
+  XrTreeOptions options;
+  options.leaf_capacity = 6;
+  options.internal_capacity = 6;
+  options.disable_ps_directory = true;
+  XrTree tree(db.pool(), kInvalidPageId, options);
+  Document doc = Generator::GenerateNested(500, 1, 0);
+  doc.EncodeRegions(1);
+  ElementList elems = doc.ElementsWithTag("nest");
+  ASSERT_OK(tree.BulkLoad(elems));
+  ASSERT_OK(tree.CheckConsistency());
+  ASSERT_OK_AND_ASSIGN(StabStats stats, tree.ComputeStabStats());
+  EXPECT_EQ(stats.ps_dir_pages, 0u);
+  EXPECT_GT(stats.max_stab_pages_per_node, 1u);  // chains still multi-page
+  Random rng(33);
+  for (int q = 0; q < 40; ++q) {
+    Position sd = elems[rng.Uniform(elems.size())].start + 1;
+    ASSERT_OK_AND_ASSIGN(ElementList got, tree.FindAncestors(sd));
+    ElementList want;
+    for (const Element& e : elems) {
+      if (e.start < sd && sd < e.end) want.push_back(e);
+    }
+    for (Element& e : got) e.flags = 0;
+    ASSERT_EQ(got, want);
+  }
+}
+
+TEST(AblationModeTest, DisabledProbeFloorSameJoinResult) {
+  ElementList universe = RandomNestedElements(34, 1000, 3);
+  ElementList a_list, d_list;
+  for (const Element& e : universe) {
+    (e.level % 2 == 0 ? a_list : d_list).push_back(e);
+  }
+  TempDb db(512);
+  StoredElementSet a_set(db.pool(), "A");
+  StoredElementSet d_set(db.pool(), "D");
+  ASSERT_OK(a_set.Build(a_list));
+  ASSERT_OK(d_set.Build(d_list));
+  ASSERT_OK_AND_ASSIGN(JoinOutput fast,
+                       XrStackJoin(a_set.xrtree(), d_set.xrtree()));
+  JoinOptions slow_options;
+  slow_options.disable_probe_floor = true;
+  ASSERT_OK_AND_ASSIGN(
+      JoinOutput slow,
+      XrStackJoin(a_set.xrtree(), d_set.xrtree(), slow_options));
+  EXPECT_EQ(Sorted(fast.pairs), Sorted(slow.pairs));
+  EXPECT_GE(slow.stats.elements_scanned, fast.stats.elements_scanned);
+}
+
+// ---------------------------------------------------------------------------
+// ElementFile scanner save/restore (the MPMGJN rewind primitive).
+// ---------------------------------------------------------------------------
+
+TEST(ScannerTest, SaveRestoreRewinds) {
+  TempDb db;
+  ElementFile file(db.pool());
+  ElementList elems;
+  for (Position p = 1; p <= 1000; ++p) elems.push_back(Element(2 * p, 2 * p + 1));
+  ASSERT_OK(file.Build(elems));
+
+  auto scan = file.NewScanner();
+  for (int i = 0; i < 300; ++i) scan.Next();
+  ElementFile::ScanState mark = scan.Save();
+  Element at_mark = scan.Get();
+  for (int i = 0; i < 500; ++i) scan.Next();
+  EXPECT_NE(scan.Get(), at_mark);
+  uint64_t before = scan.scanned();
+  scan.Restore(mark);
+  EXPECT_EQ(scan.Get(), at_mark);
+  EXPECT_EQ(scan.scanned(), before + 1);  // the rewound landing is charged
+
+  // Restoring an end state invalidates the scanner.
+  ElementFile::ScanState end_state;
+  scan.Restore(end_state);
+  EXPECT_FALSE(scan.Valid());
+}
+
+// ---------------------------------------------------------------------------
+// FindAncestorsAbove's next_start contract (the XR-stack CurA source).
+// ---------------------------------------------------------------------------
+
+TEST(XrTreeContractTest, NextStartIsSuccessorStart) {
+  TempDb db(512);
+  XrTreeOptions options;
+  options.leaf_capacity = 8;
+  options.internal_capacity = 8;
+  XrTree tree(db.pool(), kInvalidPageId, options);
+  ElementList elems = RandomNestedElements(35, 700);
+  ASSERT_OK(tree.BulkLoad(elems));
+  Random rng(36);
+  for (int q = 0; q < 120; ++q) {
+    Position sd = static_cast<Position>(
+        rng.UniformRange(0, elems.back().start + 3));
+    Position next = 0;
+    ASSERT_OK_AND_ASSIGN(ElementList anc,
+                         tree.FindAncestorsAbove(sd, 0, nullptr, &next));
+    (void)anc;
+    auto it = std::lower_bound(
+        elems.begin(), elems.end(), Element(sd, sd + 1),
+        [](const Element& a, const Element& b) { return a.start < b.start; });
+    Position want = it == elems.end() ? kNilPosition : it->start;
+    ASSERT_EQ(next, want);
+  }
+}
+
+}  // namespace
+}  // namespace xrtree

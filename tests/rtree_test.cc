@@ -1,0 +1,212 @@
+#include "rtree/rtree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "join/nested_loop.h"
+#include "join/rtree_join.h"
+#include "tests/test_util.h"
+
+namespace xrtree {
+namespace {
+
+ElementList BruteWindow(const ElementList& list, const Mbr& w) {
+  ElementList out;
+  for (const Element& e : list) {
+    if (w.x_min <= e.start && e.start <= w.x_max && w.y_min <= e.end &&
+        e.end <= w.y_max) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+void StripFlags(ElementList* list) {
+  for (Element& e : *list) e.flags = 0;
+}
+
+TEST(MbrTest, GeometryBasics) {
+  Mbr a{10, 20, 30, 40};
+  Mbr b{12, 18, 32, 38};
+  EXPECT_TRUE(a.Contains(b));
+  EXPECT_FALSE(b.Contains(a));
+  EXPECT_TRUE(a.Intersects(b));
+  Mbr c{21, 25, 30, 40};
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_EQ(a.Area(), 11u * 11u);
+  Mbr merged = a;
+  merged.Expand(c);
+  EXPECT_EQ(merged.x_max, 25u);
+  EXPECT_EQ(a.EnlargementFor(c), merged.Area() - a.Area());
+  Mbr point = Mbr::Of(Element(5, 7));
+  EXPECT_EQ(point.x_min, 5u);
+  EXPECT_EQ(point.y_max, 7u);
+  EXPECT_EQ(point.Area(), 1u);
+}
+
+TEST(RTreeTest, EmptyTree) {
+  TempDb db;
+  RTree tree(db.pool());
+  EXPECT_TRUE(tree.Delete(5).IsNotFound());
+  ASSERT_OK_AND_ASSIGN(ElementList anc, tree.FindAncestors(10));
+  EXPECT_TRUE(anc.empty());
+  ASSERT_OK(tree.CheckConsistency());
+}
+
+TEST(RTreeTest, InsertAndWindowQuery) {
+  TempDb db;
+  RTreeOptions options;
+  options.leaf_capacity = 6;
+  options.internal_capacity = 6;
+  RTree tree(db.pool(), kInvalidPageId, options);
+  ElementList elems = RandomNestedElements(7, 500);
+  for (const Element& e : elems) ASSERT_OK(tree.Insert(e));
+  EXPECT_EQ(tree.size(), elems.size());
+  ASSERT_OK(tree.CheckConsistency());
+  ASSERT_OK_AND_ASSIGN(uint32_t h, tree.Height());
+  EXPECT_GE(h, 3u);
+
+  Random rng(8);
+  for (int q = 0; q < 60; ++q) {
+    Position lo = static_cast<Position>(rng.UniformRange(0, 1000));
+    Mbr w{lo, lo + static_cast<Position>(rng.UniformRange(0, 400)), 0,
+          kNilPosition - 1};
+    ASSERT_OK_AND_ASSIGN(ElementList got, tree.WindowQuery(w));
+    ElementList want = BruteWindow(elems, w);
+    StripFlags(&got);
+    std::sort(want.begin(), want.end());
+    ASSERT_EQ(got, want);
+  }
+}
+
+TEST(RTreeTest, BulkLoadMatchesBruteForce) {
+  TempDb db(1024);
+  RTree tree(db.pool());
+  ElementList elems = RandomNestedElements(9, 20000);
+  ASSERT_OK(tree.BulkLoad(elems));
+  ASSERT_OK(tree.CheckConsistency());
+  Random rng(10);
+  for (int q = 0; q < 40; ++q) {
+    Position sd = elems[rng.Uniform(elems.size())].start + 1;
+    ASSERT_OK_AND_ASSIGN(ElementList got, tree.FindAncestors(sd));
+    ElementList want;
+    for (const Element& e : elems) {
+      if (e.start < sd && sd < e.end) want.push_back(e);
+    }
+    StripFlags(&got);
+    ASSERT_EQ(got, want);
+  }
+  for (int q = 0; q < 40; ++q) {
+    const Element& a = elems[rng.Uniform(elems.size())];
+    ASSERT_OK_AND_ASSIGN(ElementList got, tree.FindDescendants(a));
+    ElementList want;
+    for (const Element& e : elems) {
+      if (a.start < e.start && e.start < a.end) want.push_back(e);
+    }
+    StripFlags(&got);
+    ASSERT_EQ(got, want);
+  }
+}
+
+TEST(RTreeTest, DeleteKeepsInvariantsAndResults) {
+  TempDb db;
+  RTreeOptions options;
+  options.leaf_capacity = 8;
+  options.internal_capacity = 8;
+  RTree tree(db.pool(), kInvalidPageId, options);
+  ElementList elems = RandomNestedElements(11, 600);
+  for (const Element& e : elems) ASSERT_OK(tree.Insert(e));
+
+  Random rng(12);
+  std::vector<Element> remaining = elems;
+  for (size_t i = remaining.size(); i > 1; --i) {
+    std::swap(remaining[i - 1], remaining[rng.Uniform(i)]);
+  }
+  // Delete two thirds in random order.
+  size_t to_delete = remaining.size() * 2 / 3;
+  for (size_t i = 0; i < to_delete; ++i) {
+    ASSERT_OK(tree.Delete(remaining.back().start));
+    remaining.pop_back();
+    if (i % 37 == 36) ASSERT_OK(tree.CheckConsistency());
+  }
+  ASSERT_OK(tree.CheckConsistency());
+  EXPECT_EQ(tree.size(), remaining.size());
+  std::sort(remaining.begin(), remaining.end());
+  for (int q = 0; q < 30; ++q) {
+    Position sd = elems[rng.Uniform(elems.size())].start + 1;
+    ASSERT_OK_AND_ASSIGN(ElementList got, tree.FindAncestors(sd));
+    ElementList want;
+    for (const Element& e : remaining) {
+      if (e.start < sd && sd < e.end) want.push_back(e);
+    }
+    StripFlags(&got);
+    ASSERT_EQ(got, want);
+  }
+  EXPECT_TRUE(tree.Delete(999999999).IsNotFound());
+}
+
+TEST(RTreeTest, DeleteToEmpty) {
+  TempDb db;
+  RTreeOptions options;
+  options.leaf_capacity = 6;
+  options.internal_capacity = 6;
+  RTree tree(db.pool(), kInvalidPageId, options);
+  ElementList elems = RandomNestedElements(13, 200);
+  for (const Element& e : elems) ASSERT_OK(tree.Insert(e));
+  for (const Element& e : elems) ASSERT_OK(tree.Delete(e.start));
+  EXPECT_EQ(tree.size(), 0u);
+  ASSERT_OK(tree.CheckConsistency());
+}
+
+struct RJoinParam {
+  uint64_t seed;
+  uint32_t n;
+  uint32_t max_children;
+};
+
+class RTreeJoinTest : public ::testing::TestWithParam<RJoinParam> {};
+
+TEST_P(RTreeJoinTest, MatchesOracle) {
+  const RJoinParam p = GetParam();
+  ElementList universe = RandomNestedElements(p.seed, p.n, p.max_children);
+  ElementList a_list, d_list;
+  for (const Element& e : universe) {
+    (e.level % 2 == 0 ? a_list : d_list).push_back(e);
+  }
+  TempDb db(1024);
+  RTree a_tree(db.pool());
+  RTree d_tree(db.pool());
+  ASSERT_OK(a_tree.BulkLoad(a_list));
+  ASSERT_OK(d_tree.BulkLoad(d_list));
+
+  auto want = NestedLoopJoin(a_list, d_list).pairs;
+  ASSERT_OK_AND_ASSIGN(JoinOutput got, RTreeJoin(a_tree, d_tree));
+  for (JoinPair& pr : got.pairs) {
+    pr.ancestor.flags = 0;
+    pr.descendant.flags = 0;
+  }
+  std::sort(got.pairs.begin(), got.pairs.end());
+  std::sort(want.begin(), want.end());
+  ASSERT_EQ(got.pairs, want);
+
+  // Parent-child variant.
+  JoinOptions pc;
+  pc.parent_child = true;
+  auto want_pc = NestedLoopJoin(a_list, d_list, pc).pairs;
+  ASSERT_OK_AND_ASSIGN(JoinOutput got_pc, RTreeJoin(a_tree, d_tree, pc));
+  EXPECT_EQ(got_pc.pairs.size(), want_pc.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RTreeJoinTest,
+    ::testing::Values(RJoinParam{1, 300, 4}, RJoinParam{2, 300, 2},
+                      RJoinParam{3, 1000, 8}, RJoinParam{4, 2000, 3}),
+    [](const ::testing::TestParamInfo<RJoinParam>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_n" +
+             std::to_string(info.param.n);
+    });
+
+}  // namespace
+}  // namespace xrtree

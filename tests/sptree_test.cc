@@ -1,0 +1,129 @@
+#include "btree/sptree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "join/bplus_sp_join.h"
+#include "join/nested_loop.h"
+#include "tests/test_util.h"
+
+namespace xrtree {
+namespace {
+
+TEST(SpTreeTest, EmptyTree) {
+  TempDb db;
+  SpTree tree(db.pool());
+  ASSERT_OK(tree.BulkLoad({}));
+  ASSERT_OK(tree.CheckConsistency());
+  ASSERT_OK_AND_ASSIGN(SpIterator it, tree.Begin());
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST(SpTreeTest, SiblingPointersValidatedOnRandomData) {
+  TempDb db(1024);
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    SpTree tree(db.pool());
+    ElementList elems = RandomNestedElements(seed, 3000, seed % 2 ? 2 : 6);
+    ASSERT_OK(tree.BulkLoad(elems));
+    ASSERT_OK(tree.CheckConsistency());
+  }
+}
+
+TEST(SpTreeTest, FollowSiblingSkipsDescendants) {
+  // A chain: (1,100) ⊃ (2,99) ⊃ ... then a flat run after 100.
+  ElementList elems;
+  for (Position i = 0; i < 10; ++i) {
+    elems.push_back(Element(1 + i, 100 - i, static_cast<uint16_t>(i)));
+  }
+  for (Position p = 101; p < 131; p += 3) {
+    elems.push_back(Element(p, p + 1, 1));
+  }
+  std::sort(elems.begin(), elems.end());
+  TempDb db;
+  SpTree tree(db.pool());
+  ASSERT_OK(tree.BulkLoad(elems));
+  ASSERT_OK(tree.CheckConsistency());
+
+  ASSERT_OK_AND_ASSIGN(SpIterator it, tree.Begin());
+  EXPECT_EQ(it.Get().start, 1u);
+  // The outermost element's sibling is the first flat element at 101:
+  // everything in between is its descendant.
+  ASSERT_OK(it.FollowSibling());
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.Get().start, 101u);
+  // Flat elements point at their immediate successor.
+  ASSERT_OK(it.FollowSibling());
+  EXPECT_EQ(it.Get().start, 104u);
+  // The last element (start 128) has no sibling.
+  ASSERT_OK(it.SeekPastKey(125));
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.Get().start, 128u);
+  ASSERT_OK(it.FollowSibling());
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST(SpTreeTest, IteratorScansInOrder) {
+  TempDb db(1024);
+  SpTree tree(db.pool());
+  ElementList elems = RandomNestedElements(5, 2500);
+  ASSERT_OK(tree.BulkLoad(elems));
+  ASSERT_OK_AND_ASSIGN(SpIterator it, tree.Begin());
+  size_t i = 0;
+  while (it.Valid()) {
+    ASSERT_EQ(it.Get(), elems[i]);
+    ++i;
+    ASSERT_OK(it.Next());
+  }
+  EXPECT_EQ(i, elems.size());
+}
+
+struct SpJoinParam {
+  uint64_t seed;
+  uint32_t n;
+  uint32_t max_children;
+};
+
+class SpJoinTest : public ::testing::TestWithParam<SpJoinParam> {};
+
+TEST_P(SpJoinTest, MatchesOracle) {
+  const SpJoinParam p = GetParam();
+  ElementList universe = RandomNestedElements(p.seed, p.n, p.max_children);
+  ElementList a_list, d_list;
+  for (const Element& e : universe) {
+    (e.level % 2 == 0 ? a_list : d_list).push_back(e);
+  }
+  TempDb db(1024);
+  SpTree a_tree(db.pool());
+  SpTree d_tree(db.pool());
+  ASSERT_OK(a_tree.BulkLoad(a_list));
+  ASSERT_OK(d_tree.BulkLoad(d_list));
+
+  auto want = NestedLoopJoin(a_list, d_list).pairs;
+  ASSERT_OK_AND_ASSIGN(JoinOutput got, BPlusSpJoin(a_tree, d_tree));
+  for (JoinPair& pr : got.pairs) {
+    pr.ancestor.flags = 0;
+    pr.descendant.flags = 0;
+  }
+  std::sort(got.pairs.begin(), got.pairs.end());
+  std::sort(want.begin(), want.end());
+  ASSERT_EQ(got.pairs, want);
+
+  JoinOptions pc;
+  pc.parent_child = true;
+  auto want_pc = NestedLoopJoin(a_list, d_list, pc).pairs;
+  ASSERT_OK_AND_ASSIGN(JoinOutput got_pc, BPlusSpJoin(a_tree, d_tree, pc));
+  EXPECT_EQ(got_pc.pairs.size(), want_pc.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SpJoinTest,
+    ::testing::Values(SpJoinParam{1, 300, 4}, SpJoinParam{2, 800, 2},
+                      SpJoinParam{3, 2000, 8}, SpJoinParam{4, 1500, 3}),
+    [](const ::testing::TestParamInfo<SpJoinParam>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_n" +
+             std::to_string(info.param.n);
+    });
+
+}  // namespace
+}  // namespace xrtree

@@ -1,0 +1,407 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/element_file.h"
+#include "tests/test_util.h"
+
+namespace xrtree {
+namespace {
+
+// ---------------------------------------------------------------------------
+// DiskManager
+// ---------------------------------------------------------------------------
+
+TEST(DiskManagerTest, OpenCloseReopen) {
+  TempDb db;
+  EXPECT_TRUE(db.disk()->is_open());
+  PageId p = db.disk()->AllocatePage();
+  EXPECT_EQ(p, 1u);  // page 0 is the header
+  EXPECT_EQ(db.disk()->AllocatePage(), 2u);
+}
+
+TEST(DiskManagerTest, WriteThenReadBack) {
+  TempDb db;
+  PageId p = db.disk()->AllocatePage();
+  char out[kPageSize];
+  std::memset(out, 0xAB, kPageSize);
+  ASSERT_OK(db.disk()->WritePage(p, out));
+  char in[kPageSize];
+  ASSERT_OK(db.disk()->ReadPage(p, in));
+  EXPECT_EQ(std::memcmp(out, in, kPageSize), 0);
+}
+
+TEST(DiskManagerTest, ReadPastEofYieldsZeros) {
+  TempDb db;
+  PageId p = db.disk()->AllocatePage();
+  char in[kPageSize];
+  std::memset(in, 0xFF, kPageSize);
+  ASSERT_OK(db.disk()->ReadPage(p, in));
+  for (size_t i = 0; i < kPageSize; ++i) ASSERT_EQ(in[i], 0);
+}
+
+TEST(DiskManagerTest, InvalidPageRejected) {
+  TempDb db;
+  char buf[kPageSize];
+  EXPECT_TRUE(db.disk()->ReadPage(kInvalidPageId, buf).IsInvalidArgument());
+  EXPECT_TRUE(db.disk()->WritePage(kInvalidPageId, buf).IsInvalidArgument());
+}
+
+TEST(DiskManagerTest, StatsCountIo) {
+  TempDb db;
+  PageId p = db.disk()->AllocatePage();
+  char buf[kPageSize] = {};
+  ASSERT_OK(db.disk()->WritePage(p, buf));
+  ASSERT_OK(db.disk()->ReadPage(p, buf));
+  EXPECT_EQ(db.disk()->stats().disk_writes, 1u);
+  EXPECT_EQ(db.disk()->stats().disk_reads, 1u);
+  db.disk()->ResetStats();
+  EXPECT_EQ(db.disk()->stats().disk_reads, 0u);
+}
+
+TEST(DiskManagerTest, AllocationRecoveredAfterReopen) {
+  TempDb db;
+  PageId p = db.disk()->AllocatePage();
+  char buf[kPageSize] = {1};
+  ASSERT_OK(db.disk()->WritePage(p, buf));
+  PageId before = db.disk()->num_pages();
+  db.Reopen();
+  EXPECT_GE(db.disk()->num_pages(), before - 1);
+  // Freshly allocated pages after reopen must not collide with old data.
+  PageId q = db.disk()->AllocatePage();
+  EXPECT_GT(q, p);
+}
+
+// ---------------------------------------------------------------------------
+// BufferPool
+// ---------------------------------------------------------------------------
+
+TEST(BufferPoolTest, NewPageIsPinnedAndZeroed) {
+  TempDb db(8);
+  ASSERT_OK_AND_ASSIGN(Page * page, db.pool()->NewPage());
+  EXPECT_EQ(page->pin_count(), 1);
+  for (size_t i = 0; i < kPageSize; ++i) ASSERT_EQ(page->data()[i], 0);
+  ASSERT_OK(db.pool()->UnpinPage(page->page_id(), false));
+}
+
+TEST(BufferPoolTest, FetchHitsCache) {
+  TempDb db(8);
+  ASSERT_OK_AND_ASSIGN(Page * page, db.pool()->NewPage());
+  PageId id = page->page_id();
+  ASSERT_OK(db.pool()->UnpinPage(id, false));
+  ASSERT_OK_AND_ASSIGN(Page * again, db.pool()->FetchPage(id));
+  EXPECT_EQ(again, page);  // same frame
+  EXPECT_EQ(db.pool()->stats().buffer_hits, 1u);
+  ASSERT_OK(db.pool()->UnpinPage(id, false));
+}
+
+TEST(BufferPoolTest, DirtyPageSurvivesEviction) {
+  TempDb db(4);
+  ASSERT_OK_AND_ASSIGN(Page * page, db.pool()->NewPage());
+  PageId id = page->page_id();
+  page->data()[0] = 'x';
+  ASSERT_OK(db.pool()->UnpinPage(id, true));
+  // Evict by cycling more pages than the pool holds.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK_AND_ASSIGN(Page * p, db.pool()->NewPage());
+    ASSERT_OK(db.pool()->UnpinPage(p->page_id(), false));
+  }
+  ASSERT_OK_AND_ASSIGN(Page * back, db.pool()->FetchPage(id));
+  EXPECT_EQ(back->data()[0], 'x');
+  ASSERT_OK(db.pool()->UnpinPage(id, false));
+}
+
+TEST(BufferPoolTest, PinnedPagesAreNotEvicted) {
+  TempDb db(4);
+  std::vector<PageId> pinned;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_OK_AND_ASSIGN(Page * p, db.pool()->NewPage());
+    pinned.push_back(p->page_id());
+  }
+  // Pool is full of pinned pages: the next request must fail.
+  auto r = db.pool()->NewPage();
+  EXPECT_FALSE(r.ok());
+  for (PageId id : pinned) ASSERT_OK(db.pool()->UnpinPage(id, false));
+  ASSERT_OK_AND_ASSIGN(Page * p, db.pool()->NewPage());
+  ASSERT_OK(db.pool()->UnpinPage(p->page_id(), false));
+}
+
+TEST(BufferPoolTest, LruEvictsLeastRecentlyUsed) {
+  TempDb db(3);
+  PageId a, b, c;
+  {
+    ASSERT_OK_AND_ASSIGN(Page * p, db.pool()->NewPage());
+    a = p->page_id();
+    p->data()[0] = 'a';
+    ASSERT_OK(db.pool()->UnpinPage(a, true));
+  }
+  {
+    ASSERT_OK_AND_ASSIGN(Page * p, db.pool()->NewPage());
+    b = p->page_id();
+    ASSERT_OK(db.pool()->UnpinPage(b, true));
+  }
+  {
+    ASSERT_OK_AND_ASSIGN(Page * p, db.pool()->NewPage());
+    c = p->page_id();
+    ASSERT_OK(db.pool()->UnpinPage(c, true));
+  }
+  // Touch `a` so `b` becomes the LRU victim.
+  ASSERT_OK_AND_ASSIGN(Page * pa, db.pool()->FetchPage(a));
+  ASSERT_OK(db.pool()->UnpinPage(a, false));
+  (void)pa;
+  uint64_t misses_before = db.pool()->stats().buffer_misses;
+  ASSERT_OK_AND_ASSIGN(Page * pd, db.pool()->NewPage());
+  ASSERT_OK(db.pool()->UnpinPage(pd->page_id(), false));
+  // a and c should still be resident.
+  ASSERT_OK_AND_ASSIGN(Page * p2, db.pool()->FetchPage(a));
+  ASSERT_OK(db.pool()->UnpinPage(a, false));
+  ASSERT_OK_AND_ASSIGN(Page * p3, db.pool()->FetchPage(c));
+  ASSERT_OK(db.pool()->UnpinPage(c, false));
+  (void)p2;
+  (void)p3;
+  EXPECT_EQ(db.pool()->stats().buffer_misses, misses_before);
+}
+
+TEST(BufferPoolTest, UnpinErrors) {
+  TempDb db(4);
+  EXPECT_FALSE(db.pool()->UnpinPage(999, false).ok());
+  ASSERT_OK_AND_ASSIGN(Page * p, db.pool()->NewPage());
+  ASSERT_OK(db.pool()->UnpinPage(p->page_id(), false));
+  EXPECT_FALSE(db.pool()->UnpinPage(p->page_id(), false).ok());
+}
+
+TEST(BufferPoolTest, DiscardRequiresUnpinned) {
+  TempDb db(4);
+  ASSERT_OK_AND_ASSIGN(Page * p, db.pool()->NewPage());
+  PageId id = p->page_id();
+  EXPECT_FALSE(db.pool()->DiscardPage(id).ok());
+  ASSERT_OK(db.pool()->UnpinPage(id, false));
+  EXPECT_OK(db.pool()->DiscardPage(id));
+}
+
+TEST(BufferPoolTest, PageGuardUnpinsOnScopeExit) {
+  TempDb db(4);
+  PageId id;
+  {
+    ASSERT_OK_AND_ASSIGN(Page * p, db.pool()->NewPage());
+    PageGuard guard(db.pool(), p);
+    id = guard.page_id();
+    EXPECT_EQ(db.pool()->pinned_frames(), 1u);
+  }
+  EXPECT_EQ(db.pool()->pinned_frames(), 0u);
+  (void)id;
+}
+
+TEST(BufferPoolTest, PageGuardMoveTransfersOwnership) {
+  TempDb db(4);
+  ASSERT_OK_AND_ASSIGN(Page * p, db.pool()->NewPage());
+  PageGuard g1(db.pool(), p);
+  PageGuard g2 = std::move(g1);
+  EXPECT_FALSE(g1);  // NOLINT(bugprone-use-after-move): testing moved state
+  EXPECT_TRUE(g2);
+  EXPECT_EQ(db.pool()->pinned_frames(), 1u);
+  g2.Release();
+  EXPECT_EQ(db.pool()->pinned_frames(), 0u);
+}
+
+TEST(BufferPoolTest, FlushAllPersistsAcrossReopen) {
+  TempDb db(8);
+  PageId id;
+  {
+    ASSERT_OK_AND_ASSIGN(Page * p, db.pool()->NewPage());
+    id = p->page_id();
+    std::strcpy(p->data(), "persist me");
+    ASSERT_OK(db.pool()->UnpinPage(id, true));
+  }
+  ASSERT_OK(db.pool()->FlushAll());
+  db.Reopen();
+  ASSERT_OK_AND_ASSIGN(Page * p, db.pool()->FetchPage(id));
+  EXPECT_STREQ(p->data(), "persist me");
+  ASSERT_OK(db.pool()->UnpinPage(id, false));
+}
+
+// ---------------------------------------------------------------------------
+// ElementFile
+// ---------------------------------------------------------------------------
+
+ElementList MakeSequentialElements(uint32_t n) {
+  ElementList out;
+  Position p = 1;
+  for (uint32_t i = 0; i < n; ++i) {
+    out.push_back(Element(p, p + 1, 1, i));
+    p += 2;
+  }
+  return out;
+}
+
+TEST(ElementFileTest, BuildAndReadAll) {
+  TempDb db;
+  ElementFile file(db.pool());
+  ElementList elems = MakeSequentialElements(1000);
+  ASSERT_OK(file.Build(elems));
+  EXPECT_EQ(file.size(), 1000u);
+  ASSERT_OK_AND_ASSIGN(ElementList back, file.ReadAll());
+  EXPECT_EQ(back, elems);
+}
+
+TEST(ElementFileTest, EmptyFile) {
+  TempDb db;
+  ElementFile file(db.pool());
+  ASSERT_OK(file.Build({}));
+  EXPECT_EQ(file.size(), 0u);
+  auto scanner = file.NewScanner();
+  EXPECT_FALSE(scanner.Valid());
+  EXPECT_EQ(scanner.scanned(), 0u);
+}
+
+TEST(ElementFileTest, ScannerVisitsEverythingInOrder) {
+  TempDb db;
+  ElementFile file(db.pool());
+  ElementList elems = MakeSequentialElements(997);  // not page-aligned
+  ASSERT_OK(file.Build(elems));
+  auto scanner = file.NewScanner();
+  size_t i = 0;
+  while (scanner.Valid()) {
+    ASSERT_EQ(scanner.Get(), elems[i]);
+    ++i;
+    if (!scanner.Next()) break;
+  }
+  EXPECT_EQ(i, elems.size());
+  EXPECT_EQ(scanner.scanned(), elems.size());
+}
+
+TEST(ElementFileTest, SpansMultiplePages) {
+  TempDb db;
+  ElementFile file(db.pool());
+  uint32_t n = static_cast<uint32_t>(ElementFile::kCapacity * 3 + 7);
+  ASSERT_OK(file.Build(MakeSequentialElements(n)));
+  EXPECT_EQ(file.num_pages(), 4u);
+}
+
+TEST(ElementFileTest, DoubleBuildRejected) {
+  TempDb db;
+  ElementFile file(db.pool());
+  ASSERT_OK(file.Build(MakeSequentialElements(10)));
+  EXPECT_TRUE(file.Build(MakeSequentialElements(10)).IsInvalidArgument());
+}
+
+TEST(ElementFileTest, PersistsAcrossReopen) {
+  TempDb db;
+  PageId head;
+  uint64_t size;
+  ElementList elems = MakeSequentialElements(500);
+  {
+    ElementFile file(db.pool());
+    ASSERT_OK(file.Build(elems));
+    head = file.head();
+    size = file.size();
+    ASSERT_OK(db.pool()->FlushAll());
+  }
+  db.Reopen();
+  ElementFile file(db.pool());
+  file.OpenExisting(head, size);
+  ASSERT_OK_AND_ASSIGN(ElementList back, file.ReadAll());
+  EXPECT_EQ(back, elems);
+}
+
+// ---------------------------------------------------------------------------
+// BufferPool concurrency: the pool is internally synchronized; hammer it
+// from several threads and verify no page content tears and all pin
+// accounting balances.
+// ---------------------------------------------------------------------------
+
+TEST(BufferPoolConcurrencyTest, ParallelFetchesSeeConsistentPages) {
+  TempDb db(32);
+  constexpr int kPages = 128;
+  std::vector<PageId> ids;
+  for (int i = 0; i < kPages; ++i) {
+    ASSERT_OK_AND_ASSIGN(Page * p, db.pool()->NewPage());
+    // Fill the page with its own id so readers can verify integrity.
+    std::memset(p->data(), static_cast<int>(p->page_id() % 251), kPageSize);
+    ids.push_back(p->page_id());
+    ASSERT_OK(db.pool()->UnpinPage(p->page_id(), true));
+  }
+
+  std::atomic<int> torn{0};
+  std::atomic<int> failures{0};
+  auto worker = [&](uint64_t seed) {
+    Random rng(seed);
+    for (int op = 0; op < 3000; ++op) {
+      PageId id = ids[rng.Uniform(ids.size())];
+      auto r = db.pool()->FetchPage(id);
+      if (!r.ok()) {
+        // Pool exhaustion is possible if every frame is momentarily
+        // pinned by the other threads; it must be the only error kind.
+        if (r.status().code() != Status::Code::kAborted) ++failures;
+        continue;
+      }
+      Page* p = r.value();
+      char expect = static_cast<char>(id % 251);
+      for (size_t b = 0; b < kPageSize; b += 512) {
+        if (p->data()[b] != expect) {
+          ++torn;
+          break;
+        }
+      }
+      db.pool()->UnpinPage(id, false).ok();
+    }
+  };
+  std::vector<std::thread> threads;
+  for (uint64_t t = 0; t < 8; ++t) threads.emplace_back(worker, t + 1);
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(torn.load(), 0);
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(db.pool()->pinned_frames(), 0u);
+}
+
+// Element invariant helpers.
+
+TEST(ElementTest, ContainsAndParent) {
+  Element a(1, 100, 0);
+  Element b(2, 15, 1);
+  Element c(5, 6, 2);
+  EXPECT_TRUE(a.Contains(b));
+  EXPECT_TRUE(a.Contains(c));
+  EXPECT_TRUE(b.Contains(c));
+  EXPECT_FALSE(b.Contains(a));
+  EXPECT_FALSE(a.Contains(a));
+  EXPECT_TRUE(a.IsParentOf(b));
+  EXPECT_FALSE(a.IsParentOf(c));  // grandchild
+  EXPECT_TRUE(b.IsParentOf(c));
+}
+
+TEST(ElementTest, StabbedBy) {
+  Element e(10, 20);
+  EXPECT_TRUE(e.StabbedBy(10));
+  EXPECT_TRUE(e.StabbedBy(15));
+  EXPECT_TRUE(e.StabbedBy(20));
+  EXPECT_FALSE(e.StabbedBy(9));
+  EXPECT_FALSE(e.StabbedBy(21));
+}
+
+TEST(ElementTest, IsStrictlyNestedDetectsOverlap) {
+  ElementList good = {{1, 100}, {2, 50}, {3, 10}, {60, 70}};
+  EXPECT_TRUE(IsStrictlyNested(good));
+  ElementList bad = {{1, 50}, {40, 60}};  // partial overlap
+  EXPECT_FALSE(IsStrictlyNested(bad));
+  ElementList unsorted = {{5, 6}, {1, 2}};
+  EXPECT_FALSE(IsStrictlyNested(unsorted));
+  EXPECT_TRUE(IsStrictlyNested({}));
+}
+
+TEST(ElementTest, RandomNestedElementsAreStrictlyNested) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    ElementList list = RandomNestedElements(seed, 500);
+    EXPECT_TRUE(IsStrictlyNested(list)) << "seed " << seed;
+    EXPECT_EQ(list.size(), 500u);
+  }
+}
+
+}  // namespace
+}  // namespace xrtree

@@ -1,0 +1,164 @@
+#include "workload/selectivity.h"
+
+#include <gtest/gtest.h>
+
+#include "join/nested_loop.h"
+#include "tests/test_util.h"
+#include "workload/datasets.h"
+
+namespace xrtree {
+namespace {
+
+void SplitByLevel(const ElementList& universe, ElementList* a,
+                  ElementList* d) {
+  for (const Element& e : universe) {
+    if (e.level % 2 == 0) {
+      a->push_back(e);
+    } else {
+      d->push_back(e);
+    }
+  }
+}
+
+TEST(SelectivityTest, ComputeSelectivityMatchesOracle) {
+  ElementList universe = RandomNestedElements(3, 800);
+  ElementList a_list, d_list;
+  SplitByLevel(universe, &a_list, &d_list);
+  JoinSelectivity sel = ComputeSelectivity(a_list, d_list);
+
+  // Oracle: nested-loop matched sets.
+  std::set<Position> ma, md;
+  for (const Element& a : a_list) {
+    for (const Element& d : d_list) {
+      if (a.Contains(d)) {
+        ma.insert(a.start);
+        md.insert(d.start);
+      }
+    }
+  }
+  EXPECT_EQ(sel.matched_ancestors, ma.size());
+  EXPECT_EQ(sel.matched_descendants, md.size());
+}
+
+TEST(SelectivityTest, EmptyInputs) {
+  JoinSelectivity sel = ComputeSelectivity({}, {});
+  EXPECT_EQ(sel.join_a, 0.0);
+  EXPECT_EQ(sel.join_d, 0.0);
+}
+
+class AncestorSelectivityTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(AncestorSelectivityTest, HitsTargetWithinTolerance) {
+  double target = GetParam();
+  ASSERT_OK_AND_ASSIGN(Dataset ds, MakeDepartmentDataset(30000));
+  DerivedWorkload w =
+      MakeAncestorSelectivity(ds.ancestors, ds.descendants, target, 0.99);
+  // Ancestor list untouched (§6.2).
+  EXPECT_EQ(w.ancestors.size(), ds.ancestors.size());
+  EXPECT_TRUE(IsStrictlyNested(w.descendants));
+  EXPECT_NEAR(w.achieved.join_a, target, 0.05);
+  EXPECT_NEAR(w.achieved.join_d, 0.99, 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AncestorSelectivityTest,
+                         ::testing::Values(0.9, 0.55, 0.25, 0.05, 0.01),
+                         [](const ::testing::TestParamInfo<double>& info) {
+                           return "pct" +
+                                  std::to_string(
+                                      static_cast<int>(info.param * 100));
+                         });
+
+class DescendantSelectivityTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(DescendantSelectivityTest, HitsTargetWithinTolerance) {
+  double target = GetParam();
+  ASSERT_OK_AND_ASSIGN(Dataset ds, MakeConferenceDataset(30000));
+  DerivedWorkload w =
+      MakeDescendantSelectivity(ds.ancestors, ds.descendants, target, 0.99);
+  EXPECT_EQ(w.descendants.size(), ds.descendants.size());
+  EXPECT_TRUE(IsStrictlyNested(w.ancestors));
+  EXPECT_NEAR(w.achieved.join_d, target, 0.05);
+  EXPECT_NEAR(w.achieved.join_a, 0.99, 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DescendantSelectivityTest,
+                         ::testing::Values(0.9, 0.55, 0.25, 0.05, 0.01),
+                         [](const ::testing::TestParamInfo<double>& info) {
+                           return "pct" +
+                                  std::to_string(
+                                      static_cast<int>(info.param * 100));
+                         });
+
+class BothSelectivityTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(BothSelectivityTest, KeepsSizesAndHitsTargets) {
+  double target = GetParam();
+  ASSERT_OK_AND_ASSIGN(Dataset ds, MakeDepartmentDataset(30000));
+  DerivedWorkload w =
+      MakeBothSelectivity(ds.ancestors, ds.descendants, target);
+  // §6.4: both sizes unchanged.
+  EXPECT_EQ(w.ancestors.size(), ds.ancestors.size());
+  EXPECT_EQ(w.descendants.size(), ds.descendants.size());
+  EXPECT_TRUE(IsStrictlyNested(w.descendants));
+  EXPECT_NEAR(w.achieved.join_a, target, 0.05);
+  // join_d can exceed the target when chains overlap too much to trim.
+  EXPECT_GE(w.achieved.join_d, target - 0.05);
+  EXPECT_LE(w.achieved.join_d, target + 0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BothSelectivityTest,
+                         ::testing::Values(0.9, 0.55, 0.25, 0.05),
+                         [](const ::testing::TestParamInfo<double>& info) {
+                           return "pct" +
+                                  std::to_string(
+                                      static_cast<int>(info.param * 100));
+                         });
+
+TEST(SelectivityTest, DerivedListsRemainJoinable) {
+  ASSERT_OK_AND_ASSIGN(Dataset ds, MakeDepartmentDataset(10000));
+  DerivedWorkload w =
+      MakeAncestorSelectivity(ds.ancestors, ds.descendants, 0.4, 0.99);
+  JoinOutput oracle = NestedLoopJoin(w.ancestors, w.descendants);
+  EXPECT_GT(oracle.stats.output_pairs, 0u);
+  // Every remaining matched descendant really has an ancestor.
+  JoinSelectivity sel = ComputeSelectivity(w.ancestors, w.descendants);
+  EXPECT_EQ(sel.matched_descendants,
+            w.achieved.matched_descendants);
+}
+
+TEST(DatasetTest, DepartmentShape) {
+  ASSERT_OK_AND_ASSIGN(Dataset ds, MakeDepartmentDataset(20000));
+  EXPECT_GE(ds.corpus.TotalElements(), 20000u);
+  EXPECT_FALSE(ds.ancestors.empty());
+  EXPECT_FALSE(ds.descendants.empty());
+  EXPECT_TRUE(IsStrictlyNested(ds.ancestors));
+  EXPECT_TRUE(IsStrictlyNested(ds.descendants));
+  EXPECT_GE(ds.max_nesting, 5u) << "employee set must be highly nested";
+  // Most names live under employees: high natural join_d.
+  JoinSelectivity sel = ComputeSelectivity(ds.ancestors, ds.descendants);
+  EXPECT_GT(sel.join_d, 0.8);
+}
+
+TEST(DatasetTest, ConferenceShape) {
+  ASSERT_OK_AND_ASSIGN(Dataset ds, MakeConferenceDataset(20000));
+  EXPECT_LE(ds.max_nesting, 1u) << "paper set must be flat";
+  JoinSelectivity sel = ComputeSelectivity(ds.ancestors, ds.descendants);
+  EXPECT_GT(sel.join_a, 0.95) << "every paper has authors";
+  EXPECT_GT(sel.join_d, 0.95);
+}
+
+TEST(DatasetTest, XMachShapeIsDeep) {
+  ASSERT_OK_AND_ASSIGN(Dataset ds, MakeXMachDataset(30000));
+  EXPECT_GE(ds.max_nesting, 3u) << "sections must nest";
+  JoinSelectivity sel = ComputeSelectivity(ds.ancestors, ds.descendants);
+  EXPECT_GT(sel.join_d, 0.9) << "paragraphs live under sections";
+}
+
+TEST(DatasetTest, XMarkShapeIsDeep) {
+  ASSERT_OK_AND_ASSIGN(Dataset ds, MakeXMarkDataset(30000));
+  EXPECT_GE(ds.max_nesting, 3u);
+  EXPECT_FALSE(ds.ancestors.empty());
+}
+
+}  // namespace
+}  // namespace xrtree

@@ -1,0 +1,320 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tests/test_util.h"
+#include "xml/corpus.h"
+#include "xml/document.h"
+#include "xml/dtd.h"
+#include "xml/generator.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+
+namespace xrtree {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Document + region encoding
+// ---------------------------------------------------------------------------
+
+/// Builds the Fig. 1 example document (dept / emp / name / office).
+Document Figure1Document() {
+  Document doc;
+  NodeId dept = doc.CreateRoot("dept");
+  NodeId e1 = doc.AddChild(dept, "emp");
+  doc.AddChild(e1, "name");
+  NodeId e2 = doc.AddChild(e1, "emp");
+  doc.AddChild(e2, "emp");
+  NodeId e3 = doc.AddChild(dept, "emp");
+  NodeId e4 = doc.AddChild(e3, "emp");
+  doc.AddChild(e4, "emp");
+  NodeId e5 = doc.AddChild(e3, "emp");
+  doc.AddChild(e5, "name");
+  NodeId e6 = doc.AddChild(e5, "emp");
+  doc.AddChild(e6, "emp");
+  doc.AddChild(e6, "emp");
+  doc.AddChild(e3, "name");
+  NodeId e7 = doc.AddChild(dept, "emp");
+  doc.AddChild(e7, "name");
+  doc.AddChild(e7, "emp");
+  doc.AddChild(dept, "office");
+  doc.EncodeRegions(1);
+  return doc;
+}
+
+TEST(DocumentTest, EncodeRegionsProducesNestedRegions) {
+  Document doc = Figure1Document();
+  ASSERT_OK(doc.Validate());
+  ElementList emps = doc.ElementsWithTag("emp");
+  EXPECT_EQ(emps.size(), 12u);
+  EXPECT_TRUE(IsStrictlyNested(emps));
+  ElementList all;
+  for (NodeId id = 0; id < doc.size(); ++id) all.push_back(doc.ElementAt(id));
+  std::sort(all.begin(), all.end());
+  EXPECT_TRUE(IsStrictlyNested(all));
+}
+
+TEST(DocumentTest, RootSpansEverything) {
+  Document doc = Figure1Document();
+  Element root = doc.ElementAt(doc.root());
+  EXPECT_EQ(root.start, 1u);
+  EXPECT_EQ(root.level, 0);
+  for (NodeId id = 1; id < doc.size(); ++id) {
+    EXPECT_TRUE(root.Contains(doc.ElementAt(id)));
+  }
+}
+
+TEST(DocumentTest, LevelsMatchDepth) {
+  Document doc = Figure1Document();
+  for (NodeId id = 1; id < doc.size(); ++id) {
+    const auto& n = doc.node(id);
+    EXPECT_EQ(n.level, doc.node(n.parent).level + 1);
+  }
+}
+
+TEST(DocumentTest, PositionStrideWidensGaps) {
+  Document doc;
+  NodeId root = doc.CreateRoot("a");
+  doc.AddChild(root, "b");
+  Position next = doc.EncodeRegions(1, 5);
+  EXPECT_EQ(doc.ElementAt(0).start, 1u);
+  EXPECT_EQ(doc.ElementAt(1).start, 6u);
+  EXPECT_EQ(doc.ElementAt(1).end, 11u);
+  EXPECT_EQ(doc.ElementAt(0).end, 16u);
+  EXPECT_EQ(next, 21u);
+}
+
+TEST(DocumentTest, ElementsWithTagSortedByStart) {
+  Document doc = Figure1Document();
+  ElementList names = doc.ElementsWithTag("name");
+  for (size_t i = 1; i < names.size(); ++i) {
+    EXPECT_LT(names[i - 1].start, names[i].start);
+  }
+  EXPECT_TRUE(doc.ElementsWithTag("nonexistent").empty());
+}
+
+TEST(DocumentTest, MaxSelfNesting) {
+  Document doc = Figure1Document();
+  EXPECT_EQ(doc.MaxSelfNesting(doc.FindTag("emp")), 4u);
+  EXPECT_EQ(doc.MaxSelfNesting(doc.FindTag("name")), 1u);
+  EXPECT_EQ(doc.MaxSelfNesting(doc.FindTag("dept")), 1u);
+}
+
+TEST(DocumentTest, ValidateCatchesMissingEncoding) {
+  Document doc;
+  doc.CreateRoot("a");
+  EXPECT_OK(doc.Validate());  // unencoded is fine
+  EXPECT_FALSE(doc.encoded());
+}
+
+// ---------------------------------------------------------------------------
+// Parser & writer
+// ---------------------------------------------------------------------------
+
+TEST(ParserTest, ParsesSimpleDocument) {
+  ASSERT_OK_AND_ASSIGN(
+      Document doc,
+      XmlParser::Parse("<a><b/><c><d></d></c></a>"));
+  EXPECT_EQ(doc.size(), 4u);
+  EXPECT_EQ(doc.TagName(doc.node(0).tag), "a");
+}
+
+TEST(ParserTest, HandlesDeclarationCommentsCdataAndPi) {
+  const char* text = R"(<?xml version="1.0"?>
+<!-- a comment -->
+<!DOCTYPE root [<!ELEMENT root (leaf*)>]>
+<root attr="v" other='w'>
+  text content &amp; entities
+  <!-- nested <comment> -->
+  <leaf/>
+  <![CDATA[ <not><tags> ]]>
+  <leaf></leaf>
+</root>)";
+  ASSERT_OK_AND_ASSIGN(Document doc, XmlParser::Parse(text));
+  EXPECT_EQ(doc.size(), 3u);
+}
+
+TEST(ParserTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(XmlParser::Parse("").ok());
+  EXPECT_FALSE(XmlParser::Parse("<a><b></a></b>").ok());   // mismatched
+  EXPECT_FALSE(XmlParser::Parse("<a>").ok());              // unclosed
+  EXPECT_FALSE(XmlParser::Parse("<a/><b/>").ok());         // two roots
+  EXPECT_FALSE(XmlParser::Parse("text<a/>").ok());         // stray text
+  EXPECT_FALSE(XmlParser::Parse("<a attr=oops/>").ok());   // unquoted attr
+  EXPECT_FALSE(XmlParser::Parse("</a>").ok());             // end without start
+  EXPECT_FALSE(XmlParser::Parse("<a><!-- x </a>").ok());   // open comment
+}
+
+TEST(ParserTest, RoundTripsThroughWriter) {
+  Document original = Figure1Document();
+  std::string text = XmlWriter::ToString(original);
+  ASSERT_OK_AND_ASSIGN(Document reparsed, XmlParser::Parse(text));
+  ASSERT_EQ(reparsed.size(), original.size());
+  reparsed.EncodeRegions(1);
+  for (NodeId id = 0; id < original.size(); ++id) {
+    EXPECT_EQ(original.ElementAt(id), reparsed.ElementAt(id)) << "node " << id;
+    EXPECT_EQ(original.TagName(original.node(id).tag),
+              reparsed.TagName(reparsed.node(id).tag));
+  }
+}
+
+TEST(WriterTest, CompactModeHasNoNewlines) {
+  Document doc;
+  NodeId root = doc.CreateRoot("a");
+  doc.AddChild(root, "b");
+  WriterOptions options;
+  options.pretty = false;
+  options.declaration = false;
+  EXPECT_EQ(XmlWriter::ToString(doc, options), "<a><b/></a>");
+}
+
+// ---------------------------------------------------------------------------
+// DTD
+// ---------------------------------------------------------------------------
+
+TEST(DtdTest, BuiltinDtdsValidate) {
+  EXPECT_OK(Dtd::Department().Validate());
+  EXPECT_OK(Dtd::Conference().Validate());
+  EXPECT_OK(Dtd::XMark().Validate());
+  EXPECT_OK(Dtd::XMach().Validate());
+}
+
+TEST(DtdTest, RecursionDetection) {
+  Dtd dep = Dtd::Department();
+  EXPECT_TRUE(dep.IsRecursive("employee"));
+  EXPECT_FALSE(dep.IsRecursive("name"));
+  EXPECT_FALSE(dep.IsRecursive("departments"));
+  Dtd conf = Dtd::Conference();
+  EXPECT_FALSE(conf.IsRecursive("paper"));
+  Dtd xmark = Dtd::XMark();
+  EXPECT_TRUE(xmark.IsRecursive("parlist"));
+  EXPECT_TRUE(xmark.IsRecursive("listitem"));
+  EXPECT_TRUE(Dtd::XMach().IsRecursive("section"));
+  EXPECT_FALSE(Dtd::XMach().IsRecursive("chapter"));
+}
+
+TEST(DtdTest, ParseDeclarations) {
+  ASSERT_OK_AND_ASSIGN(Dtd dtd, Dtd::Parse(R"(
+    <!ELEMENT root (item*)>
+    <!ELEMENT item (name, tag?, item*)>
+    <!ELEMENT name (#PCDATA)>
+    <!ELEMENT tag EMPTY>
+  )"));
+  EXPECT_EQ(dtd.root(), "root");
+  ASSERT_NE(dtd.Find("item"), nullptr);
+  EXPECT_EQ(dtd.Find("item")->children.size(), 3u);
+  EXPECT_EQ(dtd.Find("item")->children[1].occurrence, Occurrence::kOptional);
+  EXPECT_TRUE(dtd.IsRecursive("item"));
+}
+
+TEST(DtdTest, ParseRejectsUndeclaredChild) {
+  EXPECT_FALSE(Dtd::Parse("<!ELEMENT a (b)>").ok());
+}
+
+TEST(DtdTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(Dtd::Parse("<!ATTLIST a>").ok());
+  EXPECT_FALSE(Dtd::Parse("<!ELEMENT a (b,)>").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Generator
+// ---------------------------------------------------------------------------
+
+TEST(GeneratorTest, DepartmentDataIsDeepAndValid) {
+  GeneratorOptions options;
+  options.target_elements = 20000;
+  ASSERT_OK_AND_ASSIGN(Document doc,
+                       Generator::Generate(Dtd::Department(), options));
+  EXPECT_GE(doc.size(), options.target_elements);
+  ASSERT_OK(doc.Validate());
+  doc.EncodeRegions(1);
+  ASSERT_OK(doc.Validate());
+  // The recursive employee content model must nest employees deeply.
+  EXPECT_GE(doc.MaxSelfNesting(doc.FindTag("employee")), 5u);
+  EXPECT_FALSE(doc.ElementsWithTag("name").empty());
+}
+
+TEST(GeneratorTest, ConferenceDataIsFlat) {
+  GeneratorOptions options;
+  options.target_elements = 20000;
+  ASSERT_OK_AND_ASSIGN(Document doc,
+                       Generator::Generate(Dtd::Conference(), options));
+  doc.EncodeRegions(1);
+  EXPECT_EQ(doc.MaxSelfNesting(doc.FindTag("paper")), 1u);
+  EXPECT_FALSE(doc.ElementsWithTag("author").empty());
+}
+
+TEST(GeneratorTest, DeterministicForSameSeed) {
+  GeneratorOptions options;
+  options.target_elements = 5000;
+  options.seed = 77;
+  ASSERT_OK_AND_ASSIGN(Document a,
+                       Generator::Generate(Dtd::Department(), options));
+  ASSERT_OK_AND_ASSIGN(Document b,
+                       Generator::Generate(Dtd::Department(), options));
+  ASSERT_EQ(a.size(), b.size());
+  options.seed = 78;
+  ASSERT_OK_AND_ASSIGN(Document c,
+                       Generator::Generate(Dtd::Department(), options));
+  EXPECT_NE(a.size(), c.size());  // overwhelmingly likely
+}
+
+TEST(GeneratorTest, RespectsMaxDepth) {
+  GeneratorOptions options;
+  options.target_elements = 5000;
+  options.max_depth = 6;
+  options.recursion_decay = 1.0;
+  ASSERT_OK_AND_ASSIGN(Document doc,
+                       Generator::Generate(Dtd::Department(), options));
+  EXPECT_LE(doc.MaxDepth(), 6u);
+}
+
+TEST(GeneratorTest, GenerateNestedHasExactNesting) {
+  Document doc = Generator::GenerateNested(/*nesting=*/12, /*chains=*/3,
+                                           /*fanout=*/2);
+  doc.EncodeRegions(1);
+  EXPECT_EQ(doc.MaxSelfNesting(doc.FindTag("nest")), 12u);
+  EXPECT_EQ(doc.ElementsWithTag("nest").size(), 36u);
+  EXPECT_EQ(doc.ElementsWithTag("leaf").size(), 72u);
+  ASSERT_OK(doc.Validate());
+}
+
+// ---------------------------------------------------------------------------
+// Corpus
+// ---------------------------------------------------------------------------
+
+TEST(CorpusTest, DocumentsOccupyDisjointRanges) {
+  Corpus corpus;
+  for (int i = 0; i < 3; ++i) corpus.AddDocument(Figure1Document());
+  ASSERT_EQ(corpus.num_documents(), 3u);
+  // No element of one document may contain an element of another.
+  ElementList all = corpus.ElementsWithTag("emp");
+  EXPECT_TRUE(IsStrictlyNested(all));
+  Element last_of_0 = corpus.document(0).ElementAt(0);
+  Element first_of_1 = corpus.document(1).ElementAt(0);
+  EXPECT_LT(last_of_0.end, first_of_1.start);
+}
+
+TEST(CorpusTest, DocOfMapsPositionsBack) {
+  Corpus corpus;
+  corpus.AddDocument(Figure1Document());
+  corpus.AddDocument(Figure1Document());
+  EXPECT_EQ(corpus.DocOf(corpus.base(0)), 0u);
+  EXPECT_EQ(corpus.DocOf(corpus.base(1)), 1u);
+  EXPECT_EQ(corpus.DocOf(corpus.base(1) - 1), 0u);
+}
+
+TEST(CorpusTest, MergedTagListsStaySorted) {
+  Corpus corpus;
+  corpus.AddDocument(Figure1Document());
+  corpus.AddDocument(Figure1Document());
+  ElementList emps = corpus.ElementsWithTag("emp");
+  EXPECT_EQ(emps.size(), 24u);
+  for (size_t i = 1; i < emps.size(); ++i) {
+    EXPECT_LT(emps[i - 1].start, emps[i].start);
+  }
+  EXPECT_EQ(corpus.TotalElements(), 2 * Figure1Document().size());
+}
+
+}  // namespace
+}  // namespace xrtree

@@ -1,0 +1,658 @@
+#include "xrtree/xrtree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "tests/test_util.h"
+#include "xml/generator.h"
+#include "xrtree/stab_list.h"
+#include "xrtree/xrtree_iterator.h"
+
+namespace xrtree {
+namespace {
+
+/// Brute-force oracles over an in-memory element list.
+ElementList BruteAncestors(const ElementList& list, Position sd) {
+  ElementList out;
+  for (const Element& e : list) {
+    if (e.start < sd && sd < e.end) out.push_back(e);
+  }
+  return out;
+}
+
+ElementList BruteDescendants(const ElementList& list, const Element& a) {
+  ElementList out;
+  for (const Element& e : list) {
+    if (a.start < e.start && e.start < a.end) out.push_back(e);
+  }
+  return out;
+}
+
+void StripFlags(ElementList* list) {
+  for (Element& e : *list) e.flags = 0;
+}
+
+/// The emp element set of Fig. 1 (regions straight from the paper).
+ElementList Figure1Emps() {
+  return {
+      {2, 15, 1},  {8, 12, 2},  {10, 11, 3},  {20, 75, 1}, {22, 35, 2},
+      {25, 30, 3}, {40, 65, 2}, {45, 60, 3},  {46, 47, 4}, {50, 55, 4},
+      {80, 91, 1}, {85, 90, 2},
+  };
+}
+
+// ---------------------------------------------------------------------------
+// StabList unit tests
+// ---------------------------------------------------------------------------
+
+TEST(StabListTest, InsertEraseReadAll) {
+  TempDb db;
+  StabList list(db.pool(), kInvalidPageId, kInvalidPageId);
+  EXPECT_TRUE(list.empty());
+  ASSERT_OK(list.Insert(StabEntry{10, 50, 24, 1, 0, 0}));
+  ASSERT_OK(list.Insert(StabEntry{20, 40, 24, 2, 0, 0}));
+  ASSERT_OK(list.Insert(StabEntry{5, 90, 46, 3, 0, 0}));
+  EXPECT_FALSE(list.empty());
+  ASSERT_OK_AND_ASSIGN(std::vector<StabEntry> all, list.ReadAll());
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].key, 24u);
+  EXPECT_EQ(all[0].s, 10u);
+  EXPECT_EQ(all[1].s, 20u);
+  EXPECT_EQ(all[2].key, 46u);
+  ASSERT_OK(list.Erase(24, 20));
+  ASSERT_OK_AND_ASSIGN(all, list.ReadAll());
+  EXPECT_EQ(all.size(), 2u);
+  EXPECT_TRUE(list.Erase(24, 20).IsNotFound());
+  EXPECT_TRUE(list.Insert(StabEntry{10, 50, 24, 1, 0, 0})
+                  .IsInvalidArgument());  // duplicate
+}
+
+TEST(StabListTest, ReadPslIsolatesRuns) {
+  TempDb db;
+  StabList list(db.pool(), kInvalidPageId, kInvalidPageId);
+  for (Position s : {10u, 12u, 14u}) {
+    ASSERT_OK(list.Insert(StabEntry{s, 100 - s, 20, s, 0, 0}));
+  }
+  for (Position s : {30u, 32u}) {
+    ASSERT_OK(list.Insert(StabEntry{s, 80 - s, 40, s, 0, 0}));
+  }
+  ASSERT_OK_AND_ASSIGN(std::vector<StabEntry> psl, list.ReadPsl(20));
+  EXPECT_EQ(psl.size(), 3u);
+  ASSERT_OK_AND_ASSIGN(psl, list.ReadPsl(40));
+  EXPECT_EQ(psl.size(), 2u);
+  ASSERT_OK_AND_ASSIGN(psl, list.ReadPsl(99));
+  EXPECT_TRUE(psl.empty());
+}
+
+TEST(StabListTest, CollectStabbedStopsAtFirstMiss) {
+  TempDb db;
+  StabList list(db.pool(), kInvalidPageId, kInvalidPageId);
+  // Nested PSL for key 50: (10,90) ⊃ (20,80) ⊃ (30,70) ⊃ (45,55).
+  ASSERT_OK(list.Insert(StabEntry{10, 90, 50, 0, 0, 0}));
+  ASSERT_OK(list.Insert(StabEntry{20, 80, 50, 1, 0, 0}));
+  ASSERT_OK(list.Insert(StabEntry{30, 70, 50, 2, 0, 0}));
+  ASSERT_OK(list.Insert(StabEntry{45, 55, 50, 3, 0, 0}));
+  std::vector<StabEntry> out;
+  uint64_t scanned = 0;
+  // sd = 75 stabs the two outermost only; the stabbed prefix ends before
+  // (30,70) and only the hits are charged (the boundary is located by
+  // binary search over the nested chain).
+  ASSERT_OK(list.CollectStabbed(50, 75, 0, &out, &scanned));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].s, 10u);
+  EXPECT_EQ(out[1].s, 20u);
+  EXPECT_EQ(scanned, 2u);
+  // A min_start floor skips (uncharged) the outermost entries.
+  out.clear();
+  scanned = 0;
+  ASSERT_OK(list.CollectStabbed(50, 75, 15, &out, &scanned));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].s, 20u);
+  EXPECT_EQ(scanned, 1u);
+}
+
+TEST(StabListTest, MultiPageChainBuildsDirectory) {
+  TempDb db;
+  StabList list(db.pool(), kInvalidPageId, kInvalidPageId);
+  // Enough nested entries under a few keys to span several pages.
+  std::vector<StabEntry> entries;
+  for (uint32_t k = 0; k < 4; ++k) {
+    Position key = 10000 * (k + 1);
+    for (uint32_t i = 0; i < 150; ++i) {
+      // Nested: start ascending, end descending around `key`.
+      entries.push_back(StabEntry{key - 500 + i, key + 500 - i, key, i, 0, 0});
+    }
+  }
+  std::sort(entries.begin(), entries.end(), StabEntryLess);
+  ASSERT_OK(list.WriteAll(entries));
+  ASSERT_OK_AND_ASSIGN(uint32_t pages, list.CountPages());
+  EXPECT_GT(pages, 1u);
+  EXPECT_NE(list.ps_dir(), kInvalidPageId);
+  // Directory-assisted PSL reads return full runs.
+  for (uint32_t k = 0; k < 4; ++k) {
+    ASSERT_OK_AND_ASSIGN(std::vector<StabEntry> psl,
+                         list.ReadPsl(10000 * (k + 1)));
+    EXPECT_EQ(psl.size(), 150u);
+  }
+  // Shrinking back to one page drops the directory.
+  ASSERT_OK(list.WriteAll({entries[0]}));
+  EXPECT_EQ(list.ps_dir(), kInvalidPageId);
+  ASSERT_OK(list.Clear());
+  EXPECT_TRUE(list.empty());
+}
+
+// ---------------------------------------------------------------------------
+// XrTree basics
+// ---------------------------------------------------------------------------
+
+TEST(XrTreeTest, EmptyTree) {
+  TempDb db;
+  XrTree tree(db.pool());
+  EXPECT_TRUE(tree.Search(5).status().IsNotFound());
+  EXPECT_TRUE(tree.Delete(5).IsNotFound());
+  ASSERT_OK_AND_ASSIGN(ElementList anc, tree.FindAncestors(10));
+  EXPECT_TRUE(anc.empty());
+  ASSERT_OK(tree.CheckConsistency());
+}
+
+TEST(XrTreeTest, RejectsDegenerateRegions) {
+  TempDb db;
+  XrTree tree(db.pool());
+  EXPECT_TRUE(tree.Insert(Element(5, 5)).IsInvalidArgument());
+  EXPECT_TRUE(tree.Insert(Element(6, 2)).IsInvalidArgument());
+}
+
+TEST(XrTreeTest, Figure1PaperExample) {
+  TempDb db;
+  // Small fanout so the 12-element emp set builds a real multi-level
+  // XR-tree like Fig. 3.
+  XrTreeOptions options;
+  options.leaf_capacity = 4;
+  options.internal_capacity = 4;
+  XrTree tree(db.pool(), kInvalidPageId, options);
+  ElementList emps = Figure1Emps();
+  for (const Element& e : emps) ASSERT_OK(tree.Insert(e));
+  ASSERT_OK(tree.CheckConsistency());
+  ASSERT_OK_AND_ASSIGN(uint32_t h, tree.Height());
+  EXPECT_GE(h, 2u);
+
+  // Ancestors of the name element at position 41 (inside (40,65)):
+  // (20,75) and (40,65).
+  ASSERT_OK_AND_ASSIGN(ElementList anc, tree.FindAncestors(41));
+  ElementList want = {{20, 75, 1}, {40, 65, 2}};
+  EXPECT_EQ(anc, want);
+
+  // Descendants of (20, 75).
+  ASSERT_OK_AND_ASSIGN(ElementList desc,
+                       tree.FindDescendants(Element(20, 75, 1)));
+  ElementList want_desc = {{22, 35, 2}, {25, 30, 3}, {40, 65, 2},
+                           {45, 60, 3}, {46, 47, 4}, {50, 55, 4}};
+  EXPECT_EQ(desc, want_desc);
+
+  // Position 51 is nested 5 emps deep.
+  ASSERT_OK_AND_ASSIGN(anc, tree.FindAncestors(51));
+  EXPECT_EQ(anc.size(), 4u);
+  EXPECT_EQ(anc[0], Element(20, 75, 1));
+  EXPECT_EQ(anc[3], Element(50, 55, 4));
+}
+
+TEST(XrTreeTest, SearchFindsExactElements) {
+  TempDb db;
+  XrTree tree(db.pool());
+  for (const Element& e : Figure1Emps()) ASSERT_OK(tree.Insert(e));
+  ASSERT_OK_AND_ASSIGN(Element e, tree.Search(40));
+  EXPECT_EQ(e, Element(40, 65, 2));
+  EXPECT_TRUE(tree.Search(41).status().IsNotFound());
+}
+
+TEST(XrTreeTest, DuplicateInsertRollsBackStabEntry) {
+  TempDb db;
+  XrTreeOptions options;
+  options.leaf_capacity = 4;
+  options.internal_capacity = 4;
+  XrTree tree(db.pool(), kInvalidPageId, options);
+  for (const Element& e : Figure1Emps()) ASSERT_OK(tree.Insert(e));
+  uint64_t before = tree.size();
+  EXPECT_TRUE(tree.Insert(Element(20, 75, 1)).IsInvalidArgument());
+  EXPECT_EQ(tree.size(), before);
+  ASSERT_OK(tree.CheckConsistency());
+}
+
+TEST(XrTreeTest, IteratorScansInDocumentOrder) {
+  TempDb db;
+  XrTreeOptions options;
+  options.leaf_capacity = 4;
+  options.internal_capacity = 4;
+  XrTree tree(db.pool(), kInvalidPageId, options);
+  ElementList elems = RandomNestedElements(3, 400);
+  for (const Element& e : elems) ASSERT_OK(tree.Insert(e));
+  ASSERT_OK_AND_ASSIGN(XrIterator it, tree.Begin());
+  size_t i = 0;
+  while (it.Valid()) {
+    Element got = it.Get();
+    got.flags = 0;
+    ASSERT_EQ(got, elems[i]);
+    ++i;
+    ASSERT_OK(it.Next());
+  }
+  EXPECT_EQ(i, elems.size());
+  EXPECT_EQ(it.scanned(), elems.size());
+}
+
+TEST(XrTreeTest, IteratorSeekPastKey) {
+  TempDb db;
+  XrTree tree(db.pool());
+  ElementList elems = RandomNestedElements(4, 200);
+  ASSERT_OK(tree.BulkLoad(elems));
+  ASSERT_OK_AND_ASSIGN(XrIterator it, tree.Begin());
+  Position mid = elems[100].start;
+  ASSERT_OK(it.SeekPastKey(mid));
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.Get().start, elems[101].start);
+  ASSERT_OK(it.SeekPastKey(elems.back().start));
+  EXPECT_FALSE(it.Valid());
+}
+
+// ---------------------------------------------------------------------------
+// Differential query tests
+// ---------------------------------------------------------------------------
+
+struct QueryParam {
+  uint64_t seed;
+  uint32_t n;
+  uint32_t fanout;  // 0 = page-native
+  bool bulk;
+};
+
+class XrQueryTest : public ::testing::TestWithParam<QueryParam> {};
+
+TEST_P(XrQueryTest, FindAncestorsMatchesBruteForce) {
+  const QueryParam p = GetParam();
+  TempDb db;
+  XrTreeOptions options;
+  options.leaf_capacity = p.fanout;
+  options.internal_capacity = p.fanout;
+  XrTree tree(db.pool(), kInvalidPageId, options);
+  ElementList elems = RandomNestedElements(p.seed, p.n);
+  if (p.bulk) {
+    ASSERT_OK(tree.BulkLoad(elems));
+  } else {
+    for (const Element& e : elems) ASSERT_OK(tree.Insert(e));
+  }
+  ASSERT_OK(tree.CheckConsistency());
+
+  Random rng(p.seed * 31 + 7);
+  Position max_pos = elems.back().end + 10;
+  for (int q = 0; q < 200; ++q) {
+    Position sd = static_cast<Position>(rng.UniformRange(0, max_pos));
+    ASSERT_OK_AND_ASSIGN(ElementList got, tree.FindAncestors(sd));
+    ElementList want = BruteAncestors(elems, sd);
+    StripFlags(&got);
+    ASSERT_EQ(got, want);
+  }
+}
+
+TEST_P(XrQueryTest, FindDescendantsMatchesBruteForce) {
+  const QueryParam p = GetParam();
+  TempDb db;
+  XrTreeOptions options;
+  options.leaf_capacity = p.fanout;
+  options.internal_capacity = p.fanout;
+  XrTree tree(db.pool(), kInvalidPageId, options);
+  ElementList elems = RandomNestedElements(p.seed, p.n);
+  if (p.bulk) {
+    ASSERT_OK(tree.BulkLoad(elems));
+  } else {
+    for (const Element& e : elems) ASSERT_OK(tree.Insert(e));
+  }
+
+  Random rng(p.seed * 17 + 3);
+  for (int q = 0; q < 100; ++q) {
+    const Element& a = elems[rng.Uniform(elems.size())];
+    ASSERT_OK_AND_ASSIGN(ElementList got, tree.FindDescendants(a));
+    ElementList want = BruteDescendants(elems, a);
+    StripFlags(&got);
+    ASSERT_EQ(got, want);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, XrQueryTest,
+    ::testing::Values(QueryParam{1, 300, 4, false},
+                      QueryParam{2, 300, 4, true},
+                      QueryParam{3, 800, 8, false},
+                      QueryParam{4, 800, 8, true},
+                      QueryParam{5, 2000, 16, true},
+                      QueryParam{6, 5000, 0, true},
+                      QueryParam{7, 1500, 5, false}),
+    [](const ::testing::TestParamInfo<QueryParam>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_n" +
+             std::to_string(info.param.n) + "_fan" +
+             std::to_string(info.param.fanout) +
+             (info.param.bulk ? "_bulk" : "_insert");
+    });
+
+TEST(XrTreeTest, FindAncestorsAboveFiltersStackTop) {
+  TempDb db;
+  XrTree tree(db.pool());
+  ElementList elems = RandomNestedElements(8, 500, 2);
+  ASSERT_OK(tree.BulkLoad(elems));
+  Random rng(81);
+  for (int q = 0; q < 50; ++q) {
+    Position sd = elems[rng.Uniform(elems.size())].start + 1;
+    ElementList full = BruteAncestors(elems, sd);
+    if (full.empty()) continue;
+    Position cut = full[full.size() / 2].start;
+    ASSERT_OK_AND_ASSIGN(ElementList got, tree.FindAncestorsAbove(sd, cut));
+    StripFlags(&got);
+    ElementList want;
+    for (const Element& e : full) {
+      if (e.start > cut) want.push_back(e);
+    }
+    ASSERT_EQ(got, want);
+  }
+}
+
+TEST(XrTreeTest, FindChildrenAndParent) {
+  TempDb db;
+  XrTree tree(db.pool());
+  ElementList elems = RandomNestedElements(9, 600);
+  ASSERT_OK(tree.BulkLoad(elems));
+  Random rng(91);
+  for (int q = 0; q < 60; ++q) {
+    const Element& a = elems[rng.Uniform(elems.size())];
+    ASSERT_OK_AND_ASSIGN(ElementList kids, tree.FindChildren(a));
+    for (const Element& k : kids) {
+      EXPECT_TRUE(a.IsParentOf(k));
+    }
+    ElementList want;
+    for (const Element& e : BruteDescendants(elems, a)) {
+      if (e.level == a.level + 1) want.push_back(e);
+    }
+    StripFlags(&kids);
+    ASSERT_EQ(kids, want);
+    // Round trip: the parent of each child is `a`.
+    for (const Element& k : kids) {
+      ASSERT_OK_AND_ASSIGN(ElementList par, tree.FindParent(k.start, k.level));
+      ASSERT_EQ(par.size(), 1u);
+      Element got = par[0];
+      got.flags = 0;
+      Element want_parent = a;
+      want_parent.flags = 0;
+      EXPECT_EQ(got, want_parent);
+    }
+  }
+}
+
+TEST(XrTreeTest, BulkLoadEquivalentToInserts) {
+  TempDb db;
+  ElementList elems = RandomNestedElements(10, 1200);
+  XrTreeOptions options;
+  options.leaf_capacity = 8;
+  options.internal_capacity = 8;
+  XrTree bulk(db.pool(), kInvalidPageId, options);
+  ASSERT_OK(bulk.BulkLoad(elems));
+  XrTree incr(db.pool(), kInvalidPageId, options);
+  for (const Element& e : elems) ASSERT_OK(incr.Insert(e));
+  ASSERT_OK(bulk.CheckConsistency());
+  ASSERT_OK(incr.CheckConsistency());
+  Random rng(5);
+  for (int q = 0; q < 100; ++q) {
+    Position sd = static_cast<Position>(
+        rng.UniformRange(0, elems.back().end + 5));
+    ASSERT_OK_AND_ASSIGN(ElementList a, bulk.FindAncestors(sd));
+    ASSERT_OK_AND_ASSIGN(ElementList b, incr.FindAncestors(sd));
+    StripFlags(&a);
+    StripFlags(&b);
+    ASSERT_EQ(a, b);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Deep nesting: multi-page stab chains and the ps directory
+// ---------------------------------------------------------------------------
+
+TEST(XrTreeTest, DeepNestingBuildsMultiPageStabLists) {
+  TempDb db(512);
+  XrTreeOptions options;
+  options.leaf_capacity = 4;
+  options.internal_capacity = 4;
+  XrTree tree(db.pool(), kInvalidPageId, options);
+  Document doc = Generator::GenerateNested(/*nesting=*/600, /*chains=*/1,
+                                           /*fanout=*/0);
+  doc.EncodeRegions(1);
+  ElementList elems = doc.ElementsWithTag("nest");
+  ASSERT_EQ(elems.size(), 600u);
+  ASSERT_OK(tree.BulkLoad(elems));
+  ASSERT_OK(tree.CheckConsistency());
+  ASSERT_OK_AND_ASSIGN(StabStats stats, tree.ComputeStabStats());
+  EXPECT_GT(stats.stab_entries, 0u);
+  EXPECT_GT(stats.max_stab_pages_per_node, 1u);
+  EXPECT_GT(stats.ps_dir_pages, 0u);
+
+  // Queries through the directory remain exact.
+  Random rng(13);
+  for (int q = 0; q < 60; ++q) {
+    Position sd = elems[rng.Uniform(elems.size())].start + 1;
+    ASSERT_OK_AND_ASSIGN(ElementList got, tree.FindAncestors(sd));
+    StripFlags(&got);
+    ASSERT_EQ(got, BruteAncestors(elems, sd));
+  }
+}
+
+TEST(XrTreeTest, DeepNestingSurvivesDeletions) {
+  TempDb db(512);
+  XrTreeOptions options;
+  options.leaf_capacity = 4;
+  options.internal_capacity = 4;
+  XrTree tree(db.pool(), kInvalidPageId, options);
+  Document doc = Generator::GenerateNested(400, 1, 0);
+  doc.EncodeRegions(1);
+  ElementList elems = doc.ElementsWithTag("nest");
+  ASSERT_OK(tree.BulkLoad(elems));
+  // Delete every third element (keeps strict nesting of the remainder).
+  ElementList remaining;
+  for (size_t i = 0; i < elems.size(); ++i) {
+    if (i % 3 == 0) {
+      ASSERT_OK(tree.Delete(elems[i].start));
+    } else {
+      remaining.push_back(elems[i]);
+    }
+  }
+  ASSERT_OK(tree.CheckConsistency());
+  Random rng(17);
+  for (int q = 0; q < 40; ++q) {
+    Position sd = elems[rng.Uniform(elems.size())].start + 1;
+    ASSERT_OK_AND_ASSIGN(ElementList got, tree.FindAncestors(sd));
+    StripFlags(&got);
+    ASSERT_EQ(got, BruteAncestors(remaining, sd));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Mutation property tests
+// ---------------------------------------------------------------------------
+
+struct FuzzParam {
+  uint64_t seed;
+  uint32_t n;
+  uint32_t fanout;
+  uint32_t max_children;  // tree shape: small = deep
+};
+
+class XrFuzzTest : public ::testing::TestWithParam<FuzzParam> {};
+
+TEST_P(XrFuzzTest, RandomInsertDeleteKeepsAllInvariants) {
+  const FuzzParam p = GetParam();
+  TempDb db(512);
+  XrTreeOptions options;
+  options.leaf_capacity = p.fanout;
+  options.internal_capacity = p.fanout;
+  XrTree tree(db.pool(), kInvalidPageId, options);
+
+  ElementList universe = RandomNestedElements(p.seed, p.n, p.max_children);
+  std::map<Position, Element> present;  // mirror, keyed by start
+  Random rng(p.seed ^ 0xBEEF);
+
+  // Alternate insert-heavy and delete-heavy phases.
+  for (int op = 0; op < static_cast<int>(p.n * 3); ++op) {
+    bool insert_phase = (op / 100) % 2 == 0;
+    bool do_insert =
+        present.empty() ||
+        (insert_phase ? rng.Uniform(100) < 80 : rng.Uniform(100) < 20);
+    if (do_insert && present.size() < universe.size()) {
+      const Element& e = universe[rng.Uniform(universe.size())];
+      if (present.count(e.start)) continue;
+      ASSERT_OK(tree.Insert(e));
+      present[e.start] = e;
+    } else if (!present.empty()) {
+      auto it = present.begin();
+      std::advance(it, rng.Uniform(present.size()));
+      ASSERT_OK(tree.Delete(it->first));
+      present.erase(it);
+    }
+    if (op % 61 == 60) ASSERT_OK(tree.CheckConsistency());
+    if (op % 97 == 96) {
+      // Differential ancestor query against the mirror.
+      ElementList mirror_list;
+      for (const auto& [k, v] : present) mirror_list.push_back(v);
+      Position sd = static_cast<Position>(
+          rng.UniformRange(1, universe.back().end + 2));
+      ASSERT_OK_AND_ASSIGN(ElementList got, tree.FindAncestors(sd));
+      StripFlags(&got);
+      ASSERT_EQ(got, BruteAncestors(mirror_list, sd));
+    }
+  }
+  ASSERT_OK(tree.CheckConsistency());
+  EXPECT_EQ(tree.size(), present.size());
+
+  // Drain to empty.
+  while (!present.empty()) {
+    auto it = present.begin();
+    ASSERT_OK(tree.Delete(it->first));
+    present.erase(it);
+    if (present.size() % 50 == 0) ASSERT_OK(tree.CheckConsistency());
+  }
+  ASSERT_OK(tree.CheckConsistency());
+  EXPECT_EQ(tree.size(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, XrFuzzTest,
+    ::testing::Values(FuzzParam{1, 150, 4, 4}, FuzzParam{2, 150, 4, 2},
+                      FuzzParam{3, 150, 5, 8}, FuzzParam{4, 250, 8, 3},
+                      FuzzParam{5, 250, 6, 2}, FuzzParam{6, 400, 16, 4},
+                      FuzzParam{7, 120, 4, 1}),
+    [](const ::testing::TestParamInfo<FuzzParam>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_fan" +
+             std::to_string(info.param.fanout) + "_kids" +
+             std::to_string(info.param.max_children);
+    });
+
+// ---------------------------------------------------------------------------
+// Persistence & stats
+// ---------------------------------------------------------------------------
+
+TEST(XrTreeTest, PersistsAcrossReopen) {
+  TempDb db;
+  ElementList elems = RandomNestedElements(21, 800);
+  PageId root;
+  {
+    XrTree tree(db.pool());
+    ASSERT_OK(tree.BulkLoad(elems));
+    root = tree.root();
+    ASSERT_OK(db.pool()->FlushAll());
+  }
+  db.Reopen();
+  XrTree tree(db.pool(), root);
+  ASSERT_OK_AND_ASSIGN(uint64_t n, tree.CountEntries());
+  EXPECT_EQ(n, elems.size());
+  ASSERT_OK(tree.CheckConsistency());
+  Random rng(23);
+  for (int q = 0; q < 50; ++q) {
+    Position sd = elems[rng.Uniform(elems.size())].start + 1;
+    ASSERT_OK_AND_ASSIGN(ElementList got, tree.FindAncestors(sd));
+    StripFlags(&got);
+    ASSERT_EQ(got, BruteAncestors(elems, sd));
+  }
+}
+
+TEST(XrTreeTest, PersistsAfterMutationsAcrossReopen) {
+  // Insert, delete, insert again — then reopen the database and verify the
+  // stab lists, flags and (ps,pe) summaries all round-tripped through disk.
+  TempDb db(512);
+  ElementList elems = RandomNestedElements(61, 900, 2);
+  PageId root;
+  ElementList surviving;
+  {
+    XrTreeOptions options;
+    options.leaf_capacity = 6;
+    options.internal_capacity = 6;
+    XrTree tree(db.pool(), kInvalidPageId, options);
+    for (const Element& e : elems) ASSERT_OK(tree.Insert(e));
+    for (size_t i = 0; i < elems.size(); i += 3) {
+      ASSERT_OK(tree.Delete(elems[i].start));
+    }
+    for (size_t i = 0; i < elems.size(); i += 6) {
+      ASSERT_OK(tree.Insert(elems[i]));
+    }
+    for (size_t i = 0; i < elems.size(); ++i) {
+      if (i % 3 != 0 || i % 6 == 0) surviving.push_back(elems[i]);
+    }
+    ASSERT_OK(tree.CheckConsistency());
+    root = tree.root();
+    ASSERT_OK(db.pool()->FlushAll());
+  }
+  db.Reopen(512);
+  XrTreeOptions options;
+  options.leaf_capacity = 6;
+  options.internal_capacity = 6;
+  XrTree tree(db.pool(), root, options);
+  ASSERT_OK_AND_ASSIGN(uint64_t n, tree.CountEntries());
+  EXPECT_EQ(n, surviving.size());
+  ASSERT_OK(tree.CheckConsistency());
+  Random rng(62);
+  for (int q = 0; q < 60; ++q) {
+    Position sd = elems[rng.Uniform(elems.size())].start + 1;
+    ASSERT_OK_AND_ASSIGN(ElementList got, tree.FindAncestors(sd));
+    StripFlags(&got);
+    ASSERT_EQ(got, BruteAncestors(surviving, sd));
+  }
+  // And the reopened tree keeps accepting mutations.
+  ASSERT_OK(tree.Delete(surviving[0].start));
+  ASSERT_OK(tree.CheckConsistency());
+}
+
+TEST(XrTreeTest, StabStatsBoundedByPaperAnalysis) {
+  // §3.3: total stab entries never exceed the number of indexed elements,
+  // and for realistic data stab pages are a small fraction of leaf pages.
+  TempDb db(1024);
+  XrTree tree(db.pool());
+  ElementList elems = RandomNestedElements(31, 20000);
+  ASSERT_OK(tree.BulkLoad(elems));
+  ASSERT_OK_AND_ASSIGN(StabStats stats, tree.ComputeStabStats());
+  EXPECT_LE(stats.stab_entries, elems.size());
+  EXPECT_GT(stats.leaf_pages, 0u);
+  EXPECT_LT(stats.stab_pages, stats.leaf_pages);
+}
+
+TEST(XrTreeTest, ScannedCounterTracksWork) {
+  TempDb db;
+  XrTree tree(db.pool());
+  ElementList elems = RandomNestedElements(41, 3000);
+  ASSERT_OK(tree.BulkLoad(elems));
+  uint64_t scanned = 0;
+  ASSERT_OK_AND_ASSIGN(ElementList anc,
+                       tree.FindAncestors(elems[1500].start + 1, &scanned));
+  // FindAncestors examines the ancestors, one terminator per stab-list
+  // probe, and the landing leaf's prefix (S2 scans from the first element
+  // of the leaf) — bounded by a couple of pages, far less than N.
+  EXPECT_GE(scanned, anc.size());
+  EXPECT_LT(scanned, 2 * tree.leaf_capacity());
+}
+
+}  // namespace
+}  // namespace xrtree
