@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_xrtree.dir/ablation_xrtree.cc.o"
+  "CMakeFiles/ablation_xrtree.dir/ablation_xrtree.cc.o.d"
+  "ablation_xrtree"
+  "ablation_xrtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_xrtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffer_sensitivity.dir/buffer_sensitivity.cc.o"
+  "CMakeFiles/buffer_sensitivity.dir/buffer_sensitivity.cc.o.d"
+  "buffer_sensitivity"
+  "buffer_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffer_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8ab_time_ancestors.dir/fig8ab_time_ancestors.cc.o"
+  "CMakeFiles/fig8ab_time_ancestors.dir/fig8ab_time_ancestors.cc.o.d"
+  "fig8ab_time_ancestors"
+  "fig8ab_time_ancestors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8ab_time_ancestors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8cd_time_descendants.dir/fig8cd_time_descendants.cc.o"
+  "CMakeFiles/fig8cd_time_descendants.dir/fig8cd_time_descendants.cc.o.d"
+  "fig8cd_time_descendants"
+  "fig8cd_time_descendants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8cd_time_descendants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

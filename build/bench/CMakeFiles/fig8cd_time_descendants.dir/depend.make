@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8cd_time_descendants.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8ef_time_both.dir/fig8ef_time_both.cc.o"
+  "CMakeFiles/fig8ef_time_both.dir/fig8ef_time_both.cc.o.d"
+  "fig8ef_time_both"
+  "fig8ef_time_both.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8ef_time_both.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

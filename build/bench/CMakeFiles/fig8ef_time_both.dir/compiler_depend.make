@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig8ef_time_both.
+# This may be replaced when dependencies are built.

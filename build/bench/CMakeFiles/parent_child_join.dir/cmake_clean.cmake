@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parent_child_join.dir/parent_child_join.cc.o"
+  "CMakeFiles/parent_child_join.dir/parent_child_join.cc.o.d"
+  "parent_child_join"
+  "parent_child_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parent_child_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_cost.dir/query_cost.cc.o"
+  "CMakeFiles/query_cost.dir/query_cost.cc.o.d"
+  "query_cost"
+  "query_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/related_work_joins.dir/related_work_joins.cc.o"
+  "CMakeFiles/related_work_joins.dir/related_work_joins.cc.o.d"
+  "related_work_joins"
+  "related_work_joins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/related_work_joins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

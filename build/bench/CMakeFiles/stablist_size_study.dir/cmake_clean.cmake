@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stablist_size_study.dir/stablist_size_study.cc.o"
+  "CMakeFiles/stablist_size_study.dir/stablist_size_study.cc.o.d"
+  "stablist_size_study"
+  "stablist_size_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stablist_size_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

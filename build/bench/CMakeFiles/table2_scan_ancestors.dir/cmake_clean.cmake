@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_scan_ancestors.dir/table2_scan_ancestors.cc.o"
+  "CMakeFiles/table2_scan_ancestors.dir/table2_scan_ancestors.cc.o.d"
+  "table2_scan_ancestors"
+  "table2_scan_ancestors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_scan_ancestors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_scan_descendants.dir/table3_scan_descendants.cc.o"
+  "CMakeFiles/table3_scan_descendants.dir/table3_scan_descendants.cc.o.d"
+  "table3_scan_descendants"
+  "table3_scan_descendants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_scan_descendants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

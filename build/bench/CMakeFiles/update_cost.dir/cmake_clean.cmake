@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/update_cost.dir/update_cost.cc.o"
+  "CMakeFiles/update_cost.dir/update_cost.cc.o.d"
+  "update_cost"
+  "update_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/update_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

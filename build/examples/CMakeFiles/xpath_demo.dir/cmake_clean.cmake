@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpath_demo.dir/xpath_demo.cpp.o"
+  "CMakeFiles/xpath_demo.dir/xpath_demo.cpp.o.d"
+  "xpath_demo"
+  "xpath_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpath_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xrquery.dir/xrquery.cpp.o"
+  "CMakeFiles/xrquery.dir/xrquery.cpp.o.d"
+  "xrquery"
+  "xrquery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xrquery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

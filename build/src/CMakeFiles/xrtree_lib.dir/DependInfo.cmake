@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/btree/btree.cc" "src/CMakeFiles/xrtree_lib.dir/btree/btree.cc.o" "gcc" "src/CMakeFiles/xrtree_lib.dir/btree/btree.cc.o.d"
+  "/root/repo/src/btree/btree_iterator.cc" "src/CMakeFiles/xrtree_lib.dir/btree/btree_iterator.cc.o" "gcc" "src/CMakeFiles/xrtree_lib.dir/btree/btree_iterator.cc.o.d"
+  "/root/repo/src/btree/sptree.cc" "src/CMakeFiles/xrtree_lib.dir/btree/sptree.cc.o" "gcc" "src/CMakeFiles/xrtree_lib.dir/btree/sptree.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/xrtree_lib.dir/common/status.cc.o" "gcc" "src/CMakeFiles/xrtree_lib.dir/common/status.cc.o.d"
+  "/root/repo/src/join/bplus_join.cc" "src/CMakeFiles/xrtree_lib.dir/join/bplus_join.cc.o" "gcc" "src/CMakeFiles/xrtree_lib.dir/join/bplus_join.cc.o.d"
+  "/root/repo/src/join/bplus_sp_join.cc" "src/CMakeFiles/xrtree_lib.dir/join/bplus_sp_join.cc.o" "gcc" "src/CMakeFiles/xrtree_lib.dir/join/bplus_sp_join.cc.o.d"
+  "/root/repo/src/join/element_source.cc" "src/CMakeFiles/xrtree_lib.dir/join/element_source.cc.o" "gcc" "src/CMakeFiles/xrtree_lib.dir/join/element_source.cc.o.d"
+  "/root/repo/src/join/mpmgjn.cc" "src/CMakeFiles/xrtree_lib.dir/join/mpmgjn.cc.o" "gcc" "src/CMakeFiles/xrtree_lib.dir/join/mpmgjn.cc.o.d"
+  "/root/repo/src/join/nested_loop.cc" "src/CMakeFiles/xrtree_lib.dir/join/nested_loop.cc.o" "gcc" "src/CMakeFiles/xrtree_lib.dir/join/nested_loop.cc.o.d"
+  "/root/repo/src/join/parent_child.cc" "src/CMakeFiles/xrtree_lib.dir/join/parent_child.cc.o" "gcc" "src/CMakeFiles/xrtree_lib.dir/join/parent_child.cc.o.d"
+  "/root/repo/src/join/rtree_join.cc" "src/CMakeFiles/xrtree_lib.dir/join/rtree_join.cc.o" "gcc" "src/CMakeFiles/xrtree_lib.dir/join/rtree_join.cc.o.d"
+  "/root/repo/src/join/stack_tree_desc.cc" "src/CMakeFiles/xrtree_lib.dir/join/stack_tree_desc.cc.o" "gcc" "src/CMakeFiles/xrtree_lib.dir/join/stack_tree_desc.cc.o.d"
+  "/root/repo/src/join/xr_stack.cc" "src/CMakeFiles/xrtree_lib.dir/join/xr_stack.cc.o" "gcc" "src/CMakeFiles/xrtree_lib.dir/join/xr_stack.cc.o.d"
+  "/root/repo/src/query/path_executor.cc" "src/CMakeFiles/xrtree_lib.dir/query/path_executor.cc.o" "gcc" "src/CMakeFiles/xrtree_lib.dir/query/path_executor.cc.o.d"
+  "/root/repo/src/query/path_query.cc" "src/CMakeFiles/xrtree_lib.dir/query/path_query.cc.o" "gcc" "src/CMakeFiles/xrtree_lib.dir/query/path_query.cc.o.d"
+  "/root/repo/src/rtree/rtree.cc" "src/CMakeFiles/xrtree_lib.dir/rtree/rtree.cc.o" "gcc" "src/CMakeFiles/xrtree_lib.dir/rtree/rtree.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "src/CMakeFiles/xrtree_lib.dir/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/xrtree_lib.dir/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/catalog.cc" "src/CMakeFiles/xrtree_lib.dir/storage/catalog.cc.o" "gcc" "src/CMakeFiles/xrtree_lib.dir/storage/catalog.cc.o.d"
+  "/root/repo/src/storage/disk_manager.cc" "src/CMakeFiles/xrtree_lib.dir/storage/disk_manager.cc.o" "gcc" "src/CMakeFiles/xrtree_lib.dir/storage/disk_manager.cc.o.d"
+  "/root/repo/src/storage/element_file.cc" "src/CMakeFiles/xrtree_lib.dir/storage/element_file.cc.o" "gcc" "src/CMakeFiles/xrtree_lib.dir/storage/element_file.cc.o.d"
+  "/root/repo/src/workload/datasets.cc" "src/CMakeFiles/xrtree_lib.dir/workload/datasets.cc.o" "gcc" "src/CMakeFiles/xrtree_lib.dir/workload/datasets.cc.o.d"
+  "/root/repo/src/workload/selectivity.cc" "src/CMakeFiles/xrtree_lib.dir/workload/selectivity.cc.o" "gcc" "src/CMakeFiles/xrtree_lib.dir/workload/selectivity.cc.o.d"
+  "/root/repo/src/xml/corpus.cc" "src/CMakeFiles/xrtree_lib.dir/xml/corpus.cc.o" "gcc" "src/CMakeFiles/xrtree_lib.dir/xml/corpus.cc.o.d"
+  "/root/repo/src/xml/document.cc" "src/CMakeFiles/xrtree_lib.dir/xml/document.cc.o" "gcc" "src/CMakeFiles/xrtree_lib.dir/xml/document.cc.o.d"
+  "/root/repo/src/xml/dtd.cc" "src/CMakeFiles/xrtree_lib.dir/xml/dtd.cc.o" "gcc" "src/CMakeFiles/xrtree_lib.dir/xml/dtd.cc.o.d"
+  "/root/repo/src/xml/generator.cc" "src/CMakeFiles/xrtree_lib.dir/xml/generator.cc.o" "gcc" "src/CMakeFiles/xrtree_lib.dir/xml/generator.cc.o.d"
+  "/root/repo/src/xml/parser.cc" "src/CMakeFiles/xrtree_lib.dir/xml/parser.cc.o" "gcc" "src/CMakeFiles/xrtree_lib.dir/xml/parser.cc.o.d"
+  "/root/repo/src/xml/writer.cc" "src/CMakeFiles/xrtree_lib.dir/xml/writer.cc.o" "gcc" "src/CMakeFiles/xrtree_lib.dir/xml/writer.cc.o.d"
+  "/root/repo/src/xrtree/stab_list.cc" "src/CMakeFiles/xrtree_lib.dir/xrtree/stab_list.cc.o" "gcc" "src/CMakeFiles/xrtree_lib.dir/xrtree/stab_list.cc.o.d"
+  "/root/repo/src/xrtree/xrtree.cc" "src/CMakeFiles/xrtree_lib.dir/xrtree/xrtree.cc.o" "gcc" "src/CMakeFiles/xrtree_lib.dir/xrtree/xrtree.cc.o.d"
+  "/root/repo/src/xrtree/xrtree_iterator.cc" "src/CMakeFiles/xrtree_lib.dir/xrtree/xrtree_iterator.cc.o" "gcc" "src/CMakeFiles/xrtree_lib.dir/xrtree/xrtree_iterator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxrtree_lib.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sptree_test.dir/sptree_test.cc.o"
+  "CMakeFiles/sptree_test.dir/sptree_test.cc.o.d"
+  "sptree_test"
+  "sptree_test.pdb"
+  "sptree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sptree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

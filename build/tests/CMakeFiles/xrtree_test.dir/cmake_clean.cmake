@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xrtree_test.dir/xrtree_test.cc.o"
+  "CMakeFiles/xrtree_test.dir/xrtree_test.cc.o.d"
+  "xrtree_test"
+  "xrtree_test.pdb"
+  "xrtree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xrtree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
