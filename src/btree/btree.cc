@@ -82,10 +82,15 @@ Result<PageId> BTree::FindLeaf(Position key,
                                std::vector<PathEntry>* path) const {
   if (root_ == kInvalidPageId) return Status::NotFound("empty tree");
   PageId cur = root_;
-  while (true) {
+  // Bound the descent: a healthy tree is a few levels deep, so a longer
+  // walk means a child pointer escaped into a cycle or a foreign page.
+  for (int depth = 0; depth < kMaxTreeDepth; ++depth) {
     XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(cur));
     PageGuard page(pool_, raw);
     const auto* hdr = BTreeHeader(raw);
+    if (hdr->magic != kBTreeLeafMagic && hdr->magic != kBTreeInternalMagic) {
+      return Status::Corruption("btree: descent hit a foreign page");
+    }
     if (hdr->is_leaf) {
       if (path) path->push_back({cur, 0});
       return cur;
@@ -94,6 +99,7 @@ Result<PageId> BTree::FindLeaf(Position key,
     if (path) path->push_back({cur, slot});
     cur = ChildAt(raw, slot);
   }
+  return Status::Corruption("btree: descent did not reach a leaf");
 }
 
 Status BTree::Insert(const Element& element) {
@@ -786,9 +792,16 @@ Result<uint64_t> BTree::CountPages() const {
 
 Result<uint64_t> BTree::CountEntries() {
   uint64_t n = 0;
+  // A stale-but-checksummed leaf chain can form a cycle among otherwise
+  // valid leaves; no honest file holds more entries than every page being
+  // a full leaf, so anything past that bound is corruption, not data.
+  const uint64_t bound =
+      uint64_t{pool_->disk()->num_pages()} * kBTreeLeafMaxEntries;
   XR_ASSIGN_OR_RETURN(BTreeIterator it, Begin());
   while (it.Valid()) {
-    ++n;
+    if (++n > bound) {
+      return Status::Corruption("btree: leaf chain cycle while counting");
+    }
     XR_RETURN_IF_ERROR(it.Next());
   }
   size_ = n;

@@ -34,6 +34,11 @@ Status BTreeIterator::Next() {
     XR_ASSIGN_OR_RETURN(Page * raw, pool->FetchPage(next));
     leaf_ = PageGuard(pool, raw);
     slot_ = 0;
+    if (BTreeHeader(raw)->magic != kBTreeLeafMagic) {
+      leaf_.Release();
+      leaf_ = PageGuard();
+      return Status::Corruption("btree: leaf chain points at a foreign page");
+    }
     if (BTreeHeader(raw)->count > 0) {
       ++scanned_;
       return Status::Ok();

@@ -35,11 +35,13 @@ struct BTreeInternalEntry {
 };
 static_assert(sizeof(BTreeInternalEntry) == 8);
 
-/// Leaf entries are raw Elements; the key is Element::start.
+/// Leaf entries are raw Elements; the key is Element::start. Capacities are
+/// computed against kPageDataSize so the slot arrays never overlap the
+/// integrity trailer.
 inline constexpr size_t kBTreeLeafMaxEntries =
-    (kPageSize - sizeof(BTreePageHeader)) / sizeof(Element);
+    (kPageDataSize - sizeof(BTreePageHeader)) / sizeof(Element);
 inline constexpr size_t kBTreeInternalMaxEntries =
-    (kPageSize - sizeof(BTreePageHeader)) / sizeof(BTreeInternalEntry);
+    (kPageDataSize - sizeof(BTreePageHeader)) / sizeof(BTreeInternalEntry);
 
 inline BTreePageHeader* BTreeHeader(Page* p) {
   return p->As<BTreePageHeader>();

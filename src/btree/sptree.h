@@ -38,7 +38,7 @@ class SpTree {
   static_assert(sizeof(SpEntry) == 24);
 
   static constexpr size_t kLeafMaxEntries =
-      (kPageSize - sizeof(BTreePageHeader)) / sizeof(SpEntry);
+      (kPageDataSize - sizeof(BTreePageHeader)) / sizeof(SpEntry);
 
   explicit SpTree(BufferPool* pool, PageId root = kInvalidPageId)
       : pool_(pool), root_(root) {}

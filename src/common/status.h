@@ -51,6 +51,8 @@ class Status {
   bool IsCorruption() const { return code_ == Code::kCorruption; }
   bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
   bool IsIoError() const { return code_ == Code::kIoError; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsAborted() const { return code_ == Code::kAborted; }
 
   Code code() const { return code_; }
   const std::string& message() const { return message_; }

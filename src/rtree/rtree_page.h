@@ -74,10 +74,12 @@ struct RTreeInternalEntry {
 };
 static_assert(sizeof(RTreeInternalEntry) == 24);
 
+// Capacities are computed against kPageDataSize so the slot arrays never
+// overlap the integrity trailer.
 inline constexpr size_t kRTreeLeafMaxEntries =
-    (kPageSize - sizeof(RTreePageHeader)) / sizeof(Element);
+    (kPageDataSize - sizeof(RTreePageHeader)) / sizeof(Element);
 inline constexpr size_t kRTreeInternalMaxEntries =
-    (kPageSize - sizeof(RTreePageHeader)) / sizeof(RTreeInternalEntry);
+    (kPageDataSize - sizeof(RTreePageHeader)) / sizeof(RTreeInternalEntry);
 
 inline RTreePageHeader* RTreeHeader(Page* p) {
   return p->As<RTreePageHeader>();

@@ -3,9 +3,11 @@
 #include <cassert>
 #include <cstring>
 
+#include "storage/checksum.h"
+
 namespace xrtree {
 
-BufferPool::BufferPool(DiskManager* disk, size_t pool_size) : disk_(disk) {
+BufferPool::BufferPool(DiskInterface* disk, size_t pool_size) : disk_(disk) {
   assert(pool_size > 0);
   frames_.reserve(pool_size);
   free_frames_.reserve(pool_size);
@@ -34,10 +36,17 @@ bool BufferPool::FindVictim(FrameId* out) {
   return false;
 }
 
+Status BufferPool::WriteBack(Page* page) {
+  StampPageTrailer(page->data_, page->page_id_);
+  XR_RETURN_IF_ERROR(disk_->WritePage(page->page_id_, page->data_));
+  page->is_dirty_ = false;
+  return Status::Ok();
+}
+
 Status BufferPool::EvictFrame(FrameId frame) {
   Page* page = frames_[frame].get();
   if (page->is_dirty_) {
-    XR_RETURN_IF_ERROR(disk_->WritePage(page->page_id_, page->data_));
+    XR_RETURN_IF_ERROR(WriteBack(page));
   }
   page_table_.erase(page->page_id_);
   auto it = lru_pos_.find(frame);
@@ -75,7 +84,14 @@ Result<Page*> BufferPool::FetchPage(PageId page_id) {
   }
 
   Page* page = frames_[frame].get();
-  XR_RETURN_IF_ERROR(disk_->ReadPage(page_id, page->data_));
+  Status read = disk_->ReadPage(page_id, page->data_);
+  if (read.ok()) read = VerifyPageTrailer(page->data_, page_id);
+  if (!read.ok()) {
+    // Return the frame to the free list instead of leaking it.
+    page->Reset();
+    free_frames_.push_back(frame);
+    return read;
+  }
   page->page_id_ = page_id;
   page->pin_count_ = 1;
   page->is_dirty_ = false;
@@ -129,8 +145,7 @@ Status BufferPool::FlushPage(PageId page_id) {
   if (it == page_table_.end()) return Status::Ok();  // not resident: no-op
   Page* page = frames_[it->second].get();
   if (page->is_dirty_) {
-    XR_RETURN_IF_ERROR(disk_->WritePage(page->page_id_, page->data_));
-    page->is_dirty_ = false;
+    XR_RETURN_IF_ERROR(WriteBack(page));
   }
   return Status::Ok();
 }
@@ -140,8 +155,7 @@ Status BufferPool::FlushAll() {
   for (auto& [page_id, frame] : page_table_) {
     Page* page = frames_[frame].get();
     if (page->is_dirty_) {
-      XR_RETURN_IF_ERROR(disk_->WritePage(page->page_id_, page->data_));
-      page->is_dirty_ = false;
+      XR_RETURN_IF_ERROR(WriteBack(page));
     }
   }
   return Status::Ok();
@@ -180,6 +194,15 @@ void BufferPool::ResetStats() {
   std::lock_guard<std::mutex> lock(mu_);
   stats_ = IoStats{};
   disk_->ResetStats();
+}
+
+void BufferPool::NoteFailedUnpin(const Status& error) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.failed_unpins;
+  }
+  (void)error;
+  assert(false && "PageGuard release: UnpinPage failed (pin leak)");
 }
 
 size_t BufferPool::pinned_frames() const {

@@ -10,7 +10,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
-#include "storage/disk_manager.h"
+#include "storage/disk_interface.h"
 #include "storage/io_stats.h"
 #include "storage/page.h"
 
@@ -24,9 +24,15 @@ namespace xrtree {
 /// callers must UnpinPage (or hold a PageGuard) when done. Pinned pages are
 /// never evicted; fetching when every frame is pinned is an error (the index
 /// code never pins more than a handful of pages at once).
+///
+/// The pool is also the integrity boundary: every physical write-back
+/// stamps the page's PageTrailer (CRC32 + format version) and every fetch
+/// from disk verifies it, so a torn, misdirected, bit-flipped or
+/// pre-checksum page surfaces as Status::Corruption instead of silently
+/// wrong query results.
 class BufferPool {
  public:
-  BufferPool(DiskManager* disk, size_t pool_size);
+  BufferPool(DiskInterface* disk, size_t pool_size);
   ~BufferPool();
 
   BufferPool(const BufferPool&) = delete;
@@ -53,7 +59,12 @@ class BufferPool {
   Status DiscardPage(PageId page_id);
 
   size_t pool_size() const { return frames_.size(); }
-  DiskManager* disk() const { return disk_; }
+  DiskInterface* disk() const { return disk_; }
+
+  /// Records a failed unpin from a PageGuard release (a pin-accounting bug:
+  /// the page was already unpinned or is no longer resident). Counted in
+  /// IoStats::failed_unpins; aborts in debug builds.
+  void NoteFailedUnpin(const Status& error);
 
   /// Pool-level hit/miss counters; disk read/write counters live on the
   /// DiskManager. `stats()` merges both views.
@@ -71,8 +82,10 @@ class BufferPool {
   // Evicts the current occupant of `frame` (flushing if dirty). mu_ held.
   Status EvictFrame(FrameId frame);
   void TouchLru(FrameId frame);
+  // Stamps the integrity trailer and writes the frame's page out. mu_ held.
+  Status WriteBack(Page* page);
 
-  DiskManager* const disk_;
+  DiskInterface* const disk_;
   std::vector<std::unique_ptr<Page>> frames_;
   std::unordered_map<PageId, FrameId> page_table_;
   std::list<FrameId> lru_;  // front = least recently used
@@ -114,10 +127,13 @@ class PageGuard {
 
   void MarkDirty() { dirty_ = true; }
 
-  /// Unpins now instead of at scope end.
+  /// Unpins now instead of at scope end. A failed unpin is a pin-accounting
+  /// bug: it is counted in IoStats::failed_unpins (and aborts debug builds)
+  /// rather than silently swallowed.
   void Release() {
     if (pool_ != nullptr && page_ != nullptr) {
-      pool_->UnpinPage(page_->page_id(), dirty_).ok();
+      Status unpin = pool_->UnpinPage(page_->page_id(), dirty_);
+      if (!unpin.ok()) pool_->NoteFailedUnpin(unpin);
     }
     pool_ = nullptr;
     page_ = nullptr;

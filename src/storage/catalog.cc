@@ -27,7 +27,7 @@ struct CatalogRecord {
 static_assert(sizeof(CatalogRecord) == 48 + 8 + 16);
 static_assert(sizeof(CatalogHeader) +
                   Catalog::kMaxEntries * sizeof(CatalogRecord) <=
-              kPageSize);
+              kPageDataSize);
 
 }  // namespace
 
@@ -71,7 +71,7 @@ Status Catalog::Save() const {
   XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(0));
   PageGuard page(pool_, raw);
   page.MarkDirty();
-  std::memset(raw->data(), 0, kPageSize);
+  std::memset(raw->data(), 0, kPageDataSize);
   auto* hdr = raw->As<CatalogHeader>();
   hdr->magic = kCatalogMagic;
   hdr->version = kCatalogVersion;

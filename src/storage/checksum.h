@@ -1,0 +1,32 @@
+#ifndef XRTREE_STORAGE_CHECKSUM_H_
+#define XRTREE_STORAGE_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace xrtree {
+
+/// Incremental CRC-32 (IEEE polynomial, reflected). `crc` chains a previous
+/// value so multi-buffer checksums compose: Crc32(b, Crc32(a)) == Crc32(ab).
+uint32_t Crc32(const void* data, size_t n, uint32_t crc = 0);
+
+/// The checksum a page with payload `page` stored at `page_id` must carry:
+/// CRC over the payload, the format version, and the page id.
+uint32_t ComputePageCrc(const char* page, PageId page_id);
+
+/// Writes the integrity trailer into the last PageLayout::kTrailerSize
+/// bytes of `page`. Called by the BufferPool on every physical write-back.
+void StampPageTrailer(char* page, PageId page_id);
+
+/// Verifies the trailer of a page just read from disk. An entirely zero
+/// page (trailer and payload) is accepted as freshly allocated; anything
+/// else must carry the current format version and a matching checksum.
+/// Returns Status::Corruption on mismatch, torn data, or unstamped pages.
+Status VerifyPageTrailer(const char* page, PageId page_id);
+
+}  // namespace xrtree
+
+#endif  // XRTREE_STORAGE_CHECKSUM_H_

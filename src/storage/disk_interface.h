@@ -1,0 +1,40 @@
+#ifndef XRTREE_STORAGE_DISK_INTERFACE_H_
+#define XRTREE_STORAGE_DISK_INTERFACE_H_
+
+#include "common/status.h"
+#include "storage/io_stats.h"
+#include "storage/page.h"
+
+namespace xrtree {
+
+/// The page-transfer contract the BufferPool (and everything above it) is
+/// written against. DiskManager is the real file-backed implementation;
+/// FaultInjectingDisk wraps any DiskInterface to exercise the error paths
+/// (failed/torn/dropped I/O) that production code must survive.
+class DiskInterface {
+ public:
+  virtual ~DiskInterface() = default;
+
+  /// Reads page `page_id` into `out` (kPageSize bytes). Reading a page past
+  /// the end of file yields zeros (freshly allocated pages read as empty).
+  virtual Status ReadPage(PageId page_id, char* out) = 0;
+
+  /// Writes kPageSize bytes from `in` to page `page_id`.
+  virtual Status WritePage(PageId page_id, const char* in) = 0;
+
+  /// Allocates a fresh page id (monotonically increasing).
+  virtual PageId AllocatePage() = 0;
+
+  /// Number of pages allocated so far (including the header page).
+  virtual PageId num_pages() const = 0;
+
+  /// Forces written pages to durable storage.
+  virtual Status Sync() = 0;
+
+  virtual const IoStats& stats() const = 0;
+  virtual void ResetStats() = 0;
+};
+
+}  // namespace xrtree
+
+#endif  // XRTREE_STORAGE_DISK_INTERFACE_H_

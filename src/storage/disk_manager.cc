@@ -9,6 +9,12 @@
 
 namespace xrtree {
 
+namespace {
+
+bool RetryableErrno(int err) { return err == EINTR || err == EAGAIN; }
+
+}  // namespace
+
 DiskManager::~DiskManager() { Close().ok(); }
 
 Status DiskManager::Open(const std::string& path, const DiskOptions& options) {
@@ -37,9 +43,16 @@ Status DiskManager::Open(const std::string& path, const DiskOptions& options) {
 Status DiskManager::Close() {
   std::lock_guard<std::mutex> lock(mu_);
   if (fd_ < 0) return Status::Ok();
-  ::close(fd_);
+  Status result = Status::Ok();
+  if (::fsync(fd_) != 0) {
+    result = Status::IoError("fsync(close): " +
+                             std::string(std::strerror(errno)));
+  }
+  if (::close(fd_) != 0 && result.ok()) {
+    result = Status::IoError("close: " + std::string(std::strerror(errno)));
+  }
   fd_ = -1;
-  return Status::Ok();
+  return result;
 }
 
 void DiskManager::ChargeLatency() const {
@@ -53,42 +66,60 @@ void DiskManager::ChargeLatency() const {
 }
 
 Status DiskManager::ReadPage(PageId page_id, char* out) {
-  if (fd_ < 0) return Status::InvalidArgument("DiskManager not open");
   if (page_id == kInvalidPageId) {
     return Status::InvalidArgument("ReadPage(kInvalidPageId)");
   }
+  // fd_ is read (and the transfer performed) under mu_ so a concurrent
+  // Open/Close cannot yank the descriptor mid-operation.
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) return Status::InvalidArgument("DiskManager not open");
   ChargeLatency();
-  ssize_t n = ::pread(fd_, out, kPageSize,
-                      static_cast<off_t>(page_id) * kPageSize);
-  if (n < 0) {
-    return Status::IoError("pread: " + std::string(std::strerror(errno)));
+  const off_t base = static_cast<off_t>(page_id) * kPageSize;
+  size_t got = 0;
+  int retries = 0;
+  while (got < kPageSize) {
+    ssize_t n = ::pread(fd_, out + got, kPageSize - got,
+                        base + static_cast<off_t>(got));
+    if (n < 0) {
+      if (RetryableErrno(errno) && ++retries <= kMaxIoRetries) continue;
+      return Status::IoError("pread: " + std::string(std::strerror(errno)));
+    }
+    if (n == 0) break;  // end of file
+    got += static_cast<size_t>(n);
   }
-  if (static_cast<size_t>(n) < kPageSize) {
-    // Page beyond current EOF: treat as all-zero (freshly allocated).
-    std::memset(out + n, 0, kPageSize - n);
+  if (got < kPageSize) {
+    // Page (or page tail) beyond current EOF: treat as all-zero. The
+    // checksum layer above distinguishes "freshly allocated" from "torn".
+    std::memset(out + got, 0, kPageSize - got);
   }
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.disk_reads;
-  }
+  ++stats_.disk_reads;
   return Status::Ok();
 }
 
 Status DiskManager::WritePage(PageId page_id, const char* in) {
-  if (fd_ < 0) return Status::InvalidArgument("DiskManager not open");
   if (page_id == kInvalidPageId) {
     return Status::InvalidArgument("WritePage(kInvalidPageId)");
   }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) return Status::InvalidArgument("DiskManager not open");
   ChargeLatency();
-  ssize_t n = ::pwrite(fd_, in, kPageSize,
-                       static_cast<off_t>(page_id) * kPageSize);
-  if (n != static_cast<ssize_t>(kPageSize)) {
-    return Status::IoError("pwrite: " + std::string(std::strerror(errno)));
+  const off_t base = static_cast<off_t>(page_id) * kPageSize;
+  size_t put = 0;
+  int retries = 0;
+  while (put < kPageSize) {
+    ssize_t n = ::pwrite(fd_, in + put, kPageSize - put,
+                         base + static_cast<off_t>(put));
+    if (n <= 0) {
+      if ((n < 0 && RetryableErrno(errno)) && ++retries <= kMaxIoRetries) {
+        continue;
+      }
+      return Status::IoError("pwrite: " +
+                             std::string(n < 0 ? std::strerror(errno)
+                                               : "no progress"));
+    }
+    put += static_cast<size_t>(n);
   }
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.disk_writes;
-  }
+  ++stats_.disk_writes;
   return Status::Ok();
 }
 
@@ -101,6 +132,7 @@ PageId DiskManager::AllocatePage() {
 }
 
 Status DiskManager::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (fd_ < 0) return Status::InvalidArgument("DiskManager not open");
   if (::fsync(fd_) != 0) {
     return Status::IoError("fsync: " + std::string(std::strerror(errno)));

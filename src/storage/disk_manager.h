@@ -7,6 +7,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "storage/disk_interface.h"
 #include "storage/io_stats.h"
 #include "storage/page.h"
 
@@ -26,11 +27,12 @@ struct DiskOptions {
 
 /// Allocates and transfers fixed-size pages to/from a single database file.
 /// Page 0 is reserved for the file header (catalog); DiskManager itself does
-/// not interpret page contents. Thread-safe.
-class DiskManager {
+/// not interpret page contents. Transient syscall interruptions (EINTR,
+/// short transfers) are retried a bounded number of times. Thread-safe.
+class DiskManager final : public DiskInterface {
  public:
   DiskManager() = default;
-  ~DiskManager();
+  ~DiskManager() override;
 
   DiskManager(const DiskManager&) = delete;
   DiskManager& operator=(const DiskManager&) = delete;
@@ -38,29 +40,41 @@ class DiskManager {
   /// Opens (creating if necessary) the database file at `path`.
   Status Open(const std::string& path, const DiskOptions& options = {});
 
-  /// Flushes and closes the file. Idempotent.
+  /// Syncs written pages to durable storage, then closes the file. A close
+  /// that cannot fsync reports the error (the file is still closed).
+  /// Idempotent.
   Status Close();
 
-  bool is_open() const { return fd_ >= 0; }
+  bool is_open() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return fd_ >= 0;
+  }
 
   /// Reads page `page_id` into `out` (kPageSize bytes). Reading a page past
   /// the end of file returns zeros (freshly allocated pages read as empty).
-  Status ReadPage(PageId page_id, char* out);
+  Status ReadPage(PageId page_id, char* out) override;
 
   /// Writes kPageSize bytes from `in` to page `page_id`.
-  Status WritePage(PageId page_id, const char* in);
+  Status WritePage(PageId page_id, const char* in) override;
 
   /// Allocates a fresh page id (monotonically increasing; no free list —
   /// deallocated pages are recycled by the higher-level structures).
-  PageId AllocatePage();
+  PageId AllocatePage() override;
 
   /// Number of pages allocated so far (including the header page).
-  PageId num_pages() const { return next_page_id_.load(); }
+  PageId num_pages() const override { return next_page_id_.load(); }
 
-  Status Sync();
+  Status Sync() override;
 
-  const IoStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = IoStats{}; }
+  const IoStats& stats() const override { return stats_; }
+  void ResetStats() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_ = IoStats{};
+  }
+
+  /// Bound on EINTR/short-transfer retries per page operation before the
+  /// error is surfaced as Status::IoError.
+  static constexpr int kMaxIoRetries = 16;
 
  private:
   void ChargeLatency() const;

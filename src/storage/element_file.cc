@@ -48,16 +48,31 @@ Result<ElementList> ElementFile::ReadAll() const {
   ElementList out;
   out.reserve(size_);
   PageId id = head_;
+  uint64_t pages_visited = 0;
   while (id != kInvalidPageId) {
+    if (++pages_visited > pool_->disk()->num_pages()) {
+      return Status::Corruption("ElementFile: page chain cycle");
+    }
     XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(id));
     PageGuard page(pool_, raw);
     const auto* hdr = raw->As<PageHeader>();
     if (hdr->magic != kMagic) {
       return Status::Corruption("ElementFile: bad page magic");
     }
+    if (hdr->count > kCapacity) {
+      return Status::Corruption("ElementFile: page count out of range");
+    }
     const Element* slots = Slots(raw);
     out.insert(out.end(), slots, slots + hdr->count);
+    if (out.size() > size_) {
+      return Status::Corruption("ElementFile: more elements than recorded");
+    }
     id = hdr->next;
+  }
+  if (out.size() != size_) {
+    return Status::Corruption("ElementFile: chain holds " +
+                              std::to_string(out.size()) + " of " +
+                              std::to_string(size_) + " elements");
   }
   return out;
 }
@@ -82,8 +97,19 @@ void ElementFile::Scanner::LoadPage(PageId id) {
     return;
   }
   auto result = file_->pool_->FetchPage(id);
-  assert(result.ok());
+  if (!result.ok()) {
+    // Surface the error through status() and end the scan instead of
+    // pretending the file ended here.
+    status_ = result.status();
+    page_ = PageGuard();
+    return;
+  }
   page_ = PageGuard(file_->pool_, result.value());
+  if (page_.get()->As<PageHeader>()->magic != kMagic) {
+    status_ = Status::Corruption("ElementFile: bad page magic in scan");
+    page_.Release();
+    page_ = PageGuard();
+  }
 }
 
 const Element& ElementFile::Scanner::Get() const {
@@ -123,6 +149,7 @@ bool ElementFile::Scanner::Next() {
   page_.Release();
   while (next != kInvalidPageId) {
     LoadPage(next);
+    if (!page_) return false;  // unreadable/corrupt page; see status()
     if (page_.get()->As<PageHeader>()->count > 0) {
       ++scanned_;
       return true;

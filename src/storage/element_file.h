@@ -27,7 +27,7 @@ class ElementFile {
   };
   static constexpr uint32_t kMagic = 0x454C4546;  // "ELEF"
   static constexpr size_t kCapacity =
-      (kPageSize - sizeof(PageHeader)) / sizeof(Element);
+      (kPageDataSize - sizeof(PageHeader)) / sizeof(Element);
 
   ElementFile(BufferPool* pool) : pool_(pool) {}
 
@@ -66,6 +66,9 @@ class ElementFile {
     bool Next();
     /// Total elements returned so far (the paper's "elements scanned").
     uint64_t scanned() const { return scanned_; }
+    /// Non-OK when the scan stopped on an unreadable/corrupt page rather
+    /// than a genuine end of file. Check after the scan completes.
+    const Status& status() const { return status_; }
 
     /// Captures the current position; invalid scanner saves an end state.
     ScanState Save() const;
@@ -81,6 +84,7 @@ class ElementFile {
     PageGuard page_;
     uint32_t slot_ = 0;
     uint64_t scanned_ = 0;
+    Status status_;
   };
 
   Scanner NewScanner() const { return Scanner(this); }

@@ -1,0 +1,144 @@
+#include "storage/fault_injection.h"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+
+#include "common/random.h"
+
+namespace xrtree {
+
+FaultPlan FaultPlan::RandomCrashPlan(uint64_t seed, uint64_t max_write_op) {
+  Random rng(seed);
+  FaultPlan plan;
+  uint64_t op = 1 + rng.Uniform(std::max<uint64_t>(max_write_op, 1));
+  if (rng.OneIn(2)) {
+    // Tear at a byte boundary strictly inside the page so the write is
+    // genuinely partial.
+    uint32_t bytes = 1 + static_cast<uint32_t>(rng.Uniform(kPageSize - 1));
+    plan.faults.push_back({FaultKind::kTornWrite, op, bytes});
+  } else {
+    plan.faults.push_back({FaultKind::kCrash, op, 0});
+  }
+  return plan;
+}
+
+void FaultInjectingDisk::SetPlan(FaultPlan plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  faults_ = std::move(plan.faults);
+  crashed_ = false;
+  reads_ = 0;
+  writes_ = 0;
+  faults_injected_ = 0;
+}
+
+void FaultInjectingDisk::Arm(Fault f) {
+  std::lock_guard<std::mutex> lock(mu_);
+  faults_.push_back(f);
+}
+
+bool FaultInjectingDisk::TakeFault(bool is_write, uint64_t op, Fault* out) {
+  for (auto it = faults_.begin(); it != faults_.end(); ++it) {
+    bool write_kind = it->kind != FaultKind::kFailRead &&
+                      it->kind != FaultKind::kTransientRead;
+    if (write_kind == is_write && it->op == op) {
+      *out = *it;
+      faults_.erase(it);
+      ++faults_injected_;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultInjectingDisk::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+uint64_t FaultInjectingDisk::reads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reads_;
+}
+
+uint64_t FaultInjectingDisk::writes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return writes_;
+}
+
+uint64_t FaultInjectingDisk::faults_injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return faults_injected_;
+}
+
+Status FaultInjectingDisk::ReadPage(PageId page_id, char* out) {
+  Fault fault;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++reads_;
+    if (TakeFault(/*is_write=*/false, reads_, &fault)) {
+      if (fault.kind == FaultKind::kTransientRead) {
+        return Status::IoError("injected transient read fault (EINTR) at "
+                               "read #" +
+                               std::to_string(reads_));
+      }
+      return Status::IoError("injected read fault at read #" +
+                             std::to_string(reads_));
+    }
+  }
+  return base_->ReadPage(page_id, out);
+}
+
+Status FaultInjectingDisk::WritePage(PageId page_id, const char* in) {
+  Fault fault{};
+  bool fired;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++writes_;
+    if (crashed_) return Status::Ok();  // power lost: write goes nowhere
+    fired = TakeFault(/*is_write=*/true, writes_, &fault);
+    if (fired) {
+      switch (fault.kind) {
+        case FaultKind::kFailWrite:
+          return Status::IoError("injected write fault at write #" +
+                                 std::to_string(writes_));
+        case FaultKind::kTransientWrite:
+          return Status::IoError("injected transient write fault (EINTR) "
+                                 "at write #" +
+                                 std::to_string(writes_));
+        case FaultKind::kCrash:
+          crashed_ = true;
+          return Status::Ok();
+        case FaultKind::kTornWrite:
+          crashed_ = true;
+          break;  // handled below, outside the switch
+        default:
+          break;
+      }
+    }
+  }
+  if (fired && fault.kind == FaultKind::kTornWrite) {
+    // Persist only the first `arg` bytes of the new image; the tail keeps
+    // whatever the page held before (zeros if it was never written).
+    char torn[kPageSize];
+    Status rs = base_->ReadPage(page_id, torn);
+    if (!rs.ok()) std::memset(torn, 0, kPageSize);
+    size_t keep = std::min<size_t>(fault.arg, kPageSize);
+    std::memcpy(torn, in, keep);
+    XR_RETURN_IF_ERROR(base_->WritePage(page_id, torn));
+    return Status::Ok();  // the caller believes the full page was written
+  }
+  return base_->WritePage(page_id, in);
+}
+
+Status FaultInjectingDisk::Sync() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // After a simulated power loss there is nothing to make durable and no
+    // error the lost machine could have reported.
+    if (crashed_) return Status::Ok();
+  }
+  return base_->Sync();
+}
+
+}  // namespace xrtree

@@ -1,0 +1,117 @@
+#ifndef XRTREE_STORAGE_FAULT_INJECTION_H_
+#define XRTREE_STORAGE_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/disk_interface.h"
+
+namespace xrtree {
+
+/// Kinds of storage faults the FaultInjectingDisk can inject. Each fault is
+/// armed against the Nth read or the Nth write (1-based, counted separately
+/// per stream) and fires exactly once; kTornWrite and kCrash additionally
+/// flip the disk into a persistent "crashed" state.
+enum class FaultKind : uint8_t {
+  /// The Nth read returns Status::IoError.
+  kFailRead,
+  /// The Nth write returns Status::IoError (nothing is written).
+  kFailWrite,
+  /// Like kFailRead, but models an EINTR-style transient: the error message
+  /// says so and re-issuing the read succeeds (the fault is one-shot).
+  kTransientRead,
+  /// Transient write error; the retried write succeeds.
+  kTransientWrite,
+  /// The Nth write persists only its first `arg` bytes (the tail keeps the
+  /// page's previous on-disk content), reports success, and the disk then
+  /// behaves as if the machine lost power: all later writes are dropped.
+  kTornWrite,
+  /// The Nth write (and everything after it) is silently dropped: the
+  /// caller sees success, the file never changes. Models power loss with a
+  /// volatile write cache.
+  kCrash,
+};
+
+/// One armed fault. `op` indexes the read stream for read kinds and the
+/// write stream for write kinds.
+struct Fault {
+  FaultKind kind;
+  uint64_t op;
+  uint32_t arg = 0;  ///< kTornWrite: bytes of the new image persisted
+};
+
+/// A reproducible fault schedule. Derive one from a seed so every crash
+/// test failure can be replayed from its seed alone.
+struct FaultPlan {
+  std::vector<Fault> faults;
+
+  /// A randomized power-loss plan: crashes at a uniformly chosen write in
+  /// [1, max_write_op], tearing that write (at a random byte boundary)
+  /// about half the time. Deterministic in `seed`.
+  static FaultPlan RandomCrashPlan(uint64_t seed, uint64_t max_write_op);
+};
+
+/// A DiskInterface decorator that injects faults according to a schedule.
+/// Wrap the real DiskManager with one of these to test that the buffer
+/// pool, indexes and catalog surface (never swallow) storage errors, and
+/// that reopening after a simulated crash either recovers or reports
+/// corruption. Thread-safe; pass-through costs one mutex acquisition.
+class FaultInjectingDisk : public DiskInterface {
+ public:
+  explicit FaultInjectingDisk(DiskInterface* base) : base_(base) {}
+
+  /// Replaces the armed fault schedule and resets crash state and the
+  /// read/write op counters.
+  void SetPlan(FaultPlan plan);
+
+  /// Convenience single-fault armers (append to the current schedule;
+  /// op counts are NOT reset).
+  void FailNthRead(uint64_t n) { Arm({FaultKind::kFailRead, n, 0}); }
+  void FailNthWrite(uint64_t n) { Arm({FaultKind::kFailWrite, n, 0}); }
+  void TransientFailNthRead(uint64_t n) {
+    Arm({FaultKind::kTransientRead, n, 0});
+  }
+  void TransientFailNthWrite(uint64_t n) {
+    Arm({FaultKind::kTransientWrite, n, 0});
+  }
+  void TearNthWrite(uint64_t n, uint32_t bytes_persisted) {
+    Arm({FaultKind::kTornWrite, n, bytes_persisted});
+  }
+  void CrashAtWrite(uint64_t n) { Arm({FaultKind::kCrash, n, 0}); }
+
+  /// True once a kTornWrite/kCrash fault has fired; all writes and syncs
+  /// are silently dropped from that point on.
+  bool crashed() const;
+
+  uint64_t reads() const;
+  uint64_t writes() const;
+  uint64_t faults_injected() const;
+
+  Status ReadPage(PageId page_id, char* out) override;
+  Status WritePage(PageId page_id, const char* in) override;
+  PageId AllocatePage() override { return base_->AllocatePage(); }
+  PageId num_pages() const override { return base_->num_pages(); }
+  Status Sync() override;
+  const IoStats& stats() const override { return base_->stats(); }
+  void ResetStats() override { base_->ResetStats(); }
+
+ private:
+  void Arm(Fault f);
+  /// Finds, consumes and returns the armed fault matching op `op` of the
+  /// given stream (reads or writes), if any. mu_ held.
+  bool TakeFault(bool is_write, uint64_t op, Fault* out);
+
+  DiskInterface* const base_;
+  mutable std::mutex mu_;
+  std::vector<Fault> faults_;
+  bool crashed_ = false;
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+  uint64_t faults_injected_ = 0;
+};
+
+}  // namespace xrtree
+
+#endif  // XRTREE_STORAGE_FAULT_INJECTION_H_

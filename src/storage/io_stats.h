@@ -16,6 +16,7 @@ struct IoStats {
   uint64_t buffer_hits = 0;    ///< FetchPage satisfied from the pool
   uint64_t buffer_misses = 0;  ///< FetchPage requiring a disk read
   uint64_t pages_allocated = 0;
+  uint64_t failed_unpins = 0;  ///< PageGuard releases whose unpin errored
 
   IoStats operator-(const IoStats& rhs) const {
     IoStats d;
@@ -24,6 +25,7 @@ struct IoStats {
     d.buffer_hits = buffer_hits - rhs.buffer_hits;
     d.buffer_misses = buffer_misses - rhs.buffer_misses;
     d.pages_allocated = pages_allocated - rhs.pages_allocated;
+    d.failed_unpins = failed_unpins - rhs.failed_unpins;
     return d;
   }
 
@@ -33,17 +35,22 @@ struct IoStats {
     buffer_hits += rhs.buffer_hits;
     buffer_misses += rhs.buffer_misses;
     pages_allocated += rhs.pages_allocated;
+    failed_unpins += rhs.failed_unpins;
     return *this;
   }
 
   uint64_t total_page_accesses() const { return buffer_hits + buffer_misses; }
 
   std::string ToString() const {
-    return "reads=" + std::to_string(disk_reads) +
-           " writes=" + std::to_string(disk_writes) +
-           " hits=" + std::to_string(buffer_hits) +
-           " misses=" + std::to_string(buffer_misses) +
-           " alloc=" + std::to_string(pages_allocated);
+    std::string s = "reads=" + std::to_string(disk_reads) +
+                    " writes=" + std::to_string(disk_writes) +
+                    " hits=" + std::to_string(buffer_hits) +
+                    " misses=" + std::to_string(buffer_misses) +
+                    " alloc=" + std::to_string(pages_allocated);
+    if (failed_unpins > 0) {
+      s += " FAILED_UNPINS=" + std::to_string(failed_unpins);
+    }
+    return s;
   }
 };
 

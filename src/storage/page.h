@@ -17,6 +17,37 @@ inline constexpr PageId kInvalidPageId = 0xFFFFFFFFu;
 /// fanout (~250 element entries per leaf) in the same regime.
 inline constexpr size_t kPageSize = 4096;
 
+/// Physical layout every page obeys: the leading kDataSize bytes belong to
+/// the owning structure (B+-tree node, stab page, element file page,
+/// catalog, ...); the trailing kTrailerSize bytes are an integrity trailer
+/// stamped by the BufferPool on write-back and verified on fetch. Layout
+/// headers must size their slot arrays against kDataSize, never kPageSize.
+struct PageLayout {
+  static constexpr size_t kTrailerSize = 8;
+  static constexpr size_t kDataSize = kPageSize - kTrailerSize;
+  /// Bumped whenever the on-disk page format changes incompatibly.
+  static constexpr uint16_t kFormatVersion = 1;
+};
+
+/// Usable payload bytes of a page (excludes the integrity trailer).
+inline constexpr size_t kPageDataSize = PageLayout::kDataSize;
+
+/// Upper bound on the depth of any paged tree in this engine. With fanouts
+/// in the hundreds even a page-sized database fits in a handful of levels;
+/// a descent running past this is following a corrupt child pointer.
+inline constexpr int kMaxTreeDepth = 64;
+
+/// The integrity trailer occupying the last PageLayout::kTrailerSize bytes.
+/// `crc` covers the payload plus the version and the page id (so a page
+/// written to the wrong offset — a misdirected write — fails verification).
+/// An all-zero trailer is only legal on an all-zero (never written) page.
+struct PageTrailer {
+  uint32_t crc;
+  uint16_t version;
+  uint16_t reserved;
+};
+static_assert(sizeof(PageTrailer) == PageLayout::kTrailerSize);
+
 /// An in-memory frame holding one disk page plus buffer-pool bookkeeping.
 /// Frames are owned by the BufferPool; client code receives pinned Page
 /// pointers (or PageGuard RAII handles) and must not retain them past unpin.

@@ -110,10 +110,15 @@ Result<PageId> XrTree::FindLeaf(Position key,
                                 std::vector<PathEntry>* path) const {
   if (root_ == kInvalidPageId) return Status::NotFound("empty tree");
   PageId cur = root_;
-  while (true) {
+  // Bound the descent: see BTree::FindLeaf.
+  for (int depth = 0; depth < kMaxTreeDepth; ++depth) {
     XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(cur));
     PageGuard page(pool_, raw);
-    if (XrHeader(raw)->is_leaf) {
+    const auto* hdr = XrHeader(raw);
+    if (hdr->magic != kXrLeafMagic && hdr->magic != kXrInternalMagic) {
+      return Status::Corruption("xrtree: descent hit a foreign page");
+    }
+    if (hdr->is_leaf) {
       if (path) path->push_back({cur, 0});
       return cur;
     }
@@ -121,6 +126,7 @@ Result<PageId> XrTree::FindLeaf(Position key,
     if (path) path->push_back({cur, slot});
     cur = XrChildAt(raw, slot);
   }
+  return Status::Corruption("xrtree: descent did not reach a leaf");
 }
 
 Result<std::vector<StabEntry>> XrTree::ReadNodeStab(const Page* node) const {
@@ -1236,9 +1242,14 @@ Result<uint32_t> XrTree::Height() const {
 
 Result<uint64_t> XrTree::CountEntries() {
   uint64_t n = 0;
+  // Guard against leaf-chain cycles; see BTree::CountEntries.
+  const uint64_t bound =
+      uint64_t{pool_->disk()->num_pages()} * kXrLeafMaxEntries;
   XR_ASSIGN_OR_RETURN(XrIterator it, Begin());
   while (it.Valid()) {
-    ++n;
+    if (++n > bound) {
+      return Status::Corruption("xrtree: leaf chain cycle while counting");
+    }
     XR_RETURN_IF_ERROR(it.Next());
   }
   size_ = n;

@@ -34,6 +34,11 @@ Status XrIterator::Next() {
     XR_ASSIGN_OR_RETURN(Page * raw, pool->FetchPage(next));
     leaf_ = PageGuard(pool, raw);
     slot_ = 0;
+    if (XrHeader(raw)->magic != kXrLeafMagic) {
+      leaf_.Release();
+      leaf_ = PageGuard();
+      return Status::Corruption("xrtree: leaf chain points at a foreign page");
+    }
     if (XrHeader(raw)->count > 0) {
       ++scanned_;
       return Status::Ok();

@@ -107,14 +107,16 @@ struct PsDirHeader {
   uint32_t count;
 };
 
+// Capacities are computed against kPageDataSize so the slot arrays never
+// overlap the integrity trailer.
 inline constexpr size_t kXrLeafMaxEntries =
-    (kPageSize - sizeof(XrPageHeader)) / sizeof(Element);
+    (kPageDataSize - sizeof(XrPageHeader)) / sizeof(Element);
 inline constexpr size_t kXrInternalMaxEntries =
-    (kPageSize - sizeof(XrPageHeader)) / sizeof(XrInternalEntry);
+    (kPageDataSize - sizeof(XrPageHeader)) / sizeof(XrInternalEntry);
 inline constexpr size_t kStabPageMaxEntries =
-    (kPageSize - sizeof(StabPageHeader)) / sizeof(StabEntry);
+    (kPageDataSize - sizeof(StabPageHeader)) / sizeof(StabEntry);
 inline constexpr size_t kPsDirMaxEntries =
-    (kPageSize - sizeof(PsDirHeader)) / sizeof(PsDirEntry);
+    (kPageDataSize - sizeof(PsDirHeader)) / sizeof(PsDirEntry);
 
 inline XrPageHeader* XrHeader(Page* p) { return p->As<XrPageHeader>(); }
 inline const XrPageHeader* XrHeader(const Page* p) {
