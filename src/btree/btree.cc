@@ -345,7 +345,7 @@ Status BTree::HandleLeafUnderflow(std::vector<PathEntry>& path) {
     removed_slot = child_slot - 1;  // separator between sib and leaf
     PageId dead = leaf_entry.page;
     leaf.Release();
-    pool_->DiscardPage(dead).ok();
+    pool_->FreePage(dead).ok();
   } else {
     PageId sib_id = ChildAt(praw, child_slot + 1);
     XR_ASSIGN_OR_RETURN(Page * sraw, pool_->FetchPage(sib_id));
@@ -365,7 +365,7 @@ Status BTree::HandleLeafUnderflow(std::vector<PathEntry>& path) {
     removed_slot = child_slot;  // separator between leaf and sib
     PageId dead = sib_id;
     sib.Release();
-    pool_->DiscardPage(dead).ok();
+    pool_->FreePage(dead).ok();
   }
 
   // Remove the separator key (and the right-hand child pointer) from the
@@ -381,7 +381,7 @@ Status BTree::HandleLeafUnderflow(std::vector<PathEntry>& path) {
     root_ = phdr->leftmost;
     PageId dead = parent_entry.page;
     parent.Release();
-    pool_->DiscardPage(dead).ok();
+    pool_->FreePage(dead).ok();
     return Status::Ok();
   }
   uint32_t imin = internal_cap_ / 2;
@@ -475,7 +475,7 @@ Status BTree::HandleInternalUnderflow(std::vector<PathEntry>& path,
     removed_slot = child_slot - 1;
     PageId dead = node_entry.page;
     node.Release();
-    pool_->DiscardPage(dead).ok();
+    pool_->FreePage(dead).ok();
   } else {
     PageId sib_id = ChildAt(praw, child_slot + 1);
     XR_ASSIGN_OR_RETURN(Page * sraw, pool_->FetchPage(sib_id));
@@ -492,7 +492,7 @@ Status BTree::HandleInternalUnderflow(std::vector<PathEntry>& path,
     removed_slot = child_slot;
     PageId dead = sib_id;
     sib.Release();
-    pool_->DiscardPage(dead).ok();
+    pool_->FreePage(dead).ok();
   }
 
   std::memmove(pslots + removed_slot, pslots + removed_slot + 1,
@@ -505,7 +505,7 @@ Status BTree::HandleInternalUnderflow(std::vector<PathEntry>& path,
     root_ = phdr->leftmost;
     PageId dead = parent_entry.page;
     parent.Release();
-    pool_->DiscardPage(dead).ok();
+    pool_->FreePage(dead).ok();
     return Status::Ok();
   }
   uint32_t imin2 = internal_cap_ / 2;

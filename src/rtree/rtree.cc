@@ -593,7 +593,7 @@ Status RTree::Delete(Position start) {
             }
           }
         }
-        XR_RETURN_IF_ERROR(pool_->DiscardPage(id));
+        XR_RETURN_IF_ERROR(pool_->FreePage(id));
       }
       pslots[path[depth].slot] = pslots[phdr->count - 1];
       --phdr->count;
@@ -623,7 +623,7 @@ Status RTree::Delete(Position start) {
     PageId new_root = RTreeInternalSlots(raw)[0].child;
     PageId dead = root_;
     page.Release();
-    XR_RETURN_IF_ERROR(pool_->DiscardPage(dead));
+    XR_RETURN_IF_ERROR(pool_->FreePage(dead));
     root_ = new_root;
   }
 

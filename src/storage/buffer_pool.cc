@@ -1,5 +1,6 @@
 #include "storage/buffer_pool.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 
@@ -37,8 +38,15 @@ bool BufferPool::FindVictim(FrameId* out) {
 }
 
 Status BufferPool::WriteBack(Page* page) {
-  StampPageTrailer(page->data_, page->page_id_);
-  XR_RETURN_IF_ERROR(disk_->WritePage(page->page_id_, page->data_));
+  if (wal_ != nullptr) {
+    // Log-first ordering: with a WAL attached the data file is only written
+    // from committed images (Checkpoint/Recover), never directly. The log
+    // append stamps the trailer with the record's LSN.
+    XR_RETURN_IF_ERROR(wal_->LogPageImage(page->page_id_, page->data_));
+  } else {
+    StampPageTrailer(page->data_, page->page_id_);
+    XR_RETURN_IF_ERROR(disk_->WritePage(page->page_id_, page->data_));
+  }
   page->is_dirty_ = false;
   return Status::Ok();
 }
@@ -84,7 +92,14 @@ Result<Page*> BufferPool::FetchPage(PageId page_id) {
   }
 
   Page* page = frames_[frame].get();
-  Status read = disk_->ReadPage(page_id, page->data_);
+  // The log overlay holds the newest version of any page it has an image
+  // for — the data-file copy (if any) is stale until the next checkpoint.
+  Status read;
+  if (wal_ != nullptr && wal_->HasImage(page_id)) {
+    read = wal_->ReadImage(page_id, page->data_);
+  } else {
+    read = disk_->ReadPage(page_id, page->data_);
+  }
   if (read.ok()) read = VerifyPageTrailer(page->data_, page_id);
   if (!read.ok()) {
     // Return the frame to the free list instead of leaking it.
@@ -101,17 +116,42 @@ Result<Page*> BufferPool::FetchPage(PageId page_id) {
 }
 
 Result<Page*> BufferPool::NewPage() {
-  PageId page_id = disk_->AllocatePage();
   std::lock_guard<std::mutex> lock(mu_);
+  // Reuse a recycled page before extending the file. A free-list entry that
+  // is somehow still resident is in use — drop it rather than reissue it.
+  PageId page_id = kInvalidPageId;
+  while (!free_pages_.empty()) {
+    PageId candidate = free_pages_.back();
+    free_pages_.pop_back();
+    free_set_.erase(candidate);
+    if (page_table_.find(candidate) == page_table_.end()) {
+      page_id = candidate;
+      break;
+    }
+  }
+  const bool recycled = (page_id != kInvalidPageId);
+  if (!recycled) {
+    page_id = disk_->AllocatePage();
+  }
 
   FrameId frame;
+  bool have_frame = false;
+  Status frame_error = Status::Ok();
   if (!free_frames_.empty()) {
     frame = free_frames_.back();
     free_frames_.pop_back();
+    have_frame = true;
   } else if (FindVictim(&frame)) {
-    XR_RETURN_IF_ERROR(EvictFrame(frame));
+    frame_error = EvictFrame(frame);
+    have_frame = frame_error.ok();
   } else {
-    return Status::Aborted("buffer pool exhausted: all frames pinned");
+    frame_error = Status::Aborted("buffer pool exhausted: all frames pinned");
+  }
+  if (!have_frame) {
+    if (recycled && free_set_.insert(page_id).second) {
+      free_pages_.push_back(page_id);  // don't leak the recycled id
+    }
+    return frame_error;
   }
 
   Page* page = frames_[frame].get();
@@ -179,6 +219,105 @@ Status BufferPool::DiscardPage(PageId page_id) {
   page->Reset();
   free_frames_.push_back(frame);
   return Status::Ok();
+}
+
+Status BufferPool::FreePage(PageId page_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (page_id == kInvalidPageId || page_id < kNumReservedPages) {
+    return Status::InvalidArgument("FreePage: reserved or invalid page id");
+  }
+  auto it = page_table_.find(page_id);
+  if (it != page_table_.end()) {
+    FrameId frame = it->second;
+    Page* page = frames_[frame].get();
+    if (page->pin_count_ > 0) {
+      return Status::InvalidArgument("FreePage: page is pinned");
+    }
+    page_table_.erase(it);
+    auto pos = lru_pos_.find(frame);
+    if (pos != lru_pos_.end()) {
+      lru_.erase(pos->second);
+      lru_pos_.erase(pos);
+    }
+    page->Reset();
+    free_frames_.push_back(frame);
+  }
+  if (free_set_.insert(page_id).second) {
+    free_pages_.push_back(page_id);
+  }
+  return Status::Ok();
+}
+
+Status BufferPool::SetFreeList(const std::vector<PageId>& pages) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<PageId> list;
+  std::unordered_set<PageId> set;
+  list.reserve(pages.size());
+  for (PageId id : pages) {
+    if (id == kInvalidPageId || id < kNumReservedPages ||
+        id >= disk_->num_pages()) {
+      return Status::Corruption("free list references page " +
+                                std::to_string(id) +
+                                " outside the allocated range");
+    }
+    if (!set.insert(id).second) {
+      return Status::Corruption("free list contains page " +
+                                std::to_string(id) + " twice");
+    }
+    list.push_back(id);
+  }
+  free_pages_ = std::move(list);
+  free_set_ = std::move(set);
+  return Status::Ok();
+}
+
+std::vector<PageId> BufferPool::FreeListSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<PageId> out = free_pages_;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void BufferPool::SetWal(Wal* wal) {
+  std::lock_guard<std::mutex> lock(mu_);
+  wal_ = wal;
+}
+
+Wal* BufferPool::wal() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return wal_;
+}
+
+Status BufferPool::Commit() {
+  Wal* wal = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (wal_ == nullptr) {
+      return Status::InvalidArgument("Commit: no WAL attached");
+    }
+    wal = wal_;
+    // Log every dirty resident page so the commit record covers the whole
+    // logical update, including pages that were never evicted.
+    for (auto& [page_id, frame] : page_table_) {
+      Page* page = frames_[frame].get();
+      if (page->is_dirty_) {
+        XR_RETURN_IF_ERROR(WriteBack(page));
+      }
+    }
+  }
+  XR_RETURN_IF_ERROR(wal->Commit());
+  if (wal->needs_checkpoint()) {
+    XR_RETURN_IF_ERROR(wal->Checkpoint(disk_));
+  }
+  return Status::Ok();
+}
+
+Status BufferPool::Checkpoint() {
+  Wal* wal = this->wal();
+  if (wal == nullptr) {
+    return Status::InvalidArgument("Checkpoint: no WAL attached");
+  }
+  return wal->Checkpoint(disk_);
 }
 
 IoStats BufferPool::stats() const {

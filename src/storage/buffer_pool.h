@@ -6,6 +6,7 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/result.h"
@@ -13,6 +14,7 @@
 #include "storage/disk_interface.h"
 #include "storage/io_stats.h"
 #include "storage/page.h"
+#include "storage/wal.h"
 
 namespace xrtree {
 
@@ -30,6 +32,16 @@ namespace xrtree {
 /// from disk verifies it, so a torn, misdirected, bit-flipped or
 /// pre-checksum page surfaces as Status::Corruption instead of silently
 /// wrong query results.
+///
+/// With a Wal attached (SetWal), write-backs append page images to the log
+/// instead of touching the data file, and misses consult the log's image
+/// overlay before falling back to disk. Commit()/Checkpoint() then define
+/// the atomic-durability protocol; the data file only ever advances from
+/// one committed state to the next.
+///
+/// The pool also owns the free-page list: FreePage recycles a page id for
+/// reuse by NewPage, and the Catalog persists the list across reopens so
+/// deleted pages stop leaking.
 class BufferPool {
  public:
   BufferPool(DiskInterface* disk, size_t pool_size);
@@ -53,10 +65,38 @@ class BufferPool {
   /// Flushes every dirty page in the pool.
   Status FlushAll();
 
-  /// Drops a page from the pool without writing it back and returns its id
-  /// to the caller (the structures above maintain their own free lists).
-  /// Precondition: the page is unpinned.
+  /// Drops a page from the pool without writing it back. Pure cache
+  /// eviction: the id is NOT recycled (see FreePage). Precondition: the
+  /// page is unpinned.
   Status DiscardPage(PageId page_id);
+
+  /// Frees a page: drops it from the pool (no write-back) and recycles its
+  /// id into the free list, where NewPage will reuse it before allocating
+  /// fresh pages. The Catalog persists the list across reopens.
+  /// Precondition: the page is unpinned and not a reserved header page.
+  Status FreePage(PageId page_id);
+
+  /// Replaces the in-memory free list (Catalog::Load installs the persisted
+  /// list at open time). Duplicates and reserved/invalid ids are rejected.
+  Status SetFreeList(const std::vector<PageId>& pages);
+
+  /// Snapshot of the current free list, sorted, for persistence.
+  std::vector<PageId> FreeListSnapshot() const;
+
+  /// Attaches (or detaches, with nullptr) a write-ahead log. The Wal must
+  /// already be recovered. While attached, dirty pages are logged rather
+  /// than written to the data file.
+  void SetWal(Wal* wal);
+  Wal* wal() const;
+
+  /// Commits the current logical update: logs every dirty resident page,
+  /// appends a commit record and fsyncs the log. If the log has outgrown
+  /// its checkpoint threshold, also checkpoints. Requires an attached Wal.
+  Status Commit();
+
+  /// Applies the log's committed images to the data file and truncates the
+  /// log. Call after Commit(). Requires an attached Wal.
+  Status Checkpoint();
 
   size_t pool_size() const { return frames_.size(); }
   DiskInterface* disk() const { return disk_; }
@@ -86,11 +126,16 @@ class BufferPool {
   Status WriteBack(Page* page);
 
   DiskInterface* const disk_;
+  Wal* wal_ = nullptr;
   std::vector<std::unique_ptr<Page>> frames_;
   std::unordered_map<PageId, FrameId> page_table_;
   std::list<FrameId> lru_;  // front = least recently used
   std::unordered_map<FrameId, std::list<FrameId>::iterator> lru_pos_;
   std::vector<FrameId> free_frames_;
+  // Recycled page ids. free_set_ mirrors free_pages_ to keep FreePage
+  // idempotent (double-free must not hand the same id out twice).
+  std::vector<PageId> free_pages_;
+  std::unordered_set<PageId> free_set_;
   mutable std::mutex mu_;
   IoStats stats_;
 };

@@ -7,14 +7,21 @@ namespace xrtree {
 namespace {
 
 constexpr uint32_t kCatalogMagic = 0x58524354;  // "XRCT"
-constexpr uint32_t kCatalogVersion = 1;
+// v2: ping-pong slot pair with sequence numbers + persistent free list
+// (v1 was a single page-0 image with an 8-byte page trailer; the trailer
+// format change already makes v1 files unreadable, so there is no
+// migration path to carry).
+constexpr uint32_t kCatalogVersion = 2;
 
 struct CatalogHeader {
   uint32_t magic;
   uint32_t version;
-  uint32_t count;
-  uint32_t reserved;
+  uint32_t count;       ///< entry records
+  uint32_t free_count;  ///< free-page ids after the records
+  uint64_t seq;         ///< monotonic image sequence; valid slots have >= 1
+  uint64_t reserved;
 };
+static_assert(sizeof(CatalogHeader) == 32);
 
 struct CatalogRecord {
   char name[Catalog::kMaxNameLen + 1];
@@ -26,35 +33,55 @@ struct CatalogRecord {
 };
 static_assert(sizeof(CatalogRecord) == 48 + 8 + 16);
 static_assert(sizeof(CatalogHeader) +
-                  Catalog::kMaxEntries * sizeof(CatalogRecord) <=
+                  Catalog::kMaxEntries * sizeof(CatalogRecord) +
+                  Catalog::kMaxFreeEntries * sizeof(PageId) <=
               kPageDataSize);
 
 }  // namespace
 
-Status Catalog::Load() {
-  XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(0));
-  PageGuard page(pool_, raw);
-  const auto* hdr = raw->As<CatalogHeader>();
-  entries_.clear();
-  if (hdr->magic == 0 && hdr->count == 0) {
-    return Status::Ok();  // freshly created database
+Catalog::SlotState Catalog::LoadSlot(PageId slot,
+                                     std::vector<CatalogEntry>* entries,
+                                     std::vector<PageId>* free_pages,
+                                     uint64_t* seq, Status* error) {
+  auto fetched = pool_->FetchPage(slot);
+  if (!fetched.ok()) {
+    *error = fetched.status();
+    // A trailer failure is the signature of a torn slot write (recoverable
+    // via the other slot); any other I/O failure is not a slot state at all.
+    return fetched.status().IsCorruption() ? SlotState::kTorn
+                                           : SlotState::kError;
   }
+  PageGuard page(pool_, fetched.value());
+  const Page* raw = page.get();
+  const auto* hdr = raw->As<CatalogHeader>();
+  if (hdr->magic == 0 && hdr->version == 0 && hdr->count == 0 &&
+      hdr->free_count == 0 && hdr->seq == 0) {
+    return SlotState::kEmpty;
+  }
+  auto bad = [&](Status s) {
+    *error = std::move(s);
+    return SlotState::kInvalid;
+  };
   if (hdr->magic != kCatalogMagic) {
-    return Status::Corruption("catalog: bad magic on page 0");
+    return bad(Status::Corruption("catalog: bad magic on slot page " +
+                                  std::to_string(slot)));
   }
   if (hdr->version != kCatalogVersion) {
-    return Status::NotSupported("catalog: unknown version " +
-                                std::to_string(hdr->version));
+    return bad(Status::NotSupported("catalog: unknown version " +
+                                    std::to_string(hdr->version)));
   }
-  if (hdr->count > kMaxEntries) {
-    return Status::Corruption("catalog: entry count out of range");
+  if (hdr->count > kMaxEntries || hdr->free_count > kMaxFreeEntries ||
+      hdr->seq == 0) {
+    return bad(Status::Corruption("catalog: header out of range on slot " +
+                                  std::to_string(slot)));
   }
   const auto* records = reinterpret_cast<const CatalogRecord*>(
       raw->data() + sizeof(CatalogHeader));
+  entries->clear();
   for (uint32_t i = 0; i < hdr->count; ++i) {
     const CatalogRecord& r = records[i];
     if (std::memchr(r.name, '\0', sizeof(r.name)) == nullptr) {
-      return Status::Corruption("catalog: unterminated name");
+      return bad(Status::Corruption("catalog: unterminated name"));
     }
     CatalogEntry e;
     e.name = r.name;
@@ -62,13 +89,82 @@ Status Catalog::Load() {
     e.file_head = r.file_head;
     e.btree_root = r.btree_root;
     e.xrtree_root = r.xrtree_root;
-    entries_.push_back(std::move(e));
+    entries->push_back(std::move(e));
   }
-  return Status::Ok();
+  const auto* free_ids = reinterpret_cast<const PageId*>(
+      raw->data() + sizeof(CatalogHeader) +
+      kMaxEntries * sizeof(CatalogRecord));
+  free_pages->assign(free_ids, free_ids + hdr->free_count);
+  *seq = hdr->seq;
+  return SlotState::kValid;
 }
 
-Status Catalog::Save() const {
-  XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(0));
+Status Catalog::Load() {
+  std::vector<CatalogEntry> ent[2];
+  std::vector<PageId> free_pages[2];
+  uint64_t seq[2] = {0, 0};
+  Status err[2] = {Status::Ok(), Status::Ok()};
+  SlotState state[2];
+  for (PageId slot = 0; slot < 2; ++slot) {
+    state[slot] = LoadSlot(slot, &ent[slot], &free_pages[slot], &seq[slot],
+                           &err[slot]);
+    if (state[slot] == SlotState::kError) return err[slot];
+  }
+
+  int pick = -1;
+  if (state[0] == SlotState::kValid && state[1] == SlotState::kValid) {
+    pick = (seq[1] > seq[0]) ? 1 : 0;
+  } else if (state[0] == SlotState::kValid) {
+    pick = 0;
+  } else if (state[1] == SlotState::kValid) {
+    pick = 1;
+  } else if (state[0] == SlotState::kInvalid ||
+             state[1] == SlotState::kInvalid) {
+    // A slot whose trailer verifies while its payload is malformed is
+    // software corruption, never a crash artifact: surface it even though
+    // the other slot might be empty or torn.
+    return err[state[0] == SlotState::kInvalid ? 0 : 1];
+  } else if (state[0] == SlotState::kTorn && state[1] == SlotState::kTorn) {
+    // One slot can be torn by a crash mid-save; two cannot (power is lost
+    // at the first tear). This is real corruption, not a crash artifact.
+    return Status::Corruption("catalog: both header slots torn (" +
+                              err[0].message() + "; " + err[1].message() +
+                              ")");
+  }
+  // Remaining states — empty+empty or torn+empty — mean no save ever
+  // completed: the last committed state was the empty database. A crash
+  // tearing the very first slot write lands here and must recover, not
+  // error out.
+
+  if (pick < 0) {
+    // Fresh database (or a crash before the first save completed).
+    entries_.clear();
+    seq_ = 0;
+    active_slot_ = 1;  // first Save targets slot/page 0
+    loaded_ = true;
+    return pool_->SetFreeList({});
+  }
+
+  entries_ = std::move(ent[pick]);
+  seq_ = seq[pick];
+  active_slot_ = static_cast<PageId>(pick);
+  loaded_ = true;
+
+  // Install the persisted free list. Ids at or past the allocation
+  // high-water mark were allocated but never written before the last save;
+  // the allocator will hand them out again by itself, so drop them here
+  // rather than risk issuing them twice.
+  std::vector<PageId> usable;
+  usable.reserve(free_pages[pick].size());
+  for (PageId id : free_pages[pick]) {
+    if (id < pool_->disk()->num_pages()) usable.push_back(id);
+  }
+  return pool_->SetFreeList(usable);
+}
+
+Status Catalog::WriteSlot(PageId slot, uint64_t seq,
+                          const std::vector<PageId>& free_pages) {
+  XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(slot));
   PageGuard page(pool_, raw);
   page.MarkDirty();
   std::memset(raw->data(), 0, kPageDataSize);
@@ -76,6 +172,8 @@ Status Catalog::Save() const {
   hdr->magic = kCatalogMagic;
   hdr->version = kCatalogVersion;
   hdr->count = static_cast<uint32_t>(entries_.size());
+  hdr->free_count = static_cast<uint32_t>(free_pages.size());
+  hdr->seq = seq;
   auto* records = reinterpret_cast<CatalogRecord*>(raw->data() +
                                                    sizeof(CatalogHeader));
   for (size_t i = 0; i < entries_.size(); ++i) {
@@ -88,7 +186,47 @@ Status Catalog::Save() const {
     r.btree_root = e.btree_root;
     r.xrtree_root = e.xrtree_root;
   }
-  XR_RETURN_IF_ERROR(pool_->FlushPage(0));
+  auto* free_ids = reinterpret_cast<PageId*>(
+      raw->data() + sizeof(CatalogHeader) +
+      kMaxEntries * sizeof(CatalogRecord));
+  std::memcpy(free_ids, free_pages.data(),
+              free_pages.size() * sizeof(PageId));
+  return Status::Ok();
+}
+
+Status Catalog::Save() {
+  if (!loaded_) {
+    return Status::InvalidArgument("catalog: Save before a successful Load");
+  }
+  std::vector<PageId> free_pages = pool_->FreeListSnapshot();
+  if (free_pages.size() > kMaxFreeEntries) {
+    // Overflowing ids stay on the in-memory list (a later save may pick
+    // them up); at worst they leak until then.
+    free_pages.resize(kMaxFreeEntries);
+  }
+  const PageId target = 1 - active_slot_;
+
+  if (pool_->wal() != nullptr) {
+    // WAL mode: the commit protocol (log-first + commit barrier) already
+    // makes the slot update atomic with the data pages it references; just
+    // stage the new image.
+    XR_RETURN_IF_ERROR(WriteSlot(target, seq_ + 1, free_pages));
+    ++seq_;
+    active_slot_ = target;
+    return Status::Ok();
+  }
+
+  // No WAL: order writes so a durable catalog never references data that
+  // is not itself durable — flush and fsync every dirty data page first,
+  // then write the inactive slot, then fsync again. A crash between the
+  // two syncs leaves the old slot as the newest valid image.
+  XR_RETURN_IF_ERROR(pool_->FlushAll());
+  XR_RETURN_IF_ERROR(pool_->disk()->Sync());
+  XR_RETURN_IF_ERROR(WriteSlot(target, seq_ + 1, free_pages));
+  XR_RETURN_IF_ERROR(pool_->FlushPage(target));
+  XR_RETURN_IF_ERROR(pool_->disk()->Sync());
+  ++seq_;
+  active_slot_ = target;
   return Status::Ok();
 }
 

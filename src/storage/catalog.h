@@ -24,24 +24,42 @@ struct CatalogEntry {
   PageId xrtree_root = kInvalidPageId;
 };
 
-/// The database catalog, persisted in the reserved header page (page 0).
-/// Maps element-set names to their storage roots so a database file can be
-/// reopened without rebuilding anything. Mirrors the role of a system
-/// table in the paper's "experimental database system" (§6.1).
+/// The database catalog, persisted in the reserved header pages. Maps
+/// element-set names to their storage roots so a database file can be
+/// reopened without rebuilding anything, and carries the page allocator's
+/// free list so deleted pages survive a reopen. Mirrors the role of a
+/// system table in the paper's "experimental database system" (§6.1).
 ///
-/// Layout of page 0: a header with a magic/version/count, followed by
-/// fixed-size records (name is capped at 48 bytes). One page bounds the
-/// catalog at 56 sets, plenty for tag-indexed element sets.
+/// Durability: the catalog is double-written. Pages 0 and 1 are a
+/// ping-pong slot pair; each Save serializes the full catalog into the
+/// slot the last durable image does NOT occupy, stamped with a
+/// monotonically increasing sequence number, and Load picks the valid slot
+/// with the higher sequence. A torn or lost slot write therefore never
+/// destroys the catalog — the other slot still holds the previous image.
+/// Save also orders writes: all dirty data pages are flushed and fsynced
+/// *before* the slot page is written and fsynced, so a durable catalog can
+/// never reference pages whose content did not make it to disk. (With a
+/// WAL attached, Save instead just dirties the slot page; BufferPool
+/// Commit/Checkpoint provide the atomicity.)
+///
+/// Layout of a slot page: a header with magic/version/entry count/free-page
+/// count/sequence, then fixed-size entry records (name capped at 48 bytes),
+/// then the free-page id array. One page bounds the catalog at 48 sets and
+/// 144 pooled free pages, plenty for tag-indexed element sets.
 class Catalog {
  public:
   explicit Catalog(BufferPool* pool) : pool_(pool) {}
 
-  /// Loads the catalog from page 0. A fresh (all-zero) header page yields
-  /// an empty catalog; a corrupt one is an error.
+  /// Loads the catalog from the slot pages and installs the persisted
+  /// free-page list into the BufferPool. Call at open time, before any
+  /// update — installing a stale free list over a live allocator would
+  /// double-allocate. Fresh (all-zero) slot pages yield an empty catalog;
+  /// corrupt slots without a valid fallback are an error.
   Status Load();
 
-  /// Writes the catalog back to page 0.
-  Status Save() const;
+  /// Persists the catalog and the BufferPool's current free list into the
+  /// inactive slot (see class comment for the ordering protocol).
+  Status Save();
 
   /// Registers or replaces an entry. Name must fit kMaxNameLen bytes.
   Status Put(const CatalogEntry& entry);
@@ -55,12 +73,40 @@ class Catalog {
   const std::vector<CatalogEntry>& entries() const { return entries_; }
   size_t size() const { return entries_.size(); }
 
+  /// Sequence number of the loaded catalog image (for tests).
+  uint64_t sequence() const { return seq_; }
+  /// Slot page the loaded image occupies: 0 or 1 (for tests).
+  PageId active_slot() const { return active_slot_; }
+
   static constexpr size_t kMaxNameLen = 47;  // + NUL in the record
-  static constexpr size_t kMaxEntries = 56;
+  static constexpr size_t kMaxEntries = 48;
+  /// Free-page ids beyond this are dropped at Save (they leak until a
+  /// future compaction, but the catalog stays single-page).
+  static constexpr size_t kMaxFreeEntries = 144;
 
  private:
+  enum class SlotState { kEmpty, kValid, kTorn, kInvalid, kError };
+
+  /// Parses slot page `slot`. kEmpty: never written (all zero). kValid:
+  /// intact image, outputs parsed. kTorn: the page trailer does not verify
+  /// — the signature of a write cut short by a crash. kInvalid: trailer
+  /// intact but payload malformed — software corruption, not a crash
+  /// artifact. kError: the fetch failed for a non-corruption reason (I/O
+  /// error) — not a statement about the slot at all. `error` holds the
+  /// cause for the last three.
+  SlotState LoadSlot(PageId slot, std::vector<CatalogEntry>* entries,
+                     std::vector<PageId>* free_pages, uint64_t* seq,
+                     Status* error);
+  /// Serializes the current state into slot page `slot` with sequence
+  /// `seq` and marks it dirty. Does not flush.
+  Status WriteSlot(PageId slot, uint64_t seq,
+                   const std::vector<PageId>& free_pages);
+
   BufferPool* pool_;
   std::vector<CatalogEntry> entries_;
+  uint64_t seq_ = 0;
+  PageId active_slot_ = 0;  ///< slot holding the newest durable image
+  bool loaded_ = false;     ///< Save requires a prior successful Load
 };
 
 }  // namespace xrtree

@@ -42,26 +42,34 @@ uint32_t Crc32(const void* data, size_t n, uint32_t crc) {
   return crc ^ 0xFFFFFFFFu;
 }
 
-uint32_t ComputePageCrc(const char* page, PageId page_id) {
+uint32_t ComputePageCrc(const char* page, PageId page_id, uint64_t lsn) {
   uint32_t crc = Crc32(page, PageLayout::kDataSize);
   uint16_t version = PageLayout::kFormatVersion;
   crc = Crc32(&version, sizeof(version), crc);
   crc = Crc32(&page_id, sizeof(page_id), crc);
+  crc = Crc32(&lsn, sizeof(lsn), crc);
   return crc;
 }
 
-void StampPageTrailer(char* page, PageId page_id) {
+void StampPageTrailer(char* page, PageId page_id, uint64_t lsn) {
   PageTrailer t;
-  t.crc = ComputePageCrc(page, page_id);
+  t.crc = ComputePageCrc(page, page_id, lsn);
   t.version = PageLayout::kFormatVersion;
   t.reserved = 0;
+  t.lsn = lsn;
   std::memcpy(page + PageLayout::kDataSize, &t, sizeof(t));
+}
+
+uint64_t PageTrailerLsn(const char* page) {
+  PageTrailer t;
+  std::memcpy(&t, page + PageLayout::kDataSize, sizeof(t));
+  return t.lsn;
 }
 
 Status VerifyPageTrailer(const char* page, PageId page_id) {
   PageTrailer t;
   std::memcpy(&t, page + PageLayout::kDataSize, sizeof(t));
-  if (t.crc == 0 && t.version == 0 && t.reserved == 0) {
+  if (t.crc == 0 && t.version == 0 && t.reserved == 0 && t.lsn == 0) {
     // Unstamped trailer: legal only for a never-written (all-zero) page.
     if (AllZero(page, PageLayout::kDataSize)) return Status::Ok();
     return Status::Corruption("page " + std::to_string(page_id) +
@@ -79,7 +87,7 @@ Status VerifyPageTrailer(const char* page, PageId page_id) {
     return Status::Corruption("page " + std::to_string(page_id) +
                               ": nonzero reserved trailer field");
   }
-  uint32_t expect = ComputePageCrc(page, page_id);
+  uint32_t expect = ComputePageCrc(page, page_id, t.lsn);
   if (t.crc != expect) {
     return Status::Corruption("page " + std::to_string(page_id) +
                               ": checksum mismatch");

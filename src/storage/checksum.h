@@ -14,12 +14,17 @@ namespace xrtree {
 uint32_t Crc32(const void* data, size_t n, uint32_t crc = 0);
 
 /// The checksum a page with payload `page` stored at `page_id` must carry:
-/// CRC over the payload, the format version, and the page id.
-uint32_t ComputePageCrc(const char* page, PageId page_id);
+/// CRC over the payload, the format version, the page id and the LSN.
+uint32_t ComputePageCrc(const char* page, PageId page_id, uint64_t lsn);
 
 /// Writes the integrity trailer into the last PageLayout::kTrailerSize
-/// bytes of `page`. Called by the BufferPool on every physical write-back.
-void StampPageTrailer(char* page, PageId page_id);
+/// bytes of `page`. Called by the BufferPool on every physical write-back
+/// (lsn = 0 when no WAL is attached) and by the WAL when logging a page
+/// image (lsn = the image record's log sequence number).
+void StampPageTrailer(char* page, PageId page_id, uint64_t lsn = 0);
+
+/// Reads the LSN recorded in `page`'s trailer (0 if never logged).
+uint64_t PageTrailerLsn(const char* page);
 
 /// Verifies the trailer of a page just read from disk. An entirely zero
 /// page (trailer and payload) is accepted as freshly allocated; anything

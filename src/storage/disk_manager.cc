@@ -36,7 +36,7 @@ Status DiskManager::Open(const std::string& path, const DiskOptions& options) {
     return Status::IoError("lseek: " + std::string(std::strerror(errno)));
   }
   PageId pages = static_cast<PageId>((size + kPageSize - 1) / kPageSize);
-  next_page_id_.store(pages > 0 ? pages : 1);
+  next_page_id_.store(pages > kNumReservedPages ? pages : kNumReservedPages);
   return Status::Ok();
 }
 
@@ -120,6 +120,14 @@ Status DiskManager::WritePage(PageId page_id, const char* in) {
     put += static_cast<size_t>(n);
   }
   ++stats_.disk_writes;
+  // Keep the allocation high-water mark past every written page. WAL
+  // recovery writes pages that were allocated before the crash but never
+  // reached the (shorter) data file; without this, AllocatePage could hand
+  // those ids out again and the fresh pages would overwrite recovered data.
+  PageId min_next = page_id + 1;
+  PageId cur = next_page_id_.load();
+  while (cur < min_next && !next_page_id_.compare_exchange_weak(cur, min_next)) {
+  }
   return Status::Ok();
 }
 

@@ -57,11 +57,12 @@ class DiskManager final : public DiskInterface {
   /// Writes kPageSize bytes from `in` to page `page_id`.
   Status WritePage(PageId page_id, const char* in) override;
 
-  /// Allocates a fresh page id (monotonically increasing; no free list —
-  /// deallocated pages are recycled by the higher-level structures).
+  /// Allocates a fresh page id past the high-water mark. Recycling of freed
+  /// pages happens above this layer: the BufferPool keeps a free list that
+  /// the Catalog persists, and only falls through to this when it is empty.
   PageId AllocatePage() override;
 
-  /// Number of pages allocated so far (including the header page).
+  /// Number of pages allocated so far (including the reserved header pages).
   PageId num_pages() const override { return next_page_id_.load(); }
 
   Status Sync() override;
@@ -82,7 +83,7 @@ class DiskManager final : public DiskInterface {
   int fd_ = -1;
   std::string path_;
   DiskOptions options_;
-  std::atomic<PageId> next_page_id_{1};  // page 0 = file header
+  std::atomic<PageId> next_page_id_{kNumReservedPages};  // 0/1 = header slots
   mutable std::mutex mu_;
   IoStats stats_;
 };

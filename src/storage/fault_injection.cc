@@ -26,7 +26,7 @@ FaultPlan FaultPlan::RandomCrashPlan(uint64_t seed, uint64_t max_write_op) {
 void FaultInjectingDisk::SetPlan(FaultPlan plan) {
   std::lock_guard<std::mutex> lock(mu_);
   faults_ = std::move(plan.faults);
-  crashed_ = false;
+  power_lost_->store(false);
   reads_ = 0;
   writes_ = 0;
   faults_injected_ = 0;
@@ -37,11 +37,21 @@ void FaultInjectingDisk::Arm(Fault f) {
   faults_.push_back(f);
 }
 
-bool FaultInjectingDisk::TakeFault(bool is_write, uint64_t op, Fault* out) {
+void FaultInjectingDisk::ForceCrash() {
+  std::lock_guard<std::mutex> lock(mu_);
+  power_lost_->store(true);
+}
+
+bool FaultInjectingDisk::TakeFault(bool is_write, uint64_t op, PageId page_id,
+                                   Fault* out) {
   for (auto it = faults_.begin(); it != faults_.end(); ++it) {
     bool write_kind = it->kind != FaultKind::kFailRead &&
                       it->kind != FaultKind::kTransientRead;
-    if (write_kind == is_write && it->op == op) {
+    if (write_kind != is_write) continue;
+    bool match = (it->kind == FaultKind::kTornWriteToPage)
+                     ? it->op == page_id
+                     : it->op == op;
+    if (match) {
       *out = *it;
       faults_.erase(it);
       ++faults_injected_;
@@ -51,10 +61,7 @@ bool FaultInjectingDisk::TakeFault(bool is_write, uint64_t op, Fault* out) {
   return false;
 }
 
-bool FaultInjectingDisk::crashed() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return crashed_;
-}
+bool FaultInjectingDisk::crashed() const { return power_lost_->load(); }
 
 uint64_t FaultInjectingDisk::reads() const {
   std::lock_guard<std::mutex> lock(mu_);
@@ -76,7 +83,7 @@ Status FaultInjectingDisk::ReadPage(PageId page_id, char* out) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++reads_;
-    if (TakeFault(/*is_write=*/false, reads_, &fault)) {
+    if (TakeFault(/*is_write=*/false, reads_, page_id, &fault)) {
       if (fault.kind == FaultKind::kTransientRead) {
         return Status::IoError("injected transient read fault (EINTR) at "
                                "read #" +
@@ -95,8 +102,8 @@ Status FaultInjectingDisk::WritePage(PageId page_id, const char* in) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++writes_;
-    if (crashed_) return Status::Ok();  // power lost: write goes nowhere
-    fired = TakeFault(/*is_write=*/true, writes_, &fault);
+    if (power_lost_->load()) return Status::Ok();  // write goes nowhere
+    fired = TakeFault(/*is_write=*/true, writes_, page_id, &fault);
     if (fired) {
       switch (fault.kind) {
         case FaultKind::kFailWrite:
@@ -107,17 +114,19 @@ Status FaultInjectingDisk::WritePage(PageId page_id, const char* in) {
                                  "at write #" +
                                  std::to_string(writes_));
         case FaultKind::kCrash:
-          crashed_ = true;
+          power_lost_->store(true);
           return Status::Ok();
         case FaultKind::kTornWrite:
-          crashed_ = true;
+        case FaultKind::kTornWriteToPage:
+          power_lost_->store(true);
           break;  // handled below, outside the switch
         default:
           break;
       }
     }
   }
-  if (fired && fault.kind == FaultKind::kTornWrite) {
+  if (fired && (fault.kind == FaultKind::kTornWrite ||
+                fault.kind == FaultKind::kTornWriteToPage)) {
     // Persist only the first `arg` bytes of the new image; the tail keeps
     // whatever the page held before (zeros if it was never written).
     char torn[kPageSize];
@@ -132,13 +141,75 @@ Status FaultInjectingDisk::WritePage(PageId page_id, const char* in) {
 }
 
 Status FaultInjectingDisk::Sync() {
+  // After a simulated power loss there is nothing to make durable and no
+  // error the lost machine could have reported.
+  if (power_lost_->load()) return Status::Ok();
+  return base_->Sync();
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjectingWalFile
+
+void FaultInjectingWalFile::TearNthAppend(uint64_t n, uint64_t keep_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  faults_.push_back({n, keep_bytes, /*drop=*/false});
+}
+
+void FaultInjectingWalFile::DropFromNthAppend(uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  faults_.push_back({n, 0, /*drop=*/true});
+}
+
+uint64_t FaultInjectingWalFile::appends() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return appends_;
+}
+
+Status FaultInjectingWalFile::Append(const void* data, size_t n) {
+  AppendFault fault{};
+  bool fired = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    // After a simulated power loss there is nothing to make durable and no
-    // error the lost machine could have reported.
-    if (crashed_) return Status::Ok();
+    ++appends_;
+    if (power_lost_->load()) return Status::Ok();  // log frozen at crash
+    for (auto it = faults_.begin(); it != faults_.end(); ++it) {
+      if (it->op == appends_) {
+        fault = *it;
+        faults_.erase(it);
+        fired = true;
+        break;
+      }
+    }
+    if (fired) power_lost_->store(true);
   }
+  if (!fired) return base_->Append(data, n);
+  if (fault.drop) return Status::Ok();
+  // Torn append: a prefix reaches the file before power is lost. The Wal's
+  // CRC framing must detect the stub on recovery.
+  size_t keep = std::min<size_t>(fault.keep_bytes, n);
+  if (keep > 0) {
+    XR_RETURN_IF_ERROR(base_->Append(data, keep));
+  }
+  return Status::Ok();
+}
+
+Status FaultInjectingWalFile::Sync() {
+  if (power_lost_->load()) return Status::Ok();
   return base_->Sync();
+}
+
+Result<uint64_t> FaultInjectingWalFile::Size() const { return base_->Size(); }
+
+Status FaultInjectingWalFile::ReadAt(uint64_t offset, void* out, size_t n) {
+  return base_->ReadAt(offset, out, n);
+}
+
+Status FaultInjectingWalFile::Truncate(uint64_t size) {
+  // A post-crash truncate (e.g. a checkpoint racing the power loss) must
+  // not shrink the frozen log: recovery sees it exactly as the crash left
+  // it.
+  if (power_lost_->load()) return Status::Ok();
+  return base_->Truncate(size);
 }
 
 }  // namespace xrtree

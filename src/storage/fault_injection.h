@@ -1,19 +1,22 @@
 #ifndef XRTREE_STORAGE_FAULT_INJECTION_H_
 #define XRTREE_STORAGE_FAULT_INJECTION_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <vector>
 
 #include "common/status.h"
 #include "storage/disk_interface.h"
+#include "storage/wal.h"
 
 namespace xrtree {
 
 /// Kinds of storage faults the FaultInjectingDisk can inject. Each fault is
 /// armed against the Nth read or the Nth write (1-based, counted separately
 /// per stream) and fires exactly once; kTornWrite and kCrash additionally
-/// flip the disk into a persistent "crashed" state.
+/// flip the disk into a persistent "power lost" state.
 enum class FaultKind : uint8_t {
   /// The Nth read returns Status::IoError.
   kFailRead,
@@ -32,14 +35,19 @@ enum class FaultKind : uint8_t {
   /// caller sees success, the file never changes. Models power loss with a
   /// volatile write cache.
   kCrash,
+  /// Like kTornWrite, but armed against the next write *to a specific
+  /// page*: `op` holds the page id, `arg` the bytes persisted. Used for
+  /// directed tests tearing the catalog header slots (pages 0/1).
+  kTornWriteToPage,
 };
 
 /// One armed fault. `op` indexes the read stream for read kinds and the
-/// write stream for write kinds.
+/// write stream for write kinds — except kTornWriteToPage, where it holds
+/// the target page id.
 struct Fault {
   FaultKind kind;
   uint64_t op;
-  uint32_t arg = 0;  ///< kTornWrite: bytes of the new image persisted
+  uint32_t arg = 0;  ///< torn kinds: bytes of the new image persisted
 };
 
 /// A reproducible fault schedule. Derive one from a seed so every crash
@@ -53,6 +61,11 @@ struct FaultPlan {
   static FaultPlan RandomCrashPlan(uint64_t seed, uint64_t max_write_op);
 };
 
+/// Power-loss state shared between a FaultInjectingDisk and any
+/// FaultInjectingWalFile layered over the same database: one power event
+/// must freeze both files at the same instant.
+using PowerState = std::shared_ptr<std::atomic<bool>>;
+
 /// A DiskInterface decorator that injects faults according to a schedule.
 /// Wrap the real DiskManager with one of these to test that the buffer
 /// pool, indexes and catalog surface (never swallow) storage errors, and
@@ -60,10 +73,11 @@ struct FaultPlan {
 /// corruption. Thread-safe; pass-through costs one mutex acquisition.
 class FaultInjectingDisk : public DiskInterface {
  public:
-  explicit FaultInjectingDisk(DiskInterface* base) : base_(base) {}
+  explicit FaultInjectingDisk(DiskInterface* base)
+      : base_(base), power_lost_(std::make_shared<std::atomic<bool>>(false)) {}
 
-  /// Replaces the armed fault schedule and resets crash state and the
-  /// read/write op counters.
+  /// Replaces the armed fault schedule and resets the power-loss state and
+  /// the read/write op counters.
   void SetPlan(FaultPlan plan);
 
   /// Convenience single-fault armers (append to the current schedule;
@@ -80,10 +94,23 @@ class FaultInjectingDisk : public DiskInterface {
     Arm({FaultKind::kTornWrite, n, bytes_persisted});
   }
   void CrashAtWrite(uint64_t n) { Arm({FaultKind::kCrash, n, 0}); }
+  /// Tears the next write to `page_id` after `bytes_persisted` bytes, then
+  /// drops power.
+  void TearNextWriteToPage(PageId page_id, uint32_t bytes_persisted) {
+    Arm({FaultKind::kTornWriteToPage, page_id, bytes_persisted});
+  }
 
-  /// True once a kTornWrite/kCrash fault has fired; all writes and syncs
-  /// are silently dropped from that point on.
+  /// Drops power immediately: every later write/sync (on this disk and on
+  /// any WalFile sharing power()) is silently discarded.
+  void ForceCrash();
+
+  /// True once a power-loss fault has fired; all writes and syncs are
+  /// silently dropped from that point on.
   bool crashed() const;
+
+  /// The shared power-loss flag, for wiring a FaultInjectingWalFile to the
+  /// same simulated machine.
+  const PowerState& power() const { return power_lost_; }
 
   uint64_t reads() const;
   uint64_t writes() const;
@@ -100,16 +127,57 @@ class FaultInjectingDisk : public DiskInterface {
  private:
   void Arm(Fault f);
   /// Finds, consumes and returns the armed fault matching op `op` of the
-  /// given stream (reads or writes), if any. mu_ held.
-  bool TakeFault(bool is_write, uint64_t op, Fault* out);
+  /// given stream (reads or writes) or targeting `page_id`, if any.
+  /// mu_ held.
+  bool TakeFault(bool is_write, uint64_t op, PageId page_id, Fault* out);
 
   DiskInterface* const base_;
   mutable std::mutex mu_;
   std::vector<Fault> faults_;
-  bool crashed_ = false;
+  PowerState power_lost_;
   uint64_t reads_ = 0;
   uint64_t writes_ = 0;
   uint64_t faults_injected_ = 0;
+};
+
+/// A WalFile decorator modelling power loss in the log stream. Shares the
+/// power flag with the FaultInjectingDisk wrapping the same database's data
+/// file, so a crash triggered on either side freezes both files at that
+/// instant: later appends, truncates and syncs report success but change
+/// nothing, keeping the on-disk log exactly as the crash left it.
+class FaultInjectingWalFile final : public WalFile {
+ public:
+  FaultInjectingWalFile(WalFile* base, PowerState power)
+      : base_(base), power_lost_(std::move(power)) {}
+
+  /// The Nth append (1-based) persists only its first `keep_bytes` bytes
+  /// (clamped to the append's size), then power is lost.
+  void TearNthAppend(uint64_t n, uint64_t keep_bytes);
+
+  /// The Nth append (and everything after it) is silently dropped: power
+  /// is lost just before it reaches the file.
+  void DropFromNthAppend(uint64_t n);
+
+  uint64_t appends() const;
+
+  Status Append(const void* data, size_t n) override;
+  Status Sync() override;
+  Result<uint64_t> Size() const override;
+  Status ReadAt(uint64_t offset, void* out, size_t n) override;
+  Status Truncate(uint64_t size) override;
+
+ private:
+  struct AppendFault {
+    uint64_t op;
+    uint64_t keep_bytes;  ///< bytes persisted before power loss
+    bool drop;            ///< true: persist nothing at all
+  };
+
+  WalFile* const base_;
+  PowerState power_lost_;
+  mutable std::mutex mu_;
+  std::vector<AppendFault> faults_;
+  uint64_t appends_ = 0;
 };
 
 }  // namespace xrtree

@@ -7,11 +7,16 @@
 
 namespace xrtree {
 
-/// Logical page number within a database file. Page 0 is the file header.
+/// Logical page number within a database file. Pages 0 and 1 are the two
+/// catalog header slots (see storage/catalog.h).
 using PageId = uint32_t;
 
 /// Sentinel for "no page".
 inline constexpr PageId kInvalidPageId = 0xFFFFFFFFu;
+
+/// Pages reserved at the front of every database file: the ping-pong pair
+/// of catalog header slots. The first allocatable data page is page 2.
+inline constexpr PageId kNumReservedPages = 2;
 
 /// Fixed page size. The paper targets 2002-era disk pages; 4 KiB keeps the
 /// fanout (~250 element entries per leaf) in the same regime.
@@ -23,10 +28,11 @@ inline constexpr size_t kPageSize = 4096;
 /// stamped by the BufferPool on write-back and verified on fetch. Layout
 /// headers must size their slot arrays against kDataSize, never kPageSize.
 struct PageLayout {
-  static constexpr size_t kTrailerSize = 8;
+  static constexpr size_t kTrailerSize = 16;
   static constexpr size_t kDataSize = kPageSize - kTrailerSize;
   /// Bumped whenever the on-disk page format changes incompatibly.
-  static constexpr uint16_t kFormatVersion = 1;
+  /// v2: trailer grew an LSN field (8 -> 16 bytes) for WAL recovery.
+  static constexpr uint16_t kFormatVersion = 2;
 };
 
 /// Usable payload bytes of a page (excludes the integrity trailer).
@@ -38,13 +44,18 @@ inline constexpr size_t kPageDataSize = PageLayout::kDataSize;
 inline constexpr int kMaxTreeDepth = 64;
 
 /// The integrity trailer occupying the last PageLayout::kTrailerSize bytes.
-/// `crc` covers the payload plus the version and the page id (so a page
-/// written to the wrong offset — a misdirected write — fails verification).
-/// An all-zero trailer is only legal on an all-zero (never written) page.
+/// `crc` covers the payload plus the version, the page id (so a page
+/// written to the wrong offset — a misdirected write — fails verification)
+/// and the LSN. `lsn` is the log sequence number of the WAL record that
+/// last carried this page image (0 when the page was written without a
+/// WAL attached); recovery and debugging use it to place a page in log
+/// order. An all-zero trailer is only legal on an all-zero (never written)
+/// page.
 struct PageTrailer {
   uint32_t crc;
   uint16_t version;
   uint16_t reserved;
+  uint64_t lsn;
 };
 static_assert(sizeof(PageTrailer) == PageLayout::kTrailerSize);
 

@@ -1,0 +1,384 @@
+#include "storage/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "storage/checksum.h"
+
+namespace xrtree {
+
+namespace {
+
+bool RetryableErrno(int err) { return err == EINTR || err == EAGAIN; }
+
+constexpr int kMaxIoRetries = 16;
+
+/// On-log record framing. `crc` covers the header bytes after itself plus
+/// the payload, so a torn append is detected wherever the tear lands.
+/// `lsn` is the record's byte offset in the log, making every record
+/// self-locating: a scan can cross-check it and a stale record copied from
+/// elsewhere never validates.
+struct RecordHeader {
+  uint32_t crc;
+  uint32_t size;  ///< payload bytes (kPageSize for images, 0 for commits)
+  uint64_t lsn;
+  uint32_t type;
+  uint32_t page_id;
+};
+static_assert(sizeof(RecordHeader) == 24, "log record header layout");
+
+constexpr uint32_t kPageImageRecord = 1;
+constexpr uint32_t kCommitRecord = 2;
+
+uint32_t RecordCrc(const RecordHeader& h, const char* payload) {
+  const char* after_crc =
+      reinterpret_cast<const char*>(&h) + sizeof(h.crc);
+  uint32_t crc = Crc32(after_crc, sizeof(h) - sizeof(h.crc));
+  if (h.size > 0) crc = Crc32(payload, h.size, crc);
+  return crc;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// PosixWalFile
+
+PosixWalFile::~PosixWalFile() { Close().ok(); }
+
+Status PosixWalFile::Open(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ >= 0) return Status::InvalidArgument("PosixWalFile already open");
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    return Status::IoError("open(" + path + "): " + std::strerror(errno));
+  }
+  off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size < 0) {
+    ::close(fd);
+    return Status::IoError("lseek: " + std::string(std::strerror(errno)));
+  }
+  fd_ = fd;
+  path_ = path;
+  end_ = static_cast<uint64_t>(size);
+  return Status::Ok();
+}
+
+Status PosixWalFile::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) return Status::Ok();
+  Status result = Status::Ok();
+  if (::fsync(fd_) != 0) {
+    result = Status::IoError("fsync(close): " +
+                             std::string(std::strerror(errno)));
+  }
+  if (::close(fd_) != 0 && result.ok()) {
+    result = Status::IoError("close: " + std::string(std::strerror(errno)));
+  }
+  fd_ = -1;
+  return result;
+}
+
+Status PosixWalFile::Append(const void* data, size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) return Status::InvalidArgument("wal file not open");
+  const char* p = static_cast<const char*>(data);
+  size_t put = 0;
+  int retries = 0;
+  while (put < n) {
+    ssize_t w = ::pwrite(fd_, p + put, n - put,
+                         static_cast<off_t>(end_ + put));
+    if (w <= 0) {
+      if ((w < 0 && RetryableErrno(errno)) && ++retries <= kMaxIoRetries) {
+        continue;
+      }
+      return Status::IoError("wal pwrite: " +
+                             std::string(w < 0 ? std::strerror(errno)
+                                               : "no progress"));
+    }
+    put += static_cast<size_t>(w);
+  }
+  end_ += n;
+  return Status::Ok();
+}
+
+Status PosixWalFile::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) return Status::InvalidArgument("wal file not open");
+  if (::fsync(fd_) != 0) {
+    return Status::IoError("wal fsync: " + std::string(std::strerror(errno)));
+  }
+  return Status::Ok();
+}
+
+Result<uint64_t> PosixWalFile::Size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) return Status::InvalidArgument("wal file not open");
+  return end_;
+}
+
+Status PosixWalFile::ReadAt(uint64_t offset, void* out, size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) return Status::InvalidArgument("wal file not open");
+  char* p = static_cast<char*>(out);
+  size_t got = 0;
+  int retries = 0;
+  while (got < n) {
+    ssize_t r = ::pread(fd_, p + got, n - got,
+                        static_cast<off_t>(offset + got));
+    if (r < 0) {
+      if (RetryableErrno(errno) && ++retries <= kMaxIoRetries) continue;
+      return Status::IoError("wal pread: " +
+                             std::string(std::strerror(errno)));
+    }
+    if (r == 0) return Status::IoError("wal pread: unexpected end of log");
+    got += static_cast<size_t>(r);
+  }
+  return Status::Ok();
+}
+
+Status PosixWalFile::Truncate(uint64_t size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) return Status::InvalidArgument("wal file not open");
+  int retries = 0;
+  while (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+    if (RetryableErrno(errno) && ++retries <= kMaxIoRetries) continue;
+    return Status::IoError("wal ftruncate: " +
+                           std::string(std::strerror(errno)));
+  }
+  end_ = size;
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Wal
+
+Wal::~Wal() { Close().ok(); }
+
+Status Wal::Open(const std::string& path, const WalOptions& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) return Status::InvalidArgument("Wal already open");
+  auto file = std::make_unique<PosixWalFile>();
+  XR_RETURN_IF_ERROR(file->Open(path));
+  XR_ASSIGN_OR_RETURN(uint64_t size, file->Size());
+  owned_file_ = std::move(file);
+  file_ = owned_file_.get();
+  options_ = options;
+  end_ = size;
+  committed_end_ = 0;
+  ready_ = (size == 0);  // a non-empty log must go through Recover first
+  images_.clear();
+  stats_ = WalStats{};
+  return Status::Ok();
+}
+
+Status Wal::Attach(WalFile* file, const WalOptions& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) return Status::InvalidArgument("Wal already open");
+  XR_ASSIGN_OR_RETURN(uint64_t size, file->Size());
+  file_ = file;
+  options_ = options;
+  end_ = size;
+  committed_end_ = 0;
+  ready_ = (size == 0);
+  images_.clear();
+  stats_ = WalStats{};
+  return Status::Ok();
+}
+
+Status Wal::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  file_ = nullptr;
+  ready_ = false;
+  images_.clear();
+  Status result = Status::Ok();
+  if (owned_file_ != nullptr) {
+    result = owned_file_->Close();
+    owned_file_.reset();
+  }
+  return result;
+}
+
+Status Wal::Recover(DiskInterface* disk) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return Status::InvalidArgument("Wal not open");
+  XR_ASSIGN_OR_RETURN(uint64_t size, file_->Size());
+
+  // Scan pass: walk CRC-framed records from the front. The scan stops at
+  // the first record that does not validate — a torn append, a partial
+  // header at EOF, or garbage — and everything from there on is a dead
+  // tail. Only images at or before the last intact commit record are redone.
+  std::unordered_map<PageId, uint64_t> committed_images;  // id -> payload off
+  std::unordered_map<PageId, uint64_t> pending_images;
+  uint64_t commits = 0;
+  uint64_t offset = 0;
+  std::vector<char> payload(kPageSize);
+  while (offset + sizeof(RecordHeader) <= size) {
+    RecordHeader h;
+    XR_RETURN_IF_ERROR(file_->ReadAt(offset, &h, sizeof(h)));
+    if (h.lsn != offset || h.size > kPageSize ||
+        offset + sizeof(h) + h.size > size) {
+      break;  // torn or garbage tail
+    }
+    if (h.size > 0) {
+      XR_RETURN_IF_ERROR(
+          file_->ReadAt(offset + sizeof(h), payload.data(), h.size));
+    }
+    if (h.crc != RecordCrc(h, payload.data())) break;
+    if (h.type == kPageImageRecord && h.size == kPageSize &&
+        h.page_id != kInvalidPageId) {
+      pending_images[h.page_id] = offset + sizeof(h);
+    } else if (h.type == kCommitRecord && h.size == 0) {
+      for (const auto& [id, off] : pending_images) {
+        committed_images[id] = off;
+      }
+      pending_images.clear();
+      ++commits;
+    } else {
+      break;  // unknown record type: treat as tail corruption
+    }
+    offset += sizeof(h) + h.size;
+  }
+
+  // Redo pass: write the latest committed image of every page to the data
+  // file, make it durable, then truncate the log. A crash anywhere in here
+  // re-runs recovery from the same log — applying full page images is
+  // idempotent.
+  for (const auto& [id, off] : committed_images) {
+    XR_RETURN_IF_ERROR(file_->ReadAt(off, payload.data(), kPageSize));
+    XR_RETURN_IF_ERROR(disk->WritePage(id, payload.data()));
+  }
+  if (!committed_images.empty()) {
+    XR_RETURN_IF_ERROR(disk->Sync());
+  }
+  XR_RETURN_IF_ERROR(file_->Truncate(0));
+  XR_RETURN_IF_ERROR(file_->Sync());
+
+  end_ = 0;
+  committed_end_ = 0;
+  images_.clear();
+  ready_ = true;
+  stats_.recovered_commits = commits;
+  stats_.recovered_pages = committed_images.size();
+  return Status::Ok();
+}
+
+Status Wal::AppendRecord(uint32_t type, PageId page_id, const char* payload,
+                         size_t payload_size) {
+  RecordHeader h;
+  h.size = static_cast<uint32_t>(payload_size);
+  h.lsn = end_;
+  h.type = type;
+  h.page_id = page_id;
+  h.crc = RecordCrc(h, payload);
+  // One Append per record: header and payload tear together, never apart.
+  std::vector<char> buf(sizeof(h) + payload_size);
+  std::memcpy(buf.data(), &h, sizeof(h));
+  if (payload_size > 0) std::memcpy(buf.data() + sizeof(h), payload,
+                                    payload_size);
+  XR_RETURN_IF_ERROR(file_->Append(buf.data(), buf.size()));
+  end_ += buf.size();
+  stats_.bytes_appended += buf.size();
+  return Status::Ok();
+}
+
+Status Wal::LogPageImage(PageId page_id, char* page) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return Status::InvalidArgument("Wal not open");
+  if (!ready_) {
+    return Status::InvalidArgument("Wal has an unrecovered log; run Recover");
+  }
+  if (page_id == kInvalidPageId) {
+    return Status::InvalidArgument("LogPageImage(kInvalidPageId)");
+  }
+  const uint64_t lsn = end_;
+  StampPageTrailer(page, page_id, lsn);
+  XR_RETURN_IF_ERROR(AppendRecord(kPageImageRecord, page_id, page, kPageSize));
+  images_[page_id] = lsn + sizeof(RecordHeader);
+  ++stats_.images_logged;
+  return Status::Ok();
+}
+
+bool Wal::HasImage(PageId page_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return images_.count(page_id) > 0;
+}
+
+Status Wal::ReadImage(PageId page_id, char* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return Status::InvalidArgument("Wal not open");
+  auto it = images_.find(page_id);
+  if (it == images_.end()) {
+    return Status::NotFound("no logged image for page " +
+                            std::to_string(page_id));
+  }
+  XR_RETURN_IF_ERROR(file_->ReadAt(it->second, out, kPageSize));
+  ++stats_.fetches_from_log;
+  return Status::Ok();
+}
+
+Status Wal::Commit() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return Status::InvalidArgument("Wal not open");
+  if (!ready_) {
+    return Status::InvalidArgument("Wal has an unrecovered log; run Recover");
+  }
+  if (end_ == committed_end_) return Status::Ok();  // nothing to commit
+  XR_RETURN_IF_ERROR(AppendRecord(kCommitRecord, kInvalidPageId, nullptr, 0));
+  XR_RETURN_IF_ERROR(file_->Sync());
+  committed_end_ = end_;
+  ++stats_.commits;
+  return Status::Ok();
+}
+
+Status Wal::Checkpoint(DiskInterface* disk) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return Status::InvalidArgument("Wal not open");
+  if (end_ != committed_end_) {
+    // Truncating here would drop images that a later Commit would have made
+    // durable; the caller must commit first.
+    return Status::InvalidArgument("Checkpoint with uncommitted log tail");
+  }
+  std::vector<char> payload(kPageSize);
+  for (const auto& [id, off] : images_) {
+    XR_RETURN_IF_ERROR(file_->ReadAt(off, payload.data(), kPageSize));
+    XR_RETURN_IF_ERROR(disk->WritePage(id, payload.data()));
+  }
+  if (!images_.empty()) {
+    XR_RETURN_IF_ERROR(disk->Sync());
+  }
+  // A crash between the data-file sync and the truncate leaves the full
+  // log in place; recovery re-applies the same images — harmless.
+  XR_RETURN_IF_ERROR(file_->Truncate(0));
+  XR_RETURN_IF_ERROR(file_->Sync());
+  end_ = 0;
+  committed_end_ = 0;
+  images_.clear();
+  ++stats_.checkpoints;
+  return Status::Ok();
+}
+
+bool Wal::needs_checkpoint() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return end_ >= options_.checkpoint_threshold_bytes;
+}
+
+uint64_t Wal::end_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return end_;
+}
+
+uint64_t Wal::recovered_commits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_.recovered_commits;
+}
+
+WalStats Wal::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace xrtree

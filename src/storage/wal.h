@@ -1,0 +1,188 @@
+#ifndef XRTREE_STORAGE_WAL_H_
+#define XRTREE_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/disk_interface.h"
+#include "storage/page.h"
+
+namespace xrtree {
+
+/// Byte-append abstraction over the sidecar log file. The real
+/// implementation is PosixWalFile; tests wrap one in a
+/// FaultInjectingWalFile to model torn log tails and power loss.
+class WalFile {
+ public:
+  virtual ~WalFile() = default;
+
+  /// Appends `n` bytes at the current end of the file. A single Append is
+  /// the tearing granularity of the power-loss fault model: a crash during
+  /// an append persists some prefix of it.
+  virtual Status Append(const void* data, size_t n) = 0;
+
+  /// Forces appended bytes to durable storage.
+  virtual Status Sync() = 0;
+
+  virtual Result<uint64_t> Size() const = 0;
+
+  /// Reads exactly `n` bytes at `offset`; short reads are an error.
+  virtual Status ReadAt(uint64_t offset, void* out, size_t n) = 0;
+
+  /// Shrinks the file to `size` bytes and resets the append position.
+  virtual Status Truncate(uint64_t size) = 0;
+};
+
+/// File-backed WalFile with the same EINTR/short-transfer hardening as
+/// DiskManager. Thread-safe.
+class PosixWalFile final : public WalFile {
+ public:
+  PosixWalFile() = default;
+  ~PosixWalFile() override;
+
+  PosixWalFile(const PosixWalFile&) = delete;
+  PosixWalFile& operator=(const PosixWalFile&) = delete;
+
+  Status Open(const std::string& path);
+  Status Close();
+
+  Status Append(const void* data, size_t n) override;
+  Status Sync() override;
+  Result<uint64_t> Size() const override;
+  Status ReadAt(uint64_t offset, void* out, size_t n) override;
+  Status Truncate(uint64_t size) override;
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  uint64_t end_ = 0;  ///< append position == logical file size
+  mutable std::mutex mu_;
+};
+
+/// Tuning knobs for the write-ahead log.
+struct WalOptions {
+  /// Once the log grows past this many bytes, the next Commit triggers a
+  /// checkpoint (apply committed images to the data file, truncate the
+  /// log). Crash tests set this small so checkpoints happen under fire.
+  uint64_t checkpoint_threshold_bytes = 4ull << 20;
+};
+
+/// Counters for the update-cost study and tests.
+struct WalStats {
+  uint64_t images_logged = 0;
+  uint64_t bytes_appended = 0;
+  uint64_t commits = 0;
+  uint64_t checkpoints = 0;
+  uint64_t fetches_from_log = 0;   ///< page reads served from the log
+  uint64_t recovered_commits = 0;  ///< commit records replayed by Recover
+  uint64_t recovered_pages = 0;    ///< distinct pages redone by Recover
+};
+
+/// Physical-redo write-ahead log over full page after-images.
+///
+/// The log is a flat sequence of CRC-framed records, each stamped with an
+/// LSN (its byte offset in the log):
+///
+///   [crc | size | lsn | type | page_id | payload...]
+///
+/// A kPageImage record carries a full 4 KiB page image whose trailer was
+/// stamped (CRC + LSN) before framing; a kCommit record marks every
+/// preceding image as committed and is followed by an fsync barrier.
+///
+/// With a Wal attached, the BufferPool never writes the data file
+/// directly: every write-back appends an image here instead, and the data
+/// file is only updated from *committed* images — by Checkpoint during
+/// normal operation and by Recover after a crash. Uncommitted images
+/// therefore can never reach the data file (strict log-first ordering),
+/// and Recover discards any torn or uncommitted log tail, restoring the
+/// data file to exactly the last committed state.
+///
+/// Single-writer: one logical update runs at a time (the engine's update
+/// paths are serial); the Wal's own mutex only protects against concurrent
+/// readers.
+class Wal {
+ public:
+  Wal() = default;
+  ~Wal();
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Conventional sidecar path for a database file's log.
+  static std::string SidecarPath(const std::string& db_path) {
+    return db_path + ".wal";
+  }
+
+  /// Opens (creating if necessary) the log file at `path`. If the log is
+  /// non-empty, Recover() must run before any append.
+  Status Open(const std::string& path, const WalOptions& options = {});
+
+  /// Attaches an externally owned WalFile (fault-injection tests).
+  Status Attach(WalFile* file, const WalOptions& options = {});
+
+  Status Close();
+
+  /// Replays the log against `disk`: scans CRC-framed records, discards
+  /// the tail after the last intact commit record (torn or uncommitted),
+  /// redoes the latest committed image of every page, fsyncs the data
+  /// file, then truncates the log. Idempotent: recovering an already
+  /// recovered database is a no-op. Must be called (even on a fresh log)
+  /// before the Wal accepts appends.
+  Status Recover(DiskInterface* disk);
+
+  /// Appends a full after-image of `page` (kPageSize bytes). Stamps the
+  /// page's integrity trailer with the record's LSN first — the image in
+  /// the log, the image later applied to the data file, and the trailer
+  /// CRC all agree. Not yet durable: Commit() is the barrier.
+  Status LogPageImage(PageId page_id, char* page);
+
+  /// True if the log holds an image (committed or not) for `page_id`.
+  bool HasImage(PageId page_id) const;
+
+  /// Reads the latest logged image of `page_id` into `out`.
+  Status ReadImage(PageId page_id, char* out) const;
+
+  /// Appends a commit record and fsyncs the log. Everything logged before
+  /// this point is now durable and will be redone by Recover.
+  Status Commit();
+
+  /// Applies every committed image to `disk`, fsyncs it, then truncates
+  /// the log. Requires no uncommitted tail (call right after Commit()).
+  Status Checkpoint(DiskInterface* disk);
+
+  /// True once the log has outgrown the checkpoint threshold.
+  bool needs_checkpoint() const;
+
+  /// Current append position (the next record's LSN).
+  uint64_t end_lsn() const;
+
+  /// Commit records redone by the last Recover() (0 if none) — lets the
+  /// crash harness assert exactly which committed state was restored.
+  uint64_t recovered_commits() const;
+
+  WalStats stats() const;
+
+ private:
+  Status AppendRecord(uint32_t type, PageId page_id, const char* payload,
+                      size_t payload_size);  // mu_ held
+
+  std::unique_ptr<PosixWalFile> owned_file_;
+  WalFile* file_ = nullptr;
+  WalOptions options_;
+  bool ready_ = false;  ///< empty at Open, or Recover() has run
+  uint64_t end_ = 0;    ///< append offset == next LSN
+  uint64_t committed_end_ = 0;
+  /// Latest image per page: payload byte offset in the log.
+  std::unordered_map<PageId, uint64_t> images_;
+  mutable WalStats stats_;  // mutable: ReadImage is logically const
+  mutable std::mutex mu_;
+};
+
+}  // namespace xrtree
+
+#endif  // XRTREE_STORAGE_WAL_H_

@@ -29,7 +29,7 @@ Status StabList::FreeChainFrom(PageId first) {
     XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(cur));
     PageId next = StabHeader(raw)->next;
     XR_RETURN_IF_ERROR(pool_->UnpinPage(cur, false));
-    XR_RETURN_IF_ERROR(pool_->DiscardPage(cur));
+    XR_RETURN_IF_ERROR(pool_->FreePage(cur));
     cur = next;
   }
   return Status::Ok();
@@ -83,7 +83,7 @@ Status StabList::WriteAll(const std::vector<StabEntry>& entries) {
   // one page (§3.3). Page-granular: the page where each key's run begins.
   if (!use_ps_dir_ || pages_needed <= 1 || entries.size() == 0) {
     if (ps_dir_ != kInvalidPageId) {
-      XR_RETURN_IF_ERROR(pool_->DiscardPage(ps_dir_));
+      XR_RETURN_IF_ERROR(pool_->FreePage(ps_dir_));
       ps_dir_ = kInvalidPageId;
     }
     return Status::Ok();
@@ -271,7 +271,7 @@ Status StabList::Clear() {
   XR_RETURN_IF_ERROR(FreeChainFrom(head_));
   head_ = kInvalidPageId;
   if (ps_dir_ != kInvalidPageId) {
-    XR_RETURN_IF_ERROR(pool_->DiscardPage(ps_dir_));
+    XR_RETURN_IF_ERROR(pool_->FreePage(ps_dir_));
     ps_dir_ = kInvalidPageId;
   }
   return Status::Ok();

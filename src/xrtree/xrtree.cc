@@ -735,7 +735,7 @@ Status XrTree::HandleLeafUnderflow(std::vector<PathEntry>& path) {
     removed_slot = child_slot - 1;
     PageId dead = leaf_entry.page;
     leaf.Release();
-    XR_RETURN_IF_ERROR(pool_->DiscardPage(dead));
+    XR_RETURN_IF_ERROR(pool_->FreePage(dead));
   } else {
     PageId sib_id = XrChildAt(praw, child_slot + 1);
     XR_ASSIGN_OR_RETURN(Page * sraw, pool_->FetchPage(sib_id));
@@ -755,7 +755,7 @@ Status XrTree::HandleLeafUnderflow(std::vector<PathEntry>& path) {
     removed_slot = child_slot;
     PageId dead = sib_id;
     sib.Release();
-    XR_RETURN_IF_ERROR(pool_->DiscardPage(dead));
+    XR_RETURN_IF_ERROR(pool_->FreePage(dead));
   }
   leaf.Release();
 
@@ -771,7 +771,7 @@ Status XrTree::HandleLeafUnderflow(std::vector<PathEntry>& path) {
     root_ = phdr->leftmost;
     PageId dead = parent_entry.page;
     parent.Release();
-    return pool_->DiscardPage(dead);
+    return pool_->FreePage(dead);
   }
   uint32_t imin = internal_cap_ / 2;
   bool underflow = !parent_is_root && phdr->count < imin;
@@ -871,7 +871,7 @@ Status XrTree::HandleInternalUnderflow(std::vector<PathEntry>& path,
     PageId dead = node_entry.page;
     node.Release();
     sib.Release();
-    XR_RETURN_IF_ERROR(pool_->DiscardPage(dead));
+    XR_RETURN_IF_ERROR(pool_->FreePage(dead));
   } else {
     PageId sib_id = XrChildAt(praw, child_slot + 1);
     XR_ASSIGN_OR_RETURN(Page * sraw, pool_->FetchPage(sib_id));
@@ -890,7 +890,7 @@ Status XrTree::HandleInternalUnderflow(std::vector<PathEntry>& path,
     PageId dead = sib_id;
     sib.Release();
     node.Release();
-    XR_RETURN_IF_ERROR(pool_->DiscardPage(dead));
+    XR_RETURN_IF_ERROR(pool_->FreePage(dead));
   }
 
   XR_RETURN_IF_ERROR(RemoveSeparatorKey(parent, removed_slot));
@@ -903,7 +903,7 @@ Status XrTree::HandleInternalUnderflow(std::vector<PathEntry>& path,
     root_ = phdr->leftmost;
     PageId dead = parent_entry.page;
     parent.Release();
-    return pool_->DiscardPage(dead);
+    return pool_->FreePage(dead);
   }
   uint32_t imin2 = internal_cap_ / 2;
   bool underflow = !parent_is_root && phdr->count < imin2;

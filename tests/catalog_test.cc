@@ -1,5 +1,6 @@
 #include "storage/catalog.h"
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <gtest/gtest.h>
@@ -139,14 +140,18 @@ TEST(CatalogTest, RejectsUnknownVersion) {
 
 TEST(CatalogTest, RejectsEntryCountOutOfRange) {
   TempDb db;
-  ForgeCatalogHeader(db.pool(), kForgedMagic, /*version=*/1,
+  ForgeCatalogHeader(db.pool(), kForgedMagic, /*version=*/2,
                      /*count=*/Catalog::kMaxEntries + 1);
   Catalog catalog(db.pool());
   Status load = catalog.Load();
   EXPECT_TRUE(load.IsCorruption()) << load.ToString();
 }
 
-TEST(CatalogTest, DetectsTruncatedHeaderPage) {
+TEST(CatalogTest, TruncatedFirstSlotRecoversAsEmpty) {
+  // Chopping the file mid-slot-0 before any other slot exists leaves a
+  // torn slot + an empty slot — exactly what a crash during the very
+  // first save produces. The catalog must recover to the last committed
+  // state (the empty database), not refuse to open.
   TempDb db;
   {
     Catalog catalog(db.pool());
@@ -158,16 +163,132 @@ TEST(CatalogTest, DetectsTruncatedHeaderPage) {
     ASSERT_OK(catalog.Save());
     ASSERT_OK(db.pool()->FlushAll());
   }
-  // Chop the file mid-header-page: the read path zero-fills the missing
-  // tail, which strips the trailer off a nonzero payload.
   ASSERT_EQ(::truncate(db.path().c_str(), kPageSize / 2), 0);
   DiskManager fresh;
   ASSERT_OK(fresh.Open(db.path()));
   BufferPool pool(&fresh, 8);
   Catalog catalog(&pool);
+  ASSERT_OK(catalog.Load());
+  EXPECT_EQ(catalog.size(), 0u);
+  ASSERT_OK(fresh.Close());
+}
+
+TEST(CatalogTest, TruncatedSecondSlotFallsBackToFirst) {
+  // With both slots written, mutilating the newer one must fall back to
+  // the older image — the previous durable catalog — not error out and
+  // not come back empty.
+  TempDb db;
+  {
+    Catalog catalog(db.pool());
+    ASSERT_OK(catalog.Load());
+    CatalogEntry e;
+    e.name = "first";
+    e.element_count = 1;
+    ASSERT_OK(catalog.Put(e));
+    ASSERT_OK(catalog.Save());  // seq 1 -> slot 0
+    e.name = "second";
+    e.element_count = 2;
+    ASSERT_OK(catalog.Put(e));
+    ASSERT_OK(catalog.Save());  // seq 2 -> slot 1
+    ASSERT_OK(db.pool()->FlushAll());
+    ASSERT_OK(db.disk()->Sync());
+  }
+  // Chop the file mid-slot-1: slot 0 stays intact.
+  ASSERT_EQ(::truncate(db.path().c_str(), kPageSize + kPageSize / 2), 0);
+  DiskManager fresh;
+  ASSERT_OK(fresh.Open(db.path()));
+  BufferPool pool(&fresh, 8);
+  Catalog catalog(&pool);
+  ASSERT_OK(catalog.Load());
+  EXPECT_EQ(catalog.sequence(), 1u);
+  EXPECT_EQ(catalog.size(), 1u);
+  EXPECT_OK(catalog.Get("first").status());
+  EXPECT_TRUE(catalog.Get("second").status().IsNotFound());
+  ASSERT_OK(fresh.Close());
+}
+
+TEST(CatalogTest, BothSlotsCorruptIsAnError) {
+  TempDb db;
+  {
+    Catalog catalog(db.pool());
+    ASSERT_OK(catalog.Load());
+    CatalogEntry e;
+    e.name = "x";
+    ASSERT_OK(catalog.Put(e));
+    ASSERT_OK(catalog.Save());
+    ASSERT_OK(catalog.Save());  // both slots now hold images
+  }
+  db.Reopen();
+  int fd = ::open(db.path().c_str(), O_RDWR);
+  ASSERT_GE(fd, 0);
+  for (PageId slot = 0; slot < 2; ++slot) {
+    char byte;
+    off_t off = static_cast<off_t>(slot) * kPageSize + 100;
+    ASSERT_EQ(::pread(fd, &byte, 1, off), 1);
+    byte ^= 0x01;
+    ASSERT_EQ(::pwrite(fd, &byte, 1, off), 1);
+  }
+  ::close(fd);
+  db.Reopen();
+  Catalog catalog(db.pool());
   Status load = catalog.Load();
   EXPECT_TRUE(load.IsCorruption()) << load.ToString();
-  ASSERT_OK(fresh.Close());
+}
+
+TEST(CatalogTest, SaveAlternatesSlotsWithRisingSequence) {
+  TempDb db;
+  Catalog catalog(db.pool());
+  ASSERT_OK(catalog.Load());
+  ASSERT_OK(catalog.Save());
+  EXPECT_EQ(catalog.sequence(), 1u);
+  EXPECT_EQ(catalog.active_slot(), 0u);
+  ASSERT_OK(catalog.Save());
+  EXPECT_EQ(catalog.sequence(), 2u);
+  EXPECT_EQ(catalog.active_slot(), 1u);
+  ASSERT_OK(catalog.Save());
+  EXPECT_EQ(catalog.sequence(), 3u);
+  EXPECT_EQ(catalog.active_slot(), 0u);
+}
+
+TEST(CatalogTest, SaveBeforeLoadIsRejected) {
+  TempDb db;
+  Catalog catalog(db.pool());
+  Status st = catalog.Save();
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+}
+
+TEST(CatalogTest, FreeListPersistsAcrossReopen) {
+  TempDb db;
+  PageId freed = kInvalidPageId;
+  PageId high_water = kInvalidPageId;
+  {
+    Catalog catalog(db.pool());
+    ASSERT_OK(catalog.Load());
+    // Allocate three data pages, free the middle one.
+    PageId ids[3];
+    for (PageId& id : ids) {
+      ASSERT_OK_AND_ASSIGN(Page * page, db.pool()->NewPage());
+      id = page->page_id();
+      PageGuard guard(db.pool(), page);
+      guard.MarkDirty();
+    }
+    freed = ids[1];
+    high_water = ids[2];
+    ASSERT_OK(db.pool()->FreePage(freed));
+    ASSERT_OK(catalog.Save());
+  }
+  db.Reopen();
+  Catalog catalog(db.pool());
+  ASSERT_OK(catalog.Load());
+  // The freed page must be recycled before the file grows — without the
+  // persisted free list it would leak and the next page would come from
+  // past the high-water mark.
+  ASSERT_OK_AND_ASSIGN(Page * reused, db.pool()->NewPage());
+  EXPECT_EQ(reused->page_id(), freed);
+  ASSERT_OK(db.pool()->UnpinPage(reused->page_id(), false));
+  ASSERT_OK_AND_ASSIGN(Page * next, db.pool()->NewPage());
+  EXPECT_GT(next->page_id(), high_water);
+  ASSERT_OK(db.pool()->UnpinPage(next->page_id(), false));
 }
 
 TEST(CatalogTest, RoundTripsThroughFreshDiskManager) {

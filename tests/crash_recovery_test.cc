@@ -8,7 +8,14 @@
 //   * if every layer reports success, query results must equal the
 //     in-memory truth — a silently-wrong answer fails the test.
 //
-// Three workload kinds × 36 seeds give >100 randomized schedules, plus a
+// Databases opened WITHOUT a WAL are held to detect-or-correct; databases
+// opened WITH one are held to the stronger exact-recovery contract: every
+// schedule must come back as precisely the last durably committed state —
+// no Corruption, no lost commits, no torn pages.
+//
+// Six workload kinds (three raw, three WAL-backed) × a seed count tunable
+// via XR_CRASH_SEEDS_PER_KIND (default 36, i.e. 216 schedules) give the
+// randomized sweep, plus directed torn-catalog-slot tests and a
 // flipped-byte sweep over every page of a built database.
 
 #include <fcntl.h>
@@ -16,6 +23,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <limits>
 #include <memory>
 #include <string>
@@ -27,6 +35,7 @@
 #include "storage/catalog.h"
 #include "storage/disk_manager.h"
 #include "storage/fault_injection.h"
+#include "storage/wal.h"
 #include "tests/test_util.h"
 #include "xrtree/xrtree.h"
 
@@ -35,10 +44,24 @@ namespace {
 
 constexpr uint32_t kElementsPerSet = 200;
 constexpr size_t kRunPoolPages = 16;  // small: forces mid-run evictions
-constexpr int kNumKinds = 3;
-constexpr uint64_t kSeedsPerKind = 36;
-static_assert(kNumKinds * kSeedsPerKind >= 100,
-              "the sweep must cover at least 100 crash schedules");
+
+// Per-operation-commit WAL workloads fsync once per mutation; keep them
+// smaller than the bulk sets so the sweep stays fast.
+constexpr uint32_t kWalMutationOps = 80;
+
+/// Seeds per workload kind. CI's release job raises this via
+/// XR_CRASH_SEEDS_PER_KIND for a wider sweep; the default keeps the six
+/// kinds above 200 schedules total.
+uint64_t SeedsPerKind() {
+  static const uint64_t cached = [] {
+    if (const char* env = std::getenv("XR_CRASH_SEEDS_PER_KIND")) {
+      const long parsed = std::atol(env);
+      if (parsed > 0) return static_cast<uint64_t>(parsed);
+    }
+    return uint64_t{36};
+  }();
+  return cached;
+}
 
 /// Options for the insert-driven workload: tiny fanouts force a deep tree
 /// and multi-page stab chains, so the crash point lands inside interesting
@@ -373,7 +396,7 @@ TEST_P(CrashSweepTest, RandomCrashSchedulesNeverGoSilentlyWrong) {
   }
 
   uint64_t detected = 0, valid = 0, absent_like = 0;
-  for (uint64_t seed = 1; seed <= kSeedsPerKind; ++seed) {
+  for (uint64_t seed = 1; seed <= SeedsPerKind(); ++seed) {
     SCOPED_TRACE("kind=" + std::to_string(kind) +
                  " seed=" + std::to_string(seed));
     FaultPlan plan =
@@ -396,19 +419,429 @@ TEST_P(CrashSweepTest, RandomCrashSchedulesNeverGoSilentlyWrong) {
     }
   }
   // Every schedule must land in one of the three clean buckets (silent
-  // wrongness already failed above via EXPECT). The split is seed-dependent
-  // but the sweep must exercise the detection path at least once.
-  EXPECT_EQ(detected + valid + absent_like, kSeedsPerKind);
-  EXPECT_GT(detected + absent_like, 0u) << "no schedule crashed early enough";
+  // wrongness already failed above via EXPECT).
+  EXPECT_EQ(detected + valid + absent_like, SeedsPerKind());
   if (kind == 2) {
-    // The checkpoint guarantees set A survives every post-checkpoint crash
-    // that leaves the catalog readable; most schedules qualify.
-    EXPECT_GT(valid, 0u) << "checkpointed data never validated";
+    // The ordered ping-pong catalog save guarantees the catalog always
+    // loads and the pre-fault checkpoint always survives: every schedule
+    // must validate set A in full, not merely most of them.
+    EXPECT_EQ(valid, SeedsPerKind()) << "a post-checkpoint crash damaged "
+                                        "durable data or the catalog";
+  } else {
+    // For the uncheckpointed kinds the split is seed-dependent, but the
+    // sweep must exercise the detection/absent path at least once.
+    EXPECT_GT(detected + absent_like, 0u) << "no schedule crashed early enough";
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(AllKinds, CrashSweepTest,
                          ::testing::Values(0, 1, 2));
+
+// ---------------------------------------------------------------------------
+// WAL-mode sweeps. With a write-ahead log attached the contract tightens
+// from detect-or-correct to exact recovery: after ANY crash schedule the
+// reopened database must equal precisely the last durably committed state.
+// Faults land on both the data file (torn/dropped checkpoint writes,
+// including the catalog slot pages) and the log itself (torn or dropped
+// appends — image payloads and commit records alike).
+// ---------------------------------------------------------------------------
+
+/// A CrashDb with a WAL layered on top: the log file is wrapped in a
+/// FaultInjectingWalFile sharing the data disk's power state, so one power
+/// event freezes both files at the same instant. The checkpoint threshold
+/// is tiny so checkpoints run under fire mid-workload.
+class WalCrashDb {
+ public:
+  explicit WalCrashDb(size_t pool_pages) {
+    char tmpl[] = "/tmp/xrtree_walcrash_XXXXXX";
+    int fd = ::mkstemp(tmpl);
+    if (fd >= 0) ::close(fd);
+    path_ = tmpl;
+    XR_CHECK_OK(disk_.Open(path_));
+    faulty_ = std::make_unique<FaultInjectingDisk>(&disk_);
+    XR_CHECK_OK(wal_file_.Open(Wal::SidecarPath(path_)));
+    faulty_wal_ =
+        std::make_unique<FaultInjectingWalFile>(&wal_file_, faulty_->power());
+    WalOptions opts;
+    opts.checkpoint_threshold_bytes = 8 << 10;
+    XR_CHECK_OK(wal_.Attach(faulty_wal_.get(), opts));
+    XR_CHECK_OK(wal_.Recover(faulty_.get()));
+    pool_ = std::make_unique<BufferPool>(faulty_.get(), pool_pages);
+    pool_->SetWal(&wal_);
+  }
+
+  ~WalCrashDb() {
+    PowerOff();
+    if (!path_.empty()) {
+      std::remove(Wal::SidecarPath(path_).c_str());
+      std::remove(path_.c_str());
+    }
+  }
+
+  /// Tears down the whole stack without flushing anything the crashed
+  /// files would accept anyway. Call before reopening for validation.
+  void PowerOff() {
+    if (powered_off_) return;
+    powered_off_ = true;
+    pool_.reset();
+    wal_.Close().ok();
+    faulty_wal_.reset();
+    wal_file_.Close().ok();
+    faulty_.reset();
+    disk_.Close().ok();
+  }
+
+  BufferPool* pool() { return pool_.get(); }
+  FaultInjectingDisk* faulty() { return faulty_.get(); }
+  FaultInjectingWalFile* faulty_wal() { return faulty_wal_.get(); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  DiskManager disk_;
+  std::unique_ptr<FaultInjectingDisk> faulty_;
+  PosixWalFile wal_file_;
+  std::unique_ptr<FaultInjectingWalFile> faulty_wal_;
+  Wal wal_;
+  std::unique_ptr<BufferPool> pool_;
+  bool powered_off_ = false;
+};
+
+/// Truth for the WAL kinds. The bulk set is much larger than the raw
+/// sweep's: default fanouts pack ~400 elements into fewer pages than the
+/// pool holds, and the build must overflow the pool so uncommitted images
+/// are read back through the log overlay under fire. The
+/// per-operation-commit kinds mutate one small set with tiny fanouts.
+Truth MakeWalTruth(int kind) {
+  Truth t;
+  if (kind == 0) {
+    ElementList all = RandomNestedElements(2000, 3000, 3);
+    for (size_t i = 0; i < all.size(); ++i) {
+      (i % 2 == 0 ? t.a : t.d).push_back(all[i]);
+    }
+  } else {
+    t.a = RandomNestedElements(2000 + static_cast<uint64_t>(kind),
+                               kWalMutationOps, 3);
+  }
+  return t;
+}
+
+/// Kind 0: bulk-builds both sets and commits once at the end. The whole
+/// load is one logical update: after a crash either both sets exist in
+/// full or neither does.
+void RunWalBulkWorkload(BufferPool* pool, FaultInjectingDisk* faulty,
+                        const Truth& truth, uint64_t* durable_commits) {
+  Catalog catalog(pool);
+  if (!catalog.Load().ok()) return;
+  StoredElementSet a(pool, "A");
+  if (!a.Build(truth.a).ok()) return;
+  StoredElementSet d(pool, "D");
+  if (!d.Build(truth.d).ok()) return;
+  if (!a.Register(&catalog).ok()) return;
+  if (!d.Register(&catalog).ok()) return;
+  if (!catalog.Save().ok()) return;
+  if (pool->Commit().ok() && !faulty->crashed()) *durable_commits = 1;
+}
+
+/// Kind 1: one commit per Insert — tree mutation, catalog update, Save,
+/// Commit. `durable_commits` counts commits that returned with power still
+/// on; a commit racing the power loss may or may not have become durable,
+/// so recovery is held to "at least" the durable count.
+void RunWalInsertWorkload(BufferPool* pool, FaultInjectingDisk* faulty,
+                          const Truth& truth, uint64_t* durable_commits) {
+  Catalog catalog(pool);
+  if (!catalog.Load().ok()) return;
+  XrTree tree(pool, kInvalidPageId, InsertTreeOptions());
+  for (size_t i = 0; i < truth.a.size(); ++i) {
+    if (!tree.Insert(truth.a[i]).ok()) return;
+    CatalogEntry entry;
+    entry.name = "INS";
+    entry.element_count = i + 1;
+    entry.xrtree_root = tree.root();
+    if (!catalog.Put(entry).ok()) return;
+    if (!catalog.Save().ok()) return;
+    if (!pool->Commit().ok()) return;
+    if (!faulty->crashed()) *durable_commits = *durable_commits + 1;
+  }
+}
+
+/// Kind 2: builds the whole set (commit), then deletes front-to-back with
+/// one commit per Delete, draining the tree to empty. Commit j=1 is the
+/// build; commit j=1+i leaves the suffix truth.a[i..].
+void RunWalDeleteWorkload(BufferPool* pool, FaultInjectingDisk* faulty,
+                          const Truth& truth, uint64_t* durable_commits) {
+  Catalog catalog(pool);
+  if (!catalog.Load().ok()) return;
+  XrTree tree(pool, kInvalidPageId, InsertTreeOptions());
+  for (const Element& e : truth.a) {
+    if (!tree.Insert(e).ok()) return;
+  }
+  const uint64_t n = truth.a.size();
+  for (size_t i = 0; i <= n; ++i) {
+    if (i > 0 && !tree.Delete(truth.a[i - 1].start).ok()) return;
+    CatalogEntry entry;
+    entry.name = "INS";
+    entry.element_count = n - i;
+    entry.xrtree_root = tree.root();
+    if (!catalog.Put(entry).ok()) return;
+    if (!catalog.Save().ok()) return;
+    if (!pool->Commit().ok()) return;
+    if (!faulty->crashed()) *durable_commits = *durable_commits + 1;
+  }
+}
+
+void RunWalWorkload(WalCrashDb* db, int kind, const Truth& truth,
+                    uint64_t* durable_commits) {
+  switch (kind) {
+    case 0:
+      RunWalBulkWorkload(db->pool(), db->faulty(), truth, durable_commits);
+      break;
+    case 1:
+      RunWalInsertWorkload(db->pool(), db->faulty(), truth, durable_commits);
+      break;
+    case 2:
+      RunWalDeleteWorkload(db->pool(), db->faulty(), truth, durable_commits);
+      break;
+  }
+}
+
+/// Arms exactly one power-loss fault at a point chosen uniformly over the
+/// combined data-write + log-append op space, so the sweep tears
+/// checkpoint writes and log records in proportion to how often each
+/// happens. Deterministic in `seed`.
+void ArmWalFault(WalCrashDb* db, uint64_t seed, uint64_t data_writes,
+                 uint64_t wal_appends) {
+  uint64_t x = seed ^ 0x9E3779B97F4A7C15ull;
+  auto next = [&x] {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    return x;
+  };
+  next();
+  const uint64_t pick = next() % (data_writes + wal_appends) + 1;
+  if (pick <= wal_appends) {
+    if (next() % 2 == 0) {
+      db->faulty_wal()->DropFromNthAppend(pick);
+    } else {
+      // An image record is kPageSize + 24 framing bytes; a tear anywhere
+      // inside (or a "tear" past the end: full record, then power loss).
+      db->faulty_wal()->TearNthAppend(pick, next() % (kPageSize + 64));
+    }
+  } else {
+    db->faulty()->SetPlan(FaultPlan::RandomCrashPlan(next(), data_writes));
+  }
+}
+
+/// Reopens `path` cold, runs WAL recovery, and holds the result to the
+/// exact-recovery contract: the catalog must load (a torn slot write is
+/// always repaired from the log), the recovered state must be byte-exact
+/// for whichever commit it represents, and that commit must be at least
+/// the last one known durable.
+void ValidateWalReopened(const std::string& path, int kind, const Truth& truth,
+                         uint64_t durable_commits) {
+  DiskManager disk;
+  XR_CHECK_OK(disk.Open(path));
+  Wal wal;
+  ASSERT_OK(wal.Open(Wal::SidecarPath(path)));
+  ASSERT_OK(wal.Recover(&disk));
+  BufferPool pool(&disk, 256);
+  pool.SetWal(&wal);
+  Catalog catalog(&pool);
+  Status load = catalog.Load();
+  ASSERT_TRUE(load.ok()) << "WAL-backed catalog must always load: "
+                         << load.ToString();
+
+  uint64_t recovered_commit = 0;
+  if (kind == 0) {
+    auto a = catalog.Get("A");
+    auto d = catalog.Get("D");
+    EXPECT_EQ(a.ok(), d.ok())
+        << "bulk load committed atomically: both sets or neither";
+    if (a.ok() && d.ok()) {
+      recovered_commit = 1;
+      std::string why;
+      EXPECT_EQ(ValidateFullSet(&pool, catalog, "A", truth.a, &why),
+                SetState::kValid)
+          << why;
+      why.clear();
+      EXPECT_EQ(ValidateFullSet(&pool, catalog, "D", truth.d, &why),
+                SetState::kValid)
+          << why;
+    }
+  } else {
+    const uint64_t n = truth.a.size();
+    auto entry = catalog.Get("INS");
+    if (entry.ok()) {
+      const uint64_t k = entry.value().element_count;
+      ASSERT_LE(k, n) << "recovered count exceeds every committed state";
+      // Map the recovered count back to a commit index (kind 1 counts up
+      // from 1; kind 2's build commit holds n, then counts down).
+      recovered_commit = (kind == 1) ? k : 1 + (n - k);
+      ElementList expect(kind == 1 ? truth.a.begin() : truth.a.end() - k,
+                         kind == 1 ? truth.a.begin() + k : truth.a.end());
+      XrTree tree(&pool, entry.value().xrtree_root, InsertTreeOptions());
+      auto count = tree.CountEntries();
+      ASSERT_OK(count.status());
+      EXPECT_EQ(count.value(), k) << "entry count cross-check failed";
+      EXPECT_OK(tree.CheckConsistency());
+      auto scanned = tree.FindDescendants(UniversalRegion());
+      ASSERT_OK(scanned.status());
+      EXPECT_TRUE(SameElements(scanned.value(), expect))
+          << "recovered tree is not the committed prefix/suffix (count=" << k
+          << ")";
+    }
+  }
+  EXPECT_GE(recovered_commit, durable_commits)
+      << "recovery lost a durably committed state";
+  wal.Close().ok();
+  disk.Close().ok();
+}
+
+class WalCrashSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WalCrashSweepTest, EveryScheduleRecoversTheExactCommittedState) {
+  const int kind = GetParam();
+  const Truth truth = MakeWalTruth(kind);
+
+  // Fault-free control: measures both op spaces and checks the workload
+  // round-trips exactly (durable == total commits, so GE pins equality).
+  uint64_t data_writes = 0, wal_appends = 0;
+  {
+    WalCrashDb db(kRunPoolPages);
+    uint64_t durable = 0;
+    RunWalWorkload(&db, kind, truth, &durable);
+    data_writes = db.faulty()->writes();
+    wal_appends = db.faulty_wal()->appends();
+    ASSERT_GT(wal_appends, 0u);
+    ASSERT_GT(data_writes, 0u) << "no checkpoint ran; shrink the threshold";
+    EXPECT_GT(durable, 0u);
+    db.PowerOff();
+    ValidateWalReopened(db.path(), kind, truth, durable);
+  }
+
+  for (uint64_t seed = 1; seed <= SeedsPerKind(); ++seed) {
+    SCOPED_TRACE("wal kind=" + std::to_string(kind) +
+                 " seed=" + std::to_string(seed));
+    WalCrashDb db(kRunPoolPages);
+    ArmWalFault(&db, seed * 104729 + static_cast<uint64_t>(kind), data_writes,
+                wal_appends);
+    uint64_t durable = 0;
+    RunWalWorkload(&db, kind, truth, &durable);
+    EXPECT_TRUE(db.faulty()->crashed()) << "fault plan never fired";
+    db.PowerOff();
+    ValidateWalReopened(db.path(), kind, truth, durable);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWalKinds, WalCrashSweepTest,
+                         ::testing::Values(0, 1, 2));
+
+// ---------------------------------------------------------------------------
+// Directed torn-catalog-slot tests: aim the tear at the header slot pages
+// (0/1) themselves, the single most damaging place a write can tear.
+// ---------------------------------------------------------------------------
+
+TEST(DirectedTornCatalogTest, TornSlotWriteFallsBackToPreviousImage) {
+  const Truth truth = MakeTruth(7);
+  CrashDb db(kRunPoolPages);
+  {
+    Catalog catalog(db.pool());
+    ASSERT_OK(catalog.Load());
+    StoredElementSet a(db.pool(), "A");
+    ASSERT_OK(a.Build(truth.a));
+    ASSERT_OK(a.Register(&catalog));
+    ASSERT_OK(catalog.Save());  // seq 1 -> slot 0
+    StoredElementSet d(db.pool(), "D");
+    ASSERT_OK(d.Build(truth.d));
+    ASSERT_OK(d.Register(&catalog));
+    // The second save targets the inactive slot (page 1); tear it partway
+    // through the header. Save itself may still report success — the
+    // post-tear sync is silently swallowed by the dead disk.
+    db.faulty()->TearNextWriteToPage(1, 100);
+    catalog.Save().ok();
+    EXPECT_TRUE(db.faulty()->crashed());
+  }
+  db.PowerOff();
+
+  DiskManager disk;
+  XR_CHECK_OK(disk.Open(db.path()));
+  BufferPool pool(&disk, 256);
+  Catalog reopened(&pool);
+  ASSERT_OK(reopened.Load());
+  EXPECT_EQ(reopened.sequence(), 1u) << "should fall back to the first image";
+  std::string why;
+  EXPECT_EQ(ValidateFullSet(&pool, reopened, "A", truth.a, &why),
+            SetState::kValid)
+      << why;
+  EXPECT_TRUE(reopened.Get("D").status().IsNotFound())
+      << "the torn save must roll back whole";
+  XR_CHECK_OK(disk.Close());
+}
+
+TEST(DirectedTornCatalogTest, TornFirstEverSlotWriteRecoversAsEmpty) {
+  const Truth truth = MakeTruth(8);
+  CrashDb db(kRunPoolPages);
+  {
+    Catalog catalog(db.pool());
+    ASSERT_OK(catalog.Load());
+    StoredElementSet a(db.pool(), "A");
+    ASSERT_OK(a.Build(truth.a));
+    ASSERT_OK(a.Register(&catalog));
+    db.faulty()->TearNextWriteToPage(0, 80);  // first save targets slot 0
+    catalog.Save().ok();
+    EXPECT_TRUE(db.faulty()->crashed());
+  }
+  db.PowerOff();
+
+  DiskManager disk;
+  XR_CHECK_OK(disk.Open(db.path()));
+  BufferPool pool(&disk, 256);
+  Catalog reopened(&pool);
+  Status load = reopened.Load();
+  ASSERT_TRUE(load.ok()) << "a torn first save is a crash artifact, not "
+                         << "corruption: " << load.ToString();
+  EXPECT_EQ(reopened.sequence(), 0u);
+  EXPECT_TRUE(reopened.Get("A").status().IsNotFound());
+  XR_CHECK_OK(disk.Close());
+}
+
+TEST(DirectedTornCatalogTest, WalRepairsSlotTornDuringCheckpoint) {
+  const Truth truth = MakeTruth(11);
+  WalCrashDb db(kRunPoolPages);
+  {
+    Catalog catalog(db.pool());
+    ASSERT_OK(catalog.Load());
+    StoredElementSet a(db.pool(), "A");
+    ASSERT_OK(a.Build(truth.a));
+    ASSERT_OK(a.Register(&catalog));
+    ASSERT_OK(catalog.Save());
+    // In WAL mode slot images reach the data file only through the
+    // checkpoint; tear that write after the commit record is durable.
+    db.faulty()->TearNextWriteToPage(0, 120);
+    db.pool()->Commit().ok();
+    EXPECT_TRUE(db.faulty()->crashed())
+        << "the commit should have checkpointed and hit the torn slot";
+  }
+  db.PowerOff();
+
+  DiskManager disk;
+  XR_CHECK_OK(disk.Open(db.path()));
+  Wal wal;
+  ASSERT_OK(wal.Open(Wal::SidecarPath(db.path())));
+  ASSERT_OK(wal.Recover(&disk));
+  EXPECT_GE(wal.recovered_commits(), 1u);
+  BufferPool pool(&disk, 256);
+  pool.SetWal(&wal);
+  Catalog reopened(&pool);
+  ASSERT_OK(reopened.Load());
+  std::string why;
+  EXPECT_EQ(ValidateFullSet(&pool, reopened, "A", truth.a, &why),
+            SetState::kValid)
+      << why;
+  wal.Close().ok();
+  XR_CHECK_OK(disk.Close());
+}
 
 // ---------------------------------------------------------------------------
 // Flipped-byte sweep: any single corrupted byte in any page of a built

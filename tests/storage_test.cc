@@ -22,8 +22,8 @@ TEST(DiskManagerTest, OpenCloseReopen) {
   TempDb db;
   EXPECT_TRUE(db.disk()->is_open());
   PageId p = db.disk()->AllocatePage();
-  EXPECT_EQ(p, 1u);  // page 0 is the header
-  EXPECT_EQ(db.disk()->AllocatePage(), 2u);
+  EXPECT_EQ(p, kNumReservedPages);  // pages 0/1 are the catalog slot pair
+  EXPECT_EQ(db.disk()->AllocatePage(), kNumReservedPages + 1);
 }
 
 TEST(DiskManagerTest, WriteThenReadBack) {

@@ -1,0 +1,362 @@
+#include "storage/wal.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "storage/checksum.h"
+#include "storage/fault_injection.h"
+#include "tests/test_util.h"
+
+namespace xrtree {
+namespace {
+
+/// A TempDb plus an opened, recovered sidecar Wal attached to the pool.
+class WalDb {
+ public:
+  explicit WalDb(uint64_t checkpoint_threshold = 4ull << 20) {
+    WalOptions opts;
+    opts.checkpoint_threshold_bytes = checkpoint_threshold;
+    Status st = wal_.Open(Wal::SidecarPath(db_.path()), opts);
+    if (st.ok()) st = wal_.Recover(db_.disk());
+    if (!st.ok()) std::abort();
+    db_.pool()->SetWal(&wal_);
+  }
+
+  ~WalDb() {
+    db_.pool()->SetWal(nullptr);
+    wal_.Close().ok();
+    std::remove(Wal::SidecarPath(db_.path()).c_str());
+  }
+
+  /// Simulates process restart: closes the wal and pool, reopens both and
+  /// runs recovery.
+  void Reopen(uint64_t checkpoint_threshold = 4ull << 20) {
+    db_.pool()->SetWal(nullptr);
+    XR_CHECK_OK(wal_.Close());
+    db_.Reopen();
+    WalOptions opts;
+    opts.checkpoint_threshold_bytes = checkpoint_threshold;
+    XR_CHECK_OK(wal_.Open(Wal::SidecarPath(db_.path()), opts));
+    XR_CHECK_OK(wal_.Recover(db_.disk()));
+    db_.pool()->SetWal(&wal_);
+  }
+
+  BufferPool* pool() { return db_.pool(); }
+  DiskManager* disk() { return db_.disk(); }
+  Wal* wal() { return &wal_; }
+  const std::string& db_path() const { return db_.path(); }
+  std::string wal_path() const { return Wal::SidecarPath(db_.path()); }
+
+ private:
+  TempDb db_;
+  Wal wal_;
+};
+
+void FillPage(char* data, char fill) {
+  std::memset(data, fill, kPageDataSize);
+}
+
+Result<PageId> WriteMarkedPage(BufferPool* pool, char fill) {
+  auto page = pool->NewPage();
+  if (!page.ok()) return page.status();
+  PageId id = (*page)->page_id();
+  FillPage((*page)->data(), fill);
+  PageGuard guard(pool, *page);
+  guard.MarkDirty();
+  return id;
+}
+
+Status ExpectPageFill(BufferPool* pool, PageId id, char fill) {
+  auto page = pool->FetchPage(id);
+  if (!page.ok()) return page.status();
+  PageGuard guard(pool, *page);
+  for (size_t i = 0; i < kPageDataSize; ++i) {
+    if ((*page)->data()[i] != fill) {
+      return Status::Corruption("page " + std::to_string(id) + " byte " +
+                                std::to_string(i) + " != fill");
+    }
+  }
+  return Status::Ok();
+}
+
+TEST(WalTest, CommittedPagesSurviveReopen) {
+  WalDb db;
+  PageId a, b;
+  ASSERT_OK_AND_ASSIGN(a, WriteMarkedPage(db.pool(), 'A'));
+  ASSERT_OK_AND_ASSIGN(b, WriteMarkedPage(db.pool(), 'B'));
+  ASSERT_OK(db.pool()->Commit());
+  db.Reopen();
+  EXPECT_EQ(db.wal()->recovered_commits(), 1u);
+  EXPECT_OK(ExpectPageFill(db.pool(), a, 'A'));
+  EXPECT_OK(ExpectPageFill(db.pool(), b, 'B'));
+}
+
+TEST(WalTest, UncommittedTailIsDiscardedOnRecovery) {
+  WalDb db;
+  PageId a;
+  ASSERT_OK_AND_ASSIGN(a, WriteMarkedPage(db.pool(), 'A'));
+  ASSERT_OK(db.pool()->Commit());
+  // Second update is logged (flush forces the append) but never committed.
+  {
+    ASSERT_OK_AND_ASSIGN(Page * raw, db.pool()->FetchPage(a));
+    PageGuard guard(db.pool(), raw);
+    FillPage(raw->data(), 'Z');
+    guard.MarkDirty();
+  }
+  ASSERT_OK(db.pool()->FlushPage(a));
+  db.Reopen();
+  // Recovery keeps the committed 'A' image, not the uncommitted 'Z' one.
+  EXPECT_OK(ExpectPageFill(db.pool(), a, 'A'));
+}
+
+TEST(WalTest, DataFileUntouchedUntilCheckpoint) {
+  WalDb db;
+  PageId a;
+  ASSERT_OK_AND_ASSIGN(a, WriteMarkedPage(db.pool(), 'A'));
+  uint64_t writes_before = db.disk()->stats().disk_writes;
+  ASSERT_OK(db.pool()->FlushPage(a));
+  ASSERT_OK(db.pool()->Commit());
+  // Log-first: neither the flush nor the commit wrote the data file.
+  EXPECT_EQ(db.disk()->stats().disk_writes, writes_before);
+  ASSERT_OK(db.pool()->Checkpoint());
+  EXPECT_GT(db.disk()->stats().disk_writes, writes_before);
+  // After the checkpoint the log is empty and the page reads back from the
+  // data file.
+  EXPECT_EQ(db.wal()->end_lsn(), 0u);
+  ASSERT_OK(db.pool()->DiscardPage(a));  // drop cached copy
+  EXPECT_OK(ExpectPageFill(db.pool(), a, 'A'));
+}
+
+TEST(WalTest, FetchMissServedFromLogOverlay) {
+  WalDb db;
+  PageId a;
+  ASSERT_OK_AND_ASSIGN(a, WriteMarkedPage(db.pool(), 'A'));
+  ASSERT_OK(db.pool()->Commit());
+  // Evict the cached copy; the only source of truth is now the log (the
+  // data file has never been written).
+  ASSERT_OK(db.pool()->DiscardPage(a));
+  uint64_t log_fetches_before = db.wal()->stats().fetches_from_log;
+  EXPECT_OK(ExpectPageFill(db.pool(), a, 'A'));
+  EXPECT_EQ(db.wal()->stats().fetches_from_log, log_fetches_before + 1);
+}
+
+TEST(WalTest, ReplayIsIdempotent) {
+  WalDb db;
+  PageId a;
+  ASSERT_OK_AND_ASSIGN(a, WriteMarkedPage(db.pool(), 'A'));
+  ASSERT_OK(db.pool()->Commit());
+
+  // Copy the committed log aside, recover once, then restore the copy and
+  // recover again: the second replay must reproduce the same state, not
+  // fail or double-apply.
+  std::string wal_path = db.wal_path();
+  std::vector<char> log_bytes;
+  {
+    FILE* f = std::fopen(wal_path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    log_bytes.resize(std::ftell(f));
+    std::fseek(f, 0, SEEK_SET);
+    ASSERT_EQ(std::fread(log_bytes.data(), 1, log_bytes.size(), f),
+              log_bytes.size());
+    std::fclose(f);
+  }
+  ASSERT_FALSE(log_bytes.empty());
+
+  db.Reopen();
+  EXPECT_EQ(db.wal()->recovered_commits(), 1u);
+  EXPECT_OK(ExpectPageFill(db.pool(), a, 'A'));
+
+  {
+    FILE* f = std::fopen(wal_path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(log_bytes.data(), 1, log_bytes.size(), f),
+              log_bytes.size());
+    std::fclose(f);
+  }
+  db.Reopen();
+  EXPECT_EQ(db.wal()->recovered_commits(), 1u);
+  EXPECT_OK(ExpectPageFill(db.pool(), a, 'A'));
+}
+
+TEST(WalTest, TornLogTailIsDiscarded) {
+  WalDb db;
+  PageId a;
+  ASSERT_OK_AND_ASSIGN(a, WriteMarkedPage(db.pool(), 'A'));
+  ASSERT_OK(db.pool()->Commit());
+
+  // Append garbage — a torn record stub — directly to the log file.
+  {
+    FILE* f = std::fopen(db.wal_path().c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    const char junk[100] = {0x42};
+    ASSERT_EQ(std::fwrite(junk, 1, sizeof(junk), f), sizeof(junk));
+    std::fclose(f);
+  }
+  db.Reopen();
+  EXPECT_EQ(db.wal()->recovered_commits(), 1u);
+  EXPECT_OK(ExpectPageFill(db.pool(), a, 'A'));
+}
+
+TEST(WalTest, TornAppendViaInjectorRecoversToLastCommit) {
+  // Build the log through a FaultInjectingWalFile that tears a later
+  // append, then recover from the torn file.
+  TempDb db;
+  PosixWalFile base;
+  char tmpl[] = "/tmp/xrtree_wal_XXXXXX";
+  int fd = ::mkstemp(tmpl);
+  ASSERT_GE(fd, 0);
+  ::close(fd);
+  std::string wal_path = tmpl;
+  ASSERT_OK(base.Open(wal_path));
+
+  FaultInjectingDisk faulty_disk(db.disk());
+  FaultInjectingWalFile faulty(&base, faulty_disk.power());
+  Wal wal;
+  ASSERT_OK(wal.Attach(&faulty));
+  ASSERT_OK(wal.Recover(&faulty_disk));
+  db.pool()->SetWal(&wal);
+
+  PageId a, b;
+  ASSERT_OK_AND_ASSIGN(a, WriteMarkedPage(db.pool(), 'A'));
+  ASSERT_OK(db.pool()->Commit());
+  // Appends so far: image(a), commit. Tear the 3rd append (image of b)
+  // halfway through.
+  faulty.TearNthAppend(3, kPageSize / 2);
+  ASSERT_OK_AND_ASSIGN(b, WriteMarkedPage(db.pool(), 'B'));
+  ASSERT_OK(db.pool()->Commit());  // power is already lost; log is frozen
+  EXPECT_TRUE(faulty_disk.crashed());
+  db.pool()->SetWal(nullptr);
+  ASSERT_OK(wal.Close());
+
+  // "Reboot": recover from the torn log against the data file.
+  db.Reopen();
+  Wal wal2;
+  ASSERT_OK(wal2.Open(wal_path));
+  ASSERT_OK(wal2.Recover(db.disk()));
+  db.pool()->SetWal(&wal2);
+  EXPECT_EQ(wal2.recovered_commits(), 1u);
+  EXPECT_OK(ExpectPageFill(db.pool(), a, 'A'));
+  // Page b's image tore before any commit covered it: it must read as a
+  // fresh (all-zero) page, not half-written garbage.
+  {
+    auto page = db.pool()->FetchPage(b);
+    ASSERT_TRUE(page.ok()) << page.status().ToString();
+    PageGuard guard(db.pool(), *page);
+    for (size_t i = 0; i < kPageDataSize; ++i) {
+      ASSERT_EQ((*page)->data()[i], 0) << "byte " << i;
+    }
+  }
+  db.pool()->SetWal(nullptr);
+  ASSERT_OK(wal2.Close());
+  std::remove(wal_path.c_str());
+}
+
+TEST(WalTest, CommitBoundaryIsExact) {
+  // Three updates with commits after the first two; the log then loses its
+  // tail beyond the second commit. Recovery must restore exactly commit 2.
+  WalDb db;
+  PageId a;
+  ASSERT_OK_AND_ASSIGN(a, WriteMarkedPage(db.pool(), '1'));
+  ASSERT_OK(db.pool()->Commit());
+  uint64_t commit2_end;
+  {
+    ASSERT_OK_AND_ASSIGN(Page * raw, db.pool()->FetchPage(a));
+    PageGuard guard(db.pool(), raw);
+    FillPage(raw->data(), '2');
+    guard.MarkDirty();
+  }
+  ASSERT_OK(db.pool()->Commit());
+  commit2_end = db.wal()->end_lsn();
+  {
+    ASSERT_OK_AND_ASSIGN(Page * raw, db.pool()->FetchPage(a));
+    PageGuard guard(db.pool(), raw);
+    FillPage(raw->data(), '3');
+    guard.MarkDirty();
+  }
+  ASSERT_OK(db.pool()->Commit());
+
+  // Truncate the log to the exact commit-2 boundary, dropping commit 3.
+  db.pool()->SetWal(nullptr);
+  ASSERT_OK(db.wal()->Close());
+  ASSERT_EQ(::truncate(db.wal_path().c_str(),
+                       static_cast<off_t>(commit2_end)),
+            0);
+  db.Reopen();
+  EXPECT_EQ(db.wal()->recovered_commits(), 2u);
+  EXPECT_OK(ExpectPageFill(db.pool(), a, '2'));
+}
+
+TEST(WalTest, AutoCheckpointAtThreshold) {
+  // Threshold of one page: every commit should checkpoint and empty the
+  // log, keeping it from growing without bound.
+  WalDb db(/*checkpoint_threshold=*/kPageSize);
+  for (char fill : {'A', 'B', 'C'}) {
+    ASSERT_OK_AND_ASSIGN(PageId id, WriteMarkedPage(db.pool(), fill));
+    ASSERT_OK(db.pool()->Commit());
+    EXPECT_EQ(db.wal()->end_lsn(), 0u) << "log not truncated after commit";
+    EXPECT_OK(ExpectPageFill(db.pool(), id, fill));
+  }
+  EXPECT_EQ(db.wal()->stats().checkpoints, 3u);
+}
+
+TEST(WalTest, TrailerLsnMatchesLogPosition) {
+  WalDb db;
+  ASSERT_OK_AND_ASSIGN(PageId a, WriteMarkedPage(db.pool(), 'A'));
+  ASSERT_OK(db.pool()->Commit());
+  ASSERT_OK(db.pool()->DiscardPage(a));
+  ASSERT_OK_AND_ASSIGN(Page * raw, db.pool()->FetchPage(a));
+  PageGuard guard(db.pool(), raw);
+  // First record in the log starts at offset 0, so the image's LSN is 0...
+  // which is indistinguishable from "never logged". Log a second image and
+  // check that one instead.
+  guard.Release();
+  {
+    ASSERT_OK_AND_ASSIGN(Page * r2, db.pool()->FetchPage(a));
+    PageGuard g2(db.pool(), r2);
+    FillPage(r2->data(), 'B');
+    g2.MarkDirty();
+  }
+  uint64_t lsn_before = db.wal()->end_lsn();
+  ASSERT_OK(db.pool()->FlushPage(a));
+  ASSERT_OK(db.pool()->DiscardPage(a));
+  ASSERT_OK_AND_ASSIGN(Page * r3, db.pool()->FetchPage(a));
+  PageGuard g3(db.pool(), r3);
+  EXPECT_EQ(PageTrailerLsn(r3->data()), lsn_before);
+}
+
+TEST(WalTest, CheckpointWithUncommittedTailIsRejected) {
+  WalDb db;
+  ASSERT_OK_AND_ASSIGN(PageId a, WriteMarkedPage(db.pool(), 'A'));
+  ASSERT_OK(db.pool()->FlushPage(a));  // logged but not committed
+  Status st = db.pool()->Checkpoint();
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+  ASSERT_OK(db.pool()->Commit());
+  EXPECT_OK(db.pool()->Checkpoint());
+}
+
+TEST(WalTest, AppendBeforeRecoverIsRejected) {
+  char tmpl[] = "/tmp/xrtree_wal_XXXXXX";
+  int fd = ::mkstemp(tmpl);
+  ASSERT_GE(fd, 0);
+  // Seed the file with junk so it is non-empty.
+  ASSERT_EQ(::write(fd, "junk", 4), 4);
+  ::close(fd);
+  std::string wal_path = tmpl;
+
+  Wal wal;
+  ASSERT_OK(wal.Open(wal_path));
+  char page[kPageSize] = {0};
+  Status st = wal.LogPageImage(2, page);
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+  std::remove(wal_path.c_str());
+}
+
+}  // namespace
+}  // namespace xrtree
