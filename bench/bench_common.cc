@@ -34,13 +34,13 @@ BenchEnv GetBenchEnv() {
   return env;
 }
 
-BenchDb::BenchDb(size_t pool_pages) {
+BenchDb::BenchDb(size_t pool_pages, size_t shard_count) {
   char tmpl[] = "/tmp/xrtree_bench_XXXXXX";
   int fd = ::mkstemp(tmpl);
   if (fd >= 0) ::close(fd);
   path_ = tmpl;
   XR_CHECK_OK(disk_.Open(path_));
-  pool_ = std::make_unique<BufferPool>(&disk_, pool_pages);
+  pool_ = std::make_unique<BufferPool>(&disk_, pool_pages, shard_count);
 }
 
 BenchDb::~BenchDb() {
@@ -49,10 +49,10 @@ BenchDb::~BenchDb() {
   std::remove(path_.c_str());
 }
 
-void BenchDb::SwapPool(size_t pool_pages) {
+void BenchDb::SwapPool(size_t pool_pages, size_t shard_count) {
   XR_CHECK_OK(pool_->FlushAll());
   pool_.reset();
-  pool_ = std::make_unique<BufferPool>(&disk_, pool_pages);
+  pool_ = std::make_unique<BufferPool>(&disk_, pool_pages, shard_count);
 }
 
 const char* AlgoName(Algo algo) {
@@ -99,7 +99,10 @@ std::vector<RunResult> RunJoins(const ElementList& ancestors,
   std::vector<RunResult> results;
   for (Algo algo : {Algo::kNoIndex, Algo::kBPlus, Algo::kXrStack}) {
     db.SwapPool(pool_pages);
-    db.pool()->ResetStats();
+    // Snapshot subtraction, not ResetStats(): a reset races with any
+    // concurrent I/O and the two halves (pool vs disk counters) reset
+    // non-atomically. Saturating operator- keeps a torn interval sane.
+    IoStats before = db.pool()->stats();
     auto t0 = std::chrono::steady_clock::now();
     JoinOutput out;
     switch (algo) {
@@ -125,7 +128,7 @@ std::vector<RunResult> RunJoins(const ElementList& ancestors,
       }
     }
     auto t1 = std::chrono::steady_clock::now();
-    IoStats io = db.pool()->stats();
+    IoStats io = db.pool()->stats() - before;
 
     RunResult r;
     r.algo = algo;

@@ -36,14 +36,15 @@ BenchEnv GetBenchEnv();
 /// A scratch on-disk database deleted on destruction.
 class BenchDb {
  public:
-  explicit BenchDb(size_t pool_pages);
+  explicit BenchDb(size_t pool_pages, size_t shard_count = 0);
   ~BenchDb();
   BufferPool* pool() { return pool_.get(); }
   DiskManager* disk() { return &disk_; }
 
   /// Drops the current pool (flushing) and attaches a fresh, cold one of
-  /// `pool_pages` frames over the same file.
-  void SwapPool(size_t pool_pages);
+  /// `pool_pages` frames (and `shard_count` shards, 0 = auto) over the same
+  /// file.
+  void SwapPool(size_t pool_pages, size_t shard_count = 0);
 
  private:
   std::string path_;

@@ -31,6 +31,12 @@ struct BTreeOptions {
 /// Classic design: leaves hold Element entries and are doubly linked;
 /// internal nodes hold separator keys; deletion redistributes or merges on
 /// underflow. No parent pointers — mutations carry the descent path.
+///
+/// Thread safety: const lookups (Search, LowerBound, UpperBound, Begin,
+/// Height, CheckConsistency) keep all descent state in locals and pinned pool
+/// pages, so concurrent reader threads may probe one shared tree over a
+/// thread-safe BufferPool. Insert/Delete/BulkLoad are single-writer and
+/// must not overlap readers (see DESIGN.md §9).
 class BTree {
  public:
   /// Creates an accessor. If `root` is kInvalidPageId the tree starts

@@ -23,6 +23,8 @@ const char* CodeName(Status::Code code) {
       return "NotSupported";
     case Status::Code::kAborted:
       return "Aborted";
+    case Status::Code::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

@@ -21,6 +21,7 @@ class Status {
     kIoError,
     kNotSupported,
     kAborted,
+    kResourceExhausted,
   };
 
   /// Default-constructed Status is OK.
@@ -45,6 +46,12 @@ class Status {
   static Status Aborted(std::string_view msg = "") {
     return Status(Code::kAborted, msg);
   }
+  /// A bounded resource (e.g. every buffer-pool frame pinned) is exhausted.
+  /// Distinct from Aborted: the condition is transient and retryable once
+  /// other threads release the resource.
+  static Status ResourceExhausted(std::string_view msg = "") {
+    return Status(Code::kResourceExhausted, msg);
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -53,6 +60,9 @@ class Status {
   bool IsIoError() const { return code_ == Code::kIoError; }
   bool IsNotSupported() const { return code_ == Code::kNotSupported; }
   bool IsAborted() const { return code_ == Code::kAborted; }
+  bool IsResourceExhausted() const {
+    return code_ == Code::kResourceExhausted;
+  }
 
   Code code() const { return code_; }
   const std::string& message() const { return message_; }

@@ -2,34 +2,68 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "storage/checksum.h"
 
 namespace xrtree {
 
-BufferPool::BufferPool(DiskInterface* disk, size_t pool_size) : disk_(disk) {
+size_t BufferPool::AutoShardCount(size_t pool_size) {
+  // Double the shard count while every shard would still hold at least
+  // kMinFramesPerShard frames. Small pools (the paper's 100-page
+  // configuration and most tests) get one or two shards; tiny pools stay
+  // unsharded so single-threaded eviction tests see exact global LRU.
+  size_t shards = 1;
+  while (shards < kMaxAutoShards &&
+         pool_size / (shards * 2) >= kMinFramesPerShard) {
+    shards *= 2;
+  }
+  return shards;
+}
+
+size_t BufferPool::ShardIndex(PageId page_id) const {
+  // Fibonacci hash: sequential page ids (the common allocation pattern)
+  // spread uniformly instead of striping.
+  uint64_t h = static_cast<uint64_t>(page_id) * 0x9E3779B97F4A7C15ull;
+  return static_cast<size_t>(h >> 32) % shards_.size();
+}
+
+BufferPool::BufferPool(DiskInterface* disk, size_t pool_size,
+                       size_t shard_count)
+    : disk_(disk), pool_size_(pool_size) {
   assert(pool_size > 0);
-  frames_.reserve(pool_size);
-  free_frames_.reserve(pool_size);
-  for (size_t i = 0; i < pool_size; ++i) {
-    frames_.push_back(std::make_unique<Page>());
-    free_frames_.push_back(pool_size - 1 - i);  // pop_back yields frame 0 first
+  if (shard_count == 0) shard_count = AutoShardCount(pool_size);
+  shard_count = std::min(shard_count, pool_size);
+  shards_.reserve(shard_count);
+  for (size_t i = 0; i < shard_count; ++i) {
+    auto shard = std::make_unique<Shard>();
+    // Distribute frames as evenly as possible; the first pool_size % K
+    // shards take one extra.
+    size_t n = pool_size / shard_count + (i < pool_size % shard_count ? 1 : 0);
+    shard->frames.reserve(n);
+    shard->free_frames.reserve(n);
+    for (size_t f = 0; f < n; ++f) {
+      shard->frames.push_back(std::make_unique<Page>());
+      shard->free_frames.push_back(n - 1 - f);  // pop_back yields frame 0
+    }
+    shards_.push_back(std::move(shard));
   }
 }
 
 BufferPool::~BufferPool() { FlushAll().ok(); }
 
-void BufferPool::TouchLru(FrameId frame) {
-  auto it = lru_pos_.find(frame);
-  if (it != lru_pos_.end()) lru_.erase(it->second);
-  lru_.push_back(frame);
-  lru_pos_[frame] = std::prev(lru_.end());
+void BufferPool::TouchLru(Shard& s, FrameId frame) {
+  auto it = s.lru_pos.find(frame);
+  if (it != s.lru_pos.end()) s.lru.erase(it->second);
+  s.lru.push_back(frame);
+  s.lru_pos[frame] = std::prev(s.lru.end());
 }
 
-bool BufferPool::FindVictim(FrameId* out) {
-  for (FrameId frame : lru_) {
-    if (frames_[frame]->pin_count_ == 0) {
+bool BufferPool::FindVictim(Shard& s, FrameId* out) {
+  for (FrameId frame : s.lru) {
+    if (s.frames[frame]->pin_count_ == 0) {
       *out = frame;
       return true;
     }
@@ -38,11 +72,12 @@ bool BufferPool::FindVictim(FrameId* out) {
 }
 
 Status BufferPool::WriteBack(Page* page) {
-  if (wal_ != nullptr) {
+  Wal* wal = wal_.load(std::memory_order_acquire);
+  if (wal != nullptr) {
     // Log-first ordering: with a WAL attached the data file is only written
     // from committed images (Checkpoint/Recover), never directly. The log
     // append stamps the trailer with the record's LSN.
-    XR_RETURN_IF_ERROR(wal_->LogPageImage(page->page_id_, page->data_));
+    XR_RETURN_IF_ERROR(wal->LogPageImage(page->page_id_, page->data_));
   } else {
     StampPageTrailer(page->data_, page->page_id_);
     XR_RETURN_IF_ERROR(disk_->WritePage(page->page_id_, page->data_));
@@ -51,126 +86,190 @@ Status BufferPool::WriteBack(Page* page) {
   return Status::Ok();
 }
 
-Status BufferPool::EvictFrame(FrameId frame) {
-  Page* page = frames_[frame].get();
+Status BufferPool::EvictFrame(Shard& s, FrameId frame) {
+  Page* page = s.frames[frame].get();
   if (page->is_dirty_) {
     XR_RETURN_IF_ERROR(WriteBack(page));
   }
-  page_table_.erase(page->page_id_);
-  auto it = lru_pos_.find(frame);
-  if (it != lru_pos_.end()) {
-    lru_.erase(it->second);
-    lru_pos_.erase(it);
+  s.page_table.erase(page->page_id_);
+  auto it = s.lru_pos.find(frame);
+  if (it != s.lru_pos.end()) {
+    s.lru.erase(it->second);
+    s.lru_pos.erase(it);
   }
   page->Reset();
   return Status::Ok();
 }
 
+bool BufferPool::AcquireFrame(Shard& s, FrameId* out, Status* error) {
+  *error = Status::Ok();
+  if (!s.free_frames.empty()) {
+    *out = s.free_frames.back();
+    s.free_frames.pop_back();
+    return true;
+  }
+  FrameId victim;
+  if (FindVictim(s, &victim)) {
+    *error = EvictFrame(s, victim);
+    if (!error->ok()) return false;
+    *out = victim;
+    return true;
+  }
+  return false;  // every frame pinned; caller backs off
+}
+
+void BufferPool::BackOff(int attempt) {
+  if (attempt < 16) {
+    std::this_thread::yield();
+  } else {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+}
+
 Result<Page*> BufferPool::FetchPage(PageId page_id) {
-  std::lock_guard<std::mutex> lock(mu_);
   if (page_id == kInvalidPageId) {
     return Status::InvalidArgument("FetchPage(kInvalidPageId)");
   }
-  auto it = page_table_.find(page_id);
-  if (it != page_table_.end()) {
-    ++stats_.buffer_hits;
-    Page* page = frames_[it->second].get();
-    ++page->pin_count_;
-    TouchLru(it->second);
-    return page;
+  Shard& s = *shards_[ShardIndex(page_id)];
+  for (int attempt = 0;; ++attempt) {
+    {
+      std::lock_guard<std::mutex> lock(s.mu);
+      auto it = s.page_table.find(page_id);
+      if (it != s.page_table.end()) {
+        s.hits.fetch_add(1, std::memory_order_relaxed);
+        Page* page = s.frames[it->second].get();
+        ++page->pin_count_;
+        TouchLru(s, it->second);
+        return page;
+      }
+      FrameId frame;
+      Status error;
+      if (AcquireFrame(s, &frame, &error)) {
+        s.misses.fetch_add(1, std::memory_order_relaxed);
+        Page* page = s.frames[frame].get();
+        // The log overlay holds the newest version of any page it has an
+        // image for — the data-file copy (if any) is stale until the next
+        // checkpoint. The read happens under the shard latch: misses within
+        // one shard serialize, other shards proceed.
+        Status read;
+        bool from_log = false;
+        Wal* wal = wal_.load(std::memory_order_acquire);
+        if (wal != nullptr) {
+          auto served = wal->TryReadImage(page_id, page->data_);
+          if (!served.ok()) {
+            read = served.status();
+          } else {
+            from_log = *served;
+          }
+        }
+        if (read.ok() && !from_log) {
+          read = disk_->ReadPage(page_id, page->data_);
+        }
+        if (read.ok()) read = VerifyPageTrailer(page->data_, page_id);
+        if (!read.ok()) {
+          // Return the frame to the free list instead of leaking it.
+          page->Reset();
+          s.free_frames.push_back(frame);
+          return read;
+        }
+        page->page_id_ = page_id;
+        page->pin_count_ = 1;
+        page->is_dirty_ = false;
+        s.page_table[page_id] = frame;
+        TouchLru(s, frame);
+        return page;
+      }
+      if (!error.ok()) return error;  // eviction write-back failed
+    }
+    // Every frame of this shard is pinned. Transient under concurrency:
+    // back off and retry until the bound, then surface pool pressure.
+    s.exhausted_waits.fetch_add(1, std::memory_order_relaxed);
+    if (attempt >= kPinnedRetries) {
+      return Status::ResourceExhausted(
+          "buffer pool exhausted: all frames of shard " +
+          std::to_string(ShardIndex(page_id)) + " pinned");
+    }
+    BackOff(attempt);
   }
-  ++stats_.buffer_misses;
-
-  FrameId frame;
-  if (!free_frames_.empty()) {
-    frame = free_frames_.back();
-    free_frames_.pop_back();
-  } else if (FindVictim(&frame)) {
-    XR_RETURN_IF_ERROR(EvictFrame(frame));
-  } else {
-    return Status::Aborted("buffer pool exhausted: all frames pinned");
-  }
-
-  Page* page = frames_[frame].get();
-  // The log overlay holds the newest version of any page it has an image
-  // for — the data-file copy (if any) is stale until the next checkpoint.
-  Status read;
-  if (wal_ != nullptr && wal_->HasImage(page_id)) {
-    read = wal_->ReadImage(page_id, page->data_);
-  } else {
-    read = disk_->ReadPage(page_id, page->data_);
-  }
-  if (read.ok()) read = VerifyPageTrailer(page->data_, page_id);
-  if (!read.ok()) {
-    // Return the frame to the free list instead of leaking it.
-    page->Reset();
-    free_frames_.push_back(frame);
-    return read;
-  }
-  page->page_id_ = page_id;
-  page->pin_count_ = 1;
-  page->is_dirty_ = false;
-  page_table_[page_id] = frame;
-  TouchLru(frame);
-  return page;
 }
 
 Result<Page*> BufferPool::NewPage() {
-  std::lock_guard<std::mutex> lock(mu_);
-  // Reuse a recycled page before extending the file. A free-list entry that
-  // is somehow still resident is in use — drop it rather than reissue it.
+  // Take a page id first: recycle from the free list before extending the
+  // file. A free-list entry that is somehow still resident is in use — drop
+  // it rather than reissue it. The allocator lock is never held together
+  // with a shard latch.
   PageId page_id = kInvalidPageId;
-  while (!free_pages_.empty()) {
-    PageId candidate = free_pages_.back();
-    free_pages_.pop_back();
-    free_set_.erase(candidate);
-    if (page_table_.find(candidate) == page_table_.end()) {
-      page_id = candidate;
+  bool recycled = false;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(alloc_mu_);
+      if (!free_pages_.empty()) {
+        page_id = free_pages_.back();
+        free_pages_.pop_back();
+        free_set_.erase(page_id);
+        recycled = true;
+      }
+    }
+    if (!recycled) {
+      page_id = disk_->AllocatePage();
       break;
     }
-  }
-  const bool recycled = (page_id != kInvalidPageId);
-  if (!recycled) {
-    page_id = disk_->AllocatePage();
+    Shard& s = *shards_[ShardIndex(page_id)];
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (s.page_table.find(page_id) == s.page_table.end()) break;
+    recycled = false;  // stale entry: skip it, try the next candidate
   }
 
-  FrameId frame;
-  bool have_frame = false;
-  Status frame_error = Status::Ok();
-  if (!free_frames_.empty()) {
-    frame = free_frames_.back();
-    free_frames_.pop_back();
-    have_frame = true;
-  } else if (FindVictim(&frame)) {
-    frame_error = EvictFrame(frame);
-    have_frame = frame_error.ok();
-  } else {
-    frame_error = Status::Aborted("buffer pool exhausted: all frames pinned");
-  }
-  if (!have_frame) {
-    if (recycled && free_set_.insert(page_id).second) {
-      free_pages_.push_back(page_id);  // don't leak the recycled id
+  Shard& s = *shards_[ShardIndex(page_id)];
+  for (int attempt = 0;; ++attempt) {
+    {
+      std::lock_guard<std::mutex> lock(s.mu);
+      FrameId frame;
+      Status error;
+      if (AcquireFrame(s, &frame, &error)) {
+        if (recycled) {
+          // The log may still hold an image of the id's previous life; a
+          // miss must never serve that stale content (see FreePage).
+          Wal* wal = wal_.load(std::memory_order_acquire);
+          if (wal != nullptr) wal->SuppressOverlay(page_id);
+        }
+        Page* page = s.frames[frame].get();
+        page->Reset();
+        page->page_id_ = page_id;
+        page->pin_count_ = 1;
+        page->is_dirty_ = true;  // ensure the zeroed page reaches disk
+        s.page_table[page_id] = frame;
+        TouchLru(s, frame);
+        return page;
+      }
+      if (!error.ok()) return error;
     }
-    return frame_error;
+    s.exhausted_waits.fetch_add(1, std::memory_order_relaxed);
+    if (attempt >= kPinnedRetries) break;
+    BackOff(attempt);
   }
-
-  Page* page = frames_[frame].get();
-  page->Reset();
-  page->page_id_ = page_id;
-  page->pin_count_ = 1;
-  page->is_dirty_ = true;  // ensure the zeroed page reaches disk
-  page_table_[page_id] = frame;
-  TouchLru(frame);
-  return page;
+  // Could not obtain a frame: return the id to the free list instead of
+  // leaking it (a fresh id would otherwise leave a permanent hole in the
+  // file; a recycled one would be lost to the catalog).
+  {
+    std::lock_guard<std::mutex> lock(alloc_mu_);
+    if (free_set_.insert(page_id).second) {
+      free_pages_.push_back(page_id);
+    }
+  }
+  return Status::ResourceExhausted(
+      "buffer pool exhausted: all frames of shard " +
+      std::to_string(ShardIndex(page_id)) + " pinned");
 }
 
 Status BufferPool::UnpinPage(PageId page_id, bool dirty) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = page_table_.find(page_id);
-  if (it == page_table_.end()) {
+  Shard& s = *shards_[ShardIndex(page_id)];
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.page_table.find(page_id);
+  if (it == s.page_table.end()) {
     return Status::InvalidArgument("UnpinPage: page not resident");
   }
-  Page* page = frames_[it->second].get();
+  Page* page = s.frames[it->second].get();
   if (page->pin_count_ <= 0) {
     return Status::InvalidArgument("UnpinPage: pin count already zero");
   }
@@ -180,10 +279,11 @@ Status BufferPool::UnpinPage(PageId page_id, bool dirty) {
 }
 
 Status BufferPool::FlushPage(PageId page_id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = page_table_.find(page_id);
-  if (it == page_table_.end()) return Status::Ok();  // not resident: no-op
-  Page* page = frames_[it->second].get();
+  Shard& s = *shards_[ShardIndex(page_id)];
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.page_table.find(page_id);
+  if (it == s.page_table.end()) return Status::Ok();  // not resident: no-op
+  Page* page = s.frames[it->second].get();
   if (page->is_dirty_) {
     XR_RETURN_IF_ERROR(WriteBack(page));
   }
@@ -191,57 +291,69 @@ Status BufferPool::FlushPage(PageId page_id) {
 }
 
 Status BufferPool::FlushAll() {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (auto& [page_id, frame] : page_table_) {
-    Page* page = frames_[frame].get();
-    if (page->is_dirty_) {
-      XR_RETURN_IF_ERROR(WriteBack(page));
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto& [page_id, frame] : shard->page_table) {
+      Page* page = shard->frames[frame].get();
+      if (page->is_dirty_) {
+        XR_RETURN_IF_ERROR(WriteBack(page));
+      }
     }
   }
   return Status::Ok();
 }
 
 Status BufferPool::DiscardPage(PageId page_id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = page_table_.find(page_id);
-  if (it == page_table_.end()) return Status::Ok();
+  Shard& s = *shards_[ShardIndex(page_id)];
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.page_table.find(page_id);
+  if (it == s.page_table.end()) return Status::Ok();
   FrameId frame = it->second;
-  Page* page = frames_[frame].get();
+  Page* page = s.frames[frame].get();
   if (page->pin_count_ > 0) {
     return Status::InvalidArgument("DiscardPage: page is pinned");
   }
-  page_table_.erase(it);
-  auto pos = lru_pos_.find(frame);
-  if (pos != lru_pos_.end()) {
-    lru_.erase(pos->second);
-    lru_pos_.erase(pos);
+  s.page_table.erase(it);
+  auto pos = s.lru_pos.find(frame);
+  if (pos != s.lru_pos.end()) {
+    s.lru.erase(pos->second);
+    s.lru_pos.erase(pos);
   }
   page->Reset();
-  free_frames_.push_back(frame);
+  s.free_frames.push_back(frame);
   return Status::Ok();
 }
 
 Status BufferPool::FreePage(PageId page_id) {
-  std::lock_guard<std::mutex> lock(mu_);
   if (page_id == kInvalidPageId || page_id < kNumReservedPages) {
     return Status::InvalidArgument("FreePage: reserved or invalid page id");
   }
-  auto it = page_table_.find(page_id);
-  if (it != page_table_.end()) {
-    FrameId frame = it->second;
-    Page* page = frames_[frame].get();
-    if (page->pin_count_ > 0) {
-      return Status::InvalidArgument("FreePage: page is pinned");
+  {
+    Shard& s = *shards_[ShardIndex(page_id)];
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.page_table.find(page_id);
+    if (it != s.page_table.end()) {
+      FrameId frame = it->second;
+      Page* page = s.frames[frame].get();
+      if (page->pin_count_ > 0) {
+        return Status::InvalidArgument("FreePage: page is pinned");
+      }
+      s.page_table.erase(it);
+      auto pos = s.lru_pos.find(frame);
+      if (pos != s.lru_pos.end()) {
+        s.lru.erase(pos->second);
+        s.lru_pos.erase(pos);
+      }
+      page->Reset();
+      s.free_frames.push_back(frame);
     }
-    page_table_.erase(it);
-    auto pos = lru_pos_.find(frame);
-    if (pos != lru_pos_.end()) {
-      lru_.erase(pos->second);
-      lru_pos_.erase(pos);
-    }
-    page->Reset();
-    free_frames_.push_back(frame);
   }
+  // The log may hold an image of the page from before the free; once the id
+  // is recycled, a miss must read the new owner's data (or legal zeros from
+  // the data file), never that stale image.
+  Wal* wal = wal_.load(std::memory_order_acquire);
+  if (wal != nullptr) wal->SuppressOverlay(page_id);
+  std::lock_guard<std::mutex> lock(alloc_mu_);
   if (free_set_.insert(page_id).second) {
     free_pages_.push_back(page_id);
   }
@@ -249,7 +361,6 @@ Status BufferPool::FreePage(PageId page_id) {
 }
 
 Status BufferPool::SetFreeList(const std::vector<PageId>& pages) {
-  std::lock_guard<std::mutex> lock(mu_);
   std::vector<PageId> list;
   std::unordered_set<PageId> set;
   list.reserve(pages.size());
@@ -266,40 +377,35 @@ Status BufferPool::SetFreeList(const std::vector<PageId>& pages) {
     }
     list.push_back(id);
   }
+  std::lock_guard<std::mutex> lock(alloc_mu_);
   free_pages_ = std::move(list);
   free_set_ = std::move(set);
   return Status::Ok();
 }
 
 std::vector<PageId> BufferPool::FreeListSnapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(alloc_mu_);
   std::vector<PageId> out = free_pages_;
   std::sort(out.begin(), out.end());
   return out;
 }
 
 void BufferPool::SetWal(Wal* wal) {
-  std::lock_guard<std::mutex> lock(mu_);
-  wal_ = wal;
-}
-
-Wal* BufferPool::wal() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return wal_;
+  wal_.store(wal, std::memory_order_release);
 }
 
 Status BufferPool::Commit() {
-  Wal* wal = nullptr;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (wal_ == nullptr) {
-      return Status::InvalidArgument("Commit: no WAL attached");
-    }
-    wal = wal_;
-    // Log every dirty resident page so the commit record covers the whole
-    // logical update, including pages that were never evicted.
-    for (auto& [page_id, frame] : page_table_) {
-      Page* page = frames_[frame].get();
+  Wal* wal = wal_.load(std::memory_order_acquire);
+  if (wal == nullptr) {
+    return Status::InvalidArgument("Commit: no WAL attached");
+  }
+  // Log every dirty resident page so the commit record covers the whole
+  // logical update, including pages that were never evicted. Commit is
+  // single-writer by contract; the shard latches only fence off readers.
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto& [page_id, frame] : shard->page_table) {
+      Page* page = shard->frames[frame].get();
       if (page->is_dirty_) {
         XR_RETURN_IF_ERROR(WriteBack(page));
       }
@@ -313,7 +419,7 @@ Status BufferPool::Commit() {
 }
 
 Status BufferPool::Checkpoint() {
-  Wal* wal = this->wal();
+  Wal* wal = wal_.load(std::memory_order_acquire);
   if (wal == nullptr) {
     return Status::InvalidArgument("Checkpoint: no WAL attached");
   }
@@ -321,34 +427,49 @@ Status BufferPool::Checkpoint() {
 }
 
 IoStats BufferPool::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  IoStats merged = stats_;
-  merged.disk_reads = disk_->stats().disk_reads;
-  merged.disk_writes = disk_->stats().disk_writes;
-  merged.pages_allocated = disk_->stats().pages_allocated;
+  IoStats merged = disk_->stats();
+  for (const auto& shard : shards_) {
+    merged.buffer_hits += shard->hits.load(std::memory_order_relaxed);
+    merged.buffer_misses += shard->misses.load(std::memory_order_relaxed);
+    merged.pool_exhausted_waits +=
+        shard->exhausted_waits.load(std::memory_order_relaxed);
+  }
+  merged.failed_unpins += failed_unpins_.load(std::memory_order_relaxed);
   return merged;
 }
 
 void BufferPool::ResetStats() {
-  std::lock_guard<std::mutex> lock(mu_);
-  stats_ = IoStats{};
+  for (auto& shard : shards_) {
+    shard->hits.store(0, std::memory_order_relaxed);
+    shard->misses.store(0, std::memory_order_relaxed);
+    shard->exhausted_waits.store(0, std::memory_order_relaxed);
+  }
+  failed_unpins_.store(0, std::memory_order_relaxed);
   disk_->ResetStats();
 }
 
+IoStats BufferPool::shard_stats(size_t shard) const {
+  IoStats s;
+  const Shard& sh = *shards_[shard];
+  s.buffer_hits = sh.hits.load(std::memory_order_relaxed);
+  s.buffer_misses = sh.misses.load(std::memory_order_relaxed);
+  s.pool_exhausted_waits = sh.exhausted_waits.load(std::memory_order_relaxed);
+  return s;
+}
+
 void BufferPool::NoteFailedUnpin(const Status& error) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.failed_unpins;
-  }
+  failed_unpins_.fetch_add(1, std::memory_order_relaxed);
   (void)error;
   assert(false && "PageGuard release: UnpinPage failed (pin leak)");
 }
 
 size_t BufferPool::pinned_frames() const {
-  std::lock_guard<std::mutex> lock(mu_);
   size_t n = 0;
-  for (const auto& f : frames_) {
-    if (f->pin_count_ > 0) ++n;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& f : shard->frames) {
+      if (f->pin_count_ > 0) ++n;
+    }
   }
   return n;
 }

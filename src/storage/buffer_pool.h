@@ -1,6 +1,7 @@
 #ifndef XRTREE_STORAGE_BUFFER_POOL_H_
 #define XRTREE_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -24,8 +25,18 @@ namespace xrtree {
 ///
 /// All pages are accessed through FetchPage/NewPage which pin the frame;
 /// callers must UnpinPage (or hold a PageGuard) when done. Pinned pages are
-/// never evicted; fetching when every frame is pinned is an error (the index
-/// code never pins more than a handful of pages at once).
+/// never evicted; fetching when every candidate frame is pinned backs off a
+/// bounded number of times and then fails with Status::ResourceExhausted
+/// (the index code never pins more than a handful of pages at once).
+///
+/// Concurrency: the pool is sharded into K latch-protected sub-pools, page
+/// ids hashed to shards. Each shard owns its frames, page table, LRU list
+/// and free-frame list under one small mutex, so readers touching different
+/// shards never contend; hit/miss counters are relaxed atomics outside any
+/// lock. Any number of threads may Fetch/Unpin concurrently. Structural
+/// mutation (NewPage/FreePage id allocation) serializes only on a small
+/// allocator lock. Writes and WAL Commit/Checkpoint remain single-writer by
+/// contract — see DESIGN.md §9 for the full threading model.
 ///
 /// The pool is also the integrity boundary: every physical write-back
 /// stamps the page's PageTrailer (CRC32 + format version) and every fetch
@@ -44,7 +55,10 @@ namespace xrtree {
 /// deleted pages stop leaking.
 class BufferPool {
  public:
-  BufferPool(DiskInterface* disk, size_t pool_size);
+  /// `shard_count` = 0 picks automatically: 1 for small pools (preserving
+  /// exact global-LRU behaviour), growing with capacity so each shard keeps
+  /// a meaningful LRU (at least kMinFramesPerShard frames).
+  BufferPool(DiskInterface* disk, size_t pool_size, size_t shard_count = 0);
   ~BufferPool();
 
   BufferPool(const BufferPool&) = delete;
@@ -72,8 +86,10 @@ class BufferPool {
 
   /// Frees a page: drops it from the pool (no write-back) and recycles its
   /// id into the free list, where NewPage will reuse it before allocating
-  /// fresh pages. The Catalog persists the list across reopens.
-  /// Precondition: the page is unpinned and not a reserved header page.
+  /// fresh pages. The Catalog persists the list across reopens. Any logged
+  /// WAL image of the page is suppressed so a later miss can never serve
+  /// the stale pre-free content. Precondition: the page is unpinned and not
+  /// a reserved header page.
   Status FreePage(PageId page_id);
 
   /// Replaces the in-memory free list (Catalog::Load installs the persisted
@@ -87,7 +103,7 @@ class BufferPool {
   /// already be recovered. While attached, dirty pages are logged rather
   /// than written to the data file.
   void SetWal(Wal* wal);
-  Wal* wal() const;
+  Wal* wal() const { return wal_.load(std::memory_order_acquire); }
 
   /// Commits the current logical update: logs every dirty resident page,
   /// appends a commit record and fsyncs the log. If the log has outgrown
@@ -98,7 +114,8 @@ class BufferPool {
   /// log. Call after Commit(). Requires an attached Wal.
   Status Checkpoint();
 
-  size_t pool_size() const { return frames_.size(); }
+  size_t pool_size() const { return pool_size_; }
+  size_t shard_count() const { return shards_.size(); }
   DiskInterface* disk() const { return disk_; }
 
   /// Records a failed unpin from a PageGuard release (a pin-accounting bug:
@@ -106,38 +123,86 @@ class BufferPool {
   /// IoStats::failed_unpins; aborts in debug builds.
   void NoteFailedUnpin(const Status& error);
 
-  /// Pool-level hit/miss counters; disk read/write counters live on the
-  /// DiskManager. `stats()` merges both views.
+  /// Coherent snapshot of the merged counters: pool-level hit/miss/wait
+  /// counters plus the disk's read/write/alloc counters. Every counter is a
+  /// monotonic relaxed atomic; measure intervals by snapshot subtraction
+  /// (IoStats::operator- saturates), not ResetStats().
   IoStats stats() const;
+
+  /// Resets pool and disk counters. NOT atomic against concurrent I/O;
+  /// kept for single-threaded tools. Prefer snapshot subtraction.
   void ResetStats();
+
+  /// Hit/miss/wait counters of one shard (per-shard balance reporting in
+  /// the concurrent benches). `shard` < shard_count().
+  IoStats shard_stats(size_t shard) const;
+
+  /// Shard a page id maps to (for tests and bench reporting).
+  size_t ShardOf(PageId page_id) const { return ShardIndex(page_id); }
 
   /// Number of currently pinned frames (for tests/assertions).
   size_t pinned_frames() const;
 
+  /// Attempts before Fetch/NewPage gives up on a fully pinned shard. Early
+  /// attempts yield; later ones sleep briefly, giving pin holders on any
+  /// scheduling of N threads time to release.
+  static constexpr int kPinnedRetries = 128;
+  /// Auto-sharding keeps at least this many frames per shard.
+  static constexpr size_t kMinFramesPerShard = 32;
+  /// Auto-sharding cap (beyond ~16 latches contention is elsewhere).
+  static constexpr size_t kMaxAutoShards = 16;
+
  private:
   using FrameId = size_t;
 
-  // Victim selection: least-recently-used unpinned frame. Caller holds mu_.
-  bool FindVictim(FrameId* out);
-  // Evicts the current occupant of `frame` (flushing if dirty). mu_ held.
-  Status EvictFrame(FrameId frame);
-  void TouchLru(FrameId frame);
-  // Stamps the integrity trailer and writes the frame's page out. mu_ held.
+  /// One latch-protected sub-pool. Everything inside is guarded by `mu`
+  /// except the trailing counters, which are relaxed atomics so stats()
+  /// never takes a latch.
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<std::unique_ptr<Page>> frames;
+    std::unordered_map<PageId, FrameId> page_table;
+    std::list<FrameId> lru;  // front = least recently used
+    std::unordered_map<FrameId, std::list<FrameId>::iterator> lru_pos;
+    std::vector<FrameId> free_frames;
+
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> exhausted_waits{0};
+  };
+
+  static size_t AutoShardCount(size_t pool_size);
+  size_t ShardIndex(PageId page_id) const;
+
+  // Victim selection: least-recently-used unpinned frame. Shard latch held.
+  bool FindVictim(Shard& s, FrameId* out);
+  // Evicts the current occupant of `frame` (flushing if dirty). Latch held.
+  Status EvictFrame(Shard& s, FrameId frame);
+  void TouchLru(Shard& s, FrameId frame);
+  // Stamps the integrity trailer and writes the frame's page out. Latch held.
   Status WriteBack(Page* page);
+  // Grabs a free or evictable frame in `s`. On success `*out` is a reset
+  // frame. Returns false with *error OK when every frame is pinned
+  // (caller backs off and retries), false with *error set when an eviction
+  // write-back failed. Latch held.
+  bool AcquireFrame(Shard& s, FrameId* out, Status* error);
+  // Sleep/yield between attempts on a fully pinned shard.
+  static void BackOff(int attempt);
 
   DiskInterface* const disk_;
-  Wal* wal_ = nullptr;
-  std::vector<std::unique_ptr<Page>> frames_;
-  std::unordered_map<PageId, FrameId> page_table_;
-  std::list<FrameId> lru_;  // front = least recently used
-  std::unordered_map<FrameId, std::list<FrameId>::iterator> lru_pos_;
-  std::vector<FrameId> free_frames_;
-  // Recycled page ids. free_set_ mirrors free_pages_ to keep FreePage
-  // idempotent (double-free must not hand the same id out twice).
+  std::atomic<Wal*> wal_{nullptr};
+  std::vector<std::unique_ptr<Shard>> shards_;
+  size_t pool_size_ = 0;
+
+  // Page-id allocation state: the recycled-id free list, behind its own
+  // small lock (never held together with a shard latch). free_set_ mirrors
+  // free_pages_ to keep FreePage idempotent (double-free must not hand the
+  // same id out twice).
+  mutable std::mutex alloc_mu_;
   std::vector<PageId> free_pages_;
   std::unordered_set<PageId> free_set_;
-  mutable std::mutex mu_;
-  IoStats stats_;
+
+  std::atomic<uint64_t> failed_unpins_{0};
 };
 
 /// RAII pin holder. Unpins (with the recorded dirty flag) on destruction.

@@ -31,7 +31,10 @@ class DiskInterface {
   /// Forces written pages to durable storage.
   virtual Status Sync() = 0;
 
-  virtual const IoStats& stats() const = 0;
+  /// Snapshot of the I/O counters, by value: implementations back these
+  /// with atomics so concurrent readers get a coherent copy, not a
+  /// reference into racing storage.
+  virtual IoStats stats() const = 0;
   virtual void ResetStats() = 0;
 };
 

@@ -6,6 +6,8 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <mutex>
+#include <thread>
 
 namespace xrtree {
 
@@ -18,7 +20,7 @@ bool RetryableErrno(int err) { return err == EINTR || err == EAGAIN; }
 DiskManager::~DiskManager() { Close().ok(); }
 
 Status DiskManager::Open(const std::string& path, const DiskOptions& options) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (fd_ >= 0) return Status::InvalidArgument("DiskManager already open");
   int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
   if (fd < 0) {
@@ -41,7 +43,7 @@ Status DiskManager::Open(const std::string& path, const DiskOptions& options) {
 }
 
 Status DiskManager::Close() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (fd_ < 0) return Status::Ok();
   Status result = Status::Ok();
   if (::fsync(fd_) != 0) {
@@ -55,10 +57,21 @@ Status DiskManager::Close() {
   return result;
 }
 
+void DiskManager::SetLatency(const DiskOptions& options) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  options_ = options;
+}
+
 void DiskManager::ChargeLatency() const {
   if (options_.simulated_latency_ns == 0) return;
-  auto deadline = std::chrono::steady_clock::now() +
-                  std::chrono::nanoseconds(options_.simulated_latency_ns);
+  auto ns = std::chrono::nanoseconds(options_.simulated_latency_ns);
+  if (options_.blocking_latency) {
+    // Sleep: concurrent requests overlap their simulated device time, the
+    // regime the multi-threaded benches measure.
+    std::this_thread::sleep_for(ns);
+    return;
+  }
+  auto deadline = std::chrono::steady_clock::now() + ns;
   while (std::chrono::steady_clock::now() < deadline) {
     // Busy wait: sleeping would under-charge for sub-scheduler-quantum
     // latencies and the benches use this to model per-page seek cost.
@@ -69,9 +82,10 @@ Status DiskManager::ReadPage(PageId page_id, char* out) {
   if (page_id == kInvalidPageId) {
     return Status::InvalidArgument("ReadPage(kInvalidPageId)");
   }
-  // fd_ is read (and the transfer performed) under mu_ so a concurrent
-  // Open/Close cannot yank the descriptor mid-operation.
-  std::lock_guard<std::mutex> lock(mu_);
+  // Shared lock: positional reads from distinct threads proceed in
+  // parallel; only Open/Close (exclusive) are excluded, so the descriptor
+  // cannot be yanked mid-operation.
+  std::shared_lock<std::shared_mutex> lock(mu_);
   if (fd_ < 0) return Status::InvalidArgument("DiskManager not open");
   ChargeLatency();
   const off_t base = static_cast<off_t>(page_id) * kPageSize;
@@ -92,7 +106,7 @@ Status DiskManager::ReadPage(PageId page_id, char* out) {
     // checksum layer above distinguishes "freshly allocated" from "torn".
     std::memset(out + got, 0, kPageSize - got);
   }
-  ++stats_.disk_reads;
+  stats_.disk_reads.fetch_add(1, std::memory_order_relaxed);
   return Status::Ok();
 }
 
@@ -100,7 +114,7 @@ Status DiskManager::WritePage(PageId page_id, const char* in) {
   if (page_id == kInvalidPageId) {
     return Status::InvalidArgument("WritePage(kInvalidPageId)");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   if (fd_ < 0) return Status::InvalidArgument("DiskManager not open");
   ChargeLatency();
   const off_t base = static_cast<off_t>(page_id) * kPageSize;
@@ -119,7 +133,7 @@ Status DiskManager::WritePage(PageId page_id, const char* in) {
     }
     put += static_cast<size_t>(n);
   }
-  ++stats_.disk_writes;
+  stats_.disk_writes.fetch_add(1, std::memory_order_relaxed);
   // Keep the allocation high-water mark past every written page. WAL
   // recovery writes pages that were allocated before the crash but never
   // reached the (shorter) data file; without this, AllocatePage could hand
@@ -132,15 +146,12 @@ Status DiskManager::WritePage(PageId page_id, const char* in) {
 }
 
 PageId DiskManager::AllocatePage() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.pages_allocated;
-  }
+  stats_.pages_allocated.fetch_add(1, std::memory_order_relaxed);
   return next_page_id_.fetch_add(1);
 }
 
 Status DiskManager::Sync() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   if (fd_ < 0) return Status::InvalidArgument("DiskManager not open");
   if (::fsync(fd_) != 0) {
     return Status::IoError("fsync: " + std::string(std::strerror(errno)));

@@ -3,7 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
+#include <shared_mutex>
 #include <string>
 
 #include "common/status.h"
@@ -15,20 +15,34 @@ namespace xrtree {
 
 /// Options controlling the on-disk behaviour of a database file.
 struct DiskOptions {
-  /// Nanoseconds of busy-wait charged to each physical page read/write.
-  /// The paper ran against a 2002 IDE disk through Windows direct I/O where
-  /// each page miss cost a mechanical seek; on a modern page-cached SSD the
-  /// miss cost collapses and the elapsed-time curves the paper reports would
-  /// flatten. Benches can set this to restore the miss-dominated regime;
-  /// tests leave it at 0. Derived "modelled" elapsed time in the benches is
-  /// computed from the miss counters instead, so 0 is a fine default.
+  /// Nanoseconds of simulated latency charged to each physical page
+  /// read/write. The paper ran against a 2002 IDE disk through Windows
+  /// direct I/O where each page miss cost a mechanical seek; on a modern
+  /// page-cached SSD the miss cost collapses and the elapsed-time curves the
+  /// paper reports would flatten. Benches can set this to restore the
+  /// miss-dominated regime; tests leave it at 0. Derived "modelled" elapsed
+  /// time in the benches is computed from the miss counters instead, so 0 is
+  /// a fine default.
   uint64_t simulated_latency_ns = 0;
+
+  /// How the latency is charged. false (default): busy-wait, accurate for
+  /// sub-scheduler-quantum costs and what the single-threaded sweeps use.
+  /// true: sleep, modelling a device that serves independent requests
+  /// concurrently (an SSD queue) — concurrent readers overlap their waits
+  /// instead of burning the core, which is what the multi-threaded bench
+  /// needs to show scaling.
+  bool blocking_latency = false;
 };
 
 /// Allocates and transfers fixed-size pages to/from a single database file.
 /// Page 0 is reserved for the file header (catalog); DiskManager itself does
 /// not interpret page contents. Transient syscall interruptions (EINTR,
-/// short transfers) are retried a bounded number of times. Thread-safe.
+/// short transfers) are retried a bounded number of times.
+///
+/// Thread-safe: page transfers use positional I/O (pread/pwrite) and take
+/// the file lock shared, so any number of threads read and write
+/// concurrently; Open/Close take it exclusive so the descriptor cannot be
+/// yanked mid-transfer. Counters are relaxed atomics.
 class DiskManager final : public DiskInterface {
  public:
   DiskManager() = default;
@@ -46,7 +60,7 @@ class DiskManager final : public DiskInterface {
   Status Close();
 
   bool is_open() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::shared_lock<std::shared_mutex> lock(mu_);
     return fd_ >= 0;
   }
 
@@ -67,11 +81,12 @@ class DiskManager final : public DiskInterface {
 
   Status Sync() override;
 
-  const IoStats& stats() const override { return stats_; }
-  void ResetStats() override {
-    std::lock_guard<std::mutex> lock(mu_);
-    stats_ = IoStats{};
-  }
+  /// Replaces the latency model on an open disk (benches build the database
+  /// latency-free, then turn simulated miss cost on for measurement).
+  void SetLatency(const DiskOptions& options);
+
+  IoStats stats() const override { return stats_.Snapshot(); }
+  void ResetStats() override { stats_.Reset(); }
 
   /// Bound on EINTR/short-transfer retries per page operation before the
   /// error is surfaced as Status::IoError.
@@ -84,8 +99,8 @@ class DiskManager final : public DiskInterface {
   std::string path_;
   DiskOptions options_;
   std::atomic<PageId> next_page_id_{kNumReservedPages};  // 0/1 = header slots
-  mutable std::mutex mu_;
-  IoStats stats_;
+  mutable std::shared_mutex mu_;
+  AtomicIoStats stats_;
 };
 
 }  // namespace xrtree

@@ -121,7 +121,7 @@ class FaultInjectingDisk : public DiskInterface {
   PageId AllocatePage() override { return base_->AllocatePage(); }
   PageId num_pages() const override { return base_->num_pages(); }
   Status Sync() override;
-  const IoStats& stats() const override { return base_->stats(); }
+  IoStats stats() const override { return base_->stats(); }
   void ResetStats() override { base_->ResetStats(); }
 
  private:

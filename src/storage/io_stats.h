@@ -1,6 +1,7 @@
 #ifndef XRTREE_STORAGE_IO_STATS_H_
 #define XRTREE_STORAGE_IO_STATS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -10,6 +11,13 @@ namespace xrtree {
 /// evaluation reports elapsed time dominated by buffer-pool page misses
 /// (§6.2); these counters are the primitive measurements behind every table
 /// and figure we reproduce.
+///
+/// Measurement convention: counters are monotonic while a component lives.
+/// Callers that need a per-interval view should take a snapshot before and
+/// after and subtract (`after - before`) rather than calling ResetStats() —
+/// a reset races with concurrent I/O and can make a later snapshot appear
+/// to go backwards. `operator-` saturates at zero so a delta taken across
+/// a reset degrades to an undercount instead of a ~2^64 garbage value.
 struct IoStats {
   uint64_t disk_reads = 0;     ///< physical page reads issued to the file
   uint64_t disk_writes = 0;    ///< physical page writes issued to the file
@@ -17,15 +25,21 @@ struct IoStats {
   uint64_t buffer_misses = 0;  ///< FetchPage requiring a disk read
   uint64_t pages_allocated = 0;
   uint64_t failed_unpins = 0;  ///< PageGuard releases whose unpin errored
+  /// Times a Fetch/NewPage found every frame of its shard pinned and had to
+  /// back off and retry (pool-pressure signal for the concurrent benches).
+  uint64_t pool_exhausted_waits = 0;
 
   IoStats operator-(const IoStats& rhs) const {
+    auto sat = [](uint64_t a, uint64_t b) { return a > b ? a - b : 0; };
     IoStats d;
-    d.disk_reads = disk_reads - rhs.disk_reads;
-    d.disk_writes = disk_writes - rhs.disk_writes;
-    d.buffer_hits = buffer_hits - rhs.buffer_hits;
-    d.buffer_misses = buffer_misses - rhs.buffer_misses;
-    d.pages_allocated = pages_allocated - rhs.pages_allocated;
-    d.failed_unpins = failed_unpins - rhs.failed_unpins;
+    d.disk_reads = sat(disk_reads, rhs.disk_reads);
+    d.disk_writes = sat(disk_writes, rhs.disk_writes);
+    d.buffer_hits = sat(buffer_hits, rhs.buffer_hits);
+    d.buffer_misses = sat(buffer_misses, rhs.buffer_misses);
+    d.pages_allocated = sat(pages_allocated, rhs.pages_allocated);
+    d.failed_unpins = sat(failed_unpins, rhs.failed_unpins);
+    d.pool_exhausted_waits =
+        sat(pool_exhausted_waits, rhs.pool_exhausted_waits);
     return d;
   }
 
@@ -36,6 +50,7 @@ struct IoStats {
     buffer_misses += rhs.buffer_misses;
     pages_allocated += rhs.pages_allocated;
     failed_unpins += rhs.failed_unpins;
+    pool_exhausted_waits += rhs.pool_exhausted_waits;
     return *this;
   }
 
@@ -47,10 +62,50 @@ struct IoStats {
                     " hits=" + std::to_string(buffer_hits) +
                     " misses=" + std::to_string(buffer_misses) +
                     " alloc=" + std::to_string(pages_allocated);
+    if (pool_exhausted_waits > 0) {
+      s += " exhausted_waits=" + std::to_string(pool_exhausted_waits);
+    }
     if (failed_unpins > 0) {
       s += " FAILED_UNPINS=" + std::to_string(failed_unpins);
     }
     return s;
+  }
+};
+
+/// Relaxed-atomic mirror of IoStats for counters bumped on concurrent hot
+/// paths. Each counter is individually coherent; Snapshot() is not a
+/// cross-counter atomic cut (none is needed — every counter is monotonic,
+/// and interval measurement is snapshot subtraction with saturation).
+struct AtomicIoStats {
+  std::atomic<uint64_t> disk_reads{0};
+  std::atomic<uint64_t> disk_writes{0};
+  std::atomic<uint64_t> buffer_hits{0};
+  std::atomic<uint64_t> buffer_misses{0};
+  std::atomic<uint64_t> pages_allocated{0};
+  std::atomic<uint64_t> failed_unpins{0};
+  std::atomic<uint64_t> pool_exhausted_waits{0};
+
+  IoStats Snapshot() const {
+    IoStats s;
+    s.disk_reads = disk_reads.load(std::memory_order_relaxed);
+    s.disk_writes = disk_writes.load(std::memory_order_relaxed);
+    s.buffer_hits = buffer_hits.load(std::memory_order_relaxed);
+    s.buffer_misses = buffer_misses.load(std::memory_order_relaxed);
+    s.pages_allocated = pages_allocated.load(std::memory_order_relaxed);
+    s.failed_unpins = failed_unpins.load(std::memory_order_relaxed);
+    s.pool_exhausted_waits =
+        pool_exhausted_waits.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  void Reset() {
+    disk_reads.store(0, std::memory_order_relaxed);
+    disk_writes.store(0, std::memory_order_relaxed);
+    buffer_hits.store(0, std::memory_order_relaxed);
+    buffer_misses.store(0, std::memory_order_relaxed);
+    pages_allocated.store(0, std::memory_order_relaxed);
+    failed_unpins.store(0, std::memory_order_relaxed);
+    pool_exhausted_waits.store(0, std::memory_order_relaxed);
   }
 };
 

@@ -171,6 +171,7 @@ Status Wal::Open(const std::string& path, const WalOptions& options) {
   committed_end_ = 0;
   ready_ = (size == 0);  // a non-empty log must go through Recover first
   images_.clear();
+  overlay_suppressed_.clear();
   stats_ = WalStats{};
   return Status::Ok();
 }
@@ -185,6 +186,7 @@ Status Wal::Attach(WalFile* file, const WalOptions& options) {
   committed_end_ = 0;
   ready_ = (size == 0);
   images_.clear();
+  overlay_suppressed_.clear();
   stats_ = WalStats{};
   return Status::Ok();
 }
@@ -194,6 +196,7 @@ Status Wal::Close() {
   file_ = nullptr;
   ready_ = false;
   images_.clear();
+  overlay_suppressed_.clear();
   Status result = Status::Ok();
   if (owned_file_ != nullptr) {
     result = owned_file_->Close();
@@ -260,6 +263,7 @@ Status Wal::Recover(DiskInterface* disk) {
   end_ = 0;
   committed_end_ = 0;
   images_.clear();
+  overlay_suppressed_.clear();
   ready_ = true;
   stats_.recovered_commits = commits;
   stats_.recovered_pages = committed_images.size();
@@ -298,26 +302,45 @@ Status Wal::LogPageImage(PageId page_id, char* page) {
   StampPageTrailer(page, page_id, lsn);
   XR_RETURN_IF_ERROR(AppendRecord(kPageImageRecord, page_id, page, kPageSize));
   images_[page_id] = lsn + sizeof(RecordHeader);
+  overlay_suppressed_.erase(page_id);  // a fresh image supersedes the free
   ++stats_.images_logged;
   return Status::Ok();
 }
 
 bool Wal::HasImage(PageId page_id) const {
   std::lock_guard<std::mutex> lock(mu_);
-  return images_.count(page_id) > 0;
+  return images_.count(page_id) > 0 &&
+         overlay_suppressed_.count(page_id) == 0;
 }
 
 Status Wal::ReadImage(PageId page_id, char* out) const {
   std::lock_guard<std::mutex> lock(mu_);
   if (file_ == nullptr) return Status::InvalidArgument("Wal not open");
   auto it = images_.find(page_id);
-  if (it == images_.end()) {
+  if (it == images_.end() || overlay_suppressed_.count(page_id) > 0) {
     return Status::NotFound("no logged image for page " +
                             std::to_string(page_id));
   }
   XR_RETURN_IF_ERROR(file_->ReadAt(it->second, out, kPageSize));
   ++stats_.fetches_from_log;
   return Status::Ok();
+}
+
+Result<bool> Wal::TryReadImage(PageId page_id, char* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return Status::InvalidArgument("Wal not open");
+  auto it = images_.find(page_id);
+  if (it == images_.end() || overlay_suppressed_.count(page_id) > 0) {
+    return false;
+  }
+  XR_RETURN_IF_ERROR(file_->ReadAt(it->second, out, kPageSize));
+  ++stats_.fetches_from_log;
+  return true;
+}
+
+void Wal::SuppressOverlay(PageId page_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (images_.count(page_id) > 0) overlay_suppressed_.insert(page_id);
 }
 
 Status Wal::Commit() {
@@ -357,6 +380,7 @@ Status Wal::Checkpoint(DiskInterface* disk) {
   end_ = 0;
   committed_end_ = 0;
   images_.clear();
+  overlay_suppressed_.clear();
   ++stats_.checkpoints;
   return Status::Ok();
 }

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/result.h"
 #include "common/status.h"
@@ -141,11 +142,29 @@ class Wal {
   /// CRC all agree. Not yet durable: Commit() is the barrier.
   Status LogPageImage(PageId page_id, char* page);
 
-  /// True if the log holds an image (committed or not) for `page_id`.
+  /// True if the log holds a servable image (committed or not) for
+  /// `page_id`. Suppressed images (see SuppressOverlay) do not count.
   bool HasImage(PageId page_id) const;
 
-  /// Reads the latest logged image of `page_id` into `out`.
+  /// Reads the latest servable logged image of `page_id` into `out`.
   Status ReadImage(PageId page_id, char* out) const;
+
+  /// HasImage + ReadImage under one lock acquisition, for the buffer pool's
+  /// miss path: returns true and fills `out` (kPageSize bytes) if a
+  /// servable image exists, false if the caller should fall back to the
+  /// data file. The combined form cannot race with a concurrent
+  /// checkpoint truncating the log between the two steps.
+  Result<bool> TryReadImage(PageId page_id, char* out) const;
+
+  /// Marks any logged image of `page_id` as non-servable to miss reads
+  /// until a fresh image is logged for it. The BufferPool calls this when
+  /// the id is freed or recycled: the old image predates the free, and a
+  /// later miss on the recycled page must read the new owner's data (or
+  /// legal zeros), never resurrect the stale content. Checkpoint and
+  /// Recover still apply committed images to the data file — harmless, a
+  /// freed page's on-disk bytes are dead either way, and the next logged
+  /// image of the id supersedes them.
+  void SuppressOverlay(PageId page_id);
 
   /// Appends a commit record and fsyncs the log. Everything logged before
   /// this point is now durable and will be redone by Recover.
@@ -179,6 +198,10 @@ class Wal {
   uint64_t committed_end_ = 0;
   /// Latest image per page: payload byte offset in the log.
   std::unordered_map<PageId, uint64_t> images_;
+  /// Page ids whose logged image must not be served to miss reads (the id
+  /// was freed/recycled after the image was logged). Logging a fresh image
+  /// un-suppresses. Cleared whenever images_ is.
+  std::unordered_set<PageId> overlay_suppressed_;
   mutable WalStats stats_;  // mutable: ReadImage is logically const
   mutable std::mutex mu_;
 };

@@ -54,6 +54,16 @@ struct StabStats {
 /// held by the *topmost* internal node with a stabbing key, tagged with
 /// that node's *smallest* stabbing key, or is flagged InStabList=no in its
 /// leaf when no internal key stabs it.
+///
+/// Thread safety: the const query methods (Search, FindDescendants,
+/// FindAncestors, FindAncestorsAbove, Begin, Height, ComputeStabStats,
+/// CheckConsistency) hold no tree-level state across calls — descents use
+/// only locals plus pinned pool pages — so any number of reader threads may
+/// query concurrently over a thread-safe BufferPool, each with its own
+/// XrTree handle or sharing one. Insert/Delete/BulkLoad mutate pages and
+/// must run single-writer with no concurrent readers (see DESIGN.md §9).
+/// CountEntries is non-const (it refreshes the cached size) and is likewise
+/// writer-only.
 class XrTree {
  public:
   XrTree(BufferPool* pool, PageId root = kInvalidPageId,

@@ -15,6 +15,11 @@ class XrTree;
 /// Forward cursor over the leaf level of an XrTree (the merge-scan
 /// backbone of the XR-stack join). Pins only the current leaf. The scanned
 /// counter implements the paper's "number of elements scanned" metric.
+///
+/// Thread safety: an iterator is a single-thread object (it carries a pinned
+/// PageGuard and a position), but any number of threads may each advance
+/// their *own* iterator over the same tree concurrently; all shared state
+/// lives in the pool's latched shards (DESIGN.md §9).
 class XrIterator {
  public:
   XrIterator() = default;

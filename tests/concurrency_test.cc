@@ -1,0 +1,398 @@
+// Multi-threaded tests for the sharded buffer pool and the read-side of the
+// index/join stack. Everything here must be clean under ThreadSanitizer
+// (the CI tsan job runs this binary); the single-writer rule is respected
+// throughout — all mutation happens before the reader threads start.
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "btree/btree.h"
+#include "common/random.h"
+#include "join/bplus_join.h"
+#include "join/element_source.h"
+#include "join/stack_tree_desc.h"
+#include "join/xr_stack.h"
+#include "storage/buffer_pool.h"
+#include "storage/element_file.h"
+#include "tests/test_util.h"
+#include "workload/datasets.h"
+#include "xrtree/xrtree.h"
+
+namespace xrtree {
+namespace {
+
+/// Fills `count` fresh pages with a per-page byte pattern and unpins them
+/// dirty. Returns the ids.
+std::vector<PageId> WritePatternPages(BufferPool* pool, size_t count) {
+  std::vector<PageId> ids;
+  ids.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    auto page = pool->NewPage();
+    XR_CHECK_OK(page.status());
+    PageId id = (*page)->page_id();
+    char fill = static_cast<char>(id % 251);
+    for (size_t b = 0; b < kPageDataSize; b += 512) (*page)->data()[b] = fill;
+    XR_CHECK_OK(pool->UnpinPage(id, true));
+    ids.push_back(id);
+  }
+  XR_CHECK_OK(pool->FlushAll());
+  return ids;
+}
+
+TEST(ShardedPoolTest, ShardLayoutAndPerShardCounters) {
+  TempDb db(64, 8);
+  EXPECT_EQ(db.pool()->shard_count(), 8u);
+  EXPECT_EQ(db.pool()->pool_size(), 64u);
+
+  std::vector<PageId> ids = WritePatternPages(db.pool(), 32);
+  IoStats before = db.pool()->stats();
+  for (PageId id : ids) {
+    auto p = db.pool()->FetchPage(id);
+    ASSERT_OK(p.status());
+    ASSERT_OK(db.pool()->UnpinPage(id, false));
+  }
+  IoStats delta = db.pool()->stats() - before;
+  EXPECT_EQ(delta.total_page_accesses(), ids.size());
+
+  // The merged view must equal the sum of the per-shard counters.
+  uint64_t shard_hits = 0, shard_misses = 0;
+  for (size_t s = 0; s < db.pool()->shard_count(); ++s) {
+    IoStats ss = db.pool()->shard_stats(s);
+    shard_hits += ss.buffer_hits;
+    shard_misses += ss.buffer_misses;
+  }
+  IoStats total = db.pool()->stats();
+  EXPECT_EQ(total.buffer_hits, shard_hits);
+  EXPECT_EQ(total.buffer_misses, shard_misses);
+
+  // Pattern pages spread over more than one shard.
+  std::vector<bool> touched(db.pool()->shard_count(), false);
+  for (PageId id : ids) touched[db.pool()->ShardOf(id)] = true;
+  size_t used = 0;
+  for (bool t : touched) used += t;
+  EXPECT_GT(used, 1u);
+}
+
+TEST(ShardedPoolTest, TinyPoolsStayUnsharded) {
+  TempDb db(3);
+  EXPECT_EQ(db.pool()->shard_count(), 1u);
+}
+
+TEST(ShardedPoolTest, ExhaustionIsDistinctAndCounted) {
+  TempDb db(4, 1);
+  std::vector<PageId> pinned;
+  for (int i = 0; i < 4; ++i) {
+    auto p = db.pool()->NewPage();
+    ASSERT_OK(p.status());
+    pinned.push_back((*p)->page_id());
+  }
+  auto r = db.pool()->NewPage();
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsResourceExhausted()) << r.status();
+  EXPECT_GT(db.pool()->stats().pool_exhausted_waits, 0u);
+
+  // Releasing one pin makes the pool usable again.
+  ASSERT_OK(db.pool()->UnpinPage(pinned.back(), false));
+  auto ok = db.pool()->NewPage();
+  ASSERT_OK(ok.status());
+  ASSERT_OK(db.pool()->UnpinPage((*ok)->page_id(), false));
+  for (size_t i = 0; i + 1 < pinned.size(); ++i) {
+    ASSERT_OK(db.pool()->UnpinPage(pinned[i], false));
+  }
+}
+
+TEST(ConcurrencyTest, ParallelPinUnpinHammer) {
+  TempDb db(64, 8);
+  std::vector<PageId> ids = WritePatternPages(db.pool(), 160);
+
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 2000;
+  std::atomic<uint64_t> errors{0};
+  std::atomic<uint64_t> torn{0};
+  IoStats before = db.pool()->stats();
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Random rng(0xC0FFEE + t);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        PageId id = ids[rng.Uniform(ids.size())];
+        auto r = db.pool()->FetchPage(id);
+        if (!r.ok()) {
+          errors.fetch_add(1);
+          continue;
+        }
+        Page* p = r.value();
+        char expect = static_cast<char>(id % 251);
+        for (size_t b = 0; b < kPageDataSize; b += 512) {
+          if (p->data()[b] != expect) {
+            torn.fetch_add(1);
+            break;
+          }
+        }
+        if (!db.pool()->UnpinPage(id, false).ok()) errors.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(errors.load(), 0u);
+  EXPECT_EQ(torn.load(), 0u);
+  EXPECT_EQ(db.pool()->pinned_frames(), 0u);
+  // Each op is exactly one hit or one miss; retries never double-count.
+  IoStats delta = db.pool()->stats() - before;
+  EXPECT_EQ(delta.total_page_accesses(),
+            static_cast<uint64_t>(kThreads) * kOpsPerThread);
+}
+
+// Threads holding one pin while taking a second can momentarily pin every
+// frame of a small single-shard pool. The bounded back-off in FetchPage
+// must absorb the transient instead of surfacing ResourceExhausted.
+TEST(ConcurrencyTest, TransientExhaustionRecoversViaRetry) {
+  TempDb db(8, 1);
+  std::vector<PageId> ids = WritePatternPages(db.pool(), 16);
+
+  constexpr int kThreads = 4;  // peak demand = 4 threads x 2 pins = capacity
+  std::atomic<uint64_t> errors{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Random rng(42 + t);
+      for (int i = 0; i < 300; ++i) {
+        PageId first = ids[rng.Uniform(ids.size())];
+        auto a = db.pool()->FetchPage(first);
+        if (!a.ok()) {
+          errors.fetch_add(1);
+          continue;
+        }
+        PageGuard ga(db.pool(), a.value());
+        PageId second = ids[rng.Uniform(ids.size())];
+        if (second == first) continue;  // guard releases the single pin
+        auto b = db.pool()->FetchPage(second);
+        if (!b.ok()) {
+          errors.fetch_add(1);
+          continue;
+        }
+        PageGuard gb(db.pool(), b.value());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(errors.load(), 0u);
+  EXPECT_EQ(db.pool()->pinned_frames(), 0u);
+}
+
+TEST(ConcurrencyTest, StatsSnapshotsAreMonotonicUnderLoad) {
+  TempDb db(32, 4);
+  std::vector<PageId> ids = WritePatternPages(db.pool(), 64);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> backwards{0};
+  std::thread observer([&] {
+    IoStats prev = db.pool()->stats();
+    while (!stop.load(std::memory_order_acquire)) {
+      IoStats now = db.pool()->stats();
+      // Every counter is monotonic; a snapshot can never go backwards.
+      if (now.buffer_hits < prev.buffer_hits ||
+          now.buffer_misses < prev.buffer_misses ||
+          now.disk_reads < prev.disk_reads) {
+        backwards.fetch_add(1);
+      }
+      prev = now;
+    }
+  });
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 2; ++t) {
+    workers.emplace_back([&, t] {
+      Random rng(7 + t);
+      for (int i = 0; i < 1500; ++i) {
+        PageId id = ids[rng.Uniform(ids.size())];
+        auto r = db.pool()->FetchPage(id);
+        if (r.ok()) db.pool()->UnpinPage(id, false).ok();
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  stop.store(true, std::memory_order_release);
+  observer.join();
+  EXPECT_EQ(backwards.load(), 0u);
+}
+
+TEST(IoStatsTest, SubtractionSaturatesAtZero) {
+  IoStats small, big;
+  small.buffer_hits = 3;
+  small.disk_reads = 1;
+  big.buffer_hits = 10;
+  big.disk_reads = 5;
+  big.pool_exhausted_waits = 2;
+  IoStats d = small - big;
+  EXPECT_EQ(d.buffer_hits, 0u);
+  EXPECT_EQ(d.disk_reads, 0u);
+  EXPECT_EQ(d.pool_exhausted_waits, 0u);
+  IoStats ok = big - small;
+  EXPECT_EQ(ok.buffer_hits, 7u);
+  EXPECT_EQ(ok.disk_reads, 4u);
+  EXPECT_EQ(ok.pool_exhausted_waits, 2u);
+}
+
+// Many threads running FindAncestors/FindDescendants against one shared
+// XrTree (each with its own lightweight cursor handle) must see exactly the
+// single-threaded answers.
+TEST(ConcurrencyTest, ParallelXrProbesMatchSerial) {
+  TempDb db(128, 4);
+  XrTreeOptions options;
+  options.leaf_capacity = 16;
+  options.internal_capacity = 8;
+  ElementList elems = RandomNestedElements(11, 2000);
+  PageId root;
+  {
+    XrTree tree(db.pool(), kInvalidPageId, options);
+    ASSERT_OK(tree.BulkLoad(elems));
+    root = tree.root();
+    ASSERT_OK(db.pool()->FlushAll());
+  }
+
+  // Serial ground truth.
+  std::vector<Position> probes;
+  std::vector<ElementList> want_anc;
+  std::vector<Element> targets;
+  std::vector<ElementList> want_desc;
+  {
+    XrTree tree(db.pool(), root, options);
+    Random rng(99);
+    Position max_pos = elems.back().end + 10;
+    for (int q = 0; q < 40; ++q) {
+      Position sd = static_cast<Position>(rng.UniformRange(0, max_pos));
+      probes.push_back(sd);
+      auto got = tree.FindAncestors(sd);
+      ASSERT_OK(got.status());
+      want_anc.push_back(*got);
+    }
+    for (int q = 0; q < 25; ++q) {
+      const Element& a = elems[rng.Uniform(elems.size())];
+      targets.push_back(a);
+      auto got = tree.FindDescendants(a);
+      ASSERT_OK(got.status());
+      want_desc.push_back(*got);
+    }
+  }
+
+  constexpr int kThreads = 6;
+  std::atomic<uint64_t> mismatches{0};
+  std::atomic<uint64_t> errors{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      XrTree tree(db.pool(), root, options);
+      for (size_t q = 0; q < probes.size(); ++q) {
+        auto got = tree.FindAncestors(probes[q]);
+        if (!got.ok()) {
+          errors.fetch_add(1);
+        } else if (*got != want_anc[q]) {
+          mismatches.fetch_add(1);
+        }
+      }
+      for (size_t q = 0; q < targets.size(); ++q) {
+        auto got = tree.FindDescendants(targets[q]);
+        if (!got.ok()) {
+          errors.fetch_add(1);
+        } else if (*got != want_desc[q]) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(errors.load(), 0u);
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_EQ(db.pool()->pinned_frames(), 0u);
+}
+
+// Full structural joins (all three algorithms) running concurrently over
+// one shared pool produce results identical to the single-threaded run.
+TEST(ConcurrencyTest, ConcurrentJoinsMatchSingleThreaded) {
+  auto ds = MakeDepartmentDataset(3000);
+  ASSERT_OK(ds.status());
+
+  TempDb db(256, 8);
+  PageId a_file_head, d_file_head, a_bt_root, d_bt_root, a_xr_root, d_xr_root;
+  uint64_t a_size, d_size;
+  {
+    StoredElementSet a_set(db.pool(), "A");
+    StoredElementSet d_set(db.pool(), "D");
+    ASSERT_OK(a_set.Build(ds->ancestors));
+    ASSERT_OK(d_set.Build(ds->descendants));
+    a_file_head = a_set.file().head();
+    d_file_head = d_set.file().head();
+    a_size = a_set.file().size();
+    d_size = d_set.file().size();
+    a_bt_root = a_set.btree().root();
+    d_bt_root = d_set.btree().root();
+    a_xr_root = a_set.xrtree().root();
+    d_xr_root = d_set.xrtree().root();
+    ASSERT_OK(db.pool()->FlushAll());
+  }
+
+  JoinOptions options;
+  options.materialize = true;
+
+  auto run_algo = [&](int algo) -> Result<JoinOutput> {
+    switch (algo) {
+      case 0: {
+        XrTree a_xr(db.pool(), a_xr_root);
+        XrTree d_xr(db.pool(), d_xr_root);
+        return XrStackJoin(a_xr, d_xr, options);
+      }
+      case 1: {
+        ElementFile a_file(db.pool());
+        ElementFile d_file(db.pool());
+        a_file.OpenExisting(a_file_head, a_size);
+        d_file.OpenExisting(d_file_head, d_size);
+        return StackTreeDescJoin(a_file, d_file, options);
+      }
+      default: {
+        BTree a_bt(db.pool(), a_bt_root);
+        BTree d_bt(db.pool(), d_bt_root);
+        return BPlusJoin(a_bt, d_bt, options);
+      }
+    }
+  };
+
+  // Single-threaded ground truth per algorithm.
+  std::vector<std::vector<JoinPair>> want;
+  for (int algo = 0; algo < 3; ++algo) {
+    auto out = run_algo(algo);
+    ASSERT_OK(out.status());
+    want.push_back(out->pairs);
+    ASSERT_FALSE(out->pairs.empty());
+  }
+
+  constexpr int kThreads = 6;
+  std::atomic<uint64_t> errors{0};
+  std::atomic<uint64_t> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < 2; ++round) {
+        int algo = (t + round) % 3;
+        auto out = run_algo(algo);
+        if (!out.ok()) {
+          errors.fetch_add(1);
+        } else if (out->pairs != want[algo]) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(errors.load(), 0u);
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_EQ(db.pool()->pinned_frames(), 0u);
+}
+
+}  // namespace
+}  // namespace xrtree

@@ -26,6 +26,15 @@ TEST(StatusTest, AllCodesStringify) {
   EXPECT_EQ(Status::IoError("x").ToString(), "IoError: x");
   EXPECT_EQ(Status::NotSupported("x").ToString(), "NotSupported: x");
   EXPECT_EQ(Status::Aborted("x").ToString(), "Aborted: x");
+  EXPECT_EQ(Status::ResourceExhausted("x").ToString(),
+            "ResourceExhausted: x");
+}
+
+TEST(StatusTest, ResourceExhaustedIsDistinct) {
+  Status s = Status::ResourceExhausted("all frames pinned");
+  EXPECT_TRUE(s.IsResourceExhausted());
+  EXPECT_FALSE(s.IsAborted());
+  EXPECT_FALSE(Status::Aborted("x").IsResourceExhausted());
 }
 
 TEST(StatusTest, EqualityComparesCodesOnly) {

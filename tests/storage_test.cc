@@ -124,9 +124,11 @@ TEST(BufferPoolTest, PinnedPagesAreNotEvicted) {
     ASSERT_OK_AND_ASSIGN(Page * p, db.pool()->NewPage());
     pinned.push_back(p->page_id());
   }
-  // Pool is full of pinned pages: the next request must fail.
+  // Pool is full of pinned pages: the next request must fail with the
+  // distinct retryable code after the bounded back-off runs dry.
   auto r = db.pool()->NewPage();
   EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsResourceExhausted()) << r.status();
   for (PageId id : pinned) ASSERT_OK(db.pool()->UnpinPage(id, false));
   ASSERT_OK_AND_ASSIGN(Page * p, db.pool()->NewPage());
   ASSERT_OK(db.pool()->UnpinPage(p->page_id(), false));
@@ -338,7 +340,7 @@ TEST(BufferPoolConcurrencyTest, ParallelFetchesSeeConsistentPages) {
       if (!r.ok()) {
         // Pool exhaustion is possible if every frame is momentarily
         // pinned by the other threads; it must be the only error kind.
-        if (r.status().code() != Status::Code::kAborted) ++failures;
+        if (!r.status().IsResourceExhausted()) ++failures;
         continue;
       }
       Page* p = r.value();

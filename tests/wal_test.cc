@@ -341,6 +341,60 @@ TEST(WalTest, CheckpointWithUncommittedTailIsRejected) {
   EXPECT_OK(db.pool()->Checkpoint());
 }
 
+// Regression for recycled page ids vs. the log's image overlay. Sequence:
+// a page's image is committed to the log, the page is freed, the id is
+// recycled by NewPage and its new (dirty, unlogged) incarnation evicted
+// from the cache — all without a checkpoint. The miss that follows used to
+// find the stale pre-free image in the overlay (valid CRC and all) and
+// serve it as if it were the page's current content.
+TEST(WalTest, RecycledPageIdNeverServesStalePreFreeImage) {
+  WalDb db;
+  PageId p;
+  ASSERT_OK_AND_ASSIGN(p, WriteMarkedPage(db.pool(), 'A'));
+  ASSERT_OK(db.pool()->Commit());  // committed 'A' image sits in the log
+  ASSERT_OK(db.pool()->FreePage(p));
+  // The overlay must stop serving the dead image the moment the id is
+  // freed, not only once it is recycled.
+  EXPECT_FALSE(db.wal()->HasImage(p));
+
+  // Recycle the id (checkpoint-less: the data file never saw the page).
+  Page* fresh = nullptr;
+  ASSERT_OK_AND_ASSIGN(fresh, db.pool()->NewPage());
+  ASSERT_EQ(fresh->page_id(), p);
+  FillPage(fresh->data(), 'B');
+  {
+    PageGuard guard(db.pool(), fresh);
+    guard.MarkDirty();
+  }
+  // Evict the dirty new incarnation without logging or flushing it, then
+  // miss on the id. The stale 'A' must not resurrect; the data file
+  // legitimately reads as a never-written (all-zero) page.
+  ASSERT_OK(db.pool()->DiscardPage(p));
+  {
+    Page* back = nullptr;
+    ASSERT_OK_AND_ASSIGN(back, db.pool()->FetchPage(p));
+    PageGuard guard(db.pool(), back);
+    ASSERT_NE(back->data()[0], 'A');
+    for (size_t i = 0; i < kPageDataSize; ++i) {
+      ASSERT_EQ(back->data()[i], 0) << "stale overlay byte at " << i;
+    }
+  }
+
+  // Logging a fresh image of the recycled id supersedes the suppression:
+  // misses serve the new content again.
+  {
+    Page* again = nullptr;
+    ASSERT_OK_AND_ASSIGN(again, db.pool()->FetchPage(p));
+    PageGuard guard(db.pool(), again);
+    FillPage(again->data(), 'C');
+    guard.MarkDirty();
+  }
+  ASSERT_OK(db.pool()->Commit());
+  ASSERT_OK(db.pool()->DiscardPage(p));
+  EXPECT_TRUE(db.wal()->HasImage(p));
+  EXPECT_OK(ExpectPageFill(db.pool(), p, 'C'));
+}
+
 TEST(WalTest, AppendBeforeRecoverIsRejected) {
   char tmpl[] = "/tmp/xrtree_wal_XXXXXX";
   int fd = ::mkstemp(tmpl);
