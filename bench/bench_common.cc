@@ -172,5 +172,98 @@ std::string Thousands(uint64_t n) {
   return std::to_string((n + 500) / 1000);
 }
 
+void JsonObject::Set(const std::string& key, uint64_t value) {
+  fields_.emplace_back(key, std::to_string(value));
+}
+
+void JsonObject::Set(const std::string& key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  fields_.emplace_back(key, buf);
+}
+
+void JsonObject::Set(const std::string& key, bool value) {
+  fields_.emplace_back(key, value ? "true" : "false");
+}
+
+void JsonObject::Set(const std::string& key, const std::string& value) {
+  fields_.emplace_back(key, "\"" + JsonEscape(value) + "\"");
+}
+
+void JsonObject::SetRaw(const std::string& key, const std::string& raw_json) {
+  fields_.emplace_back(key, raw_json);
+}
+
+std::string JsonObject::Dump() const {
+  std::string out = "{";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"" + JsonEscape(fields_[i].first) + "\":" + fields_[i].second;
+  }
+  out += "}";
+  return out;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonArray(const std::vector<std::string>& raw_items) {
+  std::string out = "[";
+  for (size_t i = 0; i < raw_items.size(); ++i) {
+    if (i > 0) out += ",";
+    out += raw_items[i];
+  }
+  out += "]";
+  return out;
+}
+
+std::string ParseJsonPathArg(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") return argv[i + 1];
+  }
+  return "";
+}
+
+bool WriteTextFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  bool ok = std::fwrite(content.data(), 1, content.size(), f) ==
+                content.size() &&
+            std::fputc('\n', f) != EOF;
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) std::fprintf(stderr, "short write to %s\n", path.c_str());
+  return ok;
+}
+
 }  // namespace bench
 }  // namespace xrtree

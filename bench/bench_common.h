@@ -86,6 +86,37 @@ const Dataset& ConferenceDataset();
 void PrintHeader(const std::string& title);
 std::string Thousands(uint64_t n);  ///< "1609" style thousands-of-elements
 
+/// Minimal JSON emitter for the benches' machine-readable `--json <path>`
+/// output. Keys keep insertion order; values are rendered on Set, so a
+/// JsonObject can nest another via SetRaw(child.Dump()).
+class JsonObject {
+ public:
+  void Set(const std::string& key, uint64_t value);
+  void Set(const std::string& key, int value) { Set(key, uint64_t(value)); }
+  void Set(const std::string& key, double value);
+  void Set(const std::string& key, bool value);
+  void Set(const std::string& key, const std::string& value);
+  void Set(const std::string& key, const char* value) {
+    Set(key, std::string(value));
+  }
+  void SetRaw(const std::string& key, const std::string& raw_json);
+  std::string Dump() const;  ///< {"k":v,...}
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+std::string JsonEscape(const std::string& s);
+/// ["a","b",...] from pre-rendered items (use JsonObject::Dump or literals).
+std::string JsonArray(const std::vector<std::string>& raw_items);
+
+/// Extracts the value of a `--json <path>` argument pair from argv (empty
+/// string when absent).
+std::string ParseJsonPathArg(int argc, char** argv);
+/// Writes `content` (plus trailing newline) to `path`; returns false and
+/// prints to stderr on failure.
+bool WriteTextFile(const std::string& path, const std::string& content);
+
 }  // namespace bench
 }  // namespace xrtree
 

@@ -86,10 +86,11 @@ uint64_t RunOneJoin(BufferPool* pool, const SetRoots& a, const SetRoots& d,
 }  // namespace bench
 }  // namespace xrtree
 
-int main() {
+int main(int argc, char** argv) {
   using namespace xrtree;
   using namespace xrtree::bench;
 
+  const std::string json_path = ParseJsonPathArg(argc, argv);
   const uint64_t scale = EnvU64("XR_CONC_SCALE", 40000);
   const uint64_t max_threads = EnvU64("XR_CONC_THREADS", 4);
   const uint64_t pool_pages = EnvU64("XR_CONC_POOL", 128);
@@ -147,6 +148,7 @@ int main() {
   for (uint64_t t = 1; t <= max_threads; t *= 2) thread_counts.push_back(t);
   if (thread_counts.back() != max_threads) thread_counts.push_back(max_threads);
 
+  std::vector<std::string> round_json;
   for (uint64_t threads : thread_counts) {
     db.SwapPool(pool_pages, shards);  // cold, identical start for each round
     BufferPool* pool = db.pool();
@@ -179,6 +181,14 @@ int main() {
                 (unsigned long long)threads, secs, rate, rate / base_rate,
                 (unsigned long long)io.buffer_misses,
                 (unsigned long long)io.pool_exhausted_waits);
+    JsonObject o;
+    o.Set("threads", threads);
+    o.Set("seconds", secs);
+    o.Set("joins_per_sec", rate);
+    o.Set("speedup", rate / base_rate);
+    o.Set("buffer_misses", io.buffer_misses);
+    o.Set("pool_exhausted_waits", io.pool_exhausted_waits);
+    round_json.push_back(o.Dump());
   }
 
   std::printf("\nPer-shard balance (final round):\n");
@@ -190,6 +200,21 @@ int main() {
         total == 0 ? 0.0 : 100.0 * ss.buffer_hits / static_cast<double>(total);
     std::printf("  shard %2zu: %9llu accesses, %5.1f%% hit rate\n", s,
                 (unsigned long long)total, hit_rate);
+  }
+
+  if (!json_path.empty()) {
+    JsonObject top;
+    top.Set("bench", "concurrent_joins");
+    top.Set("scale", scale);
+    top.Set("pool_pages", pool_pages);
+    top.Set("shards", shards);
+    top.Set("jobs_per_round", jobs_per_round);
+    top.Set("miss_latency_us", miss_latency_us);
+    top.Set("monotonic", monotonic);
+    top.Set("wrong_results", wrong_results.load());
+    top.SetRaw("rounds", JsonArray(round_json));
+    if (!WriteTextFile(json_path, top.Dump())) return 1;
+    std::printf("\nwrote %s\n", json_path.c_str());
   }
 
   if (wrong_results.load() > 0) {

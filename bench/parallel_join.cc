@@ -1,0 +1,222 @@
+// Intra-query parallel structural join driver: ONE ancestor-descendant
+// XR-stack join split across worker threads by ancestor key range
+// (ParallelXrStackJoin), with optional descendant leaf prefetching, against
+// a shared sharded buffer pool. Contrast with bench/concurrent_joins, which
+// scales across independent queries; here a single query's latency drops.
+//
+// The measurement pool is smaller than the working set and the disk charges
+// a blocking (sleeping) per-access latency, modelling a device that serves
+// independent requests concurrently. Partition workers overlap their miss
+// waits, and the prefetcher overlaps read-ahead with the worker's compute
+// and its own stalls.
+//
+// Usage: parallel_join [--threads N] [--json <path>]
+//   --threads N   highest worker count measured (default 8; rounds run at
+//                 1, 2, 4, ... up to N)
+//   --json PATH   write machine-readable results to PATH
+//
+// Environment knobs:
+//   XR_PAR_SCALE            elements per dataset side (default 60000)
+//   XR_PAR_POOL             shared pool size in pages (default 256)
+//   XR_PAR_SHARDS           pool shards (default 32 — the miss path reads
+//                           under the shard latch, so shards bound miss
+//                           overlap; see DESIGN.md §10)
+//   XR_PAR_MISS_LATENCY_US  blocking per-disk-access latency (default 5000,
+//                           one 2002-era disk access like XR_MISS_LATENCY_US)
+//   XR_PAR_PREFETCH         leaf read-ahead depth for prefetch rounds
+//                           (default 8)
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "join/parallel_join.h"
+#include "join/xr_stack.h"
+
+namespace xrtree {
+namespace bench {
+namespace {
+
+uint64_t EnvU64(const char* name, uint64_t dflt) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return dflt;
+  return std::strtoull(v, nullptr, 10);
+}
+
+struct RoundResult {
+  uint64_t threads = 0;
+  uint64_t prefetch_depth = 0;
+  double seconds = 0;
+  double speedup = 0;
+  uint64_t pairs = 0;
+  uint64_t buffer_misses = 0;
+  uint64_t prefetch_issued = 0;
+  uint64_t prefetch_hits = 0;
+  uint64_t prefetch_wasted = 0;
+  bool pairs_ok = false;
+};
+
+}  // namespace
+}  // namespace bench
+}  // namespace xrtree
+
+int main(int argc, char** argv) {
+  using namespace xrtree;
+  using namespace xrtree::bench;
+
+  uint64_t max_threads = 8;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--threads") {
+      max_threads = std::strtoull(argv[i + 1], nullptr, 10);
+    }
+  }
+  if (max_threads == 0) max_threads = 1;
+  const std::string json_path = ParseJsonPathArg(argc, argv);
+
+  const uint64_t scale = EnvU64("XR_PAR_SCALE", 60000);
+  const uint64_t pool_pages = EnvU64("XR_PAR_POOL", 256);
+  const uint64_t shards = EnvU64("XR_PAR_SHARDS", 32);
+  const uint64_t miss_latency_us = EnvU64("XR_PAR_MISS_LATENCY_US", 5000);
+  const uint64_t prefetch_depth = EnvU64("XR_PAR_PREFETCH", 8);
+
+  PrintHeader("Intra-query parallel XR-stack join (range partitioning)");
+  std::printf(
+      "scale=%llu elements/side, pool=%llu pages x %llu shards, "
+      "blocking miss latency=%llu us, prefetch depth=%llu\n",
+      (unsigned long long)scale, (unsigned long long)pool_pages,
+      (unsigned long long)shards, (unsigned long long)miss_latency_us,
+      (unsigned long long)prefetch_depth);
+
+  auto ds = MakeDepartmentDataset(scale);
+  XR_CHECK_OK(ds.status());
+
+  // Build both XR-trees with a big latency-free pool, then shrink to the
+  // measurement pool and turn on the simulated device latency.
+  BenchDb db(8192);
+  PageId a_root, d_root;
+  {
+    StoredElementSet a_set(db.pool(), "A");
+    StoredElementSet d_set(db.pool(), "D");
+    XR_CHECK_OK(a_set.Build(ds->ancestors));
+    XR_CHECK_OK(d_set.Build(ds->descendants));
+    a_root = a_set.xrtree().root();
+    d_root = d_set.xrtree().root();
+  }
+
+  DiskOptions latency;
+  latency.simulated_latency_ns = miss_latency_us * 1000;
+  latency.blocking_latency = true;
+  db.disk()->SetLatency(latency);
+
+  // Serial ground truth (cold pool, same latency model).
+  db.SwapPool(pool_pages, shards);
+  uint64_t expected_pairs;
+  double serial_seconds;
+  {
+    XrTree a_xr(db.pool(), a_root);
+    XrTree d_xr(db.pool(), d_root);
+    JoinOptions options;
+    options.materialize = false;
+    auto t0 = std::chrono::steady_clock::now();
+    JoinOutput out = XrStackJoin(a_xr, d_xr, options).value();
+    auto t1 = std::chrono::steady_clock::now();
+    expected_pairs = out.stats.output_pairs;
+    serial_seconds = std::chrono::duration<double>(t1 - t0).count();
+  }
+  std::printf("\nserial XR-stack: %.2fs, %llu pairs\n", serial_seconds,
+              (unsigned long long)expected_pairs);
+
+  std::vector<uint64_t> thread_counts;
+  for (uint64_t t = 1; t <= max_threads; t *= 2) thread_counts.push_back(t);
+  if (thread_counts.back() != max_threads) thread_counts.push_back(max_threads);
+
+  std::printf("\n%8s %9s %9s %9s %10s %9s %9s %9s\n", "threads", "prefetch",
+              "seconds", "speedup", "misses", "pf_issue", "pf_hit",
+              "pf_waste");
+
+  std::vector<RoundResult> rounds;
+  double base_seconds = 0;
+  bool all_ok = true;
+  std::vector<uint64_t> depths = {0};
+  if (prefetch_depth > 0) depths.push_back(prefetch_depth);
+  for (uint64_t threads : thread_counts) {
+    for (uint64_t pf : depths) {
+      db.SwapPool(pool_pages, shards);  // cold, identical start each round
+      XrTree a_xr(db.pool(), a_root);
+      XrTree d_xr(db.pool(), d_root);
+      JoinOptions options;
+      options.materialize = false;
+      options.num_threads = static_cast<uint32_t>(threads);
+      options.prefetch_depth = static_cast<uint32_t>(pf);
+      IoStats before = db.pool()->stats();
+      auto t0 = std::chrono::steady_clock::now();
+      JoinOutput out = ParallelXrStackJoin(a_xr, d_xr, options).value();
+      auto t1 = std::chrono::steady_clock::now();
+      db.pool()->WaitForPrefetchIdle();  // settle counters before snapshot
+      IoStats io = db.pool()->stats() - before;
+
+      RoundResult r;
+      r.threads = threads;
+      r.prefetch_depth = pf;
+      r.seconds = std::chrono::duration<double>(t1 - t0).count();
+      if (base_seconds == 0) base_seconds = r.seconds;
+      r.speedup = base_seconds / r.seconds;
+      r.pairs = out.stats.output_pairs;
+      r.buffer_misses = io.buffer_misses;
+      r.prefetch_issued = io.prefetch_issued;
+      r.prefetch_hits = io.prefetch_hits;
+      r.prefetch_wasted = io.prefetch_wasted;
+      r.pairs_ok = (r.pairs == expected_pairs);
+      all_ok = all_ok && r.pairs_ok;
+      rounds.push_back(r);
+
+      std::printf("%8llu %9llu %9.2f %8.2fx %10llu %9llu %9llu %9llu%s\n",
+                  (unsigned long long)threads, (unsigned long long)pf,
+                  r.seconds, r.speedup, (unsigned long long)r.buffer_misses,
+                  (unsigned long long)r.prefetch_issued,
+                  (unsigned long long)r.prefetch_hits,
+                  (unsigned long long)r.prefetch_wasted,
+                  r.pairs_ok ? "" : "  PAIR-COUNT MISMATCH");
+    }
+  }
+
+  if (!json_path.empty()) {
+    std::vector<std::string> round_json;
+    for (const RoundResult& r : rounds) {
+      JsonObject o;
+      o.Set("threads", r.threads);
+      o.Set("prefetch_depth", r.prefetch_depth);
+      o.Set("seconds", r.seconds);
+      o.Set("speedup", r.speedup);
+      o.Set("pairs", r.pairs);
+      o.Set("buffer_misses", r.buffer_misses);
+      o.Set("prefetch_issued", r.prefetch_issued);
+      o.Set("prefetch_hits", r.prefetch_hits);
+      o.Set("prefetch_wasted", r.prefetch_wasted);
+      o.Set("pairs_match_serial", r.pairs_ok);
+      round_json.push_back(o.Dump());
+    }
+    JsonObject top;
+    top.Set("bench", "parallel_join");
+    top.Set("scale", scale);
+    top.Set("pool_pages", pool_pages);
+    top.Set("shards", shards);
+    top.Set("miss_latency_us", miss_latency_us);
+    top.Set("prefetch_depth", prefetch_depth);
+    top.Set("serial_seconds", serial_seconds);
+    top.Set("serial_pairs", expected_pairs);
+    top.SetRaw("rounds", JsonArray(round_json));
+    if (!WriteTextFile(json_path, top.Dump())) return 1;
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+
+  if (!all_ok) {
+    std::printf("\nFAIL: parallel pair counts diverged from serial\n");
+    return 1;
+  }
+  std::printf("\nall parallel rounds matched the serial pair count\n");
+  return 0;
+}

@@ -41,6 +41,18 @@ struct JoinOptions {
   /// floors FindAncestors probes at max(stack top, previous probe); every
   /// probe then re-scans its landing leaf prefix from the first element.
   bool disable_probe_floor = false;
+
+  /// Intra-query parallelism (ParallelXrStackJoin): number of worker
+  /// threads to split the ancestor key space across. <= 1 runs the plain
+  /// serial XR-stack. Workers share the caller's BufferPool, so the pool
+  /// must be the sharded thread-safe configuration (it is by default).
+  uint32_t num_threads = 1;
+
+  /// Leaf read-ahead depth for the descendant range scan (XR-stack and its
+  /// parallel variant): each time the descendant cursor lands on a new
+  /// leaf, the next `prefetch_depth` sibling leaves are prefetched in the
+  /// background (BufferPool::PrefetchChainAsync). 0 = off.
+  uint32_t prefetch_depth = 0;
 };
 
 /// Measurements for one join execution — the quantities behind the paper's

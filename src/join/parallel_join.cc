@@ -1,0 +1,102 @@
+#include "join/parallel_join.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "join/xr_stack.h"
+
+namespace xrtree {
+
+namespace {
+
+/// The emission order of Algorithm 6: descendant start, then ancestor
+/// start (the stack is drained outermost-first for each descendant).
+bool EmissionLess(const JoinPair& x, const JoinPair& y) {
+  if (x.descendant.start != y.descendant.start) {
+    return x.descendant.start < y.descendant.start;
+  }
+  return x.ancestor.start < y.ancestor.start;
+}
+
+/// Splices `part` onto `merged`, preserving global emission order. Both
+/// inputs are emission-ordered, and every pair of `part` comes from a
+/// strictly later ancestor range, so only the tail of `merged` whose
+/// descendants overlap `part`'s window can interleave — locate it with one
+/// binary search and inplace_merge just that span. Disjoint windows reduce
+/// to a pure concatenation.
+void MergeEmissionOrdered(std::vector<JoinPair>* merged,
+                          std::vector<JoinPair>&& part) {
+  if (part.empty()) return;
+  if (merged->empty()) {
+    *merged = std::move(part);
+    return;
+  }
+  const Position first_d = part.front().descendant.start;
+  auto overlap = std::lower_bound(
+      merged->begin(), merged->end(), first_d,
+      [](const JoinPair& p, Position d) { return p.descendant.start < d; });
+  const size_t mid = merged->size();
+  const size_t overlap_at = static_cast<size_t>(overlap - merged->begin());
+  merged->insert(merged->end(), std::make_move_iterator(part.begin()),
+                 std::make_move_iterator(part.end()));
+  if (overlap_at < mid) {
+    std::inplace_merge(merged->begin() + overlap_at, merged->begin() + mid,
+                       merged->end(), EmissionLess);
+  }
+}
+
+}  // namespace
+
+Result<std::vector<std::pair<Position, Position>>> PlanJoinPartitions(
+    const XrTree& ancestors, uint32_t num_threads) {
+  std::vector<std::pair<Position, Position>> ranges;
+  if (num_threads > 1) {
+    XR_ASSIGN_OR_RETURN(std::vector<Position> keys,
+                        ancestors.PartitionKeys(num_threads - 1));
+    Position lo = 0;
+    for (Position k : keys) {
+      ranges.emplace_back(lo, k);
+      lo = k;
+    }
+    ranges.emplace_back(lo, kNilPosition);
+  } else {
+    ranges.emplace_back(0, kNilPosition);
+  }
+  return ranges;
+}
+
+Result<JoinOutput> ParallelXrStackJoin(const XrTree& ancestors,
+                                       const XrTree& descendants,
+                                       const JoinOptions& options) {
+  XR_ASSIGN_OR_RETURN(auto ranges,
+                      PlanJoinPartitions(ancestors, options.num_threads));
+  if (ranges.size() <= 1) return XrStackJoin(ancestors, descendants, options);
+
+  // One independent XR-stack worker per range. Workers share the caller's
+  // pool (const queries are reader-concurrent, DESIGN.md §9) and keep all
+  // join state in locals.
+  std::vector<Result<JoinOutput>> results(
+      ranges.size(),
+      Result<JoinOutput>(Status::Aborted("parallel join worker did not run")));
+  std::vector<std::thread> workers;
+  workers.reserve(ranges.size());
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    workers.emplace_back([&, i] {
+      results[i] = XrStackJoinRange(ancestors, descendants, ranges[i].first,
+                                    ranges[i].second, options);
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  JoinOutput out;
+  for (auto& r : results) {
+    if (!r.ok()) return r.status();
+    out.stats.output_pairs += r->stats.output_pairs;
+    out.stats.elements_scanned += r->stats.elements_scanned;
+    MergeEmissionOrdered(&out.pairs, std::move(r->pairs));
+  }
+  return out;
+}
+
+}  // namespace xrtree

@@ -7,9 +7,9 @@
 
 namespace xrtree {
 
-Result<JoinOutput> XrStackJoin(const XrTree& ancestors,
-                               const XrTree& descendants,
-                               const JoinOptions& options) {
+Result<JoinOutput> XrStackJoinRange(const XrTree& ancestors,
+                                    const XrTree& descendants, Position lo,
+                                    Position hi, const JoinOptions& options) {
   JoinOutput out;
   uint64_t search_scanned = 0;
   std::vector<Element> stack;
@@ -20,17 +20,33 @@ Result<JoinOutput> XrStackJoin(const XrTree& ancestors,
     if (options.materialize) out.pairs.push_back({anc, desc});
   };
 
+  // An ancestor belongs to this range iff lo <= start < hi. Starts never
+  // equal kNilPosition, so hi == kNilPosition admits every ancestor.
+  auto in_range = [&](Position start) { return start >= lo && start < hi; };
+
   // CurA is tracked as a position, not a cursor: each FindAncestors probe
   // returns the start of the first ancestor-set element past the probe
   // point (Algorithm 6 line 12) as a byproduct of its S2 leaf scan, so the
-  // ancestor side is never walked element by element.
+  // ancestor side is never walked element by element. A range worker lands
+  // on its first owned ancestor with one root-to-leaf probe (LowerBound),
+  // never a leaf-chain walk from the leftmost page.
   Position cur_a = kNilPosition;
   {
-    XR_ASSIGN_OR_RETURN(XrIterator it0, ancestors.Begin());
+    XR_ASSIGN_OR_RETURN(XrIterator it0,
+                        lo == 0 ? ancestors.Begin() : ancestors.LowerBound(lo));
     if (it0.Valid()) cur_a = it0.Get().start;
     search_scanned += it0.scanned();
   }
-  XR_ASSIGN_OR_RETURN(XrIterator itd, descendants.Begin());
+  if (cur_a != kNilPosition && !in_range(cur_a)) {
+    // No ancestor starts inside [lo, hi): the range joins nothing.
+    out.stats.elements_scanned = search_scanned;
+    return out;
+  }
+  // Descendants of owned ancestors all start past lo; land there directly.
+  XR_ASSIGN_OR_RETURN(
+      XrIterator itd,
+      lo == 0 ? descendants.Begin() : descendants.UpperBound(lo));
+  if (options.prefetch_depth > 0) itd.EnablePrefetch(options.prefetch_depth);
 
   // Floor for FindAncestors probes (§5.2 variation): every ancestor of the
   // current descendant with start below max(stack top, previous probe
@@ -38,8 +54,10 @@ Result<JoinOutput> XrStackJoin(const XrTree& ancestors,
   // previously probed descendant too, and pops only remove closed regions.
   // The floor backs off by one so that, on a self-join, the element
   // starting exactly at the previous probe position (not an ancestor of
-  // its own start, but possibly of later ones) is still examined.
-  Position last_probe = 0;
+  // its own start, but possibly of later ones) is still examined. Starting
+  // the floor at `lo` additionally keeps probes from re-collecting
+  // ancestors owned by ranges to the left.
+  Position last_probe = lo;
 
   // Main loop (Algorithm 6 lines 4-22).
   while (cur_a != kNilPosition && itd.Valid()) {
@@ -71,8 +89,11 @@ Result<JoinOutput> XrStackJoin(const XrTree& ancestors,
                               d.start, min_start, &search_scanned, &next_a));
       last_probe = d.start;
       cur_a = next_a;
+      if (cur_a != kNilPosition && !in_range(cur_a)) cur_a = kNilPosition;
       for (const Element& a : ad) {
-        if (a.start > stack_floor) stack.push_back(a);
+        // Ancestors outside [lo, hi) belong to (and are emitted by) the
+        // ranges owning their starts.
+        if (a.start > stack_floor && in_range(a.start)) stack.push_back(a);
       }
       for (const Element& anc : stack) emit(anc, d);
       XR_RETURN_IF_ERROR(itd.Next());
@@ -90,7 +111,9 @@ Result<JoinOutput> XrStackJoin(const XrTree& ancestors,
   }
 
   // Epilogue: the ancestor list may be exhausted while the stack still
-  // holds regions covering later descendants.
+  // holds regions covering later descendants (in a range worker this is
+  // also where a boundary-spanning ancestor drains the descendants beyond
+  // `hi` up to its end).
   while (itd.Valid() && !stack.empty()) {
     const Element d = itd.Get();
     while (!stack.empty() && stack.back().end < d.start) stack.pop_back();
@@ -100,6 +123,12 @@ Result<JoinOutput> XrStackJoin(const XrTree& ancestors,
 
   out.stats.elements_scanned = itd.scanned() + search_scanned;
   return out;
+}
+
+Result<JoinOutput> XrStackJoin(const XrTree& ancestors,
+                               const XrTree& descendants,
+                               const JoinOptions& options) {
+  return XrStackJoinRange(ancestors, descendants, 0, kNilPosition, options);
 }
 
 }  // namespace xrtree

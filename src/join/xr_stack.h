@@ -19,6 +19,20 @@ Result<JoinOutput> XrStackJoin(const XrTree& ancestors,
                                const XrTree& descendants,
                                const JoinOptions& options = {});
 
+/// Range-restricted XR-stack: joins only the ancestors whose start lies in
+/// [lo, hi) (hi == kNilPosition means unbounded) against every descendant
+/// they contain — the per-partition worker of the parallel join. A pair
+/// (a, d) is emitted iff lo <= a.start < hi, so disjoint ranges partition
+/// the output exactly; the descendant scan runs past `hi` as far as the
+/// open ancestors' regions extend (an ancestor spanning the boundary is
+/// still drained by the partition that owns its start). With (0, nil) this
+/// IS XrStackJoin. Output pairs are ordered by (descendant.start,
+/// ancestor.start), the emission order of Algorithm 6.
+Result<JoinOutput> XrStackJoinRange(const XrTree& ancestors,
+                                    const XrTree& descendants, Position lo,
+                                    Position hi,
+                                    const JoinOptions& options = {});
+
 }  // namespace xrtree
 
 #endif  // XRTREE_JOIN_XR_STACK_H_

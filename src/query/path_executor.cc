@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <set>
 
-#include "join/xr_stack.h"
+#include "join/parallel_join.h"
 
 namespace xrtree {
 
@@ -40,10 +40,12 @@ Result<ElementList> PathExecutor::Execute(const PathQuery& query,
     XR_RETURN_IF_ERROR(context_index.BulkLoad(context));
     // ... and join it with the step tag's cached index.
     XR_ASSIGN_OR_RETURN(const XrTree* tag_index, TagIndex(steps[i].tag));
-    JoinOptions options;
+    JoinOptions options = join_options_;
+    options.materialize = true;  // the step consumes the pairs
     options.parent_child = (steps[i].axis == Axis::kChild);
     XR_ASSIGN_OR_RETURN(JoinOutput join,
-                        XrStackJoin(context_index, *tag_index, options));
+                        ParallelXrStackJoin(context_index, *tag_index,
+                                            options));
     if (stats) {
       ++stats->joins;
       stats->elements_scanned += join.stats.elements_scanned;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "join/join_types.h"
 #include "query/path_query.h"
 #include "storage/buffer_pool.h"
 #include "xml/corpus.h"
@@ -31,10 +32,21 @@ struct PathStats {
 /// queries; intermediate results are indexed into throwaway XR-trees for
 /// the next step. '//' steps run the ancestor-descendant join, '/' steps
 /// the parent-child variant (§5.3).
+///
+/// Each join step runs through ParallelXrStackJoin honouring
+/// `join_options().num_threads` (intra-query range-partitioned parallelism)
+/// and `join_options().prefetch_depth` (descendant leaf read-ahead); the
+/// defaults (1 thread, no prefetch) reproduce the serial executor exactly.
 class PathExecutor {
  public:
-  PathExecutor(BufferPool* pool, const Corpus* corpus)
-      : pool_(pool), corpus_(corpus) {}
+  PathExecutor(BufferPool* pool, const Corpus* corpus,
+               const JoinOptions& join_options = {})
+      : pool_(pool), corpus_(corpus), join_options_(join_options) {}
+
+  /// Per-step execution knobs (num_threads / prefetch_depth; materialize
+  /// and parent_child are managed per step by Execute itself).
+  JoinOptions& join_options() { return join_options_; }
+  const JoinOptions& join_options() const { return join_options_; }
 
   /// Runs `query`; returns the matching elements of the final step in
   /// document order (distinct).
@@ -51,6 +63,7 @@ class PathExecutor {
 
   BufferPool* pool_;
   const Corpus* corpus_;
+  JoinOptions join_options_;
   std::unordered_map<std::string, std::unique_ptr<XrTree>> tag_indexes_;
 };
 

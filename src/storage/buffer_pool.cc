@@ -52,7 +52,17 @@ BufferPool::BufferPool(DiskInterface* disk, size_t pool_size,
   }
 }
 
-BufferPool::~BufferPool() { FlushAll().ok(); }
+BufferPool::~BufferPool() {
+  // Stop the prefetcher before teardown so no background read can land in a
+  // frame while the pool is being destroyed.
+  {
+    std::lock_guard<std::mutex> lock(prefetch_mu_);
+    prefetch_stop_ = true;
+  }
+  prefetch_cv_.notify_all();
+  if (prefetch_thread_.joinable()) prefetch_thread_.join();
+  FlushAll().ok();
+}
 
 void BufferPool::TouchLru(Shard& s, FrameId frame) {
   auto it = s.lru_pos.find(frame);
@@ -90,6 +100,10 @@ Status BufferPool::EvictFrame(Shard& s, FrameId frame) {
   Page* page = s.frames[frame].get();
   if (page->is_dirty_) {
     XR_RETURN_IF_ERROR(WriteBack(page));
+  }
+  if (page->prefetched_) {
+    // Prefetched but never fetched: the read-ahead was wasted.
+    s.prefetch_wasted.fetch_add(1, std::memory_order_relaxed);
   }
   s.page_table.erase(page->page_id_);
   auto it = s.lru_pos.find(frame);
@@ -138,6 +152,11 @@ Result<Page*> BufferPool::FetchPage(PageId page_id) {
       if (it != s.page_table.end()) {
         s.hits.fetch_add(1, std::memory_order_relaxed);
         Page* page = s.frames[it->second].get();
+        if (page->prefetched_) {
+          // First fetch of a read-ahead page: the prefetch paid off.
+          page->prefetched_ = false;
+          s.prefetch_hits.fetch_add(1, std::memory_order_relaxed);
+        }
         ++page->pin_count_;
         TouchLru(s, it->second);
         return page;
@@ -262,6 +281,135 @@ Result<Page*> BufferPool::NewPage() {
       std::to_string(ShardIndex(page_id)) + " pinned");
 }
 
+bool BufferPool::AcquireCleanFrame(Shard& s, FrameId* out) {
+  if (!s.free_frames.empty()) {
+    *out = s.free_frames.back();
+    s.free_frames.pop_back();
+    return true;
+  }
+  for (FrameId frame : s.lru) {
+    Page* page = s.frames[frame].get();
+    if (page->pin_count_ == 0 && !page->is_dirty_) {
+      // Clean victim: EvictFrame will not write back (and therefore cannot
+      // touch the WAL from this background thread).
+      if (!EvictFrame(s, frame).ok()) return false;
+      *out = frame;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool BufferPool::PrefetchOne(PageId page_id) {
+  if (page_id == kInvalidPageId || page_id >= disk_->num_pages()) return false;
+  Shard& s = *shards_[ShardIndex(page_id)];
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (s.page_table.find(page_id) != s.page_table.end()) return true;
+  }
+  // Read outside the shard latch: a slow device (simulated miss latency)
+  // stalls only this thread. The WAL overlay has the newest image when it
+  // holds one, exactly as on the miss path.
+  alignas(8) char buf[kPageSize];
+  bool from_log = false;
+  Wal* wal = wal_.load(std::memory_order_acquire);
+  if (wal != nullptr) {
+    auto served = wal->TryReadImage(page_id, buf);
+    if (!served.ok()) return false;
+    from_log = *served;
+  }
+  if (!from_log && !disk_->ReadPage(page_id, buf).ok()) return false;
+  if (!VerifyPageTrailer(buf, page_id).ok()) return false;
+
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (s.page_table.find(page_id) != s.page_table.end()) {
+    // A real fetch raced us and installed the page; our read is redundant
+    // but the page is resident, which is all the caller needs.
+    return true;
+  }
+  FrameId frame;
+  if (!AcquireCleanFrame(s, &frame)) return false;
+  Page* page = s.frames[frame].get();
+  std::memcpy(page->data_, buf, kPageSize);
+  page->page_id_ = page_id;
+  page->pin_count_ = 0;
+  page->is_dirty_ = false;
+  page->prefetched_ = true;
+  s.page_table[page_id] = frame;
+  TouchLru(s, frame);
+  s.prefetch_issued.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+Status BufferPool::PrefetchPages(const PageId* ids, size_t n) {
+  for (size_t i = 0; i < n; ++i) PrefetchOne(ids[i]);
+  return Status::Ok();
+}
+
+PageId BufferPool::ResidentChainLink(PageId page_id,
+                                     uint32_t next_offset) const {
+  Shard& s = *shards_[ShardIndex(page_id)];
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.page_table.find(page_id);
+  if (it == s.page_table.end()) return kInvalidPageId;
+  PageId link;
+  std::memcpy(&link, s.frames[it->second]->data_ + next_offset, sizeof(link));
+  return link;
+}
+
+void BufferPool::PrefetchWorker() {
+  for (;;) {
+    PrefetchJob job;
+    {
+      std::unique_lock<std::mutex> lock(prefetch_mu_);
+      prefetch_cv_.wait(lock, [&] {
+        return prefetch_stop_ || !prefetch_queue_.empty();
+      });
+      if (prefetch_queue_.empty()) return;  // stop requested, queue drained
+      job = prefetch_queue_.front();
+      prefetch_queue_.pop_front();
+      prefetch_busy_ = true;
+    }
+    PageId cur = job.start;
+    for (uint32_t i = 0; i < job.depth && cur != kInvalidPageId; ++i) {
+      if (!PrefetchOne(cur)) break;
+      // Follow the chain pointer of the now-resident page. The page can be
+      // evicted between install and this lookup on a tiny pool; then the
+      // walk simply ends.
+      cur = ResidentChainLink(cur, job.next_offset);
+    }
+    {
+      std::lock_guard<std::mutex> lock(prefetch_mu_);
+      prefetch_busy_ = false;
+    }
+    prefetch_idle_cv_.notify_all();
+  }
+}
+
+void BufferPool::PrefetchChainAsync(PageId start, uint32_t depth,
+                                    uint32_t next_offset) {
+  if (start == kInvalidPageId || depth == 0 ||
+      next_offset + sizeof(PageId) > kPageDataSize) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(prefetch_mu_);
+    if (prefetch_stop_) return;
+    if (!prefetch_thread_.joinable()) {
+      prefetch_thread_ = std::thread([this] { PrefetchWorker(); });
+    }
+    prefetch_queue_.push_back({start, depth, next_offset});
+  }
+  prefetch_cv_.notify_one();
+}
+
+void BufferPool::WaitForPrefetchIdle() {
+  std::unique_lock<std::mutex> lock(prefetch_mu_);
+  prefetch_idle_cv_.wait(lock, [&] {
+    return prefetch_queue_.empty() && !prefetch_busy_;
+  });
+}
+
 Status BufferPool::UnpinPage(PageId page_id, bool dirty) {
   Shard& s = *shards_[ShardIndex(page_id)];
   std::lock_guard<std::mutex> lock(s.mu);
@@ -313,6 +461,9 @@ Status BufferPool::DiscardPage(PageId page_id) {
   if (page->pin_count_ > 0) {
     return Status::InvalidArgument("DiscardPage: page is pinned");
   }
+  if (page->prefetched_) {
+    s.prefetch_wasted.fetch_add(1, std::memory_order_relaxed);
+  }
   s.page_table.erase(it);
   auto pos = s.lru_pos.find(frame);
   if (pos != s.lru_pos.end()) {
@@ -337,6 +488,9 @@ Status BufferPool::FreePage(PageId page_id) {
       Page* page = s.frames[frame].get();
       if (page->pin_count_ > 0) {
         return Status::InvalidArgument("FreePage: page is pinned");
+      }
+      if (page->prefetched_) {
+        s.prefetch_wasted.fetch_add(1, std::memory_order_relaxed);
       }
       s.page_table.erase(it);
       auto pos = s.lru_pos.find(frame);
@@ -433,6 +587,12 @@ IoStats BufferPool::stats() const {
     merged.buffer_misses += shard->misses.load(std::memory_order_relaxed);
     merged.pool_exhausted_waits +=
         shard->exhausted_waits.load(std::memory_order_relaxed);
+    merged.prefetch_issued +=
+        shard->prefetch_issued.load(std::memory_order_relaxed);
+    merged.prefetch_hits +=
+        shard->prefetch_hits.load(std::memory_order_relaxed);
+    merged.prefetch_wasted +=
+        shard->prefetch_wasted.load(std::memory_order_relaxed);
   }
   merged.failed_unpins += failed_unpins_.load(std::memory_order_relaxed);
   return merged;
@@ -443,6 +603,9 @@ void BufferPool::ResetStats() {
     shard->hits.store(0, std::memory_order_relaxed);
     shard->misses.store(0, std::memory_order_relaxed);
     shard->exhausted_waits.store(0, std::memory_order_relaxed);
+    shard->prefetch_issued.store(0, std::memory_order_relaxed);
+    shard->prefetch_hits.store(0, std::memory_order_relaxed);
+    shard->prefetch_wasted.store(0, std::memory_order_relaxed);
   }
   failed_unpins_.store(0, std::memory_order_relaxed);
   disk_->ResetStats();
@@ -454,6 +617,9 @@ IoStats BufferPool::shard_stats(size_t shard) const {
   s.buffer_hits = sh.hits.load(std::memory_order_relaxed);
   s.buffer_misses = sh.misses.load(std::memory_order_relaxed);
   s.pool_exhausted_waits = sh.exhausted_waits.load(std::memory_order_relaxed);
+  s.prefetch_issued = sh.prefetch_issued.load(std::memory_order_relaxed);
+  s.prefetch_hits = sh.prefetch_hits.load(std::memory_order_relaxed);
+  s.prefetch_wasted = sh.prefetch_wasted.load(std::memory_order_relaxed);
   return s;
 }
 

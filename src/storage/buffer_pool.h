@@ -2,10 +2,13 @@
 #define XRTREE_STORAGE_BUFFER_POOL_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <list>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -66,6 +69,36 @@ class BufferPool {
 
   /// Returns the pinned page `page_id`, reading it from disk on a miss.
   Result<Page*> FetchPage(PageId page_id);
+
+  /// Best-effort batch read-ahead: installs each non-resident page of `ids`
+  /// unpinned so a later FetchPage hits instead of paying a blocking miss.
+  /// Strictly weaker than FetchPage: a page whose shard has no free or
+  /// clean-evictable frame is skipped (prefetch never writes back a dirty
+  /// victim, so it cannot race the single writer's WAL), and a page whose
+  /// read or integrity check fails is skipped (the eventual real fetch
+  /// surfaces the error). The read itself happens outside the shard latch —
+  /// a slow simulated-latency device stalls only the prefetching thread,
+  /// never concurrent hits on the same shard. Counted in prefetch_issued /
+  /// prefetch_hits / prefetch_wasted (see IoStats). Read-path only: callers
+  /// must not prefetch pages a concurrent writer may be mutating.
+  Status PrefetchPages(const PageId* ids, size_t n);
+  Status PrefetchPages(const std::vector<PageId>& ids) {
+    return PrefetchPages(ids.data(), ids.size());
+  }
+
+  /// Asynchronous linked read-ahead: a background thread walks up to
+  /// `depth` pages starting at `start`, following the PageId link stored at
+  /// byte offset `next_offset` inside each page image (e.g. the leaf-chain
+  /// `next` pointer of a B+/XR-tree leaf), prefetching each page it visits.
+  /// The walk stops early at kInvalidPageId, at an unallocated id, or when
+  /// a page could not be installed. Jobs are deduplicated against resident
+  /// pages cheaply (a resident chain link costs one latched lookup, no I/O).
+  /// The worker thread is started lazily and joined by the destructor.
+  void PrefetchChainAsync(PageId start, uint32_t depth, uint32_t next_offset);
+
+  /// Blocks until the background prefetcher has no queued or in-flight job.
+  /// Determinism hook for tests and benches; production readers never wait.
+  void WaitForPrefetchIdle();
 
   /// Allocates a fresh page and returns it pinned and zeroed.
   Result<Page*> NewPage();
@@ -169,6 +202,16 @@ class BufferPool {
     std::atomic<uint64_t> hits{0};
     std::atomic<uint64_t> misses{0};
     std::atomic<uint64_t> exhausted_waits{0};
+    std::atomic<uint64_t> prefetch_issued{0};
+    std::atomic<uint64_t> prefetch_hits{0};
+    std::atomic<uint64_t> prefetch_wasted{0};
+  };
+
+  /// One queued PrefetchChainAsync request.
+  struct PrefetchJob {
+    PageId start;
+    uint32_t depth;
+    uint32_t next_offset;
   };
 
   static size_t AutoShardCount(size_t pool_size);
@@ -189,6 +232,18 @@ class BufferPool {
   // Sleep/yield between attempts on a fully pinned shard.
   static void BackOff(int attempt);
 
+  // Installs one page image read-ahead (see PrefetchPages). Returns true
+  // when the page is resident afterwards (already was, or newly installed).
+  bool PrefetchOne(PageId page_id);
+  // Like AcquireFrame but refuses dirty victims (prefetch must never write
+  // back — that would race the single writer's WAL appends). Latch held.
+  bool AcquireCleanFrame(Shard& s, FrameId* out);
+  // Reads the PageId link at `next_offset` of a *resident* page, or returns
+  // kInvalidPageId when the page is not resident.
+  PageId ResidentChainLink(PageId page_id, uint32_t next_offset) const;
+  // Background worker: drains prefetch_queue_ until told to stop.
+  void PrefetchWorker();
+
   DiskInterface* const disk_;
   std::atomic<Wal*> wal_{nullptr};
   std::vector<std::unique_ptr<Shard>> shards_;
@@ -203,6 +258,16 @@ class BufferPool {
   std::unordered_set<PageId> free_set_;
 
   std::atomic<uint64_t> failed_unpins_{0};
+
+  // Background chain-prefetcher state. The thread is spawned on the first
+  // PrefetchChainAsync call and joined (after draining) in the destructor.
+  std::mutex prefetch_mu_;
+  std::condition_variable prefetch_cv_;       // wakes the worker
+  std::condition_variable prefetch_idle_cv_;  // wakes WaitForPrefetchIdle
+  std::deque<PrefetchJob> prefetch_queue_;
+  std::thread prefetch_thread_;
+  bool prefetch_stop_ = false;
+  bool prefetch_busy_ = false;  // a job is between pop and completion
 };
 
 /// RAII pin holder. Unpins (with the recorded dirty flag) on destruction.

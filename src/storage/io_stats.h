@@ -28,6 +28,15 @@ struct IoStats {
   /// Times a Fetch/NewPage found every frame of its shard pinned and had to
   /// back off and retry (pool-pressure signal for the concurrent benches).
   uint64_t pool_exhausted_waits = 0;
+  /// Read-ahead accounting (BufferPool::PrefetchPages). A prefetched page is
+  /// `issued` once when its image is installed unpinned, then resolves to
+  /// exactly one of `hits` (a later FetchPage found it still resident) or
+  /// `wasted` (evicted/discarded before any fetch touched it). Pages still
+  /// resident and untouched are counted by neither, so while a pool lives:
+  ///   prefetch_issued == prefetch_hits + prefetch_wasted + resident-unused.
+  uint64_t prefetch_issued = 0;
+  uint64_t prefetch_hits = 0;
+  uint64_t prefetch_wasted = 0;
 
   IoStats operator-(const IoStats& rhs) const {
     auto sat = [](uint64_t a, uint64_t b) { return a > b ? a - b : 0; };
@@ -40,6 +49,9 @@ struct IoStats {
     d.failed_unpins = sat(failed_unpins, rhs.failed_unpins);
     d.pool_exhausted_waits =
         sat(pool_exhausted_waits, rhs.pool_exhausted_waits);
+    d.prefetch_issued = sat(prefetch_issued, rhs.prefetch_issued);
+    d.prefetch_hits = sat(prefetch_hits, rhs.prefetch_hits);
+    d.prefetch_wasted = sat(prefetch_wasted, rhs.prefetch_wasted);
     return d;
   }
 
@@ -51,6 +63,9 @@ struct IoStats {
     pages_allocated += rhs.pages_allocated;
     failed_unpins += rhs.failed_unpins;
     pool_exhausted_waits += rhs.pool_exhausted_waits;
+    prefetch_issued += rhs.prefetch_issued;
+    prefetch_hits += rhs.prefetch_hits;
+    prefetch_wasted += rhs.prefetch_wasted;
     return *this;
   }
 
@@ -64,6 +79,11 @@ struct IoStats {
                     " alloc=" + std::to_string(pages_allocated);
     if (pool_exhausted_waits > 0) {
       s += " exhausted_waits=" + std::to_string(pool_exhausted_waits);
+    }
+    if (prefetch_issued > 0) {
+      s += " prefetch_issued=" + std::to_string(prefetch_issued) +
+           " prefetch_hits=" + std::to_string(prefetch_hits) +
+           " prefetch_wasted=" + std::to_string(prefetch_wasted);
     }
     if (failed_unpins > 0) {
       s += " FAILED_UNPINS=" + std::to_string(failed_unpins);
@@ -84,6 +104,9 @@ struct AtomicIoStats {
   std::atomic<uint64_t> pages_allocated{0};
   std::atomic<uint64_t> failed_unpins{0};
   std::atomic<uint64_t> pool_exhausted_waits{0};
+  std::atomic<uint64_t> prefetch_issued{0};
+  std::atomic<uint64_t> prefetch_hits{0};
+  std::atomic<uint64_t> prefetch_wasted{0};
 
   IoStats Snapshot() const {
     IoStats s;
@@ -95,6 +118,9 @@ struct AtomicIoStats {
     s.failed_unpins = failed_unpins.load(std::memory_order_relaxed);
     s.pool_exhausted_waits =
         pool_exhausted_waits.load(std::memory_order_relaxed);
+    s.prefetch_issued = prefetch_issued.load(std::memory_order_relaxed);
+    s.prefetch_hits = prefetch_hits.load(std::memory_order_relaxed);
+    s.prefetch_wasted = prefetch_wasted.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -106,6 +132,9 @@ struct AtomicIoStats {
     pages_allocated.store(0, std::memory_order_relaxed);
     failed_unpins.store(0, std::memory_order_relaxed);
     pool_exhausted_waits.store(0, std::memory_order_relaxed);
+    prefetch_issued.store(0, std::memory_order_relaxed);
+    prefetch_hits.store(0, std::memory_order_relaxed);
+    prefetch_wasted.store(0, std::memory_order_relaxed);
   }
 };
 

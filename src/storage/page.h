@@ -97,12 +97,17 @@ class Page {
     page_id_ = kInvalidPageId;
     pin_count_ = 0;
     is_dirty_ = false;
+    prefetched_ = false;
   }
 
   char data_[kPageSize];
   PageId page_id_ = kInvalidPageId;
   int pin_count_ = 0;
   bool is_dirty_ = false;
+  /// Installed by PrefetchPages and not yet touched by any FetchPage. The
+  /// BufferPool resolves the flag into exactly one of prefetch_hits (first
+  /// fetch) or prefetch_wasted (evicted/discarded first).
+  bool prefetched_ = false;
 };
 
 }  // namespace xrtree

@@ -1079,6 +1079,54 @@ Result<XrIterator> XrTree::UpperBound(Position key) const {
 
 Result<XrIterator> XrTree::Begin() const { return LowerBound(0); }
 
+Result<std::vector<Position>> XrTree::PartitionKeys(size_t max_keys) const {
+  std::vector<Position> keys;
+  if (max_keys == 0 || root_ == kInvalidPageId) return keys;
+  std::vector<PageId> level{root_};
+  for (int depth = 0; depth < kMaxTreeDepth; ++depth) {
+    keys.clear();
+    std::vector<PageId> children;
+    bool children_internal = false;
+    for (PageId id : level) {
+      XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(id));
+      PageGuard page(pool_, raw);
+      const auto* hdr = XrHeader(raw);
+      if (hdr->magic != kXrInternalMagic) {
+        if (hdr->magic == kXrLeafMagic && level.size() == 1) {
+          return std::vector<Position>{};  // root is a leaf: no separators
+        }
+        return Status::Corruption("xrtree: partition walk hit a foreign page");
+      }
+      const XrInternalEntry* slots = XrInternalSlots(raw);
+      for (uint32_t i = 0; i < hdr->count; ++i) keys.push_back(slots[i].key);
+      children.push_back(hdr->leftmost);
+      for (uint32_t i = 0; i < hdr->count; ++i) {
+        children.push_back(slots[i].child);
+      }
+      if (!children_internal && !children.empty()) {
+        XR_ASSIGN_OR_RETURN(Page * craw, pool_->FetchPage(children.front()));
+        PageGuard child(pool_, craw);
+        children_internal = XrHeader(craw)->magic == kXrInternalMagic;
+      }
+    }
+    // Within one level keys ascend left-to-right (they separate disjoint
+    // ascending leaf ranges); stop at the first level that satisfies the
+    // request, or at the last internal level.
+    if (keys.size() >= max_keys || !children_internal) break;
+    level = std::move(children);
+  }
+  if (keys.size() <= max_keys) return keys;
+  // Thin to an evenly spaced subset so partitions cover comparable numbers
+  // of separator intervals.
+  std::vector<Position> picked;
+  picked.reserve(max_keys);
+  for (size_t i = 1; i <= max_keys; ++i) {
+    picked.push_back(keys[i * keys.size() / (max_keys + 1)]);
+  }
+  picked.erase(std::unique(picked.begin(), picked.end()), picked.end());
+  return picked;
+}
+
 // ---------------------------------------------------------------------------
 // Bulk loading
 // ---------------------------------------------------------------------------

@@ -121,6 +121,18 @@ class XrTree {
   Result<XrIterator> LowerBound(Position key) const;
   Result<XrIterator> UpperBound(Position key) const;
 
+  /// Up to `max_keys` separator keys drawn from the topmost internal levels,
+  /// strictly ascending — the partition boundaries of the parallel join.
+  /// Every returned key `k` is a real B+-tree separator (left starts < k <=
+  /// right starts), so splitting the key space into [0,k1), [k1,k2), ...,
+  /// [kn, nil) assigns each indexed element — and each internal node's stab
+  /// ownership — to exactly one range. Returns fewer keys (possibly none)
+  /// when the tree is too shallow to offer that many distinct separators;
+  /// the descent stops at the deepest internal level that satisfies the
+  /// request and thins it to an evenly spaced subset. Const and
+  /// reader-concurrent like the other queries.
+  Result<std::vector<Position>> PartitionKeys(size_t max_keys) const;
+
   /// Deep validation of every structural and stab invariant (B+ shape,
   /// topmost-node rule, smallest-key tagging, PSL nesting, (ps,pe)
   /// summaries, InStabList flags, ps-directory correctness). O(N log N);

@@ -1,6 +1,7 @@
 #include "xrtree/xrtree_iterator.h"
 
 #include <cassert>
+#include <cstddef>
 
 #include "xrtree/xrtree.h"
 
@@ -41,6 +42,7 @@ Status XrIterator::Next() {
     }
     if (XrHeader(raw)->count > 0) {
       ++scanned_;
+      MaybePrefetch();
       return Status::Ok();
     }
     next = XrHeader(raw)->next;
@@ -56,6 +58,7 @@ Status XrIterator::SeekPastKey(Position key) {
   }
   const XrTree* tree = tree_;
   uint64_t scanned = scanned_;
+  uint32_t prefetch = prefetch_depth_;
   leaf_.Release();
   XR_ASSIGN_OR_RETURN(XrIterator fresh, tree->UpperBound(key));
   *this = std::move(fresh);
@@ -63,7 +66,40 @@ Status XrIterator::SeekPastKey(Position key) {
   // BTreeIterator::SeekPastKey).
   scanned_ += scanned;
   tree_ = tree;
+  prefetch_depth_ = prefetch;
+  MaybePrefetch();
   return Status::Ok();
+}
+
+Status XrIterator::SeekToStart(Position pos) {
+  if (tree_ == nullptr) {
+    return Status::InvalidArgument("SeekToStart on default iterator");
+  }
+  const XrTree* tree = tree_;
+  uint64_t scanned = scanned_;
+  uint32_t prefetch = prefetch_depth_;
+  leaf_.Release();
+  XR_ASSIGN_OR_RETURN(XrIterator fresh, tree->LowerBound(pos));
+  *this = std::move(fresh);
+  scanned_ += scanned;
+  tree_ = tree;
+  prefetch_depth_ = prefetch;
+  MaybePrefetch();
+  return Status::Ok();
+}
+
+void XrIterator::EnablePrefetch(uint32_t depth) {
+  prefetch_depth_ = depth;
+  MaybePrefetch();
+}
+
+void XrIterator::MaybePrefetch() {
+  if (prefetch_depth_ == 0 || !Valid()) return;
+  PageId next = XrHeader(leaf_.get())->next;
+  if (next == kInvalidPageId) return;
+  tree_->pool()->PrefetchChainAsync(
+      next, prefetch_depth_,
+      static_cast<uint32_t>(offsetof(XrPageHeader, next)));
 }
 
 }  // namespace xrtree

@@ -37,13 +37,31 @@ class XrIterator {
   /// root-to-leaf probe — the skip primitive of Algorithm 6 (lines 12/19).
   Status SeekPastKey(Position key);
 
+  /// Re-seeks to the first element with start >= `pos` via a fresh
+  /// root-to-leaf probe (O(log_F N), never a leaf-chain scan). This is the
+  /// partition-boundary landing primitive of the parallel join: a worker
+  /// owning ancestors in [lo, hi) starts its cursor at SeekToStart(lo)
+  /// without paying the O(leaf count) walk from the leftmost leaf.
+  Status SeekToStart(Position pos);
+
+  /// Turns on leaf read-ahead: every time the cursor lands on a new leaf,
+  /// the next `depth` sibling leaves are handed to the pool's background
+  /// prefetcher (BufferPool::PrefetchChainAsync), so the chain walk finds
+  /// them resident instead of paying one blocking miss per page. 0 = off.
+  /// Read-path only, like every const query.
+  void EnablePrefetch(uint32_t depth);
+
   uint64_t scanned() const { return scanned_; }
 
  private:
+  /// Issues the read-ahead for the leaves following the current one.
+  void MaybePrefetch();
+
   const XrTree* tree_ = nullptr;
   PageGuard leaf_;
   uint32_t slot_ = 0;
   uint64_t scanned_ = 0;
+  uint32_t prefetch_depth_ = 0;
 };
 
 }  // namespace xrtree

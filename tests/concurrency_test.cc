@@ -13,6 +13,7 @@
 #include "common/random.h"
 #include "join/bplus_join.h"
 #include "join/element_source.h"
+#include "join/parallel_join.h"
 #include "join/stack_tree_desc.h"
 #include "join/xr_stack.h"
 #include "storage/buffer_pool.h"
@@ -392,6 +393,66 @@ TEST(ConcurrencyTest, ConcurrentJoinsMatchSingleThreaded) {
   EXPECT_EQ(errors.load(), 0u);
   EXPECT_EQ(mismatches.load(), 0u);
   EXPECT_EQ(db.pool()->pinned_frames(), 0u);
+}
+
+// The intra-query parallel join — itself multi-threaded, with the leaf
+// prefetcher's background thread running — executed from several client
+// threads at once over one shared pool. Every invocation must reproduce
+// the serial XR-stack output byte for byte.
+TEST(ConcurrencyTest, ParallelJoinsUnderConcurrencyMatchSerial) {
+  auto ds = MakeDepartmentDataset(3000);
+  ASSERT_OK(ds.status());
+
+  TempDb db(256, 8);
+  PageId a_xr_root, d_xr_root;
+  {
+    StoredElementSet a_set(db.pool(), "A");
+    StoredElementSet d_set(db.pool(), "D");
+    ASSERT_OK(a_set.Build(ds->ancestors));
+    ASSERT_OK(d_set.Build(ds->descendants));
+    a_xr_root = a_set.xrtree().root();
+    d_xr_root = d_set.xrtree().root();
+    ASSERT_OK(db.pool()->FlushAll());
+  }
+
+  std::vector<JoinPair> want;
+  {
+    XrTree a_xr(db.pool(), a_xr_root);
+    XrTree d_xr(db.pool(), d_xr_root);
+    ASSERT_OK_AND_ASSIGN(JoinOutput serial, XrStackJoin(a_xr, d_xr));
+    want = std::move(serial.pairs);
+    ASSERT_FALSE(want.empty());
+  }
+
+  constexpr int kThreads = 4;
+  std::atomic<uint64_t> errors{0};
+  std::atomic<uint64_t> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < 2; ++round) {
+        XrTree a_xr(db.pool(), a_xr_root);
+        XrTree d_xr(db.pool(), d_xr_root);
+        JoinOptions options;
+        options.num_threads = 2 + (t + round) % 3;  // 2..4 workers
+        options.prefetch_depth = (t % 2 == 0) ? 4 : 0;
+        auto out = ParallelXrStackJoin(a_xr, d_xr, options);
+        if (!out.ok()) {
+          errors.fetch_add(1);
+        } else if (out->pairs != want) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  db.pool()->WaitForPrefetchIdle();
+  EXPECT_EQ(errors.load(), 0u);
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_EQ(db.pool()->pinned_frames(), 0u);
+  // Prefetch accounting stayed coherent under the concurrency.
+  IoStats s = db.pool()->stats();
+  EXPECT_LE(s.prefetch_hits + s.prefetch_wasted, s.prefetch_issued);
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include "join/element_source.h"
 #include "join/mpmgjn.h"
 #include "join/nested_loop.h"
+#include "join/parallel_join.h"
 #include "join/parent_child.h"
 #include "join/stack_tree_desc.h"
 #include "join/xr_stack.h"
@@ -295,6 +296,232 @@ TEST(JoinTest, MultiDocumentCorpusNeverJoinsAcrossDocuments) {
   }
   auto want = Canonical(NestedLoopJoin(emps, names).pairs);
   EXPECT_EQ(Canonical(out.pairs), want);
+}
+
+// ---------------------------------------------------------------------------
+// Range-partitioned parallel XR-stack
+// ---------------------------------------------------------------------------
+
+/// Builds a deliberately deep XR-tree (fanout 4) so even small element sets
+/// offer internal separator keys for partitioning.
+std::unique_ptr<XrTree> SmallFanoutTree(BufferPool* pool,
+                                        const ElementList& elements) {
+  XrTreeOptions options;
+  options.leaf_capacity = 4;
+  options.internal_capacity = 4;
+  auto tree = std::make_unique<XrTree>(pool, kInvalidPageId, options);
+  XR_CHECK_OK(tree->BulkLoad(elements));
+  return tree;
+}
+
+TEST(ParallelJoinTest, RangeWorkersPartitionPairsExactly) {
+  // Each pair must be emitted by exactly one range worker: the per-range
+  // outputs are disjoint and their union is the serial output.
+  ElementList universe = RandomNestedElements(21, 900, 3);
+  ElementList a_list, d_list;
+  SplitByLevel(universe, &a_list, &d_list);
+  TempDb db(512);
+  auto a_tree = SmallFanoutTree(db.pool(), a_list);
+  auto d_tree = SmallFanoutTree(db.pool(), d_list);
+
+  ASSERT_OK_AND_ASSIGN(JoinOutput serial, XrStackJoin(*a_tree, *d_tree));
+  ASSERT_OK_AND_ASSIGN(auto ranges, PlanJoinPartitions(*a_tree, 4));
+  ASSERT_GT(ranges.size(), 1u);
+  EXPECT_EQ(ranges.front().first, 0u);
+  EXPECT_EQ(ranges.back().second, kNilPosition);
+  for (size_t i = 1; i < ranges.size(); ++i) {
+    EXPECT_EQ(ranges[i].first, ranges[i - 1].second);  // contiguous cover
+  }
+
+  std::vector<JoinPair> merged;
+  for (auto [lo, hi] : ranges) {
+    ASSERT_OK_AND_ASSIGN(JoinOutput part,
+                         XrStackJoinRange(*a_tree, *d_tree, lo, hi));
+    for (const JoinPair& p : part.pairs) {
+      // Ownership: the worker emits exactly the pairs whose ancestor
+      // starts inside its range — including pairs whose descendant lies
+      // beyond `hi` under a spanning ancestor.
+      EXPECT_GE(p.ancestor.start, lo);
+      EXPECT_LT(p.ancestor.start, hi);
+      merged.push_back(p);
+    }
+  }
+  EXPECT_EQ(Canonical(merged), Canonical(serial.pairs));
+  EXPECT_EQ(merged.size(), serial.pairs.size());  // no duplicate emission
+}
+
+TEST(ParallelJoinTest, SpanningAncestorEmittedOnceWithAllDescendants) {
+  // One ancestor covers the whole document (so it spans every partition
+  // boundary); its pairs must all come from the worker owning its start.
+  ElementList a_list, d_list;
+  a_list.push_back(Element(1, 100000, 0));  // spans everything
+  Position p = 10;
+  for (int i = 0; i < 200; ++i) {
+    a_list.push_back(Element(p, p + 6, 1));
+    d_list.push_back(Element(p + 2, p + 3, 2));
+    p += 10;
+  }
+  TempDb db(512);
+  auto a_tree = SmallFanoutTree(db.pool(), a_list);
+  auto d_tree = SmallFanoutTree(db.pool(), d_list);
+
+  ASSERT_OK_AND_ASSIGN(JoinOutput serial, XrStackJoin(*a_tree, *d_tree));
+  // Every descendant joins the spanning root and its local ancestor.
+  EXPECT_EQ(serial.stats.output_pairs, 2 * d_list.size());
+
+  JoinOptions options;
+  options.num_threads = 4;
+  ASSERT_OK_AND_ASSIGN(JoinOutput par,
+                       ParallelXrStackJoin(*a_tree, *d_tree, options));
+  EXPECT_EQ(par.pairs, serial.pairs);  // byte-identical, order included
+  EXPECT_EQ(par.stats.output_pairs, serial.stats.output_pairs);
+
+  // The spanning ancestor's pairs all come from the first range's worker.
+  ASSERT_OK_AND_ASSIGN(auto ranges, PlanJoinPartitions(*a_tree, 4));
+  ASSERT_GT(ranges.size(), 1u);
+  ASSERT_OK_AND_ASSIGN(
+      JoinOutput first,
+      XrStackJoinRange(*a_tree, *d_tree, ranges[0].first, ranges[0].second));
+  uint64_t spanning_pairs = 0;
+  for (const JoinPair& pr : first.pairs) {
+    if (pr.ancestor.start == 1) ++spanning_pairs;
+  }
+  EXPECT_EQ(spanning_pairs, d_list.size());
+}
+
+TEST(ParallelJoinTest, EmptyPartitionsAreHarmless) {
+  // All ancestors cluster at low positions; ranges to the right of the
+  // cluster own nothing and must emit nothing.
+  ElementList a_list, d_list;
+  for (Position p = 1; p < 300; p += 4) {
+    a_list.push_back(Element(p, p + 3, 1));
+    d_list.push_back(Element(p + 1, p + 2, 2));  // strictly inside
+  }
+  for (Position p = 1000; p < 90000; p += 7) {
+    d_list.push_back(Element(p, p + 1, 2));  // no ancestor covers these
+  }
+  TempDb db(512);
+  auto a_tree = SmallFanoutTree(db.pool(), a_list);
+  auto d_tree = SmallFanoutTree(db.pool(), d_list);
+  ASSERT_OK_AND_ASSIGN(JoinOutput serial, XrStackJoin(*a_tree, *d_tree));
+  ASSERT_FALSE(serial.pairs.empty());
+
+  // A range that owns no ancestors joins nothing.
+  ASSERT_OK_AND_ASSIGN(JoinOutput empty,
+                       XrStackJoinRange(*a_tree, *d_tree, 50000, 60000));
+  EXPECT_TRUE(empty.pairs.empty());
+  EXPECT_EQ(empty.stats.output_pairs, 0u);
+
+  JoinOptions options;
+  options.num_threads = 6;
+  ASSERT_OK_AND_ASSIGN(JoinOutput par,
+                       ParallelXrStackJoin(*a_tree, *d_tree, options));
+  EXPECT_EQ(par.pairs, serial.pairs);
+}
+
+TEST(ParallelJoinTest, MoreThreadsThanAncestors) {
+  ElementList a_list, d_list;
+  for (Position p = 10; p < 60; p += 10) a_list.push_back(Element(p, p + 5, 1));
+  for (Position p = 1; p < 70; p += 2) d_list.push_back(Element(p, p + 1, 2));
+  TempDb db;
+  auto a_tree = SmallFanoutTree(db.pool(), a_list);  // 5 ancestors
+  auto d_tree = SmallFanoutTree(db.pool(), d_list);
+  ASSERT_OK_AND_ASSIGN(JoinOutput serial, XrStackJoin(*a_tree, *d_tree));
+  JoinOptions options;
+  options.num_threads = 64;
+  ASSERT_OK_AND_ASSIGN(JoinOutput par,
+                       ParallelXrStackJoin(*a_tree, *d_tree, options));
+  EXPECT_EQ(par.pairs, serial.pairs);
+  EXPECT_EQ(par.stats.output_pairs, serial.stats.output_pairs);
+}
+
+struct ParallelParam {
+  uint64_t seed;
+  uint32_t n;
+  uint32_t max_children;
+  uint32_t threads;
+  uint32_t prefetch;
+};
+
+class ParallelEquivalenceTest : public ::testing::TestWithParam<ParallelParam> {
+};
+
+TEST_P(ParallelEquivalenceTest, OutputIsByteIdenticalToSerial) {
+  const ParallelParam p = GetParam();
+  ElementList universe = RandomNestedElements(p.seed, p.n, p.max_children);
+  ElementList a_list, d_list;
+  SplitByLevel(universe, &a_list, &d_list);
+  ASSERT_FALSE(a_list.empty());
+  ASSERT_FALSE(d_list.empty());
+  TempDb db(512);
+  auto a_tree = SmallFanoutTree(db.pool(), a_list);
+  auto d_tree = SmallFanoutTree(db.pool(), d_list);
+
+  ASSERT_OK_AND_ASSIGN(JoinOutput serial, XrStackJoin(*a_tree, *d_tree));
+  JoinOptions options;
+  options.num_threads = p.threads;
+  options.prefetch_depth = p.prefetch;
+  ASSERT_OK_AND_ASSIGN(JoinOutput par,
+                       ParallelXrStackJoin(*a_tree, *d_tree, options));
+  db.pool()->WaitForPrefetchIdle();
+  // Byte-identical: same pairs in the same emission order.
+  EXPECT_EQ(par.pairs, serial.pairs);
+  EXPECT_EQ(par.stats.output_pairs, serial.stats.output_pairs);
+
+  // Parent-child variant through the same partitioning.
+  JoinOptions pc = options;
+  pc.parent_child = true;
+  ASSERT_OK_AND_ASSIGN(JoinOutput serial_pc,
+                       XrStackJoin(*a_tree, *d_tree, pc));
+  ASSERT_OK_AND_ASSIGN(JoinOutput par_pc,
+                       ParallelXrStackJoin(*a_tree, *d_tree, pc));
+  db.pool()->WaitForPrefetchIdle();
+  EXPECT_EQ(par_pc.pairs, serial_pc.pairs);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ParallelEquivalenceTest,
+    ::testing::Values(ParallelParam{11, 400, 4, 2, 0},
+                      ParallelParam{12, 400, 2, 3, 0},
+                      ParallelParam{13, 900, 8, 4, 2},
+                      ParallelParam{14, 900, 3, 8, 0},
+                      ParallelParam{15, 1600, 2, 4, 4},
+                      ParallelParam{16, 1600, 6, 5, 0},
+                      ParallelParam{17, 60, 1, 4, 0},
+                      ParallelParam{18, 2500, 4, 7, 3}),
+    [](const ::testing::TestParamInfo<ParallelParam>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_n" +
+             std::to_string(info.param.n) + "_t" +
+             std::to_string(info.param.threads) + "_pf" +
+             std::to_string(info.param.prefetch);
+    });
+
+TEST(ParallelJoinTest, SingleThreadAndShallowTreesFallBackToSerial) {
+  ElementList universe = RandomNestedElements(31, 60, 4);
+  ElementList a_list, d_list;
+  SplitByLevel(universe, &a_list, &d_list);
+  TempDb db;
+  // Page-native fanout: a 30-element tree is a single leaf, so no
+  // separator keys exist and the parallel path must degrade gracefully.
+  StoredElementSet a_set(db.pool(), "A");
+  StoredElementSet d_set(db.pool(), "D");
+  ASSERT_OK(a_set.Build(a_list));
+  ASSERT_OK(d_set.Build(d_list));
+  ASSERT_OK_AND_ASSIGN(auto ranges, PlanJoinPartitions(a_set.xrtree(), 8));
+  EXPECT_EQ(ranges.size(), 1u);
+  ASSERT_OK_AND_ASSIGN(JoinOutput serial,
+                       XrStackJoin(a_set.xrtree(), d_set.xrtree()));
+  JoinOptions options;
+  options.num_threads = 8;
+  ASSERT_OK_AND_ASSIGN(
+      JoinOutput par,
+      ParallelXrStackJoin(a_set.xrtree(), d_set.xrtree(), options));
+  EXPECT_EQ(par.pairs, serial.pairs);
+  options.num_threads = 1;
+  ASSERT_OK_AND_ASSIGN(
+      JoinOutput one,
+      ParallelXrStackJoin(a_set.xrtree(), d_set.xrtree(), options));
+  EXPECT_EQ(one.pairs, serial.pairs);
 }
 
 TEST(JoinTest, SelfJoinProducesProperPairsOnly) {

@@ -123,6 +123,37 @@ INSTANTIATE_TEST_SUITE_P(
       return name;
     });
 
+TEST(PathExecutorTest, ParallelJoinOptionsPreserveResults) {
+  GeneratorOptions options;
+  options.target_elements = 8000;
+  ASSERT_OK_AND_ASSIGN(Document doc,
+                       Generator::Generate(Dtd::Department(), options));
+  Corpus corpus;
+  corpus.AddDocument(std::move(doc));
+  TempDb db(2048);
+
+  const char* queries[] = {"//employee//name", "//employee/name",
+                           "departments//department/employee"};
+  PathExecutor serial(db.pool(), &corpus);
+  JoinOptions parallel_opts;
+  parallel_opts.num_threads = 3;
+  parallel_opts.prefetch_depth = 2;
+  PathExecutor parallel(db.pool(), &corpus, parallel_opts);
+  for (const char* q : queries) {
+    ASSERT_OK_AND_ASSIGN(ElementList want, serial.Execute(q));
+    ASSERT_OK_AND_ASSIGN(ElementList got, parallel.Execute(q));
+    EXPECT_EQ(got, want) << q;
+  }
+  db.pool()->WaitForPrefetchIdle();
+
+  // The knob is adjustable per executor after construction.
+  parallel.join_options().num_threads = 1;
+  parallel.join_options().prefetch_depth = 0;
+  ASSERT_OK_AND_ASSIGN(ElementList again, parallel.Execute(queries[0]));
+  ASSERT_OK_AND_ASSIGN(ElementList base, serial.Execute(queries[0]));
+  EXPECT_EQ(again, base);
+}
+
 TEST(PathExecutorTest, UnknownTagYieldsEmpty) {
   Corpus corpus;
   Document doc;

@@ -229,6 +229,131 @@ TEST(BufferPoolTest, FlushAllPersistsAcrossReopen) {
 }
 
 // ---------------------------------------------------------------------------
+// Prefetch accounting
+// ---------------------------------------------------------------------------
+
+/// Invariant (see IoStats): every issued prefetch resolves to exactly one
+/// of hit (first FetchPage of the page), wasted (evicted or dropped before
+/// any fetch), or still-resident-unused.
+void ExpectPrefetchInvariant(const IoStats& s, uint64_t resident_unused) {
+  EXPECT_EQ(s.prefetch_issued, s.prefetch_hits + s.prefetch_wasted +
+                                   resident_unused);
+}
+
+TEST(BufferPoolTest, PrefetchPagesInstallsUnpinnedAndCountsHits) {
+  TempDb db(8);
+  std::vector<PageId> ids;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_OK_AND_ASSIGN(Page * p, db.pool()->NewPage());
+    p->data()[0] = static_cast<char>('A' + i);
+    ids.push_back(p->page_id());
+    ASSERT_OK(db.pool()->UnpinPage(p->page_id(), true));
+  }
+  db.Reopen(8);  // cold pool over flushed, checksummed pages
+
+  ASSERT_OK(db.pool()->PrefetchPages(ids));
+  IoStats s = db.pool()->stats();
+  EXPECT_EQ(s.prefetch_issued, 4u);
+  EXPECT_EQ(s.buffer_misses, 0u);  // prefetch reads are not demand misses
+  ExpectPrefetchInvariant(s, 4);
+
+  // Re-prefetching resident pages is a no-op, not a second issue.
+  ASSERT_OK(db.pool()->PrefetchPages(ids));
+  EXPECT_EQ(db.pool()->stats().prefetch_issued, 4u);
+
+  for (size_t i = 0; i < ids.size(); ++i) {
+    ASSERT_OK_AND_ASSIGN(Page * p, db.pool()->FetchPage(ids[i]));
+    EXPECT_EQ(p->data()[0], static_cast<char>('A' + i));
+    EXPECT_EQ(p->pin_count(), 1);  // prefetch installed it unpinned
+    ASSERT_OK(db.pool()->UnpinPage(ids[i], false));
+  }
+  s = db.pool()->stats();
+  EXPECT_EQ(s.buffer_hits, 4u);  // consumed from the pool, no demand I/O
+  EXPECT_EQ(s.buffer_misses, 0u);
+  EXPECT_EQ(s.prefetch_hits, 4u);
+  ExpectPrefetchInvariant(s, 0);
+
+  // A second fetch is a plain hit: the prefetch already paid off once.
+  ASSERT_OK_AND_ASSIGN(Page * p, db.pool()->FetchPage(ids[0]));
+  ASSERT_OK(db.pool()->UnpinPage(ids[0], false));
+  EXPECT_EQ(db.pool()->stats().prefetch_hits, 4u);
+}
+
+TEST(BufferPoolTest, EvictedPrefetchesCountAsWastedNotHits) {
+  TempDb db(4);
+  std::vector<PageId> ids;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_OK_AND_ASSIGN(Page * p, db.pool()->NewPage());
+    ids.push_back(p->page_id());
+    ASSERT_OK(db.pool()->UnpinPage(p->page_id(), true));
+  }
+  db.Reopen(4);
+  ASSERT_OK(db.pool()->PrefetchPages(ids));
+  ASSERT_EQ(db.pool()->stats().prefetch_issued, 3u);
+
+  // Consume one prefetched page, then push the other two out of the tiny
+  // pool with fresh allocations.
+  ASSERT_OK_AND_ASSIGN(Page * p, db.pool()->FetchPage(ids[0]));
+  ASSERT_OK(db.pool()->UnpinPage(ids[0], false));
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_OK_AND_ASSIGN(Page * np, db.pool()->NewPage());
+    ASSERT_OK(db.pool()->UnpinPage(np->page_id(), false));
+  }
+  IoStats s = db.pool()->stats();
+  EXPECT_EQ(s.prefetch_issued, 3u);
+  EXPECT_EQ(s.prefetch_hits, 1u);
+  EXPECT_EQ(s.prefetch_wasted, 2u);  // evictions must not inflate hits
+  ExpectPrefetchInvariant(s, 0);
+}
+
+TEST(BufferPoolTest, PrefetchChainFollowsNextLinks) {
+  TempDb db(16);
+  // A five-page chain with the successor's PageId stored at offset 0.
+  std::vector<Page*> pages;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_OK_AND_ASSIGN(Page * p, db.pool()->NewPage());
+    pages.push_back(p);
+  }
+  for (size_t i = 0; i < pages.size(); ++i) {
+    PageId next =
+        i + 1 < pages.size() ? pages[i + 1]->page_id() : kInvalidPageId;
+    std::memcpy(pages[i]->data(), &next, sizeof(next));
+  }
+  std::vector<PageId> ids;
+  for (Page* p : pages) {
+    ids.push_back(p->page_id());
+    ASSERT_OK(db.pool()->UnpinPage(p->page_id(), true));
+  }
+  db.Reopen(16);
+
+  // Depth 4 reads the start page plus three link-followed successors.
+  db.pool()->PrefetchChainAsync(ids[0], 4, 0);
+  db.pool()->WaitForPrefetchIdle();
+  IoStats s = db.pool()->stats();
+  EXPECT_EQ(s.prefetch_issued, 4u);
+  ExpectPrefetchInvariant(s, 4);
+
+  uint64_t misses = 0;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    IoStats before = db.pool()->stats();
+    ASSERT_OK_AND_ASSIGN(Page * p, db.pool()->FetchPage(ids[i]));
+    ASSERT_OK(db.pool()->UnpinPage(ids[i], false));
+    misses += (db.pool()->stats() - before).buffer_misses;
+    (void)p;
+  }
+  s = db.pool()->stats();
+  EXPECT_EQ(s.prefetch_hits, 4u);
+  EXPECT_EQ(misses, 1u);  // only the page beyond the depth missed
+  ExpectPrefetchInvariant(s, 0);
+
+  // Invalid requests are ignored outright.
+  db.pool()->PrefetchChainAsync(kInvalidPageId, 4, 0);
+  ASSERT_OK(db.pool()->PrefetchPages({PageId(999999)}));
+  db.pool()->WaitForPrefetchIdle();
+  EXPECT_EQ(db.pool()->stats().prefetch_issued, 4u);
+}
+
+// ---------------------------------------------------------------------------
 // ElementFile
 // ---------------------------------------------------------------------------
 

@@ -256,6 +256,97 @@ TEST(XrTreeTest, IteratorSeekPastKey) {
   EXPECT_FALSE(it.Valid());
 }
 
+TEST(XrTreeTest, IteratorSeekToStartLandsOnLowerBound) {
+  TempDb db;
+  XrTreeOptions options;
+  options.leaf_capacity = 4;
+  options.internal_capacity = 4;
+  XrTree tree(db.pool(), kInvalidPageId, options);
+  ElementList elems = RandomNestedElements(9, 500);
+  ASSERT_OK(tree.BulkLoad(elems));
+
+  ASSERT_OK_AND_ASSIGN(XrIterator it, tree.Begin());
+  // Exact hit: lands on the element itself.
+  ASSERT_OK(it.SeekToStart(elems[250].start));
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.Get().start, elems[250].start);
+  // Between two starts: lands on the next one. Starts are unique and
+  // sorted, so position elems[100].start + 1 (if free) maps to elems[101].
+  ASSERT_OK(it.SeekToStart(elems[100].start + 1));
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.Get().start, elems[101].start);
+  // Position 0 rewinds to the first element; past-the-end invalidates.
+  ASSERT_OK(it.SeekToStart(0));
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.Get().start, elems[0].start);
+  ASSERT_OK(it.SeekToStart(elems.back().start + 1));
+  EXPECT_FALSE(it.Valid());
+
+  // The seek is a root-to-leaf probe, not a leaf-chain walk: the scan
+  // counter advances by at most one leaf's worth of entries per seek.
+  uint64_t before = it.scanned();
+  ASSERT_OK(it.SeekToStart(elems[400].start));
+  EXPECT_LE(it.scanned() - before, 4u);
+}
+
+TEST(XrTreeTest, PartitionKeysAreRealSeparators) {
+  TempDb db;
+  XrTreeOptions options;
+  options.leaf_capacity = 4;
+  options.internal_capacity = 4;
+  XrTree tree(db.pool(), kInvalidPageId, options);
+  ElementList elems = RandomNestedElements(42, 1200);
+  ASSERT_OK(tree.BulkLoad(elems));
+
+  for (size_t max_keys : {1u, 3u, 7u, 15u, 200u}) {
+    ASSERT_OK_AND_ASSIGN(std::vector<Position> keys,
+                         tree.PartitionKeys(max_keys));
+    EXPECT_LE(keys.size(), max_keys);
+    for (size_t i = 1; i < keys.size(); ++i) {
+      EXPECT_LT(keys[i - 1], keys[i]);  // strictly ascending
+    }
+    // Separator semantics: each [prev, key) range holds at least one
+    // element, so the induced partitioning has no empty range.
+    Position prev = 0;
+    size_t covered = 0;
+    for (size_t i = 0; i <= keys.size(); ++i) {
+      Position hi = i < keys.size() ? keys[i] : kNilPosition;
+      size_t in_range = 0;
+      for (const Element& e : elems) {
+        if (e.start >= prev && (hi == kNilPosition || e.start < hi)) {
+          ++in_range;
+        }
+      }
+      EXPECT_GT(in_range, 0u) << "empty partition [" << prev << "," << hi
+                              << ") for max_keys=" << max_keys;
+      covered += in_range;
+      prev = hi;
+    }
+    EXPECT_EQ(covered, elems.size());  // ranges tile the key space
+  }
+}
+
+TEST(XrTreeTest, PartitionKeysOnShallowTrees) {
+  TempDb db;
+  // Empty tree: nothing to split.
+  XrTree empty(db.pool());
+  ASSERT_OK_AND_ASSIGN(std::vector<Position> none, empty.PartitionKeys(4));
+  EXPECT_TRUE(none.empty());
+  // Single-leaf tree: no internal separators exist.
+  XrTree leaf(db.pool());
+  ASSERT_OK(leaf.BulkLoad({{1, 10, 0}, {2, 5, 1}, {6, 9, 1}}));
+  ASSERT_OK_AND_ASSIGN(std::vector<Position> still, leaf.PartitionKeys(4));
+  EXPECT_TRUE(still.empty());
+  // max_keys == 0 is a no-op request.
+  XrTreeOptions options;
+  options.leaf_capacity = 4;
+  options.internal_capacity = 4;
+  XrTree deep(db.pool(), kInvalidPageId, options);
+  ASSERT_OK(deep.BulkLoad(RandomNestedElements(5, 300)));
+  ASSERT_OK_AND_ASSIGN(std::vector<Position> zero, deep.PartitionKeys(0));
+  EXPECT_TRUE(zero.empty());
+}
+
 // ---------------------------------------------------------------------------
 // Differential query tests
 // ---------------------------------------------------------------------------
