@@ -1,0 +1,16 @@
+#include "common/backoff.h"
+
+#include <chrono>
+#include <thread>
+
+namespace xrtree {
+
+void BackoffSleep(uint64_t delay_us) {
+  if (delay_us == 0) {
+    std::this_thread::yield();
+    return;
+  }
+  std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+}
+
+}  // namespace xrtree

@@ -1,0 +1,87 @@
+#ifndef XRTREE_COMMON_BACKOFF_H_
+#define XRTREE_COMMON_BACKOFF_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+
+namespace xrtree {
+
+/// Bounded retry policy shared by every retry loop in the storage stack.
+/// The buffer pool uses one instance for transient-I/O retries and another
+/// for all-frames-pinned waits, so there is exactly one backoff
+/// implementation to reason about (and to tune) rather than ad-hoc
+/// yield/sleep loops scattered per call site.
+///
+/// Schedule: the first `yield_retries` attempts only yield the CPU (cheap,
+/// right when a contended latch or pin is about to clear). After that each
+/// attempt sleeps a jittered exponential delay: the base doubles from
+/// `initial_delay_us` up to `max_delay_us`, and the actual sleep is drawn
+/// uniformly from [base/2, base] to decorrelate threads retrying in
+/// lockstep. `deadline_us` bounds the *total* slept time across all
+/// attempts; 0 means no deadline.
+struct RetryPolicy {
+  uint32_t max_retries = 4;       ///< attempts after the first try; 0 = none
+  uint32_t yield_retries = 0;     ///< leading attempts that yield, not sleep
+  uint64_t initial_delay_us = 100;
+  uint64_t max_delay_us = 2000;
+  uint64_t deadline_us = 50000;   ///< total sleep budget; 0 = unbounded
+};
+
+/// Per-operation retry bookkeeping. Not thread-safe; make one per retrying
+/// operation. Deterministic given (policy, seed) so tests can pin the
+/// schedule down exactly.
+class RetryState {
+ public:
+  explicit RetryState(const RetryPolicy& policy, uint64_t seed = 0)
+      : policy_(policy), rng_(seed) {}
+
+  /// Decides whether one more retry is allowed. Returns false once the
+  /// attempt budget or the sleep deadline is exhausted. On true, `*delay_us`
+  /// holds the time to sleep before retrying (0 during the yield phase —
+  /// the caller should yield instead of sleeping).
+  bool Next(uint64_t* delay_us) {
+    if (retries_ >= policy_.max_retries) return false;
+    ++retries_;
+    if (retries_ <= policy_.yield_retries) {
+      *delay_us = 0;
+      return true;
+    }
+    uint64_t base = policy_.initial_delay_us;
+    uint32_t sleeps = retries_ - policy_.yield_retries;
+    for (uint32_t i = 1; i < sleeps && base < policy_.max_delay_us; ++i) {
+      base *= 2;
+    }
+    if (base > policy_.max_delay_us) base = policy_.max_delay_us;
+    // Jitter: uniform in [base/2, base].
+    uint64_t lo = base / 2;
+    uint64_t delay = base == 0 ? 0 : lo + rng_.Uniform(base - lo + 1);
+    if (policy_.deadline_us != 0) {
+      uint64_t remaining = policy_.deadline_us > slept_us_
+                               ? policy_.deadline_us - slept_us_
+                               : 0;
+      if (remaining == 0) return false;
+      if (delay > remaining) delay = remaining;
+    }
+    slept_us_ += delay;
+    *delay_us = delay;
+    return true;
+  }
+
+  uint32_t retries() const { return retries_; }
+  uint64_t slept_us() const { return slept_us_; }
+
+ private:
+  RetryPolicy policy_;
+  Random rng_;
+  uint32_t retries_ = 0;
+  uint64_t slept_us_ = 0;
+};
+
+/// Sleeps for `delay_us` microseconds, or yields the CPU when `delay_us`
+/// is 0. The single blocking primitive behind every retry loop.
+void BackoffSleep(uint64_t delay_us);
+
+}  // namespace xrtree
+
+#endif  // XRTREE_COMMON_BACKOFF_H_

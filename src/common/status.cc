@@ -25,6 +25,8 @@ const char* CodeName(Status::Code code) {
       return "Aborted";
     case Status::Code::kResourceExhausted:
       return "ResourceExhausted";
+    case Status::Code::kDataLoss:
+      return "DataLoss";
   }
   return "Unknown";
 }

@@ -22,6 +22,7 @@ class Status {
     kNotSupported,
     kAborted,
     kResourceExhausted,
+    kDataLoss,
   };
 
   /// Default-constructed Status is OK.
@@ -52,6 +53,21 @@ class Status {
   static Status ResourceExhausted(std::string_view msg = "") {
     return Status(Code::kResourceExhausted, msg);
   }
+  /// Durable data is gone: a page failed its checksum and no clean redo
+  /// image exists to repair it from. Unlike Corruption (which a repair pass
+  /// may still fix), DataLoss is terminal — retrying cannot help.
+  static Status DataLoss(std::string_view msg = "") {
+    return Status(Code::kDataLoss, msg);
+  }
+  /// An I/O error believed to be transient (EINTR storms, injected flaky
+  /// reads, saturated devices). Same code as IoError — callers that only
+  /// switch on the code see no difference — but IsRetryable() is true, so
+  /// retry loops in the buffer pool will back off and try again.
+  static Status TransientIoError(std::string_view msg = "") {
+    Status s(Code::kIoError, msg);
+    s.retryable_ = true;
+    return s;
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -62,6 +78,15 @@ class Status {
   bool IsAborted() const { return code_ == Code::kAborted; }
   bool IsResourceExhausted() const {
     return code_ == Code::kResourceExhausted;
+  }
+  bool IsDataLoss() const { return code_ == Code::kDataLoss; }
+
+  /// True when a bounded retry with backoff has a real chance of clearing
+  /// the error: transient I/O faults and exhausted-but-releasable resources.
+  /// Corruption, DataLoss, and plain IoError (device-level hard failure)
+  /// are never retryable.
+  bool IsRetryable() const {
+    return retryable_ || code_ == Code::kResourceExhausted;
   }
 
   Code code() const { return code_; }
@@ -78,6 +103,7 @@ class Status {
   Status(Code code, std::string_view msg) : code_(code), message_(msg) {}
 
   Code code_ = Code::kOk;
+  bool retryable_ = false;
   std::string message_;
 };
 

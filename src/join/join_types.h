@@ -1,6 +1,7 @@
 #ifndef XRTREE_JOIN_JOIN_TYPES_H_
 #define XRTREE_JOIN_JOIN_TYPES_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -53,7 +54,28 @@ struct JoinOptions {
   /// leaf, the next `prefetch_depth` sibling leaves are prefetched in the
   /// background (BufferPool::PrefetchChainAsync). 0 = off.
   uint32_t prefetch_depth = 0;
+
+  /// Cooperative cancellation: when non-null and set, XrStackJoinRange
+  /// aborts its scan promptly (checked once per loop iteration) with
+  /// Status::Aborted(kJoinCancelledMessage). ParallelXrStackJoin installs
+  /// its own flag here for its workers so one failed range cancels the
+  /// siblings instead of letting them run to completion.
+  const std::atomic<bool>* cancel = nullptr;
+
+  /// ParallelXrStackJoin only: when a worker fails with a *retryable*
+  /// error (Status::IsRetryable — transient I/O, pool pressure from N
+  /// workers pinning at once), rerun the whole join with the serial
+  /// XrStackJoin instead of surfacing the error. The fallback output is
+  /// byte-identical to what the parallel merge would have produced.
+  /// Non-retryable errors (Corruption, DataLoss) always surface.
+  bool degrade_to_serial = false;
 };
+
+/// The Aborted message XrStackJoinRange returns when options.cancel fires.
+/// ParallelXrStackJoin uses it to tell the range that *caused* a failure
+/// (its own typed error) from ranges that merely got cancelled because of
+/// it.
+inline constexpr const char kJoinCancelledMessage[] = "join cancelled";
 
 /// Measurements for one join execution — the quantities behind the paper's
 /// evaluation: "number of elements scanned" (Tables 2-3) and the I/O
@@ -61,6 +83,12 @@ struct JoinOptions {
 struct JoinStats {
   uint64_t elements_scanned = 0;
   uint64_t output_pairs = 0;
+  /// ParallelXrStackJoin: ranges whose worker returned an error (including
+  /// cancelled siblings) before any degradation/recovery.
+  uint32_t failed_ranges = 0;
+  /// True when ParallelXrStackJoin recovered a retryable worker failure by
+  /// rerunning serially (JoinOptions::degrade_to_serial).
+  bool degraded_to_serial = false;
   IoStats io;               ///< filled in by the caller (pool stats delta)
   double elapsed_seconds = 0;  ///< filled in by the caller
 };

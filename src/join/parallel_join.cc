@@ -72,26 +72,76 @@ Result<JoinOutput> ParallelXrStackJoin(const XrTree& ancestors,
   XR_ASSIGN_OR_RETURN(auto ranges,
                       PlanJoinPartitions(ancestors, options.num_threads));
   if (ranges.size() <= 1) return XrStackJoin(ancestors, descendants, options);
+  if (options.cancel != nullptr &&
+      options.cancel->load(std::memory_order_relaxed)) {
+    return Status::Aborted(kJoinCancelledMessage);
+  }
 
   // One independent XR-stack worker per range. Workers share the caller's
   // pool (const queries are reader-concurrent, DESIGN.md §9) and keep all
-  // join state in locals.
+  // join state in locals. They also share one cancellation flag: the first
+  // range to fail sets it, and every sibling aborts at its next loop
+  // iteration instead of scanning on toward a result that will be thrown
+  // away.
+  std::atomic<bool> cancel{false};
+  JoinOptions worker_options = options;
+  worker_options.cancel = &cancel;
   std::vector<Result<JoinOutput>> results(
       ranges.size(),
-      Result<JoinOutput>(Status::Aborted("parallel join worker did not run")));
+      Result<JoinOutput>(Status::Aborted(kJoinCancelledMessage)));
   std::vector<std::thread> workers;
   workers.reserve(ranges.size());
   for (size_t i = 0; i < ranges.size(); ++i) {
     workers.emplace_back([&, i] {
       results[i] = XrStackJoinRange(ancestors, descendants, ranges[i].first,
-                                    ranges[i].second, options);
+                                    ranges[i].second, worker_options);
+      if (!results[i].ok()) cancel.store(true, std::memory_order_relaxed);
     });
   }
   for (auto& w : workers) w.join();
 
+  // Deterministic first-error selection: the lowest range index whose
+  // error is a real failure (not the cancellation sentinel) wins,
+  // independent of which worker's thread happened to fail first on this
+  // scheduling. Cancelled siblings are casualties of that error, not
+  // errors to report.
+  uint32_t failed_ranges = 0;
+  const Status* first_error = nullptr;
+  const Status* first_cancelled = nullptr;
+  for (const auto& r : results) {
+    if (r.ok()) continue;
+    ++failed_ranges;
+    const Status& s = r.status();
+    bool is_cancel_sentinel =
+        s.IsAborted() && s.message() == kJoinCancelledMessage;
+    if (is_cancel_sentinel) {
+      if (first_cancelled == nullptr) first_cancelled = &s;
+    } else if (first_error == nullptr) {
+      first_error = &s;
+    }
+  }
+  if (first_error == nullptr) first_error = first_cancelled;
+
+  if (first_error != nullptr) {
+    if (options.degrade_to_serial && first_error->IsRetryable()) {
+      // Graceful degradation: one thread pins far fewer frames and retries
+      // with the pool's full backoff budget, so a transient that defeated
+      // N concurrent workers usually clears. Serial output IS the
+      // reference ordering, so the result is byte-identical by definition.
+      JoinOptions serial_options = options;
+      serial_options.num_threads = 1;
+      auto serial = XrStackJoin(ancestors, descendants, serial_options);
+      if (serial.ok()) {
+        serial->stats.failed_ranges = failed_ranges;
+        serial->stats.degraded_to_serial = true;
+      }
+      return serial;
+    }
+    return *first_error;
+  }
+
   JoinOutput out;
   for (auto& r : results) {
-    if (!r.ok()) return r.status();
     out.stats.output_pairs += r->stats.output_pairs;
     out.stats.elements_scanned += r->stats.elements_scanned;
     MergeEmissionOrdered(&out.pairs, std::move(r->pairs));

@@ -31,6 +31,17 @@ namespace xrtree {
 /// ancestor tree is too shallow to offer separator keys, or when it offers
 /// none. `options.prefetch_depth` applies to every worker's descendant
 /// cursor. Read-path only, like every const query.
+///
+/// Failure handling: one failed range is non-fatal to the siblings'
+/// promptness — the first failure sets a shared cancellation flag and
+/// every other worker aborts at its next iteration. The surfaced error is
+/// deterministic: the lowest range index with a real (non-cancellation)
+/// error wins, regardless of thread scheduling. With
+/// `options.degrade_to_serial`, a *retryable* first error is instead
+/// recovered by rerunning the serial XrStackJoin (byte-identical output;
+/// JoinStats::degraded_to_serial records the downgrade). A caller-supplied
+/// `options.cancel` is honoured at entry and by the serial paths; while
+/// parallel workers run they watch the internal sibling flag instead.
 Result<JoinOutput> ParallelXrStackJoin(const XrTree& ancestors,
                                        const XrTree& descendants,
                                        const JoinOptions& options = {});

@@ -59,8 +59,17 @@ Result<JoinOutput> XrStackJoinRange(const XrTree& ancestors,
   // ancestors owned by ranges to the left.
   Position last_probe = lo;
 
+  // Cancellation is cooperative: one relaxed load per loop iteration. A
+  // cancelled worker's partial output is discarded by the caller, so the
+  // flag needs no ordering beyond the thread join that follows it.
+  auto cancelled = [&] {
+    return options.cancel != nullptr &&
+           options.cancel->load(std::memory_order_relaxed);
+  };
+
   // Main loop (Algorithm 6 lines 4-22).
   while (cur_a != kNilPosition && itd.Valid()) {
+    if (cancelled()) return Status::Aborted(kJoinCancelledMessage);
     const Element d = itd.Get();
     // Lines 5-7: pop stack elements that are not ancestors of CurD; the
     // stack is a nested chain, so closed regions form a suffix.
@@ -115,6 +124,7 @@ Result<JoinOutput> XrStackJoinRange(const XrTree& ancestors,
   // also where a boundary-spanning ancestor drains the descendants beyond
   // `hi` up to its end).
   while (itd.Valid() && !stack.empty()) {
+    if (cancelled()) return Status::Aborted(kJoinCancelledMessage);
     const Element d = itd.Get();
     while (!stack.empty() && stack.back().end < d.start) stack.pop_back();
     for (const Element& anc : stack) emit(anc, d);

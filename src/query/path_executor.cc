@@ -43,6 +43,10 @@ Result<ElementList> PathExecutor::Execute(const PathQuery& query,
     JoinOptions options = join_options_;
     options.materialize = true;  // the step consumes the pairs
     options.parent_child = (steps[i].axis == Axis::kChild);
+    // Queries prefer a slower answer over a failed one: a transient that
+    // defeats the parallel workers falls back to the serial join (same
+    // bytes, one thread's worth of pool pressure).
+    options.degrade_to_serial = true;
     XR_ASSIGN_OR_RETURN(JoinOutput join,
                         ParallelXrStackJoin(context_index, *tag_index,
                                             options));

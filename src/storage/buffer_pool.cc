@@ -32,7 +32,17 @@ size_t BufferPool::ShardIndex(PageId page_id) const {
 
 BufferPool::BufferPool(DiskInterface* disk, size_t pool_size,
                        size_t shard_count)
-    : disk_(disk), pool_size_(pool_size) {
+    : BufferPool(disk, [&] {
+        BufferPoolOptions o;
+        o.pool_size = pool_size;
+        o.shard_count = shard_count;
+        return o;
+      }()) {}
+
+BufferPool::BufferPool(DiskInterface* disk, const BufferPoolOptions& options)
+    : disk_(disk), pool_size_(options.pool_size), options_(options) {
+  size_t pool_size = options.pool_size;
+  size_t shard_count = options.shard_count;
   assert(pool_size > 0);
   if (shard_count == 0) shard_count = AutoShardCount(pool_size);
   shard_count = std::min(shard_count, pool_size);
@@ -132,12 +142,12 @@ bool BufferPool::AcquireFrame(Shard& s, FrameId* out, Status* error) {
   return false;  // every frame pinned; caller backs off
 }
 
-void BufferPool::BackOff(int attempt) {
-  if (attempt < 16) {
-    std::this_thread::yield();
-  } else {
-    std::this_thread::sleep_for(std::chrono::microseconds(50));
-  }
+RetryState BufferPool::MakeRetryState(const RetryPolicy& policy,
+                                      PageId page_id) {
+  uint64_t seq = retry_seq_.fetch_add(1, std::memory_order_relaxed);
+  return RetryState(policy,
+                    options_.retry_seed ^ (page_id * 0x9E3779B97F4A7C15ull) ^
+                        (seq << 17));
 }
 
 Result<Page*> BufferPool::FetchPage(PageId page_id) {
@@ -145,7 +155,19 @@ Result<Page*> BufferPool::FetchPage(PageId page_id) {
     return Status::InvalidArgument("FetchPage(kInvalidPageId)");
   }
   Shard& s = *shards_[ShardIndex(page_id)];
-  for (int attempt = 0;; ++attempt) {
+  RetryState pin_retry = MakeRetryState(options_.pin_retry, page_id);
+  RetryState io_retry = MakeRetryState(options_.io_retry, page_id);
+  // Successful repairs per fetch before giving up. Under sustained
+  // probabilistic corruption the refetch after a repair can itself come
+  // back flipped; allowing a few rounds drives the failure odds to p^k
+  // instead of p^2. An *unrepairable* page never loops — the first repair
+  // pass returns DataLoss.
+  constexpr int kMaxRepairsPerFetch = 8;
+  int repairs = 0;
+  for (;;) {
+    Status read;
+    bool from_log = false;
+    bool all_pinned = false;
     {
       std::lock_guard<std::mutex> lock(s.mu);
       auto it = s.page_table.find(page_id);
@@ -170,8 +192,6 @@ Result<Page*> BufferPool::FetchPage(PageId page_id) {
         // image for — the data-file copy (if any) is stale until the next
         // checkpoint. The read happens under the shard latch: misses within
         // one shard serialize, other shards proceed.
-        Status read;
-        bool from_log = false;
         Wal* wal = wal_.load(std::memory_order_acquire);
         if (wal != nullptr) {
           auto served = wal->TryReadImage(page_id, page->data_);
@@ -185,31 +205,121 @@ Result<Page*> BufferPool::FetchPage(PageId page_id) {
           read = disk_->ReadPage(page_id, page->data_);
         }
         if (read.ok()) read = VerifyPageTrailer(page->data_, page_id);
-        if (!read.ok()) {
-          // Return the frame to the free list instead of leaking it.
-          page->Reset();
-          s.free_frames.push_back(frame);
-          return read;
+        if (read.ok()) {
+          page->page_id_ = page_id;
+          page->pin_count_ = 1;
+          page->is_dirty_ = false;
+          s.page_table[page_id] = frame;
+          TouchLru(s, frame);
+          return page;
         }
-        page->page_id_ = page_id;
-        page->pin_count_ = 1;
-        page->is_dirty_ = false;
-        s.page_table[page_id] = frame;
-        TouchLru(s, frame);
-        return page;
+        // Return the frame to the free list instead of leaking it; the
+        // retry/repair decision happens outside the latch below.
+        page->Reset();
+        s.free_frames.push_back(frame);
+      } else if (!error.ok()) {
+        return error;  // eviction write-back failed
+      } else {
+        all_pinned = true;
       }
-      if (!error.ok()) return error;  // eviction write-back failed
     }
-    // Every frame of this shard is pinned. Transient under concurrency:
-    // back off and retry until the bound, then surface pool pressure.
-    s.exhausted_waits.fetch_add(1, std::memory_order_relaxed);
-    if (attempt >= kPinnedRetries) {
-      return Status::ResourceExhausted(
-          "buffer pool exhausted: all frames of shard " +
-          std::to_string(ShardIndex(page_id)) + " pinned");
+    if (all_pinned) {
+      // Every frame of this shard is pinned. Transient under concurrency:
+      // back off and retry until the bound, then surface pool pressure.
+      s.exhausted_waits.fetch_add(1, std::memory_order_relaxed);
+      uint64_t delay;
+      if (!pin_retry.Next(&delay)) {
+        return Status::ResourceExhausted(
+            "buffer pool exhausted: all frames of shard " +
+            std::to_string(ShardIndex(page_id)) + " pinned");
+      }
+      BackoffSleep(delay);
+      continue;
     }
-    BackOff(attempt);
+    if (read.IsRetryable()) {
+      uint64_t delay;
+      if (!io_retry.Next(&delay)) return read;  // retry budget exhausted
+      io_retries_.fetch_add(1, std::memory_order_relaxed);
+      BackoffSleep(delay);
+      continue;
+    }
+    if (read.IsCorruption() && !from_log) {
+      // The data-file copy failed its integrity check. Quarantine and try
+      // to repair (clean re-read, then WAL image); a successful repair
+      // loops back to fetch the now-clean page.
+      if (++repairs > kMaxRepairsPerFetch) return read;
+      XR_RETURN_IF_ERROR(RepairCorruptPage(page_id, read));
+      continue;
+    }
+    // Hard I/O error, or a corrupt image served from the log itself (the
+    // data-file bytes are stale — repairing from them would serve torn
+    // state): surface to the caller.
+    return read;
   }
+}
+
+Status BufferPool::RepairCorruptPage(PageId page_id, const Status& cause) {
+  std::lock_guard<std::mutex> repair_lock(repair_mu_);
+  {
+    std::lock_guard<std::mutex> lock(quarantine_mu_);
+    if (quarantined_.insert(page_id).second) {
+      pages_quarantined_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  repairs_attempted_.fetch_add(1, std::memory_order_relaxed);
+
+  alignas(8) char buf[kPageSize];
+  bool repaired = false;
+  // Pass 1: bounded clean re-reads. When the corruption happened on the
+  // wire (the sustained fault model flips a byte of the *returned* image,
+  // the file stays intact) a re-read comes back clean. Transient read
+  // errors during the pass just consume an attempt.
+  for (uint32_t i = 0; i < options_.corrupt_read_retries && !repaired; ++i) {
+    if (disk_->ReadPage(page_id, buf).ok() &&
+        VerifyPageTrailer(buf, page_id).ok()) {
+      repaired = true;
+    }
+  }
+  // Pass 2: WAL-based repair — reinstall the newest committed image of the
+  // page (live or retained at checkpoint) and re-verify it from the data
+  // file so the fix is durable, not just in-memory.
+  if (!repaired && options_.enable_wal_repair) {
+    Wal* wal = wal_.load(std::memory_order_acquire);
+    if (wal != nullptr) {
+      auto image = wal->TryReadRepairImage(page_id, buf);
+      if (image.ok() && *image && VerifyPageTrailer(buf, page_id).ok()) {
+        if (disk_->WritePage(page_id, buf).ok()) {
+          alignas(8) char check[kPageSize];
+          if (disk_->ReadPage(page_id, check).ok() &&
+              VerifyPageTrailer(check, page_id).ok()) {
+            repaired = true;
+          }
+        }
+      }
+    }
+  }
+  if (!repaired) {
+    return Status::DataLoss(
+        "page " + std::to_string(page_id) +
+        " failed its integrity check and no clean image exists (" +
+        cause.ToString() + ")");
+  }
+  repairs_succeeded_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(quarantine_mu_);
+  quarantined_.erase(page_id);
+  return Status::Ok();
+}
+
+bool BufferPool::IsQuarantined(PageId page_id) const {
+  std::lock_guard<std::mutex> lock(quarantine_mu_);
+  return quarantined_.count(page_id) > 0;
+}
+
+std::vector<PageId> BufferPool::QuarantineSnapshot() const {
+  std::lock_guard<std::mutex> lock(quarantine_mu_);
+  std::vector<PageId> out(quarantined_.begin(), quarantined_.end());
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 Result<Page*> BufferPool::NewPage() {
@@ -240,7 +350,8 @@ Result<Page*> BufferPool::NewPage() {
   }
 
   Shard& s = *shards_[ShardIndex(page_id)];
-  for (int attempt = 0;; ++attempt) {
+  RetryState pin_retry = MakeRetryState(options_.pin_retry, page_id);
+  for (;;) {
     {
       std::lock_guard<std::mutex> lock(s.mu);
       FrameId frame;
@@ -264,8 +375,9 @@ Result<Page*> BufferPool::NewPage() {
       if (!error.ok()) return error;
     }
     s.exhausted_waits.fetch_add(1, std::memory_order_relaxed);
-    if (attempt >= kPinnedRetries) break;
-    BackOff(attempt);
+    uint64_t delay;
+    if (!pin_retry.Next(&delay)) break;
+    BackoffSleep(delay);
   }
   // Could not obtain a frame: return the id to the free list instead of
   // leaking it (a fresh id would otherwise leave a permanent hole in the
@@ -315,11 +427,23 @@ bool BufferPool::PrefetchOne(PageId page_id) {
   Wal* wal = wal_.load(std::memory_order_acquire);
   if (wal != nullptr) {
     auto served = wal->TryReadImage(page_id, buf);
-    if (!served.ok()) return false;
+    if (!served.ok()) {
+      prefetch_errors_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
     from_log = *served;
   }
-  if (!from_log && !disk_->ReadPage(page_id, buf).ok()) return false;
-  if (!VerifyPageTrailer(buf, page_id).ok()) return false;
+  if (!from_log && !disk_->ReadPage(page_id, buf).ok()) {
+    // Best-effort contract: a failed prefetch read installs nothing — the
+    // frame was never acquired — and the demand fetch pays the miss and
+    // surfaces (or retries/repairs) the real error.
+    prefetch_errors_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (!VerifyPageTrailer(buf, page_id).ok()) {
+    prefetch_errors_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
 
   std::lock_guard<std::mutex> lock(s.mu);
   if (s.page_table.find(page_id) != s.page_table.end()) {
@@ -595,6 +719,14 @@ IoStats BufferPool::stats() const {
         shard->prefetch_wasted.load(std::memory_order_relaxed);
   }
   merged.failed_unpins += failed_unpins_.load(std::memory_order_relaxed);
+  merged.prefetch_errors += prefetch_errors_.load(std::memory_order_relaxed);
+  merged.io_retries += io_retries_.load(std::memory_order_relaxed);
+  merged.repairs_attempted +=
+      repairs_attempted_.load(std::memory_order_relaxed);
+  merged.repairs_succeeded +=
+      repairs_succeeded_.load(std::memory_order_relaxed);
+  merged.pages_quarantined +=
+      pages_quarantined_.load(std::memory_order_relaxed);
   return merged;
 }
 
@@ -608,6 +740,11 @@ void BufferPool::ResetStats() {
     shard->prefetch_wasted.store(0, std::memory_order_relaxed);
   }
   failed_unpins_.store(0, std::memory_order_relaxed);
+  prefetch_errors_.store(0, std::memory_order_relaxed);
+  io_retries_.store(0, std::memory_order_relaxed);
+  repairs_attempted_.store(0, std::memory_order_relaxed);
+  repairs_succeeded_.store(0, std::memory_order_relaxed);
+  pages_quarantined_.store(0, std::memory_order_relaxed);
   disk_->ResetStats();
 }
 

@@ -13,6 +13,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/backoff.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "storage/disk_interface.h"
@@ -21,6 +22,39 @@
 #include "storage/wal.h"
 
 namespace xrtree {
+
+/// Construction-time knobs for the BufferPool. The defaults reproduce the
+/// classic configuration (and the paper's 100-page pool when `pool_size` is
+/// set so); the retry policies are the fault-tolerance layer's tuning
+/// surface.
+struct BufferPoolOptions {
+  size_t pool_size = 256;
+  /// 0 picks automatically — see the BufferPool constructor comment.
+  size_t shard_count = 0;
+  /// Retry schedule for *retryable* I/O errors (Status::IsRetryable) on the
+  /// demand-fetch miss path. Sleeps happen outside the shard latch. The
+  /// defaults absorb EINTR-style blips in ~a few hundred µs and give up
+  /// within 50 ms.
+  RetryPolicy io_retry{/*max_retries=*/4, /*yield_retries=*/0,
+                       /*initial_delay_us=*/100, /*max_delay_us=*/2000,
+                       /*deadline_us=*/50000};
+  /// Retry schedule for a fully pinned shard (every frame pinned by other
+  /// threads). Mirrors the historical behaviour: 16 yields then short
+  /// fixed sleeps, bounded by attempt count, no deadline.
+  RetryPolicy pin_retry{/*max_retries=*/128, /*yield_retries=*/16,
+                        /*initial_delay_us=*/50, /*max_delay_us=*/50,
+                        /*deadline_us=*/0};
+  /// Clean re-reads of a checksum-failed page before (and independent of)
+  /// WAL repair — recovers bit-flips that happened on the wire rather than
+  /// on the platter.
+  uint32_t corrupt_read_retries = 2;
+  /// Attempt WAL-based page repair on checksum failure (needs an attached
+  /// Wal; see WalOptions::retain_images_for_repair for the repair source).
+  bool enable_wal_repair = true;
+  /// Base seed for retry jitter (mixed with the page id and a per-fetch
+  /// sequence number).
+  uint64_t retry_seed = 0;
+};
 
 /// Fixed-capacity page cache with LRU replacement and pin counting, in the
 /// shape of a classic textbook/System-R buffer manager. The paper fixes the
@@ -62,6 +96,9 @@ class BufferPool {
   /// exact global-LRU behaviour), growing with capacity so each shard keeps
   /// a meaningful LRU (at least kMinFramesPerShard frames).
   BufferPool(DiskInterface* disk, size_t pool_size, size_t shard_count = 0);
+  /// Full-options constructor; the size/shard form above delegates here
+  /// with default retry policies.
+  BufferPool(DiskInterface* disk, const BufferPoolOptions& options);
   ~BufferPool();
 
   BufferPool(const BufferPool&) = delete;
@@ -150,6 +187,17 @@ class BufferPool {
   size_t pool_size() const { return pool_size_; }
   size_t shard_count() const { return shards_.size(); }
   DiskInterface* disk() const { return disk_; }
+  const BufferPoolOptions& options() const { return options_; }
+
+  /// True while `page_id` is quarantined: a fetch found its image failing
+  /// the integrity check and repair has not yet succeeded. A successful
+  /// repair lifts the quarantine; an unrepairable page stays quarantined
+  /// and every fetch keeps surfacing DataLoss (after re-attempting repair,
+  /// in case a clean image has appeared in the log since).
+  bool IsQuarantined(PageId page_id) const;
+
+  /// Currently quarantined page ids, sorted (tests and operator tooling).
+  std::vector<PageId> QuarantineSnapshot() const;
 
   /// Records a failed unpin from a PageGuard release (a pin-accounting bug:
   /// the page was already unpinned or is no longer resident). Counted in
@@ -176,9 +224,10 @@ class BufferPool {
   /// Number of currently pinned frames (for tests/assertions).
   size_t pinned_frames() const;
 
-  /// Attempts before Fetch/NewPage gives up on a fully pinned shard. Early
-  /// attempts yield; later ones sleep briefly, giving pin holders on any
-  /// scheduling of N threads time to release.
+  /// Default attempts before Fetch/NewPage gives up on a fully pinned
+  /// shard (BufferPoolOptions::pin_retry.max_retries). Early attempts
+  /// yield; later ones sleep briefly, giving pin holders on any scheduling
+  /// of N threads time to release.
   static constexpr int kPinnedRetries = 128;
   /// Auto-sharding keeps at least this many frames per shard.
   static constexpr size_t kMinFramesPerShard = 32;
@@ -229,8 +278,19 @@ class BufferPool {
   // (caller backs off and retries), false with *error set when an eviction
   // write-back failed. Latch held.
   bool AcquireFrame(Shard& s, FrameId* out, Status* error);
-  // Sleep/yield between attempts on a fully pinned shard.
-  static void BackOff(int attempt);
+
+  // Fresh RetryState for one fetch/new-page operation; the seed mixes the
+  // configured base, the page id and a per-operation sequence number so
+  // concurrent retriers never sleep in lockstep.
+  RetryState MakeRetryState(const RetryPolicy& policy, PageId page_id);
+
+  // Quarantine + repair of a page whose image failed its integrity check.
+  // Runs outside any shard latch (serialized by repair_mu_): bounded clean
+  // re-reads from the data file first, then the newest WAL repair image
+  // (reinstalled to the data file and re-verified). On success the page
+  // leaves quarantine and the caller's fetch loop retries; otherwise
+  // returns DataLoss (the page stays quarantined).
+  Status RepairCorruptPage(PageId page_id, const Status& cause);
 
   // Installs one page image read-ahead (see PrefetchPages). Returns true
   // when the page is resident afterwards (already was, or newly installed).
@@ -248,6 +308,20 @@ class BufferPool {
   std::atomic<Wal*> wal_{nullptr};
   std::vector<std::unique_ptr<Shard>> shards_;
   size_t pool_size_ = 0;
+  BufferPoolOptions options_;
+
+  // Fault-tolerance state: quarantined ids under their own small lock
+  // (never held together with a shard latch); repair_mu_ serializes repair
+  // passes so concurrent fetchers of one corrupt page do a single repair.
+  mutable std::mutex quarantine_mu_;
+  std::unordered_set<PageId> quarantined_;
+  std::mutex repair_mu_;
+  std::atomic<uint64_t> retry_seq_{0};
+  std::atomic<uint64_t> io_retries_{0};
+  std::atomic<uint64_t> repairs_attempted_{0};
+  std::atomic<uint64_t> repairs_succeeded_{0};
+  std::atomic<uint64_t> pages_quarantined_{0};
+  std::atomic<uint64_t> prefetch_errors_{0};
 
   // Page-id allocation state: the recycled-id free list, behind its own
   // small lock (never held together with a shard latch). free_set_ mirrors

@@ -47,9 +47,13 @@ Catalog::SlotState Catalog::LoadSlot(PageId slot,
   if (!fetched.ok()) {
     *error = fetched.status();
     // A trailer failure is the signature of a torn slot write (recoverable
-    // via the other slot); any other I/O failure is not a slot state at all.
-    return fetched.status().IsCorruption() ? SlotState::kTorn
-                                           : SlotState::kError;
+    // via the other slot); any other I/O failure is not a slot state at
+    // all. The pool reports it as Corruption when repair was not attempted
+    // and DataLoss when attempted repair found no clean image — for a slot
+    // page either way means "this slot is torn, use the other one".
+    return (fetched.status().IsCorruption() || fetched.status().IsDataLoss())
+               ? SlotState::kTorn
+               : SlotState::kError;
   }
   PageGuard page(pool_, fetched.value());
   const Page* raw = page.get();

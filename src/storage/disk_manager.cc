@@ -96,6 +96,12 @@ Status DiskManager::ReadPage(PageId page_id, char* out) {
                         base + static_cast<off_t>(got));
     if (n < 0) {
       if (RetryableErrno(errno) && ++retries <= kMaxIoRetries) continue;
+      // A retryable errno that outlived the syscall-level budget is still
+      // transient — let the buffer pool's backoff policy have a go.
+      if (RetryableErrno(errno)) {
+        return Status::TransientIoError("pread: " +
+                                        std::string(std::strerror(errno)));
+      }
       return Status::IoError("pread: " + std::string(std::strerror(errno)));
     }
     if (n == 0) break;  // end of file
@@ -126,6 +132,10 @@ Status DiskManager::WritePage(PageId page_id, const char* in) {
     if (n <= 0) {
       if ((n < 0 && RetryableErrno(errno)) && ++retries <= kMaxIoRetries) {
         continue;
+      }
+      if (n < 0 && RetryableErrno(errno)) {
+        return Status::TransientIoError("pwrite: " +
+                                        std::string(std::strerror(errno)));
       }
       return Status::IoError("pwrite: " +
                              std::string(n < 0 ? std::strerror(errno)

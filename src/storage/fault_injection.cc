@@ -42,6 +42,56 @@ void FaultInjectingDisk::ForceCrash() {
   power_lost_->store(true);
 }
 
+void FaultInjectingDisk::EnableSustainedFaults(
+    const SustainedFaultOptions& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sustained_ = options;
+  sustained_rng_ = Random(options.seed);
+  sustained_enabled_ = true;
+}
+
+void FaultInjectingDisk::DisableSustainedFaults() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sustained_enabled_ = false;
+}
+
+uint64_t FaultInjectingDisk::sustained_transient_faults() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sustained_transient_;
+}
+
+uint64_t FaultInjectingDisk::sustained_corrupt_faults() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sustained_corrupt_;
+}
+
+FaultInjectingDisk::SustainedRoll FaultInjectingDisk::RollSustained(
+    bool is_write, size_t* corrupt_at, uint8_t* corrupt_mask) {
+  if (!sustained_enabled_) return SustainedRoll::kNone;
+  if (sustained_.max_faults != 0 &&
+      sustained_transient_ + sustained_corrupt_ >= sustained_.max_faults) {
+    return SustainedRoll::kNone;
+  }
+  if (is_write) {
+    if (sustained_rng_.WithProbability(sustained_.transient_write_prob)) {
+      ++sustained_transient_;
+      return SustainedRoll::kTransient;
+    }
+    return SustainedRoll::kNone;
+  }
+  if (sustained_rng_.WithProbability(sustained_.transient_read_prob)) {
+    ++sustained_transient_;
+    return SustainedRoll::kTransient;
+  }
+  if (sustained_rng_.WithProbability(sustained_.corrupt_read_prob)) {
+    ++sustained_corrupt_;
+    *corrupt_at = static_cast<size_t>(sustained_rng_.Uniform(kPageSize));
+    *corrupt_mask = static_cast<uint8_t>(1 + sustained_rng_.Uniform(255));
+    return SustainedRoll::kCorrupt;
+  }
+  return SustainedRoll::kNone;
+}
+
 bool FaultInjectingDisk::TakeFault(bool is_write, uint64_t op, PageId page_id,
                                    Fault* out) {
   for (auto it = faults_.begin(); it != faults_.end(); ++it) {
@@ -80,20 +130,36 @@ uint64_t FaultInjectingDisk::faults_injected() const {
 
 Status FaultInjectingDisk::ReadPage(PageId page_id, char* out) {
   Fault fault;
+  size_t corrupt_at = 0;
+  uint8_t corrupt_mask = 0;
+  SustainedRoll roll = SustainedRoll::kNone;
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++reads_;
     if (TakeFault(/*is_write=*/false, reads_, page_id, &fault)) {
       if (fault.kind == FaultKind::kTransientRead) {
-        return Status::IoError("injected transient read fault (EINTR) at "
-                               "read #" +
-                               std::to_string(reads_));
+        return Status::TransientIoError(
+            "injected transient read fault (EINTR) at read #" +
+            std::to_string(reads_));
       }
       return Status::IoError("injected read fault at read #" +
                              std::to_string(reads_));
     }
+    roll = RollSustained(/*is_write=*/false, &corrupt_at, &corrupt_mask);
+    if (roll == SustainedRoll::kTransient) {
+      return Status::TransientIoError(
+          "sustained transient read fault at read #" +
+          std::to_string(reads_));
+    }
   }
-  return base_->ReadPage(page_id, out);
+  XR_RETURN_IF_ERROR(base_->ReadPage(page_id, out));
+  if (roll == SustainedRoll::kCorrupt) {
+    // Flip one byte of the returned image only; the file stays intact, so
+    // a clean re-read or a WAL repair pass can recover the page.
+    out[corrupt_at] = static_cast<char>(
+        static_cast<uint8_t>(out[corrupt_at]) ^ corrupt_mask);
+  }
+  return Status::Ok();
 }
 
 Status FaultInjectingDisk::WritePage(PageId page_id, const char* in) {
@@ -110,9 +176,9 @@ Status FaultInjectingDisk::WritePage(PageId page_id, const char* in) {
           return Status::IoError("injected write fault at write #" +
                                  std::to_string(writes_));
         case FaultKind::kTransientWrite:
-          return Status::IoError("injected transient write fault (EINTR) "
-                                 "at write #" +
-                                 std::to_string(writes_));
+          return Status::TransientIoError(
+              "injected transient write fault (EINTR) at write #" +
+              std::to_string(writes_));
         case FaultKind::kCrash:
           power_lost_->store(true);
           return Status::Ok();
@@ -122,6 +188,15 @@ Status FaultInjectingDisk::WritePage(PageId page_id, const char* in) {
           break;  // handled below, outside the switch
         default:
           break;
+      }
+    } else {
+      size_t unused_at = 0;
+      uint8_t unused_mask = 0;
+      if (RollSustained(/*is_write=*/true, &unused_at, &unused_mask) ==
+          SustainedRoll::kTransient) {
+        return Status::TransientIoError(
+            "sustained transient write fault at write #" +
+            std::to_string(writes_));
       }
     }
   }

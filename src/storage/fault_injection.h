@@ -7,6 +7,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/random.h"
 #include "common/status.h"
 #include "storage/disk_interface.h"
 #include "storage/wal.h"
@@ -61,6 +62,26 @@ struct FaultPlan {
   static FaultPlan RandomCrashPlan(uint64_t seed, uint64_t max_write_op);
 };
 
+/// Sustained probabilistic fault mode: every read/write rolls seeded dice,
+/// alongside (and after) the one-shot schedule. This is the chaos-harness
+/// fault source — a flaky device that keeps being flaky for the whole run,
+/// shared safely by join workers and the prefetch thread.
+///
+/// A transient read/write returns Status::TransientIoError and performs no
+/// I/O; re-issuing the op rolls fresh dice. A corrupt read performs the
+/// real read but hands back an image with one byte flipped — the file
+/// itself stays intact, modelling a bit-flip on the wire or in a cache,
+/// so a later clean re-read (or WAL repair) can recover.
+struct SustainedFaultOptions {
+  double transient_read_prob = 0.0;   ///< P(read fails TransientIoError)
+  double corrupt_read_prob = 0.0;     ///< P(read returns a flipped image)
+  double transient_write_prob = 0.0;  ///< P(write fails TransientIoError)
+  uint64_t seed = 1;                  ///< all dice derive from this
+  /// Stop injecting after this many sustained faults (0 = unlimited) — lets
+  /// a test guarantee forward progress under aggressive probabilities.
+  uint64_t max_faults = 0;
+};
+
 /// Power-loss state shared between a FaultInjectingDisk and any
 /// FaultInjectingWalFile layered over the same database: one power event
 /// must freeze both files at the same instant.
@@ -100,6 +121,19 @@ class FaultInjectingDisk : public DiskInterface {
     Arm({FaultKind::kTornWriteToPage, page_id, bytes_persisted});
   }
 
+  /// Turns on sustained probabilistic faults (reseeding the dice) — see
+  /// SustainedFaultOptions. One-shot scheduled faults still fire first and
+  /// are unaffected. Safe to call while other threads are doing I/O.
+  void EnableSustainedFaults(const SustainedFaultOptions& options);
+
+  /// Turns sustained faults off; the fault counters keep their values.
+  void DisableSustainedFaults();
+
+  /// Sustained transient read/write errors injected so far.
+  uint64_t sustained_transient_faults() const;
+  /// Sustained corrupt-read images handed back so far.
+  uint64_t sustained_corrupt_faults() const;
+
   /// Drops power immediately: every later write/sync (on this disk and on
   /// any WalFile sharing power()) is silently discarded.
   void ForceCrash();
@@ -131,6 +165,13 @@ class FaultInjectingDisk : public DiskInterface {
   /// mu_ held.
   bool TakeFault(bool is_write, uint64_t op, PageId page_id, Fault* out);
 
+  /// Rolls the sustained-fault dice for one op. mu_ held. Returns the
+  /// decision; for a corrupt read also draws the byte offset and non-zero
+  /// XOR mask so the flip can be applied outside the lock.
+  enum class SustainedRoll { kNone, kTransient, kCorrupt };
+  SustainedRoll RollSustained(bool is_write, size_t* corrupt_at,
+                              uint8_t* corrupt_mask);
+
   DiskInterface* const base_;
   mutable std::mutex mu_;
   std::vector<Fault> faults_;
@@ -138,6 +179,11 @@ class FaultInjectingDisk : public DiskInterface {
   uint64_t reads_ = 0;
   uint64_t writes_ = 0;
   uint64_t faults_injected_ = 0;
+  bool sustained_enabled_ = false;
+  SustainedFaultOptions sustained_;
+  Random sustained_rng_;
+  uint64_t sustained_transient_ = 0;
+  uint64_t sustained_corrupt_ = 0;
 };
 
 /// A WalFile decorator modelling power loss in the log stream. Shares the

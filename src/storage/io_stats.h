@@ -37,6 +37,19 @@ struct IoStats {
   uint64_t prefetch_issued = 0;
   uint64_t prefetch_hits = 0;
   uint64_t prefetch_wasted = 0;
+  /// Prefetch reads that failed (I/O error or integrity check) — the page
+  /// was skipped and no frame installed; the eventual demand fetch pays
+  /// and surfaces the real error.
+  uint64_t prefetch_errors = 0;
+  /// Fault-tolerance accounting (see DESIGN.md §11). `io_retries` counts
+  /// retryable-error retries the demand-fetch path performed (successful
+  /// or not). A checksum-failed fetch increments `repairs_attempted` and,
+  /// while the repair is pending, `pages_quarantined` (once per distinct
+  /// page); a repair that re-verifies increments `repairs_succeeded`.
+  uint64_t io_retries = 0;
+  uint64_t repairs_attempted = 0;
+  uint64_t repairs_succeeded = 0;
+  uint64_t pages_quarantined = 0;
 
   IoStats operator-(const IoStats& rhs) const {
     auto sat = [](uint64_t a, uint64_t b) { return a > b ? a - b : 0; };
@@ -52,6 +65,11 @@ struct IoStats {
     d.prefetch_issued = sat(prefetch_issued, rhs.prefetch_issued);
     d.prefetch_hits = sat(prefetch_hits, rhs.prefetch_hits);
     d.prefetch_wasted = sat(prefetch_wasted, rhs.prefetch_wasted);
+    d.prefetch_errors = sat(prefetch_errors, rhs.prefetch_errors);
+    d.io_retries = sat(io_retries, rhs.io_retries);
+    d.repairs_attempted = sat(repairs_attempted, rhs.repairs_attempted);
+    d.repairs_succeeded = sat(repairs_succeeded, rhs.repairs_succeeded);
+    d.pages_quarantined = sat(pages_quarantined, rhs.pages_quarantined);
     return d;
   }
 
@@ -66,6 +84,11 @@ struct IoStats {
     prefetch_issued += rhs.prefetch_issued;
     prefetch_hits += rhs.prefetch_hits;
     prefetch_wasted += rhs.prefetch_wasted;
+    prefetch_errors += rhs.prefetch_errors;
+    io_retries += rhs.io_retries;
+    repairs_attempted += rhs.repairs_attempted;
+    repairs_succeeded += rhs.repairs_succeeded;
+    pages_quarantined += rhs.pages_quarantined;
     return *this;
   }
 
@@ -84,6 +107,17 @@ struct IoStats {
       s += " prefetch_issued=" + std::to_string(prefetch_issued) +
            " prefetch_hits=" + std::to_string(prefetch_hits) +
            " prefetch_wasted=" + std::to_string(prefetch_wasted);
+    }
+    if (prefetch_errors > 0) {
+      s += " prefetch_errors=" + std::to_string(prefetch_errors);
+    }
+    if (io_retries > 0) {
+      s += " io_retries=" + std::to_string(io_retries);
+    }
+    if (repairs_attempted > 0) {
+      s += " repairs=" + std::to_string(repairs_succeeded) + "/" +
+           std::to_string(repairs_attempted) +
+           " quarantined=" + std::to_string(pages_quarantined);
     }
     if (failed_unpins > 0) {
       s += " FAILED_UNPINS=" + std::to_string(failed_unpins);
@@ -107,6 +141,11 @@ struct AtomicIoStats {
   std::atomic<uint64_t> prefetch_issued{0};
   std::atomic<uint64_t> prefetch_hits{0};
   std::atomic<uint64_t> prefetch_wasted{0};
+  std::atomic<uint64_t> prefetch_errors{0};
+  std::atomic<uint64_t> io_retries{0};
+  std::atomic<uint64_t> repairs_attempted{0};
+  std::atomic<uint64_t> repairs_succeeded{0};
+  std::atomic<uint64_t> pages_quarantined{0};
 
   IoStats Snapshot() const {
     IoStats s;
@@ -121,6 +160,11 @@ struct AtomicIoStats {
     s.prefetch_issued = prefetch_issued.load(std::memory_order_relaxed);
     s.prefetch_hits = prefetch_hits.load(std::memory_order_relaxed);
     s.prefetch_wasted = prefetch_wasted.load(std::memory_order_relaxed);
+    s.prefetch_errors = prefetch_errors.load(std::memory_order_relaxed);
+    s.io_retries = io_retries.load(std::memory_order_relaxed);
+    s.repairs_attempted = repairs_attempted.load(std::memory_order_relaxed);
+    s.repairs_succeeded = repairs_succeeded.load(std::memory_order_relaxed);
+    s.pages_quarantined = pages_quarantined.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -135,6 +179,11 @@ struct AtomicIoStats {
     prefetch_issued.store(0, std::memory_order_relaxed);
     prefetch_hits.store(0, std::memory_order_relaxed);
     prefetch_wasted.store(0, std::memory_order_relaxed);
+    prefetch_errors.store(0, std::memory_order_relaxed);
+    io_retries.store(0, std::memory_order_relaxed);
+    repairs_attempted.store(0, std::memory_order_relaxed);
+    repairs_succeeded.store(0, std::memory_order_relaxed);
+    pages_quarantined.store(0, std::memory_order_relaxed);
   }
 };
 

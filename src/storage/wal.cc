@@ -169,8 +169,10 @@ Status Wal::Open(const std::string& path, const WalOptions& options) {
   options_ = options;
   end_ = size;
   committed_end_ = 0;
+  checkpoint_end_ = 0;
   ready_ = (size == 0);  // a non-empty log must go through Recover first
   images_.clear();
+  repair_images_.clear();
   overlay_suppressed_.clear();
   stats_ = WalStats{};
   return Status::Ok();
@@ -184,8 +186,10 @@ Status Wal::Attach(WalFile* file, const WalOptions& options) {
   options_ = options;
   end_ = size;
   committed_end_ = 0;
+  checkpoint_end_ = 0;
   ready_ = (size == 0);
   images_.clear();
+  repair_images_.clear();
   overlay_suppressed_.clear();
   stats_ = WalStats{};
   return Status::Ok();
@@ -196,6 +200,7 @@ Status Wal::Close() {
   file_ = nullptr;
   ready_ = false;
   images_.clear();
+  repair_images_.clear();
   overlay_suppressed_.clear();
   Status result = Status::Ok();
   if (owned_file_ != nullptr) {
@@ -262,7 +267,9 @@ Status Wal::Recover(DiskInterface* disk) {
 
   end_ = 0;
   committed_end_ = 0;
+  checkpoint_end_ = 0;
   images_.clear();
+  repair_images_.clear();
   overlay_suppressed_.clear();
   ready_ = true;
   stats_.recovered_commits = commits;
@@ -340,7 +347,27 @@ Result<bool> Wal::TryReadImage(PageId page_id, char* out) const {
 
 void Wal::SuppressOverlay(PageId page_id) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (images_.count(page_id) > 0) overlay_suppressed_.insert(page_id);
+  if (images_.count(page_id) > 0 || repair_images_.count(page_id) > 0) {
+    overlay_suppressed_.insert(page_id);
+  }
+}
+
+Result<bool> Wal::TryReadRepairImage(PageId page_id, char* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return Status::InvalidArgument("Wal not open");
+  if (overlay_suppressed_.count(page_id) > 0) return false;
+  uint64_t off;
+  if (auto live = images_.find(page_id); live != images_.end()) {
+    off = live->second;
+  } else if (auto kept = repair_images_.find(page_id);
+             kept != repair_images_.end()) {
+    off = kept->second;
+  } else {
+    return false;
+  }
+  XR_RETURN_IF_ERROR(file_->ReadAt(off, out, kPageSize));
+  ++stats_.repair_reads;
+  return true;
 }
 
 Status Wal::Commit() {
@@ -373,13 +400,29 @@ Status Wal::Checkpoint(DiskInterface* disk) {
   if (!images_.empty()) {
     XR_RETURN_IF_ERROR(disk->Sync());
   }
+  if (options_.retain_images_for_repair &&
+      end_ < options_.repair_retention_limit_bytes) {
+    // Retention mode: the data file now holds these bytes, so the images
+    // stop being servable to miss reads, but stay in the log as a repair
+    // source for later checksum failures. Suppressed ids are dropped — a
+    // freed page must never be "repaired" back to stale content.
+    for (const auto& [id, off] : images_) {
+      if (overlay_suppressed_.count(id) == 0) repair_images_[id] = off;
+    }
+    images_.clear();
+    checkpoint_end_ = end_;
+    ++stats_.checkpoints;
+    return Status::Ok();
+  }
   // A crash between the data-file sync and the truncate leaves the full
   // log in place; recovery re-applies the same images — harmless.
   XR_RETURN_IF_ERROR(file_->Truncate(0));
   XR_RETURN_IF_ERROR(file_->Sync());
   end_ = 0;
   committed_end_ = 0;
+  checkpoint_end_ = 0;
   images_.clear();
+  repair_images_.clear();
   overlay_suppressed_.clear();
   ++stats_.checkpoints;
   return Status::Ok();
@@ -387,7 +430,7 @@ Status Wal::Checkpoint(DiskInterface* disk) {
 
 bool Wal::needs_checkpoint() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return end_ >= options_.checkpoint_threshold_bytes;
+  return end_ - checkpoint_end_ >= options_.checkpoint_threshold_bytes;
 }
 
 uint64_t Wal::end_lsn() const {

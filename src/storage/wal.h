@@ -71,6 +71,17 @@ struct WalOptions {
   /// checkpoint (apply committed images to the data file, truncate the
   /// log). Crash tests set this small so checkpoints happen under fire.
   uint64_t checkpoint_threshold_bytes = 4ull << 20;
+  /// Keep checkpointed committed images in the log as a repair source for
+  /// corrupt data-file pages (see BufferPool's quarantine/repair path).
+  /// With this on, Checkpoint applies images to the data file as usual but
+  /// defers the truncate: the applied images move to a retained set that
+  /// demand reads never see (the data file stays authoritative) but
+  /// TryReadRepairImage can still serve. Off by default — the log then
+  /// truncates at every checkpoint exactly as before.
+  bool retain_images_for_repair = false;
+  /// Bound on retained-log growth: once the log exceeds this many bytes, a
+  /// checkpoint truncates it and drops all retained repair images.
+  uint64_t repair_retention_limit_bytes = 64ull << 20;
 };
 
 /// Counters for the update-cost study and tests.
@@ -82,6 +93,7 @@ struct WalStats {
   uint64_t fetches_from_log = 0;   ///< page reads served from the log
   uint64_t recovered_commits = 0;  ///< commit records replayed by Recover
   uint64_t recovered_pages = 0;    ///< distinct pages redone by Recover
+  uint64_t repair_reads = 0;       ///< images served to page-repair requests
 };
 
 /// Physical-redo write-ahead log over full page after-images.
@@ -156,6 +168,13 @@ class Wal {
   /// checkpoint truncating the log between the two steps.
   Result<bool> TryReadImage(PageId page_id, char* out) const;
 
+  /// Reads the newest committed image of `page_id` usable for repairing a
+  /// corrupt data-file copy: prefers a live servable image, then a retained
+  /// checkpointed one (see WalOptions::retain_images_for_repair). Returns
+  /// false when no clean image exists — the caller must surface DataLoss.
+  /// Suppressed (freed/recycled) ids are never repairable.
+  Result<bool> TryReadRepairImage(PageId page_id, char* out) const;
+
   /// Marks any logged image of `page_id` as non-servable to miss reads
   /// until a fresh image is logged for it. The BufferPool calls this when
   /// the id is freed or recycled: the old image predates the free, and a
@@ -196,8 +215,13 @@ class Wal {
   bool ready_ = false;  ///< empty at Open, or Recover() has run
   uint64_t end_ = 0;    ///< append offset == next LSN
   uint64_t committed_end_ = 0;
+  uint64_t checkpoint_end_ = 0;  ///< log end at the last checkpoint
   /// Latest image per page: payload byte offset in the log.
   std::unordered_map<PageId, uint64_t> images_;
+  /// Checkpointed images retained as a repair source (retention mode only).
+  /// Never consulted by miss reads — the data file already holds these
+  /// bytes — only by TryReadRepairImage.
+  std::unordered_map<PageId, uint64_t> repair_images_;
   /// Page ids whose logged image must not be served to miss reads (the id
   /// was freed/recycled after the image was logged). Logging a fresh image
   /// un-suppresses. Cleared whenever images_ is.

@@ -1,0 +1,163 @@
+#include "common/backoff.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace xrtree {
+namespace {
+
+TEST(RetryStateTest, ZeroRetriesNeverAllows) {
+  RetryPolicy policy;
+  policy.max_retries = 0;
+  RetryState state(policy, 1);
+  uint64_t delay = 123;
+  EXPECT_FALSE(state.Next(&delay));
+  EXPECT_EQ(state.retries(), 0u);
+  EXPECT_EQ(state.slept_us(), 0u);
+}
+
+TEST(RetryStateTest, AttemptBudgetIsExact) {
+  RetryPolicy policy;
+  policy.max_retries = 5;
+  policy.deadline_us = 0;  // unbounded, so only the attempt cap stops us
+  RetryState state(policy, 2);
+  uint64_t delay;
+  int allowed = 0;
+  while (state.Next(&delay)) ++allowed;
+  EXPECT_EQ(allowed, 5);
+  EXPECT_EQ(state.retries(), 5u);
+}
+
+TEST(RetryStateTest, YieldPhaseHasZeroDelay) {
+  RetryPolicy policy;
+  policy.max_retries = 10;
+  policy.yield_retries = 4;
+  policy.deadline_us = 0;
+  RetryState state(policy, 3);
+  uint64_t delay;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(state.Next(&delay));
+    EXPECT_EQ(delay, 0u) << "attempt " << i << " should yield, not sleep";
+  }
+  ASSERT_TRUE(state.Next(&delay));
+  EXPECT_GT(delay, 0u);  // first sleeping attempt
+  EXPECT_EQ(state.slept_us(), delay);
+}
+
+TEST(RetryStateTest, JitterStaysWithinHalfToFullBase) {
+  RetryPolicy policy;
+  policy.max_retries = 64;
+  policy.initial_delay_us = 100;
+  policy.max_delay_us = 1600;
+  policy.deadline_us = 0;
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    RetryState state(policy, seed);
+    uint64_t delay;
+    uint64_t base = policy.initial_delay_us;
+    int attempt = 0;
+    while (state.Next(&delay)) {
+      EXPECT_GE(delay, base / 2) << "seed " << seed << " attempt " << attempt;
+      EXPECT_LE(delay, base) << "seed " << seed << " attempt " << attempt;
+      if (base < policy.max_delay_us) base *= 2;
+      if (base > policy.max_delay_us) base = policy.max_delay_us;
+      ++attempt;
+    }
+  }
+}
+
+TEST(RetryStateTest, BaseIsCappedAtMaxDelay) {
+  RetryPolicy policy;
+  policy.max_retries = 32;
+  policy.initial_delay_us = 100;
+  policy.max_delay_us = 400;
+  policy.deadline_us = 0;
+  RetryState state(policy, 7);
+  uint64_t delay = 0;
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(state.Next(&delay));
+    EXPECT_LE(delay, 400u);
+  }
+}
+
+TEST(RetryStateTest, DeadlineBoundsTotalSleep) {
+  RetryPolicy policy;
+  policy.max_retries = 1000;
+  policy.initial_delay_us = 100;
+  policy.max_delay_us = 100000;
+  policy.deadline_us = 1000;
+  RetryState state(policy, 4);
+  uint64_t delay;
+  uint64_t total = 0;
+  while (state.Next(&delay)) total += delay;
+  EXPECT_LE(total, policy.deadline_us);
+  EXPECT_EQ(total, state.slept_us());
+  // The deadline, not the attempt budget, must be what stopped us.
+  EXPECT_LT(state.retries(), policy.max_retries);
+}
+
+TEST(RetryStateTest, FinalSleepIsClampedToRemainingDeadline) {
+  RetryPolicy policy;
+  policy.max_retries = 100;
+  policy.yield_retries = 0;
+  policy.initial_delay_us = 600;
+  policy.max_delay_us = 600;  // fixed 300..600us sleeps
+  policy.deadline_us = 700;
+  RetryState state(policy, 5);
+  uint64_t delay;
+  ASSERT_TRUE(state.Next(&delay));
+  uint64_t first = delay;
+  ASSERT_TRUE(state.Next(&delay));  // clamped to 700 - first
+  EXPECT_EQ(delay, policy.deadline_us - first);
+  EXPECT_EQ(state.slept_us(), policy.deadline_us);
+  EXPECT_FALSE(state.Next(&delay));  // budget exhausted
+}
+
+TEST(RetryStateTest, DeterministicGivenPolicyAndSeed) {
+  RetryPolicy policy;
+  policy.max_retries = 16;
+  policy.deadline_us = 0;
+  auto schedule = [&](uint64_t seed) {
+    RetryState state(policy, seed);
+    std::vector<uint64_t> delays;
+    uint64_t d;
+    while (state.Next(&d)) delays.push_back(d);
+    return delays;
+  };
+  EXPECT_EQ(schedule(42), schedule(42));
+  EXPECT_NE(schedule(42), schedule(43));  // jitter actually varies by seed
+}
+
+TEST(RetryStateTest, YieldAttemptsDoNotChargeDeadline) {
+  RetryPolicy policy;
+  policy.max_retries = 8;
+  policy.yield_retries = 8;  // every attempt yields
+  policy.deadline_us = 1;    // would stop any sleeping immediately
+  RetryState state(policy, 6);
+  uint64_t delay;
+  int allowed = 0;
+  while (state.Next(&delay)) {
+    EXPECT_EQ(delay, 0u);
+    ++allowed;
+  }
+  EXPECT_EQ(allowed, 8);
+  EXPECT_EQ(state.slept_us(), 0u);
+}
+
+TEST(BackoffSleepTest, SleepsAtLeastRequested) {
+  auto start = std::chrono::steady_clock::now();
+  BackoffSleep(2000);
+  auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  EXPECT_GE(elapsed, 2000);
+}
+
+TEST(BackoffSleepTest, ZeroYieldsWithoutHanging) {
+  BackoffSleep(0);  // must simply return promptly
+}
+
+}  // namespace
+}  // namespace xrtree

@@ -3,7 +3,13 @@
 // (the CI tsan job runs this binary); the single-writer rule is respected
 // throughout — all mutation happens before the reader threads start.
 
+#include <unistd.h>
+
 #include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -17,7 +23,9 @@
 #include "join/stack_tree_desc.h"
 #include "join/xr_stack.h"
 #include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
 #include "storage/element_file.h"
+#include "storage/fault_injection.h"
 #include "tests/test_util.h"
 #include "workload/datasets.h"
 #include "xrtree/xrtree.h"
@@ -453,6 +461,144 @@ TEST(ConcurrencyTest, ParallelJoinsUnderConcurrencyMatchSerial) {
   // Prefetch accounting stayed coherent under the concurrency.
   IoStats s = db.pool()->stats();
   EXPECT_LE(s.prefetch_hits + s.prefetch_wasted, s.prefetch_issued);
+}
+
+// ---------------------------------------------------------------------------
+// Chaos: concurrent serial + parallel joins over a shared sharded pool while
+// the disk injects sustained transient and corrupt-read faults. Every run
+// must either reproduce the fault-free output byte for byte or fail with a
+// clean typed error — never crash, deadlock, serve torn frames, or emit a
+// short result. CI rotates XR_CHAOS_SEED; a failure log names the seed.
+// ---------------------------------------------------------------------------
+
+uint64_t ChaosEnvU64(const char* name, uint64_t dflt) {
+  const char* v = std::getenv(name);
+  return (v && *v) ? std::strtoull(v, nullptr, 10) : dflt;
+}
+
+TEST(ChaosTest, ConcurrentJoinsUnderSustainedFaults) {
+  const uint64_t seed = ChaosEnvU64("XR_CHAOS_SEED", 20260808);
+  const int rounds = static_cast<int>(ChaosEnvU64("XR_CHAOS_RUNS", 2));
+  auto ds = MakeDepartmentDataset(2500);
+  ASSERT_OK(ds.status());
+
+  char tmpl[] = "/tmp/xrtree_chaos_XXXXXX";
+  int tmp_fd = ::mkstemp(tmpl);
+  ASSERT_GE(tmp_fd, 0);
+  ::close(tmp_fd);
+  std::string path = tmpl;
+  {
+    DiskManager disk;
+    ASSERT_OK(disk.Open(path));
+    FaultInjectingDisk faulty(&disk);
+    BufferPoolOptions options;
+    options.pool_size = 48;  // well under the working set: misses every run
+    options.shard_count = 4;
+    options.io_retry = RetryPolicy{8, 0, 10, 100, 0};
+    options.corrupt_read_retries = 6;
+    options.retry_seed = seed;
+    BufferPool pool(&faulty, options);
+
+    // Deep fanout-4 trees: the working set dwarfs the 48-page pool, so every
+    // join round misses constantly and the fault storm actually lands.
+    // (Capacities only shape the build; reopening by root reads per-node
+    // counts from the pages, so default-options handles below are fine.)
+    PageId a_root, d_root;
+    {
+      XrTreeOptions tree_options;
+      tree_options.leaf_capacity = 4;
+      tree_options.internal_capacity = 4;
+      XrTree a_build(&pool, kInvalidPageId, tree_options);
+      XrTree d_build(&pool, kInvalidPageId, tree_options);
+      ASSERT_OK(a_build.BulkLoad(ds->ancestors));
+      ASSERT_OK(d_build.BulkLoad(ds->descendants));
+      a_root = a_build.root();
+      d_root = d_build.root();
+      ASSERT_OK(pool.FlushAll());
+    }
+    std::vector<JoinPair> want;
+    {
+      XrTree a_xr(&pool, a_root);
+      XrTree d_xr(&pool, d_root);
+      ASSERT_OK_AND_ASSIGN(JoinOutput out, XrStackJoin(a_xr, d_xr));
+      want = std::move(out.pairs);
+      ASSERT_FALSE(want.empty());
+    }
+
+    SustainedFaultOptions faults;
+    faults.transient_read_prob = 0.02;
+    faults.corrupt_read_prob = 0.01;
+    faults.seed = seed;
+    faulty.EnableSustainedFaults(faults);
+
+    constexpr int kThreads = 4;
+    std::atomic<uint64_t> ok_runs{0};
+    std::atomic<uint64_t> mismatches{0};
+    std::atomic<uint64_t> untyped_errors{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        for (int round = 0; round < rounds; ++round) {
+          auto run = [&]() -> Result<JoinOutput> {
+            XrTree a_xr(&pool, a_root);
+            XrTree d_xr(&pool, d_root);
+            if ((t + round) % 2 == 0) return XrStackJoin(a_xr, d_xr);
+            JoinOptions jo;
+            jo.num_threads = 2 + t % 2;
+            jo.degrade_to_serial = true;
+            return ParallelXrStackJoin(a_xr, d_xr, jo);
+          };
+          auto out = run();
+          if (out.ok()) {
+            if (out->pairs == want) {
+              ok_runs.fetch_add(1);
+            } else {
+              mismatches.fetch_add(1);
+            }
+          } else {
+            const Status& s = out.status();
+            bool typed = s.IsRetryable() || s.IsIoError() || s.IsDataLoss() ||
+                         s.IsCorruption() || s.IsResourceExhausted();
+            if (!typed) untyped_errors.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    faulty.DisableSustainedFaults();
+
+    EXPECT_EQ(mismatches.load(), 0u);
+    EXPECT_EQ(untyped_errors.load(), 0u);
+    // The retry budget is generous (unbounded deadline) and corruption is
+    // wire-level, so most runs should in fact succeed.
+    EXPECT_GT(ok_runs.load(), 0u);
+    EXPECT_EQ(pool.pinned_frames(), 0u);
+    IoStats s = pool.stats();
+    EXPECT_EQ(s.repairs_succeeded, s.repairs_attempted);
+    EXPECT_TRUE(pool.QuarantineSnapshot().empty());
+
+    // After the storm: a fault-free join still reproduces the answer.
+    XrTree a_xr(&pool, a_root);
+    XrTree d_xr(&pool, d_root);
+    ASSERT_OK_AND_ASSIGN(JoinOutput calm, XrStackJoin(a_xr, d_xr));
+    EXPECT_EQ(calm.pairs, want);
+    ASSERT_OK(disk.Close());
+
+    // Always log the seed and injection counters: a CI failure is replayed
+    // with XR_CHAOS_SEED=<seed>, and the counters show the storm was real.
+    std::fprintf(stderr,
+                 "ChaosTest: XR_CHAOS_SEED=%llu transient=%llu corrupt=%llu "
+                 "retries=%llu repairs=%llu ok_runs=%llu\n",
+                 static_cast<unsigned long long>(seed),
+                 static_cast<unsigned long long>(
+                     faulty.sustained_transient_faults()),
+                 static_cast<unsigned long long>(
+                     faulty.sustained_corrupt_faults()),
+                 static_cast<unsigned long long>(s.io_retries),
+                 static_cast<unsigned long long>(s.repairs_attempted),
+                 static_cast<unsigned long long>(ok_runs.load()));
+  }
+  std::remove(path.c_str());
 }
 
 }  // namespace

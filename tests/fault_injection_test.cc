@@ -1,8 +1,11 @@
 #include "storage/fault_injection.h"
 
+#include <fcntl.h>
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstring>
+#include <vector>
 
 #include "storage/buffer_pool.h"
 #include "storage/checksum.h"
@@ -85,13 +88,14 @@ TEST(ChecksumTest, WrongVersionDetected) {
 class FaultyDb {
  public:
   explicit FaultyDb(size_t pool_pages = 64) {
-    char tmpl[] = "/tmp/xrtree_fault_XXXXXX";
-    int fd = ::mkstemp(tmpl);
-    if (fd >= 0) ::close(fd);
-    path_ = tmpl;
-    XR_CHECK_OK(disk_.Open(path_));
-    faulty_ = std::make_unique<FaultInjectingDisk>(&disk_);
+    Init();
     pool_ = std::make_unique<BufferPool>(faulty_.get(), pool_pages);
+  }
+
+  /// Full-options form: the fault-tolerance tests tune the retry policies.
+  explicit FaultyDb(const BufferPoolOptions& options) {
+    Init();
+    pool_ = std::make_unique<BufferPool>(faulty_.get(), options);
   }
 
   ~FaultyDb() {
@@ -107,6 +111,15 @@ class FaultyDb {
   const std::string& path() const { return path_; }
 
  private:
+  void Init() {
+    char tmpl[] = "/tmp/xrtree_fault_XXXXXX";
+    int fd = ::mkstemp(tmpl);
+    if (fd >= 0) ::close(fd);
+    path_ = tmpl;
+    XR_CHECK_OK(disk_.Open(path_));
+    faulty_ = std::make_unique<FaultInjectingDisk>(&disk_);
+  }
+
   std::string path_;
   DiskManager disk_;
   std::unique_ptr<FaultInjectingDisk> faulty_;
@@ -182,11 +195,13 @@ TEST(FaultInjectionTest, TornWriteLeavesDetectablePartialPage) {
   ASSERT_OK(db.pool()->FlushAll());  // the torn write reports success
   EXPECT_TRUE(db.faulty()->crashed());
 
-  // A fresh pool (cold cache) must detect the tear as corruption.
+  // A fresh pool (cold cache) must detect the tear. With no WAL to repair
+  // from, the quarantine/repair pass finds no clean image: DataLoss.
   BufferPool cold(db.base(), 8);
   auto fetched = cold.FetchPage(id);
   ASSERT_FALSE(fetched.ok());
-  EXPECT_TRUE(fetched.status().IsCorruption());
+  EXPECT_TRUE(fetched.status().IsDataLoss()) << fetched.status().ToString();
+  EXPECT_TRUE(cold.IsQuarantined(id));
 }
 
 TEST(FaultInjectionTest, ReadFaultSurfacesThroughBufferPool) {
@@ -241,6 +256,191 @@ TEST(FaultInjectionTest, RandomCrashPlanIsReproducible) {
   EXPECT_TRUE(p1.faults[0].op != p2.faults[0].op ||
               p1.faults[0].kind != p2.faults[0].kind ||
               p1.faults[0].arg != p2.faults[0].arg);
+}
+
+// ---------------------------------------------------------------------------
+// Retry, quarantine and repair behaviour of the BufferPool fetch path
+// ---------------------------------------------------------------------------
+
+/// Writes one pattern page through `pool`, flushes it and evicts it so the
+/// next fetch must do a physical read. Returns the page id.
+PageId WriteAndEvictPatternPage(BufferPool* pool, char fill) {
+  auto page = pool->NewPage();
+  XR_CHECK_OK(page.status());
+  PageId id = (*page)->page_id();
+  std::memset((*page)->data(), fill, kPageDataSize);
+  XR_CHECK_OK(pool->UnpinPage(id, true));
+  XR_CHECK_OK(pool->FlushAll());
+  XR_CHECK_OK(pool->DiscardPage(id));
+  return id;
+}
+
+/// Flips one byte inside page `id`'s data area directly in the database
+/// file: persistent on-media rot, unlike the injector's wire flips.
+void FlipOnDiskByte(const std::string& path, PageId id) {
+  int fd = ::open(path.c_str(), O_RDWR);
+  ASSERT_GE(fd, 0);
+  off_t at = static_cast<off_t>(id) * kPageSize + 123;
+  char byte;
+  ASSERT_EQ(::pread(fd, &byte, 1, at), 1);
+  byte = static_cast<char>(byte ^ 0x40);
+  ASSERT_EQ(::pwrite(fd, &byte, 1, at), 1);
+  ::close(fd);
+}
+
+TEST(FaultToleranceTest, PoolRetriesTransientReadFault) {
+  FaultyDb db;
+  PageId id = WriteAndEvictPatternPage(db.pool(), 0x42);
+  db.faulty()->TransientFailNthRead(db.faulty()->reads() + 1);
+  ASSERT_OK_AND_ASSIGN(Page * p, db.pool()->FetchPage(id));
+  PageGuard g(db.pool(), p);
+  std::vector<char> want(kPageDataSize, 0x42);
+  EXPECT_EQ(std::memcmp(p->data(), want.data(), kPageDataSize), 0);
+  EXPECT_GE(db.pool()->stats().io_retries, 1u);
+}
+
+TEST(FaultToleranceTest, HardReadFaultIsNotRetried) {
+  FaultyDb db;
+  PageId id = WriteAndEvictPatternPage(db.pool(), 0x21);
+  uint64_t retries_before = db.pool()->stats().io_retries;
+  db.faulty()->FailNthRead(db.faulty()->reads() + 1);
+  auto fetched = db.pool()->FetchPage(id);
+  ASSERT_FALSE(fetched.ok());
+  EXPECT_TRUE(fetched.status().IsIoError());
+  EXPECT_FALSE(fetched.status().IsRetryable());
+  // A fatal error never burns retry budget.
+  EXPECT_EQ(db.pool()->stats().io_retries, retries_before);
+  // The pool is unharmed afterwards.
+  ASSERT_OK_AND_ASSIGN(Page * p, db.pool()->FetchPage(id));
+  ASSERT_OK(db.pool()->UnpinPage(p->page_id(), false));
+}
+
+TEST(FaultToleranceTest, ExhaustedRetryBudgetSurfacesRetryableError) {
+  BufferPoolOptions options;
+  options.pool_size = 8;
+  options.io_retry.max_retries = 0;  // no second chance
+  FaultyDb db(options);
+  PageId id = WriteAndEvictPatternPage(db.pool(), 0x17);
+  db.faulty()->TransientFailNthRead(db.faulty()->reads() + 1);
+  auto fetched = db.pool()->FetchPage(id);
+  ASSERT_FALSE(fetched.ok());
+  EXPECT_TRUE(fetched.status().IsIoError());
+  // The surfaced error keeps its retryable taxonomy so a caller-level
+  // policy (e.g. JoinOptions::degrade_to_serial) can still recover.
+  EXPECT_TRUE(fetched.status().IsRetryable()) << fetched.status().ToString();
+}
+
+TEST(FaultToleranceTest, SustainedTransientFaultsHonorMaxFaults) {
+  FaultyDb db;
+  PageId id = db.faulty()->AllocatePage();
+  char buf[kPageSize];
+  std::memset(buf, 0x55, kPageSize);
+  ASSERT_OK(db.faulty()->WritePage(id, buf));
+  SustainedFaultOptions sustained;
+  sustained.transient_read_prob = 1.0;
+  sustained.seed = 7;
+  sustained.max_faults = 3;
+  db.faulty()->EnableSustainedFaults(sustained);
+  char out[kPageSize];
+  for (int i = 0; i < 3; ++i) {
+    Status s = db.faulty()->ReadPage(id, out);
+    ASSERT_TRUE(s.IsIoError()) << s.ToString();
+    EXPECT_TRUE(s.IsRetryable());
+  }
+  // The fault budget is spent: the device is clean again.
+  ASSERT_OK(db.faulty()->ReadPage(id, out));
+  EXPECT_EQ(std::memcmp(out, buf, kPageSize), 0);
+  EXPECT_EQ(db.faulty()->sustained_transient_faults(), 3u);
+  db.faulty()->DisableSustainedFaults();
+}
+
+TEST(FaultToleranceTest, WireCorruptionHealsByCleanReread) {
+  FaultyDb db;
+  PageId id = WriteAndEvictPatternPage(db.pool(), 0x5A);
+  SustainedFaultOptions sustained;
+  sustained.corrupt_read_prob = 1.0;
+  sustained.seed = 11;
+  sustained.max_faults = 1;  // one flipped image, then the device is clean
+  db.faulty()->EnableSustainedFaults(sustained);
+  ASSERT_OK_AND_ASSIGN(Page * p, db.pool()->FetchPage(id));
+  PageGuard g(db.pool(), p);
+  std::vector<char> want(kPageDataSize, 0x5A);
+  EXPECT_EQ(std::memcmp(p->data(), want.data(), kPageDataSize), 0);
+  // One quarantine + repair cycle, resolved by a clean re-read (the file
+  // itself was never damaged) and lifted again.
+  IoStats s = db.pool()->stats();
+  EXPECT_EQ(s.repairs_attempted, 1u);
+  EXPECT_EQ(s.repairs_succeeded, 1u);
+  EXPECT_EQ(s.pages_quarantined, 1u);
+  EXPECT_FALSE(db.pool()->IsQuarantined(id));
+  EXPECT_TRUE(db.pool()->QuarantineSnapshot().empty());
+  EXPECT_EQ(db.faulty()->sustained_corrupt_faults(), 1u);
+}
+
+TEST(FaultToleranceTest, PersistentCorruptionQuarantinesAsDataLoss) {
+  FaultyDb db;
+  PageId id = WriteAndEvictPatternPage(db.pool(), 0x66);
+  FlipOnDiskByte(db.path(), id);
+  // Every re-read sees the same rotted bytes and there is no WAL to repair
+  // from: the fetch must fail DataLoss and quarantine the id.
+  auto fetched = db.pool()->FetchPage(id);
+  ASSERT_FALSE(fetched.ok());
+  EXPECT_TRUE(fetched.status().IsDataLoss()) << fetched.status().ToString();
+  EXPECT_TRUE(db.pool()->IsQuarantined(id));
+  std::vector<PageId> quarantined = db.pool()->QuarantineSnapshot();
+  ASSERT_EQ(quarantined.size(), 1u);
+  EXPECT_EQ(quarantined[0], id);
+  // Later fetches re-attempt repair (a clean image may have appeared) and
+  // keep failing the same way; the quarantine census counts the id once.
+  uint64_t attempts = db.pool()->stats().repairs_attempted;
+  auto again = db.pool()->FetchPage(id);
+  ASSERT_FALSE(again.ok());
+  EXPECT_TRUE(again.status().IsDataLoss());
+  IoStats s = db.pool()->stats();
+  EXPECT_GT(s.repairs_attempted, attempts);
+  EXPECT_EQ(s.repairs_succeeded, 0u);
+  EXPECT_EQ(s.pages_quarantined, 1u);
+}
+
+TEST(FaultToleranceTest, FailedPrefetchInstallsNothingAndIsCounted) {
+  FaultyDb db;
+  PageId id = WriteAndEvictPatternPage(db.pool(), 0x71);
+  db.faulty()->FailNthRead(db.faulty()->reads() + 1);
+  // Prefetch is best-effort: the failed read is swallowed (counted, not
+  // surfaced) and no frame may be installed from it.
+  ASSERT_OK(db.pool()->PrefetchPages(std::vector<PageId>{id}));
+  EXPECT_GE(db.pool()->stats().prefetch_errors, 1u);
+  IoStats before = db.pool()->stats();
+  ASSERT_OK_AND_ASSIGN(Page * p, db.pool()->FetchPage(id));
+  PageGuard g(db.pool(), p);
+  std::vector<char> want(kPageDataSize, 0x71);
+  EXPECT_EQ(std::memcmp(p->data(), want.data(), kPageDataSize), 0);
+  // The demand fetch was a genuine miss: nothing was left behind.
+  IoStats delta = db.pool()->stats() - before;
+  EXPECT_EQ(delta.buffer_misses, 1u);
+  EXPECT_EQ(delta.buffer_hits, 0u);
+}
+
+TEST(FaultToleranceTest, CorruptPrefetchIsSkippedNeverServed) {
+  FaultyDb db;
+  PageId id = WriteAndEvictPatternPage(db.pool(), 0x72);
+  SustainedFaultOptions sustained;
+  sustained.corrupt_read_prob = 1.0;
+  sustained.seed = 13;
+  sustained.max_faults = 1;
+  db.faulty()->EnableSustainedFaults(sustained);
+  uint64_t errors_before = db.pool()->stats().prefetch_errors;
+  ASSERT_OK(db.pool()->PrefetchPages(std::vector<PageId>{id}));
+  EXPECT_EQ(db.pool()->stats().prefetch_errors, errors_before + 1);
+  EXPECT_EQ(db.faulty()->sustained_corrupt_faults(), 1u);
+  // The flipped image was dropped, not installed: the demand fetch re-reads
+  // the intact file and serves clean bytes with no repair cycle at all.
+  ASSERT_OK_AND_ASSIGN(Page * p, db.pool()->FetchPage(id));
+  PageGuard g(db.pool(), p);
+  std::vector<char> want(kPageDataSize, 0x72);
+  EXPECT_EQ(std::memcmp(p->data(), want.data(), kPageDataSize), 0);
+  EXPECT_EQ(db.pool()->stats().repairs_attempted, 0u);
+  EXPECT_TRUE(db.pool()->QuarantineSnapshot().empty());
 }
 
 // ---------------------------------------------------------------------------

@@ -1,6 +1,11 @@
+#include <fcntl.h>
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <memory>
 
 #include "join/bplus_join.h"
 #include "join/element_source.h"
@@ -10,6 +15,8 @@
 #include "join/parent_child.h"
 #include "join/stack_tree_desc.h"
 #include "join/xr_stack.h"
+#include "storage/disk_manager.h"
+#include "storage/fault_injection.h"
 #include "tests/test_util.h"
 #include "workload/datasets.h"
 #include "xml/generator.h"
@@ -522,6 +529,177 @@ TEST(ParallelJoinTest, SingleThreadAndShallowTreesFallBackToSerial) {
       JoinOutput one,
       ParallelXrStackJoin(a_set.xrtree(), d_set.xrtree(), options));
   EXPECT_EQ(one.pairs, serial.pairs);
+}
+
+// ---------------------------------------------------------------------------
+// Fault tolerance of the parallel join: deterministic first-error,
+// degradation to serial, and DataLoss never being masked.
+// ---------------------------------------------------------------------------
+
+/// A join database whose pool sits on a FaultInjectingDisk, so read faults
+/// can be armed between the bulk load and the join under test.
+class FaultyJoinDb {
+ public:
+  explicit FaultyJoinDb(const BufferPoolOptions& options) {
+    char tmpl[] = "/tmp/xrtree_join_fault_XXXXXX";
+    int fd = ::mkstemp(tmpl);
+    if (fd < 0) std::abort();
+    ::close(fd);
+    path_ = tmpl;
+    XR_CHECK_OK(disk_.Open(path_));
+    faulty_ = std::make_unique<FaultInjectingDisk>(&disk_);
+    pool_ = std::make_unique<BufferPool>(faulty_.get(), options);
+  }
+  ~FaultyJoinDb() {
+    pool_.reset();
+    faulty_.reset();
+    disk_.Close().ok();
+    std::remove(path_.c_str());
+  }
+
+  BufferPool* pool() { return pool_.get(); }
+  FaultInjectingDisk* faulty() { return faulty_.get(); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  DiskManager disk_;
+  std::unique_ptr<FaultInjectingDisk> faulty_;
+  std::unique_ptr<BufferPool> pool_;
+};
+
+BufferPoolOptions NoRetryPoolOptions() {
+  BufferPoolOptions options;
+  options.pool_size = 16;
+  // One attempt per read: an armed transient fault defeats the fetch
+  // outright instead of being absorbed by the pool's backoff loop.
+  options.io_retry.max_retries = 0;
+  return options;
+}
+
+TEST(ParallelJoinFaultTest, DegradesToSerialOnTransientWorkerFailure) {
+  ElementList universe = RandomNestedElements(41, 900, 3);
+  ElementList a_list, d_list;
+  SplitByLevel(universe, &a_list, &d_list);
+  FaultyJoinDb db(NoRetryPoolOptions());
+  auto a_tree = SmallFanoutTree(db.pool(), a_list);
+  auto d_tree = SmallFanoutTree(db.pool(), d_list);
+  ASSERT_OK(db.pool()->FlushAll());
+  ASSERT_OK_AND_ASSIGN(JoinOutput want, XrStackJoin(*a_tree, *d_tree));
+  ASSERT_FALSE(want.pairs.empty());
+
+  JoinOptions options;
+  options.num_threads = 4;
+  options.degrade_to_serial = true;
+  // Warm the partition-planning pages so the armed fault lands inside a
+  // range worker, not in PlanJoinPartitions (which has no fallback).
+  ASSERT_OK(PlanJoinPartitions(*a_tree, 4).status());
+  db.faulty()->TransientFailNthRead(db.faulty()->reads() + 1);
+
+  ASSERT_OK_AND_ASSIGN(JoinOutput got,
+                       ParallelXrStackJoin(*a_tree, *d_tree, options));
+  EXPECT_EQ(got.pairs, want.pairs);
+  EXPECT_TRUE(got.stats.degraded_to_serial);
+  EXPECT_GE(got.stats.failed_ranges, 1u);
+  EXPECT_EQ(db.faulty()->faults_injected(), 1u);
+  EXPECT_EQ(db.pool()->pinned_frames(), 0u);
+}
+
+TEST(ParallelJoinFaultTest, WorkerFailureSurfacesRetryableTypedError) {
+  ElementList universe = RandomNestedElements(41, 900, 3);
+  ElementList a_list, d_list;
+  SplitByLevel(universe, &a_list, &d_list);
+  FaultyJoinDb db(NoRetryPoolOptions());
+  auto a_tree = SmallFanoutTree(db.pool(), a_list);
+  auto d_tree = SmallFanoutTree(db.pool(), d_list);
+  ASSERT_OK(db.pool()->FlushAll());
+  ASSERT_OK_AND_ASSIGN(JoinOutput want, XrStackJoin(*a_tree, *d_tree));
+
+  JoinOptions options;
+  options.num_threads = 4;  // degrade_to_serial stays off
+  ASSERT_OK(PlanJoinPartitions(*a_tree, 4).status());
+  db.faulty()->TransientFailNthRead(db.faulty()->reads() + 1);
+
+  auto joined = ParallelXrStackJoin(*a_tree, *d_tree, options);
+  ASSERT_FALSE(joined.ok());
+  // The caller sees the worker's real error, never the cancellation
+  // sentinel the sibling ranges were stopped with.
+  EXPECT_TRUE(joined.status().IsIoError()) << joined.status().ToString();
+  EXPECT_TRUE(joined.status().IsRetryable());
+  EXPECT_NE(joined.status().message(), kJoinCancelledMessage);
+  EXPECT_EQ(db.pool()->pinned_frames(), 0u);
+  // Retryable means exactly that: the same join succeeds on retry.
+  ASSERT_OK_AND_ASSIGN(JoinOutput again,
+                       ParallelXrStackJoin(*a_tree, *d_tree, options));
+  EXPECT_EQ(again.pairs, want.pairs);
+}
+
+TEST(ParallelJoinFaultTest, CallerCancellationAborts) {
+  ElementList universe = RandomNestedElements(41, 400, 3);
+  ElementList a_list, d_list;
+  SplitByLevel(universe, &a_list, &d_list);
+  TempDb db;
+  auto a_tree = SmallFanoutTree(db.pool(), a_list);
+  auto d_tree = SmallFanoutTree(db.pool(), d_list);
+
+  std::atomic<bool> cancel{true};
+  JoinOptions options;
+  options.num_threads = 4;
+  options.cancel = &cancel;
+  auto par = ParallelXrStackJoin(*a_tree, *d_tree, options);
+  ASSERT_FALSE(par.ok());
+  EXPECT_TRUE(par.status().IsAborted());
+  EXPECT_EQ(par.status().message(), kJoinCancelledMessage);
+  auto serial = XrStackJoin(*a_tree, *d_tree, options);
+  ASSERT_FALSE(serial.ok());
+  EXPECT_TRUE(serial.status().IsAborted());
+
+  cancel.store(false);
+  ASSERT_OK_AND_ASSIGN(JoinOutput want, XrStackJoin(*a_tree, *d_tree));
+  ASSERT_OK_AND_ASSIGN(JoinOutput got,
+                       ParallelXrStackJoin(*a_tree, *d_tree, options));
+  EXPECT_EQ(got.pairs, want.pairs);
+}
+
+TEST(ParallelJoinFaultTest, DataLossIsNeverMaskedByDegradation) {
+  ElementList universe = RandomNestedElements(41, 900, 3);
+  ElementList a_list, d_list;
+  SplitByLevel(universe, &a_list, &d_list);
+  FaultyJoinDb db(NoRetryPoolOptions());
+  auto a_tree = SmallFanoutTree(db.pool(), a_list);
+  auto d_tree = SmallFanoutTree(db.pool(), d_list);
+  ASSERT_OK(db.pool()->FlushAll());
+
+  // Persistently rot the descendant root on disk (no WAL attached, so no
+  // repair image exists) and evict the cached copy.
+  PageId victim = d_tree->root();
+  {
+    ASSERT_OK_AND_ASSIGN(Page * p, db.pool()->FetchPage(victim));
+    ASSERT_OK(db.pool()->UnpinPage(p->page_id(), false));
+  }
+  ASSERT_OK(db.pool()->DiscardPage(victim));
+  {
+    int fd = ::open(db.path().c_str(), O_RDWR);
+    ASSERT_GE(fd, 0);
+    off_t at = static_cast<off_t>(victim) * kPageSize + 123;
+    char byte;
+    ASSERT_EQ(::pread(fd, &byte, 1, at), 1);
+    byte = static_cast<char>(byte ^ 0x40);
+    ASSERT_EQ(::pwrite(fd, &byte, 1, at), 1);
+    ::close(fd);
+  }
+
+  JoinOptions options;
+  options.num_threads = 4;
+  options.degrade_to_serial = true;
+  auto joined = ParallelXrStackJoin(*a_tree, *d_tree, options);
+  ASSERT_FALSE(joined.ok());
+  // Degradation covers transients only: rerunning serially cannot repair
+  // lost data, so the DataLoss must reach the caller unmasked.
+  EXPECT_TRUE(joined.status().IsDataLoss()) << joined.status().ToString();
+  EXPECT_FALSE(joined.status().IsRetryable());
+  EXPECT_TRUE(db.pool()->IsQuarantined(victim));
+  EXPECT_EQ(db.pool()->pinned_frames(), 0u);
 }
 
 TEST(JoinTest, SelfJoinProducesProperPairsOnly) {

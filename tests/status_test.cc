@@ -28,6 +28,31 @@ TEST(StatusTest, AllCodesStringify) {
   EXPECT_EQ(Status::Aborted("x").ToString(), "Aborted: x");
   EXPECT_EQ(Status::ResourceExhausted("x").ToString(),
             "ResourceExhausted: x");
+  EXPECT_EQ(Status::DataLoss("x").ToString(), "DataLoss: x");
+}
+
+TEST(StatusTest, TransientIoErrorIsRetryableIoError) {
+  Status s = Status::TransientIoError("flaky read");
+  EXPECT_TRUE(s.IsIoError());
+  EXPECT_TRUE(s.IsRetryable());
+  // Same code as a hard IoError; only the retryable bit differs.
+  EXPECT_EQ(s, Status::IoError("hard"));
+  EXPECT_FALSE(Status::IoError("hard").IsRetryable());
+}
+
+TEST(StatusTest, RetryableTaxonomy) {
+  EXPECT_TRUE(Status::ResourceExhausted("pinned").IsRetryable());
+  EXPECT_FALSE(Status::Corruption("bad crc").IsRetryable());
+  EXPECT_FALSE(Status::DataLoss("no clean image").IsRetryable());
+  EXPECT_FALSE(Status::Aborted("cancelled").IsRetryable());
+  EXPECT_FALSE(Status::Ok().IsRetryable());
+}
+
+TEST(StatusTest, DataLossIsDistinctFromCorruption) {
+  Status s = Status::DataLoss("page 7 unrecoverable");
+  EXPECT_TRUE(s.IsDataLoss());
+  EXPECT_FALSE(s.IsCorruption());
+  EXPECT_FALSE(Status::Corruption("x").IsDataLoss());
 }
 
 TEST(StatusTest, ResourceExhaustedIsDistinct) {

@@ -1,5 +1,6 @@
 #include "storage/wal.h"
 
+#include <fcntl.h>
 #include <gtest/gtest.h>
 #include <unistd.h>
 
@@ -8,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "join/element_source.h"
+#include "join/xr_stack.h"
 #include "storage/buffer_pool.h"
 #include "storage/checksum.h"
 #include "storage/fault_injection.h"
@@ -22,11 +25,11 @@ class WalDb {
   explicit WalDb(uint64_t checkpoint_threshold = 4ull << 20) {
     WalOptions opts;
     opts.checkpoint_threshold_bytes = checkpoint_threshold;
-    Status st = wal_.Open(Wal::SidecarPath(db_.path()), opts);
-    if (st.ok()) st = wal_.Recover(db_.disk());
-    if (!st.ok()) std::abort();
-    db_.pool()->SetWal(&wal_);
+    Init(opts);
   }
+
+  /// Full-options form (the repair-retention tests need more knobs).
+  explicit WalDb(const WalOptions& opts) { Init(opts); }
 
   ~WalDb() {
     db_.pool()->SetWal(nullptr);
@@ -54,6 +57,13 @@ class WalDb {
   std::string wal_path() const { return Wal::SidecarPath(db_.path()); }
 
  private:
+  void Init(const WalOptions& opts) {
+    Status st = wal_.Open(Wal::SidecarPath(db_.path()), opts);
+    if (st.ok()) st = wal_.Recover(db_.disk());
+    if (!st.ok()) std::abort();
+    db_.pool()->SetWal(&wal_);
+  }
+
   TempDb db_;
   Wal wal_;
 };
@@ -393,6 +403,167 @@ TEST(WalTest, RecycledPageIdNeverServesStalePreFreeImage) {
   ASSERT_OK(db.pool()->DiscardPage(p));
   EXPECT_TRUE(db.wal()->HasImage(p));
   EXPECT_OK(ExpectPageFill(db.pool(), p, 'C'));
+}
+
+// ---------------------------------------------------------------------------
+// Repair-image retention (WalOptions::retain_images_for_repair) and the
+// buffer pool's quarantine + WAL repair of corrupt data-file pages.
+// ---------------------------------------------------------------------------
+
+WalOptions RetentionOptions() {
+  WalOptions opts;
+  opts.retain_images_for_repair = true;
+  return opts;
+}
+
+/// Flips one byte inside page `id`'s data area directly in the database
+/// file: persistent on-media rot that every clean re-read will see again.
+void CorruptOnDiskPage(const std::string& path, PageId id) {
+  int fd = ::open(path.c_str(), O_RDWR);
+  ASSERT_GE(fd, 0);
+  off_t at = static_cast<off_t>(id) * kPageSize + 123;
+  char byte;
+  ASSERT_EQ(::pread(fd, &byte, 1, at), 1);
+  byte = static_cast<char>(byte ^ 0x40);
+  ASSERT_EQ(::pwrite(fd, &byte, 1, at), 1);
+  ::close(fd);
+}
+
+TEST(WalRepairTest, CheckpointRetainsRepairImages) {
+  WalDb db(RetentionOptions());
+  ASSERT_OK_AND_ASSIGN(PageId a, WriteMarkedPage(db.pool(), 'A'));
+  ASSERT_OK(db.pool()->Commit());
+  ASSERT_OK(db.pool()->Checkpoint());
+  // Retention defers the truncate, but the image stops being servable to
+  // miss reads — the data file is authoritative from here on.
+  EXPECT_GT(db.wal()->end_lsn(), 0u);
+  EXPECT_FALSE(db.wal()->HasImage(a));
+  char img[kPageSize];
+  ASSERT_OK_AND_ASSIGN(bool overlay, db.wal()->TryReadImage(a, img));
+  EXPECT_FALSE(overlay);
+  // ...yet the repair path can still read it.
+  ASSERT_OK_AND_ASSIGN(bool repairable, db.wal()->TryReadRepairImage(a, img));
+  ASSERT_TRUE(repairable);
+  for (size_t i = 0; i < kPageDataSize; ++i) {
+    ASSERT_EQ(img[i], 'A') << "repair image byte " << i;
+  }
+  EXPECT_EQ(db.wal()->stats().repair_reads, 1u);
+}
+
+TEST(WalRepairTest, FreedPagesAreNeverRepairable) {
+  WalDb db(RetentionOptions());
+  ASSERT_OK_AND_ASSIGN(PageId a, WriteMarkedPage(db.pool(), 'A'));
+  ASSERT_OK(db.pool()->Commit());
+  ASSERT_OK(db.pool()->Checkpoint());
+  ASSERT_OK(db.pool()->FreePage(a));
+  // "Repairing" a freed (possibly recycled) id back to its pre-free bytes
+  // would resurrect dead data; the suppression must cover retained images.
+  char img[kPageSize];
+  ASSERT_OK_AND_ASSIGN(bool repairable, db.wal()->TryReadRepairImage(a, img));
+  EXPECT_FALSE(repairable);
+}
+
+TEST(WalRepairTest, RetentionLimitForcesTruncation) {
+  WalOptions opts = RetentionOptions();
+  opts.repair_retention_limit_bytes = 1;  // any non-empty log exceeds this
+  WalDb db(opts);
+  ASSERT_OK_AND_ASSIGN(PageId a, WriteMarkedPage(db.pool(), 'A'));
+  ASSERT_OK(db.pool()->Commit());
+  ASSERT_OK(db.pool()->Checkpoint());
+  // Bounded retention: past the limit the checkpoint truncates exactly like
+  // retention-off mode and drops the repair set.
+  EXPECT_EQ(db.wal()->end_lsn(), 0u);
+  char img[kPageSize];
+  ASSERT_OK_AND_ASSIGN(bool repairable, db.wal()->TryReadRepairImage(a, img));
+  EXPECT_FALSE(repairable);
+}
+
+TEST(WalRepairTest, NeedsCheckpointUsesWatermarkNotLogSize) {
+  WalOptions opts = RetentionOptions();
+  opts.checkpoint_threshold_bytes = kPageSize;
+  WalDb db(opts);
+  ASSERT_OK_AND_ASSIGN(PageId a, WriteMarkedPage(db.pool(), 'A'));
+  (void)a;
+  ASSERT_OK(db.pool()->Commit());  // past the threshold: auto-checkpoints
+  EXPECT_EQ(db.wal()->stats().checkpoints, 1u);
+  // The retained log is larger than the threshold, but nothing has been
+  // appended since the checkpoint — no new checkpoint is due (without the
+  // watermark, retention mode would re-checkpoint on every commit forever).
+  EXPECT_GT(db.wal()->end_lsn(), opts.checkpoint_threshold_bytes);
+  EXPECT_FALSE(db.wal()->needs_checkpoint());
+}
+
+TEST(WalRepairTest, RepairRecoversCorruptDataFilePage) {
+  WalDb db(RetentionOptions());
+  ASSERT_OK_AND_ASSIGN(PageId a, WriteMarkedPage(db.pool(), 'A'));
+  ASSERT_OK(db.pool()->Commit());
+  ASSERT_OK(db.pool()->Checkpoint());
+  ASSERT_OK(db.pool()->DiscardPage(a));
+  CorruptOnDiskPage(db.db_path(), a);
+  // The demand fetch sees the checksum failure, fails its clean re-reads
+  // (the rot is on the platter), pulls the retained WAL image, reinstalls
+  // and re-verifies it — all behind one FetchPage call.
+  EXPECT_OK(ExpectPageFill(db.pool(), a, 'A'));
+  IoStats s = db.pool()->stats();
+  EXPECT_EQ(s.repairs_attempted, 1u);
+  EXPECT_EQ(s.repairs_succeeded, 1u);
+  EXPECT_EQ(s.pages_quarantined, 1u);
+  EXPECT_FALSE(db.pool()->IsQuarantined(a));
+  EXPECT_GE(db.wal()->stats().repair_reads, 1u);
+  // The repair reached the data file: a cold re-read verifies without a
+  // second repair cycle.
+  ASSERT_OK(db.pool()->DiscardPage(a));
+  EXPECT_OK(ExpectPageFill(db.pool(), a, 'A'));
+  EXPECT_EQ(db.pool()->stats().repairs_attempted, 1u);
+}
+
+TEST(WalRepairTest, WithoutRetentionCorruptPageIsDataLoss) {
+  WalDb db;  // retention off (default): the checkpoint truncated the log
+  ASSERT_OK_AND_ASSIGN(PageId a, WriteMarkedPage(db.pool(), 'A'));
+  ASSERT_OK(db.pool()->Commit());
+  ASSERT_OK(db.pool()->Checkpoint());
+  ASSERT_OK(db.pool()->DiscardPage(a));
+  CorruptOnDiskPage(db.db_path(), a);
+  auto fetched = db.pool()->FetchPage(a);
+  ASSERT_FALSE(fetched.ok());
+  EXPECT_TRUE(fetched.status().IsDataLoss()) << fetched.status().ToString();
+  EXPECT_TRUE(db.pool()->IsQuarantined(a));
+}
+
+TEST(WalRepairTest, RepairRecoversHotIndexPageMidJoin) {
+  WalDb db(RetentionOptions());
+  ElementList universe = RandomNestedElements(91, 900, 3);
+  ElementList a_list, d_list;
+  for (const Element& e : universe) {
+    (e.level % 2 == 0 ? a_list : d_list).push_back(e);
+  }
+  StoredElementSet a_set(db.pool(), "A");
+  StoredElementSet d_set(db.pool(), "D");
+  ASSERT_OK(a_set.Build(a_list));
+  ASSERT_OK(d_set.Build(d_list));
+  ASSERT_OK(db.pool()->Commit());
+  ASSERT_OK(db.pool()->Checkpoint());
+  ASSERT_OK_AND_ASSIGN(JoinOutput want,
+                       XrStackJoin(a_set.xrtree(), d_set.xrtree()));
+  ASSERT_FALSE(want.pairs.empty());
+
+  // Rot the descendant tree's root page on disk and evict the cached copy:
+  // the join's first descendant-side fetch must repair it in flight.
+  PageId victim = d_set.xrtree().root();
+  {
+    ASSERT_OK_AND_ASSIGN(Page * p, db.pool()->FetchPage(victim));
+    ASSERT_OK(db.pool()->UnpinPage(p->page_id(), false));
+  }
+  ASSERT_OK(db.pool()->DiscardPage(victim));
+  CorruptOnDiskPage(db.db_path(), victim);
+
+  ASSERT_OK_AND_ASSIGN(JoinOutput got,
+                       XrStackJoin(a_set.xrtree(), d_set.xrtree()));
+  EXPECT_EQ(got.pairs, want.pairs);
+  IoStats s = db.pool()->stats();
+  EXPECT_EQ(s.repairs_succeeded, s.repairs_attempted);
+  EXPECT_GE(s.repairs_succeeded, 1u);
+  EXPECT_TRUE(db.pool()->QuarantineSnapshot().empty());
 }
 
 TEST(WalTest, AppendBeforeRecoverIsRejected) {
