@@ -10,17 +10,25 @@
 // waits, and the prefetcher overlaps read-ahead with the worker's compute
 // and its own stalls.
 //
-// Usage: parallel_join [--threads N] [--json <path>]
+// Usage: parallel_join [--threads N] [--json <path>] [--require-prefetch-wins]
 //   --threads N   highest worker count measured (default 8; rounds run at
 //                 1, 2, 4, ... up to N)
 //   --json PATH   write machine-readable results to PATH
+//   --require-prefetch-wins
+//                 exit nonzero if, at the highest thread count, the prefetch
+//                 round is slower than the no-prefetch round (beyond a 5%
+//                 noise allowance). This is the CI regression guard for the
+//                 single-flight read path: prefetch losing at high thread
+//                 counts was the signature of demand misses serializing
+//                 behind the prefetcher under the shard latch.
 //
 // Environment knobs:
 //   XR_PAR_SCALE            elements per dataset side (default 60000)
 //   XR_PAR_POOL             shared pool size in pages (default 256)
-//   XR_PAR_SHARDS           pool shards (default 32 — the miss path reads
-//                           under the shard latch, so shards bound miss
-//                           overlap; see DESIGN.md §10)
+//   XR_PAR_SHARDS           pool shards (default 32 — misses read outside
+//                           the latch via the in-flight table, so shards
+//                           only bound hit-path contention; see DESIGN.md
+//                           §10, §12)
 //   XR_PAR_MISS_LATENCY_US  blocking per-disk-access latency (default 5000,
 //                           one 2002-era disk access like XR_MISS_LATENCY_US)
 //   XR_PAR_PREFETCH         leaf read-ahead depth for prefetch rounds
@@ -53,6 +61,7 @@ struct RoundResult {
   double speedup = 0;
   uint64_t pairs = 0;
   uint64_t buffer_misses = 0;
+  uint64_t read_batches = 0;
   uint64_t prefetch_issued = 0;
   uint64_t prefetch_hits = 0;
   uint64_t prefetch_wasted = 0;
@@ -68,9 +77,12 @@ int main(int argc, char** argv) {
   using namespace xrtree::bench;
 
   uint64_t max_threads = 8;
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::string(argv[i]) == "--threads") {
+  bool require_prefetch_wins = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--threads" && i + 1 < argc) {
       max_threads = std::strtoull(argv[i + 1], nullptr, 10);
+    } else if (std::string(argv[i]) == "--require-prefetch-wins") {
+      require_prefetch_wins = true;
     }
   }
   if (max_threads == 0) max_threads = 1;
@@ -166,6 +178,7 @@ int main(int argc, char** argv) {
       r.speedup = base_seconds / r.seconds;
       r.pairs = out.stats.output_pairs;
       r.buffer_misses = io.buffer_misses;
+      r.read_batches = io.read_batches;
       r.prefetch_issued = io.prefetch_issued;
       r.prefetch_hits = io.prefetch_hits;
       r.prefetch_wasted = io.prefetch_wasted;
@@ -193,6 +206,7 @@ int main(int argc, char** argv) {
       o.Set("speedup", r.speedup);
       o.Set("pairs", r.pairs);
       o.Set("buffer_misses", r.buffer_misses);
+      o.Set("read_batches", r.read_batches);
       o.Set("prefetch_issued", r.prefetch_issued);
       o.Set("prefetch_hits", r.prefetch_hits);
       o.Set("prefetch_wasted", r.prefetch_wasted);
@@ -218,5 +232,26 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("\nall parallel rounds matched the serial pair count\n");
+
+  if (require_prefetch_wins && prefetch_depth > 0) {
+    // The guard compares the two rounds at the highest measured thread
+    // count. 5% covers timer noise; a real relapse into latched reads
+    // costs far more than that (the original regression was ~9%).
+    double plain_s = 0, pf_s = 0;
+    for (const RoundResult& r : rounds) {
+      if (r.threads != max_threads) continue;
+      if (r.prefetch_depth == 0) plain_s = r.seconds;
+      else pf_s = r.seconds;
+    }
+    if (plain_s > 0 && pf_s > plain_s * 1.05) {
+      std::printf(
+          "FAIL: at %llu threads prefetch (%.2fs) is slower than "
+          "no-prefetch (%.2fs)\n",
+          (unsigned long long)max_threads, pf_s, plain_s);
+      return 1;
+    }
+    std::printf("prefetch guard: %.2fs vs %.2fs no-prefetch at %llu threads\n",
+                pf_s, plain_s, (unsigned long long)max_threads);
+  }
   return 0;
 }

@@ -130,6 +130,13 @@ bool BufferPool::AcquireFrame(Shard& s, FrameId* out, Status* error) {
   if (!s.free_frames.empty()) {
     *out = s.free_frames.back();
     s.free_frames.pop_back();
+    // Every path returning a frame to the free list must Reset() it first;
+    // stale prefetch provenance here would mis-credit prefetch_hits on the
+    // frame's next occupant.
+    assert(!s.frames[*out]->prefetched_ &&
+           s.frames[*out]->page_id_ == kInvalidPageId &&
+           s.frames[*out]->pin_count_ == 0 &&
+           "free-list frame not Reset()");
     return true;
   }
   FrameId victim;
@@ -142,6 +149,15 @@ bool BufferPool::AcquireFrame(Shard& s, FrameId* out, Status* error) {
   return false;  // every frame pinned; caller backs off
 }
 
+size_t BufferPool::PinnedFramesInShard(const Shard& s) {
+  std::lock_guard<std::mutex> lock(s.mu);
+  size_t n = 0;
+  for (const auto& f : s.frames) {
+    if (f->pin_count_ > 0) ++n;
+  }
+  return n;
+}
+
 RetryState BufferPool::MakeRetryState(const RetryPolicy& policy,
                                       PageId page_id) {
   uint64_t seq = retry_seq_.fetch_add(1, std::memory_order_relaxed);
@@ -150,11 +166,36 @@ RetryState BufferPool::MakeRetryState(const RetryPolicy& policy,
                         (seq << 17));
 }
 
+Status BufferPool::ReadMissedPage(PageId page_id, char* out, bool* from_log) {
+  *from_log = false;
+  // The log overlay holds the newest version of any page it has an image
+  // for — the data-file copy (if any) is stale until the next checkpoint.
+  Wal* wal = wal_.load(std::memory_order_acquire);
+  if (wal != nullptr) {
+    auto served = wal->TryReadImage(page_id, out);
+    if (!served.ok()) return served.status();
+    *from_log = *served;
+  }
+  if (!*from_log) {
+    XR_RETURN_IF_ERROR(disk_->ReadPage(page_id, out));
+  }
+  return VerifyPageTrailer(out, page_id);
+}
+
+void BufferPool::CompleteInFlight(const std::shared_ptr<InFlight>& entry) {
+  {
+    std::lock_guard<std::mutex> lock(entry->mu);
+    entry->done = true;
+  }
+  entry->cv.notify_all();
+}
+
 Result<Page*> BufferPool::FetchPage(PageId page_id) {
   if (page_id == kInvalidPageId) {
     return Status::InvalidArgument("FetchPage(kInvalidPageId)");
   }
-  Shard& s = *shards_[ShardIndex(page_id)];
+  const size_t shard_index = ShardIndex(page_id);
+  Shard& s = *shards_[shard_index];
   RetryState pin_retry = MakeRetryState(options_.pin_retry, page_id);
   RetryState io_retry = MakeRetryState(options_.io_retry, page_id);
   // Successful repairs per fetch before giving up. Under sustained
@@ -164,15 +205,20 @@ Result<Page*> BufferPool::FetchPage(PageId page_id) {
   // pass returns DataLoss.
   constexpr int kMaxRepairsPerFetch = 8;
   int repairs = 0;
+  // One logical fetch counts exactly one of hit/miss, no matter how many
+  // loop iterations (retries, repairs, parked waits, stale re-reads) it
+  // takes: hits + misses == FetchPage calls, always.
+  bool miss_counted = false;
   for (;;) {
-    Status read;
-    bool from_log = false;
+    FrameId frame = 0;
+    std::shared_ptr<InFlight> entry;
+    bool leader = false;
     bool all_pinned = false;
     {
       std::lock_guard<std::mutex> lock(s.mu);
       auto it = s.page_table.find(page_id);
       if (it != s.page_table.end()) {
-        s.hits.fetch_add(1, std::memory_order_relaxed);
+        if (!miss_counted) s.hits.fetch_add(1, std::memory_order_relaxed);
         Page* page = s.frames[it->second].get();
         if (page->prefetched_) {
           // First fetch of a read-ahead page: the prefetch paid off.
@@ -183,44 +229,31 @@ Result<Page*> BufferPool::FetchPage(PageId page_id) {
         TouchLru(s, it->second);
         return page;
       }
-      FrameId frame;
-      Status error;
-      if (AcquireFrame(s, &frame, &error)) {
-        s.misses.fetch_add(1, std::memory_order_relaxed);
-        Page* page = s.frames[frame].get();
-        // The log overlay holds the newest version of any page it has an
-        // image for — the data-file copy (if any) is stale until the next
-        // checkpoint. The read happens under the shard latch: misses within
-        // one shard serialize, other shards proceed.
-        Wal* wal = wal_.load(std::memory_order_acquire);
-        if (wal != nullptr) {
-          auto served = wal->TryReadImage(page_id, page->data_);
-          if (!served.ok()) {
-            read = served.status();
-          } else {
-            from_log = *served;
-          }
-        }
-        if (read.ok() && !from_log) {
-          read = disk_->ReadPage(page_id, page->data_);
-        }
-        if (read.ok()) read = VerifyPageTrailer(page->data_, page_id);
-        if (read.ok()) {
-          page->page_id_ = page_id;
-          page->pin_count_ = 1;
-          page->is_dirty_ = false;
-          s.page_table[page_id] = frame;
-          TouchLru(s, frame);
-          return page;
-        }
-        // Return the frame to the free list instead of leaking it; the
-        // retry/repair decision happens outside the latch below.
-        page->Reset();
-        s.free_frames.push_back(frame);
-      } else if (!error.ok()) {
-        return error;  // eviction write-back failed
+      auto fl = s.in_flight.find(page_id);
+      if (fl != s.in_flight.end()) {
+        // Another thread is already reading this page (demand miss or
+        // prefetch). Take a reference and park on it below, outside the
+        // latch — single-flight: no duplicate read, and fetchers of other
+        // pages in this shard proceed unimpeded.
+        entry = fl->second;
       } else {
-        all_pinned = true;
+        Status error;
+        if (AcquireFrame(s, &frame, &error)) {
+          if (!miss_counted) {
+            s.misses.fetch_add(1, std::memory_order_relaxed);
+            miss_counted = true;
+          }
+          // Reserve the frame (it is in neither page_table, lru, nor
+          // free_frames, so no other thread can touch it) and publish the
+          // in-flight entry, then drop the latch for the read.
+          entry = std::make_shared<InFlight>();
+          s.in_flight.emplace(page_id, entry);
+          leader = true;
+        } else if (!error.ok()) {
+          return error;  // eviction write-back failed
+        } else {
+          all_pinned = true;
+        }
       }
     }
     if (all_pinned) {
@@ -231,11 +264,56 @@ Result<Page*> BufferPool::FetchPage(PageId page_id) {
       if (!pin_retry.Next(&delay)) {
         return Status::ResourceExhausted(
             "buffer pool exhausted: all frames of shard " +
-            std::to_string(ShardIndex(page_id)) + " pinned");
+            std::to_string(shard_index) + " pinned (" +
+            std::to_string(PinnedFramesInShard(s)) + "/" +
+            std::to_string(s.frames.size()) + " frames)");
       }
       BackoffSleep(delay);
       continue;
     }
+    if (!leader) {
+      // Park until the in-flight read completes, then re-run the loop:
+      // normally the page is now resident (hit); if the read failed or
+      // turned out stale, this thread becomes the next leader.
+      std::unique_lock<std::mutex> wait_lock(entry->mu);
+      entry->cv.wait(wait_lock, [&] { return entry->done; });
+      continue;
+    }
+    // Leader: perform the read outside the latch, directly into the
+    // reserved frame (private to this thread until published).
+    Page* page = s.frames[frame].get();
+    bool from_log = false;
+    Status read = ReadMissedPage(page_id, page->data_, &from_log);
+    // Completion: re-validate and install (or discard) under the latch.
+    // The world may have changed during the read — NewPage can have
+    // recycled the id into a resident frame, and FreePage/LogPageImage can
+    // have flipped which source (log overlay vs data file) is current. A
+    // stale image is dropped and the loop re-reads, consuming no retry
+    // budget: staleness means progress elsewhere, not an I/O fault.
+    bool stale = false;
+    {
+      std::lock_guard<std::mutex> lock(s.mu);
+      s.in_flight.erase(page_id);
+      Wal* wal = wal_.load(std::memory_order_acquire);
+      bool overlay_now = wal != nullptr && wal->HasImage(page_id);
+      stale = s.page_table.find(page_id) != s.page_table.end() ||
+              overlay_now != from_log;
+      if (read.ok() && !stale) {
+        page->page_id_ = page_id;
+        page->pin_count_ = 1;
+        page->is_dirty_ = false;
+        s.page_table[page_id] = frame;
+        TouchLru(s, frame);
+      } else {
+        // Return the frame to the free list instead of leaking it; the
+        // retry/repair decision happens outside the latch below.
+        page->Reset();
+        s.free_frames.push_back(frame);
+      }
+    }
+    CompleteInFlight(entry);
+    if (stale) continue;
+    if (read.ok()) return page;
     if (read.IsRetryable()) {
       uint64_t delay;
       if (!io_retry.Next(&delay)) return read;  // retry budget exhausted
@@ -349,7 +427,8 @@ Result<Page*> BufferPool::NewPage() {
     recycled = false;  // stale entry: skip it, try the next candidate
   }
 
-  Shard& s = *shards_[ShardIndex(page_id)];
+  const size_t shard_index = ShardIndex(page_id);
+  Shard& s = *shards_[shard_index];
   RetryState pin_retry = MakeRetryState(options_.pin_retry, page_id);
   for (;;) {
     {
@@ -390,13 +469,19 @@ Result<Page*> BufferPool::NewPage() {
   }
   return Status::ResourceExhausted(
       "buffer pool exhausted: all frames of shard " +
-      std::to_string(ShardIndex(page_id)) + " pinned");
+      std::to_string(shard_index) + " pinned (" +
+      std::to_string(PinnedFramesInShard(s)) + "/" +
+      std::to_string(s.frames.size()) + " frames)");
 }
 
 bool BufferPool::AcquireCleanFrame(Shard& s, FrameId* out) {
   if (!s.free_frames.empty()) {
     *out = s.free_frames.back();
     s.free_frames.pop_back();
+    assert(!s.frames[*out]->prefetched_ &&
+           s.frames[*out]->page_id_ == kInvalidPageId &&
+           s.frames[*out]->pin_count_ == 0 &&
+           "free-list frame not Reset()");
     return true;
   }
   for (FrameId frame : s.lru) {
@@ -412,73 +497,179 @@ bool BufferPool::AcquireCleanFrame(Shard& s, FrameId* out) {
   return false;
 }
 
-bool BufferPool::PrefetchOne(PageId page_id) {
-  if (page_id == kInvalidPageId || page_id >= disk_->num_pages()) return false;
-  Shard& s = *shards_[ShardIndex(page_id)];
-  {
+size_t BufferPool::PrefetchBatch(const PageId* ids, size_t n,
+                                 size_t known_prefix) {
+  // One registered page of the batch: its in-flight entry (so demand
+  // fetchers park instead of duplicating the read), its slice of the read
+  // buffer, and which source served it.
+  struct Slot {
+    PageId page_id = kInvalidPageId;
+    std::shared_ptr<InFlight> entry;
+    char* buf = nullptr;
+    bool from_log = false;
+    bool known = false;
+    Status read;
+  };
+  const PageId num_pages = disk_->num_pages();
+  std::vector<Slot> slots;
+  slots.reserve(n);
+  size_t resident_known = 0;
+  // Phase 1 (one short latch acquisition per page): skip pages that are
+  // resident or already being read, register an in-flight entry for the
+  // rest. Registration also dedupes repeated ids within the batch.
+  for (size_t i = 0; i < n; ++i) {
+    const PageId id = ids[i];
+    const bool known = i < known_prefix;
+    if (id == kInvalidPageId || id >= num_pages) continue;
+    Shard& s = *shards_[ShardIndex(id)];
     std::lock_guard<std::mutex> lock(s.mu);
-    if (s.page_table.find(page_id) != s.page_table.end()) return true;
-  }
-  // Read outside the shard latch: a slow device (simulated miss latency)
-  // stalls only this thread. The WAL overlay has the newest image when it
-  // holds one, exactly as on the miss path.
-  alignas(8) char buf[kPageSize];
-  bool from_log = false;
-  Wal* wal = wal_.load(std::memory_order_acquire);
-  if (wal != nullptr) {
-    auto served = wal->TryReadImage(page_id, buf);
-    if (!served.ok()) {
-      prefetch_errors_.fetch_add(1, std::memory_order_relaxed);
-      return false;
+    if (s.page_table.find(id) != s.page_table.end()) {
+      if (known) ++resident_known;
+      continue;
     }
-    from_log = *served;
+    if (s.in_flight.find(id) != s.in_flight.end()) continue;
+    Slot slot;
+    slot.page_id = id;
+    slot.known = known;
+    slot.entry = std::make_shared<InFlight>();
+    s.in_flight.emplace(id, slot.entry);
+    slots.push_back(std::move(slot));
   }
-  if (!from_log && !disk_->ReadPage(page_id, buf).ok()) {
-    // Best-effort contract: a failed prefetch read installs nothing — the
-    // frame was never acquired — and the demand fetch pays the miss and
-    // surfaces (or retries/repairs) the real error.
-    prefetch_errors_.fetch_add(1, std::memory_order_relaxed);
-    return false;
+  if (slots.empty()) return resident_known;
+
+  // Phase 2, no latches held: WAL-overlay pages are served from the log
+  // individually (the overlay is an in-memory/log-offset lookup, not a
+  // seek), everything else goes to the disk in ONE ReadBatch — consecutive
+  // ids collapse into single submissions there.
+  std::vector<char> bufs(slots.size() * kPageSize);
+  Wal* wal = wal_.load(std::memory_order_acquire);
+  std::vector<PageReadRequest> requests;
+  std::vector<size_t> request_slot;
+  requests.reserve(slots.size());
+  request_slot.reserve(slots.size());
+  for (size_t i = 0; i < slots.size(); ++i) {
+    slots[i].buf = bufs.data() + i * kPageSize;
+    if (wal != nullptr) {
+      auto served = wal->TryReadImage(slots[i].page_id, slots[i].buf);
+      if (!served.ok()) {
+        slots[i].read = served.status();
+        continue;
+      }
+      if (*served) {
+        slots[i].from_log = true;
+        continue;
+      }
+    }
+    PageReadRequest req;
+    req.page_id = slots[i].page_id;
+    req.out = slots[i].buf;
+    requests.push_back(req);
+    request_slot.push_back(i);
   }
-  if (!VerifyPageTrailer(buf, page_id).ok()) {
-    prefetch_errors_.fetch_add(1, std::memory_order_relaxed);
-    return false;
+  if (!requests.empty()) {
+    disk_->ReadBatch(requests.data(), requests.size());
+    for (size_t j = 0; j < requests.size(); ++j) {
+      slots[request_slot[j]].read = requests[j].status;
+    }
   }
 
-  std::lock_guard<std::mutex> lock(s.mu);
-  if (s.page_table.find(page_id) != s.page_table.end()) {
-    // A real fetch raced us and installed the page; our read is redundant
-    // but the page is resident, which is all the caller needs.
-    return true;
+  // Phase 3: install each image unpinned under its shard latch, with the
+  // same re-validation as the demand path (the id can have been recycled
+  // by NewPage, the overlay flipped by FreePage/LogPageImage, mid-read).
+  // Best-effort contract: any failure installs nothing — the demand fetch
+  // pays the miss and surfaces (or retries/repairs) the real error.
+  size_t installed_known = 0;
+  for (auto& slot : slots) {
+    Status read = slot.read;
+    if (read.ok()) read = VerifyPageTrailer(slot.buf, slot.page_id);
+    bool resident = false;
+    bool stale = false;
+    {
+      Shard& s = *shards_[ShardIndex(slot.page_id)];
+      std::lock_guard<std::mutex> lock(s.mu);
+      s.in_flight.erase(slot.page_id);
+      Wal* wal_now = wal_.load(std::memory_order_acquire);
+      bool overlay_now = wal_now != nullptr && wal_now->HasImage(slot.page_id);
+      if (s.page_table.find(slot.page_id) != s.page_table.end()) {
+        resident = true;  // NewPage recycled the id mid-read
+      } else if (overlay_now != slot.from_log) {
+        stale = true;  // wrong source: drop the image, no error
+      } else if (read.ok()) {
+        FrameId frame;
+        if (AcquireCleanFrame(s, &frame)) {
+          Page* page = s.frames[frame].get();
+          std::memcpy(page->data_, slot.buf, kPageSize);
+          page->page_id_ = slot.page_id;
+          page->pin_count_ = 0;
+          page->is_dirty_ = false;
+          page->prefetched_ = true;
+          s.page_table[slot.page_id] = frame;
+          TouchLru(s, frame);
+          s.prefetch_issued.fetch_add(1, std::memory_order_relaxed);
+          resident = true;
+        }
+      }
+    }
+    CompleteInFlight(slot.entry);
+    if (resident) {
+      if (slot.known) ++installed_known;
+    } else if (!read.ok() && !stale && slot.known) {
+      // Real chain pages whose read/verify failed; speculative slots stay
+      // silent (guessing past the end of a chain is not an error).
+      prefetch_errors_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
-  FrameId frame;
-  if (!AcquireCleanFrame(s, &frame)) return false;
-  Page* page = s.frames[frame].get();
-  std::memcpy(page->data_, buf, kPageSize);
-  page->page_id_ = page_id;
-  page->pin_count_ = 0;
-  page->is_dirty_ = false;
-  page->prefetched_ = true;
-  s.page_table[page_id] = frame;
-  TouchLru(s, frame);
-  s.prefetch_issued.fetch_add(1, std::memory_order_relaxed);
-  return true;
+  return resident_known + installed_known;
 }
 
 Status BufferPool::PrefetchPages(const PageId* ids, size_t n) {
-  for (size_t i = 0; i < n; ++i) PrefetchOne(ids[i]);
+  PrefetchBatch(ids, n, n);
   return Status::Ok();
 }
 
-PageId BufferPool::ResidentChainLink(PageId page_id,
-                                     uint32_t next_offset) const {
+bool BufferPool::ResidentLink(PageId page_id, uint32_t next_offset,
+                              PageId* link) const {
   Shard& s = *shards_[ShardIndex(page_id)];
   std::lock_guard<std::mutex> lock(s.mu);
   auto it = s.page_table.find(page_id);
-  if (it == s.page_table.end()) return kInvalidPageId;
-  PageId link;
-  std::memcpy(&link, s.frames[it->second]->data_ + next_offset, sizeof(link));
-  return link;
+  if (it == s.page_table.end()) return false;
+  std::memcpy(link, s.frames[it->second]->data_ + next_offset, sizeof(*link));
+  return true;
+}
+
+void BufferPool::ProcessChainJob(const PrefetchJob& job) {
+  PageId cur = job.start;
+  // Bulk-loaded leaf chains are laid out on consecutive page ids, so at a
+  // non-resident frontier we read a speculative sequential run {cur,
+  // cur+1, ...} in one submission instead of chasing pointers one latched
+  // read at a time. A wrong guess costs at most one run (the width drops
+  // to 1 for the rest of the job) and its pages resolve through the
+  // honest prefetch_wasted accounting.
+  size_t width = kChainBatchWidth;
+  for (uint32_t i = 0; i < job.depth && cur != kInvalidPageId;) {
+    PageId link;
+    if (ResidentLink(cur, job.next_offset, &link)) {
+      // Resident (this walk's earlier batch, or anyone else's work):
+      // following the pointer costs one latched lookup, no I/O.
+      ++i;
+      cur = link;
+      continue;
+    }
+    size_t want = std::min<size_t>(width, job.depth - i);
+    std::vector<PageId> run(want);
+    for (size_t j = 0; j < want; ++j) {
+      run[j] = cur + static_cast<PageId>(j);
+    }
+    PrefetchBatch(run.data(), want, /*known_prefix=*/1);
+    if (!ResidentLink(cur, job.next_offset, &link)) {
+      // Could not install the frontier page (failed read, no clean frame,
+      // or evicted already on a tiny pool): the walk ends.
+      return;
+    }
+    ++i;
+    if (want > 1 && link != cur + 1) width = 1;  // mis-speculated: narrow
+    cur = link;
+  }
 }
 
 void BufferPool::PrefetchWorker() {
@@ -490,17 +681,14 @@ void BufferPool::PrefetchWorker() {
         return prefetch_stop_ || !prefetch_queue_.empty();
       });
       if (prefetch_queue_.empty()) return;  // stop requested, queue drained
-      job = prefetch_queue_.front();
+      job = std::move(prefetch_queue_.front());
       prefetch_queue_.pop_front();
       prefetch_busy_ = true;
     }
-    PageId cur = job.start;
-    for (uint32_t i = 0; i < job.depth && cur != kInvalidPageId; ++i) {
-      if (!PrefetchOne(cur)) break;
-      // Follow the chain pointer of the now-resident page. The page can be
-      // evicted between install and this lookup on a tiny pool; then the
-      // walk simply ends.
-      cur = ResidentChainLink(cur, job.next_offset);
+    if (!job.batch.empty()) {
+      PrefetchBatch(job.batch.data(), job.batch.size(), job.batch.size());
+    } else {
+      ProcessChainJob(job);
     }
     {
       std::lock_guard<std::mutex> lock(prefetch_mu_);
@@ -522,7 +710,26 @@ void BufferPool::PrefetchChainAsync(PageId start, uint32_t depth,
     if (!prefetch_thread_.joinable()) {
       prefetch_thread_ = std::thread([this] { PrefetchWorker(); });
     }
-    prefetch_queue_.push_back({start, depth, next_offset});
+    PrefetchJob job;
+    job.start = start;
+    job.depth = depth;
+    job.next_offset = next_offset;
+    prefetch_queue_.push_back(std::move(job));
+  }
+  prefetch_cv_.notify_one();
+}
+
+void BufferPool::PrefetchBatchAsync(std::vector<PageId> ids) {
+  if (ids.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(prefetch_mu_);
+    if (prefetch_stop_) return;
+    if (!prefetch_thread_.joinable()) {
+      prefetch_thread_ = std::thread([this] { PrefetchWorker(); });
+    }
+    PrefetchJob job;
+    job.batch = std::move(ids);
+    prefetch_queue_.push_back(std::move(job));
   }
   prefetch_cv_.notify_one();
 }

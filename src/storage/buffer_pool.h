@@ -133,6 +133,15 @@ class BufferPool {
   /// The worker thread is started lazily and joined by the destructor.
   void PrefetchChainAsync(PageId start, uint32_t depth, uint32_t next_offset);
 
+  /// Asynchronous batch read-ahead: the background thread prefetches the
+  /// given page ids (same contract as PrefetchPages) through one vectorized
+  /// ReadBatch submission per contiguous run. Preferred over
+  /// PrefetchChainAsync when the caller already knows the exact ids (e.g.
+  /// the XR-tree iterator's leaf-run lookahead, which reads the sibling
+  /// leaf ids off the parent internal node) — no chain pointers need to be
+  /// chased, so the whole run is one submission.
+  void PrefetchBatchAsync(std::vector<PageId> ids);
+
   /// Blocks until the background prefetcher has no queued or in-flight job.
   /// Determinism hook for tests and benches; production readers never wait.
   void WaitForPrefetchIdle();
@@ -233,9 +242,26 @@ class BufferPool {
   static constexpr size_t kMinFramesPerShard = 32;
   /// Auto-sharding cap (beyond ~16 latches contention is elsewhere).
   static constexpr size_t kMaxAutoShards = 16;
+  /// Widest speculative sequential batch the chain prefetcher issues at a
+  /// non-resident frontier page (see ProcessChainJob).
+  static constexpr size_t kChainBatchWidth = 8;
 
  private:
   using FrameId = size_t;
+
+  /// One in-flight page read (see DESIGN.md §12). Registered in its shard's
+  /// `in_flight` map under the shard latch before the reader drops the
+  /// latch to do the I/O; concurrent fetchers of the same page find the
+  /// entry and park on `cv` instead of issuing a duplicate read
+  /// (single-flight). The reader always completes the entry — erase from
+  /// the map under the shard latch, then set `done` and notify — whether
+  /// the read succeeded, failed, or turned out stale; woken waiters simply
+  /// re-run their fetch loop (the common outcome is a pool hit).
+  struct InFlight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;  // guarded by mu
+  };
 
   /// One latch-protected sub-pool. Everything inside is guarded by `mu`
   /// except the trailing counters, which are relaxed atomics so stats()
@@ -247,6 +273,10 @@ class BufferPool {
     std::list<FrameId> lru;  // front = least recently used
     std::unordered_map<FrameId, std::list<FrameId>::iterator> lru_pos;
     std::vector<FrameId> free_frames;
+    /// Reads currently in flight for pages of this shard, demand misses and
+    /// prefetches alike. Holders keep shared_ptr copies so an entry stays
+    /// valid for parked waiters after the reader erases it from the map.
+    std::unordered_map<PageId, std::shared_ptr<InFlight>> in_flight;
 
     std::atomic<uint64_t> hits{0};
     std::atomic<uint64_t> misses{0};
@@ -256,11 +286,14 @@ class BufferPool {
     std::atomic<uint64_t> prefetch_wasted{0};
   };
 
-  /// One queued PrefetchChainAsync request.
+  /// One queued asynchronous prefetch request: either a chain walk
+  /// (PrefetchChainAsync: follow `next_offset` links from `start`) or an
+  /// explicit id batch (PrefetchBatchAsync: `batch` non-empty).
   struct PrefetchJob {
-    PageId start;
-    uint32_t depth;
-    uint32_t next_offset;
+    PageId start = kInvalidPageId;
+    uint32_t depth = 0;
+    uint32_t next_offset = 0;
+    std::vector<PageId> batch;
   };
 
   static size_t AutoShardCount(size_t pool_size);
@@ -279,6 +312,10 @@ class BufferPool {
   // write-back failed. Latch held.
   bool AcquireFrame(Shard& s, FrameId* out, Status* error);
 
+  // Count of pinned frames in one shard (takes the shard latch). Used for
+  // the pool-exhausted diagnostics.
+  static size_t PinnedFramesInShard(const Shard& s);
+
   // Fresh RetryState for one fetch/new-page operation; the seed mixes the
   // configured base, the page id and a per-operation sequence number so
   // concurrent retriers never sleep in lockstep.
@@ -292,17 +329,40 @@ class BufferPool {
   // returns DataLoss (the page stays quarantined).
   Status RepairCorruptPage(PageId page_id, const Status& cause);
 
-  // Installs one page image read-ahead (see PrefetchPages). Returns true
-  // when the page is resident afterwards (already was, or newly installed).
-  bool PrefetchOne(PageId page_id);
+  // One demand-miss read, no latch held: WAL image overlay first, then the
+  // data file, then the integrity trailer. `*from_log` records which source
+  // served the image so completion can re-validate overlay parity.
+  Status ReadMissedPage(PageId page_id, char* out, bool* from_log);
+  // Marks an in-flight entry done and wakes its parked waiters. Call after
+  // releasing the shard latch (the entry must already be erased from the
+  // shard's map, under that latch, by the same completion).
+  static void CompleteInFlight(const std::shared_ptr<InFlight>& entry);
+
+  // Batch read-ahead backing PrefetchPages and the async worker: registers
+  // an in-flight entry per page it will read (resident, already-in-flight,
+  // invalid and unallocated ids are skipped), reads WAL-overlay pages
+  // individually and everything else through one disk ReadBatch submission,
+  // then installs each image unpinned under its shard latch (clean frames
+  // only, residency and overlay parity re-validated). Slots at index >=
+  // `known_prefix` are speculative guesses: their failures are silent
+  // (no prefetch_errors), and a mis-guess that installs an unwanted page
+  // resolves honestly through prefetch_wasted. Returns how many of the
+  // first `known_prefix` ids are resident afterwards.
+  size_t PrefetchBatch(const PageId* ids, size_t n, size_t known_prefix);
   // Like AcquireFrame but refuses dirty victims (prefetch must never write
   // back — that would race the single writer's WAL appends). Latch held.
   bool AcquireCleanFrame(Shard& s, FrameId* out);
-  // Reads the PageId link at `next_offset` of a *resident* page, or returns
-  // kInvalidPageId when the page is not resident.
-  PageId ResidentChainLink(PageId page_id, uint32_t next_offset) const;
+  // Reads the PageId link at `next_offset` of a *resident* page into
+  // `*link`. Returns false (leaving *link untouched) when the page is not
+  // resident — distinct from a resident page whose link is kInvalidPageId.
+  bool ResidentLink(PageId page_id, uint32_t next_offset, PageId* link) const;
   // Background worker: drains prefetch_queue_ until told to stop.
   void PrefetchWorker();
+  // One chain-walk job: follows resident links for free, and at each
+  // non-resident frontier page issues a speculative sequential batch
+  // (bulk-loaded chains are laid out consecutively; a mis-speculation
+  // drops the batch width to 1 for the rest of the job).
+  void ProcessChainJob(const PrefetchJob& job);
 
   DiskInterface* const disk_;
   std::atomic<Wal*> wal_{nullptr};

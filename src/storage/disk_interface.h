@@ -7,6 +7,15 @@
 
 namespace xrtree {
 
+/// One slot of a vectorized multi-page read (DiskInterface::ReadBatch).
+/// Slots carry their own buffer and their own result status, so one bad
+/// page in a batch never poisons its neighbours.
+struct PageReadRequest {
+  PageId page_id = kInvalidPageId;
+  char* out = nullptr;  ///< kPageSize bytes, owned by the caller
+  Status status;        ///< per-slot result, written by ReadBatch
+};
+
 /// The page-transfer contract the BufferPool (and everything above it) is
 /// written against. DiskManager is the real file-backed implementation;
 /// FaultInjectingDisk wraps any DiskInterface to exercise the error paths
@@ -18,6 +27,20 @@ class DiskInterface {
   /// Reads page `page_id` into `out` (kPageSize bytes). Reading a page past
   /// the end of file yields zeros (freshly allocated pages read as empty).
   virtual Status ReadPage(PageId page_id, char* out) = 0;
+
+  /// Vectorized multi-page read: fills every slot's buffer and status.
+  /// Semantics per slot are exactly ReadPage's (past-EOF pages read as
+  /// zeros); a failing slot never affects the others. The base
+  /// implementation is a plain loop; DiskManager overrides it to issue one
+  /// positional vector read (one submission) per run of consecutive page
+  /// ids, and FaultInjectingDisk overrides it so each slot rolls the fault
+  /// dice independently. Callers with a chain of sibling pages to read
+  /// should prefer this over N ReadPage round-trips.
+  virtual void ReadBatch(PageReadRequest* requests, size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      requests[i].status = ReadPage(requests[i].page_id, requests[i].out);
+    }
+  }
 
   /// Writes kPageSize bytes from `in` to page `page_id`.
   virtual Status WritePage(PageId page_id, const char* in) = 0;

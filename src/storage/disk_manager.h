@@ -68,6 +68,15 @@ class DiskManager final : public DiskInterface {
   /// the end of file returns zeros (freshly allocated pages read as empty).
   Status ReadPage(PageId page_id, char* out) override;
 
+  /// Vectorized multi-page read. Consecutive-page-id runs in the request
+  /// array are issued as a single positional vector read (preadv) and
+  /// charged one simulated-latency quantum — modelling one device
+  /// submission serving the whole run — so reading a bulk-loaded leaf
+  /// chain of N sibling pages costs ~1 seek instead of N. Non-contiguous
+  /// ids fall back to per-page reads. Each slot gets its own status;
+  /// `read_batches` in stats() counts the submissions.
+  void ReadBatch(PageReadRequest* requests, size_t n) override;
+
   /// Writes kPageSize bytes from `in` to page `page_id`.
   Status WritePage(PageId page_id, const char* in) override;
 
@@ -94,6 +103,10 @@ class DiskManager final : public DiskInterface {
 
  private:
   void ChargeLatency() const;
+
+  /// Reads `run` pages with consecutive ids (requests[0].page_id + i) via
+  /// one preadv submission; fills every slot's status.
+  void ReadRun(PageReadRequest* requests, size_t run);
 
   int fd_ = -1;
   std::string path_;

@@ -162,6 +162,12 @@ Status FaultInjectingDisk::ReadPage(PageId page_id, char* out) {
   return Status::Ok();
 }
 
+void FaultInjectingDisk::ReadBatch(PageReadRequest* requests, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    requests[i].status = ReadPage(requests[i].page_id, requests[i].out);
+  }
+}
+
 Status FaultInjectingDisk::WritePage(PageId page_id, const char* in) {
   Fault fault{};
   bool fired;

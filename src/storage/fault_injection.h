@@ -151,6 +151,12 @@ class FaultInjectingDisk : public DiskInterface {
   uint64_t faults_injected() const;
 
   Status ReadPage(PageId page_id, char* out) override;
+  /// Each slot goes through this disk's ReadPage, so each rolls the fault
+  /// dice (scheduled and sustained) independently and bumps the read op
+  /// counter — a batch of N pages is N chances to fail, exactly like N
+  /// demand reads. Vectorization is a base-disk optimization the fault
+  /// layer deliberately forgoes: fault coverage beats batching here.
+  void ReadBatch(PageReadRequest* requests, size_t n) override;
   Status WritePage(PageId page_id, const char* in) override;
   PageId AllocatePage() override { return base_->AllocatePage(); }
   PageId num_pages() const override { return base_->num_pages(); }

@@ -21,6 +21,11 @@ namespace xrtree {
 struct IoStats {
   uint64_t disk_reads = 0;     ///< physical page reads issued to the file
   uint64_t disk_writes = 0;    ///< physical page writes issued to the file
+  /// Vectorized submissions (DiskInterface::ReadBatch): one per contiguous
+  /// run of page ids handed to the device in a single positional vector
+  /// read. `disk_reads` still counts every page, so
+  /// disk_reads / read_batches is the achieved batching factor.
+  uint64_t read_batches = 0;
   uint64_t buffer_hits = 0;    ///< FetchPage satisfied from the pool
   uint64_t buffer_misses = 0;  ///< FetchPage requiring a disk read
   uint64_t pages_allocated = 0;
@@ -56,6 +61,7 @@ struct IoStats {
     IoStats d;
     d.disk_reads = sat(disk_reads, rhs.disk_reads);
     d.disk_writes = sat(disk_writes, rhs.disk_writes);
+    d.read_batches = sat(read_batches, rhs.read_batches);
     d.buffer_hits = sat(buffer_hits, rhs.buffer_hits);
     d.buffer_misses = sat(buffer_misses, rhs.buffer_misses);
     d.pages_allocated = sat(pages_allocated, rhs.pages_allocated);
@@ -76,6 +82,7 @@ struct IoStats {
   IoStats& operator+=(const IoStats& rhs) {
     disk_reads += rhs.disk_reads;
     disk_writes += rhs.disk_writes;
+    read_batches += rhs.read_batches;
     buffer_hits += rhs.buffer_hits;
     buffer_misses += rhs.buffer_misses;
     pages_allocated += rhs.pages_allocated;
@@ -100,6 +107,9 @@ struct IoStats {
                     " hits=" + std::to_string(buffer_hits) +
                     " misses=" + std::to_string(buffer_misses) +
                     " alloc=" + std::to_string(pages_allocated);
+    if (read_batches > 0) {
+      s += " read_batches=" + std::to_string(read_batches);
+    }
     if (pool_exhausted_waits > 0) {
       s += " exhausted_waits=" + std::to_string(pool_exhausted_waits);
     }
@@ -133,6 +143,7 @@ struct IoStats {
 struct AtomicIoStats {
   std::atomic<uint64_t> disk_reads{0};
   std::atomic<uint64_t> disk_writes{0};
+  std::atomic<uint64_t> read_batches{0};
   std::atomic<uint64_t> buffer_hits{0};
   std::atomic<uint64_t> buffer_misses{0};
   std::atomic<uint64_t> pages_allocated{0};
@@ -151,6 +162,7 @@ struct AtomicIoStats {
     IoStats s;
     s.disk_reads = disk_reads.load(std::memory_order_relaxed);
     s.disk_writes = disk_writes.load(std::memory_order_relaxed);
+    s.read_batches = read_batches.load(std::memory_order_relaxed);
     s.buffer_hits = buffer_hits.load(std::memory_order_relaxed);
     s.buffer_misses = buffer_misses.load(std::memory_order_relaxed);
     s.pages_allocated = pages_allocated.load(std::memory_order_relaxed);
@@ -171,6 +183,7 @@ struct AtomicIoStats {
   void Reset() {
     disk_reads.store(0, std::memory_order_relaxed);
     disk_writes.store(0, std::memory_order_relaxed);
+    read_batches.store(0, std::memory_order_relaxed);
     buffer_hits.store(0, std::memory_order_relaxed);
     buffer_misses.store(0, std::memory_order_relaxed);
     pages_allocated.store(0, std::memory_order_relaxed);

@@ -92,6 +92,11 @@ class Page {
  private:
   friend class BufferPool;
 
+  // Every path that returns a frame to a free list (or re-targets it to a
+  // new page id) must Reset() it first. Clearing `prefetched_` here is part
+  // of the prefetch accounting contract: stale provenance on a recycled
+  // frame would mis-credit prefetch_hits to the frame's next occupant. The
+  // buffer pool asserts this invariant when popping free-list frames.
   void Reset() {
     std::memset(data_, 0, kPageSize);
     page_id_ = kInvalidPageId;

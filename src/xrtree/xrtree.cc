@@ -129,6 +129,34 @@ Result<PageId> XrTree::FindLeaf(Position key,
   return Status::Corruption("xrtree: descent did not reach a leaf");
 }
 
+Result<std::vector<PageId>> XrTree::LeafRunAfter(Position key,
+                                                 size_t max_run) const {
+  std::vector<PageId> run;
+  if (root_ == kInvalidPageId || max_run == 0) return run;
+  PageId cur = root_;
+  for (int depth = 0; depth < kMaxTreeDepth; ++depth) {
+    XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(cur));
+    PageGuard page(pool_, raw);
+    const auto* hdr = XrHeader(raw);
+    if (hdr->magic != kXrLeafMagic && hdr->magic != kXrInternalMagic) {
+      return Status::Corruption("xrtree: descent hit a foreign page");
+    }
+    if (hdr->is_leaf) return run;
+    uint32_t slot = XrChildSlot(raw, key);
+    // Record the children after the taken slot at every level; when the
+    // descent bottoms out, the last recording is the leaf's sibling run.
+    // (An internal node with `count` keys has `count + 1` children, at
+    // child slots 0..count.)
+    run.clear();
+    for (uint32_t next = slot + 1;
+         next <= hdr->count && run.size() < max_run; ++next) {
+      run.push_back(XrChildAt(raw, next));
+    }
+    cur = XrChildAt(raw, slot);
+  }
+  return Status::Corruption("xrtree: descent did not reach a leaf");
+}
+
 Result<std::vector<StabEntry>> XrTree::ReadNodeStab(const Page* node) const {
   const auto* hdr = XrHeader(node);
   StabList list(pool_, hdr->stab_head, hdr->ps_dir, use_ps_dir_);

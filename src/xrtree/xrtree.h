@@ -133,6 +133,18 @@ class XrTree {
   /// reader-concurrent like the other queries.
   Result<std::vector<Position>> PartitionKeys(size_t max_keys) const;
 
+  /// Up to `max_run` leaf page ids that follow the leaf containing `key`
+  /// in leaf-chain order, read off the parent internal node during one
+  /// root-to-leaf descent — no leaf I/O. This is the iterator's precise
+  /// prefetch lookahead: internal entries carry their child page ids, so
+  /// the sibling run is known exactly and can be handed to
+  /// BufferPool::PrefetchBatchAsync as one vectorized submission instead
+  /// of a pointer chase. Returns an empty run when the leaf is the last
+  /// child of its parent (the caller falls back to chain prefetch, which
+  /// crosses parent boundaries via the leaf `next` links). Const and
+  /// reader-concurrent like the other queries.
+  Result<std::vector<PageId>> LeafRunAfter(Position key, size_t max_run) const;
+
   /// Deep validation of every structural and stab invariant (B+ shape,
   /// topmost-node rule, smallest-key tagging, PSL nesting, (ps,pe)
   /// summaries, InStabList flags, ps-directory correctness). O(N log N);

@@ -95,8 +95,24 @@ void XrIterator::EnablePrefetch(uint32_t depth) {
 
 void XrIterator::MaybePrefetch() {
   if (prefetch_depth_ == 0 || !Valid()) return;
-  PageId next = XrHeader(leaf_.get())->next;
+  const auto* hdr = XrHeader(leaf_.get());
+  PageId next = hdr->next;
   if (next == kInvalidPageId) return;
+  // Precise lookahead first: one descent through the (hot, resident) upper
+  // levels reads the sibling leaf ids off the parent internal node, so the
+  // whole run goes to the prefetcher as one vectorized batch instead of a
+  // page-at-a-time pointer chase. The descent key is this leaf's largest
+  // start, which lands the probe back on this leaf.
+  if (hdr->count > 0) {
+    Position last = XrLeafSlots(leaf_.get())[hdr->count - 1].start;
+    auto run = tree_->LeafRunAfter(last, prefetch_depth_);
+    // The run must start at our chain successor; a mismatch (or an empty
+    // run — last child of its parent) falls through to chain prefetch.
+    if (run.ok() && !run->empty() && run->front() == next) {
+      tree_->pool()->PrefetchBatchAsync(std::move(*run));
+      return;
+    }
+  }
   tree_->pool()->PrefetchChainAsync(
       next, prefetch_depth_,
       static_cast<uint32_t>(offsetof(XrPageHeader, next)));

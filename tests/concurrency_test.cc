@@ -6,11 +6,15 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -26,6 +30,7 @@
 #include "storage/disk_manager.h"
 #include "storage/element_file.h"
 #include "storage/fault_injection.h"
+#include "storage/wal.h"
 #include "tests/test_util.h"
 #include "workload/datasets.h"
 #include "xrtree/xrtree.h"
@@ -49,6 +54,293 @@ std::vector<PageId> WritePatternPages(BufferPool* pool, size_t count) {
   }
   XR_CHECK_OK(pool->FlushAll());
   return ids;
+}
+
+// ---------------------------------------------------------------------------
+// Single-flight demand misses (the in-flight table, DESIGN.md §12)
+// ---------------------------------------------------------------------------
+
+/// DiskInterface decorator that counts physical reads per page and can
+/// freeze the read of one target page until released — the probe for the
+/// single-flight tests: park a demand miss mid-I/O, then poke the pool
+/// from other threads while the read is provably in flight.
+class GateDisk final : public DiskInterface {
+ public:
+  explicit GateDisk(DiskInterface* base) : base_(base) {}
+
+  /// Arms the gate: the next read of `id` blocks until Release().
+  void GatePage(PageId id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    gated_ = id;
+    gate_open_ = false;
+    reader_waiting_ = false;
+  }
+
+  /// Blocks until a reader is parked at the gate.
+  void AwaitReader() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return reader_waiting_; });
+  }
+
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      gate_open_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  uint64_t reads_of(PageId id) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = reads_.find(id);
+    return it == reads_.end() ? 0 : it->second;
+  }
+
+  Status ReadPage(PageId page_id, char* out) override {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      ++reads_[page_id];
+      if (page_id == gated_ && !gate_open_) {
+        reader_waiting_ = true;
+        cv_.notify_all();
+        cv_.wait(lock, [&] { return gate_open_; });
+      }
+    }
+    return base_->ReadPage(page_id, out);
+  }
+  // The inherited ReadBatch loops over this->ReadPage, so gating and
+  // per-page counting apply to batched reads too.
+  Status WritePage(PageId page_id, const char* in) override {
+    return base_->WritePage(page_id, in);
+  }
+  PageId AllocatePage() override { return base_->AllocatePage(); }
+  PageId num_pages() const override { return base_->num_pages(); }
+  Status Sync() override { return base_->Sync(); }
+  IoStats stats() const override { return base_->stats(); }
+  void ResetStats() override { base_->ResetStats(); }
+
+ private:
+  DiskInterface* const base_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::unordered_map<PageId, uint64_t> reads_;
+  PageId gated_ = kInvalidPageId;
+  bool gate_open_ = true;
+  bool reader_waiting_ = false;
+};
+
+/// Temp file + DiskManager + GateDisk + BufferPool.
+class GatedDb {
+ public:
+  explicit GatedDb(size_t pool_pages = 64, size_t shard_count = 4) {
+    char tmpl[] = "/tmp/xrtree_gate_XXXXXX";
+    int fd = ::mkstemp(tmpl);
+    if (fd >= 0) ::close(fd);
+    path_ = tmpl;
+    XR_CHECK_OK(disk_.Open(path_));
+    gate_ = std::make_unique<GateDisk>(&disk_);
+    pool_ = std::make_unique<BufferPool>(gate_.get(), pool_pages, shard_count);
+  }
+
+  ~GatedDb() {
+    pool_.reset();
+    gate_.reset();
+    disk_.Close().ok();
+    std::remove(path_.c_str());
+  }
+
+  BufferPool* pool() { return pool_.get(); }
+  GateDisk* gate() { return gate_.get(); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  DiskManager disk_;
+  std::unique_ptr<GateDisk> gate_;
+  std::unique_ptr<BufferPool> pool_;
+};
+
+/// Writes a marker page through the pool and makes it cold again, so the
+/// next fetch is a genuine demand miss.
+PageId ColdMarkerPage(BufferPool* pool, char marker) {
+  auto page = pool->NewPage();
+  XR_CHECK_OK(page.status());
+  PageId id = (*page)->page_id();
+  std::memset((*page)->data(), marker, kPageDataSize);
+  XR_CHECK_OK(pool->UnpinPage(id, true));
+  XR_CHECK_OK(pool->FlushAll());
+  XR_CHECK_OK(pool->DiscardPage(id));
+  return id;
+}
+
+TEST(SingleFlightTest, ConcurrentColdMissesIssueOneRead) {
+  GatedDb db;
+  PageId x = ColdMarkerPage(db.pool(), 'X');
+
+  db.gate()->GatePage(x);
+  IoStats before = db.pool()->stats();
+  constexpr int kThreads = 8;
+  std::atomic<int> correct{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      auto p = db.pool()->FetchPage(x);
+      XR_CHECK_OK(p.status());
+      if ((*p)->data()[0] == 'X') correct.fetch_add(1);
+      XR_CHECK_OK(db.pool()->UnpinPage(x, false));
+    });
+  }
+  // One thread is provably mid-read; the rest park on the in-flight entry
+  // (or hit after the install) — never a second physical read.
+  db.gate()->AwaitReader();
+  db.gate()->Release();
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(correct.load(), kThreads);
+  EXPECT_EQ(db.gate()->reads_of(x), 1u);
+  IoStats delta = db.pool()->stats() - before;
+  EXPECT_EQ(delta.buffer_misses, 1u);  // the leader
+  EXPECT_EQ(delta.buffer_hits, static_cast<uint64_t>(kThreads - 1));
+  EXPECT_EQ(delta.total_page_accesses(), static_cast<uint64_t>(kThreads));
+}
+
+TEST(SingleFlightTest, SameShardOtherPagesProceedDuringMiss) {
+  GatedDb db;
+  PageId x = ColdMarkerPage(db.pool(), 'X');
+  // A second cold page in the same shard as x.
+  PageId y = kInvalidPageId;
+  for (int i = 0; i < 64 && y == kInvalidPageId; ++i) {
+    PageId cand = ColdMarkerPage(db.pool(), 'Y');
+    if (db.pool()->ShardOf(cand) == db.pool()->ShardOf(x)) y = cand;
+  }
+  ASSERT_NE(y, kInvalidPageId) << "no same-shard page found";
+
+  db.gate()->GatePage(x);
+  std::thread fetcher([&] {
+    auto p = db.pool()->FetchPage(x);
+    XR_CHECK_OK(p.status());
+    XR_CHECK_OK(db.pool()->UnpinPage(x, false));
+  });
+  db.gate()->AwaitReader();
+  // x's read is parked inside the disk, holding no latch: a miss on
+  // another page of the same shard must complete while it is in flight.
+  // (Before the in-flight table this deadlocked-by-design: the read ran
+  // under the shard latch and this fetch would block until Release.)
+  auto p = db.pool()->FetchPage(y);
+  ASSERT_OK(p.status());
+  EXPECT_EQ((*p)->data()[0], 'Y');
+  ASSERT_OK(db.pool()->UnpinPage(y, false));
+  db.gate()->Release();
+  fetcher.join();
+}
+
+TEST(SingleFlightTest, RecycledIdInvalidatesInFlightRead) {
+  GatedDb db;
+  PageId x = ColdMarkerPage(db.pool(), 'A');
+
+  db.gate()->GatePage(x);
+  char seen = 0;
+  std::thread fetcher([&] {
+    auto p = db.pool()->FetchPage(x);
+    XR_CHECK_OK(p.status());
+    seen = (*p)->data()[0];
+    XR_CHECK_OK(db.pool()->UnpinPage(x, false));
+  });
+  db.gate()->AwaitReader();
+  // While the read of x's old content is parked in the disk: free the id
+  // and recycle it through NewPage with fresh content. The in-flight
+  // completion must notice the id is resident again and discard its stale
+  // image instead of installing old-world bytes over the new page.
+  ASSERT_OK(db.pool()->FreePage(x));
+  ASSERT_OK_AND_ASSIGN(Page * np, db.pool()->NewPage());
+  ASSERT_EQ(np->page_id(), x) << "free list did not recycle the id";
+  std::memset(np->data(), 'B', kPageDataSize);
+  ASSERT_OK(db.pool()->UnpinPage(x, true));
+  db.gate()->Release();
+  fetcher.join();
+
+  EXPECT_EQ(seen, 'B');
+  EXPECT_EQ(db.gate()->reads_of(x), 1u);  // the stale read, never repeated
+}
+
+TEST(SingleFlightTest, OverlayImageAppearingMidReadWins) {
+  GatedDb db;
+  PageId x = ColdMarkerPage(db.pool(), 'A');
+  Wal wal;
+  ASSERT_OK(wal.Open(db.path() + ".wal"));
+  db.pool()->SetWal(&wal);
+
+  db.gate()->GatePage(x);
+  char seen = 0;
+  std::thread fetcher([&] {
+    auto p = db.pool()->FetchPage(x);
+    XR_CHECK_OK(p.status());
+    seen = (*p)->data()[0];
+    XR_CHECK_OK(db.pool()->UnpinPage(x, false));
+  });
+  db.gate()->AwaitReader();
+  // The fetcher consulted the (empty) overlay and went to the data file,
+  // where it is now parked on x's old content. Log a newer image of x:
+  // at completion the overlay check must flag the data-file read stale
+  // and re-serve from the log.
+  alignas(8) char image[kPageSize] = {};
+  std::memset(image, 'L', kPageDataSize);
+  ASSERT_OK(wal.LogPageImage(x, image));
+  db.gate()->Release();
+  fetcher.join();
+
+  EXPECT_EQ(seen, 'L');
+  EXPECT_EQ(db.gate()->reads_of(x), 1u);  // the log served the retry
+
+  db.pool()->SetWal(nullptr);
+  ASSERT_OK(wal.Close());
+  std::remove((db.path() + ".wal").c_str());
+}
+
+TEST(SingleFlightTest, SuppressedOverlayHoldsAcrossInFlightRecycle) {
+  GatedDb db;
+  Wal wal;
+  ASSERT_OK(wal.Open(db.path() + ".wal"));
+  db.pool()->SetWal(&wal);
+
+  // Give x a committed WAL image with marker 'A', then make it cold and
+  // free it: the image is suppressed and the id sits in the free list.
+  ASSERT_OK_AND_ASSIGN(Page * p0, db.pool()->NewPage());
+  PageId x = p0->page_id();
+  std::memset(p0->data(), 'A', kPageDataSize);
+  ASSERT_OK(db.pool()->UnpinPage(x, true));
+  ASSERT_OK(db.pool()->Commit());
+  ASSERT_OK(db.pool()->DiscardPage(x));
+  ASSERT_OK(db.pool()->FreePage(x));
+
+  // A fetch now bypasses the suppressed image and goes to the data file —
+  // park it there.
+  db.gate()->GatePage(x);
+  char seen = 0;
+  std::thread fetcher([&] {
+    auto p = db.pool()->FetchPage(x);
+    XR_CHECK_OK(p.status());
+    seen = (*p)->data()[0];
+    XR_CHECK_OK(db.pool()->UnpinPage(x, false));
+  });
+  db.gate()->AwaitReader();
+  // Recycle the id mid-read. Whatever the in-flight read returns, the
+  // fetcher must observe the new owner's content — never the suppressed
+  // pre-free image 'A', which is exactly what overlay suppression promises
+  // for recycled ids.
+  ASSERT_OK_AND_ASSIGN(Page * np, db.pool()->NewPage());
+  ASSERT_EQ(np->page_id(), x) << "free list did not recycle the id";
+  std::memset(np->data(), 'B', kPageDataSize);
+  ASSERT_OK(db.pool()->UnpinPage(x, true));
+  db.gate()->Release();
+  fetcher.join();
+
+  EXPECT_EQ(seen, 'B');
+
+  db.pool()->SetWal(nullptr);
+  ASSERT_OK(wal.Close());
+  std::remove((db.path() + ".wal").c_str());
 }
 
 TEST(ShardedPoolTest, ShardLayoutAndPerShardCounters) {

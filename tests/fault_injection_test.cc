@@ -444,6 +444,111 @@ TEST(FaultToleranceTest, CorruptPrefetchIsSkippedNeverServed) {
 }
 
 // ---------------------------------------------------------------------------
+// Miss accounting and the ReadBatch fault matrix
+// ---------------------------------------------------------------------------
+
+TEST(FaultToleranceTest, OneMissPerLogicalFetchUnderTransientFaults) {
+  FaultyDb db;
+  constexpr int kPages = 6;
+  PageId ids[kPages];
+  for (int i = 0; i < kPages; ++i) {
+    ids[i] = WriteAndEvictPatternPage(db.pool(), static_cast<char>(0x30 + i));
+  }
+  // Sprinkle one-shot transient faults over the upcoming demand reads:
+  // retries must burn io_retries, never extra misses.
+  uint64_t base_read = db.faulty()->reads();
+  db.faulty()->TransientFailNthRead(base_read + 1);
+  db.faulty()->TransientFailNthRead(base_read + 3);
+  db.faulty()->TransientFailNthRead(base_read + 6);
+  IoStats before = db.pool()->stats();
+  for (int i = 0; i < kPages; ++i) {
+    ASSERT_OK_AND_ASSIGN(Page * p, db.pool()->FetchPage(ids[i]));
+    PageGuard g(db.pool(), p);
+    EXPECT_EQ(p->data()[0], static_cast<char>(0x30 + i));
+  }
+  IoStats delta = db.pool()->stats() - before;
+  // The invariant the fix restored: every logical fetch is exactly one hit
+  // or one miss, no matter how many physical attempts it took.
+  EXPECT_EQ(delta.buffer_misses, static_cast<uint64_t>(kPages));
+  EXPECT_EQ(delta.buffer_hits, 0u);
+  EXPECT_EQ(delta.total_page_accesses(), static_cast<uint64_t>(kPages));
+  EXPECT_GE(delta.io_retries, 3u);  // the retries are visible, separately
+  // Refetching everything is pure hits: the equation stays balanced.
+  before = db.pool()->stats();
+  for (int i = 0; i < kPages; ++i) {
+    ASSERT_OK_AND_ASSIGN(Page * p, db.pool()->FetchPage(ids[i]));
+    PageGuard g(db.pool(), p);
+  }
+  delta = db.pool()->stats() - before;
+  EXPECT_EQ(delta.buffer_hits, static_cast<uint64_t>(kPages));
+  EXPECT_EQ(delta.buffer_misses, 0u);
+}
+
+TEST(FaultInjectionTest, ReadBatchFaultMatrixFailsSlotsIndependently) {
+  FaultyDb db;
+  constexpr size_t kSlots = 6;
+  PageId ids[kSlots];
+  char want[kSlots][kPageSize];
+  for (size_t i = 0; i < kSlots; ++i) {
+    ids[i] = db.faulty()->AllocatePage();
+    std::memset(want[i], static_cast<char>(0x60 + i), kPageSize);
+    ASSERT_OK(db.faulty()->WritePage(ids[i], want[i]));
+  }
+  // Slot 1 hard-fails, slot 3 fails transiently; each slot rolls its own
+  // dice, so the other four must come back intact.
+  uint64_t base_read = db.faulty()->reads();
+  db.faulty()->FailNthRead(base_read + 2);
+  db.faulty()->TransientFailNthRead(base_read + 4);
+  std::vector<char> bufs(kSlots * kPageSize);
+  PageReadRequest requests[kSlots];
+  for (size_t i = 0; i < kSlots; ++i) {
+    requests[i].page_id = ids[i];
+    requests[i].out = bufs.data() + i * kPageSize;
+  }
+  db.faulty()->ReadBatch(requests, kSlots);
+  for (size_t i = 0; i < kSlots; ++i) {
+    if (i == 1) {
+      EXPECT_TRUE(requests[i].status.IsIoError());
+      EXPECT_FALSE(requests[i].status.IsRetryable());
+    } else if (i == 3) {
+      EXPECT_TRUE(requests[i].status.IsIoError());
+      EXPECT_TRUE(requests[i].status.IsRetryable())
+          << requests[i].status.ToString();
+    } else {
+      ASSERT_TRUE(requests[i].status.ok())
+          << "slot " << i << ": " << requests[i].status.ToString();
+      EXPECT_EQ(std::memcmp(requests[i].out, want[i], kPageSize), 0)
+          << "slot " << i;
+    }
+  }
+  EXPECT_EQ(db.faulty()->faults_injected(), 2u);
+}
+
+TEST(FaultToleranceTest, FailedDemandReadLeavesFrameCleanForPrefetch) {
+  BufferPoolOptions options;
+  options.pool_size = 8;
+  options.io_retry.max_retries = 0;
+  FaultyDb db(options);
+  PageId broken = WriteAndEvictPatternPage(db.pool(), 0x44);
+  PageId healthy = WriteAndEvictPatternPage(db.pool(), 0x45);
+  db.faulty()->TransientFailNthRead(db.faulty()->reads() + 1);
+  ASSERT_FALSE(db.pool()->FetchPage(broken).ok());
+  // The failed fetch Reset() its frame back to the free list. Prefetching
+  // another page may reuse that exact frame; provenance must start clean so
+  // the accounting resolves to exactly one prefetch_hit (the free-list pop
+  // asserts the invariant in debug builds).
+  IoStats before = db.pool()->stats();
+  ASSERT_OK(db.pool()->PrefetchPages(std::vector<PageId>{healthy}));
+  ASSERT_OK_AND_ASSIGN(Page * p, db.pool()->FetchPage(healthy));
+  PageGuard g(db.pool(), p);
+  EXPECT_EQ(p->data()[0], 0x45);
+  IoStats delta = db.pool()->stats() - before;
+  EXPECT_EQ(delta.prefetch_issued, 1u);
+  EXPECT_EQ(delta.prefetch_hits, 1u);
+  EXPECT_EQ(delta.prefetch_wasted, 0u);
+}
+
+// ---------------------------------------------------------------------------
 // Failed-unpin accounting (PageGuard::Release no longer swallows errors)
 // ---------------------------------------------------------------------------
 
