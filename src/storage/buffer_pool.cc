@@ -149,13 +149,22 @@ bool BufferPool::AcquireFrame(Shard& s, FrameId* out, Status* error) {
   return false;  // every frame pinned; caller backs off
 }
 
-size_t BufferPool::PinnedFramesInShard(const Shard& s) {
-  std::lock_guard<std::mutex> lock(s.mu);
-  size_t n = 0;
-  for (const auto& f : s.frames) {
-    if (f->pin_count_ > 0) ++n;
+std::string BufferPool::ExhaustedMessage(size_t shard_index,
+                                         const Shard& s) const {
+  size_t pinned = 0;
+  size_t reserved = 0;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (const auto& f : s.frames) {
+      if (f->pin_count_ > 0) ++pinned;
+    }
+    reserved = s.reserved_frames;
   }
-  return n;
+  return "buffer pool exhausted: every frame of shard " +
+         std::to_string(shard_index) + " unavailable (" +
+         std::to_string(pinned) + " pinned, " + std::to_string(reserved) +
+         " reserved by in-flight reads, " + std::to_string(s.frames.size()) +
+         " frames total)";
 }
 
 RetryState BufferPool::MakeRetryState(const RetryPolicy& policy,
@@ -205,6 +214,18 @@ Result<Page*> BufferPool::FetchPage(PageId page_id) {
   // pass returns DataLoss.
   constexpr int kMaxRepairsPerFetch = 8;
   int repairs = 0;
+  // A stale completed read (the id was recycled or its overlay source
+  // flipped mid-read) consumes no retry budget — staleness means progress
+  // elsewhere, not a fault — but sustained writer churn on one id must not
+  // spin a fetcher forever; the bound is generous because every stale round
+  // requires a whole free/recycle or log-append to land mid-read.
+  constexpr int kMaxStaleRetriesPerFetch = 64;
+  int stale_retries = 0;
+  // Rounds spent parked on another read's completion when the shard looked
+  // exhausted (see the all_pinned branch) — bounded separately from
+  // pin_retry, which only meters frames that are genuinely pinned.
+  constexpr int kMaxReservedWaitsPerFetch = 256;
+  int reserved_waits = 0;
   // One logical fetch counts exactly one of hit/miss, no matter how many
   // loop iterations (retries, repairs, parked waits, stale re-reads) it
   // takes: hits + misses == FetchPage calls, always.
@@ -212,6 +233,7 @@ Result<Page*> BufferPool::FetchPage(PageId page_id) {
   for (;;) {
     FrameId frame = 0;
     std::shared_ptr<InFlight> entry;
+    std::shared_ptr<InFlight> reserved_wait;
     bool leader = false;
     bool all_pinned = false;
     {
@@ -248,25 +270,37 @@ Result<Page*> BufferPool::FetchPage(PageId page_id) {
           // in-flight entry, then drop the latch for the read.
           entry = std::make_shared<InFlight>();
           s.in_flight.emplace(page_id, entry);
+          ++s.reserved_frames;
           leader = true;
         } else if (!error.ok()) {
           return error;  // eviction write-back failed
         } else {
           all_pinned = true;
+          if (s.reserved_frames > 0 && !s.in_flight.empty()) {
+            // At least one unavailable frame is only *reserved* by an
+            // in-flight read, not pinned; it comes back (installed unpinned
+            // or returned to the free list) when that read completes.
+            reserved_wait = s.in_flight.begin()->second;
+          }
         }
       }
     }
     if (all_pinned) {
-      // Every frame of this shard is pinned. Transient under concurrency:
-      // back off and retry until the bound, then surface pool pressure.
+      // Every frame of this shard is unavailable. Transient under
+      // concurrency: back off and retry until the bound, then surface pool
+      // pressure. When part of the unavailability is frames reserved by
+      // in-flight reads, park on a completion instead — those frames
+      // return in bounded time, so burning pin-retry budget against them
+      // would make small shards fail spuriously under read bursts.
       s.exhausted_waits.fetch_add(1, std::memory_order_relaxed);
+      if (reserved_wait && ++reserved_waits <= kMaxReservedWaitsPerFetch) {
+        std::unique_lock<std::mutex> wait_lock(reserved_wait->mu);
+        reserved_wait->cv.wait(wait_lock, [&] { return reserved_wait->done; });
+        continue;
+      }
       uint64_t delay;
       if (!pin_retry.Next(&delay)) {
-        return Status::ResourceExhausted(
-            "buffer pool exhausted: all frames of shard " +
-            std::to_string(shard_index) + " pinned (" +
-            std::to_string(PinnedFramesInShard(s)) + "/" +
-            std::to_string(s.frames.size()) + " frames)");
+        return Status::ResourceExhausted(ExhaustedMessage(shard_index, s));
       }
       BackoffSleep(delay);
       continue;
@@ -294,6 +328,7 @@ Result<Page*> BufferPool::FetchPage(PageId page_id) {
     {
       std::lock_guard<std::mutex> lock(s.mu);
       s.in_flight.erase(page_id);
+      --s.reserved_frames;
       Wal* wal = wal_.load(std::memory_order_acquire);
       bool overlay_now = wal != nullptr && wal->HasImage(page_id);
       stale = s.page_table.find(page_id) != s.page_table.end() ||
@@ -312,7 +347,15 @@ Result<Page*> BufferPool::FetchPage(PageId page_id) {
       }
     }
     CompleteInFlight(entry);
-    if (stale) continue;
+    if (stale) {
+      if (++stale_retries > kMaxStaleRetriesPerFetch) {
+        return Status::Aborted(
+            "FetchPage: page " + std::to_string(page_id) +
+            " kept being recycled or re-logged mid-read (" +
+            std::to_string(stale_retries - 1) + " stale images discarded)");
+      }
+      continue;
+    }
     if (read.ok()) return page;
     if (read.IsRetryable()) {
       uint64_t delay;
@@ -435,7 +478,45 @@ Result<Page*> BufferPool::NewPage() {
       std::lock_guard<std::mutex> lock(s.mu);
       FrameId frame;
       Status error;
-      if (AcquireFrame(s, &frame, &error)) {
+      bool have = false;
+      // Re-validate residency inside the install critical section. Between
+      // id selection above (which drops the latch; fresh ids are never
+      // checked at all) and this latch hold, a racing read of the same id
+      // can have installed a frame: speculative chain prefetch legitimately
+      // touches freed and just-allocated ids, and the all-zero image of a
+      // never-written page passes the trailer check. Installing blindly on
+      // top would overwrite the page-table mapping and orphan that frame
+      // in the LRU — its later eviction would erase the mapping of *this*
+      // live frame, making the new page unflushable (lost write). Reclaim
+      // the racing frame in place instead. A read still in flight needs no
+      // handling here: its completion re-validates residency under this
+      // same latch and discards the image once we are installed.
+      auto it = s.page_table.find(page_id);
+      if (it != s.page_table.end()) {
+        Page* resident = s.frames[it->second].get();
+        if (resident->pin_count_ == 0) {
+          frame = it->second;
+          if (resident->prefetched_) {
+            s.prefetch_wasted.fetch_add(1, std::memory_order_relaxed);
+          }
+          s.page_table.erase(it);
+          auto pos = s.lru_pos.find(frame);
+          if (pos != s.lru_pos.end()) {
+            s.lru.erase(pos->second);
+            s.lru_pos.erase(pos);
+          }
+          resident->Reset();
+          have = true;
+        }
+        // Pinned resident frame: a racing fetcher still holds the
+        // superseded install; treated like a fully pinned shard — back
+        // off below until the pin drops.
+      } else if (AcquireFrame(s, &frame, &error)) {
+        have = true;
+      } else if (!error.ok()) {
+        return error;
+      }
+      if (have) {
         if (recycled) {
           // The log may still hold an image of the id's previous life; a
           // miss must never serve that stale content (see FreePage).
@@ -451,7 +532,6 @@ Result<Page*> BufferPool::NewPage() {
         TouchLru(s, frame);
         return page;
       }
-      if (!error.ok()) return error;
     }
     s.exhausted_waits.fetch_add(1, std::memory_order_relaxed);
     uint64_t delay;
@@ -467,11 +547,7 @@ Result<Page*> BufferPool::NewPage() {
       free_pages_.push_back(page_id);
     }
   }
-  return Status::ResourceExhausted(
-      "buffer pool exhausted: all frames of shard " +
-      std::to_string(shard_index) + " pinned (" +
-      std::to_string(PinnedFramesInShard(s)) + "/" +
-      std::to_string(s.frames.size()) + " frames)");
+  return Status::ResourceExhausted(ExhaustedMessage(shard_index, s));
 }
 
 bool BufferPool::AcquireCleanFrame(Shard& s, FrameId* out) {

@@ -277,6 +277,11 @@ class BufferPool {
     /// prefetches alike. Holders keep shared_ptr copies so an entry stays
     /// valid for parked waiters after the reader erases it from the map.
     std::unordered_map<PageId, std::shared_ptr<InFlight>> in_flight;
+    /// Frames reserved by in-flight demand reads: unpinned, but in neither
+    /// page_table, lru, nor free_frames until the read completes. Counted
+    /// so pool-exhaustion handling can tell "pinned forever until someone
+    /// unpins" apart from "returns when the read lands" (guarded by mu).
+    size_t reserved_frames = 0;
 
     std::atomic<uint64_t> hits{0};
     std::atomic<uint64_t> misses{0};
@@ -312,9 +317,10 @@ class BufferPool {
   // write-back failed. Latch held.
   bool AcquireFrame(Shard& s, FrameId* out, Status* error);
 
-  // Count of pinned frames in one shard (takes the shard latch). Used for
-  // the pool-exhausted diagnostics.
-  static size_t PinnedFramesInShard(const Shard& s);
+  // Builds the ResourceExhausted message for a shard whose every frame is
+  // unavailable, with a pinned-frame and reserved-frame census (takes the
+  // shard latch; call without it held).
+  std::string ExhaustedMessage(size_t shard_index, const Shard& s) const;
 
   // Fresh RetryState for one fetch/new-page operation; the seed mixes the
   // configured base, the page id and a per-operation sequence number so

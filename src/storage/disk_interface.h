@@ -30,7 +30,10 @@ class DiskInterface {
 
   /// Vectorized multi-page read: fills every slot's buffer and status.
   /// Semantics per slot are exactly ReadPage's (past-EOF pages read as
-  /// zeros); a failing slot never affects the others. The base
+  /// zeros); a failing slot never affects the others — in particular, an
+  /// implementation that transfers several slots in one submission must
+  /// still report Ok for slots whose pages were fully transferred before
+  /// a mid-submission error. The base
   /// implementation is a plain loop; DiskManager overrides it to issue one
   /// positional vector read (one submission) per run of consecutive page
   /// ids, and FaultInjectingDisk overrides it so each slot rolls the fault

@@ -176,7 +176,17 @@ void DiskManager::ReadRun(PageReadRequest* requests, size_t run) {
                              "preadv: " + std::string(std::strerror(errno)))
                        : Status::IoError("preadv: " +
                                          std::string(std::strerror(errno)));
-      for (size_t i = 0; i < run; ++i) requests[i].status = err;
+      // A failing slot never affects the others (the ReadBatch contract):
+      // slots whose pages were fully transferred before the error keep
+      // their complete buffers and report Ok; the slot the error landed in
+      // (possibly torn) and everything after it report the error.
+      size_t complete = got / kPageSize;
+      for (size_t i = 0; i < complete; ++i) requests[i].status = Status::Ok();
+      for (size_t i = complete; i < run; ++i) requests[i].status = err;
+      if (complete > 0) {
+        stats_.disk_reads.fetch_add(complete, std::memory_order_relaxed);
+        stats_.read_batches.fetch_add(1, std::memory_order_relaxed);
+      }
       return;
     }
     if (rd == 0) break;  // end of file

@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
@@ -341,6 +342,107 @@ TEST(SingleFlightTest, SuppressedOverlayHoldsAcrossInFlightRecycle) {
   db.pool()->SetWal(nullptr);
   ASSERT_OK(wal.Close());
   std::remove((db.path() + ".wal").c_str());
+}
+
+// The reverse ordering of RecycledIdInvalidatesInFlightRead: there the
+// allocation installs first and the completing read discards its stale
+// image; here the read completes and installs FIRST, and NewPage must
+// notice the freshly installed frame and reclaim it in place. Installing
+// blindly would orphan the first frame in the LRU under the same page id —
+// its eventual eviction would unmap the live allocation, making it
+// unflushable (lost write) and its unpin fail.
+TEST(SingleFlightTest, NewPageReclaimsRacingPrefetchInstall) {
+  char tmpl[] = "/tmp/xrtree_gate_XXXXXX";
+  int tfd = ::mkstemp(tmpl);
+  if (tfd >= 0) ::close(tfd);
+  std::string path = tmpl;
+  DiskManager disk;
+  XR_CHECK_OK(disk.Open(path));
+  GateDisk gate(&disk);
+  BufferPoolOptions opts;
+  opts.pool_size = 8;
+  opts.shard_count = 1;
+  // Wide poll interval and a deep budget: the allocator thread below must
+  // sleep across the staged prefetch install, not give up or busy-poll
+  // through the window.
+  opts.pin_retry = RetryPolicy{/*max_retries=*/100000, /*yield_retries=*/0,
+                               /*initial_delay_us=*/2000,
+                               /*max_delay_us=*/2000, /*deadline_us=*/0};
+  {
+    BufferPool pool(&gate, opts);
+
+    // Spare cold ids for the eviction cycling at the end.
+    std::vector<PageId> spares = WritePatternPages(&pool, 8);
+    PageId x = ColdMarkerPage(&pool, 'A');
+
+    // Pin every frame, then flush so any of them is a clean install target.
+    std::vector<Page*> held;
+    for (int i = 0; i < 8; ++i) {
+      auto p = pool.NewPage();
+      ASSERT_OK(p.status());
+      held.push_back(*p);
+    }
+    ASSERT_OK(pool.FlushAll());
+
+    // Free x only now, so the held allocations above could not recycle it:
+    // the next NewPage must draw exactly this id from the free list.
+    ASSERT_OK(pool.FreePage(x));
+
+    // Park a speculative read of the freed id inside the disk (the
+    // prefetch registers its in-flight entry first, then blocks).
+    gate.GatePage(x);
+    std::thread prefetcher([&] { XR_CHECK_OK(pool.PrefetchPages(&x, 1)); });
+    gate.AwaitReader();
+
+    // NewPage recycles x, passes the free-list residency check (x is not
+    // resident yet), finds every frame pinned, and parks in backoff.
+    Page* np = nullptr;
+    std::thread allocator([&] {
+      auto p = pool.NewPage();
+      XR_CHECK_OK(p.status());
+      np = *p;
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+    // Unpin two clean frames and release the gate: the prefetch install
+    // takes the LRU-most of the two, so when the allocator next wakes, x
+    // is already resident with its stale pre-free image. (A blind install
+    // would pick the *other* unpinned frame as its victim and orphan the
+    // prefetched one.)
+    ASSERT_OK(pool.UnpinPage(held[2]->page_id(), false));
+    ASSERT_OK(pool.UnpinPage(held[4]->page_id(), false));
+    gate.Release();
+    prefetcher.join();
+    allocator.join();
+
+    ASSERT_NE(np, nullptr);
+    ASSERT_EQ(np->page_id(), x) << "free list did not recycle the id";
+    std::memset(np->data(), 'B', kPageDataSize);
+
+    // Exactly one frame may map x now. Evict every unpinned frame (seven
+    // of them) while x stays pinned: an orphaned duplicate would be
+    // evicted in this cycle and erase the live frame's mapping.
+    for (size_t i = 0; i < held.size(); ++i) {
+      if (i == 2 || i == 4) continue;
+      ASSERT_OK(pool.UnpinPage(held[i]->page_id(), false));
+    }
+    for (size_t i = 0; i < 7; ++i) {
+      auto p = pool.FetchPage(spares[i]);
+      ASSERT_OK(p.status());
+      ASSERT_OK(pool.UnpinPage(spares[i], false));
+    }
+
+    // The live frame must still be mapped, flushable, and hold the write.
+    ASSERT_OK(pool.UnpinPage(x, true));
+    ASSERT_OK(pool.FlushPage(x));
+    ASSERT_OK(pool.DiscardPage(x));
+    auto back = pool.FetchPage(x);
+    ASSERT_OK(back.status());
+    EXPECT_EQ((*back)->data()[0], 'B');
+    ASSERT_OK(pool.UnpinPage(x, false));
+  }
+  disk.Close().ok();
+  std::remove(path.c_str());
 }
 
 TEST(ShardedPoolTest, ShardLayoutAndPerShardCounters) {
