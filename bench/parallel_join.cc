@@ -61,7 +61,11 @@ struct RoundResult {
   double speedup = 0;
   uint64_t pairs = 0;
   uint64_t buffer_misses = 0;
+  uint64_t disk_reads = 0;
   uint64_t read_batches = 0;
+  /// disk_reads / read_batches: pages the device served per vectorized
+  /// submission this round — the async layer's batching factor.
+  double mean_batch_width = 0;
   uint64_t prefetch_issued = 0;
   uint64_t prefetch_hits = 0;
   uint64_t prefetch_wasted = 0;
@@ -145,9 +149,9 @@ int main(int argc, char** argv) {
   for (uint64_t t = 1; t <= max_threads; t *= 2) thread_counts.push_back(t);
   if (thread_counts.back() != max_threads) thread_counts.push_back(max_threads);
 
-  std::printf("\n%8s %9s %9s %9s %10s %9s %9s %9s\n", "threads", "prefetch",
-              "seconds", "speedup", "misses", "pf_issue", "pf_hit",
-              "pf_waste");
+  std::printf("\n%8s %9s %9s %9s %10s %9s %9s %9s %9s\n", "threads",
+              "prefetch", "seconds", "speedup", "misses", "batch_w", "pf_issue",
+              "pf_hit", "pf_waste");
 
   std::vector<RoundResult> rounds;
   double base_seconds = 0;
@@ -178,7 +182,12 @@ int main(int argc, char** argv) {
       r.speedup = base_seconds / r.seconds;
       r.pairs = out.stats.output_pairs;
       r.buffer_misses = io.buffer_misses;
+      r.disk_reads = io.disk_reads;
       r.read_batches = io.read_batches;
+      r.mean_batch_width =
+          io.read_batches > 0
+              ? static_cast<double>(io.disk_reads) / io.read_batches
+              : 0.0;
       r.prefetch_issued = io.prefetch_issued;
       r.prefetch_hits = io.prefetch_hits;
       r.prefetch_wasted = io.prefetch_wasted;
@@ -186,10 +195,10 @@ int main(int argc, char** argv) {
       all_ok = all_ok && r.pairs_ok;
       rounds.push_back(r);
 
-      std::printf("%8llu %9llu %9.2f %8.2fx %10llu %9llu %9llu %9llu%s\n",
+      std::printf("%8llu %9llu %9.2f %8.2fx %10llu %9.2f %9llu %9llu %9llu%s\n",
                   (unsigned long long)threads, (unsigned long long)pf,
                   r.seconds, r.speedup, (unsigned long long)r.buffer_misses,
-                  (unsigned long long)r.prefetch_issued,
+                  r.mean_batch_width, (unsigned long long)r.prefetch_issued,
                   (unsigned long long)r.prefetch_hits,
                   (unsigned long long)r.prefetch_wasted,
                   r.pairs_ok ? "" : "  PAIR-COUNT MISMATCH");
@@ -206,7 +215,9 @@ int main(int argc, char** argv) {
       o.Set("speedup", r.speedup);
       o.Set("pairs", r.pairs);
       o.Set("buffer_misses", r.buffer_misses);
+      o.Set("disk_reads", r.disk_reads);
       o.Set("read_batches", r.read_batches);
+      o.Set("mean_batch_width", r.mean_batch_width);
       o.Set("prefetch_issued", r.prefetch_issued);
       o.Set("prefetch_hits", r.prefetch_hits);
       o.Set("prefetch_wasted", r.prefetch_wasted);

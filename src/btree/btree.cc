@@ -759,13 +759,16 @@ Result<uint32_t> BTree::Height() const {
   if (root_ == kInvalidPageId) return static_cast<uint32_t>(0);
   uint32_t h = 1;
   PageId cur = root_;
-  while (true) {
+  // Bound the walk like FindLeaf: a leftmost pointer that escaped into a
+  // cycle must surface as Corruption, not an infinite loop.
+  for (int depth = 0; depth < kMaxTreeDepth; ++depth) {
     XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(cur));
     PageGuard page(pool_, raw);
     if (BTreeHeader(raw)->is_leaf) return h;
     cur = BTreeHeader(raw)->leftmost;
     ++h;
   }
+  return Status::Corruption("btree: height walk did not reach a leaf");
 }
 
 Result<uint64_t> BTree::CountPages() const {

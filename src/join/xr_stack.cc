@@ -48,6 +48,17 @@ Result<JoinOutput> XrStackJoinRange(const XrTree& ancestors,
       lo == 0 ? descendants.Begin() : descendants.UpperBound(lo));
   if (options.prefetch_depth > 0) itd.EnablePrefetch(options.prefetch_depth);
 
+  // Ancestor-side read-ahead. The FindAncestors probes walk the ancestor
+  // leaves strictly left to right, so whenever the probe frontier crosses
+  // into the last leaf covered by the previous read-ahead run, one
+  // root-to-leaf descent (LeafRunAfter) yields the next run of sibling
+  // leaf ids as a single vectorized submission, plus the separator key at
+  // which that run's last leaf begins — the next re-arm point. Detached
+  // async submission means the join thread never waits on these reads;
+  // the probes' S2 scans find the pages resident (or in flight).
+  // pf_arm_at == 0 arms on the first probe.
+  Position pf_arm_at = 0;
+
   // Floor for FindAncestors probes (§5.2 variation): every ancestor of the
   // current descendant with start below max(stack top, previous probe
   // position) is provably already on the stack — it was an ancestor of the
@@ -92,6 +103,20 @@ Result<JoinOutput> XrStackJoinRange(const XrTree& ancestors,
       Position min_start = options.disable_probe_floor
                                ? 0
                                : std::max(stack_floor, probe_floor);
+      if (options.prefetch_depth > 0 && cur_a != kNilPosition &&
+          cur_a >= pf_arm_at) {
+        Position resume = kNilPosition;
+        auto run = ancestors.LeafRunAfter(cur_a, options.prefetch_depth,
+                                          &resume);
+        if (run.ok() && !run->empty()) {
+          ancestors.pool()->PrefetchBatchAsync(std::move(*run));
+        }
+        // When the run is empty (last child of its parent) or the resume
+        // key does not advance, back off to re-arming on the next probe
+        // past cur_a rather than every probe.
+        pf_arm_at =
+            (resume != kNilPosition && resume > cur_a) ? resume : cur_a + 1;
+      }
       Position next_a = kNilPosition;
       XR_ASSIGN_OR_RETURN(ElementList ad,
                           ancestors.FindAncestorsAbove(

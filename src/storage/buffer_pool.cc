@@ -58,7 +58,16 @@ BufferPool::BufferPool(DiskInterface* disk, const BufferPoolOptions& options)
       shard->frames.push_back(std::make_unique<Page>());
       shard->free_frames.push_back(n - 1 - f);  // pop_back yields frame 0
     }
+    shard->base_frames = n;
+    shard->owned_frames = n;
     shards_.push_back(std::move(shard));
+  }
+  if (options_.async_workers > 0) {
+    AsyncDiskOptions aopts;
+    aopts.workers = options_.async_workers;
+    aopts.queue_depth =
+        options_.async_queue_depth > 0 ? options_.async_queue_depth : 1;
+    async_ = std::make_unique<AsyncDisk>(disk_, aopts);
   }
 }
 
@@ -71,22 +80,35 @@ BufferPool::~BufferPool() {
   }
   prefetch_cv_.notify_all();
   if (prefetch_thread_.joinable()) prefetch_thread_.join();
+  // With the prefetch thread gone there are no submitters left; draining
+  // and joining the async workers here guarantees no completion can touch
+  // shard state once teardown proceeds to the flush.
+  async_.reset();
   FlushAll().ok();
 }
 
-void BufferPool::TouchLru(Shard& s, FrameId frame) {
-  auto it = s.lru_pos.find(frame);
-  if (it != s.lru_pos.end()) s.lru.erase(it->second);
-  s.lru.push_back(frame);
-  s.lru_pos[frame] = std::prev(s.lru.end());
-}
-
-bool BufferPool::FindVictim(Shard& s, FrameId* out) {
-  for (FrameId frame : s.lru) {
-    if (s.frames[frame]->pin_count_ == 0) {
-      *out = frame;
-      return true;
+bool BufferPool::FindVictim(Shard& s, FrameId* out, bool clean_only) {
+  const size_t n = s.frames.size();
+  if (n == 0) return false;
+  s.clock_sweeps.fetch_add(1, std::memory_order_relaxed);
+  // Up to two revolutions: the first pass may spend every set reference
+  // bit, the second then lands on a victim — unless every slot is empty
+  // (stolen), free/reserved, pinned, or (for clean_only) dirty.
+  for (size_t scanned = 0; scanned < 2 * n; ++scanned) {
+    if (s.clock_hand >= n) s.clock_hand = 0;
+    const FrameId f = s.clock_hand;
+    s.clock_hand = (s.clock_hand + 1) % n;
+    Page* page = s.frames[f].get();
+    if (page == nullptr) continue;                   // stolen slot
+    if (page->page_id_ == kInvalidPageId) continue;  // free or reserved
+    if (page->pin_count_ != 0) continue;
+    if (clean_only && page->is_dirty_) continue;
+    if (page->ref_) {
+      page->ref_ = false;  // second chance
+      continue;
     }
+    *out = f;
+    return true;
   }
   return false;
 }
@@ -116,11 +138,6 @@ Status BufferPool::EvictFrame(Shard& s, FrameId frame) {
     s.prefetch_wasted.fetch_add(1, std::memory_order_relaxed);
   }
   s.page_table.erase(page->page_id_);
-  auto it = s.lru_pos.find(frame);
-  if (it != s.lru_pos.end()) {
-    s.lru.erase(it->second);
-    s.lru_pos.erase(it);
-  }
   page->Reset();
   return Status::Ok();
 }
@@ -153,18 +170,71 @@ std::string BufferPool::ExhaustedMessage(size_t shard_index,
                                          const Shard& s) const {
   size_t pinned = 0;
   size_t reserved = 0;
+  size_t owned = 0;
   {
     std::lock_guard<std::mutex> lock(s.mu);
     for (const auto& f : s.frames) {
-      if (f->pin_count_ > 0) ++pinned;
+      if (f != nullptr && f->pin_count_ > 0) ++pinned;
     }
     reserved = s.reserved_frames;
+    owned = s.owned_frames;
   }
   return "buffer pool exhausted: every frame of shard " +
          std::to_string(shard_index) + " unavailable (" +
          std::to_string(pinned) + " pinned, " + std::to_string(reserved) +
-         " reserved by in-flight reads, " + std::to_string(s.frames.size()) +
-         " frames total)";
+         " reserved by in-flight reads, " + std::to_string(owned) +
+         " frames owned)";
+}
+
+bool BufferPool::TryStealFrame(size_t thief_index) {
+  const size_t shard_count = shards_.size();
+  if (shard_count < 2) return false;
+  Shard& thief = *shards_[thief_index];
+  {
+    // Advisory cap: a shard that already doubled its allotment stops
+    // stealing (checked unlatched-to-latched in two steps elsewhere too, so
+    // a slight overshoot under a race is possible and benign — the cap
+    // bounds drift, it is not an invariant).
+    std::lock_guard<std::mutex> lock(thief.mu);
+    if (thief.owned_frames >= 2 * thief.base_frames) return false;
+  }
+  for (size_t d = 1; d < shard_count; ++d) {
+    Shard& donor = *shards_[(thief_index + d) % shard_count];
+    std::unique_ptr<Page> stolen;
+    {
+      // Never hold two shard latches at once: take from the donor under its
+      // latch alone, hand to the thief under its latch alone. The donor's
+      // frame *slot* stays behind as nullptr so existing FrameId indices
+      // (page_table, clock hand) remain valid.
+      std::lock_guard<std::mutex> lock(donor.mu);
+      const size_t floor =
+          std::max<size_t>(1, donor.base_frames / 2);
+      if (donor.owned_frames <= floor) continue;  // donor keeps a working set
+      FrameId f;
+      if (!donor.free_frames.empty()) {
+        f = donor.free_frames.back();
+        donor.free_frames.pop_back();
+      } else if (FindVictim(donor, &f, /*clean_only=*/true)) {
+        // Clean victims only: stealing must never do a write-back (it runs
+        // on fetch paths that may already be inside retry loops).
+        if (!EvictFrame(donor, f).ok()) continue;
+      } else {
+        continue;
+      }
+      stolen = std::move(donor.frames[f]);
+      --donor.owned_frames;
+    }
+    {
+      std::lock_guard<std::mutex> lock(thief.mu);
+      thief.frames.push_back(std::move(stolen));
+      thief.free_frames.push_back(
+          static_cast<FrameId>(thief.frames.size() - 1));
+      ++thief.owned_frames;
+      thief.frames_stolen.fetch_add(1, std::memory_order_relaxed);
+    }
+    return true;
+  }
+  return false;
 }
 
 RetryState BufferPool::MakeRetryState(const RetryPolicy& policy,
@@ -175,25 +245,52 @@ RetryState BufferPool::MakeRetryState(const RetryPolicy& policy,
                         (seq << 17));
 }
 
-Status BufferPool::ReadMissedPage(PageId page_id, char* out, bool* from_log) {
-  *from_log = false;
-  // The log overlay holds the newest version of any page it has an image
-  // for — the data-file copy (if any) is stale until the next checkpoint.
-  Wal* wal = wal_.load(std::memory_order_acquire);
-  if (wal != nullptr) {
-    auto served = wal->TryReadImage(page_id, out);
-    if (!served.ok()) return served.status();
-    *from_log = *served;
-  }
-  if (!*from_log) {
-    XR_RETURN_IF_ERROR(disk_->ReadPage(page_id, out));
-  }
-  return VerifyPageTrailer(out, page_id);
-}
-
 void BufferPool::CompleteInFlight(const std::shared_ptr<InFlight>& entry) {
   {
     std::lock_guard<std::mutex> lock(entry->mu);
+    entry->done = true;
+  }
+  entry->cv.notify_all();
+}
+
+void BufferPool::CompleteDemandRead(Shard& s,
+                                    const std::shared_ptr<InFlight>& entry,
+                                    Page* page, FrameId frame, PageId page_id,
+                                    Status read, bool from_log) {
+  // The world may have changed during the unlatched read — NewPage can have
+  // recycled the id into a resident frame, and FreePage/LogPageImage can
+  // have flipped which source (log overlay vs data file) is current. A
+  // stale image is dropped; the woken leader re-runs its loop, consuming no
+  // retry budget (staleness means progress elsewhere, not an I/O fault).
+  bool stale = false;
+  bool installed = false;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.in_flight.erase(page_id);
+    --s.reserved_frames;
+    Wal* wal = wal_.load(std::memory_order_acquire);
+    bool overlay_now = wal != nullptr && wal->HasImage(page_id);
+    stale = s.page_table.find(page_id) != s.page_table.end() ||
+            overlay_now != from_log;
+    if (read.ok() && !stale) {
+      page->page_id_ = page_id;
+      page->pin_count_ = 1;  // pinned on behalf of the parked leader
+      page->is_dirty_ = false;
+      page->ref_ = false;  // demand install: fetched once, not re-referenced
+      s.page_table[page_id] = frame;
+      installed = true;
+    } else {
+      // Return the frame to the free list instead of leaking it; the
+      // leader's retry/repair decision happens after it wakes.
+      page->Reset();
+      s.free_frames.push_back(frame);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> elock(entry->mu);
+    entry->result = std::move(read);
+    entry->stale = stale;
+    entry->installed = installed;
     entry->done = true;
   }
   entry->cv.notify_all();
@@ -232,6 +329,7 @@ Result<Page*> BufferPool::FetchPage(PageId page_id) {
   bool miss_counted = false;
   for (;;) {
     FrameId frame = 0;
+    Page* page = nullptr;
     std::shared_ptr<InFlight> entry;
     std::shared_ptr<InFlight> reserved_wait;
     bool leader = false;
@@ -241,15 +339,15 @@ Result<Page*> BufferPool::FetchPage(PageId page_id) {
       auto it = s.page_table.find(page_id);
       if (it != s.page_table.end()) {
         if (!miss_counted) s.hits.fetch_add(1, std::memory_order_relaxed);
-        Page* page = s.frames[it->second].get();
-        if (page->prefetched_) {
+        Page* hit = s.frames[it->second].get();
+        if (hit->prefetched_) {
           // First fetch of a read-ahead page: the prefetch paid off.
-          page->prefetched_ = false;
+          hit->prefetched_ = false;
           s.prefetch_hits.fetch_add(1, std::memory_order_relaxed);
         }
-        ++page->pin_count_;
-        TouchLru(s, it->second);
-        return page;
+        ++hit->pin_count_;
+        hit->ref_ = true;  // second chance for the CLOCK sweep
+        return hit;
       }
       auto fl = s.in_flight.find(page_id);
       if (fl != s.in_flight.end()) {
@@ -265,9 +363,13 @@ Result<Page*> BufferPool::FetchPage(PageId page_id) {
             s.misses.fetch_add(1, std::memory_order_relaxed);
             miss_counted = true;
           }
-          // Reserve the frame (it is in neither page_table, lru, nor
+          // Reserve the frame (it is in neither page_table nor
           // free_frames, so no other thread can touch it) and publish the
-          // in-flight entry, then drop the latch for the read.
+          // in-flight entry, then drop the latch for the read. The Page
+          // pointer is captured under the latch: the frames *vector* can
+          // be reallocated by a concurrent steal, but the heap-allocated
+          // Page objects never move.
+          page = s.frames[frame].get();
           entry = std::make_shared<InFlight>();
           s.in_flight.emplace(page_id, entry);
           ++s.reserved_frames;
@@ -286,12 +388,16 @@ Result<Page*> BufferPool::FetchPage(PageId page_id) {
       }
     }
     if (all_pinned) {
-      // Every frame of this shard is unavailable. Transient under
-      // concurrency: back off and retry until the bound, then surface pool
-      // pressure. When part of the unavailability is frames reserved by
-      // in-flight reads, park on a completion instead — those frames
-      // return in bounded time, so burning pin-retry budget against them
-      // would make small shards fail spuriously under read bursts.
+      // Every frame of this shard is unavailable. Before burning wait
+      // budget, try to take an unused frame from a neighbouring shard
+      // (bounded; pressure is usually skewed, not uniform).
+      if (TryStealFrame(shard_index)) continue;
+      // Transient under concurrency: back off and retry until the bound,
+      // then surface pool pressure. When part of the unavailability is
+      // frames reserved by in-flight reads, park on a completion instead —
+      // those frames return in bounded time, so burning pin-retry budget
+      // against them would make small shards fail spuriously under read
+      // bursts.
       s.exhausted_waits.fetch_add(1, std::memory_order_relaxed);
       if (reserved_wait && ++reserved_waits <= kMaxReservedWaitsPerFetch) {
         std::unique_lock<std::mutex> wait_lock(reserved_wait->mu);
@@ -313,40 +419,60 @@ Result<Page*> BufferPool::FetchPage(PageId page_id) {
       entry->cv.wait(wait_lock, [&] { return entry->done; });
       continue;
     }
-    // Leader: perform the read outside the latch, directly into the
-    // reserved frame (private to this thread until published).
-    Page* page = s.frames[frame].get();
+    // Leader: the read happens outside the latch, directly into the
+    // reserved frame (private to this fetch until completion installs it).
+    // The WAL overlay is an in-memory/log-offset lookup and is consulted
+    // inline; data-file reads are submitted to the async layer, whose
+    // completion worker runs CompleteDemandRead — the leader parks on its
+    // own entry exactly like any other waiter, so K distinct misses can be
+    // outstanding at once even from one submitting thread's shard. A full
+    // queue (retryable ResourceExhausted) or a disabled async layer
+    // degrades to the PR 7-style inline read on this thread.
     bool from_log = false;
-    Status read = ReadMissedPage(page_id, page->data_, &from_log);
-    // Completion: re-validate and install (or discard) under the latch.
-    // The world may have changed during the read — NewPage can have
-    // recycled the id into a resident frame, and FreePage/LogPageImage can
-    // have flipped which source (log overlay vs data file) is current. A
-    // stale image is dropped and the loop re-reads, consuming no retry
-    // budget: staleness means progress elsewhere, not an I/O fault.
-    bool stale = false;
-    {
-      std::lock_guard<std::mutex> lock(s.mu);
-      s.in_flight.erase(page_id);
-      --s.reserved_frames;
-      Wal* wal = wal_.load(std::memory_order_acquire);
-      bool overlay_now = wal != nullptr && wal->HasImage(page_id);
-      stale = s.page_table.find(page_id) != s.page_table.end() ||
-              overlay_now != from_log;
-      if (read.ok() && !stale) {
-        page->page_id_ = page_id;
-        page->pin_count_ = 1;
-        page->is_dirty_ = false;
-        s.page_table[page_id] = frame;
-        TouchLru(s, frame);
+    Status read;
+    Wal* wal = wal_.load(std::memory_order_acquire);
+    if (wal != nullptr) {
+      auto served = wal->TryReadImage(page_id, page->data_);
+      if (!served.ok()) {
+        read = served.status();
       } else {
-        // Return the frame to the free list instead of leaking it; the
-        // retry/repair decision happens outside the latch below.
-        page->Reset();
-        s.free_frames.push_back(frame);
+        from_log = *served;
       }
     }
-    CompleteInFlight(entry);
+    bool submitted = false;
+    if (read.ok() && !from_log && async_ != nullptr) {
+      entry->slot.page_id = page_id;
+      entry->slot.out = page->data_;
+      entry->slot.status = Status::Ok();
+      std::shared_ptr<InFlight> held = entry;
+      submitted = async_
+                      ->Submit(&entry->slot, 1,
+                               [this, &s, held, page, frame, page_id] {
+                                 Status r = held->slot.status;
+                                 if (r.ok()) {
+                                   r = VerifyPageTrailer(page->data_, page_id);
+                                 }
+                                 CompleteDemandRead(s, held, page, frame,
+                                                    page_id, std::move(r),
+                                                    /*from_log=*/false);
+                               })
+                      .ok();
+    }
+    if (!submitted) {
+      if (read.ok() && !from_log) {
+        read = disk_->ReadPage(page_id, page->data_);
+      }
+      if (read.ok()) read = VerifyPageTrailer(page->data_, page_id);
+      CompleteDemandRead(s, entry, page, frame, page_id, std::move(read),
+                         from_log);
+    }
+    bool stale;
+    {
+      std::unique_lock<std::mutex> wait_lock(entry->mu);
+      entry->cv.wait(wait_lock, [&] { return entry->done; });
+      read = entry->result;
+      stale = entry->stale;
+    }
     if (stale) {
       if (++stale_retries > kMaxStaleRetriesPerFetch) {
         return Status::Aborted(
@@ -500,11 +626,6 @@ Result<Page*> BufferPool::NewPage() {
             s.prefetch_wasted.fetch_add(1, std::memory_order_relaxed);
           }
           s.page_table.erase(it);
-          auto pos = s.lru_pos.find(frame);
-          if (pos != s.lru_pos.end()) {
-            s.lru.erase(pos->second);
-            s.lru_pos.erase(pos);
-          }
           resident->Reset();
           have = true;
         }
@@ -528,11 +649,13 @@ Result<Page*> BufferPool::NewPage() {
         page->page_id_ = page_id;
         page->pin_count_ = 1;
         page->is_dirty_ = true;  // ensure the zeroed page reaches disk
+        // A brand-new page starts with ref_ clear (Reset did that): it has
+        // been touched once, exactly like a demand-installed page.
         s.page_table[page_id] = frame;
-        TouchLru(s, frame);
         return page;
       }
     }
+    if (TryStealFrame(shard_index)) continue;
     s.exhausted_waits.fetch_add(1, std::memory_order_relaxed);
     uint64_t delay;
     if (!pin_retry.Next(&delay)) break;
@@ -560,21 +683,19 @@ bool BufferPool::AcquireCleanFrame(Shard& s, FrameId* out) {
            "free-list frame not Reset()");
     return true;
   }
-  for (FrameId frame : s.lru) {
-    Page* page = s.frames[frame].get();
-    if (page->pin_count_ == 0 && !page->is_dirty_) {
-      // Clean victim: EvictFrame will not write back (and therefore cannot
-      // touch the WAL from this background thread).
-      if (!EvictFrame(s, frame).ok()) return false;
-      *out = frame;
-      return true;
-    }
+  FrameId victim;
+  if (FindVictim(s, &victim, /*clean_only=*/true)) {
+    // Clean victim: EvictFrame will not write back (and therefore cannot
+    // touch the WAL from this background thread).
+    if (!EvictFrame(s, victim).ok()) return false;
+    *out = victim;
+    return true;
   }
   return false;
 }
 
 size_t BufferPool::PrefetchBatch(const PageId* ids, size_t n,
-                                 size_t known_prefix) {
+                                 size_t known_prefix, bool detached) {
   // One registered page of the batch: its in-flight entry (so demand
   // fetchers park instead of duplicating the read), its slice of the read
   // buffer, and which source served it.
@@ -584,10 +705,26 @@ size_t BufferPool::PrefetchBatch(const PageId* ids, size_t n,
     char* buf = nullptr;
     bool from_log = false;
     bool known = false;
+    bool to_disk = false;  // routed to the disk (async: installed on completion)
     Status read;
   };
+  // Everything the completions touch. Heap-allocated and shared so a
+  // detached batch outlives this call: the last run's completion closure
+  // drops the final reference.
+  struct BatchState {
+    std::vector<Slot> slots;
+    std::vector<char> bufs;
+    std::vector<PageReadRequest> requests;
+    std::vector<size_t> request_slot;
+    std::atomic<size_t> installed_known{0};
+    // Synchronous-mode rendezvous (unused when detached).
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t pending = 0;
+  };
   const PageId num_pages = disk_->num_pages();
-  std::vector<Slot> slots;
+  auto st = std::make_shared<BatchState>();
+  std::vector<Slot>& slots = st->slots;
   slots.reserve(n);
   size_t resident_known = 0;
   // Phase 1 (one short latch acquisition per page): skip pages that are
@@ -615,12 +752,17 @@ size_t BufferPool::PrefetchBatch(const PageId* ids, size_t n,
 
   // Phase 2, no latches held: WAL-overlay pages are served from the log
   // individually (the overlay is an in-memory/log-offset lookup, not a
-  // seek), everything else goes to the disk in ONE ReadBatch — consecutive
-  // ids collapse into single submissions there.
-  std::vector<char> bufs(slots.size() * kPageSize);
+  // seek); everything else is split into consecutive-id runs and each run
+  // is one async submission — runs of the same batch overlap on the
+  // completion workers instead of queueing behind one blocking ReadBatch,
+  // and each run's pages install the moment *it* completes (out of order
+  // relative to other runs). Without an async layer the whole set goes to
+  // the disk in one blocking ReadBatch as before.
+  std::vector<char>& bufs = st->bufs;
+  bufs.resize(slots.size() * kPageSize);
   Wal* wal = wal_.load(std::memory_order_acquire);
-  std::vector<PageReadRequest> requests;
-  std::vector<size_t> request_slot;
+  std::vector<PageReadRequest>& requests = st->requests;
+  std::vector<size_t>& request_slot = st->request_slot;
   requests.reserve(slots.size());
   request_slot.reserve(slots.size());
   for (size_t i = 0; i < slots.size(); ++i) {
@@ -636,26 +778,21 @@ size_t BufferPool::PrefetchBatch(const PageId* ids, size_t n,
         continue;
       }
     }
+    slots[i].to_disk = true;
     PageReadRequest req;
     req.page_id = slots[i].page_id;
     req.out = slots[i].buf;
     requests.push_back(req);
     request_slot.push_back(i);
   }
-  if (!requests.empty()) {
-    disk_->ReadBatch(requests.data(), requests.size());
-    for (size_t j = 0; j < requests.size(); ++j) {
-      slots[request_slot[j]].read = requests[j].status;
-    }
-  }
 
-  // Phase 3: install each image unpinned under its shard latch, with the
-  // same re-validation as the demand path (the id can have been recycled
-  // by NewPage, the overlay flipped by FreePage/LogPageImage, mid-read).
-  // Best-effort contract: any failure installs nothing — the demand fetch
-  // pays the miss and surfaces (or retries/repairs) the real error.
-  size_t installed_known = 0;
-  for (auto& slot : slots) {
+  // Phase 3 (per slot, possibly on a completion worker): install the image
+  // unpinned under its shard latch, with the same re-validation as the
+  // demand path (the id can have been recycled by NewPage, the overlay
+  // flipped by FreePage/LogPageImage, mid-read). Best-effort contract: any
+  // failure installs nothing — the demand fetch pays the miss and surfaces
+  // (or retries/repairs) the real error.
+  auto install_slot = [this, st](Slot& slot) {
     Status read = slot.read;
     if (read.ok()) read = VerifyPageTrailer(slot.buf, slot.page_id);
     bool resident = false;
@@ -679,8 +816,8 @@ size_t BufferPool::PrefetchBatch(const PageId* ids, size_t n,
           page->pin_count_ = 0;
           page->is_dirty_ = false;
           page->prefetched_ = true;
+          page->ref_ = true;  // read ahead *for* a fetch: one sweep of grace
           s.page_table[slot.page_id] = frame;
-          TouchLru(s, frame);
           s.prefetch_issued.fetch_add(1, std::memory_order_relaxed);
           resident = true;
         }
@@ -688,14 +825,78 @@ size_t BufferPool::PrefetchBatch(const PageId* ids, size_t n,
     }
     CompleteInFlight(slot.entry);
     if (resident) {
-      if (slot.known) ++installed_known;
+      if (slot.known) {
+        st->installed_known.fetch_add(1, std::memory_order_relaxed);
+      }
     } else if (!read.ok() && !stale && slot.known) {
       // Real chain pages whose read/verify failed; speculative slots stay
       // silent (guessing past the end of a chain is not an error).
       prefetch_errors_.fetch_add(1, std::memory_order_relaxed);
     }
+  };
+
+  if (!requests.empty()) {
+    if (async_ == nullptr) {
+      disk_->ReadBatch(requests.data(), requests.size());
+      for (size_t j = 0; j < requests.size(); ++j) {
+        slots[request_slot[j]].read = requests[j].status;
+      }
+    } else {
+      // The shared BatchState keeps everything the completions touch alive:
+      // synchronously the wait below holds it until the last completion has
+      // run; detached, the last completion closure drops the final
+      // reference — this call never blocks on the device.
+      size_t j = 0;
+      while (j < requests.size()) {
+        size_t run = 1;
+        while (j + run < requests.size() &&
+               requests[j + run].page_id == requests[j].page_id + run) {
+          ++run;
+        }
+        auto completion = [st, install_slot, j, run] {
+          for (size_t k = j; k < j + run; ++k) {
+            Slot& slot = st->slots[st->request_slot[k]];
+            slot.read = st->requests[k].status;
+            install_slot(slot);
+          }
+          {
+            std::lock_guard<std::mutex> lk(st->mu);
+            --st->pending;
+          }
+          st->cv.notify_all();
+        };
+        {
+          std::lock_guard<std::mutex> lk(st->mu);
+          ++st->pending;
+        }
+        if (!async_->Submit(&requests[j], run, completion).ok()) {
+          // Queue full (or shut down): serve this run inline right here —
+          // backpressure degrades to the blocking path, never to a stall.
+          {
+            std::lock_guard<std::mutex> lk(st->mu);
+            --st->pending;
+          }
+          disk_->ReadBatch(&requests[j], run);
+          for (size_t k = j; k < j + run; ++k) {
+            Slot& slot = slots[request_slot[k]];
+            slot.read = requests[k].status;
+            install_slot(slot);
+          }
+        }
+        j += run;
+      }
+      if (!detached) {
+        std::unique_lock<std::mutex> lk(st->mu);
+        st->cv.wait(lk, [&] { return st->pending == 0; });
+      }
+    }
   }
-  return resident_known + installed_known;
+  for (auto& slot : slots) {
+    if (slot.to_disk && async_ != nullptr) continue;  // installed on completion
+    install_slot(slot);  // WAL-served, early-error, or sync-path disk slot
+  }
+  return resident_known +
+         st->installed_known.load(std::memory_order_relaxed);
 }
 
 Status BufferPool::PrefetchPages(const PageId* ids, size_t n) {
@@ -762,7 +963,11 @@ void BufferPool::PrefetchWorker() {
       prefetch_busy_ = true;
     }
     if (!job.batch.empty()) {
-      PrefetchBatch(job.batch.data(), job.batch.size(), job.batch.size());
+      // Detached: the runs go to the async layer and this thread moves
+      // straight on to the next job — one slow batch must not delay the
+      // read-ahead everyone else queued behind it.
+      PrefetchBatch(job.batch.data(), job.batch.size(), job.batch.size(),
+                    /*detached=*/true);
     } else {
       ProcessChainJob(job);
     }
@@ -811,10 +1016,16 @@ void BufferPool::PrefetchBatchAsync(std::vector<PageId> ids) {
 }
 
 void BufferPool::WaitForPrefetchIdle() {
-  std::unique_lock<std::mutex> lock(prefetch_mu_);
-  prefetch_idle_cv_.wait(lock, [&] {
-    return prefetch_queue_.empty() && !prefetch_busy_;
-  });
+  {
+    std::unique_lock<std::mutex> lock(prefetch_mu_);
+    prefetch_idle_cv_.wait(lock, [&] {
+      return prefetch_queue_.empty() && !prefetch_busy_;
+    });
+  }
+  // Detached batch jobs return before their installs land; the async queue
+  // drain below settles them (plus any in-flight demand reads, which
+  // complete on their own).
+  if (async_ != nullptr) async_->Drain();
 }
 
 Status BufferPool::UnpinPage(PageId page_id, bool dirty) {
@@ -872,11 +1083,6 @@ Status BufferPool::DiscardPage(PageId page_id) {
     s.prefetch_wasted.fetch_add(1, std::memory_order_relaxed);
   }
   s.page_table.erase(it);
-  auto pos = s.lru_pos.find(frame);
-  if (pos != s.lru_pos.end()) {
-    s.lru.erase(pos->second);
-    s.lru_pos.erase(pos);
-  }
   page->Reset();
   s.free_frames.push_back(frame);
   return Status::Ok();
@@ -900,11 +1106,6 @@ Status BufferPool::FreePage(PageId page_id) {
         s.prefetch_wasted.fetch_add(1, std::memory_order_relaxed);
       }
       s.page_table.erase(it);
-      auto pos = s.lru_pos.find(frame);
-      if (pos != s.lru_pos.end()) {
-        s.lru.erase(pos->second);
-        s.lru_pos.erase(pos);
-      }
       page->Reset();
       s.free_frames.push_back(frame);
     }
@@ -1000,6 +1201,9 @@ IoStats BufferPool::stats() const {
         shard->prefetch_hits.load(std::memory_order_relaxed);
     merged.prefetch_wasted +=
         shard->prefetch_wasted.load(std::memory_order_relaxed);
+    merged.clock_sweeps += shard->clock_sweeps.load(std::memory_order_relaxed);
+    merged.frames_stolen +=
+        shard->frames_stolen.load(std::memory_order_relaxed);
   }
   merged.failed_unpins += failed_unpins_.load(std::memory_order_relaxed);
   merged.prefetch_errors += prefetch_errors_.load(std::memory_order_relaxed);
@@ -1021,6 +1225,8 @@ void BufferPool::ResetStats() {
     shard->prefetch_issued.store(0, std::memory_order_relaxed);
     shard->prefetch_hits.store(0, std::memory_order_relaxed);
     shard->prefetch_wasted.store(0, std::memory_order_relaxed);
+    shard->clock_sweeps.store(0, std::memory_order_relaxed);
+    shard->frames_stolen.store(0, std::memory_order_relaxed);
   }
   failed_unpins_.store(0, std::memory_order_relaxed);
   prefetch_errors_.store(0, std::memory_order_relaxed);
@@ -1040,6 +1246,8 @@ IoStats BufferPool::shard_stats(size_t shard) const {
   s.prefetch_issued = sh.prefetch_issued.load(std::memory_order_relaxed);
   s.prefetch_hits = sh.prefetch_hits.load(std::memory_order_relaxed);
   s.prefetch_wasted = sh.prefetch_wasted.load(std::memory_order_relaxed);
+  s.clock_sweeps = sh.clock_sweeps.load(std::memory_order_relaxed);
+  s.frames_stolen = sh.frames_stolen.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -1054,7 +1262,7 @@ size_t BufferPool::pinned_frames() const {
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     for (const auto& f : shard->frames) {
-      if (f->pin_count_ > 0) ++n;
+      if (f != nullptr && f->pin_count_ > 0) ++n;
     }
   }
   return n;

@@ -5,7 +5,6 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <list>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -16,6 +15,7 @@
 #include "common/backoff.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "storage/async_disk.h"
 #include "storage/disk_interface.h"
 #include "storage/io_stats.h"
 #include "storage/page.h"
@@ -54,11 +54,22 @@ struct BufferPoolOptions {
   /// Base seed for retry jitter (mixed with the page id and a per-fetch
   /// sequence number).
   uint64_t retry_seed = 0;
+  /// Asynchronous read layer (DESIGN.md §13): demand misses and prefetch
+  /// runs are handed to a bounded submission queue drained by this many
+  /// completion workers, so distinct outstanding reads overlap on a device
+  /// that serves independent requests concurrently. 0 disables the layer —
+  /// every read runs inline on the thread that issued it.
+  size_t async_workers = 8;
+  /// Bounded submission-queue depth. A full queue rejects the submission
+  /// with retryable ResourceExhausted and the pool falls back to an inline
+  /// read — backpressure degrades to the synchronous path, never deadlocks.
+  size_t async_queue_depth = 64;
 };
 
-/// Fixed-capacity page cache with LRU replacement and pin counting, in the
-/// shape of a classic textbook/System-R buffer manager. The paper fixes the
-/// pool at 100 pages (§6.1); `bench/buffer_sensitivity` sweeps it.
+/// Fixed-capacity page cache with second-chance (CLOCK) replacement and pin
+/// counting, in the shape of a classic textbook/System-R buffer manager. The
+/// paper fixes the pool at 100 pages (§6.1); `bench/buffer_sensitivity`
+/// sweeps it.
 ///
 /// All pages are accessed through FetchPage/NewPage which pin the frame;
 /// callers must UnpinPage (or hold a PageGuard) when done. Pinned pages are
@@ -67,9 +78,11 @@ struct BufferPoolOptions {
 /// (the index code never pins more than a handful of pages at once).
 ///
 /// Concurrency: the pool is sharded into K latch-protected sub-pools, page
-/// ids hashed to shards. Each shard owns its frames, page table, LRU list
+/// ids hashed to shards. Each shard owns its frames, page table, CLOCK hand
 /// and free-frame list under one small mutex, so readers touching different
-/// shards never contend; hit/miss counters are relaxed atomics outside any
+/// shards never contend; a shard under pressure may steal an unused frame
+/// from a neighbour (bounded, see DESIGN.md §13) before giving up. Hit/miss
+/// counters are relaxed atomics outside any
 /// lock. Any number of threads may Fetch/Unpin concurrently. Structural
 /// mutation (NewPage/FreePage id allocation) serializes only on a small
 /// allocator lock. Writes and WAL Commit/Checkpoint remain single-writer by
@@ -93,8 +106,8 @@ struct BufferPoolOptions {
 class BufferPool {
  public:
   /// `shard_count` = 0 picks automatically: 1 for small pools (preserving
-  /// exact global-LRU behaviour), growing with capacity so each shard keeps
-  /// a meaningful LRU (at least kMinFramesPerShard frames).
+  /// exact single-sweep behaviour), growing with capacity so each shard
+  /// keeps a meaningful frame set (at least kMinFramesPerShard frames).
   BufferPool(DiskInterface* disk, size_t pool_size, size_t shard_count = 0);
   /// Full-options constructor; the size/shard form above delegates here
   /// with default retry policies.
@@ -261,6 +274,17 @@ class BufferPool {
     std::mutex mu;
     std::condition_variable cv;
     bool done = false;  // guarded by mu
+    // Demand-read completion record, written (under mu, before done=true)
+    // by whichever thread runs CompleteDemandRead — the async completion
+    // worker, or the leader itself on the inline path — and consumed by the
+    // leader after it wakes. Waiters other than the leader ignore these.
+    Status result;          // the read+verify outcome
+    bool stale = false;     // completion revalidation discarded the image
+    bool installed = false; // page installed, pinned once for the leader
+    // The single-slot submission a demand miss hands to the AsyncDisk. Kept
+    // inside the entry so the slot outlives the submitting stack frame for
+    // as long as the completion (which holds a shared_ptr) needs it.
+    PageReadRequest slot;
   };
 
   /// One latch-protected sub-pool. Everything inside is guarded by `mu`
@@ -268,17 +292,26 @@ class BufferPool {
   /// never takes a latch.
   struct Shard {
     mutable std::mutex mu;
+    /// Frame slots. A slot emptied by cross-shard stealing holds nullptr
+    /// (indices must stay stable — the page table maps to them); a thief
+    /// appends the stolen frame, so `frames.size()` only grows. The Page
+    /// objects themselves are heap-allocated and never move.
     std::vector<std::unique_ptr<Page>> frames;
     std::unordered_map<PageId, FrameId> page_table;
-    std::list<FrameId> lru;  // front = least recently used
-    std::unordered_map<FrameId, std::list<FrameId>::iterator> lru_pos;
+    /// Second-chance sweep position (CLOCK replacement, DESIGN.md §13).
+    FrameId clock_hand = 0;
+    /// Frames this shard was built with / currently owns: stealing is
+    /// bounded by a donor floor (base_frames/2) and a thief cap
+    /// (2*base_frames) so no shard can be bled dry or hoard the pool.
+    size_t base_frames = 0;
+    size_t owned_frames = 0;
     std::vector<FrameId> free_frames;
     /// Reads currently in flight for pages of this shard, demand misses and
     /// prefetches alike. Holders keep shared_ptr copies so an entry stays
     /// valid for parked waiters after the reader erases it from the map.
     std::unordered_map<PageId, std::shared_ptr<InFlight>> in_flight;
     /// Frames reserved by in-flight demand reads: unpinned, but in neither
-    /// page_table, lru, nor free_frames until the read completes. Counted
+    /// page_table nor free_frames until the read completes. Counted
     /// so pool-exhaustion handling can tell "pinned forever until someone
     /// unpins" apart from "returns when the read lands" (guarded by mu).
     size_t reserved_frames = 0;
@@ -289,6 +322,8 @@ class BufferPool {
     std::atomic<uint64_t> prefetch_issued{0};
     std::atomic<uint64_t> prefetch_hits{0};
     std::atomic<uint64_t> prefetch_wasted{0};
+    std::atomic<uint64_t> clock_sweeps{0};
+    std::atomic<uint64_t> frames_stolen{0};
   };
 
   /// One queued asynchronous prefetch request: either a chain walk
@@ -304,11 +339,14 @@ class BufferPool {
   static size_t AutoShardCount(size_t pool_size);
   size_t ShardIndex(PageId page_id) const;
 
-  // Victim selection: least-recently-used unpinned frame. Shard latch held.
-  bool FindVictim(Shard& s, FrameId* out);
+  // Victim selection: second-chance CLOCK sweep — the hand skips empty,
+  // reserved and pinned slots, clears set reference bits, and picks the
+  // first unpinned resident frame whose bit is already clear (at most two
+  // revolutions). `clean_only` additionally skips dirty frames (the
+  // prefetch and steal paths must never write back). Shard latch held.
+  bool FindVictim(Shard& s, FrameId* out, bool clean_only = false);
   // Evicts the current occupant of `frame` (flushing if dirty). Latch held.
   Status EvictFrame(Shard& s, FrameId frame);
-  void TouchLru(Shard& s, FrameId frame);
   // Stamps the integrity trailer and writes the frame's page out. Latch held.
   Status WriteBack(Page* page);
   // Grabs a free or evictable frame in `s`. On success `*out` is a reset
@@ -335,14 +373,28 @@ class BufferPool {
   // returns DataLoss (the page stays quarantined).
   Status RepairCorruptPage(PageId page_id, const Status& cause);
 
-  // One demand-miss read, no latch held: WAL image overlay first, then the
-  // data file, then the integrity trailer. `*from_log` records which source
-  // served the image so completion can re-validate overlay parity.
-  Status ReadMissedPage(PageId page_id, char* out, bool* from_log);
   // Marks an in-flight entry done and wakes its parked waiters. Call after
   // releasing the shard latch (the entry must already be erased from the
   // shard's map, under that latch, by the same completion).
   static void CompleteInFlight(const std::shared_ptr<InFlight>& entry);
+
+  // Demand-read completion (DESIGN.md §13): retakes the shard latch, erases
+  // the in-flight entry, revalidates (residency + WAL-overlay parity) and
+  // installs the image pinned once for the parked leader — or returns the
+  // reserved frame to the free list — then records the outcome in the entry
+  // and wakes everyone parked on it. Runs on the async completion worker,
+  // or inline on the leader when the queue rejected the submission (or the
+  // async layer is disabled). `read` is the read+verify outcome so far.
+  void CompleteDemandRead(Shard& s, const std::shared_ptr<InFlight>& entry,
+                          Page* page, FrameId frame, PageId page_id,
+                          Status read, bool from_log);
+
+  // Bounded cross-shard frame stealing: a shard whose every frame is
+  // pinned/reserved takes one empty (free-listed) or clean unpinned frame
+  // from a neighbour before reporting ResourceExhausted. Donor and thief
+  // latches are never held together. Returns true after appending the
+  // stolen frame to the thief's free list.
+  bool TryStealFrame(size_t thief_index);
 
   // Batch read-ahead backing PrefetchPages and the async worker: registers
   // an in-flight entry per page it will read (resident, already-in-flight,
@@ -354,7 +406,16 @@ class BufferPool {
   // (no prefetch_errors), and a mis-guess that installs an unwanted page
   // resolves honestly through prefetch_wasted. Returns how many of the
   // first `known_prefix` ids are resident afterwards.
-  size_t PrefetchBatch(const PageId* ids, size_t n, size_t known_prefix);
+  //
+  // `detached` (effective only with the async layer): submissions are
+  // fire-and-forget — the batch state moves to the heap, each run's
+  // completion worker installs its pages, and the call returns without
+  // waiting, so one slow run never serializes the prefetch thread behind
+  // it. The return value then counts only the already-resident prefix.
+  // WaitForPrefetchIdle drains the async queue, so detached installs are
+  // settled once it returns.
+  size_t PrefetchBatch(const PageId* ids, size_t n, size_t known_prefix,
+                       bool detached = false);
   // Like AcquireFrame but refuses dirty victims (prefetch must never write
   // back — that would race the single writer's WAL appends). Latch held.
   bool AcquireCleanFrame(Shard& s, FrameId* out);
@@ -371,6 +432,10 @@ class BufferPool {
   void ProcessChainJob(const PrefetchJob& job);
 
   DiskInterface* const disk_;
+  /// Submission/completion queue over disk_; null when async_workers == 0.
+  /// Reset (drained and joined) by the destructor after the prefetch thread
+  /// but before FlushAll, so no completion can touch a dying shard.
+  std::unique_ptr<AsyncDisk> async_;
   std::atomic<Wal*> wal_{nullptr};
   std::vector<std::unique_ptr<Shard>> shards_;
   size_t pool_size_ = 0;

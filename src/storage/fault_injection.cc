@@ -162,8 +162,33 @@ Status FaultInjectingDisk::ReadPage(PageId page_id, char* out) {
   return Status::Ok();
 }
 
+void FaultInjectingDisk::EnableCompletionReordering(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  reorder_enabled_ = true;
+  reorder_rng_ = Random(seed);
+}
+
+void FaultInjectingDisk::DisableCompletionReordering() {
+  std::lock_guard<std::mutex> lock(mu_);
+  reorder_enabled_ = false;
+}
+
 void FaultInjectingDisk::ReadBatch(PageReadRequest* requests, size_t n) {
-  for (size_t i = 0; i < n; ++i) {
+  // Service order defaults to front-to-back; with completion reordering on,
+  // a seeded Fisher–Yates shuffle picks the order, so per-slot faults land
+  // on nondeterministic slots of the submission (see the header comment).
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (reorder_enabled_) {
+      for (size_t i = n; i > 1; --i) {
+        size_t j = static_cast<size_t>(reorder_rng_.Next64() % i);
+        std::swap(order[i - 1], order[j]);
+      }
+    }
+  }
+  for (size_t i : order) {
     requests[i].status = ReadPage(requests[i].page_id, requests[i].out);
   }
 }

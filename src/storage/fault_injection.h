@@ -129,6 +129,15 @@ class FaultInjectingDisk : public DiskInterface {
   /// Turns sustained faults off; the fault counters keep their values.
   void DisableSustainedFaults();
 
+  /// Makes ReadBatch serve its slots in a seeded-random order instead of
+  /// front to back, modelling a device whose completions land out of order
+  /// within one submission. Per-slot dice still roll in *service* order, so
+  /// a one-shot "fail the Nth read" fault can hit a different slot of the
+  /// batch than it would in order — exactly the nondeterminism the async
+  /// completion path must tolerate. Deterministic in `seed`.
+  void EnableCompletionReordering(uint64_t seed);
+  void DisableCompletionReordering();
+
   /// Sustained transient read/write errors injected so far.
   uint64_t sustained_transient_faults() const;
   /// Sustained corrupt-read images handed back so far.
@@ -190,6 +199,8 @@ class FaultInjectingDisk : public DiskInterface {
   Random sustained_rng_;
   uint64_t sustained_transient_ = 0;
   uint64_t sustained_corrupt_ = 0;
+  bool reorder_enabled_ = false;
+  Random reorder_rng_;
 };
 
 /// A WalFile decorator modelling power loss in the log stream. Shares the

@@ -24,7 +24,10 @@ struct IoStats {
   /// Vectorized submissions (DiskInterface::ReadBatch): one per contiguous
   /// run of page ids handed to the device in a single positional vector
   /// read. `disk_reads` still counts every page, so
-  /// disk_reads / read_batches is the achieved batching factor.
+  /// disk_reads / read_batches is the achieved batching factor. With the
+  /// async read path every pool read — demand misses included, as
+  /// single-page runs — travels through ReadBatch, so the factor covers
+  /// all read traffic, not just prefetch.
   uint64_t read_batches = 0;
   uint64_t buffer_hits = 0;    ///< FetchPage satisfied from the pool
   uint64_t buffer_misses = 0;  ///< FetchPage requiring a disk read
@@ -55,6 +58,12 @@ struct IoStats {
   uint64_t repairs_attempted = 0;
   uint64_t repairs_succeeded = 0;
   uint64_t pages_quarantined = 0;
+  /// Replacement-policy accounting (DESIGN.md §13). `clock_sweeps` counts
+  /// second-chance victim searches (each may advance the shard's hand up to
+  /// two full revolutions); `frames_stolen` counts frames a pressured shard
+  /// took from a neighbour's free/clean set before reporting exhaustion.
+  uint64_t clock_sweeps = 0;
+  uint64_t frames_stolen = 0;
 
   IoStats operator-(const IoStats& rhs) const {
     auto sat = [](uint64_t a, uint64_t b) { return a > b ? a - b : 0; };
@@ -76,6 +85,8 @@ struct IoStats {
     d.repairs_attempted = sat(repairs_attempted, rhs.repairs_attempted);
     d.repairs_succeeded = sat(repairs_succeeded, rhs.repairs_succeeded);
     d.pages_quarantined = sat(pages_quarantined, rhs.pages_quarantined);
+    d.clock_sweeps = sat(clock_sweeps, rhs.clock_sweeps);
+    d.frames_stolen = sat(frames_stolen, rhs.frames_stolen);
     return d;
   }
 
@@ -96,6 +107,8 @@ struct IoStats {
     repairs_attempted += rhs.repairs_attempted;
     repairs_succeeded += rhs.repairs_succeeded;
     pages_quarantined += rhs.pages_quarantined;
+    clock_sweeps += rhs.clock_sweeps;
+    frames_stolen += rhs.frames_stolen;
     return *this;
   }
 
@@ -123,6 +136,12 @@ struct IoStats {
     }
     if (io_retries > 0) {
       s += " io_retries=" + std::to_string(io_retries);
+    }
+    if (clock_sweeps > 0) {
+      s += " clock_sweeps=" + std::to_string(clock_sweeps);
+    }
+    if (frames_stolen > 0) {
+      s += " frames_stolen=" + std::to_string(frames_stolen);
     }
     if (repairs_attempted > 0) {
       s += " repairs=" + std::to_string(repairs_succeeded) + "/" +
@@ -157,6 +176,8 @@ struct AtomicIoStats {
   std::atomic<uint64_t> repairs_attempted{0};
   std::atomic<uint64_t> repairs_succeeded{0};
   std::atomic<uint64_t> pages_quarantined{0};
+  std::atomic<uint64_t> clock_sweeps{0};
+  std::atomic<uint64_t> frames_stolen{0};
 
   IoStats Snapshot() const {
     IoStats s;
@@ -177,6 +198,8 @@ struct AtomicIoStats {
     s.repairs_attempted = repairs_attempted.load(std::memory_order_relaxed);
     s.repairs_succeeded = repairs_succeeded.load(std::memory_order_relaxed);
     s.pages_quarantined = pages_quarantined.load(std::memory_order_relaxed);
+    s.clock_sweeps = clock_sweeps.load(std::memory_order_relaxed);
+    s.frames_stolen = frames_stolen.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -197,6 +220,8 @@ struct AtomicIoStats {
     repairs_attempted.store(0, std::memory_order_relaxed);
     repairs_succeeded.store(0, std::memory_order_relaxed);
     pages_quarantined.store(0, std::memory_order_relaxed);
+    clock_sweeps.store(0, std::memory_order_relaxed);
+    frames_stolen.store(0, std::memory_order_relaxed);
   }
 };
 

@@ -103,6 +103,7 @@ class Page {
     pin_count_ = 0;
     is_dirty_ = false;
     prefetched_ = false;
+    ref_ = false;
   }
 
   char data_[kPageSize];
@@ -113,6 +114,13 @@ class Page {
   /// BufferPool resolves the flag into exactly one of prefetch_hits (first
   /// fetch) or prefetch_wasted (evicted/discarded first).
   bool prefetched_ = false;
+  /// Second-chance (CLOCK) reference bit. Set by a pool hit (and by a
+  /// prefetch install, granting read-ahead one grace revolution); cleared
+  /// when the sweep hand passes. Demand installs leave it clear so a
+  /// fetched-once page ranks below a re-referenced one — which keeps the
+  /// policy's eviction order LRU-compatible for the classic access traces
+  /// the single-threaded tests pin down. Guarded by the shard latch.
+  bool ref_ = false;
 };
 
 }  // namespace xrtree

@@ -129,8 +129,8 @@ Result<PageId> XrTree::FindLeaf(Position key,
   return Status::Corruption("xrtree: descent did not reach a leaf");
 }
 
-Result<std::vector<PageId>> XrTree::LeafRunAfter(Position key,
-                                                 size_t max_run) const {
+Result<std::vector<PageId>> XrTree::LeafRunAfter(Position key, size_t max_run,
+                                                 Position* resume_key) const {
   std::vector<PageId> run;
   if (root_ == kInvalidPageId || max_run == 0) return run;
   PageId cur = root_;
@@ -146,11 +146,18 @@ Result<std::vector<PageId>> XrTree::LeafRunAfter(Position key,
     // Record the children after the taken slot at every level; when the
     // descent bottoms out, the last recording is the leaf's sibling run.
     // (An internal node with `count` keys has `count + 1` children, at
-    // child slots 0..count.)
+    // child slots 0..count. The child at slot i >= 1 begins at the
+    // separator slots[i-1].key, which is the resume key when that child
+    // is the last one recorded.)
     run.clear();
+    uint32_t last = 0;
     for (uint32_t next = slot + 1;
          next <= hdr->count && run.size() < max_run; ++next) {
       run.push_back(XrChildAt(raw, next));
+      last = next;
+    }
+    if (resume_key != nullptr && !run.empty()) {
+      *resume_key = XrInternalSlots(raw)[last - 1].key;
     }
     cur = XrChildAt(raw, slot);
   }
@@ -214,11 +221,21 @@ Status XrTree::Insert(const Element& element) {
   Position placed_key = 0;
   {
     PageId cur = root_;
-    while (true) {
+    bool at_leaf = false;
+    // Bound the descent and validate each node's magic, exactly like
+    // FindLeaf: after a silent crash a child pointer can reference a page
+    // whose image never reached disk (legal zeros), and an unbounded walk
+    // over such garbage cycles instead of surfacing Corruption.
+    for (int depth = 0; depth < kMaxTreeDepth && !at_leaf; ++depth) {
       XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(cur));
       PageGuard page(pool_, raw);
-      if (XrHeader(raw)->is_leaf) {
+      const auto* chk = XrHeader(raw);
+      if (chk->magic != kXrLeafMagic && chk->magic != kXrInternalMagic) {
+        return Status::Corruption("xrtree: descent hit a foreign page");
+      }
+      if (chk->is_leaf) {
         path.push_back({cur, 0});
+        at_leaf = true;
         break;
       }
       if (!placed) {
@@ -236,6 +253,9 @@ Status XrTree::Insert(const Element& element) {
       uint32_t slot = XrChildSlot(raw, element.start);
       path.push_back({cur, slot});
       cur = XrChildAt(raw, slot);
+    }
+    if (!at_leaf) {
+      return Status::Corruption("xrtree: descent did not reach a leaf");
     }
   }
 

@@ -143,7 +143,15 @@ class XrTree {
   /// child of its parent (the caller falls back to chain prefetch, which
   /// crosses parent boundaries via the leaf `next` links). Const and
   /// reader-concurrent like the other queries.
-  Result<std::vector<PageId>> LeafRunAfter(Position key, size_t max_run) const;
+  ///
+  /// `resume_key` (optional): set to the parent's separator key at which
+  /// the run's LAST page begins — i.e. once a left-to-right consumer's
+  /// frontier reaches `*resume_key`, it is entering the final prefetched
+  /// leaf and should issue the next run. Left untouched when the run is
+  /// empty, so callers should pre-initialize it (e.g. to kNilPosition).
+  Result<std::vector<PageId>> LeafRunAfter(Position key, size_t max_run,
+                                           Position* resume_key =
+                                               nullptr) const;
 
   /// Deep validation of every structural and stab invariant (B+ shape,
   /// topmost-node rule, smallest-key tagging, PSL nesting, (ps,pe)

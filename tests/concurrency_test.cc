@@ -5,6 +5,7 @@
 
 #include <unistd.h>
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -27,6 +28,7 @@
 #include "join/parallel_join.h"
 #include "join/stack_tree_desc.h"
 #include "join/xr_stack.h"
+#include "storage/async_disk.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
 #include "storage/element_file.h"
@@ -870,6 +872,179 @@ uint64_t ChaosEnvU64(const char* name, uint64_t dflt) {
   return (v && *v) ? std::strtoull(v, nullptr, 10) : dflt;
 }
 
+// ---------------------------------------------------------------------------
+// Asynchronous read layer (AsyncDisk + pool wiring, DESIGN.md §13)
+// ---------------------------------------------------------------------------
+
+/// DiskInterface decorator that sleeps on every read and tracks how many
+/// reads are in flight at once — the probe for "K outstanding misses should
+/// cost ~1 latency unit, not K".
+class LatencyDisk final : public DiskInterface {
+ public:
+  explicit LatencyDisk(DiskInterface* base) : base_(base) {}
+
+  void SetReadLatency(std::chrono::milliseconds latency) {
+    latency_ms_.store(static_cast<int64_t>(latency.count()));
+  }
+  int64_t max_concurrent_reads() const { return max_concurrent_.load(); }
+
+  Status ReadPage(PageId page_id, char* out) override {
+    int64_t now = 1 + in_flight_.fetch_add(1);
+    int64_t seen = max_concurrent_.load();
+    while (now > seen && !max_concurrent_.compare_exchange_weak(seen, now)) {
+    }
+    int64_t ms = latency_ms_.load();
+    if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    Status s = base_->ReadPage(page_id, out);
+    in_flight_.fetch_sub(1);
+    return s;
+  }
+  // Inherited ReadBatch loops over this->ReadPage: one run of width W costs
+  // W latency units on its worker, so overlap across runs is what the test
+  // measures.
+  Status WritePage(PageId page_id, const char* in) override {
+    return base_->WritePage(page_id, in);
+  }
+  PageId AllocatePage() override { return base_->AllocatePage(); }
+  PageId num_pages() const override { return base_->num_pages(); }
+  Status Sync() override { return base_->Sync(); }
+  IoStats stats() const override { return base_->stats(); }
+  void ResetStats() override { base_->ResetStats(); }
+
+ private:
+  DiskInterface* const base_;
+  std::atomic<int64_t> latency_ms_{0};
+  std::atomic<int64_t> in_flight_{0};
+  std::atomic<int64_t> max_concurrent_{0};
+};
+
+TEST(AsyncDiskTest, FullQueueRejectsRetryableAndNeverDeadlocks) {
+  GatedDb db;
+  std::vector<PageId> ids = WritePatternPages(db.pool(), 4);
+
+  // A private AsyncDisk over the same gated device: one worker, queue
+  // depth two, so the third queued submission while the worker is parked
+  // must be rejected — with a retryable error, not a blocked submitter.
+  AsyncDiskOptions opts;
+  opts.workers = 1;
+  opts.queue_depth = 2;
+  AsyncDisk async(db.gate(), opts);
+
+  db.gate()->GatePage(ids[0]);
+  std::array<char, kPageSize> buf0, buf1, buf2, buf3;
+  PageReadRequest r0{ids[0], buf0.data(), Status::Ok()};
+  PageReadRequest r1{ids[1], buf1.data(), Status::Ok()};
+  PageReadRequest r2{ids[2], buf2.data(), Status::Ok()};
+  PageReadRequest r3{ids[3], buf3.data(), Status::Ok()};
+  std::atomic<int> completions{0};
+  auto bump = [&completions] { completions.fetch_add(1); };
+
+  ASSERT_OK(async.Submit(&r0, 1, bump));
+  db.gate()->AwaitReader();  // the only worker is parked mid-read
+
+  // Queue capacity is 2: both fit, the third bounces.
+  ASSERT_OK(async.Submit(&r1, 1, bump));
+  ASSERT_OK(async.Submit(&r2, 1, bump));
+  Status full = async.Submit(&r3, 1, bump);
+  EXPECT_TRUE(full.IsResourceExhausted()) << full.ToString();
+  EXPECT_TRUE(full.IsRetryable()) << full.ToString();
+  EXPECT_EQ(async.rejections(), 1u);
+  EXPECT_EQ(completions.load(), 0);  // rejected submission ran nothing
+
+  db.gate()->Release();
+  async.Drain();
+  EXPECT_EQ(completions.load(), 3);
+  EXPECT_EQ(async.pending(), 0u);
+  EXPECT_OK(r0.status);
+  EXPECT_OK(r1.status);
+  EXPECT_OK(r2.status);
+}
+
+TEST(AsyncReadTest, ScatteredMissesOverlapToOneLatencyUnit) {
+  char tmpl[] = "/tmp/xrtree_latency_XXXXXX";
+  int fd = ::mkstemp(tmpl);
+  ASSERT_GE(fd, 0);
+  ::close(fd);
+  std::string path = tmpl;
+  {
+    DiskManager disk;
+    ASSERT_OK(disk.Open(path));
+    LatencyDisk slow(&disk);
+    BufferPool pool(&slow, /*pool_size=*/64, /*shard_count=*/4);
+
+    // 16 pages, then prefetch every other one: 8 non-consecutive ids, so
+    // the pool submits 8 width-1 runs that the workers serve concurrently.
+    std::vector<PageId> ids = WritePatternPages(&pool, 16);
+    std::vector<PageId> scattered;
+    for (size_t i = 0; i < ids.size(); i += 2) {
+      XR_CHECK_OK(pool.DiscardPage(ids[i]));
+      scattered.push_back(ids[i]);
+    }
+
+    constexpr auto kLatency = std::chrono::milliseconds(25);
+    slow.SetReadLatency(kLatency);
+    auto start = std::chrono::steady_clock::now();
+    ASSERT_OK(pool.PrefetchPages(scattered));
+    auto wall = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - start);
+    slow.SetReadLatency(std::chrono::milliseconds(0));
+
+    // Serial cost would be 8 × 25 ms = 200 ms. Overlap target is ~1 latency
+    // unit; the bound is generous (6 units) to absorb scheduler noise, and
+    // the concurrency high-water mark proves genuine overlap regardless.
+    EXPECT_LT(wall.count(), 150) << "prefetch of 8 scattered misses took "
+                                 << wall.count() << " ms";
+    EXPECT_GE(slow.max_concurrent_reads(), 2);
+
+    // Every prefetched page is resident with its pattern intact.
+    IoStats before = pool.stats();
+    for (PageId id : scattered) {
+      ASSERT_OK_AND_ASSIGN(Page * page, pool.FetchPage(id));
+      EXPECT_EQ(page->data()[0], static_cast<char>(id % 251));
+      ASSERT_OK(pool.UnpinPage(id, false));
+    }
+    IoStats after = pool.stats();
+    EXPECT_EQ(after.buffer_hits - before.buffer_hits, scattered.size());
+    ASSERT_OK(disk.Close());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(AsyncReadTest, CompletionsLandOutOfSubmissionOrder) {
+  GatedDb db;
+  PageId a = ColdMarkerPage(db.pool(), 'A');
+  ColdMarkerPage(db.pool(), 'x');  // spacer: keeps a and b non-consecutive
+  PageId b = ColdMarkerPage(db.pool(), 'B');
+  ASSERT_NE(b, a + 1);
+
+  // One prefetch call, two runs: a's run is submitted first and parks at
+  // the gate; b's run, submitted after, must still complete and install.
+  db.gate()->GatePage(a);
+  std::thread prefetcher([&] {
+    XR_CHECK_OK(db.pool()->PrefetchPages({a, b}));
+  });
+  db.gate()->AwaitReader();
+
+  // a's read is provably in flight. Fetching b completes while a is stuck:
+  // the later submission finished first.
+  {
+    auto page = db.pool()->FetchPage(b);
+    ASSERT_OK(page.status());
+    EXPECT_EQ((*page)->data()[0], 'B');
+    ASSERT_OK(db.pool()->UnpinPage(b, false));
+  }
+  EXPECT_EQ(db.gate()->reads_of(a), 1u);  // still gated, still one read
+
+  db.gate()->Release();
+  prefetcher.join();
+  {
+    auto page = db.pool()->FetchPage(a);
+    ASSERT_OK(page.status());
+    EXPECT_EQ((*page)->data()[0], 'A');
+    ASSERT_OK(db.pool()->UnpinPage(a, false));
+  }
+}
+
 TEST(ChaosTest, ConcurrentJoinsUnderSustainedFaults) {
   const uint64_t seed = ChaosEnvU64("XR_CHAOS_SEED", 20260808);
   const int rounds = static_cast<int>(ChaosEnvU64("XR_CHAOS_RUNS", 2));
@@ -924,6 +1099,9 @@ TEST(ChaosTest, ConcurrentJoinsUnderSustainedFaults) {
     faults.corrupt_read_prob = 0.01;
     faults.seed = seed;
     faulty.EnableSustainedFaults(faults);
+    // Completions also land out of order within each batched submission,
+    // so the async install path sees faults on nondeterministic slots.
+    faulty.EnableCompletionReordering(seed ^ 0x5eedf00dULL);
 
     constexpr int kThreads = 4;
     std::atomic<uint64_t> ok_runs{0};
@@ -960,6 +1138,7 @@ TEST(ChaosTest, ConcurrentJoinsUnderSustainedFaults) {
     }
     for (auto& t : threads) t.join();
     faulty.DisableSustainedFaults();
+    faulty.DisableCompletionReordering();
 
     EXPECT_EQ(mismatches.load(), 0u);
     EXPECT_EQ(untyped_errors.load(), 0u);

@@ -133,6 +133,93 @@ TEST(DiskManagerTest, ReadBatchIsolatesBadSlotsAndZeroFillsPastEof) {
   for (size_t i = 0; i < kPageSize; ++i) ASSERT_EQ(requests[2].out[i], 0);
 }
 
+TEST(DiskManagerTest, SinglePageRunUsesUniformBatchAccounting) {
+  TempDb db;
+  PageId p = db.disk()->AllocatePage();
+  char out[kPageSize];
+  std::memset(out, 0x5A, kPageSize);
+  ASSERT_OK(db.disk()->WritePage(p, out));
+  db.disk()->ResetStats();
+  std::vector<char> buf(kPageSize);
+  PageReadRequest request{p, buf.data(), Status::Ok()};
+  db.disk()->ReadBatch(&request, 1);
+  ASSERT_OK(request.status);
+  EXPECT_EQ(std::memcmp(request.out, out, kPageSize), 0);
+  // A lone page still travels through the vectorized run path: one read,
+  // one submission, batching factor exactly 1.
+  IoStats s = db.disk()->stats();
+  EXPECT_EQ(s.disk_reads, 1u);
+  EXPECT_EQ(s.read_batches, 1u);
+}
+
+TEST(DiskManagerTest, ReadBatchOnClosedDiskFailsEverySlotWithoutStats) {
+  TempDb db;
+  PageId first = db.disk()->AllocatePage();
+  char out[kPageSize] = {};
+  for (size_t i = 0; i < 3; ++i) {
+    PageId id = (i == 0) ? first : db.disk()->AllocatePage();
+    ASSERT_OK(db.disk()->WritePage(id, out));
+  }
+  db.disk()->ResetStats();
+  ASSERT_OK(db.disk()->Close());
+  // The hard error lands at position 0 of the run: every slot of the run
+  // reports it (nothing was transferred), and neither disk_reads nor
+  // read_batches move — a submission that never reached the device is not
+  // a batch.
+  std::vector<char> bufs(3 * kPageSize);
+  PageReadRequest requests[3];
+  for (size_t i = 0; i < 3; ++i) {
+    requests[i] = {first + static_cast<PageId>(i), bufs.data() + i * kPageSize,
+                   Status::Ok()};
+  }
+  db.disk()->ReadBatch(requests, 3);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(requests[i].status.IsInvalidArgument()) << i;
+  }
+  IoStats s = db.disk()->stats();
+  EXPECT_EQ(s.disk_reads, 0u);
+  EXPECT_EQ(s.read_batches, 0u);
+}
+
+TEST(DiskManagerTest, RunCollapseStopsAtIdSpaceBoundary) {
+  TempDb db;
+  // 0xFFFFFFFE is the largest addressable page; its successor id is
+  // kInvalidPageId, so run collapse must not glue the two slots together
+  // (the arithmetic `page_id + run` lands exactly on the sentinel).
+  const PageId last = kInvalidPageId - 1;
+  std::vector<char> bufs(2 * kPageSize, static_cast<char>(0xFF));
+  PageReadRequest requests[2];
+  requests[0] = {last, bufs.data(), Status::Ok()};
+  requests[1] = {kInvalidPageId, bufs.data() + kPageSize, Status::Ok()};
+  db.disk()->ResetStats();
+  db.disk()->ReadBatch(requests, 2);
+  // The never-written high page reads past EOF as zeros; the sentinel slot
+  // fails alone and is not charged as a device submission.
+  ASSERT_OK(requests[0].status);
+  for (size_t i = 0; i < kPageSize; ++i) ASSERT_EQ(requests[0].out[i], 0);
+  EXPECT_TRUE(requests[1].status.IsInvalidArgument());
+  IoStats s = db.disk()->stats();
+  EXPECT_EQ(s.disk_reads, 1u);
+  EXPECT_EQ(s.read_batches, 1u);
+
+  // Adjacent-but-not-consecutive ids (a gap of one) stay two submissions.
+  PageId a = db.disk()->AllocatePage();
+  (void)db.disk()->AllocatePage();
+  PageId c = db.disk()->AllocatePage();
+  char out[kPageSize] = {};
+  ASSERT_OK(db.disk()->WritePage(a, out));
+  ASSERT_OK(db.disk()->WritePage(c, out));
+  db.disk()->ResetStats();
+  requests[0] = {a, bufs.data(), Status::Ok()};
+  requests[1] = {c, bufs.data() + kPageSize, Status::Ok()};
+  db.disk()->ReadBatch(requests, 2);
+  ASSERT_OK(requests[0].status);
+  ASSERT_OK(requests[1].status);
+  s = db.disk()->stats();
+  EXPECT_EQ(s.disk_reads, 2u);
+  EXPECT_EQ(s.read_batches, 2u);
+}
+
 TEST(DiskManagerTest, AllocationRecoveredAfterReopen) {
   TempDb db;
   PageId p = db.disk()->AllocatePage();
