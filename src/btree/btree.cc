@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <shared_mutex>
 
 #include "btree/btree_iterator.h"
 
@@ -67,6 +68,10 @@ Status BTree::InitRootLeaf() {
   XR_ASSIGN_OR_RETURN(Page * raw, pool_->NewPage());
   PageGuard page(pool_, raw);
   page.MarkDirty();
+  // W-latch before formatting: the id may be recycled, and a stale reader
+  // still holding it from an old snapshot must block rather than observe a
+  // half-formatted node.
+  raw->WLatch();
   auto* hdr = BTreeHeader(raw);
   hdr->magic = kBTreeLeafMagic;
   hdr->is_leaf = 1;
@@ -74,41 +79,115 @@ Status BTree::InitRootLeaf() {
   hdr->next = kInvalidPageId;
   hdr->prev = kInvalidPageId;
   hdr->leftmost = kInvalidPageId;
-  root_ = raw->page_id();
+  root_.store(raw->page_id(), std::memory_order_release);
+  raw->WUnlatch();
   return Status::Ok();
 }
 
-Result<PageId> BTree::FindLeaf(Position key,
-                               std::vector<PathEntry>* path) const {
-  if (root_ == kInvalidPageId) return Status::NotFound("empty tree");
-  PageId cur = root_;
-  // Bound the descent: a healthy tree is a few levels deep, so a longer
-  // walk means a child pointer escaped into a cycle or a foreign page.
-  for (int depth = 0; depth < kMaxTreeDepth; ++depth) {
-    XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(cur));
-    PageGuard page(pool_, raw);
-    const auto* hdr = BTreeHeader(raw);
-    if (hdr->magic != kBTreeLeafMagic && hdr->magic != kBTreeInternalMagic) {
-      return Status::Corruption("btree: descent hit a foreign page");
+Result<ReadLatchedPage> BTree::DescendToLeafRead(Position key) const {
+  for (;;) {
+    PageId root_id = root_.load(std::memory_order_acquire);
+    if (root_id == kInvalidPageId) return ReadLatchedPage();
+    auto fetched = pool_->FetchPage(root_id);
+    if (!fetched.ok()) {
+      // The root moved (split/collapse) between the load and the fetch;
+      // the old id may already be tombstoned or freed. Retry from the top.
+      if (root_.load(std::memory_order_acquire) != root_id) continue;
+      return fetched.status();
     }
-    if (hdr->is_leaf) {
-      if (path) path->push_back({cur, 0});
-      return cur;
+    ReadLatchedPage cur(pool_, *fetched);
+    if (root_.load(std::memory_order_acquire) != root_id) continue;
+    // Bound the descent: a healthy tree is a few levels deep, so a longer
+    // walk means a child pointer escaped into a cycle or a foreign page.
+    for (int depth = 0; depth < kMaxTreeDepth; ++depth) {
+      const auto* hdr = BTreeHeader(cur.get());
+      if (hdr->magic != kBTreeLeafMagic && hdr->magic != kBTreeInternalMagic) {
+        return Status::Corruption("btree: descent hit a foreign page");
+      }
+      if (hdr->is_leaf) return cur;
+      PageId child_id = ChildAt(cur.get(), InternalChildSlot(cur.get(), key));
+      auto child = pool_->FetchPage(child_id);
+      if (!child.ok()) return child.status();
+      // Latch-couple: R-latch the child before dropping the parent, so no
+      // writer can restructure the step we just took.
+      ReadLatchedPage next(pool_, *child);
+      cur = std::move(next);
     }
-    uint32_t slot = InternalChildSlot(raw, key);
-    if (path) path->push_back({cur, slot});
-    cur = ChildAt(raw, slot);
+    return Status::Corruption("btree: descent did not reach a leaf");
   }
-  return Status::Corruption("btree: descent did not reach a leaf");
+}
+
+Result<Page*> BTree::DescendToLeafWrite(Position key, bool for_insert,
+                                        WriteLatchSet& ls,
+                                        std::vector<PathEntry>& path) {
+  for (;;) {
+    path.clear();
+    PageId root_id = root_.load(std::memory_order_acquire);
+    if (root_id == kInvalidPageId) return Status::NotFound("empty tree");
+    auto fetched = ls.Acquire(root_id);
+    if (!fetched.ok()) {
+      ls.ReleaseAll();
+      if (root_.load(std::memory_order_acquire) != root_id) continue;
+      return fetched.status();
+    }
+    if (root_.load(std::memory_order_acquire) != root_id) {
+      // Blocked on the old root's latch while another writer moved the
+      // root; what we hold is no longer the top of the tree.
+      ls.ReleaseAll();
+      continue;
+    }
+    Page* node = *fetched;
+    for (int depth = 0; depth < kMaxTreeDepth; ++depth) {
+      const auto* hdr = BTreeHeader(node);
+      if (hdr->magic != kBTreeLeafMagic && hdr->magic != kBTreeInternalMagic) {
+        ls.ReleaseAll();
+        return Status::Corruption("btree: descent hit a foreign page");
+      }
+      if (hdr->is_leaf) {
+        path.push_back({node->page_id(), 0});
+        return node;
+      }
+      uint32_t slot = InternalChildSlot(node, key);
+      path.push_back({node->page_id(), slot});
+      PageId child_id = ChildAt(node, slot);
+      auto child = ls.Acquire(child_id);
+      if (!child.ok()) {
+        ls.ReleaseAll();
+        return child.status();
+      }
+      const auto* chdr = BTreeHeader(*child);
+      bool safe;
+      if (for_insert) {
+        // Room for one more entry: a split below cannot propagate here.
+        uint32_t cap = chdr->is_leaf ? leaf_cap_ : internal_cap_;
+        safe = chdr->count < cap;
+      } else {
+        // Above min fill: losing one entry below cannot underflow here.
+        uint32_t min_fill = chdr->is_leaf ? leaf_cap_ / 2 : internal_cap_ / 2;
+        safe = chdr->count > min_fill;
+      }
+      if (safe) ls.ReleaseAllExcept({child_id});
+      node = *child;
+    }
+    ls.ReleaseAll();
+    return Status::Corruption("btree: descent did not reach a leaf");
+  }
 }
 
 Status BTree::Insert(const Element& element) {
-  if (root_ == kInvalidPageId) XR_RETURN_IF_ERROR(InitRootLeaf());
+  std::shared_lock<std::shared_mutex> commit_barrier(pool_->commit_mutex());
+  if (root_.load(std::memory_order_acquire) == kInvalidPageId) {
+    std::lock_guard<std::mutex> init(root_init_mu_);
+    if (root_.load(std::memory_order_acquire) == kInvalidPageId) {
+      XR_RETURN_IF_ERROR(InitRootLeaf());
+    }
+  }
 
+  WriteLatchSet ls(pool_);
   std::vector<PathEntry> path;
-  XR_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(element.start, &path));
-  XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(leaf_id));
-  PageGuard leaf(pool_, raw);
+  XR_ASSIGN_OR_RETURN(Page * raw,
+                      DescendToLeafWrite(element.start, true, ls, path));
+  PageId leaf_id = raw->page_id();
   auto* hdr = BTreeHeader(raw);
   Element* slots = LeafSlots(raw);
   uint32_t at = LeafLowerBound(raw, element.start);
@@ -122,8 +201,8 @@ Status BTree::Insert(const Element& element) {
                  (hdr->count - at) * sizeof(Element));
     slots[at] = element;
     ++hdr->count;
-    leaf.MarkDirty();
-    ++size_;
+    ls.MarkDirty(leaf_id);
+    size_.fetch_add(1, std::memory_order_acq_rel);
     return Status::Ok();
   }
 
@@ -133,8 +212,8 @@ Status BTree::Insert(const Element& element) {
   uint32_t left_n = static_cast<uint32_t>(all.size() / 2);
 
   XR_ASSIGN_OR_RETURN(Page * rraw, pool_->NewPage());
-  PageGuard right(pool_, rraw);
-  right.MarkDirty();
+  ls.AdoptNew(rraw);  // latched before any formatting
+  ls.MarkDirty(rraw->page_id());
   auto* rhdr = BTreeHeader(rraw);
   rhdr->magic = kBTreeLeafMagic;
   rhdr->is_leaf = 1;
@@ -149,33 +228,34 @@ Status BTree::Insert(const Element& element) {
   std::memcpy(slots, all.data(), left_n * sizeof(Element));
   PageId old_next = rhdr->next;
   hdr->next = rraw->page_id();
-  leaf.MarkDirty();
+  ls.MarkDirty(leaf_id);
 
   if (old_next != kInvalidPageId) {
-    XR_ASSIGN_OR_RETURN(Page * nraw, pool_->FetchPage(old_next));
-    PageGuard next(pool_, nraw);
+    // Rightward lateral acquisition (allowed by the latch order).
+    XR_ASSIGN_OR_RETURN(Page * nraw, ls.Acquire(old_next));
     BTreeHeader(nraw)->prev = rraw->page_id();
-    next.MarkDirty();
+    ls.MarkDirty(old_next);
   }
 
   Position sep = LeafSlots(rraw)[0].start;
   PageId right_id = rraw->page_id();
-  leaf.Release();
-  right.Release();
   path.pop_back();  // drop the leaf from the path
-  XR_RETURN_IF_ERROR(InsertIntoParent(path, sep, right_id));
-  ++size_;
+  XR_RETURN_IF_ERROR(InsertIntoParent(ls, path, sep, right_id));
+  size_.fetch_add(1, std::memory_order_acq_rel);
   return Status::Ok();
 }
 
-Status BTree::InsertIntoParent(std::vector<PathEntry>& path, Position sep_key,
+Status BTree::InsertIntoParent(WriteLatchSet& ls,
+                               std::vector<PathEntry>& path, Position sep_key,
                                PageId right_child) {
   if (path.empty()) {
-    // Split reached the root: grow the tree.
-    PageId old_root = root_;
+    // Split reached the root: grow the tree. We hold the old root's
+    // W-latch (it was unsafe the whole way), which is what makes the
+    // root_ store safe against the readers' validate-after-latch retry.
+    PageId old_root = root_.load(std::memory_order_acquire);
     XR_ASSIGN_OR_RETURN(Page * raw, pool_->NewPage());
-    PageGuard page(pool_, raw);
-    page.MarkDirty();
+    ls.AdoptNew(raw);
+    ls.MarkDirty(raw->page_id());
     auto* hdr = BTreeHeader(raw);
     hdr->magic = kBTreeInternalMagic;
     hdr->is_leaf = 0;
@@ -184,14 +264,18 @@ Status BTree::InsertIntoParent(std::vector<PathEntry>& path, Position sep_key,
     hdr->prev = kInvalidPageId;
     hdr->leftmost = old_root;
     InternalSlots(raw)[0] = {sep_key, right_child};
-    root_ = raw->page_id();
+    root_.store(raw->page_id(), std::memory_order_release);
     return Status::Ok();
   }
 
   PathEntry entry = path.back();
   path.pop_back();
-  XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(entry.page));
-  PageGuard node(pool_, raw);
+  // The crab invariant guarantees the split can only propagate into nodes
+  // the descent kept latched (a released ancestor had room below it).
+  Page* raw = ls.Get(entry.page);
+  if (raw == nullptr) {
+    return Status::Corruption("btree: split propagated past the crab scope");
+  }
   auto* hdr = BTreeHeader(raw);
   BTreeInternalEntry* slots = InternalSlots(raw);
   // The new key slots in right after the child slot we descended through.
@@ -202,7 +286,7 @@ Status BTree::InsertIntoParent(std::vector<PathEntry>& path, Position sep_key,
                  (hdr->count - at) * sizeof(BTreeInternalEntry));
     slots[at] = {sep_key, right_child};
     ++hdr->count;
-    node.MarkDirty();
+    ls.MarkDirty(entry.page);
     return Status::Ok();
   }
 
@@ -213,8 +297,8 @@ Status BTree::InsertIntoParent(std::vector<PathEntry>& path, Position sep_key,
   Position promote = all[mid].key;
 
   XR_ASSIGN_OR_RETURN(Page * rraw, pool_->NewPage());
-  PageGuard right(pool_, rraw);
-  right.MarkDirty();
+  ls.AdoptNew(rraw);
+  ls.MarkDirty(rraw->page_id());
   auto* rhdr = BTreeHeader(rraw);
   rhdr->magic = kBTreeInternalMagic;
   rhdr->is_leaf = 0;
@@ -227,20 +311,20 @@ Status BTree::InsertIntoParent(std::vector<PathEntry>& path, Position sep_key,
 
   hdr->count = mid;
   std::memcpy(slots, all.data(), mid * sizeof(BTreeInternalEntry));
-  node.MarkDirty();
+  ls.MarkDirty(entry.page);
 
-  PageId right_id = rraw->page_id();
-  node.Release();
-  right.Release();
-  return InsertIntoParent(path, promote, right_id);
+  return InsertIntoParent(ls, path, promote, rraw->page_id());
 }
 
 Status BTree::Delete(Position key) {
-  if (root_ == kInvalidPageId) return Status::NotFound("empty tree");
+  std::shared_lock<std::shared_mutex> commit_barrier(pool_->commit_mutex());
+  if (root_.load(std::memory_order_acquire) == kInvalidPageId) {
+    return Status::NotFound("empty tree");
+  }
+  WriteLatchSet ls(pool_);
   std::vector<PathEntry> path;
-  XR_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(key, &path));
-  XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(leaf_id));
-  PageGuard leaf(pool_, raw);
+  XR_ASSIGN_OR_RETURN(Page * raw, DescendToLeafWrite(key, false, ls, path));
+  PageId leaf_id = raw->page_id();
   auto* hdr = BTreeHeader(raw);
   Element* slots = LeafSlots(raw);
   uint32_t at = LeafLowerBound(raw, key);
@@ -250,19 +334,21 @@ Status BTree::Delete(Position key) {
   std::memmove(slots + at, slots + at + 1,
                (hdr->count - at - 1) * sizeof(Element));
   --hdr->count;
-  leaf.MarkDirty();
-  --size_;
+  ls.MarkDirty(leaf_id);
+  size_.fetch_sub(1, std::memory_order_acq_rel);
 
   uint32_t min_fill = leaf_cap_ / 2;
-  bool is_root_leaf = (leaf_id == root_);
+  bool is_root_leaf = (leaf_id == root_.load(std::memory_order_acquire));
   bool underflow = !is_root_leaf && hdr->count < min_fill;
-  leaf.Release();
   if (!underflow) return Status::Ok();
-  return HandleLeafUnderflow(path);
+  return HandleLeafUnderflow(ls, path);
 }
 
-Status BTree::HandleLeafUnderflow(std::vector<PathEntry>& path) {
-  // path.back() is the leaf, path[size-2] its parent.
+Status BTree::HandleLeafUnderflow(WriteLatchSet& ls,
+                                  std::vector<PathEntry>& path) {
+  // path.back() is the leaf, path[size-2] its parent. Both are still
+  // W-latched: the leaf underflowed, so the descent found it unsafe and
+  // kept its parent.
   assert(path.size() >= 2);
   PathEntry leaf_entry = path.back();
   PathEntry parent_entry = path[path.size() - 2];
@@ -271,21 +357,23 @@ Status BTree::HandleLeafUnderflow(std::vector<PathEntry>& path) {
   // entry.
   uint32_t child_slot = parent_entry.slot;
 
-  XR_ASSIGN_OR_RETURN(Page * praw, pool_->FetchPage(parent_entry.page));
-  PageGuard parent(pool_, praw);
+  Page* praw = ls.Get(parent_entry.page);
+  Page* lraw = ls.Get(leaf_entry.page);
+  if (praw == nullptr || lraw == nullptr) {
+    return Status::Corruption("btree: underflow outside the crab scope");
+  }
   auto* phdr = BTreeHeader(praw);
   BTreeInternalEntry* pslots = InternalSlots(praw);
-
-  XR_ASSIGN_OR_RETURN(Page * lraw, pool_->FetchPage(leaf_entry.page));
-  PageGuard leaf(pool_, lraw);
   auto* lhdr = BTreeHeader(lraw);
   uint32_t min_fill = leaf_cap_ / 2;
 
   // Try to redistribute from the left sibling, then the right sibling.
+  // Sibling latches are taken under the held parent, so no other writer
+  // can reach them except from below — and a writer below a *safe* sibling
+  // never needs the parent (deadlock-freedom argument, DESIGN.md §14).
   if (child_slot > 0) {
     PageId sib_id = ChildAt(praw, child_slot - 1);
-    XR_ASSIGN_OR_RETURN(Page * sraw, pool_->FetchPage(sib_id));
-    PageGuard sib(pool_, sraw);
+    XR_ASSIGN_OR_RETURN(Page * sraw, ls.Acquire(sib_id));
     auto* shdr = BTreeHeader(sraw);
     if (shdr->count > min_fill) {
       // Move the tail entry of the left sibling to the front of the leaf.
@@ -296,16 +384,15 @@ Status BTree::HandleLeafUnderflow(std::vector<PathEntry>& path) {
       ++lhdr->count;
       --shdr->count;
       pslots[child_slot - 1].key = lslots[0].start;
-      leaf.MarkDirty();
-      sib.MarkDirty();
-      parent.MarkDirty();
+      ls.MarkDirty(leaf_entry.page);
+      ls.MarkDirty(sib_id);
+      ls.MarkDirty(parent_entry.page);
       return Status::Ok();
     }
   }
   if (child_slot < phdr->count) {
     PageId sib_id = ChildAt(praw, child_slot + 1);
-    XR_ASSIGN_OR_RETURN(Page * sraw, pool_->FetchPage(sib_id));
-    PageGuard sib(pool_, sraw);
+    XR_ASSIGN_OR_RETURN(Page * sraw, ls.Acquire(sib_id));
     auto* shdr = BTreeHeader(sraw);
     if (shdr->count > min_fill) {
       // Move the head entry of the right sibling to the tail of the leaf.
@@ -316,56 +403,52 @@ Status BTree::HandleLeafUnderflow(std::vector<PathEntry>& path) {
       std::memmove(sslots, sslots + 1, (shdr->count - 1) * sizeof(Element));
       --shdr->count;
       pslots[child_slot].key = sslots[0].start;
-      leaf.MarkDirty();
-      sib.MarkDirty();
-      parent.MarkDirty();
+      ls.MarkDirty(leaf_entry.page);
+      ls.MarkDirty(sib_id);
+      ls.MarkDirty(parent_entry.page);
       return Status::Ok();
     }
   }
 
   // Merge. Prefer merging into the left sibling; otherwise pull the right
-  // sibling into this leaf. Either way one parent entry disappears.
+  // sibling into this leaf. Either way one parent entry disappears. The
+  // dead page is tombstoned under its W-latch and freed only after every
+  // latch drops (readers blocked on it still hold pins).
   uint32_t removed_slot;  // key slot removed from the parent
   if (child_slot > 0) {
     PageId sib_id = ChildAt(praw, child_slot - 1);
-    XR_ASSIGN_OR_RETURN(Page * sraw, pool_->FetchPage(sib_id));
-    PageGuard sib(pool_, sraw);
+    XR_ASSIGN_OR_RETURN(Page * sraw, ls.Acquire(sib_id));
     auto* shdr = BTreeHeader(sraw);
     std::memcpy(LeafSlots(sraw) + shdr->count, LeafSlots(lraw),
                 lhdr->count * sizeof(Element));
     shdr->count += lhdr->count;
     shdr->next = lhdr->next;
     if (lhdr->next != kInvalidPageId) {
-      XR_ASSIGN_OR_RETURN(Page * nraw, pool_->FetchPage(lhdr->next));
-      PageGuard next(pool_, nraw);
+      XR_ASSIGN_OR_RETURN(Page * nraw, ls.Acquire(lhdr->next));
       BTreeHeader(nraw)->prev = sib_id;
-      next.MarkDirty();
+      ls.MarkDirty(lhdr->next);
     }
-    sib.MarkDirty();
+    ls.MarkDirty(sib_id);
     removed_slot = child_slot - 1;  // separator between sib and leaf
-    PageId dead = leaf_entry.page;
-    leaf.Release();
-    pool_->FreePage(dead).ok();
+    lhdr->magic = 0;  // tombstone: stale readers fail the magic check
+    ls.DeferFree(leaf_entry.page);
   } else {
     PageId sib_id = ChildAt(praw, child_slot + 1);
-    XR_ASSIGN_OR_RETURN(Page * sraw, pool_->FetchPage(sib_id));
-    PageGuard sib(pool_, sraw);
+    XR_ASSIGN_OR_RETURN(Page * sraw, ls.Acquire(sib_id));
     auto* shdr = BTreeHeader(sraw);
     std::memcpy(LeafSlots(lraw) + lhdr->count, LeafSlots(sraw),
                 shdr->count * sizeof(Element));
     lhdr->count += shdr->count;
     lhdr->next = shdr->next;
     if (shdr->next != kInvalidPageId) {
-      XR_ASSIGN_OR_RETURN(Page * nraw, pool_->FetchPage(shdr->next));
-      PageGuard next(pool_, nraw);
+      XR_ASSIGN_OR_RETURN(Page * nraw, ls.Acquire(shdr->next));
       BTreeHeader(nraw)->prev = leaf_entry.page;
-      next.MarkDirty();
+      ls.MarkDirty(shdr->next);
     }
-    leaf.MarkDirty();
+    ls.MarkDirty(leaf_entry.page);
     removed_slot = child_slot;  // separator between leaf and sib
-    PageId dead = sib_id;
-    sib.Release();
-    pool_->FreePage(dead).ok();
+    shdr->magic = 0;
+    ls.DeferFree(sib_id);
   }
 
   // Remove the separator key (and the right-hand child pointer) from the
@@ -373,26 +456,27 @@ Status BTree::HandleLeafUnderflow(std::vector<PathEntry>& path) {
   std::memmove(pslots + removed_slot, pslots + removed_slot + 1,
                (phdr->count - removed_slot - 1) * sizeof(BTreeInternalEntry));
   --phdr->count;
-  parent.MarkDirty();
+  ls.MarkDirty(parent_entry.page);
 
-  bool parent_is_root = (parent_entry.page == root_);
+  bool parent_is_root =
+      (parent_entry.page == root_.load(std::memory_order_acquire));
   if (parent_is_root && phdr->count == 0) {
-    // Root became empty: its single child is the new root.
-    root_ = phdr->leftmost;
-    PageId dead = parent_entry.page;
-    parent.Release();
-    pool_->FreePage(dead).ok();
+    // Root became empty: its single child is the new root. We hold the old
+    // root's W-latch, so readers re-validating root_ retry cleanly.
+    root_.store(phdr->leftmost, std::memory_order_release);
+    phdr->magic = 0;
+    ls.DeferFree(parent_entry.page);
     return Status::Ok();
   }
   uint32_t imin = internal_cap_ / 2;
   bool underflow = !parent_is_root && phdr->count < imin;
-  parent.Release();
   if (!underflow) return Status::Ok();
   path.pop_back();  // leaf
-  return HandleInternalUnderflow(path, path.size() - 1);
+  return HandleInternalUnderflow(ls, path, path.size() - 1);
 }
 
-Status BTree::HandleInternalUnderflow(std::vector<PathEntry>& path,
+Status BTree::HandleInternalUnderflow(WriteLatchSet& ls,
+                                      std::vector<PathEntry>& path,
                                       size_t depth) {
   // path[depth] is the underflowing internal node; path[depth-1] its parent.
   assert(depth >= 1);
@@ -400,21 +484,20 @@ Status BTree::HandleInternalUnderflow(std::vector<PathEntry>& path,
   PathEntry parent_entry = path[depth - 1];
   uint32_t child_slot = parent_entry.slot;
 
-  XR_ASSIGN_OR_RETURN(Page * praw, pool_->FetchPage(parent_entry.page));
-  PageGuard parent(pool_, praw);
+  Page* praw = ls.Get(parent_entry.page);
+  Page* nraw = ls.Get(node_entry.page);
+  if (praw == nullptr || nraw == nullptr) {
+    return Status::Corruption("btree: underflow outside the crab scope");
+  }
   auto* phdr = BTreeHeader(praw);
   BTreeInternalEntry* pslots = InternalSlots(praw);
-
-  XR_ASSIGN_OR_RETURN(Page * nraw, pool_->FetchPage(node_entry.page));
-  PageGuard node(pool_, nraw);
   auto* nhdr = BTreeHeader(nraw);
   BTreeInternalEntry* nslots = InternalSlots(nraw);
   uint32_t imin = internal_cap_ / 2;
 
   if (child_slot > 0) {
     PageId sib_id = ChildAt(praw, child_slot - 1);
-    XR_ASSIGN_OR_RETURN(Page * sraw, pool_->FetchPage(sib_id));
-    PageGuard sib(pool_, sraw);
+    XR_ASSIGN_OR_RETURN(Page * sraw, ls.Acquire(sib_id));
     auto* shdr = BTreeHeader(sraw);
     BTreeInternalEntry* sslots = InternalSlots(sraw);
     if (shdr->count > imin) {
@@ -428,16 +511,15 @@ Status BTree::HandleInternalUnderflow(std::vector<PathEntry>& path,
       ++nhdr->count;
       pslots[child_slot - 1].key = sslots[shdr->count - 1].key;
       --shdr->count;
-      node.MarkDirty();
-      sib.MarkDirty();
-      parent.MarkDirty();
+      ls.MarkDirty(node_entry.page);
+      ls.MarkDirty(sib_id);
+      ls.MarkDirty(parent_entry.page);
       return Status::Ok();
     }
   }
   if (child_slot < phdr->count) {
     PageId sib_id = ChildAt(praw, child_slot + 1);
-    XR_ASSIGN_OR_RETURN(Page * sraw, pool_->FetchPage(sib_id));
-    PageGuard sib(pool_, sraw);
+    XR_ASSIGN_OR_RETURN(Page * sraw, ls.Acquire(sib_id));
     auto* shdr = BTreeHeader(sraw);
     BTreeInternalEntry* sslots = InternalSlots(sraw);
     if (shdr->count > imin) {
@@ -450,9 +532,9 @@ Status BTree::HandleInternalUnderflow(std::vector<PathEntry>& path,
       std::memmove(sslots, sslots + 1,
                    (shdr->count - 1) * sizeof(BTreeInternalEntry));
       --shdr->count;
-      node.MarkDirty();
-      sib.MarkDirty();
-      parent.MarkDirty();
+      ls.MarkDirty(node_entry.page);
+      ls.MarkDirty(sib_id);
+      ls.MarkDirty(parent_entry.page);
       return Status::Ok();
     }
   }
@@ -461,8 +543,7 @@ Status BTree::HandleInternalUnderflow(std::vector<PathEntry>& path,
   uint32_t removed_slot;
   if (child_slot > 0) {
     PageId sib_id = ChildAt(praw, child_slot - 1);
-    XR_ASSIGN_OR_RETURN(Page * sraw, pool_->FetchPage(sib_id));
-    PageGuard sib(pool_, sraw);
+    XR_ASSIGN_OR_RETURN(Page * sraw, ls.Acquire(sib_id));
     auto* shdr = BTreeHeader(sraw);
     BTreeInternalEntry* sslots = InternalSlots(sraw);
     Position sep = pslots[child_slot - 1].key;
@@ -471,15 +552,13 @@ Status BTree::HandleInternalUnderflow(std::vector<PathEntry>& path,
     std::memcpy(sslots + shdr->count, nslots,
                 nhdr->count * sizeof(BTreeInternalEntry));
     shdr->count += nhdr->count;
-    sib.MarkDirty();
+    ls.MarkDirty(sib_id);
     removed_slot = child_slot - 1;
-    PageId dead = node_entry.page;
-    node.Release();
-    pool_->FreePage(dead).ok();
+    nhdr->magic = 0;
+    ls.DeferFree(node_entry.page);
   } else {
     PageId sib_id = ChildAt(praw, child_slot + 1);
-    XR_ASSIGN_OR_RETURN(Page * sraw, pool_->FetchPage(sib_id));
-    PageGuard sib(pool_, sraw);
+    XR_ASSIGN_OR_RETURN(Page * sraw, ls.Acquire(sib_id));
     auto* shdr = BTreeHeader(sraw);
     BTreeInternalEntry* sslots = InternalSlots(sraw);
     Position sep = pslots[child_slot].key;
@@ -488,47 +567,44 @@ Status BTree::HandleInternalUnderflow(std::vector<PathEntry>& path,
     std::memcpy(nslots + nhdr->count, sslots,
                 shdr->count * sizeof(BTreeInternalEntry));
     nhdr->count += shdr->count;
-    node.MarkDirty();
+    ls.MarkDirty(node_entry.page);
     removed_slot = child_slot;
-    PageId dead = sib_id;
-    sib.Release();
-    pool_->FreePage(dead).ok();
+    shdr->magic = 0;
+    ls.DeferFree(sib_id);
   }
 
   std::memmove(pslots + removed_slot, pslots + removed_slot + 1,
                (phdr->count - removed_slot - 1) * sizeof(BTreeInternalEntry));
   --phdr->count;
-  parent.MarkDirty();
+  ls.MarkDirty(parent_entry.page);
 
-  bool parent_is_root = (parent_entry.page == root_);
+  bool parent_is_root =
+      (parent_entry.page == root_.load(std::memory_order_acquire));
   if (parent_is_root && phdr->count == 0) {
-    root_ = phdr->leftmost;
-    PageId dead = parent_entry.page;
-    parent.Release();
-    pool_->FreePage(dead).ok();
+    root_.store(phdr->leftmost, std::memory_order_release);
+    phdr->magic = 0;
+    ls.DeferFree(parent_entry.page);
     return Status::Ok();
   }
   uint32_t imin2 = internal_cap_ / 2;
   bool underflow = !parent_is_root && phdr->count < imin2;
-  parent.Release();
   if (!underflow) return Status::Ok();
-  return HandleInternalUnderflow(path, depth - 1);
+  return HandleInternalUnderflow(ls, path, depth - 1);
 }
 
 Result<Element> BTree::Search(Position key) const {
-  if (root_ == kInvalidPageId) return Status::NotFound("empty tree");
-  XR_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(key, nullptr));
-  XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(leaf_id));
-  PageGuard leaf(pool_, raw);
-  uint32_t at = LeafLowerBound(raw, key);
-  const auto* hdr = BTreeHeader(raw);
-  const Element* slots = LeafSlots(raw);
+  XR_ASSIGN_OR_RETURN(ReadLatchedPage leaf, DescendToLeafRead(key));
+  if (!leaf) return Status::NotFound("empty tree");
+  uint32_t at = LeafLowerBound(leaf.get(), key);
+  const auto* hdr = BTreeHeader(leaf.get());
+  const Element* slots = LeafSlots(leaf.get());
   if (at < hdr->count && slots[at].start == key) return slots[at];
   return Status::NotFound("key " + std::to_string(key));
 }
 
 Status BTree::BulkLoad(const ElementList& elements, double fill_fraction) {
-  if (root_ != kInvalidPageId || size_ != 0) {
+  if (root_.load(std::memory_order_acquire) != kInvalidPageId ||
+      size_.load(std::memory_order_acquire) != 0) {
     return Status::InvalidArgument("BulkLoad requires an empty tree");
   }
   if (fill_fraction <= 0.0 || fill_fraction > 1.0) {
@@ -618,32 +694,32 @@ Status BTree::BulkLoad(const ElementList& elements, double fill_fraction) {
     }
     level = std::move(next_level);
   }
-  root_ = level[0].page;
-  size_ = elements.size();
+  root_.store(level[0].page, std::memory_order_release);
+  size_.store(elements.size(), std::memory_order_release);
   return Status::Ok();
 }
 
 Result<BTreeIterator> BTree::LowerBound(Position key) const {
-  if (root_ == kInvalidPageId) return BTreeIterator();
-  XR_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(key, nullptr));
-  XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(leaf_id));
-  uint32_t at = LeafLowerBound(raw, key);
-  const auto* hdr = BTreeHeader(raw);
+  XR_ASSIGN_OR_RETURN(ReadLatchedPage leaf, DescendToLeafRead(key));
+  if (!leaf) return BTreeIterator();  // empty tree
+  uint32_t at = LeafLowerBound(leaf.get(), key);
+  const auto* hdr = BTreeHeader(leaf.get());
+  PageId next = hdr->next;
+  // Epoch sampled under the leaf R-latch: while we hold it, `next` cannot
+  // be unlinked (that requires W on this leaf), so "epoch unchanged later"
+  // proves the id still names the same live leaf (no ABA through FreePage).
+  uint64_t epoch = pool_->free_epoch();
   if (at >= hdr->count) {
-    // Key is past the last entry of this leaf; the successor is the first
-    // entry of the next leaf.
-    PageId next = hdr->next;
-    XR_RETURN_IF_ERROR(pool_->UnpinPage(leaf_id, false));
-    if (next == kInvalidPageId) return BTreeIterator();
-    XR_ASSIGN_OR_RETURN(Page * nraw, pool_->FetchPage(next));
-    if (BTreeHeader(nraw)->count == 0) {
-      // Only possible for a degenerate (empty-root) tree.
-      XR_RETURN_IF_ERROR(pool_->UnpinPage(next, false));
-      return BTreeIterator();
-    }
-    return BTreeIterator(this, PageGuard(pool_, nraw), 0);
+    // Key is past the last entry of this leaf; land on the next non-empty
+    // leaf through the (epoch-validated) lateral path.
+    leaf.Release();
+    BTreeIterator it(this, {}, next, epoch, key, /*reseek_exclusive=*/false);
+    XR_RETURN_IF_ERROR(it.LandOnNextLeaf());
+    return it;
   }
-  return BTreeIterator(this, PageGuard(pool_, raw), at);
+  std::vector<Element> snap(LeafSlots(leaf.get()) + at,
+                            LeafSlots(leaf.get()) + hdr->count);
+  return BTreeIterator(this, std::move(snap), next, epoch, key, false);
 }
 
 Result<BTreeIterator> BTree::UpperBound(Position key) const {
@@ -728,9 +804,11 @@ Status BTree::CheckNode(PageId id, bool is_root, Position lo, Position hi,
 }
 
 Status BTree::CheckConsistency() const {
-  if (root_ == kInvalidPageId) return Status::Ok();
+  // Quiescent-only (like BulkLoad): run after writers have drained.
+  PageId root_id = root_.load(std::memory_order_acquire);
+  if (root_id == kInvalidPageId) return Status::Ok();
   int height = 0;
-  XR_RETURN_IF_ERROR(CheckNode(root_, true, 0, kNilPosition, &height));
+  XR_RETURN_IF_ERROR(CheckNode(root_id, true, 0, kNilPosition, &height));
 
   // Validate the leaf chain: strictly ascending keys across page links and
   // consistent prev pointers.
@@ -747,34 +825,52 @@ Status BTree::CheckConsistency() const {
     ++count;
     XR_RETURN_IF_ERROR(it.Next());
   }
-  if (count != size_) {
+  if (count != size_.load(std::memory_order_acquire)) {
     return Status::Corruption("size mismatch: counted " +
                               std::to_string(count) + " tracked " +
-                              std::to_string(size_));
+                              std::to_string(size()));
   }
   return Status::Ok();
 }
 
 Result<uint32_t> BTree::Height() const {
-  if (root_ == kInvalidPageId) return static_cast<uint32_t>(0);
-  uint32_t h = 1;
-  PageId cur = root_;
-  // Bound the walk like FindLeaf: a leftmost pointer that escaped into a
-  // cycle must surface as Corruption, not an infinite loop.
-  for (int depth = 0; depth < kMaxTreeDepth; ++depth) {
-    XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(cur));
-    PageGuard page(pool_, raw);
-    if (BTreeHeader(raw)->is_leaf) return h;
-    cur = BTreeHeader(raw)->leftmost;
-    ++h;
+  for (;;) {
+    PageId root_id = root_.load(std::memory_order_acquire);
+    if (root_id == kInvalidPageId) return static_cast<uint32_t>(0);
+    auto fetched = pool_->FetchPage(root_id);
+    if (!fetched.ok()) {
+      if (root_.load(std::memory_order_acquire) != root_id) continue;
+      return fetched.status();
+    }
+    ReadLatchedPage cur(pool_, *fetched);
+    if (root_.load(std::memory_order_acquire) != root_id) continue;
+    uint32_t h = 1;
+    // Bound the walk like the descent: a leftmost pointer that escaped
+    // into a cycle must surface as Corruption, not an infinite loop.
+    bool done = false;
+    for (int depth = 0; depth < kMaxTreeDepth; ++depth) {
+      if (BTreeHeader(cur.get())->is_leaf) {
+        done = true;
+        break;
+      }
+      PageId child_id = BTreeHeader(cur.get())->leftmost;
+      auto child = pool_->FetchPage(child_id);
+      if (!child.ok()) return child.status();
+      ReadLatchedPage next(pool_, *child);
+      cur = std::move(next);
+      ++h;
+    }
+    if (done) return h;
+    return Status::Corruption("btree: height walk did not reach a leaf");
   }
-  return Status::Corruption("btree: height walk did not reach a leaf");
 }
 
 Result<uint64_t> BTree::CountPages() const {
-  if (root_ == kInvalidPageId) return static_cast<uint64_t>(0);
+  // Quiescent-only: walks raw child pointers without latches.
+  PageId root_id = root_.load(std::memory_order_acquire);
+  if (root_id == kInvalidPageId) return static_cast<uint64_t>(0);
   uint64_t n = 0;
-  std::vector<PageId> stack{root_};
+  std::vector<PageId> stack{root_id};
   while (!stack.empty()) {
     PageId id = stack.back();
     stack.pop_back();
@@ -807,7 +903,7 @@ Result<uint64_t> BTree::CountEntries() {
     }
     XR_RETURN_IF_ERROR(it.Next());
   }
-  size_ = n;
+  size_.store(n, std::memory_order_release);
   return n;
 }
 

@@ -1,7 +1,9 @@
 #ifndef XRTREE_BTREE_BTREE_H_
 #define XRTREE_BTREE_BTREE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -9,6 +11,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "storage/buffer_pool.h"
+#include "storage/page_latch.h"
 #include "xml/element.h"
 
 namespace xrtree {
@@ -32,11 +35,15 @@ struct BTreeOptions {
 /// internal nodes hold separator keys; deletion redistributes or merges on
 /// underflow. No parent pointers — mutations carry the descent path.
 ///
-/// Thread safety: const lookups (Search, LowerBound, UpperBound, Begin,
-/// Height, CheckConsistency) keep all descent state in locals and pinned pool
-/// pages, so concurrent reader threads may probe one shared tree over a
-/// thread-safe BufferPool. Insert/Delete/BulkLoad are single-writer and
-/// must not overlap readers (see DESIGN.md §9).
+/// Thread safety (DESIGN.md §14): const lookups (Search, LowerBound,
+/// UpperBound, Begin, Height) descend with R-latch coupling and return
+/// snapshot iterators, so any number of reader threads may probe the tree.
+/// Insert/Delete run per-page latch-crabbing descents (WriteLatchSet): any
+/// number of writer threads may run concurrently with each other and with
+/// readers. Readers racing an in-flight structural change see a consistent
+/// (possibly momentarily stale) view — never a torn page; joins needing
+/// exact results quiesce writers first. BulkLoad and
+/// CheckConsistency/CountPages/CountEntries remain quiescent-only.
 class BTree {
  public:
   /// Creates an accessor. If `root` is kInvalidPageId the tree starts
@@ -44,9 +51,30 @@ class BTree {
   BTree(BufferPool* pool, PageId root = kInvalidPageId,
         const BTreeOptions& options = {});
 
+  /// Moves are quiescent-only (factory returns like StoredElementSet::Open):
+  /// they transfer the tree identity — pool, root, cached size — while the
+  /// latching state (mutexes) is freshly constructed, which is sound
+  /// precisely because no operation may be in flight on either side.
+  BTree(BTree&& other) noexcept
+      : pool_(other.pool_),
+        root_(other.root_.load(std::memory_order_acquire)),
+        size_(other.size_.load(std::memory_order_acquire)),
+        leaf_cap_(other.leaf_cap_),
+        internal_cap_(other.internal_cap_) {}
+  BTree& operator=(BTree&& other) noexcept {
+    pool_ = other.pool_;
+    root_.store(other.root_.load(std::memory_order_acquire),
+                std::memory_order_release);
+    size_.store(other.size_.load(std::memory_order_acquire),
+                std::memory_order_release);
+    leaf_cap_ = other.leaf_cap_;
+    internal_cap_ = other.internal_cap_;
+    return *this;
+  }
+
   /// Current root page (persist this to reopen the tree later).
-  PageId root() const { return root_; }
-  uint64_t size() const { return size_; }
+  PageId root() const { return root_.load(std::memory_order_acquire); }
+  uint64_t size() const { return size_.load(std::memory_order_acquire); }
   /// Recomputes size by walking leaves — for reopened trees.
   Result<uint64_t> CountEntries();
 
@@ -101,20 +129,35 @@ class BTree {
   };
 
   Status InitRootLeaf();
-  /// Descends to the leaf that owns `key`, recording the path when asked.
-  Result<PageId> FindLeaf(Position key, std::vector<PathEntry>* path) const;
 
-  Status InsertIntoParent(std::vector<PathEntry>& path, Position sep_key,
-                          PageId right_child);
-  Status HandleLeafUnderflow(std::vector<PathEntry>& path);
-  Status HandleInternalUnderflow(std::vector<PathEntry>& path, size_t depth);
+  /// Reader descent with R-latch coupling: returns the owning leaf pinned
+  /// and R-latched (an empty default on an empty tree). Retries when the
+  /// root moves between the atomic load and the latch grant.
+  Result<ReadLatchedPage> DescendToLeafRead(Position key) const;
+
+  /// Writer descent with latch crabbing: W-latches from the root down into
+  /// `ls`, releasing held ancestors whenever the just-latched child is safe
+  /// (for_insert: has room; otherwise: above min fill). Returns the leaf;
+  /// `path` records the root-to-leaf child slots (entries above the crab
+  /// point refer to released pages and are never revisited).
+  Result<Page*> DescendToLeafWrite(Position key, bool for_insert,
+                                   WriteLatchSet& ls,
+                                   std::vector<PathEntry>& path);
+
+  Status InsertIntoParent(WriteLatchSet& ls, std::vector<PathEntry>& path,
+                          Position sep_key, PageId right_child);
+  Status HandleLeafUnderflow(WriteLatchSet& ls, std::vector<PathEntry>& path);
+  Status HandleInternalUnderflow(WriteLatchSet& ls,
+                                 std::vector<PathEntry>& path, size_t depth);
 
   Status CheckNode(PageId id, bool is_root, Position lo, Position hi,
                    int* height) const;
 
   BufferPool* pool_;
-  PageId root_;
-  uint64_t size_ = 0;
+  std::atomic<PageId> root_;
+  std::atomic<uint64_t> size_{0};
+  /// Serializes lazy root creation (two first-inserters racing).
+  std::mutex root_init_mu_;
   uint32_t leaf_cap_;
   uint32_t internal_cap_;
 };

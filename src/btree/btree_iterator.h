@@ -2,6 +2,7 @@
 #define XRTREE_BTREE_BTREE_ITERATOR_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "btree/btree_page.h"
 #include "common/status.h"
@@ -12,20 +13,33 @@ namespace xrtree {
 
 class BTree;
 
-/// Forward cursor over the leaf level of a BTree. Holds a pin on the
-/// current leaf only. Tracks how many elements it has returned — the
-/// paper's "number of elements scanned" metric (§6.1) is the sum of these
-/// counters across all cursors a join uses.
+/// Forward cursor over the leaf level of a BTree. Holds a *snapshot* of the
+/// current leaf's elements (copied under a short R-latch) and zero latches
+/// or pins between calls, so any number of iterators can run against
+/// concurrent writers without blocking them.
+///
+/// Lateral moves chase the leaf chain; each hop R-latches the next leaf and
+/// re-validates the pool's free epoch (sampled when the link was read). If
+/// an index page was freed in between — the link may dangle or point at a
+/// recycled page — the iterator re-descends from the root past the last key
+/// it returned, so the scan stays correct, merely re-paying a descent.
+/// Under a quiesced tree this reproduces exactly the classic pinned-cursor
+/// behaviour.
+///
+/// Tracks how many elements it has returned — the paper's "number of
+/// elements scanned" metric (§6.1) is the sum of these counters across all
+/// cursors a join uses.
 class BTreeIterator {
  public:
   /// Invalid (end) iterator.
   BTreeIterator() = default;
-  BTreeIterator(const BTree* tree, PageGuard leaf, uint32_t slot);
+  BTreeIterator(const BTree* tree, std::vector<Element> snap, PageId next,
+                uint64_t epoch, Position reseek_key, bool reseek_exclusive);
 
   BTreeIterator(BTreeIterator&&) = default;
   BTreeIterator& operator=(BTreeIterator&&) = default;
 
-  bool Valid() const { return static_cast<bool>(leaf_); }
+  bool Valid() const { return pos_ < snap_.size(); }
   const Element& Get() const;
 
   /// Advances to the next element in key order. The iterator becomes
@@ -40,9 +54,23 @@ class BTreeIterator {
   uint64_t scanned() const { return scanned_; }
 
  private:
+  friend class BTree;
+
+  /// Chases next_ to the first non-empty leaf, snapshotting it. Falls back
+  /// to Reseek() when the free epoch moved under the lateral link.
+  Status LandOnNextLeaf();
+
+  /// Fresh descent past the last returned key (exclusive) or the original
+  /// seek key; replaces this iterator's state in place.
+  Status Reseek();
+
   const BTree* tree_ = nullptr;
-  PageGuard leaf_;
-  uint32_t slot_ = 0;
+  std::vector<Element> snap_;
+  size_t pos_ = 0;
+  PageId next_ = kInvalidPageId;   ///< chain link read under the leaf latch
+  uint64_t epoch_ = 0;             ///< free epoch when next_ was read
+  Position reseek_key_ = 0;        ///< recovery point for a fresh descent
+  bool reseek_exclusive_ = false;  ///< true once an element was returned
   uint64_t scanned_ = 0;
 };
 

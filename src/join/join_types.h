@@ -62,6 +62,14 @@ struct JoinOptions {
   /// siblings instead of letting them run to completion.
   const std::atomic<bool>* cancel = nullptr;
 
+  /// Second cancellation flag, observed alongside `cancel`. Callers never
+  /// set this directly: ParallelXrStackJoin moves the caller's `cancel`
+  /// here before overwriting `cancel` with its internal sibling-failure
+  /// flag, so workers keep observing the *caller's* request too (the old
+  /// single-flag scheme silently dropped it). A join cancelled through
+  /// this flag is the caller's doing and is never degraded to serial.
+  const std::atomic<bool>* external_cancel = nullptr;
+
   /// ParallelXrStackJoin only: when a worker fails with a *retryable*
   /// error (Status::IsRetryable — transient I/O, pool pressure from N
   /// workers pinning at once), rerun the whole join with the serial

@@ -56,6 +56,12 @@ Result<std::vector<std::pair<Position, Position>>> PlanJoinPartitions(
                         ancestors.PartitionKeys(num_threads - 1));
     Position lo = 0;
     for (Position k : keys) {
+      // PartitionKeys can hand back duplicate separators (a heavily skewed
+      // key distribution thins to repeated boundaries) and, under
+      // concurrent writers, keys that no longer advance past `lo`. Either
+      // way the range [k, k) is degenerate: a worker spawned on it joins
+      // nothing but still pays a thread + two descents. Drop it.
+      if (k <= lo || k == kNilPosition) continue;
       ranges.emplace_back(lo, k);
       lo = k;
     }
@@ -82,9 +88,13 @@ Result<JoinOutput> ParallelXrStackJoin(const XrTree& ancestors,
   // join state in locals. They also share one cancellation flag: the first
   // range to fail sets it, and every sibling aborts at its next loop
   // iteration instead of scanning on toward a result that will be thrown
-  // away.
+  // away. The caller's own flag is *relocated* to external_cancel, not
+  // overwritten — workers observe both, so an external cancellation still
+  // aborts the join promptly.
   std::atomic<bool> cancel{false};
   JoinOptions worker_options = options;
+  worker_options.external_cancel =
+      options.cancel != nullptr ? options.cancel : options.external_cancel;
   worker_options.cancel = &cancel;
   std::vector<Result<JoinOutput>> results(
       ranges.size(),
@@ -121,6 +131,15 @@ Result<JoinOutput> ParallelXrStackJoin(const XrTree& ancestors,
     }
   }
   if (first_error == nullptr) first_error = first_cancelled;
+
+  // A caller-cancelled join is not a failure to recover from: the caller
+  // asked for the work to stop, so rerunning it serially (degrade path)
+  // would do the opposite. Surface Aborted directly.
+  const std::atomic<bool>* caller_flag = worker_options.external_cancel;
+  if (caller_flag != nullptr &&
+      caller_flag->load(std::memory_order_relaxed)) {
+    return Status::Aborted(kJoinCancelledMessage);
+  }
 
   if (first_error != nullptr) {
     if (options.degrade_to_serial && first_error->IsRetryable()) {

@@ -70,12 +70,17 @@ Result<JoinOutput> XrStackJoinRange(const XrTree& ancestors,
   // ancestors owned by ranges to the left.
   Position last_probe = lo;
 
-  // Cancellation is cooperative: one relaxed load per loop iteration. A
-  // cancelled worker's partial output is discarded by the caller, so the
-  // flag needs no ordering beyond the thread join that follows it.
+  // Cancellation is cooperative: one relaxed load per flag per loop
+  // iteration. A cancelled worker's partial output is discarded by the
+  // caller, so the flags need no ordering beyond the thread join that
+  // follows them. Both flags abort: `cancel` (the caller's, or the
+  // parallel join's sibling-failure flag) and `external_cancel` (the
+  // caller's original flag, relocated by ParallelXrStackJoin).
   auto cancelled = [&] {
-    return options.cancel != nullptr &&
-           options.cancel->load(std::memory_order_relaxed);
+    return (options.cancel != nullptr &&
+            options.cancel->load(std::memory_order_relaxed)) ||
+           (options.external_cancel != nullptr &&
+            options.external_cancel->load(std::memory_order_relaxed));
   };
 
   // Main loop (Algorithm 6 lines 4-22).
@@ -106,8 +111,11 @@ Result<JoinOutput> XrStackJoinRange(const XrTree& ancestors,
       if (options.prefetch_depth > 0 && cur_a != kNilPosition &&
           cur_a >= pf_arm_at) {
         Position resume = kNilPosition;
+        // Clamp the run to this worker's range: leaves whose first key is
+        // past `hi` hold no ancestors this range owns, so fetching them is
+        // pure waste (it shows up as prefetch_wasted in the pool stats).
         auto run = ancestors.LeafRunAfter(cur_a, options.prefetch_depth,
-                                          &resume);
+                                          &resume, hi);
         if (run.ok() && !run->empty()) {
           ancestors.pool()->PrefetchBatchAsync(std::move(*run));
         }

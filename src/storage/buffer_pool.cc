@@ -419,6 +419,29 @@ Result<Page*> BufferPool::FetchPage(PageId page_id) {
       entry->cv.wait(wait_lock, [&] { return entry->done; });
       continue;
     }
+    // A miss on a free-listed id is a dangling reference — a reader chased
+    // a leaf-chain link into a page a concurrent merge just retired. Refuse
+    // it (the caller re-descends) instead of serving whatever stale bytes
+    // the data file still holds for the id.
+    {
+      bool freed;
+      {
+        std::lock_guard<std::mutex> alock(alloc_mu_);
+        freed = free_set_.count(page_id) > 0;
+      }
+      if (freed) {
+        {
+          std::lock_guard<std::mutex> lock(s.mu);
+          s.in_flight.erase(page_id);
+          --s.reserved_frames;
+          page->Reset();
+          s.free_frames.push_back(frame);
+        }
+        CompleteInFlight(entry);
+        return Status::NotFound("FetchPage: page " + std::to_string(page_id) +
+                                " is on the free list");
+      }
+    }
     // Leader: the read happens outside the latch, directly into the
     // reserved frame (private to this fetch until completion installs it).
     // The WAL overlay is an in-memory/log-offset lookup and is consulted
@@ -910,7 +933,14 @@ bool BufferPool::ResidentLink(PageId page_id, uint32_t next_offset,
   std::lock_guard<std::mutex> lock(s.mu);
   auto it = s.page_table.find(page_id);
   if (it == s.page_table.end()) return false;
-  std::memcpy(link, s.frames[it->second]->data_ + next_offset, sizeof(*link));
+  Page* page = s.frames[it->second].get();
+  // A writer may hold this page's W-latch while blocking on a shard latch
+  // (crabbing acquires the child after the parent), so a *blocking* R-latch
+  // here — shard latch already held — would invert the order and deadlock.
+  // Try once: a write-latched page simply ends this best-effort walk early.
+  if (!page->TryRLatch()) return false;
+  std::memcpy(link, page->data_ + next_offset, sizeof(*link));
+  page->RUnlatch();
   return true;
 }
 
@@ -1045,6 +1075,7 @@ Status BufferPool::UnpinPage(PageId page_id, bool dirty) {
 }
 
 Status BufferPool::FlushPage(PageId page_id) {
+  std::unique_lock<std::shared_mutex> barrier(commit_mu_);
   Shard& s = *shards_[ShardIndex(page_id)];
   std::lock_guard<std::mutex> lock(s.mu);
   auto it = s.page_table.find(page_id);
@@ -1057,6 +1088,7 @@ Status BufferPool::FlushPage(PageId page_id) {
 }
 
 Status BufferPool::FlushAll() {
+  std::unique_lock<std::shared_mutex> barrier(commit_mu_);
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     for (auto& [page_id, frame] : shard->page_table) {
@@ -1162,8 +1194,11 @@ Status BufferPool::Commit() {
     return Status::InvalidArgument("Commit: no WAL attached");
   }
   // Log every dirty resident page so the commit record covers the whole
-  // logical update, including pages that were never evicted. Commit is
-  // single-writer by contract; the shard latches only fence off readers.
+  // logical update, including pages that were never evicted. The exclusive
+  // commit barrier holds off every tree write operation (they hold it
+  // shared), so each image logged here is from a completed op — never a
+  // half-applied split; the shard latches only fence off readers.
+  std::unique_lock<std::shared_mutex> barrier(commit_mu_);
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     for (auto& [page_id, frame] : shard->page_table) {
@@ -1185,6 +1220,7 @@ Status BufferPool::Checkpoint() {
   if (wal == nullptr) {
     return Status::InvalidArgument("Checkpoint: no WAL attached");
   }
+  std::unique_lock<std::shared_mutex> barrier(commit_mu_);
   return wal->Checkpoint(disk_);
 }
 

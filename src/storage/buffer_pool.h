@@ -7,6 +7,7 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
@@ -85,8 +86,13 @@ struct BufferPoolOptions {
 /// counters are relaxed atomics outside any
 /// lock. Any number of threads may Fetch/Unpin concurrently. Structural
 /// mutation (NewPage/FreePage id allocation) serializes only on a small
-/// allocator lock. Writes and WAL Commit/Checkpoint remain single-writer by
-/// contract — see DESIGN.md §9 for the full threading model.
+/// allocator lock. Page *contents* are guarded by per-page latches
+/// (Page::RLatch/WLatch): any number of tree writers may run concurrently
+/// with each other and with readers, crabbing W-latches down their
+/// descents (DESIGN.md §14). Commit/Checkpoint/FlushAll/FlushPage take the
+/// commit barrier (`commit_mutex()`) exclusively; tree write operations
+/// hold it shared, so every page image a commit logs is from a completed
+/// operation — see DESIGN.md §9/§14 for the full threading model.
 ///
 /// The pool is also the integrity boundary: every physical write-back
 /// stamps the page's PageTrailer (CRC32 + format version) and every fetch
@@ -245,6 +251,28 @@ class BufferPool {
 
   /// Number of currently pinned frames (for tests/assertions).
   size_t pinned_frames() const;
+
+  /// Commit barrier (DESIGN.md §14): tree write operations hold this
+  /// shared for their whole latch-crabbing descent; Commit / Checkpoint /
+  /// FlushAll / FlushPage take it exclusively. The exclusive side therefore
+  /// only ever observes writer-quiescent page images — a commit record
+  /// never carries a half-applied split.
+  std::shared_mutex& commit_mutex() const { return commit_mu_; }
+
+  /// Monotonic counter bumped once per batch of *tree-node* frees (a merge
+  /// or root collapse retiring index pages — WriteLatchSet::ReleaseAll).
+  /// Snapshot iterators record it while holding a leaf R-latch: if it is
+  /// unchanged when they later chase the leaf's `next` link, no index page
+  /// has been freed in between, so the id still names the same live leaf
+  /// (the ABA defense for latch-free lateral moves). Stab-chain page frees
+  /// deliberately do NOT bump it — chain ids are never held across a latch
+  /// release, and insert streams rewrite chains constantly.
+  uint64_t free_epoch() const {
+    return free_epoch_.load(std::memory_order_acquire);
+  }
+  void BumpFreeEpoch() {
+    free_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  }
 
   /// Default attempts before Fetch/NewPage gives up on a fully pinned
   /// shard (BufferPoolOptions::pin_retry.max_retries). Early attempts
@@ -461,6 +489,11 @@ class BufferPool {
   mutable std::mutex alloc_mu_;
   std::vector<PageId> free_pages_;
   std::unordered_set<PageId> free_set_;
+
+  /// Commit barrier: shared = tree write op, exclusive = commit/flush.
+  mutable std::shared_mutex commit_mu_;
+  /// Tree-node free counter (see free_epoch()).
+  std::atomic<uint64_t> free_epoch_{0};
 
   std::atomic<uint64_t> failed_unpins_{0};
 

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <shared_mutex>
 
 namespace xrtree {
 
@@ -89,6 +90,19 @@ class Page {
   bool is_dirty() const { return is_dirty_; }
   int pin_count() const { return pin_count_; }
 
+  /// Per-page latch (DESIGN.md §14). Guards the page *contents* — the
+  /// buffer-pool bookkeeping fields stay under the shard latch. Latch only
+  /// while holding a pin: the latch lives in the frame, and an unpinned
+  /// frame may be evicted and re-targeted at any time. Readers couple
+  /// R-latches down a descent; writers crab W-latches (WriteLatchSet).
+  /// The latch survives Reset() deliberately — a frame is only ever reset
+  /// under its shard latch with zero pins, so no holder can exist.
+  void RLatch() const { latch_.lock_shared(); }
+  void RUnlatch() const { latch_.unlock_shared(); }
+  bool TryRLatch() const { return latch_.try_lock_shared(); }
+  void WLatch() { latch_.lock(); }
+  void WUnlatch() { latch_.unlock(); }
+
  private:
   friend class BufferPool;
 
@@ -107,6 +121,8 @@ class Page {
   }
 
   char data_[kPageSize];
+  /// Content latch; mutable so const (reader) views can share-lock.
+  mutable std::shared_mutex latch_;
   PageId page_id_ = kInvalidPageId;
   int pin_count_ = 0;
   bool is_dirty_ = false;

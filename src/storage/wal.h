@@ -115,9 +115,15 @@ struct WalStats {
 /// and Recover discards any torn or uncommitted log tail, restoring the
 /// data file to exactly the last committed state.
 ///
-/// Single-writer: one logical update runs at a time (the engine's update
-/// paths are serial); the Wal's own mutex only protects against concurrent
-/// readers.
+/// Concurrency (DESIGN.md §14): appends from any number of writer threads
+/// serialize behind the Wal's mutex, which assigns each record its LSN
+/// (the byte offset at append time) under the lock — LSNs are therefore
+/// totally ordered and dense regardless of which thread wrote which
+/// record. Page-image ordering per page is inherited from the page
+/// latches: a page's image is only logged by a write-back while its
+/// frame is latched/pinned, so two images of the same page can never race
+/// to the log out of content order. Reads (TryReadImage, overlay lookups)
+/// take the same mutex.
 class Wal {
  public:
   Wal() = default;

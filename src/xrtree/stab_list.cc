@@ -2,9 +2,36 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 namespace xrtree {
+
+namespace {
+
+// Frees a stab-chain / ps-directory page, tolerating transient pins. With
+// concurrent readers the page being retired can be momentarily pinned by an
+// in-flight CollectStabbed/ReadPsl or the background prefetcher; FreePage
+// refuses pinned pages, so retry briefly (spinning first, then sleeping)
+// and, if the pin persists, leak the page rather than fail the mutation —
+// the entry data was already rewritten elsewhere, so correctness is
+// unaffected and the page is reclaimed at the next rebuild of the chain.
+Status FreeStabPageWithRetry(BufferPool* pool, PageId id) {
+  Status last = Status::Ok();
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    last = pool->FreePage(id);
+    if (last.ok()) return last;
+    if (attempt < 8) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+  return Status::Ok();  // persistent pin: leak the page, keep the mutation
+}
+
+}  // namespace
 
 Result<std::vector<StabEntry>> StabList::ReadAll() const {
   std::vector<StabEntry> out;
@@ -29,7 +56,7 @@ Status StabList::FreeChainFrom(PageId first) {
     XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(cur));
     PageId next = StabHeader(raw)->next;
     XR_RETURN_IF_ERROR(pool_->UnpinPage(cur, false));
-    XR_RETURN_IF_ERROR(pool_->FreePage(cur));
+    XR_RETURN_IF_ERROR(FreeStabPageWithRetry(pool_, cur));
     cur = next;
   }
   return Status::Ok();
@@ -83,7 +110,7 @@ Status StabList::WriteAll(const std::vector<StabEntry>& entries) {
   // one page (§3.3). Page-granular: the page where each key's run begins.
   if (!use_ps_dir_ || pages_needed <= 1 || entries.size() == 0) {
     if (ps_dir_ != kInvalidPageId) {
-      XR_RETURN_IF_ERROR(pool_->FreePage(ps_dir_));
+      XR_RETURN_IF_ERROR(FreeStabPageWithRetry(pool_, ps_dir_));
       ps_dir_ = kInvalidPageId;
     }
     return Status::Ok();
@@ -271,7 +298,7 @@ Status StabList::Clear() {
   XR_RETURN_IF_ERROR(FreeChainFrom(head_));
   head_ = kInvalidPageId;
   if (ps_dir_ != kInvalidPageId) {
-    XR_RETURN_IF_ERROR(pool_->FreePage(ps_dir_));
+    XR_RETURN_IF_ERROR(FreeStabPageWithRetry(pool_, ps_dir_));
     ps_dir_ = kInvalidPageId;
   }
   return Status::Ok();

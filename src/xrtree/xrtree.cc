@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -72,6 +74,11 @@ bool SmallestStabbingKey(const Page* page, Position s, Position e,
   return false;
 }
 
+bool ValidXrMagic(const Page* page) {
+  uint32_t magic = XrHeader(page)->magic;
+  return magic == kXrLeafMagic || magic == kXrInternalMagic;
+}
+
 }  // namespace
 
 XrTree::XrTree(BufferPool* pool, PageId root, const XrTreeOptions& options)
@@ -93,6 +100,10 @@ Status XrTree::InitRootLeaf() {
   XR_ASSIGN_OR_RETURN(Page * raw, pool_->NewPage());
   PageGuard page(pool_, raw);
   page.MarkDirty();
+  // W-latch before formatting: the id may be recycled, and a stale reader
+  // still holding it from an old snapshot must block rather than observe a
+  // half-formatted node.
+  raw->WLatch();
   auto* hdr = XrHeader(raw);
   hdr->magic = kXrLeafMagic;
   hdr->is_leaf = 1;
@@ -102,66 +113,96 @@ Status XrTree::InitRootLeaf() {
   hdr->leftmost = kInvalidPageId;
   hdr->stab_head = kInvalidPageId;
   hdr->ps_dir = kInvalidPageId;
-  root_ = raw->page_id();
+  root_.store(raw->page_id(), std::memory_order_release);
+  raw->WUnlatch();
   return Status::Ok();
 }
 
-Result<PageId> XrTree::FindLeaf(Position key,
-                                std::vector<PathEntry>* path) const {
-  if (root_ == kInvalidPageId) return Status::NotFound("empty tree");
-  PageId cur = root_;
-  // Bound the descent: see BTree::FindLeaf.
-  for (int depth = 0; depth < kMaxTreeDepth; ++depth) {
-    XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(cur));
-    PageGuard page(pool_, raw);
-    const auto* hdr = XrHeader(raw);
-    if (hdr->magic != kXrLeafMagic && hdr->magic != kXrInternalMagic) {
-      return Status::Corruption("xrtree: descent hit a foreign page");
+Result<ReadLatchedPage> XrTree::DescendToLeafRead(Position key) const {
+  for (;;) {
+    PageId root_id = root_.load(std::memory_order_acquire);
+    if (root_id == kInvalidPageId) return ReadLatchedPage();
+    auto fetched = pool_->FetchPage(root_id);
+    if (!fetched.ok()) {
+      // The root can only have moved under us (a grow/shrink recycled the
+      // id); a stale id surfacing any error while the root has moved is a
+      // retry, anything else is real.
+      if (root_.load(std::memory_order_acquire) != root_id) continue;
+      return fetched.status();
     }
-    if (hdr->is_leaf) {
-      if (path) path->push_back({cur, 0});
-      return cur;
+    ReadLatchedPage cur(pool_, *fetched);
+    // Validate after latching: a root split that completed between the load
+    // and the latch grant W-held this page throughout, so either we blocked
+    // and now see a non-root node (root_ changed — retry) or we raced ahead
+    // of it entirely.
+    if (root_.load(std::memory_order_acquire) != root_id) continue;
+    for (int depth = 0; depth < kMaxTreeDepth; ++depth) {
+      Page* raw = cur.get();
+      if (!ValidXrMagic(raw)) {
+        return Status::Corruption("xrtree: descent hit a foreign page");
+      }
+      if (XrHeader(raw)->is_leaf) return cur;
+      PageId child = XrChildAt(raw, XrChildSlot(raw, key));
+      // Couple: latch the child while the parent latch pins the link.
+      XR_ASSIGN_OR_RETURN(Page * craw, pool_->FetchPage(child));
+      ReadLatchedPage next(pool_, craw);
+      cur = std::move(next);
     }
-    uint32_t slot = XrChildSlot(raw, key);
-    if (path) path->push_back({cur, slot});
-    cur = XrChildAt(raw, slot);
+    return Status::Corruption("xrtree: descent did not reach a leaf");
   }
-  return Status::Corruption("xrtree: descent did not reach a leaf");
 }
 
 Result<std::vector<PageId>> XrTree::LeafRunAfter(Position key, size_t max_run,
-                                                 Position* resume_key) const {
+                                                 Position* resume_key,
+                                                 Position hi) const {
   std::vector<PageId> run;
-  if (root_ == kInvalidPageId || max_run == 0) return run;
-  PageId cur = root_;
-  for (int depth = 0; depth < kMaxTreeDepth; ++depth) {
-    XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(cur));
-    PageGuard page(pool_, raw);
-    const auto* hdr = XrHeader(raw);
-    if (hdr->magic != kXrLeafMagic && hdr->magic != kXrInternalMagic) {
-      return Status::Corruption("xrtree: descent hit a foreign page");
-    }
-    if (hdr->is_leaf) return run;
-    uint32_t slot = XrChildSlot(raw, key);
-    // Record the children after the taken slot at every level; when the
-    // descent bottoms out, the last recording is the leaf's sibling run.
-    // (An internal node with `count` keys has `count + 1` children, at
-    // child slots 0..count. The child at slot i >= 1 begins at the
-    // separator slots[i-1].key, which is the resume key when that child
-    // is the last one recorded.)
+  if (max_run == 0) return run;
+  for (;;) {
     run.clear();
-    uint32_t last = 0;
-    for (uint32_t next = slot + 1;
-         next <= hdr->count && run.size() < max_run; ++next) {
-      run.push_back(XrChildAt(raw, next));
-      last = next;
+    PageId root_id = root_.load(std::memory_order_acquire);
+    if (root_id == kInvalidPageId) return run;
+    auto fetched = pool_->FetchPage(root_id);
+    if (!fetched.ok()) {
+      if (root_.load(std::memory_order_acquire) != root_id) continue;
+      return fetched.status();
     }
-    if (resume_key != nullptr && !run.empty()) {
-      *resume_key = XrInternalSlots(raw)[last - 1].key;
+    ReadLatchedPage cur(pool_, *fetched);
+    if (root_.load(std::memory_order_acquire) != root_id) continue;
+    for (int depth = 0; depth < kMaxTreeDepth; ++depth) {
+      Page* raw = cur.get();
+      const auto* hdr = XrHeader(raw);
+      if (!ValidXrMagic(raw)) {
+        return Status::Corruption("xrtree: descent hit a foreign page");
+      }
+      if (hdr->is_leaf) return run;
+      uint32_t slot = XrChildSlot(raw, key);
+      // Record the children after the taken slot at every level; when the
+      // descent bottoms out, the last recording is the leaf's sibling run.
+      // (An internal node with `count` keys has `count + 1` children, at
+      // child slots 0..count. The child at slot i >= 1 begins at the
+      // separator slots[i-1].key, which is the resume key when that child
+      // is the last one recorded.) A child whose separator is at or past
+      // `hi` starts outside the caller's range and is never visited — stop
+      // the run there rather than prefetch dead pages.
+      run.clear();
+      uint32_t last = 0;
+      const XrInternalEntry* slots = XrInternalSlots(raw);
+      for (uint32_t next = slot + 1;
+           next <= hdr->count && run.size() < max_run; ++next) {
+        if (hi != kNilPosition && slots[next - 1].key >= hi) break;
+        run.push_back(XrChildAt(raw, next));
+        last = next;
+      }
+      if (resume_key != nullptr && !run.empty()) {
+        *resume_key = slots[last - 1].key;
+      }
+      PageId child = XrChildAt(raw, slot);
+      XR_ASSIGN_OR_RETURN(Page * craw, pool_->FetchPage(child));
+      ReadLatchedPage next_page(pool_, craw);
+      cur = std::move(next_page);
     }
-    cur = XrChildAt(raw, slot);
+    return Status::Corruption("xrtree: descent did not reach a leaf");
   }
-  return Status::Corruption("xrtree: descent did not reach a leaf");
 }
 
 Result<std::vector<StabEntry>> XrTree::ReadNodeStab(const Page* node) const {
@@ -170,9 +211,9 @@ Result<std::vector<StabEntry>> XrTree::ReadNodeStab(const Page* node) const {
   return list.ReadAll();
 }
 
-Status XrTree::WriteNodeStab(PageGuard& node, std::vector<StabEntry> entries) {
+Status XrTree::WriteNodeStab(Page* node, std::vector<StabEntry> entries) {
   std::sort(entries.begin(), entries.end(), StabEntryLess);
-  auto* hdr = XrHeader(node.get());
+  auto* hdr = XrHeader(node);
   StabList list(pool_, hdr->stab_head, hdr->ps_dir, use_ps_dir_);
   XR_RETURN_IF_ERROR(list.WriteAll(entries));
   hdr->stab_head = list.head();
@@ -180,7 +221,7 @@ Status XrTree::WriteNodeStab(PageGuard& node, std::vector<StabEntry> entries) {
 
   // Refresh every key's (ps, pe) summary: the region of the first element
   // of its PSL (Definition 3), or nil when the PSL is empty.
-  XrInternalEntry* slots = XrInternalSlots(node.get());
+  XrInternalEntry* slots = XrInternalSlots(node);
   size_t ei = 0;
   for (uint32_t i = 0; i < hdr->count; ++i) {
     while (ei < entries.size() && entries[ei].key < slots[i].key) ++ei;
@@ -192,13 +233,11 @@ Status XrTree::WriteNodeStab(PageGuard& node, std::vector<StabEntry> entries) {
       slots[i].pe = kNilPosition;
     }
   }
-  node.MarkDirty();
   return Status::Ok();
 }
 
-Status XrTree::InsertStabIntoNode(PageGuard& node, const StabEntry& entry) {
-  XR_ASSIGN_OR_RETURN(std::vector<StabEntry> entries,
-                      ReadNodeStab(node.get()));
+Status XrTree::InsertStabIntoNode(Page* node, const StabEntry& entry) {
+  XR_ASSIGN_OR_RETURN(std::vector<StabEntry> entries, ReadNodeStab(node));
   entries.push_back(entry);
   return WriteNodeStab(node, std::move(entries));
 }
@@ -208,70 +247,120 @@ Status XrTree::InsertStabIntoNode(PageGuard& node, const StabEntry& entry) {
 // ---------------------------------------------------------------------------
 
 Status XrTree::Insert(const Element& element) {
-  if (root_ == kInvalidPageId) XR_RETURN_IF_ERROR(InitRootLeaf());
   if (!(element.start < element.end)) {
     return Status::InvalidArgument("element start must precede end");
   }
+  std::shared_lock<std::shared_mutex> commit_barrier(pool_->commit_mutex());
+  // Inserts share the writer gate with each other (they crab); only Delete
+  // takes it exclusively — see the class comment.
+  std::shared_lock<std::shared_mutex> gate(writer_gate_);
+  if (root_.load(std::memory_order_acquire) == kInvalidPageId) {
+    std::lock_guard<std::mutex> init(root_init_mu_);
+    if (root_.load(std::memory_order_acquire) == kInvalidPageId) {
+      XR_RETURN_IF_ERROR(InitRootLeaf());
+    }
+  }
 
-  // I1: navigate down; on the way, insert the element into the stab list of
-  // the highest (topmost) internal node with a stabbing key.
+  WriteLatchSet ls(pool_);
   std::vector<PathEntry> path;
   bool placed = false;
   PageId placed_page = kInvalidPageId;
   Position placed_key = 0;
-  {
-    PageId cur = root_;
+  Page* lraw = nullptr;
+
+  // I1: crab down; on the way, insert the element into the stab list of the
+  // highest (topmost) internal node with a stabbing key. That node stays
+  // W-latched to the end of the operation even when the crab would drop it:
+  // the duplicate-rollback path must still reach it, and holding it pins
+  // the element's topmost-node invariant against concurrent promotions.
+  // A concurrent split can only promote a key into an ancestor we released
+  // while holding that ancestor's W-latch itself (a full child is unsafe,
+  // so its parent was retained by the splitter), and our coupled descent
+  // serializes against it — we see the key either above or below, never
+  // neither.
+  for (;;) {
+    PageId root_id = root_.load(std::memory_order_acquire);
+    auto fetched = ls.Acquire(root_id);
+    if (!fetched.ok()) {
+      ls.ReleaseAll();
+      if (root_.load(std::memory_order_acquire) != root_id) continue;
+      return fetched.status();
+    }
+    if (root_.load(std::memory_order_acquire) != root_id) {
+      // Lost a race with a root split; the stale root now covers only a
+      // slice of the key space. Nothing was placed yet — restart clean.
+      ls.ReleaseAll();
+      continue;
+    }
+    Page* node = *fetched;
     bool at_leaf = false;
-    // Bound the descent and validate each node's magic, exactly like
-    // FindLeaf: after a silent crash a child pointer can reference a page
-    // whose image never reached disk (legal zeros), and an unbounded walk
-    // over such garbage cycles instead of surfacing Corruption.
-    for (int depth = 0; depth < kMaxTreeDepth && !at_leaf; ++depth) {
-      XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(cur));
-      PageGuard page(pool_, raw);
-      const auto* chk = XrHeader(raw);
-      if (chk->magic != kXrLeafMagic && chk->magic != kXrInternalMagic) {
+    for (int depth = 0; depth < kMaxTreeDepth; ++depth) {
+      if (!ValidXrMagic(node)) {
+        ls.ReleaseAll();
         return Status::Corruption("xrtree: descent hit a foreign page");
       }
+      const auto* chk = XrHeader(node);
       if (chk->is_leaf) {
-        path.push_back({cur, 0});
+        path.push_back({node->page_id(), 0});
+        lraw = node;
         at_leaf = true;
         break;
       }
       if (!placed) {
         uint32_t stab_slot;
-        if (SmallestStabbingKey(raw, element.start, element.end,
+        if (SmallestStabbingKey(node, element.start, element.end,
                                 &stab_slot)) {
-          Position key = XrInternalSlots(raw)[stab_slot].key;
+          Position key = XrInternalSlots(node)[stab_slot].key;
           XR_RETURN_IF_ERROR(
-              InsertStabIntoNode(page, MakeStabEntry(element, key)));
+              InsertStabIntoNode(node, MakeStabEntry(element, key)));
+          ls.MarkDirty(node->page_id());
           placed = true;
-          placed_page = cur;
+          placed_page = node->page_id();
           placed_key = key;
         }
       }
-      uint32_t slot = XrChildSlot(raw, element.start);
-      path.push_back({cur, slot});
-      cur = XrChildAt(raw, slot);
+      uint32_t slot = XrChildSlot(node, element.start);
+      path.push_back({node->page_id(), slot});
+      PageId child_id = XrChildAt(node, slot);
+      auto child = ls.Acquire(child_id);
+      if (!child.ok()) {
+        ls.ReleaseAll();
+        return child.status();
+      }
+      const auto* chdr = XrHeader(*child);
+      uint32_t cap = chdr->is_leaf ? leaf_cap_ : internal_cap_;
+      if (chdr->count < cap) {
+        // Safe child: a split below cannot propagate past it — drop the
+        // ancestors, but never the stab-placement node.
+        if (placed) {
+          ls.ReleaseAllExcept({child_id, placed_page});
+        } else {
+          ls.ReleaseAllExcept({child_id});
+        }
+      }
+      node = *child;
     }
     if (!at_leaf) {
+      ls.ReleaseAll();
       return Status::Corruption("xrtree: descent did not reach a leaf");
     }
+    break;
   }
 
   // I2: insert into the leaf.
   PageId leaf_id = path.back().page;
-  XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(leaf_id));
-  PageGuard leaf(pool_, raw);
-  auto* hdr = XrHeader(raw);
-  Element* slots = XrLeafSlots(raw);
-  uint32_t at = XrLeafLowerBound(raw, element.start);
+  auto* hdr = XrHeader(lraw);
+  Element* slots = XrLeafSlots(lraw);
+  uint32_t at = XrLeafLowerBound(lraw, element.start);
   if (at < hdr->count && slots[at].start == element.start) {
     // Roll back the speculative stab placement before reporting the
-    // duplicate (the resident element keeps its own entry, if any).
+    // duplicate (the resident element keeps its own entry, if any). The
+    // placement node is still in the latch set by construction.
     if (placed) {
-      XR_ASSIGN_OR_RETURN(Page * nraw, pool_->FetchPage(placed_page));
-      PageGuard node(pool_, nraw);
+      Page* nraw = ls.Get(placed_page);
+      if (nraw == nullptr) {
+        return Status::Corruption("xrtree: stab placement node was released");
+      }
       XR_ASSIGN_OR_RETURN(std::vector<StabEntry> entries, ReadNodeStab(nraw));
       auto it = std::find_if(entries.begin(), entries.end(),
                              [&](const StabEntry& se) {
@@ -281,7 +370,8 @@ Status XrTree::Insert(const Element& element) {
                              });
       if (it != entries.end()) {
         entries.erase(it);
-        XR_RETURN_IF_ERROR(WriteNodeStab(node, std::move(entries)));
+        XR_RETURN_IF_ERROR(WriteNodeStab(nraw, std::move(entries)));
+        ls.MarkDirty(placed_page);
       }
     }
     return Status::InvalidArgument("duplicate key " +
@@ -295,8 +385,8 @@ Status XrTree::Insert(const Element& element) {
                  (hdr->count - at) * sizeof(Element));
     slots[at] = stored;
     ++hdr->count;
-    leaf.MarkDirty();
-    ++size_;
+    ls.MarkDirty(leaf_id);
+    size_.fetch_add(1, std::memory_order_acq_rel);
     return Status::Ok();
   }
 
@@ -325,8 +415,8 @@ Status XrTree::Insert(const Element& element) {
   }
 
   XR_ASSIGN_OR_RETURN(Page * rraw, pool_->NewPage());
-  PageGuard right(pool_, rraw);
-  right.MarkDirty();
+  ls.AdoptNew(rraw);  // latched before any formatting
+  ls.MarkDirty(rraw->page_id());
   auto* rhdr = XrHeader(rraw);
   rhdr->magic = kXrLeafMagic;
   rhdr->is_leaf = 1;
@@ -343,37 +433,39 @@ Status XrTree::Insert(const Element& element) {
   std::memcpy(slots, all.data(), left_n * sizeof(Element));
   PageId old_next = rhdr->next;
   hdr->next = rraw->page_id();
-  leaf.MarkDirty();
+  ls.MarkDirty(leaf_id);
 
   if (old_next != kInvalidPageId) {
-    XR_ASSIGN_OR_RETURN(Page * nraw, pool_->FetchPage(old_next));
-    PageGuard next(pool_, nraw);
+    // Rightward lateral acquisition — consistent with every other lateral
+    // in the protocol, so no writer-writer cycle.
+    XR_ASSIGN_OR_RETURN(Page * nraw, ls.Acquire(old_next));
     XrHeader(nraw)->prev = rraw->page_id();
-    next.MarkDirty();
+    ls.MarkDirty(old_next);
   }
 
   PageId right_id = rraw->page_id();
-  leaf.Release();
-  right.Release();
   path.pop_back();
   XR_RETURN_IF_ERROR(
-      InsertIntoParent(path, sep, right_id, std::move(stab_set)));
-  ++size_;
+      InsertIntoParent(ls, path, sep, right_id, std::move(stab_set)));
+  size_.fetch_add(1, std::memory_order_acq_rel);
   return Status::Ok();
 }
 
-Status XrTree::InsertIntoParent(std::vector<PathEntry>& path,
+Status XrTree::InsertIntoParent(WriteLatchSet& ls,
+                                std::vector<PathEntry>& path,
                                 Position sep_key, PageId right_child,
                                 std::vector<StabEntry> stab_set) {
   for (StabEntry& se : stab_set) se.key = sep_key;
 
   if (path.empty()) {
     // I4: grow the tree with a new root holding the promoted key and its
-    // StabSet'.
-    PageId old_root = root_;
+    // StabSet'. We hold the old root's W-latch (it was unsafe the whole
+    // way), which is what makes the root_ store safe against the readers'
+    // validate-after-latch retry.
+    PageId old_root = root_.load(std::memory_order_acquire);
     XR_ASSIGN_OR_RETURN(Page * raw, pool_->NewPage());
-    PageGuard page(pool_, raw);
-    page.MarkDirty();
+    ls.AdoptNew(raw);
+    ls.MarkDirty(raw->page_id());
     auto* hdr = XrHeader(raw);
     hdr->magic = kXrInternalMagic;
     hdr->is_leaf = 0;
@@ -385,14 +477,19 @@ Status XrTree::InsertIntoParent(std::vector<PathEntry>& path,
     hdr->ps_dir = kInvalidPageId;
     XrInternalSlots(raw)[0] = {sep_key, kNilPosition, kNilPosition,
                                right_child};
-    root_ = raw->page_id();
-    return WriteNodeStab(page, std::move(stab_set));
+    XR_RETURN_IF_ERROR(WriteNodeStab(raw, std::move(stab_set)));
+    root_.store(raw->page_id(), std::memory_order_release);
+    return Status::Ok();
   }
 
   PathEntry entry = path.back();
   path.pop_back();
-  XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(entry.page));
-  PageGuard node(pool_, raw);
+  Page* raw = ls.Get(entry.page);
+  if (raw == nullptr) {
+    // The crab released this ancestor because a descendant was safe, yet a
+    // split reached it — the safety test was wrong. Structural bug.
+    return Status::Corruption("xrtree: split propagated past the crab scope");
+  }
   auto* hdr = XrHeader(raw);
   XrInternalEntry* slots = XrInternalSlots(raw);
   uint32_t at = entry.slot;
@@ -416,8 +513,9 @@ Status XrTree::InsertIntoParent(std::vector<PathEntry>& path,
                  (hdr->count - at) * sizeof(XrInternalEntry));
     slots[at] = {sep_key, kNilPosition, kNilPosition, right_child};
     ++hdr->count;
-    node.MarkDirty();
-    return WriteNodeStab(node, std::move(entries));
+    XR_RETURN_IF_ERROR(WriteNodeStab(raw, std::move(entries)));
+    ls.MarkDirty(entry.page);
+    return Status::Ok();
   }
 
   // I32: split the internal node. The middle key km moves up, together
@@ -441,8 +539,8 @@ Status XrTree::InsertIntoParent(std::vector<PathEntry>& path,
   }
 
   XR_ASSIGN_OR_RETURN(Page * rraw, pool_->NewPage());
-  PageGuard right(pool_, rraw);
-  right.MarkDirty();
+  ls.AdoptNew(rraw);
+  ls.MarkDirty(rraw->page_id());
   auto* rhdr = XrHeader(rraw);
   rhdr->magic = kXrInternalMagic;
   rhdr->is_leaf = 0;
@@ -457,26 +555,34 @@ Status XrTree::InsertIntoParent(std::vector<PathEntry>& path,
 
   hdr->count = mid;
   std::memcpy(slots, all.data(), mid * sizeof(XrInternalEntry));
-  node.MarkDirty();
+  ls.MarkDirty(entry.page);
 
-  XR_RETURN_IF_ERROR(WriteNodeStab(node, std::move(left_entries)));
-  XR_RETURN_IF_ERROR(WriteNodeStab(right, std::move(right_entries)));
+  XR_RETURN_IF_ERROR(WriteNodeStab(raw, std::move(left_entries)));
+  XR_RETURN_IF_ERROR(WriteNodeStab(rraw, std::move(right_entries)));
 
-  PageId right_id = rraw->page_id();
-  node.Release();
-  right.Release();
-  return InsertIntoParent(path, km, right_id, std::move(stab_up));
+  return InsertIntoParent(ls, path, km, rraw->page_id(), std::move(stab_up));
 }
 
 // ---------------------------------------------------------------------------
 // Stab-list relocation primitives (shared by Algorithms 1 and 2)
 // ---------------------------------------------------------------------------
 
-Status XrTree::PlaceEntry(PageId from, const StabEntry& entry) {
+Status XrTree::PlaceEntry(WriteLatchSet& ls, PageId from,
+                          const StabEntry& entry) {
+  // The descent may re-enter pages the caller already holds (on-path
+  // children); Acquire is re-entrant for those. Pages newly latched here
+  // are released as soon as the descent moves past them — coupling, not
+  // accumulation — and never before their child is latched.
   PageId cur = from;
-  while (true) {
-    XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(cur));
-    PageGuard page(pool_, raw);
+  PageId prev_owned = kInvalidPageId;
+  for (int depth = 0; depth < kMaxTreeDepth; ++depth) {
+    bool pre_held = ls.Holds(cur);
+    XR_ASSIGN_OR_RETURN(Page * raw, ls.Acquire(cur));
+    if (prev_owned != kInvalidPageId) ls.Release(prev_owned);
+    prev_owned = pre_held ? kInvalidPageId : cur;
+    if (!ValidXrMagic(raw)) {
+      return Status::Corruption("xrtree: sweep hit a foreign page");
+    }
     if (XrHeader(raw)->is_leaf) {
       // No internal node below stabs the element: flag it InStabList=no.
       uint32_t at = XrLeafLowerBound(raw, entry.s);
@@ -485,25 +591,37 @@ Status XrTree::PlaceEntry(PageId from, const StabEntry& entry) {
         return Status::Corruption("PlaceEntry: element missing from leaf");
       }
       SetInStabList(&XrLeafSlots(raw)[at], false);
-      page.MarkDirty();
+      ls.MarkDirty(cur);
+      if (prev_owned != kInvalidPageId) ls.Release(prev_owned);
       return Status::Ok();
     }
     uint32_t stab_slot;
     if (SmallestStabbingKey(raw, entry.s, entry.e, &stab_slot)) {
       StabEntry tagged = entry;
       tagged.key = XrInternalSlots(raw)[stab_slot].key;
-      return InsertStabIntoNode(page, tagged);
+      XR_RETURN_IF_ERROR(InsertStabIntoNode(raw, tagged));
+      ls.MarkDirty(cur);
+      if (prev_owned != kInvalidPageId) ls.Release(prev_owned);
+      return Status::Ok();
     }
     cur = XrChildAt(raw, XrChildSlot(raw, entry.s));
   }
+  return Status::Corruption("xrtree: sweep did not reach a leaf");
 }
 
-Status XrTree::CollectStabbedDescent(PageId subtree, Position k,
+Status XrTree::CollectStabbedDescent(WriteLatchSet& ls, PageId subtree,
+                                     Position k,
                                      std::vector<StabEntry>* out) {
   PageId cur = subtree;
-  while (true) {
-    XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(cur));
-    PageGuard page(pool_, raw);
+  PageId prev_owned = kInvalidPageId;
+  for (int depth = 0; depth < kMaxTreeDepth; ++depth) {
+    bool pre_held = ls.Holds(cur);
+    XR_ASSIGN_OR_RETURN(Page * raw, ls.Acquire(cur));
+    if (prev_owned != kInvalidPageId) ls.Release(prev_owned);
+    prev_owned = pre_held ? kInvalidPageId : cur;
+    if (!ValidXrMagic(raw)) {
+      return Status::Corruption("xrtree: sweep hit a foreign page");
+    }
     if (XrHeader(raw)->is_leaf) {
       Element* slots = XrLeafSlots(raw);
       uint32_t n = XrHeader(raw)->count;
@@ -515,7 +633,8 @@ Status XrTree::CollectStabbedDescent(PageId subtree, Position k,
           dirty = true;
         }
       }
-      if (dirty) page.MarkDirty();
+      if (dirty) ls.MarkDirty(cur);
+      if (prev_owned != kInvalidPageId) ls.Release(prev_owned);
       return Status::Ok();
     }
     // Remove (and collect) every stab entry of this node stabbed by k.
@@ -531,29 +650,37 @@ Status XrTree::CollectStabbedDescent(PageId subtree, Position k,
         kept.push_back(se);
       }
     }
-    if (changed) XR_RETURN_IF_ERROR(WriteNodeStab(page, std::move(kept)));
+    if (changed) {
+      XR_RETURN_IF_ERROR(WriteNodeStab(raw, std::move(kept)));
+      ls.MarkDirty(cur);
+    }
     cur = XrChildAt(raw, XrChildSlot(raw, k));
   }
+  return Status::Corruption("xrtree: sweep did not reach a leaf");
 }
 
-Status XrTree::ReplaceSeparatorKey(PageGuard& parent, uint32_t key_slot,
-                                   Position knew) {
-  auto* hdr = XrHeader(parent.get());
-  XrInternalEntry* slots = XrInternalSlots(parent.get());
+Status XrTree::ReplaceSeparatorKey(WriteLatchSet& ls, PageId parent,
+                                   uint32_t key_slot, Position knew) {
+  Page* praw = ls.Get(parent);
+  if (praw == nullptr) {
+    return Status::Corruption("xrtree: separator change outside crab scope");
+  }
+  auto* hdr = XrHeader(praw);
+  XrInternalEntry* slots = XrInternalSlots(praw);
   assert(key_slot < hdr->count);
+  (void)hdr;
   slots[key_slot].key = knew;
   slots[key_slot].ps = kNilPosition;
   slots[key_slot].pe = kNilPosition;
-  parent.MarkDirty();
+  ls.MarkDirty(parent);
 
   // Recompute every entry's primary key over the new key set; entries no
   // longer stabbed by any key of this node are demoted below.
-  XR_ASSIGN_OR_RETURN(std::vector<StabEntry> entries,
-                      ReadNodeStab(parent.get()));
+  XR_ASSIGN_OR_RETURN(std::vector<StabEntry> entries, ReadNodeStab(praw));
   std::vector<StabEntry> kept, demote;
   for (StabEntry se : entries) {
     uint32_t slot;
-    if (SmallestStabbingKey(parent.get(), se.s, se.e, &slot)) {
+    if (SmallestStabbingKey(praw, se.s, se.e, &slot)) {
       se.key = slots[slot].key;
       kept.push_back(se);
     } else {
@@ -566,40 +693,44 @@ Status XrTree::ReplaceSeparatorKey(PageGuard& parent, uint32_t key_slot,
   // left of the separator, an element with s == knew sits right of it).
   std::vector<StabEntry> pulled;
   XR_RETURN_IF_ERROR(
-      CollectStabbedDescent(XrChildAt(parent.get(), key_slot), knew,
-                            &pulled));
+      CollectStabbedDescent(ls, XrChildAt(praw, key_slot), knew, &pulled));
   XR_RETURN_IF_ERROR(
-      CollectStabbedDescent(XrChildAt(parent.get(), key_slot + 1), knew,
+      CollectStabbedDescent(ls, XrChildAt(praw, key_slot + 1), knew,
                             &pulled));
   for (StabEntry se : pulled) {
     uint32_t slot;
-    bool ok = SmallestStabbingKey(parent.get(), se.s, se.e, &slot);
+    bool ok = SmallestStabbingKey(praw, se.s, se.e, &slot);
     if (!ok) return Status::Corruption("pulled entry not stabbed by parent");
     se.key = slots[slot].key;
     kept.push_back(se);
   }
 
-  XR_RETURN_IF_ERROR(WriteNodeStab(parent, std::move(kept)));
+  XR_RETURN_IF_ERROR(WriteNodeStab(praw, std::move(kept)));
+  ls.MarkDirty(parent);
   for (const StabEntry& se : demote) {
-    XR_RETURN_IF_ERROR(PlaceEntry(parent.page_id(), se));
+    XR_RETURN_IF_ERROR(PlaceEntry(ls, parent, se));
   }
   return Status::Ok();
 }
 
-Status XrTree::RemoveSeparatorKey(PageGuard& parent, uint32_t key_slot) {
-  auto* hdr = XrHeader(parent.get());
-  XrInternalEntry* slots = XrInternalSlots(parent.get());
+Status XrTree::RemoveSeparatorKey(WriteLatchSet& ls, PageId parent,
+                                  uint32_t key_slot) {
+  Page* praw = ls.Get(parent);
+  if (praw == nullptr) {
+    return Status::Corruption("xrtree: separator change outside crab scope");
+  }
+  auto* hdr = XrHeader(praw);
+  XrInternalEntry* slots = XrInternalSlots(praw);
   assert(key_slot < hdr->count);
   Position removed = slots[key_slot].key;
   std::memmove(slots + key_slot, slots + key_slot + 1,
                (hdr->count - key_slot - 1) * sizeof(XrInternalEntry));
   --hdr->count;
-  parent.MarkDirty();
+  ls.MarkDirty(parent);
 
   // D31: entries of PSL(removed) are retagged to another stabbing key of
   // this node, or reinserted into the highest stabbing node below.
-  XR_ASSIGN_OR_RETURN(std::vector<StabEntry> entries,
-                      ReadNodeStab(parent.get()));
+  XR_ASSIGN_OR_RETURN(std::vector<StabEntry> entries, ReadNodeStab(praw));
   std::vector<StabEntry> kept, demote;
   for (StabEntry se : entries) {
     if (se.key != removed) {
@@ -607,23 +738,24 @@ Status XrTree::RemoveSeparatorKey(PageGuard& parent, uint32_t key_slot) {
       continue;
     }
     uint32_t slot;
-    if (SmallestStabbingKey(parent.get(), se.s, se.e, &slot)) {
+    if (SmallestStabbingKey(praw, se.s, se.e, &slot)) {
       se.key = slots[slot].key;
       kept.push_back(se);
     } else {
       demote.push_back(se);
     }
   }
-  XR_RETURN_IF_ERROR(WriteNodeStab(parent, std::move(kept)));
+  XR_RETURN_IF_ERROR(WriteNodeStab(praw, std::move(kept)));
+  ls.MarkDirty(parent);
   for (const StabEntry& se : demote) {
-    XR_RETURN_IF_ERROR(PlaceEntry(parent.page_id(), se));
+    XR_RETURN_IF_ERROR(PlaceEntry(ls, parent, se));
   }
   return Status::Ok();
 }
 
-Status XrTree::MergeStabLists(PageGuard& dest, PageGuard& victim) {
-  XR_ASSIGN_OR_RETURN(std::vector<StabEntry> a, ReadNodeStab(dest.get()));
-  XR_ASSIGN_OR_RETURN(std::vector<StabEntry> b, ReadNodeStab(victim.get()));
+Status XrTree::MergeStabLists(Page* dest, Page* victim) {
+  XR_ASSIGN_OR_RETURN(std::vector<StabEntry> a, ReadNodeStab(dest));
+  XR_ASSIGN_OR_RETURN(std::vector<StabEntry> b, ReadNodeStab(victim));
   a.insert(a.end(), b.begin(), b.end());
   XR_RETURN_IF_ERROR(WriteNodeStab(victim, {}));
   // Note: dest's keys must already include the victim's for the (ps, pe)
@@ -636,17 +768,49 @@ Status XrTree::MergeStabLists(PageGuard& dest, PageGuard& victim) {
 // ---------------------------------------------------------------------------
 
 Status XrTree::Delete(Position key) {
-  if (root_ == kInvalidPageId) return Status::NotFound("empty tree");
+  std::shared_lock<std::shared_mutex> commit_barrier(pool_->commit_mutex());
+  // Exclusive writer gate: the D31 reinsertion and key-replacement sweeps
+  // descend into subtrees OFF the deletion path, which can deadlock against
+  // a concurrent inserter's rightward lateral latches. Readers still run
+  // throughout — every page mutation below happens under its W-latch.
+  std::unique_lock<std::shared_mutex> gate(writer_gate_);
+  PageId root_id = root_.load(std::memory_order_acquire);
+  if (root_id == kInvalidPageId) return Status::NotFound("empty tree");
+
+  WriteLatchSet ls(pool_);
   std::vector<PathEntry> path;
-  XR_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(key, &path));
+  Page* lraw = nullptr;
+  // Full-path descent, nothing crab-released: D1 revisits ancestors (the
+  // topmost stab erase) and the underflow sweeps revisit the path's
+  // subtrees, so every node stays held. The gate keeps the structure (and
+  // root_) stable, so no retry loop is needed.
+  {
+    PageId cur = root_id;
+    for (int depth = 0; depth < kMaxTreeDepth; ++depth) {
+      XR_ASSIGN_OR_RETURN(Page * raw, ls.Acquire(cur));
+      if (!ValidXrMagic(raw)) {
+        return Status::Corruption("xrtree: descent hit a foreign page");
+      }
+      if (XrHeader(raw)->is_leaf) {
+        path.push_back({cur, 0});
+        lraw = raw;
+        break;
+      }
+      uint32_t slot = XrChildSlot(raw, key);
+      path.push_back({cur, slot});
+      cur = XrChildAt(raw, slot);
+    }
+    if (lraw == nullptr) {
+      return Status::Corruption("xrtree: descent did not reach a leaf");
+    }
+  }
+  PageId leaf_id = path.back().page;
 
   Element victim;
   {
-    XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(leaf_id));
-    PageGuard leaf(pool_, raw);
-    auto* hdr = XrHeader(raw);
-    Element* slots = XrLeafSlots(raw);
-    uint32_t at = XrLeafLowerBound(raw, key);
+    auto* hdr = XrHeader(lraw);
+    Element* slots = XrLeafSlots(lraw);
+    uint32_t at = XrLeafLowerBound(lraw, key);
     if (at >= hdr->count || slots[at].start != key) {
       return Status::NotFound("key " + std::to_string(key));
     }
@@ -654,17 +818,19 @@ Status XrTree::Delete(Position key) {
     std::memmove(slots + at, slots + at + 1,
                  (hdr->count - at - 1) * sizeof(Element));
     --hdr->count;
-    leaf.MarkDirty();
+    ls.MarkDirty(leaf_id);
   }
-  --size_;
+  size_.fetch_sub(1, std::memory_order_acq_rel);
 
   // D1: remove the element from the stab list holding it — the topmost
-  // node on the path with a stabbing key.
+  // node on the path with a stabbing key. All path nodes are still held.
   if (InStabList(victim)) {
     bool erased = false;
     for (const PathEntry& pe : path) {
-      XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(pe.page));
-      PageGuard node(pool_, raw);
+      Page* raw = ls.Get(pe.page);
+      if (raw == nullptr) {
+        return Status::Corruption("xrtree: deletion path node not held");
+      }
       if (XrHeader(raw)->is_leaf) break;
       uint32_t slot;
       if (SmallestStabbingKey(raw, victim.start, victim.end, &slot)) {
@@ -681,7 +847,8 @@ Status XrTree::Delete(Position key) {
                                     "topmost stabbing node");
         }
         entries.erase(it);
-        XR_RETURN_IF_ERROR(WriteNodeStab(node, std::move(entries)));
+        XR_RETURN_IF_ERROR(WriteNodeStab(raw, std::move(entries)));
+        ls.MarkDirty(pe.page);
         erased = true;
         break;
       }
@@ -692,15 +859,14 @@ Status XrTree::Delete(Position key) {
   }
 
   // D2: resolve leaf underflow.
-  XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(leaf_id));
-  uint32_t count = XrHeader(raw)->count;
-  XR_RETURN_IF_ERROR(pool_->UnpinPage(leaf_id, false));
-  bool is_root_leaf = (leaf_id == root_);
+  uint32_t count = XrHeader(lraw)->count;
+  bool is_root_leaf = (leaf_id == root_.load(std::memory_order_acquire));
   if (is_root_leaf || count >= leaf_cap_ / 2) return Status::Ok();
-  return HandleLeafUnderflow(path);
+  return HandleLeafUnderflow(ls, path);
 }
 
-Status XrTree::HandleLeafUnderflow(std::vector<PathEntry>& path) {
+Status XrTree::HandleLeafUnderflow(WriteLatchSet& ls,
+                                   std::vector<PathEntry>& path) {
   assert(path.size() >= 2);
   PathEntry leaf_entry = path.back();
   PathEntry parent_entry = path[path.size() - 2];
@@ -709,21 +875,23 @@ Status XrTree::HandleLeafUnderflow(std::vector<PathEntry>& path) {
   // entry.
   uint32_t child_slot = parent_entry.slot;
 
-  XR_ASSIGN_OR_RETURN(Page * praw, pool_->FetchPage(parent_entry.page));
-  PageGuard parent(pool_, praw);
+  Page* praw = ls.Get(parent_entry.page);
+  Page* lraw = ls.Get(leaf_entry.page);
+  if (praw == nullptr || lraw == nullptr) {
+    return Status::Corruption("xrtree: underflow outside the crab scope");
+  }
   auto* phdr = XrHeader(praw);
-
-  XR_ASSIGN_OR_RETURN(Page * lraw, pool_->FetchPage(leaf_entry.page));
-  PageGuard leaf(pool_, lraw);
   auto* lhdr = XrHeader(lraw);
   uint32_t min_fill = leaf_cap_ / 2;
 
   // D22: redistribution with a sibling. Moving an element changes the
   // separator key, with full stab-list effects via ReplaceSeparatorKey.
+  // Sibling latches are safe under the exclusive writer gate: no other
+  // writer runs, and readers never hold a sibling while waiting on a page
+  // this operation holds (they acquire strictly top-down).
   if (child_slot > 0) {
     PageId sib_id = XrChildAt(praw, child_slot - 1);
-    XR_ASSIGN_OR_RETURN(Page * sraw, pool_->FetchPage(sib_id));
-    PageGuard sib(pool_, sraw);
+    XR_ASSIGN_OR_RETURN(Page * sraw, ls.Acquire(sib_id));
     auto* shdr = XrHeader(sraw);
     if (shdr->count > min_fill) {
       Element* lslots = XrLeafSlots(lraw);
@@ -733,17 +901,15 @@ Status XrTree::HandleLeafUnderflow(std::vector<PathEntry>& path) {
       ++lhdr->count;
       --shdr->count;
       Position knew = lslots[0].start;
-      leaf.MarkDirty();
-      sib.MarkDirty();
-      sib.Release();
-      leaf.Release();
-      return ReplaceSeparatorKey(parent, child_slot - 1, knew);
+      ls.MarkDirty(leaf_entry.page);
+      ls.MarkDirty(sib_id);
+      return ReplaceSeparatorKey(ls, parent_entry.page, child_slot - 1,
+                                 knew);
     }
   }
   if (child_slot < phdr->count) {
     PageId sib_id = XrChildAt(praw, child_slot + 1);
-    XR_ASSIGN_OR_RETURN(Page * sraw, pool_->FetchPage(sib_id));
-    PageGuard sib(pool_, sraw);
+    XR_ASSIGN_OR_RETURN(Page * sraw, ls.Acquire(sib_id));
     auto* shdr = XrHeader(sraw);
     if (shdr->count > min_fill) {
       Element* lslots = XrLeafSlots(lraw);
@@ -753,96 +919,92 @@ Status XrTree::HandleLeafUnderflow(std::vector<PathEntry>& path) {
       std::memmove(sslots, sslots + 1, (shdr->count - 1) * sizeof(Element));
       --shdr->count;
       Position knew = sslots[0].start;
-      leaf.MarkDirty();
-      sib.MarkDirty();
-      sib.Release();
-      leaf.Release();
-      return ReplaceSeparatorKey(parent, child_slot, knew);
+      ls.MarkDirty(leaf_entry.page);
+      ls.MarkDirty(sib_id);
+      return ReplaceSeparatorKey(ls, parent_entry.page, child_slot, knew);
     }
   }
 
   // D23: merge with a sibling; the separator key disappears from the
-  // parent (with its stab effects).
+  // parent (with its stab effects). The dead page is tombstoned under its
+  // held W-latch and freed only after every latch drops (DeferFree).
   uint32_t removed_slot;
   if (child_slot > 0) {
     PageId sib_id = XrChildAt(praw, child_slot - 1);
-    XR_ASSIGN_OR_RETURN(Page * sraw, pool_->FetchPage(sib_id));
-    PageGuard sib(pool_, sraw);
+    XR_ASSIGN_OR_RETURN(Page * sraw, ls.Acquire(sib_id));
     auto* shdr = XrHeader(sraw);
     std::memcpy(XrLeafSlots(sraw) + shdr->count, XrLeafSlots(lraw),
                 lhdr->count * sizeof(Element));
     shdr->count += lhdr->count;
     shdr->next = lhdr->next;
     if (lhdr->next != kInvalidPageId) {
-      XR_ASSIGN_OR_RETURN(Page * nraw, pool_->FetchPage(lhdr->next));
-      PageGuard next(pool_, nraw);
+      XR_ASSIGN_OR_RETURN(Page * nraw, ls.Acquire(lhdr->next));
       XrHeader(nraw)->prev = sib_id;
-      next.MarkDirty();
+      ls.MarkDirty(lhdr->next);
     }
-    sib.MarkDirty();
+    ls.MarkDirty(sib_id);
     removed_slot = child_slot - 1;
-    PageId dead = leaf_entry.page;
-    leaf.Release();
-    XR_RETURN_IF_ERROR(pool_->FreePage(dead));
+    lhdr->magic = 0;  // tombstone: blocked readers see a dead page
+    ls.MarkDirty(leaf_entry.page);
+    ls.DeferFree(leaf_entry.page);
   } else {
     PageId sib_id = XrChildAt(praw, child_slot + 1);
-    XR_ASSIGN_OR_RETURN(Page * sraw, pool_->FetchPage(sib_id));
-    PageGuard sib(pool_, sraw);
+    XR_ASSIGN_OR_RETURN(Page * sraw, ls.Acquire(sib_id));
     auto* shdr = XrHeader(sraw);
     std::memcpy(XrLeafSlots(lraw) + lhdr->count, XrLeafSlots(sraw),
                 shdr->count * sizeof(Element));
     lhdr->count += shdr->count;
     lhdr->next = shdr->next;
     if (shdr->next != kInvalidPageId) {
-      XR_ASSIGN_OR_RETURN(Page * nraw, pool_->FetchPage(shdr->next));
-      PageGuard next(pool_, nraw);
+      XR_ASSIGN_OR_RETURN(Page * nraw, ls.Acquire(shdr->next));
       XrHeader(nraw)->prev = leaf_entry.page;
-      next.MarkDirty();
+      ls.MarkDirty(shdr->next);
     }
-    leaf.MarkDirty();
+    ls.MarkDirty(leaf_entry.page);
     removed_slot = child_slot;
-    PageId dead = sib_id;
-    sib.Release();
-    XR_RETURN_IF_ERROR(pool_->FreePage(dead));
+    shdr->magic = 0;
+    ls.MarkDirty(sib_id);
+    ls.DeferFree(sib_id);
   }
-  leaf.Release();
 
-  XR_RETURN_IF_ERROR(RemoveSeparatorKey(parent, removed_slot));
+  XR_RETURN_IF_ERROR(RemoveSeparatorKey(ls, parent_entry.page, removed_slot));
 
-  bool parent_is_root = (parent_entry.page == root_);
+  bool parent_is_root =
+      (parent_entry.page == root_.load(std::memory_order_acquire));
   if (parent_is_root && phdr->count == 0) {
     // D4: shorten the tree. RemoveSeparatorKey demoted every remaining
-    // stab entry below, so the dying root's chain is empty.
+    // stab entry below, so the dying root's chain is empty. The store is
+    // safe: we hold the old root's W-latch, so reader descents re-validate.
     if (phdr->stab_head != kInvalidPageId) {
       return Status::Corruption("shrinking root still owns stab entries");
     }
-    root_ = phdr->leftmost;
-    PageId dead = parent_entry.page;
-    parent.Release();
-    return pool_->FreePage(dead);
+    root_.store(phdr->leftmost, std::memory_order_release);
+    phdr->magic = 0;
+    ls.MarkDirty(parent_entry.page);
+    ls.DeferFree(parent_entry.page);
+    return Status::Ok();
   }
   uint32_t imin = internal_cap_ / 2;
-  bool underflow = !parent_is_root && phdr->count < imin;
-  parent.Release();
-  if (!underflow) return Status::Ok();
+  if (parent_is_root || phdr->count >= imin) return Status::Ok();
   path.pop_back();
-  return HandleInternalUnderflow(path, path.size() - 1);
+  return HandleInternalUnderflow(ls, path, path.size() - 1);
 }
 
-Status XrTree::HandleInternalUnderflow(std::vector<PathEntry>& path,
+Status XrTree::HandleInternalUnderflow(WriteLatchSet& ls,
+                                       std::vector<PathEntry>& path,
                                        size_t depth) {
   assert(depth >= 1);
   PathEntry node_entry = path[depth];
   PathEntry parent_entry = path[depth - 1];
   uint32_t child_slot = parent_entry.slot;
 
-  XR_ASSIGN_OR_RETURN(Page * praw, pool_->FetchPage(parent_entry.page));
-  PageGuard parent(pool_, praw);
+  Page* praw = ls.Get(parent_entry.page);
+  Page* nraw = ls.Get(node_entry.page);
+  if (praw == nullptr || nraw == nullptr) {
+    return Status::Corruption("xrtree: underflow outside the crab scope");
+  }
   auto* phdr = XrHeader(praw);
   XrInternalEntry* pslots = XrInternalSlots(praw);
-
-  XR_ASSIGN_OR_RETURN(Page * nraw, pool_->FetchPage(node_entry.page));
-  PageGuard node(pool_, nraw);
   auto* nhdr = XrHeader(nraw);
   XrInternalEntry* nslots = XrInternalSlots(nraw);
   uint32_t imin = internal_cap_ / 2;
@@ -854,47 +1016,39 @@ Status XrTree::HandleInternalUnderflow(std::vector<PathEntry>& path,
   // demoted out of the parent).
   if (child_slot > 0) {
     PageId sib_id = XrChildAt(praw, child_slot - 1);
-    XR_ASSIGN_OR_RETURN(Page * sraw, pool_->FetchPage(sib_id));
-    PageGuard sib(pool_, sraw);
+    XR_ASSIGN_OR_RETURN(Page * sraw, ls.Acquire(sib_id));
     auto* shdr = XrHeader(sraw);
     XrInternalEntry* sslots = XrInternalSlots(sraw);
     if (shdr->count > imin) {
       Position km = pslots[child_slot - 1].key;
       Position kl = sslots[shdr->count - 1].key;
-      std::memmove(nslots + 1, nslots,
-                   nhdr->count * sizeof(XrInternalEntry));
+      std::memmove(nslots + 1, nslots, nhdr->count * sizeof(XrInternalEntry));
       nslots[0] = {km, kNilPosition, kNilPosition, nhdr->leftmost};
       nhdr->leftmost = sslots[shdr->count - 1].child;
       ++nhdr->count;
       --shdr->count;
-      node.MarkDirty();
-      sib.MarkDirty();
-      sib.Release();
-      node.Release();
-      return ReplaceSeparatorKey(parent, child_slot - 1, kl);
+      ls.MarkDirty(node_entry.page);
+      ls.MarkDirty(sib_id);
+      return ReplaceSeparatorKey(ls, parent_entry.page, child_slot - 1, kl);
     }
   }
   if (child_slot < phdr->count) {
     PageId sib_id = XrChildAt(praw, child_slot + 1);
-    XR_ASSIGN_OR_RETURN(Page * sraw, pool_->FetchPage(sib_id));
-    PageGuard sib(pool_, sraw);
+    XR_ASSIGN_OR_RETURN(Page * sraw, ls.Acquire(sib_id));
     auto* shdr = XrHeader(sraw);
     XrInternalEntry* sslots = XrInternalSlots(sraw);
     if (shdr->count > imin) {
       Position km = pslots[child_slot].key;
       Position kf = sslots[0].key;
-      nslots[nhdr->count] = {km, kNilPosition, kNilPosition,
-                             shdr->leftmost};
+      nslots[nhdr->count] = {km, kNilPosition, kNilPosition, shdr->leftmost};
       ++nhdr->count;
       shdr->leftmost = sslots[0].child;
       std::memmove(sslots, sslots + 1,
                    (shdr->count - 1) * sizeof(XrInternalEntry));
       --shdr->count;
-      node.MarkDirty();
-      sib.MarkDirty();
-      sib.Release();
-      node.Release();
-      return ReplaceSeparatorKey(parent, child_slot, kf);
+      ls.MarkDirty(node_entry.page);
+      ls.MarkDirty(sib_id);
+      return ReplaceSeparatorKey(ls, parent_entry.page, child_slot, kf);
     }
   }
 
@@ -903,8 +1057,7 @@ Status XrTree::HandleInternalUnderflow(std::vector<PathEntry>& path,
   uint32_t removed_slot;
   if (child_slot > 0) {
     PageId sib_id = XrChildAt(praw, child_slot - 1);
-    XR_ASSIGN_OR_RETURN(Page * sraw, pool_->FetchPage(sib_id));
-    PageGuard sib(pool_, sraw);
+    XR_ASSIGN_OR_RETURN(Page * sraw, ls.Acquire(sib_id));
     auto* shdr = XrHeader(sraw);
     XrInternalEntry* sslots = XrInternalSlots(sraw);
     Position km = pslots[child_slot - 1].key;
@@ -913,17 +1066,16 @@ Status XrTree::HandleInternalUnderflow(std::vector<PathEntry>& path,
     std::memcpy(sslots + shdr->count, nslots,
                 nhdr->count * sizeof(XrInternalEntry));
     shdr->count += nhdr->count;
-    sib.MarkDirty();
-    XR_RETURN_IF_ERROR(MergeStabLists(sib, node));
+    ls.MarkDirty(sib_id);
+    XR_RETURN_IF_ERROR(MergeStabLists(sraw, nraw));
+    ls.MarkDirty(sib_id);
+    ls.MarkDirty(node_entry.page);
     removed_slot = child_slot - 1;
-    PageId dead = node_entry.page;
-    node.Release();
-    sib.Release();
-    XR_RETURN_IF_ERROR(pool_->FreePage(dead));
+    nhdr->magic = 0;
+    ls.DeferFree(node_entry.page);
   } else {
     PageId sib_id = XrChildAt(praw, child_slot + 1);
-    XR_ASSIGN_OR_RETURN(Page * sraw, pool_->FetchPage(sib_id));
-    PageGuard sib(pool_, sraw);
+    XR_ASSIGN_OR_RETURN(Page * sraw, ls.Acquire(sib_id));
     auto* shdr = XrHeader(sraw);
     XrInternalEntry* sslots = XrInternalSlots(sraw);
     Position km = pslots[child_slot].key;
@@ -932,32 +1084,31 @@ Status XrTree::HandleInternalUnderflow(std::vector<PathEntry>& path,
     std::memcpy(nslots + nhdr->count, sslots,
                 shdr->count * sizeof(XrInternalEntry));
     nhdr->count += shdr->count;
-    node.MarkDirty();
-    XR_RETURN_IF_ERROR(MergeStabLists(node, sib));
+    XR_RETURN_IF_ERROR(MergeStabLists(nraw, sraw));
+    ls.MarkDirty(node_entry.page);
+    ls.MarkDirty(sib_id);
     removed_slot = child_slot;
-    PageId dead = sib_id;
-    sib.Release();
-    node.Release();
-    XR_RETURN_IF_ERROR(pool_->FreePage(dead));
+    shdr->magic = 0;
+    ls.DeferFree(sib_id);
   }
 
-  XR_RETURN_IF_ERROR(RemoveSeparatorKey(parent, removed_slot));
+  XR_RETURN_IF_ERROR(RemoveSeparatorKey(ls, parent_entry.page, removed_slot));
 
-  bool parent_is_root = (parent_entry.page == root_);
+  bool parent_is_root =
+      (parent_entry.page == root_.load(std::memory_order_acquire));
   if (parent_is_root && phdr->count == 0) {
     if (phdr->stab_head != kInvalidPageId) {
       return Status::Corruption("shrinking root still owns stab entries");
     }
-    root_ = phdr->leftmost;
-    PageId dead = parent_entry.page;
-    parent.Release();
-    return pool_->FreePage(dead);
+    root_.store(phdr->leftmost, std::memory_order_release);
+    phdr->magic = 0;
+    ls.MarkDirty(parent_entry.page);
+    ls.DeferFree(parent_entry.page);
+    return Status::Ok();
   }
   uint32_t imin2 = internal_cap_ / 2;
-  bool underflow = !parent_is_root && phdr->count < imin2;
-  parent.Release();
-  if (!underflow) return Status::Ok();
-  return HandleInternalUnderflow(path, depth - 1);
+  if (parent_is_root || phdr->count >= imin2) return Status::Ok();
+  return HandleInternalUnderflow(ls, path, depth - 1);
 }
 
 // ---------------------------------------------------------------------------
@@ -965,10 +1116,9 @@ Status XrTree::HandleInternalUnderflow(std::vector<PathEntry>& path,
 // ---------------------------------------------------------------------------
 
 Result<Element> XrTree::Search(Position key) const {
-  if (root_ == kInvalidPageId) return Status::NotFound("empty tree");
-  XR_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(key, nullptr));
-  XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(leaf_id));
-  PageGuard leaf(pool_, raw);
+  XR_ASSIGN_OR_RETURN(ReadLatchedPage leaf, DescendToLeafRead(key));
+  if (!leaf) return Status::NotFound("empty tree");
+  Page* raw = leaf.get();
   uint32_t at = XrLeafLowerBound(raw, key);
   if (at < XrHeader(raw)->count && XrLeafSlots(raw)[at].start == key) {
     Element e = XrLeafSlots(raw)[at];
@@ -998,80 +1148,104 @@ Result<ElementList> XrTree::FindAncestorsAbove(Position sd,
                                                Position min_start,
                                                uint64_t* scanned,
                                                Position* next_start) const {
-  ElementList out;
-  if (next_start) *next_start = kNilPosition;
-  if (root_ == kInvalidPageId) return out;
-  uint64_t local_scanned = 0;
-  PageId cur = root_;
-  while (true) {
-    XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(cur));
-    PageGuard page(pool_, raw);
-    const auto* hdr = XrHeader(raw);
-    if (hdr->is_leaf) {
-      // S2: scan the leaf for un-stabbed ancestors until start > sd.
-      // The §5.2 stack variation starts past min_start: elements at or
-      // below it are already cached on the caller's stack.
-      const Element* slots = XrLeafSlots(raw);
-      uint32_t i =
-          (min_start == 0) ? 0 : XrLeafLowerBound(raw, min_start + 1);
-      for (; i < hdr->count && slots[i].start < sd; ++i) {
-        ++local_scanned;
-        if (!InStabList(slots[i]) && sd < slots[i].end) {
-          Element e = slots[i];
-          e.flags = 0;
-          out.push_back(e);
-        }
+  for (;;) {  // root-retry, exactly like DescendToLeafRead
+    ElementList out;
+    uint64_t local_scanned = 0;
+    Position terminator = kNilPosition;
+    bool need_tail_probe = false;
+    PageId root_id = root_.load(std::memory_order_acquire);
+    if (root_id == kInvalidPageId) {
+      if (next_start) *next_start = kNilPosition;
+      return ElementList{};
+    }
+    auto fetched = pool_->FetchPage(root_id);
+    if (!fetched.ok()) {
+      if (root_.load(std::memory_order_acquire) != root_id) continue;
+      return fetched.status();
+    }
+    ReadLatchedPage cur(pool_, *fetched);
+    if (root_.load(std::memory_order_acquire) != root_id) continue;
+    bool done = false;
+    for (int depth = 0; depth < kMaxTreeDepth; ++depth) {
+      Page* raw = cur.get();
+      const auto* hdr = XrHeader(raw);
+      if (!ValidXrMagic(raw)) {
+        return Status::Corruption("xrtree: descent hit a foreign page");
       }
-      // The terminating element (first start > sd) is handed back as the
-      // join's next CurA; it is not charged here — the caller's next
-      // sweep or cursor move examines it.
-      if (next_start) {
-        if (i < hdr->count) {
-          *next_start = slots[i].start;
-        } else {
-          PageId nxt = hdr->next;
-          page.Release();
-          while (nxt != kInvalidPageId) {
-            XR_ASSIGN_OR_RETURN(Page * nraw, pool_->FetchPage(nxt));
-            PageGuard npage(pool_, nraw);
-            if (XrHeader(nraw)->count > 0) {
-              *next_start = XrLeafSlots(nraw)[0].start;
-              break;
-            }
-            nxt = XrHeader(nraw)->next;
+      if (hdr->is_leaf) {
+        // S2: scan the leaf for un-stabbed ancestors until start > sd.
+        // The §5.2 stack variation starts past min_start: elements at or
+        // below it are already cached on the caller's stack.
+        const Element* slots = XrLeafSlots(raw);
+        uint32_t i =
+            (min_start == 0) ? 0 : XrLeafLowerBound(raw, min_start + 1);
+        for (; i < hdr->count && slots[i].start < sd; ++i) {
+          ++local_scanned;
+          if (!InStabList(slots[i]) && sd < slots[i].end) {
+            Element e = slots[i];
+            e.flags = 0;
+            out.push_back(e);
           }
         }
+        // The terminating element (first start > sd) is handed back as the
+        // join's next CurA; it is not charged here — the caller's next
+        // sweep or cursor move examines it.
+        if (next_start) {
+          if (i < hdr->count) {
+            terminator = slots[i].start;
+          } else {
+            need_tail_probe = true;
+          }
+        }
+        done = true;
+        break;
       }
-      break;
-    }
-    // S11 / Algorithm 5: check PSL_c for c = i+1 down to 0, touching the
-    // stab list only when the (ps, pe) summary proves a match exists.
-    const XrInternalEntry* slots = XrInternalSlots(raw);
-    uint32_t upper = XrChildSlot(raw, sd);  // == i + 1
-    if (upper >= hdr->count) upper = hdr->count == 0 ? 0 : hdr->count - 1;
-    StabList list(pool_, hdr->stab_head, hdr->ps_dir, use_ps_dir_);
-    std::vector<StabEntry> collected;
-    for (uint32_t c = upper + 1; c-- > 0;) {
-      if (slots[c].ps != kNilPosition && slots[c].ps < sd &&
-          sd < slots[c].pe) {
-        XR_RETURN_IF_ERROR(
-            list.CollectStabbed(slots[c].key, sd, min_start, &collected,
-                                &local_scanned));
+      // S11 / Algorithm 5: check PSL_c for c = i+1 down to 0, touching the
+      // stab list only when the (ps, pe) summary proves a match exists.
+      // The chain pages are read under this node's R latch, which is what
+      // keeps a writer from rewriting the chain mid-read.
+      const XrInternalEntry* slots = XrInternalSlots(raw);
+      uint32_t upper = XrChildSlot(raw, sd);  // == i + 1
+      if (upper >= hdr->count) upper = hdr->count == 0 ? 0 : hdr->count - 1;
+      StabList list(pool_, hdr->stab_head, hdr->ps_dir, use_ps_dir_);
+      std::vector<StabEntry> collected;
+      for (uint32_t c = upper + 1; c-- > 0;) {
+        if (slots[c].ps != kNilPosition && slots[c].ps < sd &&
+            sd < slots[c].pe) {
+          XR_RETURN_IF_ERROR(
+              list.CollectStabbed(slots[c].key, sd, min_start, &collected,
+                                  &local_scanned));
+        }
       }
+      for (const StabEntry& se : collected) out.push_back(ToElement(se));
+      PageId child = XrChildAt(raw, XrChildSlot(raw, sd));
+      XR_ASSIGN_OR_RETURN(Page * craw, pool_->FetchPage(child));
+      ReadLatchedPage next(pool_, craw);
+      cur = std::move(next);
     }
-    for (const StabEntry& se : collected) out.push_back(ToElement(se));
-    cur = XrChildAt(raw, XrChildSlot(raw, sd));
+    if (!done) {
+      return Status::Corruption("xrtree: descent did not reach a leaf");
+    }
+    cur.Release();
+    if (need_tail_probe) {
+      // The terminator lives past this leaf. A snapshot cursor's fresh
+      // descent replaces the old unlatched chain walk: it is epoch-checked
+      // and correct against concurrent leaf frees.
+      XR_ASSIGN_OR_RETURN(XrIterator it, LowerBound(sd));
+      if (it.Valid()) terminator = it.Get().start;
+    }
+    if (min_start != 0) {
+      out.erase(std::remove_if(out.begin(), out.end(),
+                               [&](const Element& e) {
+                                 return e.start <= min_start;
+                               }),
+                out.end());
+    }
+    std::sort(out.begin(), out.end());
+    if (scanned) *scanned += local_scanned;
+    if (next_start) *next_start = terminator;
+    return out;
   }
-  if (min_start != 0) {
-    out.erase(std::remove_if(out.begin(), out.end(),
-                             [&](const Element& e) {
-                               return e.start <= min_start;
-                             }),
-              out.end());
-  }
-  std::sort(out.begin(), out.end());
-  if (scanned) *scanned += local_scanned;
-  return out;
 }
 
 Result<ElementList> XrTree::FindAncestors(Position sd,
@@ -1101,23 +1275,24 @@ Result<ElementList> XrTree::FindParent(Position sd, uint16_t level,
 }
 
 Result<XrIterator> XrTree::LowerBound(Position key) const {
-  if (root_ == kInvalidPageId) return XrIterator();
-  XR_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(key, nullptr));
-  XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(leaf_id));
-  uint32_t at = XrLeafLowerBound(raw, key);
+  XR_ASSIGN_OR_RETURN(ReadLatchedPage leaf, DescendToLeafRead(key));
+  if (!leaf) return XrIterator();
+  Page* raw = leaf.get();
   const auto* hdr = XrHeader(raw);
+  uint32_t at = XrLeafLowerBound(raw, key);
+  // Snapshot under the latch; sample the chain link and the free epoch in
+  // the same critical section so a lateral hop can detect index frees.
+  PageId next = hdr->next;
+  uint64_t epoch = pool_->free_epoch();
   if (at >= hdr->count) {
-    PageId next = hdr->next;
-    XR_RETURN_IF_ERROR(pool_->UnpinPage(leaf_id, false));
-    if (next == kInvalidPageId) return XrIterator();
-    XR_ASSIGN_OR_RETURN(Page * nraw, pool_->FetchPage(next));
-    if (XrHeader(nraw)->count == 0) {
-      XR_RETURN_IF_ERROR(pool_->UnpinPage(next, false));
-      return XrIterator();
-    }
-    return XrIterator(this, PageGuard(pool_, nraw), 0);
+    leaf.Release();
+    XrIterator it(this, {}, next, epoch, key, false);
+    XR_RETURN_IF_ERROR(it.LandOnNextLeaf());
+    return it;
   }
-  return XrIterator(this, PageGuard(pool_, raw), at);
+  std::vector<Element> snap(XrLeafSlots(raw) + at,
+                            XrLeafSlots(raw) + hdr->count);
+  return XrIterator(this, std::move(snap), next, epoch, key, false);
 }
 
 Result<XrIterator> XrTree::UpperBound(Position key) const {
@@ -1129,39 +1304,66 @@ Result<XrIterator> XrTree::Begin() const { return LowerBound(0); }
 
 Result<std::vector<Position>> XrTree::PartitionKeys(size_t max_keys) const {
   std::vector<Position> keys;
-  if (max_keys == 0 || root_ == kInvalidPageId) return keys;
-  std::vector<PageId> level{root_};
-  for (int depth = 0; depth < kMaxTreeDepth; ++depth) {
-    keys.clear();
-    std::vector<PageId> children;
-    bool children_internal = false;
-    for (PageId id : level) {
-      XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(id));
-      PageGuard page(pool_, raw);
-      const auto* hdr = XrHeader(raw);
-      if (hdr->magic != kXrInternalMagic) {
-        if (hdr->magic == kXrLeafMagic && level.size() == 1) {
-          return std::vector<Position>{};  // root is a leaf: no separators
+  if (max_keys == 0) return keys;
+
+  auto walk = [&]() -> Result<std::vector<Position>> {
+    std::vector<Position> found;
+    PageId root_id = root_.load(std::memory_order_acquire);
+    if (root_id == kInvalidPageId) return found;
+    std::vector<PageId> level{root_id};
+    for (int depth = 0; depth < kMaxTreeDepth; ++depth) {
+      found.clear();
+      std::vector<PageId> children;
+      bool children_internal = false;
+      for (PageId id : level) {
+        XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(id));
+        ReadLatchedPage page(pool_, raw);
+        const auto* hdr = XrHeader(raw);
+        if (hdr->magic != kXrInternalMagic) {
+          if (hdr->magic == kXrLeafMagic && level.size() == 1) {
+            return std::vector<Position>{};  // root is a leaf: no separators
+          }
+          return Status::Corruption(
+              "xrtree: partition walk hit a foreign page");
         }
-        return Status::Corruption("xrtree: partition walk hit a foreign page");
+        const XrInternalEntry* slots = XrInternalSlots(raw);
+        for (uint32_t i = 0; i < hdr->count; ++i) {
+          found.push_back(slots[i].key);
+        }
+        children.push_back(hdr->leftmost);
+        for (uint32_t i = 0; i < hdr->count; ++i) {
+          children.push_back(slots[i].child);
+        }
+        if (!children_internal && !children.empty()) {
+          XR_ASSIGN_OR_RETURN(Page * craw,
+                              pool_->FetchPage(children.front()));
+          ReadLatchedPage child(pool_, craw);
+          children_internal = XrHeader(craw)->magic == kXrInternalMagic;
+        }
       }
-      const XrInternalEntry* slots = XrInternalSlots(raw);
-      for (uint32_t i = 0; i < hdr->count; ++i) keys.push_back(slots[i].key);
-      children.push_back(hdr->leftmost);
-      for (uint32_t i = 0; i < hdr->count; ++i) {
-        children.push_back(slots[i].child);
-      }
-      if (!children_internal && !children.empty()) {
-        XR_ASSIGN_OR_RETURN(Page * craw, pool_->FetchPage(children.front()));
-        PageGuard child(pool_, craw);
-        children_internal = XrHeader(craw)->magic == kXrInternalMagic;
-      }
+      // Within one level keys ascend left-to-right (they separate disjoint
+      // ascending leaf ranges); stop at the first level that satisfies the
+      // request, or at the last internal level.
+      if (found.size() >= max_keys || !children_internal) break;
+      level = std::move(children);
     }
-    // Within one level keys ascend left-to-right (they separate disjoint
-    // ascending leaf ranges); stop at the first level that satisfies the
-    // request, or at the last internal level.
-    if (keys.size() >= max_keys || !children_internal) break;
-    level = std::move(children);
+    return found;
+  };
+
+  // The level walk holds one latch at a time, so a concurrent structural
+  // change can invalidate ids between levels (NotFound on a freed page,
+  // or a recycled page with the wrong magic). Retry a few times; if writers
+  // keep winning, degrade to no partition points — any separator snapshot,
+  // including the empty one, is a correct plan.
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    Result<std::vector<Position>> r = walk();
+    if (r.ok()) {
+      keys = std::move(*r);
+      break;
+    }
+    const Status& st = r.status();
+    if (!st.IsNotFound() && !st.IsCorruption()) return st;
+    if (attempt == 3) return std::vector<Position>{};
   }
   if (keys.size() <= max_keys) return keys;
   // Thin to an evenly spaced subset so partitions cover comparable numbers
@@ -1180,7 +1382,12 @@ Result<std::vector<Position>> XrTree::PartitionKeys(size_t max_keys) const {
 // ---------------------------------------------------------------------------
 
 Status XrTree::BulkLoad(const ElementList& elements, double fill_fraction) {
-  if (root_ != kInvalidPageId || size_ != 0) {
+  std::shared_lock<std::shared_mutex> commit_barrier(pool_->commit_mutex());
+  // BulkLoad's contract is a quiescent, empty tree; the exclusive gate is a
+  // cheap backstop against a stray concurrent writer.
+  std::unique_lock<std::shared_mutex> gate(writer_gate_);
+  if (root_.load(std::memory_order_acquire) != kInvalidPageId ||
+      size_.load(std::memory_order_acquire) != 0) {
     return Status::InvalidArgument("BulkLoad requires an empty tree");
   }
   if (fill_fraction <= 0.0 || fill_fraction > 1.0) {
@@ -1278,8 +1485,7 @@ Status XrTree::BulkLoad(const ElementList& elements, double fill_fraction) {
     }
     level = std::move(next_level);
   }
-  root_ = level[0].page;
-  size_ = elements.size();
+  PageId new_root = level[0].page;
 
   // Stab pass: for every element, find the topmost node with a stabbing key
   // by descending the freshly built backbone, then write each node's chain
@@ -1292,7 +1498,7 @@ Status XrTree::BulkLoad(const ElementList& elements, double fill_fraction) {
     Element* slots = XrLeafSlots(raw);
     bool dirty = false;
     for (uint32_t i = 0; i < hdr->count; ++i) {
-      PageId cur = root_;
+      PageId cur = new_root;
       while (cur != leaf_id) {
         XR_ASSIGN_OR_RETURN(Page * nraw, pool_->FetchPage(cur));
         PageGuard node(pool_, nraw);
@@ -1314,8 +1520,11 @@ Status XrTree::BulkLoad(const ElementList& elements, double fill_fraction) {
   for (auto& [page_id, entries] : stabs) {
     XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(page_id));
     PageGuard node(pool_, raw);
-    XR_RETURN_IF_ERROR(WriteNodeStab(node, std::move(entries)));
+    XR_RETURN_IF_ERROR(WriteNodeStab(raw, std::move(entries)));
+    node.MarkDirty();
   }
+  root_.store(new_root, std::memory_order_release);
+  size_.store(elements.size(), std::memory_order_release);
   return Status::Ok();
 }
 
@@ -1324,15 +1533,30 @@ Status XrTree::BulkLoad(const ElementList& elements, double fill_fraction) {
 // ---------------------------------------------------------------------------
 
 Result<uint32_t> XrTree::Height() const {
-  if (root_ == kInvalidPageId) return static_cast<uint32_t>(0);
-  uint32_t h = 1;
-  PageId cur = root_;
-  while (true) {
-    XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(cur));
-    PageGuard page(pool_, raw);
-    if (XrHeader(raw)->is_leaf) return h;
-    cur = XrHeader(raw)->leftmost;
-    ++h;
+  for (;;) {
+    PageId root_id = root_.load(std::memory_order_acquire);
+    if (root_id == kInvalidPageId) return static_cast<uint32_t>(0);
+    auto fetched = pool_->FetchPage(root_id);
+    if (!fetched.ok()) {
+      if (root_.load(std::memory_order_acquire) != root_id) continue;
+      return fetched.status();
+    }
+    ReadLatchedPage cur(pool_, *fetched);
+    if (root_.load(std::memory_order_acquire) != root_id) continue;
+    uint32_t h = 1;
+    for (int depth = 0; depth < kMaxTreeDepth; ++depth) {
+      Page* raw = cur.get();
+      if (!ValidXrMagic(raw)) {
+        return Status::Corruption("xrtree: descent hit a foreign page");
+      }
+      if (XrHeader(raw)->is_leaf) return h;
+      XR_ASSIGN_OR_RETURN(Page * craw,
+                          pool_->FetchPage(XrHeader(raw)->leftmost));
+      ReadLatchedPage next(pool_, craw);
+      cur = std::move(next);
+      ++h;
+    }
+    return Status::Corruption("xrtree: descent did not reach a leaf");
   }
 }
 
@@ -1348,14 +1572,16 @@ Result<uint64_t> XrTree::CountEntries() {
     }
     XR_RETURN_IF_ERROR(it.Next());
   }
-  size_ = n;
+  size_.store(n, std::memory_order_release);
   return n;
 }
 
 Result<StabStats> XrTree::ComputeStabStats() const {
+  // Quiescent-only: the unlatched whole-tree walk races structural changes.
   StabStats stats;
-  if (root_ == kInvalidPageId) return stats;
-  std::vector<PageId> stack{root_};
+  PageId root_id = root_.load(std::memory_order_acquire);
+  if (root_id == kInvalidPageId) return stats;
+  std::vector<PageId> stack{root_id};
   while (!stack.empty()) {
     PageId id = stack.back();
     stack.pop_back();
@@ -1513,9 +1739,11 @@ Status XrTree::CheckNode(PageId id, bool is_root, Position lo, Position hi,
 }
 
 Status XrTree::CheckConsistency() const {
-  if (root_ == kInvalidPageId) return Status::Ok();
+  // Quiescent-only, like the structural pass it extends.
+  PageId root_id = root_.load(std::memory_order_acquire);
+  if (root_id == kInvalidPageId) return Status::Ok();
   int height = 0;
-  XR_RETURN_IF_ERROR(CheckNode(root_, true, 0, kNilPosition, &height));
+  XR_RETURN_IF_ERROR(CheckNode(root_id, true, 0, kNilPosition, &height));
 
   // Semantic pass: snapshot every internal node (keys + stab entries, with
   // ancestry) and every leaf element, then re-derive where each element
@@ -1532,7 +1760,7 @@ Status XrTree::CheckConsistency() const {
   struct Walk {
     PageId id;
   };
-  std::vector<Walk> stack{{root_}};
+  std::vector<Walk> stack{{root_id}};
   while (!stack.empty()) {
     PageId id = stack.back().id;
     stack.pop_back();
@@ -1554,7 +1782,7 @@ Status XrTree::CheckConsistency() const {
     stack.push_back({hdr->leftmost});
     for (uint32_t i = 0; i < hdr->count; ++i) stack.push_back({slots[i].child});
   }
-  if (leaf_count != size_) {
+  if (leaf_count != size_.load(std::memory_order_acquire)) {
     return Status::Corruption("tracked size != leaf element count");
   }
 
@@ -1565,7 +1793,7 @@ Status XrTree::CheckConsistency() const {
   uint64_t expected_stabbed = 0;
   for (const Element& e : elems) {
     // Find the topmost node with a key in [start, end] along the descent.
-    PageId cur = root_;
+    PageId cur = root_id;
     const NodeSnap* found = nullptr;
     Position primary = 0;
     while (by_id.count(cur)) {

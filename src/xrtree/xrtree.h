@@ -1,12 +1,16 @@
 #ifndef XRTREE_XRTREE_XRTREE_H_
 #define XRTREE_XRTREE_XRTREE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
+#include <shared_mutex>
 #include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
 #include "storage/buffer_pool.h"
+#include "storage/page_latch.h"
 #include "xml/element.h"
 #include "xrtree/stab_list.h"
 #include "xrtree/xrtree_page.h"
@@ -55,22 +59,55 @@ struct StabStats {
 /// that node's *smallest* stabbing key, or is flagged InStabList=no in its
 /// leaf when no internal key stabs it.
 ///
-/// Thread safety: the const query methods (Search, FindDescendants,
-/// FindAncestors, FindAncestorsAbove, Begin, Height, ComputeStabStats,
-/// CheckConsistency) hold no tree-level state across calls — descents use
-/// only locals plus pinned pool pages — so any number of reader threads may
-/// query concurrently over a thread-safe BufferPool, each with its own
-/// XrTree handle or sharing one. Insert/Delete/BulkLoad mutate pages and
-/// must run single-writer with no concurrent readers (see DESIGN.md §9).
-/// CountEntries is non-const (it refreshes the cached size) and is likewise
-/// writer-only.
+/// Thread safety (DESIGN.md §14): const queries descend with R-latch
+/// coupling (stab chains are read under their owning node's R latch) and
+/// the leaf cursors are snapshot iterators, so any number of reader threads
+/// may query concurrently. Insert runs a per-page latch-crabbing descent
+/// (WriteLatchSet) and additionally keeps the node that took the element's
+/// stab entry W-latched to the end of the operation, so any number of
+/// inserters run concurrently with each other and with readers. Delete's
+/// stab maintenance (Algorithm 2's D31 reinsertion and the key-replacement
+/// sweeps) revisits subtrees OFF the descent path, which breaks the pure
+/// top-down acquisition discipline crabbing relies on — stage 1 therefore
+/// runs each Delete under an exclusive writer gate (inserts take it
+/// shared); readers are unaffected. Stage 2 (copy-on-write snapshots,
+/// ROADMAP) removes the gate. Readers racing in-flight writes see a
+/// consistent but possibly momentarily stale view; joins needing exact
+/// results quiesce writers first. BulkLoad and CheckConsistency /
+/// ComputeStabStats / CountEntries remain quiescent-only.
 class XrTree {
  public:
   XrTree(BufferPool* pool, PageId root = kInvalidPageId,
          const XrTreeOptions& options = {});
 
-  PageId root() const { return root_; }
-  uint64_t size() const { return size_; }
+  /// Moves are quiescent-only (factory returns like StoredElementSet::Open):
+  /// they transfer the tree identity — pool, root, cached size, split
+  /// policy — while the latching state (mutexes, writer gate) is freshly
+  /// constructed, which is sound precisely because no operation may be in
+  /// flight on either side.
+  XrTree(XrTree&& other) noexcept
+      : pool_(other.pool_),
+        root_(other.root_.load(std::memory_order_acquire)),
+        size_(other.size_.load(std::memory_order_acquire)),
+        leaf_cap_(other.leaf_cap_),
+        internal_cap_(other.internal_cap_),
+        naive_split_key_(other.naive_split_key_),
+        use_ps_dir_(other.use_ps_dir_) {}
+  XrTree& operator=(XrTree&& other) noexcept {
+    pool_ = other.pool_;
+    root_.store(other.root_.load(std::memory_order_acquire),
+                std::memory_order_release);
+    size_.store(other.size_.load(std::memory_order_acquire),
+                std::memory_order_release);
+    leaf_cap_ = other.leaf_cap_;
+    internal_cap_ = other.internal_cap_;
+    naive_split_key_ = other.naive_split_key_;
+    use_ps_dir_ = other.use_ps_dir_;
+    return *this;
+  }
+
+  PageId root() const { return root_.load(std::memory_order_acquire); }
+  uint64_t size() const { return size_.load(std::memory_order_acquire); }
 
   /// Algorithm 1. Inserts `element` (keyed on start; starts are unique).
   Status Insert(const Element& element);
@@ -130,7 +167,9 @@ class XrTree {
   /// when the tree is too shallow to offer that many distinct separators;
   /// the descent stops at the deepest internal level that satisfies the
   /// request and thins it to an evenly spaced subset. Const and
-  /// reader-concurrent like the other queries.
+  /// reader-concurrent like the other queries; racing a structural change
+  /// it retries a few times and then degrades to fewer (possibly zero)
+  /// keys rather than failing — any separator snapshot is a valid plan.
   Result<std::vector<Position>> PartitionKeys(size_t max_keys) const;
 
   /// Up to `max_run` leaf page ids that follow the leaf containing `key`
@@ -149,17 +188,23 @@ class XrTree {
   /// frontier reaches `*resume_key`, it is entering the final prefetched
   /// leaf and should issue the next run. Left untouched when the run is
   /// empty, so callers should pre-initialize it (e.g. to kNilPosition).
+  ///
+  /// `hi` (optional): clamp — leaves whose key range starts at or past
+  /// `hi` are excluded from the run. A consumer that will stop at `hi`
+  /// (e.g. a partition range worker) passes its upper bound so read-ahead
+  /// never fetches pages it provably will not visit.
   Result<std::vector<PageId>> LeafRunAfter(Position key, size_t max_run,
-                                           Position* resume_key =
-                                               nullptr) const;
+                                           Position* resume_key = nullptr,
+                                           Position hi = kNilPosition) const;
 
   /// Deep validation of every structural and stab invariant (B+ shape,
   /// topmost-node rule, smallest-key tagging, PSL nesting, (ps,pe)
   /// summaries, InStabList flags, ps-directory correctness). O(N log N);
-  /// for tests.
+  /// for tests. Quiescent-only.
   Status CheckConsistency() const;
 
   Result<uint32_t> Height() const;
+  /// Recomputes size by walking leaves — for reopened trees. Writer-only.
   Result<uint64_t> CountEntries();
   Result<StabStats> ComputeStabStats() const;
 
@@ -176,51 +221,65 @@ class XrTree {
   };
 
   Status InitRootLeaf();
-  Result<PageId> FindLeaf(Position key, std::vector<PathEntry>* path) const;
+
+  /// Reader descent with R-latch coupling (see BTree::DescendToLeafRead).
+  Result<ReadLatchedPage> DescendToLeafRead(Position key) const;
 
   /// Rewrites `node`'s stab chain to `entries` (sorted), updating the
-  /// header references and every key's (ps, pe) summary.
-  Status WriteNodeStab(PageGuard& node, std::vector<StabEntry> entries);
+  /// header references and every key's (ps, pe) summary. The caller holds
+  /// the node's W-latch (or runs quiescent) and marks it dirty.
+  Status WriteNodeStab(Page* node, std::vector<StabEntry> entries);
   Result<std::vector<StabEntry>> ReadNodeStab(const Page* node) const;
 
   /// Inserts one stab entry into `node`'s chain (Algorithm 1, step I1).
-  Status InsertStabIntoNode(PageGuard& node, const StabEntry& entry);
+  /// Caller holds the W-latch and marks dirty.
+  Status InsertStabIntoNode(Page* node, const StabEntry& entry);
 
-  /// Demotes `entry` starting at `from`: descends toward entry.s until a
-  /// node with a stabbing key is found (insert there) or the leaf is
-  /// reached (clear the InStabList flag). Algorithm 2, step D31's
-  /// "reinsert into the highest internal node that stabs it".
-  Status PlaceEntry(PageId from, const StabEntry& entry);
+  /// Demotes `entry` starting at `from` (which the caller holds in `ls`):
+  /// descends toward entry.s until a node with a stabbing key is found
+  /// (insert there) or the leaf is reached (clear the InStabList flag).
+  /// Algorithm 2, step D31. Pages not already in `ls` are W-latch-coupled
+  /// down and released as the descent moves past them.
+  Status PlaceEntry(WriteLatchSet& ls, PageId from, const StabEntry& entry);
 
   /// Pull-up sweep for a key newly present in a node: descends from
   /// `subtree` along the path of `k`, removing stab entries stabbed by `k`
   /// (s <= k <= e) and collecting newly stabbed InStabList=no leaf
-  /// elements (flag set to yes). Collected entries are returned for
-  /// insertion into the node that now holds `k`.
-  Status CollectStabbedDescent(PageId subtree, Position k,
+  /// elements (flag set to yes). Latching discipline as PlaceEntry.
+  Status CollectStabbedDescent(WriteLatchSet& ls, PageId subtree, Position k,
                                std::vector<StabEntry>* out);
 
-  /// Key-change primitives on internal nodes, with all stab-list effects.
-  Status ReplaceSeparatorKey(PageGuard& parent, uint32_t key_slot,
-                             Position knew);
-  Status RemoveSeparatorKey(PageGuard& parent, uint32_t key_slot);
+  /// Key-change primitives on internal nodes (held in `ls`), with all
+  /// stab-list effects.
+  Status ReplaceSeparatorKey(WriteLatchSet& ls, PageId parent,
+                             uint32_t key_slot, Position knew);
+  Status RemoveSeparatorKey(WriteLatchSet& ls, PageId parent,
+                            uint32_t key_slot);
 
-  Status InsertIntoParent(std::vector<PathEntry>& path, Position sep_key,
-                          PageId right_child,
+  Status InsertIntoParent(WriteLatchSet& ls, std::vector<PathEntry>& path,
+                          Position sep_key, PageId right_child,
                           std::vector<StabEntry> stab_set);
-  Status HandleLeafUnderflow(std::vector<PathEntry>& path);
-  Status HandleInternalUnderflow(std::vector<PathEntry>& path, size_t depth);
+  Status HandleLeafUnderflow(WriteLatchSet& ls, std::vector<PathEntry>& path);
+  Status HandleInternalUnderflow(WriteLatchSet& ls,
+                                 std::vector<PathEntry>& path, size_t depth);
 
   /// Moves every entry of SL(victim) into SL(dest); victim's chain is
   /// cleared. All victim keys exceed all dest keys (left-merge order).
-  Status MergeStabLists(PageGuard& dest, PageGuard& victim);
+  /// Caller holds both W-latches and marks both dirty.
+  Status MergeStabLists(Page* dest, Page* victim);
 
   Status CheckNode(PageId id, bool is_root, Position lo, Position hi,
                    int* height) const;
 
   BufferPool* pool_;
-  PageId root_;
-  uint64_t size_ = 0;
+  std::atomic<PageId> root_;
+  std::atomic<uint64_t> size_{0};
+  /// Serializes lazy root creation (two first-inserters racing).
+  std::mutex root_init_mu_;
+  /// Stage-1 writer gate: Insert/BulkLoad shared, Delete exclusive (its
+  /// off-path stab sweeps can deadlock against a concurrent inserter's
+  /// rightward lateral latches). Readers never touch it.
+  std::shared_mutex writer_gate_;
   uint32_t leaf_cap_;
   uint32_t internal_cap_;
   bool naive_split_key_ = false;

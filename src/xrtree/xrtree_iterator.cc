@@ -2,53 +2,104 @@
 
 #include <cassert>
 #include <cstddef>
+#include <utility>
 
+#include "storage/page_latch.h"
 #include "xrtree/xrtree.h"
 
 namespace xrtree {
 
-XrIterator::XrIterator(const XrTree* tree, PageGuard leaf, uint32_t slot)
-    : tree_(tree), leaf_(std::move(leaf)), slot_(slot) {
-  if (leaf_) {
-    assert(slot_ < XrHeader(leaf_.get())->count);
-    scanned_ = 1;
+XrIterator::XrIterator(const XrTree* tree, std::vector<Element> snap,
+                       PageId next, uint64_t epoch, Position reseek_key,
+                       bool reseek_exclusive)
+    : tree_(tree),
+      snap_(std::move(snap)),
+      next_(next),
+      epoch_(epoch),
+      reseek_key_(reseek_key),
+      reseek_exclusive_(reseek_exclusive) {
+  if (!snap_.empty()) {
+    scanned_ = 1;  // landing on an element examines it
+    // Once positioned on an element, recovery always resumes strictly past
+    // the last element this snapshot can return.
+    reseek_key_ = snap_.back().start;
+    reseek_exclusive_ = true;
   }
 }
 
 const Element& XrIterator::Get() const {
   assert(Valid());
-  return XrLeafSlots(leaf_.get())[slot_];
+  return snap_[pos_];
 }
 
 Status XrIterator::Next() {
   if (!Valid()) return Status::InvalidArgument("Next on invalid iterator");
-  const auto* hdr = XrHeader(leaf_.get());
-  if (slot_ + 1 < hdr->count) {
-    ++slot_;
+  if (pos_ + 1 < snap_.size()) {
+    ++pos_;
     ++scanned_;
     return Status::Ok();
   }
-  PageId next = hdr->next;
+  return LandOnNextLeaf();
+}
+
+Status XrIterator::LandOnNextLeaf() {
   BufferPool* pool = tree_->pool();
-  leaf_.Release();
-  while (next != kInvalidPageId) {
-    XR_ASSIGN_OR_RETURN(Page * raw, pool->FetchPage(next));
-    leaf_ = PageGuard(pool, raw);
-    slot_ = 0;
-    if (XrHeader(raw)->magic != kXrLeafMagic) {
-      leaf_.Release();
-      leaf_ = PageGuard();
+  while (next_ != kInvalidPageId) {
+    auto fetched = pool->FetchPage(next_);
+    if (!fetched.ok()) {
+      // A dangling link surfaces as NotFound (the id is free-listed). That
+      // can only happen after an index-page free, which bumps the epoch —
+      // so a fresh descent is the right recovery. Any other failure (I/O)
+      // is real.
+      if (pool->free_epoch() != epoch_) return Reseek();
+      return fetched.status();
+    }
+    ReadLatchedPage leaf(pool, *fetched);
+    if (pool->free_epoch() != epoch_) {
+      // The link was read in an older epoch; the id may have been recycled
+      // into a different (even same-magic) leaf between the read and this
+      // latch. Cheaper to re-descend than to prove identity.
+      return Reseek();
+    }
+    const auto* hdr = XrHeader(leaf.get());
+    if (hdr->magic != kXrLeafMagic) {
       return Status::Corruption("xrtree: leaf chain points at a foreign page");
     }
-    if (XrHeader(raw)->count > 0) {
+    if (hdr->count > 0) {
+      snap_.assign(XrLeafSlots(leaf.get()),
+                   XrLeafSlots(leaf.get()) + hdr->count);
+      pos_ = 0;
+      next_ = hdr->next;
+      epoch_ = pool->free_epoch();  // resampled under this leaf's latch
+      reseek_key_ = snap_.back().start;
+      reseek_exclusive_ = true;
       ++scanned_;
+      leaf.Release();
       MaybePrefetch();
       return Status::Ok();
     }
-    next = XrHeader(raw)->next;
-    leaf_.Release();
+    next_ = hdr->next;
+    epoch_ = pool->free_epoch();
   }
-  leaf_ = PageGuard();
+  snap_.clear();
+  pos_ = 0;
+  return Status::Ok();  // end of tree
+}
+
+Status XrIterator::Reseek() {
+  const XrTree* tree = tree_;
+  uint64_t scanned = scanned_;
+  uint32_t prefetch = prefetch_depth_;
+  Position key = reseek_key_;
+  bool exclusive = reseek_exclusive_;
+  XR_ASSIGN_OR_RETURN(XrIterator fresh,
+                      exclusive ? tree->UpperBound(key) : tree->LowerBound(key));
+  *this = std::move(fresh);
+  tree_ = tree;
+  prefetch_depth_ = prefetch;
+  // The fresh iterator charged 1 for its landing element; that charge
+  // replaces the lateral hop's, so just add the prior total back.
+  scanned_ += scanned;
   return Status::Ok();
 }
 
@@ -59,11 +110,11 @@ Status XrIterator::SeekPastKey(Position key) {
   const XrTree* tree = tree_;
   uint64_t scanned = scanned_;
   uint32_t prefetch = prefetch_depth_;
-  leaf_.Release();
   XR_ASSIGN_OR_RETURN(XrIterator fresh, tree->UpperBound(key));
   *this = std::move(fresh);
   // The landing element is examined and charged like any other scan (see
-  // BTreeIterator::SeekPastKey).
+  // BTreeIterator::SeekPastKey). An off-the-end result comes back with a
+  // null tree pointer; restore it so the iterator stays reseekable.
   scanned_ += scanned;
   tree_ = tree;
   prefetch_depth_ = prefetch;
@@ -78,7 +129,6 @@ Status XrIterator::SeekToStart(Position pos) {
   const XrTree* tree = tree_;
   uint64_t scanned = scanned_;
   uint32_t prefetch = prefetch_depth_;
-  leaf_.Release();
   XR_ASSIGN_OR_RETURN(XrIterator fresh, tree->LowerBound(pos));
   *this = std::move(fresh);
   scanned_ += scanned;
@@ -94,27 +144,23 @@ void XrIterator::EnablePrefetch(uint32_t depth) {
 }
 
 void XrIterator::MaybePrefetch() {
-  if (prefetch_depth_ == 0 || !Valid()) return;
-  const auto* hdr = XrHeader(leaf_.get());
-  PageId next = hdr->next;
-  if (next == kInvalidPageId) return;
+  if (prefetch_depth_ == 0 || !Valid() || next_ == kInvalidPageId) return;
   // Precise lookahead first: one descent through the (hot, resident) upper
   // levels reads the sibling leaf ids off the parent internal node, so the
   // whole run goes to the prefetcher as one vectorized batch instead of a
-  // page-at-a-time pointer chase. The descent key is this leaf's largest
-  // start, which lands the probe back on this leaf.
-  if (hdr->count > 0) {
-    Position last = XrLeafSlots(leaf_.get())[hdr->count - 1].start;
-    auto run = tree_->LeafRunAfter(last, prefetch_depth_);
-    // The run must start at our chain successor; a mismatch (or an empty
-    // run — last child of its parent) falls through to chain prefetch.
-    if (run.ok() && !run->empty() && run->front() == next) {
-      tree_->pool()->PrefetchBatchAsync(std::move(*run));
-      return;
-    }
+  // page-at-a-time pointer chase. The descent key is this snapshot's
+  // largest start, which lands the probe back on the snapshot's leaf.
+  Position last = snap_.back().start;
+  auto run = tree_->LeafRunAfter(last, prefetch_depth_);
+  // The run must start at our chain successor; a mismatch (a concurrent
+  // split moved the chain, or this was the last child of its parent) falls
+  // through to chain prefetch.
+  if (run.ok() && !run->empty() && run->front() == next_) {
+    tree_->pool()->PrefetchBatchAsync(std::move(*run));
+    return;
   }
   tree_->pool()->PrefetchChainAsync(
-      next, prefetch_depth_,
+      next_, prefetch_depth_,
       static_cast<uint32_t>(offsetof(XrPageHeader, next)));
 }
 

@@ -2,6 +2,7 @@
 #define XRTREE_XRTREE_XRTREE_ITERATOR_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "common/status.h"
 #include "storage/buffer_pool.h"
@@ -12,23 +13,29 @@ namespace xrtree {
 
 class XrTree;
 
-/// Forward cursor over the leaf level of an XrTree (the merge-scan
-/// backbone of the XR-stack join). Pins only the current leaf. The scanned
-/// counter implements the paper's "number of elements scanned" metric.
+/// Forward cursor over the leaf level of an XrTree (the merge-scan backbone
+/// of the XR-stack join). Like BTreeIterator, it holds a *snapshot* of the
+/// current leaf's elements (copied under a short R-latch) and zero latches
+/// or pins between calls, so any number of cursors can run against
+/// concurrent writers without blocking them.
 ///
-/// Thread safety: an iterator is a single-thread object (it carries a pinned
-/// PageGuard and a position), but any number of threads may each advance
-/// their *own* iterator over the same tree concurrently; all shared state
-/// lives in the pool's latched shards (DESIGN.md §9).
+/// Lateral moves chase the leaf chain; each hop R-latches the next leaf and
+/// re-validates the pool's free epoch (sampled when the link was read). If
+/// an index page was freed in between the iterator re-descends from the
+/// root past the last key it returned — correct, merely one extra descent.
+///
+/// The scanned counter implements the paper's "number of elements scanned"
+/// metric (§6.1). Leaf read-ahead (EnablePrefetch) survives re-seeks.
 class XrIterator {
  public:
   XrIterator() = default;
-  XrIterator(const XrTree* tree, PageGuard leaf, uint32_t slot);
+  XrIterator(const XrTree* tree, std::vector<Element> snap, PageId next,
+             uint64_t epoch, Position reseek_key, bool reseek_exclusive);
 
   XrIterator(XrIterator&&) = default;
   XrIterator& operator=(XrIterator&&) = default;
 
-  bool Valid() const { return static_cast<bool>(leaf_); }
+  bool Valid() const { return pos_ < snap_.size(); }
   const Element& Get() const;
 
   Status Next();
@@ -54,12 +61,26 @@ class XrIterator {
   uint64_t scanned() const { return scanned_; }
 
  private:
-  /// Issues the read-ahead for the leaves following the current one.
+  friend class XrTree;
+
+  /// Chases next_ to the first non-empty leaf, snapshotting it. Falls back
+  /// to Reseek() when the free epoch moved under the lateral link.
+  Status LandOnNextLeaf();
+
+  /// Fresh descent past the last returned key (exclusive) or the original
+  /// seek key; replaces this iterator's state in place.
+  Status Reseek();
+
+  /// Issues the read-ahead for the leaves following the current snapshot.
   void MaybePrefetch();
 
   const XrTree* tree_ = nullptr;
-  PageGuard leaf_;
-  uint32_t slot_ = 0;
+  std::vector<Element> snap_;
+  size_t pos_ = 0;
+  PageId next_ = kInvalidPageId;   ///< chain link read under the leaf latch
+  uint64_t epoch_ = 0;             ///< free epoch when next_ was read
+  Position reseek_key_ = 0;        ///< recovery point for a fresh descent
+  bool reseek_exclusive_ = false;  ///< true once an element was returned
   uint64_t scanned_ = 0;
   uint32_t prefetch_depth_ = 0;
 };

@@ -1,7 +1,8 @@
 // Multi-threaded tests for the sharded buffer pool and the read-side of the
 // index/join stack. Everything here must be clean under ThreadSanitizer
-// (the CI tsan job runs this binary); the single-writer rule is respected
-// throughout — all mutation happens before the reader threads start.
+// (the CI tsan job runs this binary). Index mutation here happens before
+// the reader threads start; concurrent-mutation coverage (latch-crabbing
+// writers, DESIGN.md §14) lives in concurrent_writer_test.cc.
 
 #include <unistd.h>
 
@@ -317,28 +318,33 @@ TEST(SingleFlightTest, SuppressedOverlayHoldsAcrossInFlightRecycle) {
   ASSERT_OK(db.pool()->DiscardPage(x));
   ASSERT_OK(db.pool()->FreePage(x));
 
-  // A fetch now bypasses the suppressed image and goes to the data file —
-  // park it there.
-  db.gate()->GatePage(x);
-  char seen = 0;
-  std::thread fetcher([&] {
-    auto p = db.pool()->FetchPage(x);
-    XR_CHECK_OK(p.status());
-    seen = (*p)->data()[0];
-    XR_CHECK_OK(db.pool()->UnpinPage(x, false));
-  });
-  db.gate()->AwaitReader();
-  // Recycle the id mid-read. Whatever the in-flight read returns, the
-  // fetcher must observe the new owner's content — never the suppressed
-  // pre-free image 'A', which is exactly what overlay suppression promises
-  // for recycled ids.
+  // A fetch of a free-listed id is refused outright (this is how stale
+  // iterator links fail fast and re-descend), so the old hazard window —
+  // a data-file read of the suppressed pre-free image racing the recycle —
+  // is unreachable by construction: before the free the overlay serves the
+  // committed image, after it the fetch never reaches the disk.
+  auto refused = db.pool()->FetchPage(x);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_TRUE(refused.status().IsNotFound()) << refused.status();
+  EXPECT_EQ(db.gate()->reads_of(x), 0u);  // never went to the data file
+
+  // Recycle the id. The new owner's content must be what any subsequent
+  // fetch observes — never the suppressed pre-free image 'A', which is
+  // exactly what overlay suppression promises for recycled ids.
   ASSERT_OK_AND_ASSIGN(Page * np, db.pool()->NewPage());
   ASSERT_EQ(np->page_id(), x) << "free list did not recycle the id";
   std::memset(np->data(), 'B', kPageDataSize);
   ASSERT_OK(db.pool()->UnpinPage(x, true));
-  db.gate()->Release();
-  fetcher.join();
+  ASSERT_OK(db.pool()->FlushPage(x));
+  ASSERT_OK(db.pool()->DiscardPage(x));
 
+  char seen = 0;
+  {
+    auto p = db.pool()->FetchPage(x);
+    ASSERT_OK(p.status());
+    seen = (*p)->data()[0];
+    ASSERT_OK(db.pool()->UnpinPage(x, false));
+  }
   EXPECT_EQ(seen, 'B');
 
   db.pool()->SetWal(nullptr);

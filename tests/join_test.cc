@@ -702,6 +702,197 @@ TEST(ParallelJoinFaultTest, DataLossIsNeverMaskedByDegradation) {
   EXPECT_EQ(db.pool()->pinned_frames(), 0u);
 }
 
+// A worker invoked with only the relocated caller flag set must abort: the
+// parallel join moves the caller's `cancel` to `external_cancel` before
+// installing its sibling-failure flag, and the worker loop observes both.
+TEST(ParallelJoinFaultTest, RangeWorkerObservesExternalCancelFlag) {
+  ElementList universe = RandomNestedElements(43, 300, 3);
+  ElementList a_list, d_list;
+  SplitByLevel(universe, &a_list, &d_list);
+  TempDb db;
+  auto a_tree = SmallFanoutTree(db.pool(), a_list);
+  auto d_tree = SmallFanoutTree(db.pool(), d_list);
+
+  std::atomic<bool> ext{true};
+  JoinOptions options;
+  options.external_cancel = &ext;
+  auto out = XrStackJoinRange(*a_tree, *d_tree, 0, kNilPosition, options);
+  ASSERT_FALSE(out.ok());
+  EXPECT_TRUE(out.status().IsAborted()) << out.status().ToString();
+  EXPECT_EQ(out.status().message(), kJoinCancelledMessage);
+
+  ext.store(false);
+  ASSERT_OK(
+      XrStackJoinRange(*a_tree, *d_tree, 0, kNilPosition, options).status());
+}
+
+/// DiskInterface decorator that sets a cancellation flag once the Nth read
+/// after arming goes by — a deterministic way to fire "the caller cancels
+/// while the join is in flight" without sleeping.
+class CancelOnReadDisk final : public DiskInterface {
+ public:
+  CancelOnReadDisk(DiskInterface* base, std::atomic<bool>* flag)
+      : base_(base), flag_(flag) {}
+
+  /// The flag fires `after` reads from now.
+  void Arm(uint64_t after) {
+    trigger_.store(count_.load(std::memory_order_relaxed) + after,
+                   std::memory_order_relaxed);
+  }
+  void Disarm() { trigger_.store(0, std::memory_order_relaxed); }
+
+  Status ReadPage(PageId page_id, char* out) override {
+    uint64_t n = 1 + count_.fetch_add(1, std::memory_order_relaxed);
+    uint64_t at = trigger_.load(std::memory_order_relaxed);
+    if (at != 0 && n >= at) flag_->store(true, std::memory_order_relaxed);
+    return base_->ReadPage(page_id, out);
+  }
+  Status WritePage(PageId page_id, const char* in) override {
+    return base_->WritePage(page_id, in);
+  }
+  PageId AllocatePage() override { return base_->AllocatePage(); }
+  PageId num_pages() const override { return base_->num_pages(); }
+  Status Sync() override { return base_->Sync(); }
+  IoStats stats() const override { return base_->stats(); }
+  void ResetStats() override { base_->ResetStats(); }
+
+ private:
+  DiskInterface* const base_;
+  std::atomic<bool>* const flag_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> trigger_{0};
+};
+
+// The caller's flag firing mid-join must abort the whole join with the
+// cancellation sentinel — and must NOT be "recovered" by the
+// degrade-to-serial path, which would rerun the very work the caller just
+// asked to stop. (Regression: the old code overwrote options.cancel with
+// the internal sibling-failure flag, so a mid-flight external cancellation
+// was invisible to the workers.)
+TEST(ParallelJoinFaultTest, ExternalCancelMidJoinAbortsWithoutDegrade) {
+  ElementList universe = RandomNestedElements(41, 900, 3);
+  ElementList a_list, d_list;
+  SplitByLevel(universe, &a_list, &d_list);
+
+  char tmpl[] = "/tmp/xrtree_join_cancel_XXXXXX";
+  int fd = ::mkstemp(tmpl);
+  ASSERT_GE(fd, 0);
+  ::close(fd);
+  std::string path = tmpl;
+  {
+    DiskManager disk;
+    ASSERT_OK(disk.Open(path));
+    std::atomic<bool> cancel{false};
+    CancelOnReadDisk trip(&disk, &cancel);
+    // A 16-frame pool under a fanout-4 tree: every join misses constantly,
+    // so the armed read trigger is guaranteed to fire mid-join.
+    BufferPool pool(&trip, /*pool_size=*/16);
+    auto a_tree = SmallFanoutTree(&pool, a_list);
+    auto d_tree = SmallFanoutTree(&pool, d_list);
+    ASSERT_OK(pool.FlushAll());
+    ASSERT_OK_AND_ASSIGN(JoinOutput want, XrStackJoin(*a_tree, *d_tree));
+
+    JoinOptions options;
+    options.num_threads = 4;
+    options.degrade_to_serial = true;  // must NOT mask the cancellation
+    options.cancel = &cancel;
+    trip.Arm(5);
+    auto joined = ParallelXrStackJoin(*a_tree, *d_tree, options);
+    ASSERT_FALSE(joined.ok());
+    EXPECT_TRUE(joined.status().IsAborted()) << joined.status().ToString();
+    EXPECT_EQ(joined.status().message(), kJoinCancelledMessage);
+    EXPECT_EQ(pool.pinned_frames(), 0u);
+
+    // With the flag cleared the identical join runs to completion.
+    cancel.store(false);
+    trip.Disarm();
+    ASSERT_OK_AND_ASSIGN(JoinOutput again,
+                         ParallelXrStackJoin(*a_tree, *d_tree, options));
+    EXPECT_EQ(again.pairs, want.pairs);
+    EXPECT_FALSE(again.stats.degraded_to_serial);
+    ASSERT_OK(disk.Close());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ParallelJoinTest, PartitionPlansNeverContainDegenerateRanges) {
+  // Whatever PartitionKeys hands back (duplicates included), the plan must
+  // be a strictly increasing contiguous cover of [0, kNilPosition): a
+  // degenerate [k, k) range would spawn a worker that owns nothing.
+  ElementList universe = RandomNestedElements(47, 1200, 2);
+  ElementList a_list, d_list;
+  SplitByLevel(universe, &a_list, &d_list);
+  TempDb db(512);
+  auto a_tree = SmallFanoutTree(db.pool(), a_list);
+
+  for (uint32_t threads : {2u, 3u, 4u, 8u, 16u, 64u}) {
+    ASSERT_OK_AND_ASSIGN(auto ranges, PlanJoinPartitions(*a_tree, threads));
+    ASSERT_FALSE(ranges.empty());
+    EXPECT_EQ(ranges.front().first, 0u);
+    EXPECT_EQ(ranges.back().second, kNilPosition);
+    for (size_t i = 0; i < ranges.size(); ++i) {
+      EXPECT_LT(ranges[i].first, ranges[i].second)
+          << "degenerate range at " << i << " for " << threads << " threads";
+      if (i > 0) {
+        EXPECT_EQ(ranges[i].first, ranges[i - 1].second);
+      }
+    }
+  }
+}
+
+/// Discards every unpinned resident page, resolving prefetched-but-unread
+/// frames into prefetch_wasted (which is otherwise only counted when a
+/// frame is evicted or freed).
+void DiscardAllResident(BufferPool* pool, PageId num_pages) {
+  for (PageId id = 0; id < num_pages; ++id) {
+    pool->DiscardPage(id).ok();  // non-resident ids are fine to skip
+  }
+}
+
+// The ancestor-side read-ahead of a range worker must clamp its run to the
+// worker's [lo, hi): re-arming with the full prefetch_depth at the end of
+// the range used to fetch sibling leaves the worker never probes.
+TEST(ParallelJoinTest, RangeWorkerPrefetchStaysInsideItsRange) {
+  // Adjacent (non-nested) ancestors with one descendant inside each:
+  // every in-range ancestor leaf gets probed, so a prefetched ancestor
+  // leaf can only end up wasted if the read-ahead ran past `hi`.
+  ElementList a_list, d_all;
+  Position p = 10;
+  for (int i = 0; i < 400; ++i) {
+    a_list.push_back(Element(p, p + 6, 1));
+    d_all.push_back(Element(p + 2, p + 3, 2));
+    p += 10;
+  }
+  const Position hi = a_list[200].start;
+  ElementList d_list;  // descendants confined to [0, hi)
+  for (const Element& e : d_all) {
+    if (e.start < hi) d_list.push_back(e);
+  }
+
+  TempDb db(512);
+  auto a_tree = SmallFanoutTree(db.pool(), a_list);
+  auto d_tree = SmallFanoutTree(db.pool(), d_list);
+  ASSERT_OK(db.pool()->FlushAll());
+  const PageId num_pages = db.disk()->num_pages();
+  // Everything cold: the join's read-ahead must actually install frames.
+  DiscardAllResident(db.pool(), num_pages);
+
+  IoStats before = db.pool()->stats();
+  JoinOptions options;
+  options.prefetch_depth = 8;
+  ASSERT_OK_AND_ASSIGN(JoinOutput part,
+                       XrStackJoinRange(*a_tree, *d_tree, 0, hi, options));
+  EXPECT_EQ(part.stats.output_pairs, d_list.size());
+  db.pool()->WaitForPrefetchIdle();
+  // Resolve still-resident prefetched frames: every one the worker never
+  // touched now counts as wasted.
+  DiscardAllResident(db.pool(), num_pages);
+  IoStats delta = db.pool()->stats() - before;
+  EXPECT_GT(delta.prefetch_issued, 0u);
+  EXPECT_EQ(delta.prefetch_wasted, 0u)
+      << "read-ahead fetched leaves outside [0, " << hi << ")";
+}
+
 TEST(JoinTest, SelfJoinProducesProperPairsOnly) {
   ElementList list = RandomNestedElements(55, 300, 2);
   TempDb db;
