@@ -11,9 +11,12 @@
 // and its own stalls.
 //
 // Usage: parallel_join [--threads N] [--json <path>] [--require-prefetch-wins]
+//                      [--compressed]
 //   --threads N   highest worker count measured (default 8; rounds run at
 //                 1, 2, 4, ... up to N)
 //   --json PATH   write machine-readable results to PATH
+//   --compressed  build the XR-trees with compressed leaf/stab pages
+//                 (DESIGN.md §15); the JSON header records the format
 //   --require-prefetch-wins
 //                 exit nonzero if, at the highest thread count, the prefetch
 //                 round is slower than the no-prefetch round (beyond a 5%
@@ -82,11 +85,14 @@ int main(int argc, char** argv) {
 
   uint64_t max_threads = 8;
   bool require_prefetch_wins = false;
+  bool compressed = false;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--threads" && i + 1 < argc) {
       max_threads = std::strtoull(argv[i + 1], nullptr, 10);
     } else if (std::string(argv[i]) == "--require-prefetch-wins") {
       require_prefetch_wins = true;
+    } else if (std::string(argv[i]) == "--compressed") {
+      compressed = true;
     }
   }
   if (max_threads == 0) max_threads = 1;
@@ -114,12 +120,14 @@ int main(int argc, char** argv) {
   BenchDb db(8192);
   PageId a_root, d_root;
   {
-    StoredElementSet a_set(db.pool(), "A");
-    StoredElementSet d_set(db.pool(), "D");
-    XR_CHECK_OK(a_set.Build(ds->ancestors));
-    XR_CHECK_OK(d_set.Build(ds->descendants));
-    a_root = a_set.xrtree().root();
-    d_root = d_set.xrtree().root();
+    XrTreeOptions xopt;
+    xopt.compressed_pages = compressed;
+    XrTree a_tree(db.pool(), kInvalidPageId, xopt);
+    XrTree d_tree(db.pool(), kInvalidPageId, xopt);
+    XR_CHECK_OK(a_tree.BulkLoad(ds->ancestors));
+    XR_CHECK_OK(d_tree.BulkLoad(ds->descendants));
+    a_root = a_tree.root();
+    d_root = d_tree.root();
   }
 
   DiskOptions latency;
@@ -167,6 +175,9 @@ int main(int argc, char** argv) {
       options.materialize = false;
       options.num_threads = static_cast<uint32_t>(threads);
       options.prefetch_depth = static_cast<uint32_t>(pf);
+      // Prefetch rounds use the adaptive ramp: depth scales with observed
+      // run length instead of re-issuing a fixed depth every arm.
+      options.adaptive_prefetch = pf > 0;
       IoStats before = db.pool()->stats();
       auto t0 = std::chrono::steady_clock::now();
       JoinOutput out = ParallelXrStackJoin(a_xr, d_xr, options).value();
@@ -226,6 +237,8 @@ int main(int argc, char** argv) {
     }
     JsonObject top;
     top.Set("bench", "parallel_join");
+    top.Set("page_format", compressed ? "compressed" : "fixed");
+    top.Set("adaptive_prefetch", prefetch_depth > 0);
     top.Set("scale", scale);
     top.Set("pool_pages", pool_pages);
     top.Set("shards", shards);

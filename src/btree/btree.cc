@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <deque>
 #include <shared_mutex>
 
 #include "btree/btree_iterator.h"
+#include "storage/element_file.h"
 
 namespace xrtree {
 
@@ -613,8 +615,38 @@ Status BTree::BulkLoad(const ElementList& elements, double fill_fraction) {
   if (!std::is_sorted(elements.begin(), elements.end())) {
     return Status::InvalidArgument("BulkLoad input must be sorted by start");
   }
-  if (elements.empty()) return InitRootLeaf();
+  size_t idx = 0;
+  return BulkLoadImpl(
+      [&elements, &idx](Element* e) {
+        if (idx >= elements.size()) return false;
+        *e = elements[idx++];
+        return true;
+      },
+      fill_fraction);
+}
 
+Status BTree::BulkLoadFromFile(const ElementFile& file, double fill_fraction) {
+  if (root_.load(std::memory_order_acquire) != kInvalidPageId ||
+      size_.load(std::memory_order_acquire) != 0) {
+    return Status::InvalidArgument("BulkLoad requires an empty tree");
+  }
+  if (fill_fraction <= 0.0 || fill_fraction > 1.0) {
+    return Status::InvalidArgument("fill_fraction out of (0, 1]");
+  }
+  ElementFile::Scanner scanner = file.NewScanner();
+  XR_RETURN_IF_ERROR(BulkLoadImpl(
+      [&scanner](Element* e) {
+        if (!scanner.Valid()) return false;
+        *e = scanner.Get();
+        scanner.Next();
+        return true;
+      },
+      fill_fraction));
+  return scanner.status();
+}
+
+Status BTree::BulkLoadImpl(const std::function<bool(Element*)>& next,
+                           double fill_fraction) {
   // Fill targets are clamped above the half-full invariant so bulk-loaded
   // trees always pass CheckConsistency.
   uint32_t leaf_fill =
@@ -623,6 +655,35 @@ Status BTree::BulkLoad(const ElementList& elements, double fill_fraction) {
   uint32_t internal_fill = std::max<uint32_t>(
       std::max<uint32_t>(2, internal_cap_ / 2),
       static_cast<uint32_t>(internal_cap_ * fill_fraction));
+  const size_t min_fill = std::max<size_t>(1, leaf_cap_ / 2);
+
+  // Bounded lookahead: with leaf_cap + min_fill elements buffered, the
+  // tail rule below ("would the leftover dip under min fill?") is decided
+  // with the same answer a full materialized pass would give — if the
+  // buffer is full, at least min_fill elements remain after any cut.
+  const size_t horizon = static_cast<size_t>(leaf_cap_) + min_fill;
+  std::deque<Element> buf;
+  bool exhausted = false;
+  Position prev_start = 0;
+  bool have_prev = false;
+  auto refill = [&]() -> Status {
+    while (!exhausted && buf.size() < horizon) {
+      Element e;
+      if (!next(&e)) {
+        exhausted = true;
+        break;
+      }
+      if (have_prev && e.start < prev_start) {
+        return Status::InvalidArgument("BulkLoad input must be sorted by start");
+      }
+      prev_start = e.start;
+      have_prev = true;
+      buf.push_back(e);
+    }
+    return Status::Ok();
+  };
+  XR_RETURN_IF_ERROR(refill());
+  if (buf.empty()) return InitRootLeaf();
 
   // Level 0: pack leaves left to right.
   struct ChildRef {
@@ -631,15 +692,16 @@ Status BTree::BulkLoad(const ElementList& elements, double fill_fraction) {
   };
   std::vector<ChildRef> level;
   PageGuard prev;
-  for (size_t i = 0; i < elements.size();) {
+  uint64_t total_loaded = 0;
+  while (!buf.empty()) {
+    XR_RETURN_IF_ERROR(refill());
     // Pack `leaf_fill` entries per page, but never leave the final page
     // below the half-full invariant: either absorb the tail into this page
     // (it fits below capacity) or leave exactly the minimum behind.
-    size_t total = elements.size() - i;
-    size_t n = std::min<size_t>(leaf_fill, total);
-    size_t min_fill = std::max<size_t>(1, leaf_cap_ / 2);
-    if (total > n && total - n < min_fill) {
-      n = (total <= leaf_cap_) ? total : total - min_fill;
+    size_t rem = buf.size();
+    size_t n = std::min<size_t>(leaf_fill, rem);
+    if (exhausted && rem > n && rem - n < min_fill) {
+      n = (rem <= leaf_cap_) ? rem : rem - min_fill;
     }
     XR_ASSIGN_OR_RETURN(Page * raw, pool_->NewPage());
     PageGuard page(pool_, raw);
@@ -651,13 +713,15 @@ Status BTree::BulkLoad(const ElementList& elements, double fill_fraction) {
     hdr->next = kInvalidPageId;
     hdr->prev = prev ? prev.page_id() : kInvalidPageId;
     hdr->leftmost = kInvalidPageId;
-    std::memcpy(LeafSlots(raw), &elements[i], n * sizeof(Element));
+    std::copy(buf.begin(), buf.begin() + static_cast<ptrdiff_t>(n),
+              LeafSlots(raw));
     if (prev) {
       BTreeHeader(prev.get())->next = raw->page_id();
       prev.MarkDirty();
     }
-    level.push_back({elements[i].start, raw->page_id()});
-    i += n;
+    level.push_back({buf.front().start, raw->page_id()});
+    buf.erase(buf.begin(), buf.begin() + static_cast<ptrdiff_t>(n));
+    total_loaded += n;
     prev = std::move(page);
   }
   prev.Release();
@@ -695,7 +759,7 @@ Status BTree::BulkLoad(const ElementList& elements, double fill_fraction) {
     level = std::move(next_level);
   }
   root_.store(level[0].page, std::memory_order_release);
-  size_.store(elements.size(), std::memory_order_release);
+  size_.store(total_loaded, std::memory_order_release);
   return Status::Ok();
 }
 

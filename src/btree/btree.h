@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <vector>
@@ -17,6 +18,7 @@
 namespace xrtree {
 
 class BTreeIterator;
+class ElementFile;
 
 /// Tuning knobs, mainly for tests: shrinking the fanout forces deep trees
 /// and frequent splits/merges on small inputs.
@@ -92,6 +94,12 @@ class BTree {
   /// must be empty. Leaves are packed to `fill_fraction` of capacity.
   Status BulkLoad(const ElementList& elements, double fill_fraction = 1.0);
 
+  /// Streams a start-sorted corpus out of an on-disk ElementFile in one
+  /// sequential pass, holding only a one-leaf lookahead in memory — the
+  /// element list is never materialized. Same contract as BulkLoad
+  /// otherwise (empty tree, sorted input).
+  Status BulkLoadFromFile(const ElementFile& file, double fill_fraction = 1.0);
+
   /// Iterator positioned at the first element with start >= key
   /// (invalid iterator if none). The primitive behind descendant skipping.
   Result<BTreeIterator> LowerBound(Position key) const;
@@ -129,6 +137,13 @@ class BTree {
   };
 
   Status InitRootLeaf();
+
+  /// Shared bulk-load engine: pulls start-sorted elements from `next`
+  /// (false = exhausted) and packs leaves left to right against a bounded
+  /// lookahead of leaf_capacity + min_fill elements, so callers can stream
+  /// arbitrarily large corpora.
+  Status BulkLoadImpl(const std::function<bool(Element*)>& next,
+                      double fill_fraction);
 
   /// Reader descent with R-latch coupling: returns the owning leaf pinned
   /// and R-latched (an empty default on an empty tree). Retries when the

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <memory>
+
+#include "storage/element_file.h"
 
 namespace xrtree {
 
@@ -59,22 +62,71 @@ Status SpTree::BulkLoad(const ElementList& elements) {
   if (!std::is_sorted(elements.begin(), elements.end())) {
     return Status::InvalidArgument("BulkLoad input must be sorted by start");
   }
+  return BulkLoadImpl([&elements]() {
+    size_t idx = 0;
+    return [&elements, idx](Element* e) mutable {
+      if (idx >= elements.size()) return false;
+      *e = elements[idx++];
+      return true;
+    };
+  });
+}
 
-  // Pass 1: pack leaves and remember every element's (page, slot).
+Status SpTree::BulkLoadFromFile(const ElementFile& file) {
+  if (root_ != kInvalidPageId || size_ != 0) {
+    return Status::InvalidArgument("BulkLoad requires an empty tree");
+  }
+  Status scan_status;
+  XR_RETURN_IF_ERROR(BulkLoadImpl([&file, &scan_status]() {
+    auto scanner = std::make_shared<ElementFile::Scanner>(file.NewScanner());
+    return [scanner, &scan_status](Element* e) {
+      if (!scanner->Valid()) {
+        scan_status = scanner->status();
+        return false;
+      }
+      *e = scanner->Get();
+      scanner->Next();
+      return true;
+    };
+  }));
+  return scan_status;
+}
+
+Status SpTree::BulkLoadImpl(
+    const std::function<std::function<bool(Element*)>()>& make_scan) {
+  // Pass 1: pack leaves left to right, retaining each element's start (for
+  // the sibling binary search) and its (page, slot) — not the element.
   struct Loc {
     PageId page;
     uint32_t slot;
   };
   std::vector<Loc> locs;
-  locs.reserve(elements.size());
+  std::vector<Position> starts;
   struct ChildRef {
     Position first_key;
     PageId page;
   };
   std::vector<ChildRef> level;
   PageGuard prev;
-  for (size_t i = 0; i < elements.size() || level.empty();) {
-    size_t n = std::min(kLeafMaxEntries, elements.size() - i);
+  std::function<bool(Element*)> next = make_scan();
+  std::vector<Element> chunk;
+  chunk.reserve(kLeafMaxEntries);
+  // One-element lookahead so a corpus that is an exact multiple of the
+  // leaf capacity does not leave a trailing empty leaf on the chain.
+  Element pending;
+  bool have_pending = next(&pending);
+  while (have_pending || level.empty()) {
+    chunk.clear();
+    while (chunk.size() < kLeafMaxEntries && have_pending) {
+      chunk.push_back(pending);
+      starts.push_back(pending.start);
+      Position prev_start = pending.start;
+      have_pending = next(&pending);
+      if (have_pending && pending.start < prev_start) {
+        return Status::InvalidArgument("BulkLoad input must be sorted by start");
+      }
+    }
+    const size_t n = chunk.size();
     XR_ASSIGN_OR_RETURN(Page * raw, pool_->NewPage());
     PageGuard page(pool_, raw);
     page.MarkDirty();
@@ -87,36 +139,38 @@ Status SpTree::BulkLoad(const ElementList& elements) {
     hdr->leftmost = kInvalidPageId;
     SpEntry* slots = SpSlots(raw);
     for (size_t j = 0; j < n; ++j) {
-      slots[j] = {elements[i + j], kInvalidPageId, 0};
+      slots[j] = {chunk[j], kInvalidPageId, 0};
       locs.push_back({raw->page_id(), static_cast<uint32_t>(j)});
     }
     if (prev) {
       BTreeHeader(prev.get())->next = raw->page_id();
       prev.MarkDirty();
     }
-    level.push_back({n > 0 ? elements[i].start : 0, raw->page_id()});
-    i += n;
+    level.push_back({n > 0 ? chunk[0].start : 0, raw->page_id()});
     prev = std::move(page);
     if (n == 0) break;  // empty input: single empty leaf
   }
   prev.Release();
 
   // Pass 2: wire sibling pointers. The first non-descendant of element i
-  // is the first element with start > elements[i].end — a binary search
-  // over the (sorted) starts.
-  for (size_t i = 0; i < elements.size(); ++i) {
-    auto it = std::upper_bound(
-        elements.begin(), elements.end(), Element(elements[i].end, kNilPosition),
-        [](const Element& a, const Element& b) { return a.start < b.start; });
+  // is the first element with start > ends[i] — a binary search over the
+  // retained starts; the ends stream by in a second sequential scan.
+  next = make_scan();
+  for (size_t i = 0; i < locs.size(); ++i) {
+    Element e;
+    if (!next(&e)) {
+      return Status::Corruption("sptree bulk load: second pass came up short");
+    }
+    auto it = std::upper_bound(starts.begin(), starts.end(), e.end);
     XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(locs[i].page));
     PageGuard page(pool_, raw);
     page.MarkDirty();
     SpEntry& entry = SpSlots(raw)[locs[i].slot];
-    if (it == elements.end()) {
+    if (it == starts.end()) {
       entry.sib_page = kInvalidPageId;
       entry.sib_slot = 0;
     } else {
-      size_t target = static_cast<size_t>(it - elements.begin());
+      size_t target = static_cast<size_t>(it - starts.begin());
       entry.sib_page = locs[target].page;
       entry.sib_slot = locs[target].slot;
     }
@@ -149,7 +203,7 @@ Status SpTree::BulkLoad(const ElementList& elements) {
     level = std::move(next_level);
   }
   root_ = level[0].page;
-  size_ = elements.size();
+  size_ = starts.size();
   return Status::Ok();
 }
 

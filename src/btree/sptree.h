@@ -2,6 +2,7 @@
 #define XRTREE_BTREE_SPTREE_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "btree/btree_page.h"
@@ -12,6 +13,7 @@
 
 namespace xrtree {
 
+class ElementFile;
 class SpIterator;
 
 /// B+sp (Chien et al., VLDB'02): a B+-tree over start positions whose leaf
@@ -50,6 +52,12 @@ class SpTree {
   /// wires every sibling pointer. The tree must be empty.
   Status BulkLoad(const ElementList& elements);
 
+  /// Streams the corpus out of an on-disk ElementFile in two sequential
+  /// passes (pack leaves, then wire sibling pointers), retaining only each
+  /// element's start and leaf slot — 12 bytes per element instead of the
+  /// materialized list. Same contract as BulkLoad otherwise.
+  Status BulkLoadFromFile(const ElementFile& file);
+
   /// First element with start >= / > key.
   Result<SpIterator> LowerBound(Position key) const;
   Result<SpIterator> UpperBound(Position key) const;
@@ -64,6 +72,12 @@ class SpTree {
   friend class SpIterator;
 
   Result<PageId> FindLeaf(Position key) const;
+
+  /// Shared bulk-load engine. `make_scan` yields a fresh sequential pass
+  /// over the start-sorted corpus each time it is called (false =
+  /// exhausted); the build runs two passes.
+  Status BulkLoadImpl(
+      const std::function<std::function<bool(Element*)>()>& make_scan);
 
   BufferPool* pool_;
   PageId root_;

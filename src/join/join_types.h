@@ -55,6 +55,14 @@ struct JoinOptions {
   /// background (BufferPool::PrefetchChainAsync). 0 = off.
   uint32_t prefetch_depth = 0;
 
+  /// Scale read-ahead depth from observed run lengths instead of issuing a
+  /// fixed `prefetch_depth` every time: runs start shallow (4), double on
+  /// every fully-consumed run up to max(prefetch_depth, 64), and halve when
+  /// a run comes back short (range boundary, last child of a parent). Long
+  /// sequential scans reach the deep horizon while short stabs stay
+  /// shallow, keeping prefetch_wasted ~0. Requires prefetch_depth > 0.
+  bool adaptive_prefetch = false;
+
   /// Cooperative cancellation: when non-null and set, XrStackJoinRange
   /// aborts its scan promptly (checked once per loop iteration) with
   /// Status::Aborted(kJoinCancelledMessage). ParallelXrStackJoin installs

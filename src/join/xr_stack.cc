@@ -46,7 +46,12 @@ Result<JoinOutput> XrStackJoinRange(const XrTree& ancestors,
   XR_ASSIGN_OR_RETURN(
       XrIterator itd,
       lo == 0 ? descendants.Begin() : descendants.UpperBound(lo));
-  if (options.prefetch_depth > 0) itd.EnablePrefetch(options.prefetch_depth);
+  if (options.prefetch_depth > 0) {
+    itd.EnablePrefetch(options.adaptive_prefetch
+                           ? std::min<uint32_t>(options.prefetch_depth, 4)
+                           : options.prefetch_depth,
+                       options.adaptive_prefetch);
+  }
 
   // Ancestor-side read-ahead. The FindAncestors probes walk the ancestor
   // leaves strictly left to right, so whenever the probe frontier crosses
@@ -58,6 +63,19 @@ Result<JoinOutput> XrStackJoinRange(const XrTree& ancestors,
   // the probes' S2 scans find the pages resident (or in flight).
   // pf_arm_at == 0 arms on the first probe.
   Position pf_arm_at = 0;
+  // Ancestor-side adaptive depth (options.adaptive_prefetch): runs start
+  // shallow and double on every full run up to max(prefetch_depth, 64),
+  // halving when a run comes back short (clamped at `hi`, or the last
+  // child of its parent) — deep horizons for long parent sweeps, no wasted
+  // fetches at range boundaries.
+  uint32_t pf_depth = options.adaptive_prefetch
+                          ? std::min<uint32_t>(options.prefetch_depth, 4)
+                          : options.prefetch_depth;
+  const uint32_t pf_cap =
+      options.adaptive_prefetch
+          ? std::max<uint32_t>(options.prefetch_depth,
+                               XrIterator::kMaxAdaptivePrefetch)
+          : options.prefetch_depth;
 
   // Floor for FindAncestors probes (§5.2 variation): every ancestor of the
   // current descendant with start below max(stack top, previous probe
@@ -114,10 +132,16 @@ Result<JoinOutput> XrStackJoinRange(const XrTree& ancestors,
         // Clamp the run to this worker's range: leaves whose first key is
         // past `hi` hold no ancestors this range owns, so fetching them is
         // pure waste (it shows up as prefetch_wasted in the pool stats).
-        auto run = ancestors.LeafRunAfter(cur_a, options.prefetch_depth,
-                                          &resume, hi);
+        auto run = ancestors.LeafRunAfter(cur_a, pf_depth, &resume, hi);
         if (run.ok() && !run->empty()) {
+          bool full = run->size() == pf_depth;
           ancestors.pool()->PrefetchBatchAsync(std::move(*run));
+          if (options.adaptive_prefetch) {
+            pf_depth = full ? std::min(pf_depth * 2, pf_cap)
+                            : std::max<uint32_t>(2, pf_depth / 2);
+          }
+        } else if (options.adaptive_prefetch) {
+          pf_depth = std::max<uint32_t>(2, pf_depth / 2);
         }
         // When the run is empty (last child of its parent) or the resume
         // key does not advance, back off to re-arming on the next probe

@@ -193,8 +193,10 @@ Status Catalog::WriteSlot(PageId slot, uint64_t seq,
   auto* free_ids = reinterpret_cast<PageId*>(
       raw->data() + sizeof(CatalogHeader) +
       kMaxEntries * sizeof(CatalogRecord));
-  std::memcpy(free_ids, free_pages.data(),
-              free_pages.size() * sizeof(PageId));
+  if (!free_pages.empty()) {
+    std::memcpy(free_ids, free_pages.data(),
+                free_pages.size() * sizeof(PageId));
+  }
   return Status::Ok();
 }
 

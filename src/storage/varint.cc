@@ -1,0 +1,13 @@
+#include "storage/varint.h"
+
+#include <vector>
+
+namespace xrtree {
+
+void AppendVarint32(std::vector<uint8_t>* dst, uint32_t v) {
+  uint8_t buf[kMaxVarint32Bytes];
+  uint8_t* end = PutVarint32(buf, v);
+  dst->insert(dst->end(), buf, end);
+}
+
+}  // namespace xrtree

@@ -1,0 +1,72 @@
+#ifndef XRTREE_STORAGE_VARINT_H_
+#define XRTREE_STORAGE_VARINT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace xrtree {
+
+/// LEB128 varint32 + zigzag codec shared by the compressed page formats
+/// (DESIGN.md §15) and future WAL/network encodings. Encoders assume the
+/// caller reserved at least kMaxVarint32Bytes of space; decoders are
+/// bounds-checked against an explicit limit and return nullptr on a
+/// truncated buffer, so a corrupt length field cannot walk off a page.
+
+inline constexpr size_t kMaxVarint32Bytes = 5;
+
+/// Appends v at dst (little-endian base-128, high bit = continuation) and
+/// returns the first byte past the encoding.
+inline uint8_t* PutVarint32(uint8_t* dst, uint32_t v) {
+  while (v >= 0x80) {
+    *dst++ = static_cast<uint8_t>(v) | 0x80;
+    v >>= 7;
+  }
+  *dst++ = static_cast<uint8_t>(v);
+  return dst;
+}
+
+/// Decodes one varint from [p, limit) into *v. Returns the first byte past
+/// the encoding, or nullptr if the buffer ends mid-varint or the encoding
+/// runs past 5 bytes.
+inline const uint8_t* GetVarint32(const uint8_t* p, const uint8_t* limit,
+                                  uint32_t* v) {
+  uint32_t result = 0;
+  for (uint32_t shift = 0; shift <= 28; shift += 7) {
+    if (p >= limit) return nullptr;
+    uint32_t byte = *p++;
+    if (byte & 0x80) {
+      result |= (byte & 0x7f) << shift;
+    } else {
+      *v = result | (byte << shift);
+      return p;
+    }
+  }
+  return nullptr;
+}
+
+inline size_t Varint32Size(uint32_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+/// Appends one varint to a byte vector (growable-buffer convenience for
+/// log/wire encoders; the page codec writes into fixed frames directly).
+void AppendVarint32(std::vector<uint8_t>* dst, uint32_t v);
+
+/// Zigzag maps signed deltas to small unsigned values: 0,-1,1,-2,... ->
+/// 0,1,2,3,... so varint length tracks magnitude, not sign.
+inline uint32_t ZigZag32(int32_t v) {
+  return (static_cast<uint32_t>(v) << 1) ^ static_cast<uint32_t>(v >> 31);
+}
+inline int32_t UnZigZag32(uint32_t v) {
+  return static_cast<int32_t>((v >> 1) ^ (0u - (v & 1)));
+}
+
+}  // namespace xrtree
+
+#endif  // XRTREE_STORAGE_VARINT_H_

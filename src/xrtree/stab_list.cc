@@ -6,9 +6,22 @@
 #include <cstring>
 #include <thread>
 
+#include "xrtree/page_codec.h"
+
 namespace xrtree {
 
 namespace {
+
+// Appends a stab page's entries regardless of its on-page format.
+Status AppendStabPage(const Page* raw, std::vector<StabEntry>* out) {
+  const auto* hdr = StabHeader(raw);
+  if (hdr->format == kXrPageFormatCompressed) {
+    return XrcDecodeStab(raw, out);
+  }
+  const StabEntry* slots = StabSlots(raw);
+  out->insert(out->end(), slots, slots + hdr->count);
+  return Status::Ok();
+}
 
 // Frees a stab-chain / ps-directory page, tolerating transient pins. With
 // concurrent readers the page being retired can be momentarily pinned by an
@@ -43,8 +56,7 @@ Result<std::vector<StabEntry>> StabList::ReadAll() const {
     if (hdr->magic != kXrStabMagic) {
       return Status::Corruption("bad stab page magic");
     }
-    const StabEntry* slots = StabSlots(raw);
-    out.insert(out.end(), slots, slots + hdr->count);
+    XR_RETURN_IF_ERROR(AppendStabPage(raw, &out));
     cur = hdr->next;
   }
   return out;
@@ -67,15 +79,15 @@ Status StabList::WriteAll(const std::vector<StabEntry>& entries) {
 
   if (entries.empty()) return Clear();
 
-  const size_t per_page = kStabPageMaxEntries;
-  const size_t pages_needed = (entries.size() + per_page - 1) / per_page;
-
   // Fill pages, recycling the existing chain before allocating new pages.
+  // Fixed-format pages take kStabPageMaxEntries each; compressed pages pack
+  // as many entries as their byte budget holds (typically 2-3x more).
   PageId cur = head_;
   PageId prev_id = kInvalidPageId;
   std::vector<PageId> chain;
+  std::vector<size_t> page_counts;
   size_t i = 0;
-  for (size_t p = 0; p < pages_needed; ++p) {
+  while (i < entries.size()) {
     PageGuard page;
     if (cur != kInvalidPageId) {
       XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(cur));
@@ -88,12 +100,20 @@ Status StabList::WriteAll(const std::vector<StabEntry>& entries) {
     page.MarkDirty();
     auto* hdr = StabHeader(page.get());
     hdr->magic = kXrStabMagic;
-    size_t n = std::min(per_page, entries.size() - i);
-    hdr->count = static_cast<uint32_t>(n);
     hdr->next = kInvalidPageId;
-    std::memcpy(StabSlots(page.get()), &entries[i], n * sizeof(StabEntry));
+    size_t n;
+    if (compressed_) {
+      n = XrcEncodeStab(page.get(), &entries[i], entries.size() - i);
+      if (n == 0) return Status::Corruption("stab entry does not fit a page");
+    } else {
+      n = std::min(kStabPageMaxEntries, entries.size() - i);
+      hdr->count = static_cast<uint32_t>(n);
+      hdr->format = kXrPageFormatFixed;  // recycled page may be compressed
+      std::memcpy(StabSlots(page.get()), &entries[i], n * sizeof(StabEntry));
+    }
     i += n;
     chain.push_back(page.page_id());
+    page_counts.push_back(n);
     if (prev_id != kInvalidPageId) {
       XR_ASSIGN_OR_RETURN(Page * praw, pool_->FetchPage(prev_id));
       PageGuard prev(pool_, praw);
@@ -108,7 +128,7 @@ Status StabList::WriteAll(const std::vector<StabEntry>& entries) {
 
   // Rebuild the ps directory: needed only when the chain spans more than
   // one page (§3.3). Page-granular: the page where each key's run begins.
-  if (!use_ps_dir_ || pages_needed <= 1 || entries.size() == 0) {
+  if (!use_ps_dir_ || chain.size() <= 1) {
     if (ps_dir_ != kInvalidPageId) {
       XR_RETURN_IF_ERROR(FreeStabPageWithRetry(pool_, ps_dir_));
       ps_dir_ = kInvalidPageId;
@@ -119,14 +139,13 @@ Status StabList::WriteAll(const std::vector<StabEntry>& entries) {
   std::vector<PsDirEntry> dir;
   size_t at = 0;
   for (size_t p = 0; p < chain.size(); ++p) {
-    size_t n = std::min(per_page, entries.size() - at);
-    for (size_t j = 0; j < n; ++j) {
+    for (size_t j = 0; j < page_counts[p]; ++j) {
       Position key = entries[at + j].key;
       if (dir.empty() || dir.back().key != key) {
         dir.push_back({key, chain[p]});
       }
     }
-    at += n;
+    at += page_counts[p];
   }
   // One directory page always suffices: a node has at most
   // kXrInternalMaxEntries (< kPsDirMaxEntries) keys (§3.3).
@@ -202,12 +221,28 @@ Result<std::vector<StabEntry>> StabList::ReadPsl(Position key) const {
   XR_ASSIGN_OR_RETURN(PageId start, LocatePslPage(key));
   PageId cur = start;
   bool in_run = false;
+  std::vector<StabEntry> scratch;
   while (cur != kInvalidPageId) {
     XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(cur));
     PageGuard page(pool_, raw);
     const auto* hdr = StabHeader(raw);
-    const StabEntry* slots = StabSlots(raw);
-    for (uint32_t i = 0; i < hdr->count; ++i) {
+    const StabEntry* slots;
+    uint32_t n;
+    bool covers_page_end = true;
+    if (hdr->format == kXrPageFormatCompressed) {
+      // Decode only the blocks that can hold `key`'s run (plus one
+      // terminator block); when the decoded span stops short of the page
+      // end, the page's remaining keys are all > key, so the run ends here.
+      scratch.clear();
+      XR_RETURN_IF_ERROR(XrcDecodeStabForKey(raw, key, &scratch,
+                                             &covers_page_end));
+      slots = scratch.data();
+      n = static_cast<uint32_t>(scratch.size());
+    } else {
+      slots = StabSlots(raw);
+      n = hdr->count;
+    }
+    for (uint32_t i = 0; i < n; ++i) {
       if (slots[i].key == key) {
         in_run = true;
         out.push_back(slots[i]);
@@ -215,6 +250,7 @@ Result<std::vector<StabEntry>> StabList::ReadPsl(Position key) const {
         return out;  // past the run
       }
     }
+    if (!covers_page_end) return out;  // larger keys follow on this page
     cur = hdr->next;
   }
   return out;
@@ -225,22 +261,37 @@ Status StabList::CollectStabbed(Position key, Position sd, Position min_start,
                                 uint64_t* entries_scanned) const {
   XR_ASSIGN_OR_RETURN(PageId start, LocatePslPage(key));
   PageId cur = start;
+  std::vector<StabEntry> scratch;
   while (cur != kInvalidPageId) {
     XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(cur));
     PageGuard page(pool_, raw);
     const auto* hdr = StabHeader(raw);
-    const StabEntry* slots = StabSlots(raw);
+    const StabEntry* slots;
+    uint32_t n;
+    bool covers_page_end = true;
+    if (hdr->format == kXrPageFormatCompressed) {
+      // Decode the run's candidate blocks into scratch and run the same
+      // binary searches over the decoded slice.
+      scratch.clear();
+      XR_RETURN_IF_ERROR(XrcDecodeStabForKey(raw, key, &scratch,
+                                             &covers_page_end));
+      slots = scratch.data();
+      n = static_cast<uint32_t>(scratch.size());
+    } else {
+      slots = StabSlots(raw);
+      n = hdr->count;
+    }
     // Locate this page's slice of the PSL run: entries are sorted by
     // (key, s), so both run bounds are binary-searchable.
-    uint32_t lo = 0, hi = hdr->count;
+    uint32_t lo = 0, hi = n;
     {
-      uint32_t l = 0, h = hdr->count;
+      uint32_t l = 0, h = n;
       while (l < h) {  // first slot with slot.key >= key
         uint32_t m = (l + h) / 2;
         if (slots[m].key < key) l = m + 1; else h = m;
       }
       lo = l;
-      h = hdr->count;
+      h = n;
       while (l < h) {  // first slot with slot.key > key
         uint32_t m = (l + h) / 2;
         if (slots[m].key <= key) l = m + 1; else h = m;
@@ -277,6 +328,12 @@ Status StabList::CollectStabbed(Position key, Position sd, Position min_start,
       out->push_back(slots[i]);
     }
     if (stab_end < hi) return Status::Ok();  // prefix ended inside this page
+    // Compressed pages: the run provably ends here when the decoded span
+    // stopped short of the page end or larger keys follow within it.
+    if (hdr->format == kXrPageFormatCompressed &&
+        (!covers_page_end || hi < n)) {
+      return Status::Ok();
+    }
     cur = hdr->next;  // run (all stabbed so far) may continue on the next page
   }
   return Status::Ok();

@@ -25,9 +25,17 @@ namespace xrtree {
 /// making the intricate maintenance of Algorithms 1-2 tractable.
 class StabList {
  public:
+  /// `compressed` selects the page format WriteAll emits (DESIGN.md §15);
+  /// reads are always per-page format-transparent, so a handle opened with
+  /// the "wrong" flag still reads correctly and merely rewrites the chain
+  /// into its own format on the next mutation.
   StabList(BufferPool* pool, PageId head, PageId ps_dir,
-           bool use_ps_dir = true)
-      : pool_(pool), head_(head), ps_dir_(ps_dir), use_ps_dir_(use_ps_dir) {}
+           bool use_ps_dir = true, bool compressed = false)
+      : pool_(pool),
+        head_(head),
+        ps_dir_(ps_dir),
+        use_ps_dir_(use_ps_dir),
+        compressed_(compressed) {}
 
   PageId head() const { return head_; }
   PageId ps_dir() const { return ps_dir_; }
@@ -77,6 +85,7 @@ class StabList {
   PageId head_;
   PageId ps_dir_;
   bool use_ps_dir_;
+  bool compressed_;
 };
 
 }  // namespace xrtree

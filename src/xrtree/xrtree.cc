@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <deque>
 #include <mutex>
 #include <shared_mutex>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "storage/element_file.h"
+#include "xrtree/page_codec.h"
 #include "xrtree/xrtree_iterator.h"
 
 namespace xrtree {
@@ -93,6 +96,7 @@ XrTree::XrTree(BufferPool* pool, PageId root, const XrTreeOptions& options)
                                            kXrInternalMaxEntries);
   naive_split_key_ = options.naive_split_key;
   use_ps_dir_ = !options.disable_ps_directory;
+  compressed_ = options.compressed_pages;
   assert(leaf_cap_ >= 2 && internal_cap_ >= 2);
 }
 
@@ -207,14 +211,14 @@ Result<std::vector<PageId>> XrTree::LeafRunAfter(Position key, size_t max_run,
 
 Result<std::vector<StabEntry>> XrTree::ReadNodeStab(const Page* node) const {
   const auto* hdr = XrHeader(node);
-  StabList list(pool_, hdr->stab_head, hdr->ps_dir, use_ps_dir_);
+  StabList list(pool_, hdr->stab_head, hdr->ps_dir, use_ps_dir_, compressed_);
   return list.ReadAll();
 }
 
 Status XrTree::WriteNodeStab(Page* node, std::vector<StabEntry> entries) {
   std::sort(entries.begin(), entries.end(), StabEntryLess);
   auto* hdr = XrHeader(node);
-  StabList list(pool_, hdr->stab_head, hdr->ps_dir, use_ps_dir_);
+  StabList list(pool_, hdr->stab_head, hdr->ps_dir, use_ps_dir_, compressed_);
   XR_RETURN_IF_ERROR(list.WriteAll(entries));
   hdr->stab_head = list.head();
   hdr->ps_dir = list.ps_dir();
@@ -251,16 +255,31 @@ Status XrTree::Insert(const Element& element) {
     return Status::InvalidArgument("element start must precede end");
   }
   std::shared_lock<std::shared_mutex> commit_barrier(pool_->commit_mutex());
-  // Inserts share the writer gate with each other (they crab); only Delete
-  // takes it exclusively — see the class comment.
-  std::shared_lock<std::shared_mutex> gate(writer_gate_);
-  if (root_.load(std::memory_order_acquire) == kInvalidPageId) {
-    std::lock_guard<std::mutex> init(root_init_mu_);
+  bool needs_exclusive = false;
+  {
+    // Inserts share the writer gate with each other (they crab); only
+    // Delete and the decompress-on-write retry below take it exclusively.
+    std::shared_lock<std::shared_mutex> gate(writer_gate_);
     if (root_.load(std::memory_order_acquire) == kInvalidPageId) {
-      XR_RETURN_IF_ERROR(InitRootLeaf());
+      std::lock_guard<std::mutex> init(root_init_mu_);
+      if (root_.load(std::memory_order_acquire) == kInvalidPageId) {
+        XR_RETURN_IF_ERROR(InitRootLeaf());
+      }
     }
+    Status st = InsertFast(element, &needs_exclusive);
+    if (!needs_exclusive) return st;
   }
+  // The descent landed on a compressed leaf (bulk load / compaction
+  // output). Mutating it means rewriting the whole page, possibly several
+  // times over (binary splits until the entries fit the fixed layout) —
+  // run that under the exclusive gate so no sibling writer crabs through
+  // the half-converted region. Readers are unaffected: every intermediate
+  // state is a consistent tree. (DESIGN.md §15.)
+  std::unique_lock<std::shared_mutex> gate(writer_gate_);
+  return InsertExclusive(element);
+}
 
+Status XrTree::InsertFast(const Element& element, bool* needs_exclusive) {
   WriteLatchSet ls(pool_);
   std::vector<PathEntry> path;
   bool placed = false;
@@ -301,6 +320,18 @@ Status XrTree::Insert(const Element& element) {
       }
       const auto* chk = XrHeader(node);
       if (chk->is_leaf) {
+        if (XrLeafIsCompressed(node)) {
+          // Mutating a compressed leaf requires the exclusive gate. Undo
+          // the speculative stab placement (the element is not in the tree
+          // yet), release everything, and hand over to InsertExclusive.
+          if (placed) {
+            XR_RETURN_IF_ERROR(
+                RollbackStabPlacement(ls, placed_page, placed_key, element));
+          }
+          ls.ReleaseAll();
+          *needs_exclusive = true;
+          return Status::Ok();
+        }
         path.push_back({node->page_id(), 0});
         lraw = node;
         at_leaf = true;
@@ -347,32 +378,53 @@ Status XrTree::Insert(const Element& element) {
     break;
   }
 
-  // I2: insert into the leaf.
+  (void)lraw;
+  return LeafInsert(ls, path, element, placed, placed_page, placed_key);
+}
+
+Status XrTree::RollbackStabPlacement(WriteLatchSet& ls, PageId placed_page,
+                                     Position placed_key,
+                                     const Element& element) {
+  // Undo the speculative I1 stab placement (duplicate key, or a compressed
+  // leaf forcing the exclusive retry). The placement node is still in the
+  // latch set by construction.
+  Page* nraw = ls.Get(placed_page);
+  if (nraw == nullptr) {
+    return Status::Corruption("xrtree: stab placement node was released");
+  }
+  XR_ASSIGN_OR_RETURN(std::vector<StabEntry> entries, ReadNodeStab(nraw));
+  auto it = std::find_if(entries.begin(), entries.end(),
+                         [&](const StabEntry& se) {
+                           return se.key == placed_key &&
+                                  se.s == element.start &&
+                                  se.e == element.end;
+                         });
+  if (it != entries.end()) {
+    entries.erase(it);
+    XR_RETURN_IF_ERROR(WriteNodeStab(nraw, std::move(entries)));
+    ls.MarkDirty(placed_page);
+  }
+  return Status::Ok();
+}
+
+Status XrTree::LeafInsert(WriteLatchSet& ls, std::vector<PathEntry>& path,
+                          const Element& element, bool placed,
+                          PageId placed_page, Position placed_key) {
+  // I2: insert into the (fixed-format) leaf.
   PageId leaf_id = path.back().page;
+  Page* lraw = ls.Get(leaf_id);
+  if (lraw == nullptr) {
+    return Status::Corruption("xrtree: leaf not held for insert");
+  }
   auto* hdr = XrHeader(lraw);
   Element* slots = XrLeafSlots(lraw);
   uint32_t at = XrLeafLowerBound(lraw, element.start);
   if (at < hdr->count && slots[at].start == element.start) {
-    // Roll back the speculative stab placement before reporting the
-    // duplicate (the resident element keeps its own entry, if any). The
-    // placement node is still in the latch set by construction.
+    // Roll back before reporting the duplicate (the resident element keeps
+    // its own entry, if any).
     if (placed) {
-      Page* nraw = ls.Get(placed_page);
-      if (nraw == nullptr) {
-        return Status::Corruption("xrtree: stab placement node was released");
-      }
-      XR_ASSIGN_OR_RETURN(std::vector<StabEntry> entries, ReadNodeStab(nraw));
-      auto it = std::find_if(entries.begin(), entries.end(),
-                             [&](const StabEntry& se) {
-                               return se.key == placed_key &&
-                                      se.s == element.start &&
-                                      se.e == element.end;
-                             });
-      if (it != entries.end()) {
-        entries.erase(it);
-        XR_RETURN_IF_ERROR(WriteNodeStab(nraw, std::move(entries)));
-        ls.MarkDirty(placed_page);
-      }
+      XR_RETURN_IF_ERROR(
+          RollbackStabPlacement(ls, placed_page, placed_key, element));
     }
     return Status::InvalidArgument("duplicate key " +
                                    std::to_string(element.start));
@@ -449,6 +501,150 @@ Status XrTree::Insert(const Element& element) {
       InsertIntoParent(ls, path, sep, right_id, std::move(stab_set)));
   size_.fetch_add(1, std::memory_order_acq_rel);
   return Status::Ok();
+}
+
+Status XrTree::InsertExclusive(const Element& element) {
+  // Exclusive-gate insert: no other writer is active, so the descent can
+  // hold the full path W-latched (like Delete) without deadlock risk.
+  // Each round either converts the target leaf to the fixed layout (then
+  // inserts) or performs one binary split of an over-full compressed leaf
+  // and re-descends; the tree is consistent between rounds. A compressed
+  // leaf holds at most kXrcMaxPageEntries entries, so the number of split
+  // rounds is logarithmic and tiny — the bound below is pure paranoia.
+  for (int round = 0; round < 40; ++round) {
+    WriteLatchSet ls(pool_);
+    std::vector<PathEntry> path;
+    Page* lraw = nullptr;
+    PageId cur = root_.load(std::memory_order_acquire);
+    for (int depth = 0; depth < kMaxTreeDepth && lraw == nullptr; ++depth) {
+      XR_ASSIGN_OR_RETURN(Page * raw, ls.Acquire(cur));
+      if (!ValidXrMagic(raw)) {
+        return Status::Corruption("xrtree: descent hit a foreign page");
+      }
+      if (XrHeader(raw)->is_leaf) {
+        path.push_back({cur, 0});
+        lraw = raw;
+        break;
+      }
+      uint32_t slot = XrChildSlot(raw, element.start);
+      path.push_back({cur, slot});
+      cur = XrChildAt(raw, slot);
+    }
+    if (lraw == nullptr) {
+      return Status::Corruption("xrtree: descent did not reach a leaf");
+    }
+    if (XrLeafIsCompressed(lraw)) {
+      XR_RETURN_IF_ERROR(DecompressLeafStep(ls, path));
+      continue;  // release everything, re-descend
+    }
+    // The leaf is in the fixed layout. Place the stab entry at the topmost
+    // stabbing node on the held path (same placement Insert's crabbing
+    // descent makes speculatively), then run the shared leaf tail.
+    bool placed = false;
+    PageId placed_page = kInvalidPageId;
+    Position placed_key = 0;
+    for (const PathEntry& pe : path) {
+      Page* node = ls.Get(pe.page);
+      if (node == nullptr || XrHeader(node)->is_leaf) break;
+      uint32_t stab_slot;
+      if (SmallestStabbingKey(node, element.start, element.end, &stab_slot)) {
+        placed_key = XrInternalSlots(node)[stab_slot].key;
+        XR_RETURN_IF_ERROR(
+            InsertStabIntoNode(node, MakeStabEntry(element, placed_key)));
+        ls.MarkDirty(pe.page);
+        placed = true;
+        placed_page = pe.page;
+        break;
+      }
+    }
+    return LeafInsert(ls, path, element, placed, placed_page, placed_key);
+  }
+  return Status::Corruption("xrtree: decompress-on-write did not converge");
+}
+
+Status XrTree::DecompressLeafInPlace(WriteLatchSet& ls, PageId leaf_id) {
+  Page* lraw = ls.Get(leaf_id);
+  if (lraw == nullptr) {
+    return Status::Corruption("xrtree: leaf not held for decompression");
+  }
+  auto* hdr = XrHeader(lraw);
+  std::vector<Element> all;
+  XR_RETURN_IF_ERROR(XrcDecodeLeaf(lraw, &all));
+  if (all.size() > leaf_cap_) {
+    return Status::Corruption("xrtree: compressed leaf too full to decompress");
+  }
+  hdr->format = kXrPageFormatFixed;
+  hdr->count = static_cast<uint32_t>(all.size());
+  std::memcpy(XrLeafSlots(lraw), all.data(), all.size() * sizeof(Element));
+  // Zero the slack so the fixed image is deterministic for WAL/CRC.
+  std::memset(reinterpret_cast<char*>(XrLeafSlots(lraw) + all.size()), 0,
+              kPageDataSize - sizeof(XrPageHeader) -
+                  all.size() * sizeof(Element));
+  ls.MarkDirty(leaf_id);
+  return Status::Ok();
+}
+
+Status XrTree::DecompressLeafStep(WriteLatchSet& ls,
+                                  std::vector<PathEntry> path) {
+  PageId leaf_id = path.back().page;
+  path.pop_back();
+  Page* lraw = ls.Get(leaf_id);
+  if (lraw == nullptr) {
+    return Status::Corruption("xrtree: leaf not held for decompression");
+  }
+  auto* hdr = XrHeader(lraw);
+  std::vector<Element> all;
+  XR_RETURN_IF_ERROR(XrcDecodeLeaf(lraw, &all));
+  if (all.size() <= leaf_cap_) {
+    return DecompressLeafInPlace(ls, leaf_id);
+  }
+
+  // Binary split: same separator policy and StabSet' computation as the
+  // I22 leaf split, just over decoded entries re-encoded compressed. Both
+  // halves re-encode into a page that held their superset, so they always
+  // fit (see page_codec.h).
+  const size_t half = all.size() / 2;
+  Position last_left = all[half - 1].start;
+  Position first_right = all[half].start;
+  Position sep = (!naive_split_key_ && first_right - 1 > last_left)
+                     ? first_right - 1
+                     : first_right;
+  std::vector<StabEntry> stab_set;
+  for (Element& e : all) {
+    if (!InStabList(e) && e.start <= sep && sep <= e.end) {
+      SetInStabList(&e, true);
+      stab_set.push_back(MakeStabEntry(e, sep));
+    }
+  }
+
+  XR_ASSIGN_OR_RETURN(Page * rraw, pool_->NewPage());
+  ls.AdoptNew(rraw);
+  ls.MarkDirty(rraw->page_id());
+  auto* rhdr = XrHeader(rraw);
+  rhdr->magic = kXrLeafMagic;
+  rhdr->is_leaf = 1;
+  rhdr->count = 0;
+  rhdr->next = hdr->next;
+  rhdr->prev = leaf_id;
+  rhdr->leftmost = kInvalidPageId;
+  rhdr->stab_head = kInvalidPageId;
+  rhdr->ps_dir = kInvalidPageId;
+  if (XrcEncodeLeaf(rraw, all.data() + half, all.size() - half) !=
+      all.size() - half) {
+    return Status::Corruption("xrtree: split right half did not re-encode");
+  }
+  if (XrcEncodeLeaf(lraw, all.data(), half) != half) {
+    return Status::Corruption("xrtree: split left half did not re-encode");
+  }
+  PageId old_next = rhdr->next;
+  hdr->next = rraw->page_id();
+  ls.MarkDirty(leaf_id);
+  if (old_next != kInvalidPageId) {
+    XR_ASSIGN_OR_RETURN(Page * nraw, ls.Acquire(old_next));
+    XrHeader(nraw)->prev = rraw->page_id();
+    ls.MarkDirty(old_next);
+  }
+  return InsertIntoParent(ls, path, sep, rraw->page_id(), std::move(stab_set));
 }
 
 Status XrTree::InsertIntoParent(WriteLatchSet& ls,
@@ -585,12 +781,21 @@ Status XrTree::PlaceEntry(WriteLatchSet& ls, PageId from,
     }
     if (XrHeader(raw)->is_leaf) {
       // No internal node below stabs the element: flag it InStabList=no.
-      uint32_t at = XrLeafLowerBound(raw, entry.s);
-      if (at >= XrHeader(raw)->count ||
-          XrLeafSlots(raw)[at].start != entry.s) {
-        return Status::Corruption("PlaceEntry: element missing from leaf");
+      if (XrLeafIsCompressed(raw)) {
+        // The flag rides bit 0 of the level varint, so this is an in-place
+        // single-byte rewrite — no re-encode.
+        XR_ASSIGN_OR_RETURN(bool found, XrcLeafSetFlag(raw, entry.s, false));
+        if (!found) {
+          return Status::Corruption("PlaceEntry: element missing from leaf");
+        }
+      } else {
+        uint32_t at = XrLeafLowerBound(raw, entry.s);
+        if (at >= XrHeader(raw)->count ||
+            XrLeafSlots(raw)[at].start != entry.s) {
+          return Status::Corruption("PlaceEntry: element missing from leaf");
+        }
+        SetInStabList(&XrLeafSlots(raw)[at], false);
       }
-      SetInStabList(&XrLeafSlots(raw)[at], false);
       ls.MarkDirty(cur);
       if (prev_owned != kInvalidPageId) ls.Release(prev_owned);
       return Status::Ok();
@@ -623,14 +828,32 @@ Status XrTree::CollectStabbedDescent(WriteLatchSet& ls, PageId subtree,
       return Status::Corruption("xrtree: sweep hit a foreign page");
     }
     if (XrHeader(raw)->is_leaf) {
-      Element* slots = XrLeafSlots(raw);
-      uint32_t n = XrHeader(raw)->count;
       bool dirty = false;
-      for (uint32_t i = 0; i < n && slots[i].start <= k; ++i) {
-        if (!InStabList(slots[i]) && k <= slots[i].end) {
-          SetInStabList(&slots[i], true);
-          out->push_back(MakeStabEntry(slots[i], k));
-          dirty = true;
+      if (XrLeafIsCompressed(raw)) {
+        std::vector<Element> all;
+        XR_RETURN_IF_ERROR(XrcDecodeLeaf(raw, &all));
+        for (Element& el : all) {
+          if (el.start > k) break;
+          if (!InStabList(el) && k <= el.end) {
+            XR_ASSIGN_OR_RETURN(bool found,
+                                XrcLeafSetFlag(raw, el.start, true));
+            if (!found) {
+              return Status::Corruption("xrtree: stabbed element vanished");
+            }
+            SetInStabList(&el, true);
+            out->push_back(MakeStabEntry(el, k));
+            dirty = true;
+          }
+        }
+      } else {
+        Element* slots = XrLeafSlots(raw);
+        uint32_t n = XrHeader(raw)->count;
+        for (uint32_t i = 0; i < n && slots[i].start <= k; ++i) {
+          if (!InStabList(slots[i]) && k <= slots[i].end) {
+            SetInStabList(&slots[i], true);
+            out->push_back(MakeStabEntry(slots[i], k));
+            dirty = true;
+          }
         }
       }
       if (dirty) ls.MarkDirty(cur);
@@ -783,9 +1006,11 @@ Status XrTree::Delete(Position key) {
   // Full-path descent, nothing crab-released: D1 revisits ancestors (the
   // topmost stab erase) and the underflow sweeps revisit the path's
   // subtrees, so every node stays held. The gate keeps the structure (and
-  // root_) stable, so no retry loop is needed.
-  {
-    PageId cur = root_id;
+  // root_) stable, so no retry loop is needed — except for the
+  // decompress-on-write rounds below, which re-descend after splitting an
+  // over-full compressed leaf (the gate is exclusive, so this is private).
+  for (int round = 0; round < 40; ++round) {
+    PageId cur = root_.load(std::memory_order_acquire);
     for (int depth = 0; depth < kMaxTreeDepth; ++depth) {
       XR_ASSIGN_OR_RETURN(Page * raw, ls.Acquire(cur));
       if (!ValidXrMagic(raw)) {
@@ -803,6 +1028,18 @@ Status XrTree::Delete(Position key) {
     if (lraw == nullptr) {
       return Status::Corruption("xrtree: descent did not reach a leaf");
     }
+    if (!XrLeafIsCompressed(lraw)) break;
+    if (XrHeader(lraw)->count <= leaf_cap_) {
+      XR_RETURN_IF_ERROR(DecompressLeafInPlace(ls, path.back().page));
+      break;
+    }
+    XR_RETURN_IF_ERROR(DecompressLeafStep(ls, path));
+    ls.ReleaseAll();
+    path.clear();
+    lraw = nullptr;
+  }
+  if (lraw == nullptr || XrLeafIsCompressed(lraw)) {
+    return Status::Corruption("xrtree: decompress-on-write did not converge");
   }
   PageId leaf_id = path.back().page;
 
@@ -889,17 +1126,38 @@ Status XrTree::HandleLeafUnderflow(WriteLatchSet& ls,
   // Sibling latches are safe under the exclusive writer gate: no other
   // writer runs, and readers never hold a sibling while waiting on a page
   // this operation holds (they acquire strictly top-down).
+  // A compressed sibling whose entries fit the fixed layout is converted
+  // first (under its held W-latch), so the raw-slot moves below stay valid.
+  // One whose count exceeds leaf_cap_ can't be converted — it always takes
+  // the borrow branch (count > leaf_cap_ > min_fill) and is edited through
+  // the codec instead; removing a boundary entry always re-encodes in
+  // place (DESIGN.md §15 size-stability).
   if (child_slot > 0) {
     PageId sib_id = XrChildAt(praw, child_slot - 1);
     XR_ASSIGN_OR_RETURN(Page * sraw, ls.Acquire(sib_id));
     auto* shdr = XrHeader(sraw);
+    if (XrLeafIsCompressed(sraw) && shdr->count <= leaf_cap_) {
+      XR_RETURN_IF_ERROR(DecompressLeafInPlace(ls, sib_id));
+    }
     if (shdr->count > min_fill) {
       Element* lslots = XrLeafSlots(lraw);
-      Element* sslots = XrLeafSlots(sraw);
+      Element moved;
+      if (XrLeafIsCompressed(sraw)) {
+        std::vector<Element> sall;
+        XR_RETURN_IF_ERROR(XrcDecodeLeaf(sraw, &sall));
+        moved = sall.back();
+        sall.pop_back();
+        if (XrcEncodeLeaf(sraw, sall.data(), sall.size()) != sall.size()) {
+          return Status::Corruption("xrtree: borrow re-encode did not fit");
+        }
+      } else {
+        Element* sslots = XrLeafSlots(sraw);
+        moved = sslots[shdr->count - 1];
+        --shdr->count;
+      }
       std::memmove(lslots + 1, lslots, lhdr->count * sizeof(Element));
-      lslots[0] = sslots[shdr->count - 1];
+      lslots[0] = moved;
       ++lhdr->count;
-      --shdr->count;
       Position knew = lslots[0].start;
       ls.MarkDirty(leaf_entry.page);
       ls.MarkDirty(sib_id);
@@ -911,14 +1169,32 @@ Status XrTree::HandleLeafUnderflow(WriteLatchSet& ls,
     PageId sib_id = XrChildAt(praw, child_slot + 1);
     XR_ASSIGN_OR_RETURN(Page * sraw, ls.Acquire(sib_id));
     auto* shdr = XrHeader(sraw);
+    if (XrLeafIsCompressed(sraw) && shdr->count <= leaf_cap_) {
+      XR_RETURN_IF_ERROR(DecompressLeafInPlace(ls, sib_id));
+    }
     if (shdr->count > min_fill) {
       Element* lslots = XrLeafSlots(lraw);
-      Element* sslots = XrLeafSlots(sraw);
-      lslots[lhdr->count] = sslots[0];
+      Element moved;
+      Position knew;
+      if (XrLeafIsCompressed(sraw)) {
+        std::vector<Element> sall;
+        XR_RETURN_IF_ERROR(XrcDecodeLeaf(sraw, &sall));
+        moved = sall.front();
+        sall.erase(sall.begin());
+        if (XrcEncodeLeaf(sraw, sall.data(), sall.size()) != sall.size()) {
+          return Status::Corruption("xrtree: borrow re-encode did not fit");
+        }
+        knew = sall.front().start;
+      } else {
+        Element* sslots = XrLeafSlots(sraw);
+        moved = sslots[0];
+        std::memmove(sslots, sslots + 1,
+                     (shdr->count - 1) * sizeof(Element));
+        --shdr->count;
+        knew = sslots[0].start;
+      }
+      lslots[lhdr->count] = moved;
       ++lhdr->count;
-      std::memmove(sslots, sslots + 1, (shdr->count - 1) * sizeof(Element));
-      --shdr->count;
-      Position knew = sslots[0].start;
       ls.MarkDirty(leaf_entry.page);
       ls.MarkDirty(sib_id);
       return ReplaceSeparatorKey(ls, parent_entry.page, child_slot, knew);
@@ -1119,6 +1395,15 @@ Result<Element> XrTree::Search(Position key) const {
   XR_ASSIGN_OR_RETURN(ReadLatchedPage leaf, DescendToLeafRead(key));
   if (!leaf) return Status::NotFound("empty tree");
   Page* raw = leaf.get();
+  if (XrLeafIsCompressed(raw)) {
+    Element e;
+    XR_ASSIGN_OR_RETURN(bool found, XrcLeafFind(raw, key, &e));
+    if (found) {
+      e.flags = 0;  // InStabList is an index detail, not element data
+      return e;
+    }
+    return Status::NotFound("key " + std::to_string(key));
+  }
   uint32_t at = XrLeafLowerBound(raw, key);
   if (at < XrHeader(raw)->count && XrLeafSlots(raw)[at].start == key) {
     Element e = XrLeafSlots(raw)[at];
@@ -1175,11 +1460,32 @@ Result<ElementList> XrTree::FindAncestorsAbove(Position sd,
       if (hdr->is_leaf) {
         // S2: scan the leaf for un-stabbed ancestors until start > sd.
         // The §5.2 stack variation starts past min_start: elements at or
-        // below it are already cached on the caller's stack.
-        const Element* slots = XrLeafSlots(raw);
-        uint32_t i =
-            (min_start == 0) ? 0 : XrLeafLowerBound(raw, min_start + 1);
-        for (; i < hdr->count && slots[i].start < sd; ++i) {
+        // below it are already cached on the caller's stack. A compressed
+        // leaf decodes only the landed-in suffix of mini-blocks; the
+        // scratch always covers through the page end, so the terminator
+        // logic below is unchanged.
+        Position from = (min_start == 0) ? 0 : min_start + 1;
+        std::vector<Element> scratch;
+        const Element* slots;
+        uint32_t nslots;
+        if (XrLeafIsCompressed(raw)) {
+          XR_RETURN_IF_ERROR(XrcDecodeLeafFrom(raw, from, &scratch));
+          slots = scratch.data();
+          nslots = static_cast<uint32_t>(scratch.size());
+        } else {
+          slots = XrLeafSlots(raw);
+          nslots = hdr->count;
+        }
+        uint32_t i = 0;
+        if (from != 0) {
+          i = static_cast<uint32_t>(
+              std::lower_bound(slots, slots + nslots, from,
+                               [](const Element& e, Position k) {
+                                 return e.start < k;
+                               }) -
+              slots);
+        }
+        for (; i < nslots && slots[i].start < sd; ++i) {
           ++local_scanned;
           if (!InStabList(slots[i]) && sd < slots[i].end) {
             Element e = slots[i];
@@ -1191,7 +1497,7 @@ Result<ElementList> XrTree::FindAncestorsAbove(Position sd,
         // join's next CurA; it is not charged here — the caller's next
         // sweep or cursor move examines it.
         if (next_start) {
-          if (i < hdr->count) {
+          if (i < nslots) {
             terminator = slots[i].start;
           } else {
             need_tail_probe = true;
@@ -1279,19 +1585,28 @@ Result<XrIterator> XrTree::LowerBound(Position key) const {
   if (!leaf) return XrIterator();
   Page* raw = leaf.get();
   const auto* hdr = XrHeader(raw);
-  uint32_t at = XrLeafLowerBound(raw, key);
   // Snapshot under the latch; sample the chain link and the free epoch in
   // the same critical section so a lateral hop can detect index frees.
   PageId next = hdr->next;
   uint64_t epoch = pool_->free_epoch();
-  if (at >= hdr->count) {
+  std::vector<Element> snap;
+  if (XrLeafIsCompressed(raw)) {
+    XR_RETURN_IF_ERROR(XrcDecodeLeafFrom(raw, key, &snap));
+    auto first = std::lower_bound(snap.begin(), snap.end(), key,
+                                  [](const Element& e, Position k) {
+                                    return e.start < k;
+                                  });
+    snap.erase(snap.begin(), first);
+  } else {
+    uint32_t at = XrLeafLowerBound(raw, key);
+    snap.assign(XrLeafSlots(raw) + at, XrLeafSlots(raw) + hdr->count);
+  }
+  if (snap.empty()) {
     leaf.Release();
     XrIterator it(this, {}, next, epoch, key, false);
     XR_RETURN_IF_ERROR(it.LandOnNextLeaf());
     return it;
   }
-  std::vector<Element> snap(XrLeafSlots(raw) + at,
-                            XrLeafSlots(raw) + hdr->count);
   return XrIterator(this, std::move(snap), next, epoch, key, false);
 }
 
@@ -1396,16 +1711,156 @@ Status XrTree::BulkLoad(const ElementList& elements, double fill_fraction) {
   if (!std::is_sorted(elements.begin(), elements.end())) {
     return Status::InvalidArgument("BulkLoad input must be sorted by start");
   }
-  if (elements.empty()) return InitRootLeaf();
+  size_t i = 0;
+  return BulkLoadImpl(
+      [&](Element* e) {
+        if (i >= elements.size()) return false;
+        *e = elements[i++];
+        return true;
+      },
+      fill_fraction);
+}
 
+Status XrTree::BulkLoadFromFile(const ElementFile& file,
+                                double fill_fraction) {
+  std::shared_lock<std::shared_mutex> commit_barrier(pool_->commit_mutex());
+  std::unique_lock<std::shared_mutex> gate(writer_gate_);
+  if (root_.load(std::memory_order_acquire) != kInvalidPageId ||
+      size_.load(std::memory_order_acquire) != 0) {
+    return Status::InvalidArgument("BulkLoad requires an empty tree");
+  }
+  if (fill_fraction <= 0.0 || fill_fraction > 1.0) {
+    return Status::InvalidArgument("fill_fraction out of (0, 1]");
+  }
+  // One sequential pass over the file; the build's lookahead is bounded by
+  // a page's worth of entries, so the corpus is never materialized.
+  ElementFile::Scanner scanner = file.NewScanner();
+  XR_RETURN_IF_ERROR(BulkLoadImpl(
+      [&](Element* e) {
+        if (!scanner.Valid()) return false;
+        *e = scanner.Get();
+        scanner.Next();
+        return true;
+      },
+      fill_fraction));
+  // An I/O or corruption stop looks like EOF to the pull source; surface it
+  // (the partially built tree is garbage at that point).
+  return scanner.status();
+}
+
+Status XrTree::Compact() {
+  std::shared_lock<std::shared_mutex> commit_barrier(pool_->commit_mutex());
+  std::unique_lock<std::shared_mutex> gate(writer_gate_);
+  PageId root_id = root_.load(std::memory_order_acquire);
+  if (root_id == kInvalidPageId) return Status::Ok();
+
+  // Sorted elements come off the leaf chain (flags are an index detail and
+  // are rebuilt by the load's stab pass).
+  std::vector<Element> elems;
+  {
+    PageId cur = root_id;
+    for (int depth = 0; depth < kMaxTreeDepth; ++depth) {
+      XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(cur));
+      PageGuard page(pool_, raw);
+      if (XrHeader(raw)->is_leaf) break;
+      cur = XrHeader(raw)->leftmost;
+    }
+    while (cur != kInvalidPageId) {
+      XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(cur));
+      PageGuard page(pool_, raw);
+      const auto* hdr = XrHeader(raw);
+      if (hdr->magic != kXrLeafMagic) {
+        return Status::Corruption("xrtree: compact hit a foreign page");
+      }
+      if (XrLeafIsCompressed(raw)) {
+        XR_RETURN_IF_ERROR(XrcDecodeLeaf(raw, &elems));
+      } else {
+        const Element* slots = XrLeafSlots(raw);
+        elems.insert(elems.end(), slots, slots + hdr->count);
+      }
+      cur = hdr->next;
+    }
+    for (Element& e : elems) e.flags = 0;
+  }
+
+  // Dismantle the old tree: clear each internal node's stab machinery,
+  // then free every node page.
+  std::vector<PageId> old_pages;
+  std::vector<PageId> stack{root_id};
+  while (!stack.empty()) {
+    PageId id = stack.back();
+    stack.pop_back();
+    old_pages.push_back(id);
+    XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(id));
+    PageGuard page(pool_, raw);
+    const auto* hdr = XrHeader(raw);
+    if (hdr->is_leaf) continue;
+    StabList list(pool_, hdr->stab_head, hdr->ps_dir, use_ps_dir_,
+                  compressed_);
+    XR_RETURN_IF_ERROR(list.Clear());
+    stack.push_back(hdr->leftmost);
+    const XrInternalEntry* slots = XrInternalSlots(raw);
+    for (uint32_t i = 0; i < hdr->count; ++i) stack.push_back(slots[i].child);
+  }
+  for (PageId id : old_pages) {
+    XR_RETURN_IF_ERROR(pool_->FreePage(id));
+  }
+  root_.store(kInvalidPageId, std::memory_order_release);
+  size_.store(0, std::memory_order_release);
+
+  size_t i = 0;
+  return BulkLoadImpl(
+      [&](Element* e) {
+        if (i >= elems.size()) return false;
+        *e = elems[i++];
+        return true;
+      },
+      1.0);
+}
+
+Status XrTree::BulkLoadImpl(const std::function<bool(Element*)>& next,
+                            double fill_fraction) {
   // Fill targets are clamped above the half-full invariant so bulk-loaded
   // trees always pass CheckConsistency.
-  uint32_t leaf_fill =
-      std::max<uint32_t>(std::max<uint32_t>(1, leaf_cap_ / 2),
+  const size_t min_fill = std::max<size_t>(1, leaf_cap_ / 2);
+  const uint32_t leaf_fill =
+      std::max<uint32_t>(static_cast<uint32_t>(min_fill),
                          static_cast<uint32_t>(leaf_cap_ * fill_fraction));
-  uint32_t internal_fill = std::max<uint32_t>(
+  const uint32_t internal_fill = std::max<uint32_t>(
       std::max<uint32_t>(2, internal_cap_ / 2),
       static_cast<uint32_t>(internal_cap_ * fill_fraction));
+
+  // Bounded lookahead over the pull source: the tail rules below only need
+  // to know whether fewer than one page plus min_fill elements remain, so
+  // the buffer never grows past that horizon — this is what keeps
+  // BulkLoadFromFile a streaming build.
+  const size_t page_max =
+      compressed_ ? size_t{kXrcMaxPageEntries} : size_t{leaf_cap_};
+  const size_t horizon = page_max + min_fill;
+  std::deque<Element> buf;
+  bool exhausted = false;
+  bool seen_any = false;
+  Position prev_start = 0;
+  uint64_t total_loaded = 0;
+  auto refill = [&]() -> Status {
+    while (!exhausted && buf.size() < horizon) {
+      Element e;
+      if (!next(&e)) {
+        exhausted = true;
+        break;
+      }
+      if (seen_any && e.start < prev_start) {
+        return Status::InvalidArgument(
+            "BulkLoad input must be sorted by start");
+      }
+      seen_any = true;
+      prev_start = e.start;
+      buf.push_back(e);
+    }
+    return Status::Ok();
+  };
+  XR_RETURN_IF_ERROR(refill());
+  if (buf.empty()) return InitRootLeaf();
 
   struct ChildRef {
     Position first_key;
@@ -1413,41 +1868,98 @@ Status XrTree::BulkLoad(const ElementList& elements, double fill_fraction) {
   };
   std::vector<ChildRef> level;
   std::vector<PageId> leaf_pages;
+  std::vector<Element> chunk;
   PageGuard prev;
-  for (size_t i = 0; i < elements.size();) {
-    // Pack `leaf_fill` entries per page, but never leave the final page
-    // below the half-full invariant: either absorb the tail into this page
-    // (it fits below capacity) or leave exactly the minimum behind.
-    size_t total = elements.size() - i;
-    size_t n = std::min<size_t>(leaf_fill, total);
-    size_t min_fill = std::max<size_t>(1, leaf_cap_ / 2);
-    if (total > n && total - n < min_fill) {
-      n = (total <= leaf_cap_) ? total : total - min_fill;
-    }
+  for (;;) {
+    XR_RETURN_IF_ERROR(refill());
+    if (buf.empty()) break;
+    size_t rem = buf.size();
     XR_ASSIGN_OR_RETURN(Page * raw, pool_->NewPage());
     PageGuard page(pool_, raw);
     page.MarkDirty();
     auto* hdr = XrHeader(raw);
     hdr->magic = kXrLeafMagic;
     hdr->is_leaf = 1;
-    hdr->count = static_cast<uint32_t>(n);
+    hdr->count = 0;
+    hdr->format = kXrPageFormatFixed;
     hdr->next = kInvalidPageId;
     hdr->prev = prev ? prev.page_id() : kInvalidPageId;
     hdr->leftmost = kInvalidPageId;
     hdr->stab_head = kInvalidPageId;
     hdr->ps_dir = kInvalidPageId;
-    Element* slots = XrLeafSlots(raw);
-    for (size_t j = 0; j < n; ++j) {
-      slots[j] = elements[i + j];
-      SetInStabList(&slots[j], false);
+
+    size_t take;
+    if (compressed_) {
+      chunk.clear();
+      size_t want = std::min(rem, page_max);
+      for (size_t j = 0; j < want; ++j) {
+        chunk.push_back(buf[j]);
+        SetInStabList(&chunk.back(), false);
+      }
+      // Greedy longest-prefix encode tells us the achievable fan-out;
+      // fill_fraction scales it the way it scales fixed slot counts.
+      size_t n_full = XrcEncodeLeaf(raw, chunk.data(), chunk.size());
+      if (n_full == 0) {
+        return Status::Corruption("bulk load: leaf encode took no entries");
+      }
+      take = std::max<size_t>(
+          min_fill, static_cast<size_t>(n_full * fill_fraction));
+      take = std::min(take, n_full);
+      bool fixed_fallback = false;
+      if (exhausted && rem > take && rem - take < min_fill) {
+        // The tail would be stranded below min_fill: absorb it, fall back
+        // to the greedy prefix when that already leaves enough, leave
+        // exactly min_fill behind, or — when the remainder is tiny but
+        // incompressible — emit it as a single fixed-format page
+        // (rem < 2*min_fill <= leaf_cap_ + 1, so it always fits).
+        if (n_full >= rem) {
+          take = rem;
+        } else if (rem - n_full >= min_fill) {
+          take = n_full;
+        } else if (rem >= 2 * min_fill) {
+          take = rem - min_fill;
+        } else {
+          fixed_fallback = true;
+        }
+      }
+      if (fixed_fallback) {
+        take = rem;
+        hdr->format = kXrPageFormatFixed;
+        hdr->count = static_cast<uint32_t>(take);
+        Element* slots = XrLeafSlots(raw);
+        for (size_t j = 0; j < take; ++j) {
+          slots[j] = buf[j];
+          SetInStabList(&slots[j], false);
+        }
+      } else if (take != n_full) {
+        // Prefix re-encode always fits (strict subset of what just fit).
+        if (XrcEncodeLeaf(raw, chunk.data(), take) != take) {
+          return Status::Corruption("bulk load: prefix re-encode overflow");
+        }
+      }
+    } else {
+      // Pack `leaf_fill` entries per page, but never leave the final page
+      // below the half-full invariant: either absorb the tail into this
+      // page (it fits below capacity) or leave exactly the minimum behind.
+      take = std::min<size_t>(leaf_fill, rem);
+      if (exhausted && rem > take && rem - take < min_fill) {
+        take = (rem <= leaf_cap_) ? rem : rem - min_fill;
+      }
+      hdr->count = static_cast<uint32_t>(take);
+      Element* slots = XrLeafSlots(raw);
+      for (size_t j = 0; j < take; ++j) {
+        slots[j] = buf[j];
+        SetInStabList(&slots[j], false);
+      }
     }
     if (prev) {
       XrHeader(prev.get())->next = raw->page_id();
       prev.MarkDirty();
     }
-    level.push_back({elements[i].start, raw->page_id()});
+    level.push_back({buf.front().start, raw->page_id()});
     leaf_pages.push_back(raw->page_id());
-    i += n;
+    buf.erase(buf.begin(), buf.begin() + static_cast<ptrdiff_t>(take));
+    total_loaded += take;
     prev = std::move(page);
   }
   prev.Release();
@@ -1495,7 +2007,19 @@ Status XrTree::BulkLoad(const ElementList& elements, double fill_fraction) {
     XR_ASSIGN_OR_RETURN(Page * raw, pool_->FetchPage(leaf_id));
     PageGuard leaf(pool_, raw);
     auto* hdr = XrHeader(raw);
-    Element* slots = XrLeafSlots(raw);
+    // On a compressed leaf the flag flip is an in-place single-byte varint
+    // rewrite (DESIGN.md §15), so no re-encode is needed here either.
+    bool comp = XrLeafIsCompressed(raw);
+    std::vector<Element> all;
+    Element* slots = nullptr;
+    const Element* view;
+    if (comp) {
+      XR_RETURN_IF_ERROR(XrcDecodeLeaf(raw, &all));
+      view = all.data();
+    } else {
+      slots = XrLeafSlots(raw);
+      view = slots;
+    }
     bool dirty = false;
     for (uint32_t i = 0; i < hdr->count; ++i) {
       PageId cur = new_root;
@@ -1504,15 +2028,23 @@ Status XrTree::BulkLoad(const ElementList& elements, double fill_fraction) {
         PageGuard node(pool_, nraw);
         if (XrHeader(nraw)->is_leaf) break;
         uint32_t stab_slot;
-        if (SmallestStabbingKey(nraw, slots[i].start, slots[i].end,
+        if (SmallestStabbingKey(nraw, view[i].start, view[i].end,
                                 &stab_slot)) {
           Position key = XrInternalSlots(nraw)[stab_slot].key;
-          stabs[cur].push_back(MakeStabEntry(slots[i], key));
-          SetInStabList(&slots[i], true);
+          stabs[cur].push_back(MakeStabEntry(view[i], key));
+          if (comp) {
+            XR_ASSIGN_OR_RETURN(bool found,
+                                XrcLeafSetFlag(raw, view[i].start, true));
+            if (!found) {
+              return Status::Corruption("bulk load: stabbed entry vanished");
+            }
+          } else {
+            SetInStabList(&slots[i], true);
+          }
           dirty = true;
           break;
         }
-        cur = XrChildAt(nraw, XrChildSlot(nraw, slots[i].start));
+        cur = XrChildAt(nraw, XrChildSlot(nraw, view[i].start));
       }
     }
     if (dirty) leaf.MarkDirty();
@@ -1524,7 +2056,7 @@ Status XrTree::BulkLoad(const ElementList& elements, double fill_fraction) {
     node.MarkDirty();
   }
   root_.store(new_root, std::memory_order_release);
-  size_.store(elements.size(), std::memory_order_release);
+  size_.store(total_loaded, std::memory_order_release);
   return Status::Ok();
 }
 
@@ -1624,8 +2156,20 @@ Status XrTree::CheckNode(PageId id, bool is_root, Position lo, Position hi,
     if (!is_root && hdr->count < leaf_cap_ / 2) {
       return Status::Corruption("leaf underfilled");
     }
-    if (hdr->count > leaf_cap_) return Status::Corruption("leaf overfull");
-    const Element* slots = XrLeafSlots(raw);
+    std::vector<Element> scratch;
+    const Element* slots;
+    if (XrLeafIsCompressed(raw)) {
+      // A compressed leaf holds up to kXrcMaxPageEntries, not leaf_cap_;
+      // the decoder validates the block headers and count.
+      if (hdr->count > kXrcMaxPageEntries) {
+        return Status::Corruption("leaf overfull");
+      }
+      XR_RETURN_IF_ERROR(XrcDecodeLeaf(raw, &scratch));
+      slots = scratch.data();
+    } else {
+      if (hdr->count > leaf_cap_) return Status::Corruption("leaf overfull");
+      slots = XrLeafSlots(raw);
+    }
     for (uint32_t i = 0; i < hdr->count; ++i) {
       if (i > 0 && !(slots[i - 1].start < slots[i].start)) {
         return Status::Corruption("leaf keys out of order");
@@ -1768,8 +2312,14 @@ Status XrTree::CheckConsistency() const {
     PageGuard page(pool_, raw);
     const auto* hdr = XrHeader(raw);
     if (hdr->is_leaf) {
-      const Element* slots = XrLeafSlots(raw);
-      elems.insert(elems.end(), slots, slots + hdr->count);
+      if (XrLeafIsCompressed(raw)) {
+        std::vector<Element> all;
+        XR_RETURN_IF_ERROR(XrcDecodeLeaf(raw, &all));
+        elems.insert(elems.end(), all.begin(), all.end());
+      } else {
+        const Element* slots = XrLeafSlots(raw);
+        elems.insert(elems.end(), slots, slots + hdr->count);
+      }
       leaf_count += hdr->count;
       continue;
     }

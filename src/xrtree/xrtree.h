@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <shared_mutex>
 #include <vector>
@@ -17,6 +18,7 @@
 
 namespace xrtree {
 
+class ElementFile;
 class XrIterator;
 
 /// Tuning knobs, mainly for tests (small fanouts force deep trees and
@@ -33,6 +35,13 @@ struct XrTreeOptions {
   /// Ablation: never build ps-directory pages (Fig. 4); multi-page stab
   /// chains are then located by scanning from the head page.
   bool disable_ps_directory = false;
+
+  /// Emit compressed leaf and stab pages (DESIGN.md §15) from BulkLoad /
+  /// Compact and stab-chain rewrites. Reads are per-page format-transparent
+  /// either way; Insert/Delete decompress a compressed leaf in place before
+  /// mutating it. A tree reopened without the flag still reads compressed
+  /// pages correctly — it merely stops producing new ones.
+  bool compressed_pages = false;
 };
 
 /// Aggregate statistics about the stab lists of a tree — the measurements
@@ -92,7 +101,8 @@ class XrTree {
         leaf_cap_(other.leaf_cap_),
         internal_cap_(other.internal_cap_),
         naive_split_key_(other.naive_split_key_),
-        use_ps_dir_(other.use_ps_dir_) {}
+        use_ps_dir_(other.use_ps_dir_),
+        compressed_(other.compressed_) {}
   XrTree& operator=(XrTree&& other) noexcept {
     pool_ = other.pool_;
     root_.store(other.root_.load(std::memory_order_acquire),
@@ -103,6 +113,7 @@ class XrTree {
     internal_cap_ = other.internal_cap_;
     naive_split_key_ = other.naive_split_key_;
     use_ps_dir_ = other.use_ps_dir_;
+    compressed_ = other.compressed_;
     return *this;
   }
 
@@ -122,6 +133,21 @@ class XrTree {
   /// tree: builds the backbone bottom-up, then computes stab lists in one
   /// pass. Much faster than repeated Insert for benchmark-scale sets.
   Status BulkLoad(const ElementList& elements, double fill_fraction = 1.0);
+
+  /// Streaming bulk load: builds the tree in one sequential pass over a
+  /// persistent sorted element file without materializing the ElementList
+  /// in memory (ROADMAP "huge corpora build in one sequential pass"). Only
+  /// a bounded lookahead window (one page's worth of entries plus the
+  /// min-fill margin) is buffered. Same preconditions as BulkLoad.
+  Status BulkLoadFromFile(const ElementFile& file, double fill_fraction = 1.0);
+
+  /// Rewrites the whole tree via bulk load, recompressing every leaf and
+  /// stab page when options.compressed_pages is set — the explicit
+  /// compaction pass that re-packs pages diluted by incremental
+  /// decompress-on-write splits. Quiescent-only (takes the writer gate
+  /// exclusively; no readers may be active) and materializes the element
+  /// set in memory while it runs.
+  Status Compact();
 
   /// Algorithm 3: all elements strictly inside `ancestor`'s region,
   /// in document order. `scanned` (optional) accumulates the number of
@@ -222,6 +248,49 @@ class XrTree {
 
   Status InitRootLeaf();
 
+  /// Insert body under the shared gate (the common, crabbing path). When
+  /// the descent lands on a compressed leaf it rolls back any speculative
+  /// stab placement, releases everything, and reports via
+  /// *needs_exclusive instead of mutating (DESIGN.md §15).
+  Status InsertFast(const Element& element, bool* needs_exclusive);
+
+  /// Insert retry under the exclusive gate: full-path W descent; compressed
+  /// leaves are split in place (binary, re-descending between rounds) until
+  /// the target leaf fits the fixed layout, is decompressed, and takes the
+  /// insert through the shared leaf path.
+  Status InsertExclusive(const Element& element);
+
+  /// One decompression round on the leaf at path.back(): rewrites it to
+  /// the fixed layout in place when its entries fit, else performs one
+  /// binary split (both halves re-encoded compressed — always fits, see
+  /// page_codec.h) and posts the separator via InsertIntoParent. Caller
+  /// holds the full descent path W-latched and the exclusive gate.
+  Status DecompressLeafStep(WriteLatchSet& ls, std::vector<PathEntry> path);
+
+  /// Rewrites a compressed leaf held W-latched in `ls` to the fixed slot
+  /// layout in place (precondition: its entry count fits leaf_capacity).
+  Status DecompressLeafInPlace(WriteLatchSet& ls, PageId leaf_id);
+
+  /// Removes the speculative I1 stab placement for `element` from
+  /// `placed_page` (still held in `ls`): the duplicate-key and
+  /// compressed-leaf handover paths both undo before bailing out.
+  Status RollbackStabPlacement(WriteLatchSet& ls, PageId placed_page,
+                               Position placed_key, const Element& element);
+
+  /// Shared tail of Insert: places `element` into the (fixed-format) leaf
+  /// at path.back(), handling duplicates (with stab rollback) and the
+  /// leaf split of Algorithm 1 (I2/I22). Caller holds the path per its
+  /// gate mode and passes the speculative stab placement made during the
+  /// descent so the duplicate path can undo it.
+  Status LeafInsert(WriteLatchSet& ls, std::vector<PathEntry>& path,
+                    const Element& element, bool placed, PageId placed_page,
+                    Position placed_key);
+
+  /// Bulk-load engine over a pull source (`next` returns false when the
+  /// stream is dry). Buffers only a bounded lookahead window.
+  Status BulkLoadImpl(const std::function<bool(Element*)>& next,
+                      double fill_fraction);
+
   /// Reader descent with R-latch coupling (see BTree::DescendToLeafRead).
   Result<ReadLatchedPage> DescendToLeafRead(Position key) const;
 
@@ -284,6 +353,7 @@ class XrTree {
   uint32_t internal_cap_;
   bool naive_split_key_ = false;
   bool use_ps_dir_ = true;
+  bool compressed_ = false;
 };
 
 }  // namespace xrtree

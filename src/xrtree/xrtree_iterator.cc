@@ -1,10 +1,12 @@
 #include "xrtree/xrtree_iterator.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstddef>
 #include <utility>
 
 #include "storage/page_latch.h"
+#include "xrtree/page_codec.h"
 #include "xrtree/xrtree.h"
 
 namespace xrtree {
@@ -66,8 +68,13 @@ Status XrIterator::LandOnNextLeaf() {
       return Status::Corruption("xrtree: leaf chain points at a foreign page");
     }
     if (hdr->count > 0) {
-      snap_.assign(XrLeafSlots(leaf.get()),
-                   XrLeafSlots(leaf.get()) + hdr->count);
+      if (XrLeafIsCompressed(leaf.get())) {
+        snap_.clear();
+        XR_RETURN_IF_ERROR(XrcDecodeLeaf(leaf.get(), &snap_));
+      } else {
+        snap_.assign(XrLeafSlots(leaf.get()),
+                     XrLeafSlots(leaf.get()) + hdr->count);
+      }
       pos_ = 0;
       next_ = hdr->next;
       epoch_ = pool->free_epoch();  // resampled under this leaf's latch
@@ -90,6 +97,7 @@ Status XrIterator::Reseek() {
   const XrTree* tree = tree_;
   uint64_t scanned = scanned_;
   uint32_t prefetch = prefetch_depth_;
+  uint32_t cap = prefetch_cap_;
   Position key = reseek_key_;
   bool exclusive = reseek_exclusive_;
   XR_ASSIGN_OR_RETURN(XrIterator fresh,
@@ -97,6 +105,7 @@ Status XrIterator::Reseek() {
   *this = std::move(fresh);
   tree_ = tree;
   prefetch_depth_ = prefetch;
+  prefetch_cap_ = cap;
   // The fresh iterator charged 1 for its landing element; that charge
   // replaces the lateral hop's, so just add the prior total back.
   scanned_ += scanned;
@@ -110,6 +119,7 @@ Status XrIterator::SeekPastKey(Position key) {
   const XrTree* tree = tree_;
   uint64_t scanned = scanned_;
   uint32_t prefetch = prefetch_depth_;
+  uint32_t cap = prefetch_cap_;
   XR_ASSIGN_OR_RETURN(XrIterator fresh, tree->UpperBound(key));
   *this = std::move(fresh);
   // The landing element is examined and charged like any other scan (see
@@ -118,6 +128,7 @@ Status XrIterator::SeekPastKey(Position key) {
   scanned_ += scanned;
   tree_ = tree;
   prefetch_depth_ = prefetch;
+  prefetch_cap_ = cap;
   MaybePrefetch();
   return Status::Ok();
 }
@@ -129,17 +140,20 @@ Status XrIterator::SeekToStart(Position pos) {
   const XrTree* tree = tree_;
   uint64_t scanned = scanned_;
   uint32_t prefetch = prefetch_depth_;
+  uint32_t cap = prefetch_cap_;
   XR_ASSIGN_OR_RETURN(XrIterator fresh, tree->LowerBound(pos));
   *this = std::move(fresh);
   scanned_ += scanned;
   tree_ = tree;
   prefetch_depth_ = prefetch;
+  prefetch_cap_ = cap;
   MaybePrefetch();
   return Status::Ok();
 }
 
-void XrIterator::EnablePrefetch(uint32_t depth) {
+void XrIterator::EnablePrefetch(uint32_t depth, bool adaptive) {
   prefetch_depth_ = depth;
+  prefetch_cap_ = adaptive ? std::max(depth, kMaxAdaptivePrefetch) : 0;
   MaybePrefetch();
 }
 
@@ -156,8 +170,20 @@ void XrIterator::MaybePrefetch() {
   // split moved the chain, or this was the last child of its parent) falls
   // through to chain prefetch.
   if (run.ok() && !run->empty() && run->front() == next_) {
+    bool full = run->size() == prefetch_depth_;
     tree_->pool()->PrefetchBatchAsync(std::move(*run));
+    if (prefetch_cap_ != 0) {
+      // Adaptive ramp: a full run means the scan is sweeping a long
+      // sequential stretch — deepen the horizon. A short run means the
+      // parent (or tree) is ending — pull back so nothing is fetched past
+      // the useful frontier.
+      prefetch_depth_ = full ? std::min(prefetch_depth_ * 2, prefetch_cap_)
+                             : std::max<uint32_t>(2, prefetch_depth_ / 2);
+    }
     return;
+  }
+  if (prefetch_cap_ != 0) {
+    prefetch_depth_ = std::max<uint32_t>(2, prefetch_depth_ / 2);
   }
   tree_->pool()->PrefetchChainAsync(
       next_, prefetch_depth_,

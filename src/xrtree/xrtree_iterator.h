@@ -56,7 +56,16 @@ class XrIterator {
   /// prefetcher (BufferPool::PrefetchChainAsync), so the chain walk finds
   /// them resident instead of paying one blocking miss per page. 0 = off.
   /// Read-path only, like every const query.
-  void EnablePrefetch(uint32_t depth);
+  ///
+  /// With `adaptive` set, `depth` is the starting depth: each full batch
+  /// the cursor actually walks through doubles it (up to
+  /// max(depth, kMaxAdaptivePrefetch)) and each short or mismatched run
+  /// halves it (down to 2), so long scans reach a deep horizon without
+  /// short stabs paying wasted reads.
+  void EnablePrefetch(uint32_t depth, bool adaptive = false);
+
+  /// Ceiling for the adaptive read-ahead ramp.
+  static constexpr uint32_t kMaxAdaptivePrefetch = 64;
 
   uint64_t scanned() const { return scanned_; }
 
@@ -83,6 +92,7 @@ class XrIterator {
   bool reseek_exclusive_ = false;  ///< true once an element was returned
   uint64_t scanned_ = 0;
   uint32_t prefetch_depth_ = 0;
+  uint32_t prefetch_cap_ = 0;       ///< adaptive ramp ceiling; 0 = fixed depth
 };
 
 }  // namespace xrtree

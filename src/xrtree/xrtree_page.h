@@ -22,10 +22,18 @@ namespace xrtree {
 ///  * leaf entries are Elements whose flags bit 0 is the InStabList flag
 ///    (Definition 4, prop. 6).
 
+/// On-page entry encoding, carried per page (DESIGN.md §15). Fixed is the
+/// mutable slot-array layout every page starts life in; compressed pages
+/// hold frame-of-reference + delta-varint mini-blocks and are produced only
+/// by bulk load and compaction. Zero == fixed so every pre-existing page
+/// image (reserved field) reads back as fixed-format.
+inline constexpr uint16_t kXrPageFormatFixed = 0;
+inline constexpr uint16_t kXrPageFormatCompressed = 1;
+
 struct XrPageHeader {
   uint32_t magic;
   uint16_t is_leaf;
-  uint16_t reserved;
+  uint16_t format;     ///< kXrPageFormatFixed / kXrPageFormatCompressed
   uint32_t count;      ///< keys (internal) / elements (leaf)
   PageId next;         ///< leaf chain
   PageId prev;         ///< leaf chain
@@ -90,7 +98,7 @@ struct StabPageHeader {
   uint32_t magic;
   uint32_t count;
   PageId next;
-  PageId reserved;
+  uint32_t format;  ///< kXrPageFormatFixed / kXrPageFormatCompressed
 };
 static_assert(sizeof(StabPageHeader) == 16);
 

@@ -6,6 +6,7 @@
 #include <set>
 
 #include "btree/btree_iterator.h"
+#include "storage/element_file.h"
 #include "tests/test_util.h"
 
 namespace xrtree {
@@ -199,6 +200,38 @@ TEST(BTreeTest, BulkLoadEmptyList) {
   ASSERT_OK(tree.CheckConsistency());
   ASSERT_OK(tree.Insert(Element(5, 6)));
   EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(BTreeTest, BulkLoadFromFileMatchesInMemory) {
+  TempDb db(1024);
+  ElementList elems = RandomNestedElements(17, 3000);
+  ElementFile file(db.pool());
+  ASSERT_OK(file.Build(elems));
+
+  BTree streamed(db.pool());
+  ASSERT_OK(streamed.BulkLoadFromFile(file));
+  EXPECT_EQ(streamed.size(), elems.size());
+  ASSERT_OK(streamed.CheckConsistency());
+  BTree mem(db.pool());
+  ASSERT_OK(mem.BulkLoad(elems));
+  ASSERT_OK_AND_ASSIGN(uint64_t streamed_pages, streamed.CountPages());
+  ASSERT_OK_AND_ASSIGN(uint64_t mem_pages, mem.CountPages());
+  EXPECT_EQ(streamed_pages, mem_pages);
+  ASSERT_OK_AND_ASSIGN(BTreeIterator it, streamed.Begin());
+  for (const Element& want : elems) {
+    ASSERT_TRUE(it.Valid());
+    EXPECT_EQ(it.Get(), want);
+    ASSERT_OK(it.Next());
+  }
+  EXPECT_FALSE(it.Valid());
+
+  // Unsorted input is rejected with the BulkLoad contract's error.
+  ElementList shuffled = elems;
+  std::swap(shuffled.front(), shuffled.back());
+  ElementFile bad(db.pool());
+  ASSERT_OK(bad.Build(shuffled));
+  BTree rejected(db.pool());
+  EXPECT_TRUE(rejected.BulkLoadFromFile(bad).IsInvalidArgument());
 }
 
 TEST(BTreeTest, BulkLoadPartialFill) {

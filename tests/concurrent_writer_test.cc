@@ -433,6 +433,101 @@ TEST_P(XrWriterTest, MixedInsertDeleteWritersConverge) {
   EXPECT_EQ(db.pool()->pinned_frames(), 0u);
 }
 
+TEST_P(XrWriterTest, CompressedPagesDecompressUnderSplitStorm) {
+  // Bulk-loaded compressed leaves hold far more than leaf_capacity entries
+  // (page_max is the codec cap, not the slot cap), so the very first write
+  // landing on each page triggers the decompress-on-write protocol: the
+  // writer takes the exclusive gate, binary-splits the leaf down to
+  // leaf_capacity (DecompressLeafStep) and re-descends. Eight writers
+  // hammering disjoint key slices race those splits against each other and
+  // against stab-list placement.
+  const int kWriters = GetParam();
+  ElementList elements = RandomNestedElements(131, 2400, 3);
+  ElementList loaded, inserted;
+  for (size_t i = 0; i < elements.size(); ++i) {
+    (i % 2 == 0 ? loaded : inserted).push_back(elements[i]);
+  }
+  TempDb db(512, 4);
+  XrTreeOptions options;
+  options.leaf_capacity = 4;
+  options.internal_capacity = 4;
+  options.compressed_pages = true;
+  XrTree tree(db.pool(), kInvalidPageId, options);
+  ASSERT_OK(tree.BulkLoad(loaded));
+  ASSERT_OK(tree.CheckConsistency());
+
+  auto slices = Deal(inserted, kWriters);
+  std::atomic<uint64_t> errors{0};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (const Element& e : slices[w]) {
+        if (!tree.Insert(e).ok()) errors.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+
+  EXPECT_EQ(errors.load(), 0u);
+  EXPECT_EQ(tree.size(), elements.size());
+  ASSERT_OK(tree.CheckConsistency());
+
+  // Query answers match a serially built fixed-format reference.
+  XrTreeOptions fixed = options;
+  fixed.compressed_pages = false;
+  XrTree serial(db.pool(), kInvalidPageId, fixed);
+  ASSERT_OK(serial.BulkLoad(elements));
+  Random rng(53);
+  Position max_pos = elements.back().end + 5;
+  for (int q = 0; q < 60; ++q) {
+    Position sd = static_cast<Position>(rng.UniformRange(0, max_pos));
+    ASSERT_OK_AND_ASSIGN(ElementList got, tree.FindAncestors(sd));
+    ASSERT_OK_AND_ASSIGN(ElementList want, serial.FindAncestors(sd));
+    EXPECT_EQ(got, want) << "FindAncestors(" << sd << ") diverged";
+  }
+  EXPECT_EQ(db.pool()->pinned_frames(), 0u);
+}
+
+TEST_P(XrWriterTest, CompressedPagesSurviveMixedChurn) {
+  // Delete and Insert both decompress on first touch; racing them over a
+  // compressed bulk load exercises underflow handling where the borrowed-
+  // from sibling is itself still compressed.
+  const int kWriters = GetParam();
+  ElementList elements = RandomNestedElements(137, 1600, 3);
+  ElementList churn;
+  for (size_t i = 0; i < elements.size(); ++i) {
+    if (i % 2 == 1) churn.push_back(elements[i]);
+  }
+  TempDb db(512, 4);
+  XrTreeOptions options;
+  options.leaf_capacity = 4;
+  options.internal_capacity = 4;
+  options.compressed_pages = true;
+  XrTree tree(db.pool(), kInvalidPageId, options);
+  ASSERT_OK(tree.BulkLoad(elements));
+
+  auto slices = Deal(churn, kWriters);
+  std::atomic<uint64_t> errors{0};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (const Element& e : slices[w]) {
+        if (!tree.Delete(e.start).ok()) errors.fetch_add(1);
+        if (!tree.Insert(e).ok()) errors.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+
+  EXPECT_EQ(errors.load(), 0u);
+  EXPECT_EQ(tree.size(), elements.size());
+  ASSERT_OK(tree.CheckConsistency());
+  for (const Element& e : elements) {
+    EXPECT_OK(tree.Search(e.start).status());
+  }
+  EXPECT_EQ(db.pool()->pinned_frames(), 0u);
+}
+
 INSTANTIATE_TEST_SUITE_P(Writers, XrWriterTest, ::testing::Values(2, 4, 8),
                          [](const ::testing::TestParamInfo<int>& info) {
                            return std::to_string(info.param) + "writers";

@@ -13,7 +13,7 @@
 // schedule must come back as precisely the last durably committed state —
 // no Corruption, no lost commits, no torn pages.
 //
-// Six workload kinds (three raw, three WAL-backed) × a seed count tunable
+// Seven workload kinds (three raw, four WAL-backed) × a seed count tunable
 // via XR_CRASH_SEEDS_PER_KIND (default 36, i.e. 216 schedules) give the
 // randomized sweep, plus directed torn-catalog-slot tests and a
 // flipped-byte sweep over every page of a built database.
@@ -23,6 +23,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <limits>
 #include <memory>
@@ -50,8 +51,8 @@ constexpr size_t kRunPoolPages = 16;  // small: forces mid-run evictions
 constexpr uint32_t kWalMutationOps = 80;
 
 /// Seeds per workload kind. CI's release job raises this via
-/// XR_CRASH_SEEDS_PER_KIND for a wider sweep; the default keeps the six
-/// kinds above 200 schedules total.
+/// XR_CRASH_SEEDS_PER_KIND for a wider sweep; the default keeps the
+/// seven kinds above 200 schedules total.
 uint64_t SeedsPerKind() {
   static const uint64_t cached = [] {
     if (const char* env = std::getenv("XR_CRASH_SEEDS_PER_KIND")) {
@@ -519,6 +520,19 @@ Truth MakeWalTruth(int kind) {
     for (size_t i = 0; i < all.size(); ++i) {
       (i % 2 == 0 ? t.a : t.d).push_back(all[i]);
     }
+  } else if (kind == 3) {
+    // Compressed-page kind: a bulk base that lands on compressed leaves
+    // plus an interleaved churn set whose inserts each hit a compressed
+    // page and go through decompress-on-write (every page image crossing
+    // the WAL is a physical redo of that transition).
+    ElementList all = RandomNestedElements(2003, 360 + kWalMutationOps, 3);
+    for (size_t i = 0; i < all.size(); ++i) {
+      if (i % 4 == 1 && t.d.size() < kWalMutationOps) {
+        t.d.push_back(all[i]);
+      } else {
+        t.a.push_back(all[i]);
+      }
+    }
   } else {
     t.a = RandomNestedElements(2000 + static_cast<uint64_t>(kind),
                                kWalMutationOps, 3);
@@ -590,6 +604,33 @@ void RunWalDeleteWorkload(BufferPool* pool, FaultInjectingDisk* faulty,
   }
 }
 
+/// Kind 3: bulk-loads the base set onto compressed leaf/stab pages
+/// (commit 1), then inserts the churn set with one commit per Insert. The
+/// first insert landing on each compressed leaf decompresses it in place
+/// under the page W-latch, so the sweep tears WAL records and checkpoint
+/// writes across format transitions. Commit 1+i holds base + churn[0..i).
+void RunWalCompressedWorkload(BufferPool* pool, FaultInjectingDisk* faulty,
+                              const Truth& truth, uint64_t* durable_commits) {
+  Catalog catalog(pool);
+  if (!catalog.Load().ok()) return;
+  XrTreeOptions opts = InsertTreeOptions();
+  opts.compressed_pages = true;
+  XrTree tree(pool, kInvalidPageId, opts);
+  if (!tree.BulkLoad(truth.a).ok()) return;
+  const uint64_t n0 = truth.a.size();
+  for (size_t i = 0; i <= truth.d.size(); ++i) {
+    if (i > 0 && !tree.Insert(truth.d[i - 1]).ok()) return;
+    CatalogEntry entry;
+    entry.name = "CMP";
+    entry.element_count = n0 + i;
+    entry.xrtree_root = tree.root();
+    if (!catalog.Put(entry).ok()) return;
+    if (!catalog.Save().ok()) return;
+    if (!pool->Commit().ok()) return;
+    if (!faulty->crashed()) *durable_commits = *durable_commits + 1;
+  }
+}
+
 void RunWalWorkload(WalCrashDb* db, int kind, const Truth& truth,
                     uint64_t* durable_commits) {
   switch (kind) {
@@ -601,6 +642,10 @@ void RunWalWorkload(WalCrashDb* db, int kind, const Truth& truth,
       break;
     case 2:
       RunWalDeleteWorkload(db->pool(), db->faulty(), truth, durable_commits);
+      break;
+    case 3:
+      RunWalCompressedWorkload(db->pool(), db->faulty(), truth,
+                               durable_commits);
       break;
   }
 }
@@ -669,6 +714,30 @@ void ValidateWalReopened(const std::string& path, int kind, const Truth& truth,
                 SetState::kValid)
           << why;
     }
+  } else if (kind == 3) {
+    const uint64_t n0 = truth.a.size();
+    const uint64_t n = n0 + truth.d.size();
+    auto entry = catalog.Get("CMP");
+    if (entry.ok()) {
+      const uint64_t k = entry.value().element_count;
+      ASSERT_GE(k, n0) << "recovered count below the bulk commit";
+      ASSERT_LE(k, n) << "recovered count exceeds every committed state";
+      recovered_commit = 1 + (k - n0);
+      ElementList expect = truth.a;
+      expect.insert(expect.end(), truth.d.begin(),
+                    truth.d.begin() + static_cast<size_t>(k - n0));
+      std::sort(expect.begin(), expect.end());  // back into document order
+      XrTree tree(&pool, entry.value().xrtree_root, InsertTreeOptions());
+      auto count = tree.CountEntries();
+      ASSERT_OK(count.status());
+      EXPECT_EQ(count.value(), k) << "entry count cross-check failed";
+      EXPECT_OK(tree.CheckConsistency());
+      auto scanned = tree.FindDescendants(UniversalRegion());
+      ASSERT_OK(scanned.status());
+      EXPECT_TRUE(SameElements(scanned.value(), expect))
+          << "recovered compressed tree is not the committed state (count="
+          << k << ")";
+    }
   } else {
     const uint64_t n = truth.a.size();
     auto entry = catalog.Get("INS");
@@ -735,7 +804,7 @@ TEST_P(WalCrashSweepTest, EveryScheduleRecoversTheExactCommittedState) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllWalKinds, WalCrashSweepTest,
-                         ::testing::Values(0, 1, 2));
+                         ::testing::Values(0, 1, 2, 3));
 
 // ---------------------------------------------------------------------------
 // Directed torn-catalog-slot tests: aim the tear at the header slot pages

@@ -6,6 +6,7 @@
 
 #include "join/bplus_sp_join.h"
 #include "join/nested_loop.h"
+#include "storage/element_file.h"
 #include "tests/test_util.h"
 
 namespace xrtree {
@@ -28,6 +29,48 @@ TEST(SpTreeTest, SiblingPointersValidatedOnRandomData) {
     ASSERT_OK(tree.BulkLoad(elems));
     ASSERT_OK(tree.CheckConsistency());
   }
+}
+
+TEST(SpTreeTest, BulkLoadFromFileMatchesInMemory) {
+  TempDb db(1024);
+  ElementList elems = RandomNestedElements(29, 3000, 4);
+  ElementFile file(db.pool());
+  ASSERT_OK(file.Build(elems));
+
+  SpTree streamed(db.pool());
+  ASSERT_OK(streamed.BulkLoadFromFile(file));
+  EXPECT_EQ(streamed.size(), elems.size());
+  ASSERT_OK(streamed.CheckConsistency());
+
+  // Element order and sibling-skip targets match the in-memory build.
+  SpTree mem(db.pool());
+  ASSERT_OK(mem.BulkLoad(elems));
+  ASSERT_OK_AND_ASSIGN(SpIterator si, streamed.Begin());
+  ASSERT_OK_AND_ASSIGN(SpIterator mi, mem.Begin());
+  while (mi.Valid()) {
+    ASSERT_TRUE(si.Valid());
+    EXPECT_EQ(si.Get(), mi.Get());
+    ASSERT_OK(si.Next());
+    ASSERT_OK(mi.Next());
+  }
+  EXPECT_FALSE(si.Valid());
+  for (size_t i = 0; i < elems.size(); i += 211) {
+    ASSERT_OK_AND_ASSIGN(SpIterator a, streamed.LowerBound(elems[i].start));
+    ASSERT_OK_AND_ASSIGN(SpIterator b, mem.LowerBound(elems[i].start));
+    ASSERT_OK(a.FollowSibling());
+    ASSERT_OK(b.FollowSibling());
+    ASSERT_EQ(a.Valid(), b.Valid());
+    if (a.Valid()) {
+      EXPECT_EQ(a.Get(), b.Get());
+    }
+  }
+
+  ElementList shuffled = elems;
+  std::swap(shuffled.front(), shuffled.back());
+  ElementFile bad(db.pool());
+  ASSERT_OK(bad.Build(shuffled));
+  SpTree rejected(db.pool());
+  EXPECT_TRUE(rejected.BulkLoadFromFile(bad).IsInvalidArgument());
 }
 
 TEST(SpTreeTest, FollowSiblingSkipsDescendants) {
